@@ -1,0 +1,152 @@
+// Ablation study for the implementation-level design choices called out in
+// DESIGN.md (not paper claims — these justify the engineering):
+//
+//   A1. Algorithm 1 memoisation (collapses repeated substituted subqueries;
+//       the recursion is exponential in |q| without it, Example 6.12).
+//   A2. Formula simplification (pinned-equality elimination) and its effect
+//       on rewriting evaluation cost.
+//   A3. Backtracking block ordering: key-major vs relation-major.
+//   A4. Backtracking optimistic early-accept for certainty-false instances.
+
+#include "bench_util.h"
+#include "cqa/base/rng.h"
+#include "cqa/certainty/backtracking.h"
+#include "cqa/fo/eval.h"
+#include "cqa/gen/poll.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/hall_covering.h"
+#include "cqa/rewriting/algorithm1.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace cqa {
+namespace {
+
+void TableMemo() {
+  benchutil::Header("ABLATION", "implementation design choices");
+  std::printf("A1. Algorithm 1 memoisation on q_Hall(ell) databases "
+              "(calls made):\n%-5s %-12s %-12s %-10s\n", "ell", "memo_on",
+              "memo_off", "speedup");
+  Rng rng(21);
+  for (int ell = 2; ell <= 5; ++ell) {
+    SCoveringInstance inst;
+    inst.num_elements = ell;
+    for (int t = 0; t < ell; ++t) {
+      std::vector<int> set;
+      for (int a = 0; a < ell; ++a) {
+        if (rng.Chance(0.6)) set.push_back(a);
+      }
+      inst.sets.push_back(std::move(set));
+    }
+    Database db = CoveringToHallDatabase(inst);
+    Query q = MakeHallQuery(ell);
+    Algorithm1 on(db, {.memoize = true});
+    Algorithm1 off(db, {.memoize = false});
+    bool r1 = on.IsCertain(q).value();
+    bool r2 = off.IsCertain(q).value();
+    std::printf("%-5d %-12llu %-12llu %.1fx %s\n", ell,
+                static_cast<unsigned long long>(on.calls()),
+                static_cast<unsigned long long>(off.calls()),
+                static_cast<double>(off.calls()) /
+                    static_cast<double>(on.calls()),
+                r1 == r2 ? "" : "DISAGREE!");
+  }
+}
+
+void TableSimplify() {
+  std::printf("\nA2. simplification: rewriting size and evaluation time "
+              "(poll qa, 500 persons):\n%-10s %-8s %-12s\n", "variant",
+              "size", "t_eval_us");
+  Query qa = PollQa();
+  Rng rng(22);
+  PollDbOptions opts;
+  opts.num_persons = 500;
+  opts.num_towns = 100;
+  Database db = GeneratePollDatabase(opts, &rng);
+  for (bool simplify : {true, false}) {
+    Result<Rewriting> rw = RewriteCertain(qa, {.simplify = simplify});
+    bool answer = false;
+    double t = benchutil::MedianTimeUs(
+        5, [&] { answer = EvalFo(rw->formula, db); });
+    std::printf("%-10s %-8zu %-12.1f\n", simplify ? "simplified" : "raw",
+                rw->formula->Size(), t);
+  }
+}
+
+void TableBacktracking() {
+  std::printf("\nA3/A4. backtracking heuristics (poll q1, cyclic; times us, "
+              "nodes):\n%-26s %-12s %-12s %-12s\n", "variant", "persons=60",
+              "persons=120", "persons=240");
+  Query q1 = PollQ1();
+  struct Variant {
+    const char* name;
+    BacktrackingOptions opts;
+  };
+  Variant variants[] = {
+      {"key-major + early-accept", {}},
+      {"relation-major order", {.key_major_order = false}},
+      {"no early-accept", {.optimistic_early_accept = false}},
+  };
+  for (const Variant& v : variants) {
+    std::printf("%-26s", v.name);
+    for (int persons : {60, 120, 240}) {
+      Rng rng(23);
+      PollDbOptions opts;
+      opts.num_persons = persons;
+      opts.num_towns = std::max(2, persons / 5);
+      Database db = GeneratePollDatabase(opts, &rng);
+      BacktrackingOptions bopts = v.opts;
+      bopts.max_nodes = 5'000'000;
+      Result<bool> r{false};
+      double t =
+          benchutil::TimeUs([&] { r = IsCertainBacktracking(q1, db, bopts); });
+      if (r.ok()) {
+        std::printf(" %-7.0f/%-4llu", t,
+                    static_cast<unsigned long long>(LastBacktrackingNodes()));
+      } else {
+        std::printf(" %-12s", "node-limit");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void Tables() {
+  TableMemo();
+  TableSimplify();
+  TableBacktracking();
+}
+
+void BM_Algorithm1Memo(benchmark::State& state) {
+  Rng rng(24);
+  SCoveringInstance inst{4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}}};
+  Database db = CoveringToHallDatabase(inst);
+  Query q = MakeHallQuery(4);
+  bool memo = state.range(0) != 0;
+  for (auto _ : state) {
+    Algorithm1 algo(db, {.memoize = memo});
+    benchmark::DoNotOptimize(algo.IsCertain(q).value());
+  }
+}
+BENCHMARK(BM_Algorithm1Memo)->Arg(0)->Arg(1);
+
+void BM_BacktrackOrdering(benchmark::State& state) {
+  Rng rng(25);
+  PollDbOptions opts;
+  opts.num_persons = 40;
+  opts.num_towns = 8;
+  Database db = GeneratePollDatabase(opts, &rng);
+  Query q1 = PollQ1();
+  BacktrackingOptions bopts;
+  bopts.key_major_order = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsCertainBacktracking(q1, db, bopts).ok());
+  }
+}
+BENCHMARK(BM_BacktrackOrdering)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace cqa
+
+CQA_BENCH_MAIN(cqa::Tables)

@@ -1,0 +1,116 @@
+// E1 — Figure 1 / Example 1.1 / Lemma 5.2: CERTAINTY(q1) and BIPARTITE
+// PERFECT MATCHING.
+//
+// Reproduces: (i) the Figure 1 database outcome (q1 not certain: the
+// Alice–George / Maria–Bob pairing falsifies it); (ii) the Lemma 5.2
+// equivalence "perfect matching exists iff q1 not certain" on random
+// balanced graphs, cross-checked against naive repair enumeration where
+// feasible; (iii) scaling of the polynomial matching solver to instances
+// whose repair count is astronomically beyond enumeration.
+
+#include "bench_util.h"
+#include "cqa/base/rng.h"
+#include "cqa/certainty/matching_q1.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/matching/hopcroft_karp.h"
+#include "cqa/reductions/bpm.h"
+
+namespace cqa {
+namespace {
+
+BipartiteGraph RandomBalancedGraph(Rng* rng, int m, int avg_degree) {
+  BipartiteGraph g(m, m);
+  for (int l = 0; l < m; ++l) {
+    g.AddEdge(l, static_cast<int>(rng->Below(m)));
+    for (int k = 1; k < avg_degree; ++k) {
+      if (rng->Chance(0.8)) g.AddEdge(l, static_cast<int>(rng->Below(m)));
+    }
+  }
+  return g;
+}
+
+void Table() {
+  benchutil::Header("E1", "q1 vs BIPARTITE PERFECT MATCHING (Lemma 5.2)");
+
+  Result<Database> fig1 = Database::FromText(R"(
+    R(alice | bob), R(alice | george), R(maria | bob), R(maria | john)
+    S(bob | alice), S(bob | maria), S(george | alice), S(george | maria)
+  )");
+  Query q1 = MakeQ1();
+  std::printf("Figure 1 database: CERTAINTY(q1) naive=%s matching=%s "
+              "(paper: false — the Alice-George/Maria-Bob repair)\n\n",
+              IsCertainNaive(q1, fig1.value()).value() ? "true" : "false",
+              IsCertainQ1ByMatching(q1, fig1.value()).value() ? "true"
+                                                              : "false");
+
+  std::printf("%-6s %-8s %-10s %-9s %-12s %-10s %-12s %-10s\n", "m", "facts",
+              "repairs", "PM?", "certain(q1)", "agree?", "t_match_us",
+              "t_naive_us");
+  Rng rng(12345);
+  for (int m : {2, 4, 8, 16, 64, 256, 1024}) {
+    BipartiteGraph g = RandomBalancedGraph(&rng, m, 4);
+    Database db = BpmToQ1Database(g);
+    bool pm = HasPerfectMatching(g);
+    bool certain = false;
+    double t_match = benchutil::MedianTimeUs(5, [&] {
+      certain = IsCertainQ1ByMatching(q1, db).value();
+    });
+    std::string agree = "-";
+    std::string t_naive = "-";
+    if (db.CountRepairs(1 << 20) < (1 << 20)) {
+      bool naive = false;
+      double tn = benchutil::TimeUs(
+          [&] { naive = IsCertainNaive(q1, db).value(); });
+      agree = (naive == certain) ? "yes" : "NO!";
+      t_naive = std::to_string(tn);
+    }
+    uint64_t reps = db.CountRepairs(1u << 31);
+    std::string reps_str = reps >= (1u << 31) ? (">2^31") : std::to_string(reps);
+    std::printf("%-6d %-8zu %-10s %-9s %-12s %-10s %-12.1f %-10s\n", m,
+                db.NumFacts(), reps_str.c_str(), pm ? "yes" : "no",
+                certain ? "true" : "false", agree.c_str(), t_match,
+                t_naive.c_str());
+    // The Lemma 5.2 shape: certainty must be the complement of PM.
+    if (pm == certain) std::printf("  ^^ UNEXPECTED: PM == certainty\n");
+  }
+  std::printf("\n");
+}
+
+void BM_MatchingSolver(benchmark::State& state) {
+  Rng rng(7);
+  BipartiteGraph g =
+      RandomBalancedGraph(&rng, static_cast<int>(state.range(0)), 4);
+  Database db = BpmToQ1Database(g);
+  Query q1 = MakeQ1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsCertainQ1ByMatching(q1, db).value());
+  }
+}
+BENCHMARK(BM_MatchingSolver)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  Rng rng(8);
+  BipartiteGraph g =
+      RandomBalancedGraph(&rng, static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxMatching(g).size);
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_NaiveOnFigure1(benchmark::State& state) {
+  Result<Database> fig1 = Database::FromText(R"(
+    R(alice | bob), R(alice | george), R(maria | bob), R(maria | john)
+    S(bob | alice), S(bob | maria), S(george | alice), S(george | maria)
+  )");
+  Query q1 = MakeQ1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsCertainNaive(q1, fig1.value()).value());
+  }
+}
+BENCHMARK(BM_NaiveOnFigure1);
+
+}  // namespace
+}  // namespace cqa
+
+CQA_BENCH_MAIN(cqa::Table)

@@ -1,0 +1,114 @@
+// E2 — Figure 2 / Examples 1.2 and 6.12: q_Hall and S-COVERING.
+//
+// Reproduces: (i) the Figure 2 rewriting for ℓ = 3 (printed); (ii) the
+// paper's remark that the rewriting length is exponential in ℓ (table);
+// (iii) the reduction equivalence "coverable iff not certain" against the
+// Hall/matching solver; (iv) cost of answering via rewriting evaluation vs
+// Algorithm 1 vs naive enumeration.
+
+#include "bench_util.h"
+#include "cqa/base/rng.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/certainty/rewriting_solver.h"
+#include "cqa/fo/eval.h"
+#include "cqa/matching/covering.h"
+#include "cqa/reductions/hall_covering.h"
+#include "cqa/rewriting/algorithm1.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace cqa {
+namespace {
+
+SCoveringInstance RandomInstance(Rng* rng, int elements, int ell) {
+  SCoveringInstance inst;
+  inst.num_elements = elements;
+  for (int t = 0; t < ell; ++t) {
+    std::vector<int> set;
+    for (int a = 0; a < elements; ++a) {
+      if (rng->Chance(0.5)) set.push_back(a);
+    }
+    inst.sets.push_back(std::move(set));
+  }
+  return inst;
+}
+
+void Table() {
+  benchutil::Header("E2", "q_Hall rewriting growth and S-COVERING "
+                          "(Figure 2, Examples 1.2/6.12)");
+
+  Result<Rewriting> fig2 = RewriteCertain(MakeHallQuery(3));
+  std::printf("machine-built Figure 2 rewriting (ell = 3):\n%s\n\n",
+              fig2->formula->ToString().c_str());
+
+  std::printf("%-4s %-10s %-12s %-12s %-14s %-12s\n", "ell", "raw_size",
+              "simplified", "t_build_us", "t_eval_us", "agree");
+  Rng rng(777);
+  for (int ell = 1; ell <= 7; ++ell) {
+    Result<Rewriting> rw{Rewriting{}};
+    double t_build = benchutil::TimeUs(
+        [&] { rw = RewriteCertain(MakeHallQuery(ell)); });
+    SCoveringInstance inst = RandomInstance(&rng, ell, ell);
+    Database db = CoveringToHallDatabase(inst);
+    bool certain = false;
+    double t_eval = benchutil::MedianTimeUs(
+        3, [&] { certain = EvalFo(rw->formula, db); });
+    bool coverable = SolveSCovering(inst).has_value();
+    bool naive_ok = true;
+    if (db.CountRepairs(1 << 18) < (1 << 18)) {
+      naive_ok = IsCertainNaive(MakeHallQuery(ell), db).value() == certain;
+    }
+    std::printf("%-4d %-10zu %-12zu %-12.1f %-14.1f %-12s\n", ell,
+                rw->raw_size, rw->simplified_size, t_build, t_eval,
+                (certain == !coverable && naive_ok) ? "yes" : "NO!");
+  }
+  std::printf("(expected shape: raw_size roughly doubles per ell — the\n"
+              " rewriting is exponential in the query, Example 6.12)\n\n");
+}
+
+void BM_RewriteHall(benchmark::State& state) {
+  int ell = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RewriteCertain(MakeHallQuery(ell)).ok());
+  }
+}
+BENCHMARK(BM_RewriteHall)->DenseRange(1, 7);
+
+void BM_EvalHallRewriting(benchmark::State& state) {
+  int ell = 4;
+  int elements = static_cast<int>(state.range(0));
+  Result<RewritingSolver> solver =
+      RewritingSolver::Create(MakeHallQuery(ell));
+  Rng rng(11);
+  Database db = CoveringToHallDatabase(RandomInstance(&rng, elements, ell));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver->IsCertain(db));
+  }
+}
+BENCHMARK(BM_EvalHallRewriting)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_Algorithm1Hall(benchmark::State& state) {
+  int ell = 4;
+  int elements = static_cast<int>(state.range(0));
+  Query q = MakeHallQuery(ell);
+  Rng rng(11);
+  Database db = CoveringToHallDatabase(RandomInstance(&rng, elements, ell));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsCertainAlgorithm1(q, db).value());
+  }
+}
+BENCHMARK(BM_Algorithm1Hall)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_CoveringMatching(benchmark::State& state) {
+  int elements = static_cast<int>(state.range(0));
+  Rng rng(13);
+  SCoveringInstance inst = RandomInstance(&rng, elements, elements + 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveSCovering(inst).has_value());
+  }
+}
+BENCHMARK(BM_CoveringMatching)->Arg(16)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace cqa
+
+CQA_BENCH_MAIN(cqa::Table)

@@ -1,0 +1,109 @@
+// E3 — Figure 3 / Example 7.1: q4 = {X(x), Y(y), ¬R(x|y), ¬S(y|x)}.
+//
+// Reproduces: (i) the Figure 3 verdict (m = 3, n = 2, 3·2 > 3+2, so every
+// repair satisfies q4 regardless of R and S); (ii) the combinatorial FO
+// solver validated against the naive oracle across the m×n sweep including
+// all degenerate cases; (iii) scaling of the counting-argument solver to
+// sizes where repair enumeration is impossible.
+
+#include "bench_util.h"
+#include "cqa/base/rng.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/reductions/q4.h"
+
+namespace cqa {
+namespace {
+
+Database RandomQ4Db(Rng* rng, int m, int n, double p) {
+  Schema s;
+  s.AddRelationOrDie("X", 1, 1);
+  s.AddRelationOrDie("Y", 1, 1);
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("S", 2, 1);
+  Database db(s);
+  auto a = [](int i) { return Value::Of("a" + std::to_string(i)); };
+  auto b = [](int i) { return Value::Of("b" + std::to_string(i)); };
+  for (int i = 0; i < m; ++i) db.AddFactOrDie("X", {a(i)});
+  for (int j = 0; j < n; ++j) db.AddFactOrDie("Y", {b(j)});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (rng->Chance(p)) db.AddFactOrDie("R", {a(i), b(j)});
+      if (rng->Chance(p)) db.AddFactOrDie("S", {b(j), a(i)});
+    }
+  }
+  return db;
+}
+
+void Table() {
+  benchutil::Header("E3", "q4's combinatorial FO test (Figure 3 / "
+                          "Example 7.1)");
+
+  Result<Database> fig3 = Database::FromText(R"(
+    X(a1), X(a2), X(a3)
+    Y(b1), Y(b2)
+    R(a1 | b1), R(a1 | b2), R(a2 | b1), R(a3 | b2)
+    S(b1 | a2), S(b2 | a1), S(b2 | a3)
+  )");
+  std::printf("Figure 3 instance (m=3, n=2): certain=%s "
+              "(paper: true, since 3*2 > 3+2)\n\n",
+              IsCertainQ4(fig3.value()) ? "true" : "false");
+
+  std::printf("agreement sweep vs naive oracle (100 random R/S per cell):\n");
+  std::printf("%-5s", "m\\n");
+  for (int n = 0; n <= 3; ++n) std::printf(" %-8d", n);
+  std::printf("\n");
+  Rng rng(31);
+  Query q4 = MakeQ4();
+  for (int m = 0; m <= 3; ++m) {
+    std::printf("%-5d", m);
+    for (int n = 0; n <= 3; ++n) {
+      int agree = 0, total = 0;
+      for (int t = 0; t < 100; ++t) {
+        Database db = RandomQ4Db(&rng, m, n, 0.45);
+        Result<bool> naive = IsCertainNaive(q4, db);
+        if (!naive.ok()) continue;
+        ++total;
+        if (naive.value() == IsCertainQ4(db)) ++agree;
+      }
+      std::printf(" %3d/%-4d", agree, total);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nscaling of the FO solver (repairs are ~2^(mn), naive "
+              "impossible):\n%-8s %-10s %-12s %-10s\n", "m=n", "facts",
+              "certain", "t_us");
+  for (int m : {10, 40, 160, 640}) {
+    Database db = RandomQ4Db(&rng, m, m, 0.3);
+    bool certain = false;
+    double t = benchutil::MedianTimeUs(5, [&] { certain = IsCertainQ4(db); });
+    std::printf("%-8d %-10zu %-12s %-10.1f\n", m, db.NumFacts(),
+                certain ? "true" : "false", t);
+  }
+  std::printf("\n");
+}
+
+void BM_Q4Solver(benchmark::State& state) {
+  Rng rng(37);
+  int m = static_cast<int>(state.range(0));
+  Database db = RandomQ4Db(&rng, m, m, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsCertainQ4(db));
+  }
+}
+BENCHMARK(BM_Q4Solver)->Arg(2)->Arg(10)->Arg(100);
+
+void BM_Q4NaiveSmall(benchmark::State& state) {
+  Rng rng(41);
+  Database db = RandomQ4Db(&rng, 2, 2, 0.5);
+  Query q4 = MakeQ4();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsCertainNaive(q4, db).value());
+  }
+}
+BENCHMARK(BM_Q4NaiveSmall);
+
+}  // namespace
+}  // namespace cqa
+
+CQA_BENCH_MAIN(cqa::Table)

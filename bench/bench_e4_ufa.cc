@@ -1,0 +1,123 @@
+// E4 — Figure 4 / Lemma 5.3: UNDIRECTED FOREST ACCESSIBILITY reduces to
+// CERTAINTY(q2).
+//
+// Reproduces: (i) Figure 4's two-component forest database and the
+// equivalence "u,v connected iff q2 certain"; (ii) validation of the
+// reduction on random two-component forests against union-find ground
+// truth, with the exact backtracking solver deciding certainty; (iii) cost
+// of reduction + solving as the forest grows.
+
+#include "bench_util.h"
+#include "cqa/base/rng.h"
+#include "cqa/certainty/backtracking.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/reductions/ufa.h"
+
+namespace cqa {
+namespace {
+
+UfaInstance RandomForest(Rng* rng, int per_side) {
+  UfaInstance inst;
+  inst.num_vertices = 2 * per_side;
+  for (int i = 1; i < per_side; ++i) {
+    inst.edges.emplace_back(static_cast<int>(rng->Below(i)), i);
+    inst.edges.emplace_back(per_side + static_cast<int>(rng->Below(i)),
+                            per_side + i);
+  }
+  inst.u = static_cast<int>(rng->Below(per_side));
+  do {
+    inst.v = static_cast<int>(rng->Below(2 * per_side));
+  } while (inst.v == inst.u);
+  return inst;
+}
+
+void Table() {
+  benchutil::Header("E4", "UFA -> CERTAINTY(q2) (Figure 4 / Lemma 5.3)");
+
+  // Figure 4's shape: two path components.
+  UfaInstance fig4{5, {{0, 1}, {1, 2}, {3, 4}}, 0, 2};
+  Database db4 = UfaToQ2Database(fig4);
+  std::printf("Figure 4 forest (paths 0-1-2 and 3-4), u=0 v=2: "
+              "connected=%s certain(q2)=%s\n",
+              SolveUfa(fig4) ? "yes" : "no",
+              IsCertainBacktracking(MakeQ2(), db4).value() ? "true" : "false");
+  UfaInstance fig4b{5, {{0, 1}, {1, 2}, {3, 4}}, 0, 4};
+  std::printf("same forest, u=0 v=4 (across components): connected=%s "
+              "certain(q2)=%s\n\n",
+              SolveUfa(fig4b) ? "yes" : "no",
+              IsCertainBacktracking(MakeQ2(), UfaToQ2Database(fig4b)).value()
+                  ? "true"
+                  : "false");
+
+  std::printf("%-10s %-8s %-10s %-10s %-12s %-12s %-12s\n", "vertices",
+              "facts", "agree", "t_reduce", "t_backtrack", "t_naive",
+              "t_unionfind");
+  Rng rng(51);
+  Query q2 = MakeQ2();
+  for (int per_side : {2, 3, 4, 5}) {
+    int agree = 0;
+    const int trials = 6;
+    double t_reduce = 0, t_bt = 0, t_naive = 0, t_uf = 0;
+    size_t facts = 0;
+    bool naive_feasible = true;
+    for (int t = 0; t < trials; ++t) {
+      UfaInstance inst = RandomForest(&rng, per_side);
+      Database db{Schema()};
+      t_reduce += benchutil::TimeUs([&] { db = UfaToQ2Database(inst); });
+      facts = db.NumFacts();
+      bool truth = false;
+      t_uf += benchutil::TimeUs([&] { truth = SolveUfa(inst); });
+      bool certain = false;
+      t_bt += benchutil::TimeUs(
+          [&] { certain = IsCertainBacktracking(q2, db).value(); });
+      if (certain == truth) ++agree;
+      if (db.CountRepairs(1 << 16) < (1 << 16)) {
+        t_naive += benchutil::TimeUs(
+            [&] { benchmark::DoNotOptimize(IsCertainNaive(q2, db).value()); });
+      } else {
+        naive_feasible = false;
+      }
+    }
+    std::string naive_str =
+        naive_feasible ? std::to_string(t_naive / trials) : std::string("-");
+    std::printf("%-10d %-8zu %2d/%-7d %-12.1f %-12.1f %-12s %-12.2f\n",
+                2 * per_side, facts, agree, trials, t_reduce / trials,
+                t_bt / trials, naive_str.c_str(), t_uf / trials);
+  }
+  std::printf("(expected shape: full agreement; union-find is microseconds;\n"
+              " naive blows up while branch-and-prune stays usable)\n\n");
+}
+
+void BM_UfaReduction(benchmark::State& state) {
+  Rng rng(53);
+  UfaInstance inst = RandomForest(&rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UfaToQ2Database(inst).NumFacts());
+  }
+}
+BENCHMARK(BM_UfaReduction)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BacktrackingOnUfa(benchmark::State& state) {
+  Rng rng(59);
+  UfaInstance inst = RandomForest(&rng, static_cast<int>(state.range(0)));
+  Database db = UfaToQ2Database(inst);
+  Query q2 = MakeQ2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsCertainBacktracking(q2, db).value());
+  }
+}
+BENCHMARK(BM_BacktrackingOnUfa)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_UnionFindGroundTruth(benchmark::State& state) {
+  Rng rng(61);
+  UfaInstance inst = RandomForest(&rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveUfa(inst));
+  }
+}
+BENCHMARK(BM_UnionFindGroundTruth)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace cqa
+
+CQA_BENCH_MAIN(cqa::Table)

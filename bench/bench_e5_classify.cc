@@ -1,0 +1,130 @@
+// E5 — Theorem 4.3 / Examples 4.1–4.6: attack-graph classification.
+//
+// Reproduces: (i) the classification of every named query in the paper
+// (q0, q1, q2, q3, q_Hall, qa, qb, the cyclic poll queries, q4); (ii) the
+// claim that FO-membership is decidable in polynomial time in |q| — the
+// table shows attack-graph construction time growing polynomially on chain
+// queries of increasing size; (iii) classification statistics over a large
+// random weakly-guarded query population.
+
+#include "bench_util.h"
+#include "cqa/attack/attack_graph.h"
+#include "cqa/attack/classification.h"
+#include "cqa/gen/poll.h"
+#include "cqa/gen/random_query.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/bpm.h"
+#include "cqa/reductions/hall_covering.h"
+#include "cqa/reductions/q4.h"
+#include "cqa/reductions/ufa.h"
+
+namespace cqa {
+namespace {
+
+// R1(x1|x2), R2(x2|x3), ..., Rk(xk|x_{k+1}), plus a final negated atom
+// guarded by the last positive one.
+Query ChainQuery(int k) {
+  std::vector<Literal> literals;
+  for (int i = 0; i < k; ++i) {
+    literals.push_back(Pos(Atom("C" + std::to_string(i), 1,
+                                {Term::Var("x" + std::to_string(i)),
+                                 Term::Var("x" + std::to_string(i + 1))})));
+  }
+  literals.push_back(Neg(Atom("CN", 1,
+                              {Term::Var("x" + std::to_string(k - 1)),
+                               Term::Var("x" + std::to_string(k))})));
+  return Query::MakeOrDie(std::move(literals));
+}
+
+void Table() {
+  benchutil::Header("E5", "classification of CERTAINTY(q) "
+                          "(Theorem 4.3, Examples 4.1-4.6)");
+
+  struct Named {
+    const char* name;
+    Query q;
+    const char* expected;
+  };
+  const Named named[] = {
+      {"q0  = {R(x|y), S(y|x)}", *ParseQuery("R(x | y), S(y | x)"),
+       "L-hard"},
+      {"q1  = {R(x|y), !S(y|x)}", MakeQ1(), "NL-hard (Lemma 5.2)"},
+      {"q2  = {R(x,y), !S(x|y), !T(y|x)}", MakeQ2(), "L-hard (Lemma 5.3)"},
+      {"q3  = {P(x|y), !N(c|y)}", *ParseQuery("P(x | y), not N('c' | y)"),
+       "in FO (Example 4.5)"},
+      {"q41 = Example 4.1", *ParseQuery("P(x, y), not R(x | y), not S(y | x)"),
+       "L-hard (Lemma 5.7)"},
+      {"qHall(3)", MakeHallQuery(3), "in FO (Figure 2)"},
+      {"poll q1 (mayor/lives)", PollQ1(), "not in FO"},
+      {"poll q2 (likes/lives/mayor)", PollQ2(), "not in FO"},
+      {"poll qa", PollQa(), "in FO"},
+      {"poll qb", PollQb(), "in FO"},
+      {"q4  = Example 7.1", MakeQ4(), "outside Theorem 4.3 (in FO by E3)"},
+  };
+  std::printf("%-34s %-6s %-8s %-22s %s\n", "query", "WG?", "acyclic",
+              "classification", "paper");
+  for (const Named& n : named) {
+    Classification c = Classify(n.q);
+    std::printf("%-34s %-6s %-8s %-22s %s\n", n.name,
+                c.weakly_guarded ? "yes" : "no",
+                c.attack_graph_acyclic ? "yes" : "no",
+                ToString(c.cls).c_str(), n.expected);
+  }
+
+  std::printf("\nPTIME decidability: attack graph + classification on chain "
+              "queries\n%-8s %-10s\n", "atoms", "t_us");
+  for (int k : {2, 4, 8, 16, 32, 64}) {
+    Query q = ChainQuery(k);
+    double t = benchutil::MedianTimeUs(5, [&] {
+      benchmark::DoNotOptimize(Classify(q).cls);
+    });
+    std::printf("%-8d %-10.1f\n", k + 1, t);
+  }
+
+  std::printf("\nrandom weakly-guarded population (n = 5000):\n");
+  Rng rng(71);
+  RandomQueryOptions opts;
+  int counts[4] = {0, 0, 0, 0};
+  double t_total = benchutil::TimeUs([&] {
+    for (int i = 0; i < 5000; ++i) {
+      Classification c = Classify(GenerateRandomQuery(opts, &rng));
+      ++counts[static_cast<int>(c.cls)];
+    }
+  });
+  std::printf("  in FO: %d, L-hard: %d, NL-hard: %d, unknown: %d "
+              "(%.1f us/query incl. generation)\n\n",
+              counts[0], counts[1], counts[2], counts[3], t_total / 5000);
+}
+
+void BM_ClassifyNamed(benchmark::State& state) {
+  Query q = MakeHallQuery(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Classify(q).cls);
+  }
+}
+BENCHMARK(BM_ClassifyNamed);
+
+void BM_AttackGraphChain(benchmark::State& state) {
+  Query q = ChainQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AttackGraph(q).IsAcyclic());
+  }
+}
+BENCHMARK(BM_AttackGraphChain)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ClassifyRandom(benchmark::State& state) {
+  Rng rng(73);
+  RandomQueryOptions opts;
+  std::vector<Query> pool;
+  for (int i = 0; i < 64; ++i) pool.push_back(GenerateRandomQuery(opts, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Classify(pool[i++ % pool.size()]).cls);
+  }
+}
+BENCHMARK(BM_ClassifyRandom);
+
+}  // namespace
+}  // namespace cqa
+
+CQA_BENCH_MAIN(cqa::Table)

@@ -1,0 +1,55 @@
+#ifndef CQA_BENCH_BENCH_UTIL_H_
+#define CQA_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment binaries. Each bench_e*.cc reproduces
+// one paper artifact (see DESIGN.md §5 and EXPERIMENTS.md): it prints the
+// experiment's table on stdout and then runs its registered google-benchmark
+// micro-timings.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace cqa::benchutil {
+
+/// Wall-clock microseconds of `fn()`.
+template <typename Fn>
+double TimeUs(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// Median wall-clock microseconds over `reps` runs.
+template <typename Fn>
+double MedianTimeUs(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) times.push_back(TimeUs(fn));
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void Header(const std::string& id, const std::string& title) {
+  std::printf("==========================================================\n");
+  std::printf("%s: %s\n", id.c_str(), title.c_str());
+  std::printf("==========================================================\n");
+}
+
+/// Standard main body: print the experiment table, then micro-benchmarks.
+#define CQA_BENCH_MAIN(TABLE_FN)                       \
+  int main(int argc, char** argv) {                    \
+    TABLE_FN();                                        \
+    benchmark::Initialize(&argc, argv);                \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();               \
+    benchmark::Shutdown();                             \
+    return 0;                                          \
+  }
+
+}  // namespace cqa::benchutil
+
+#endif  // CQA_BENCH_BENCH_UTIL_H_

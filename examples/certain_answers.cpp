@@ -1,0 +1,59 @@
+// Non-Boolean queries: certain answers. The paper (Section 1) notes that
+// free variables are handled by treating them as constants; this example
+// asks "which persons CERTAINLY live in a town they were not born in?" on
+// inconsistent poll data — i.e. the answer holds no matter how the key
+// violations are repaired.
+
+#include <cstdio>
+
+#include "cqa/certainty/certain_answers.h"
+#include "cqa/gen/poll.h"
+
+int main() {
+  using namespace cqa;
+
+  // The query with p free: Lives(p|t), ¬Born(p|t).
+  Query q = Query::MakeOrDie({
+      Pos(Atom("Lives", 1, {Term::Var("p"), Term::Var("t")})),
+      Neg(Atom("Born", 1, {Term::Var("p"), Term::Var("t")})),
+  });
+  std::printf("q(p) = %s  with p free\n\n", q.ToString().c_str());
+
+  Rng rng(7);
+  PollDbOptions opts;
+  opts.num_persons = 10;
+  opts.num_towns = 3;
+  opts.inconsistency = 0.5;
+  Database db = GeneratePollDatabase(opts, &rng);
+  std::printf("poll data: %zu facts, %zu blocks (inconsistent: %s)\n\n",
+              db.NumFacts(), db.NumBlocks(),
+              db.IsConsistent() ? "no" : "yes");
+
+  // Path 1: per-candidate solving through the auto-dispatched solver.
+  Result<CertainAnswers> direct =
+      ComputeCertainAnswers(q, {InternSymbol("p")}, db);
+  if (!direct.ok()) {
+    std::printf("error: %s\n", direct.error().c_str());
+    return 1;
+  }
+  std::printf("certain answers (%zu of %zu candidates):\n",
+              direct->answers.size(), direct->candidates);
+  for (const Tuple& t : direct->answers) {
+    std::printf("  %s\n", t[0].name().c_str());
+  }
+
+  // Path 2: one rewriting with p free, evaluated per candidate.
+  Result<FoPtr> formula = RewriteCertainWithFree(q, {InternSymbol("p")});
+  if (formula.ok()) {
+    std::printf("\nthe p-parameterised rewriting:\n  %s\n",
+                formula.value()->ToString().c_str());
+    Result<CertainAnswers> via_rewriting =
+        CertainAnswersByRewriting(q, {InternSymbol("p")}, db);
+    std::printf("rewriting path agrees: %s\n",
+                (via_rewriting.ok() &&
+                 via_rewriting->answers == direct->answers)
+                    ? "yes"
+                    : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Exporting consistent first-order rewritings as SQL: the practical payoff
+// of Theorem 4.3 is that certain answers become a single SQL query over the
+// inconsistent instance — no repair enumeration, no solver, just a database
+// engine. This example emits a complete, self-contained SQL script (DDL +
+// inserts + the rewriting) for Example 4.6's query qa.
+
+#include <cstdio>
+
+#include "cqa/fo/sql.h"
+#include "cqa/gen/poll.h"
+#include "cqa/rewriting/rewriter.h"
+
+int main() {
+  using namespace cqa;
+
+  Query qa = PollQa();
+  Result<Rewriting> rw = RewriteCertain(qa);
+  if (!rw.ok()) {
+    std::printf("-- no rewriting: %s\n", rw.error().c_str());
+    return 1;
+  }
+
+  std::printf("-- CQA-to-SQL export for qa = %s\n", qa.ToString().c_str());
+  std::printf("-- The SELECT below returns 1 iff qa is true in EVERY repair\n");
+  std::printf("-- of the (possibly key-violating) instance.\n\n");
+
+  Schema schema = PollSchema();
+  std::printf("%s\n", SchemaDdl(schema).c_str());
+  std::printf("%s\n", AdomViewDdl(schema).c_str());
+
+  // A small inconsistent instance.
+  Rng rng(99);
+  PollDbOptions opts;
+  opts.num_persons = 5;
+  opts.num_towns = 3;
+  Database db = GeneratePollDatabase(opts, &rng);
+  for (const RelationSchema& rs : schema.relations()) {
+    for (const Tuple& t : db.FactsOf(rs.name)) {
+      std::printf("INSERT INTO %s VALUES (", SymbolName(rs.name).c_str());
+      for (size_t i = 0; i < t.size(); ++i) {
+        std::printf("%s'%s'", i ? ", " : "", t[i].name().c_str());
+      }
+      std::printf(");\n");
+    }
+  }
+  std::printf("\n%s\n", ToSqlQuery(rw->formula).c_str());
+  return 0;
+}

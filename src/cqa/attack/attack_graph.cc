@@ -1,0 +1,204 @@
+#include "cqa/attack/attack_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "cqa/fd/fd.h"
+
+namespace cqa {
+
+namespace {
+
+// Index of `v` in `list`, or SIZE_MAX.
+size_t IndexOf(const std::vector<Symbol>& list, Symbol v) {
+  auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it == list.end() || *it != v) return SIZE_MAX;
+  return static_cast<size_t>(it - list.begin());
+}
+
+}  // namespace
+
+AttackGraph::AttackGraph(const Query& q) : q_(q), n_(q.NumLiterals()) {
+  // Positive co-occurrence graph over non-reified variables.
+  SymbolSet all_vars = q_.Vars();
+  var_list_ = all_vars.items();
+  var_adj_.assign(var_list_.size(), SymbolSet());
+  for (const Literal& l : q_.literals()) {
+    if (l.negated) continue;
+    SymbolSet vs = l.atom.Vars(q_.reified());
+    for (Symbol x : vs) {
+      size_t xi = IndexOf(var_list_, x);
+      assert(xi != SIZE_MAX);
+      var_adj_[xi].UnionWith(vs);
+    }
+  }
+
+  plus_.reserve(n_);
+  reach_.reserve(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    plus_.push_back(PlusSet(q_, i));
+    SymbolSet sources = q_.atom(i).Vars(q_.reified()).Minus(plus_[i]);
+    reach_.push_back(Reach(sources, plus_[i]));
+  }
+}
+
+SymbolSet AttackGraph::Reach(const SymbolSet& sources,
+                             const SymbolSet& forbidden) const {
+  SymbolSet visited;
+  std::deque<Symbol> frontier;
+  for (Symbol s : sources) {
+    if (!forbidden.contains(s)) {
+      visited.Insert(s);
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    Symbol u = frontier.front();
+    frontier.pop_front();
+    size_t ui = IndexOf(var_list_, u);
+    if (ui == SIZE_MAX) continue;
+    for (Symbol w : var_adj_[ui]) {
+      if (!visited.contains(w) && !forbidden.contains(w)) {
+        visited.Insert(w);
+        frontier.push_back(w);
+      }
+    }
+  }
+  return visited;
+}
+
+SymbolSet AttackGraph::ReachFrom(size_t i, Symbol u) const {
+  const SymbolSet vars = q_.atom(i).Vars(q_.reified());
+  if (!vars.contains(u)) return SymbolSet();
+  SymbolSet sources;
+  sources.Insert(u);
+  return Reach(sources, plus_[i]);
+}
+
+bool AttackGraph::Attacks(size_t i, size_t j) const {
+  if (i == j) return false;
+  return reach_[i].Intersects(q_.atom(j).KeyVars(q_.reified()));
+}
+
+std::vector<std::pair<size_t, size_t>> AttackGraph::Edges() const {
+  std::vector<std::pair<size_t, size_t>> out;
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      if (Attacks(i, j)) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+bool AttackGraph::IsAcyclic() const { return FindCycle().empty(); }
+
+std::optional<std::pair<size_t, size_t>> AttackGraph::FindTwoCycle() const {
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      if (Attacks(i, j) && Attacks(j, i)) return std::make_pair(i, j);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<size_t> AttackGraph::FindCycle() const {
+  // Iterative DFS with colors; returns a cycle as (v, ..., v).
+  enum Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(n_, kWhite);
+  std::vector<size_t> parent(n_, SIZE_MAX);
+  for (size_t root = 0; root < n_; ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<std::pair<size_t, size_t>> stack;  // (node, next j)
+    stack.emplace_back(root, 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      auto& [u, j] = stack.back();
+      if (j < n_) {
+        size_t v = j++;
+        if (v == u || !Attacks(u, v)) continue;
+        if (color[v] == kGray) {
+          // Found a cycle: walk back from u to v.
+          std::vector<size_t> cycle{v};
+          size_t w = u;
+          while (w != v) {
+            cycle.push_back(w);
+            w = parent[w];
+          }
+          cycle.push_back(v);
+          std::reverse(cycle.begin() + 1, cycle.end() - 1);
+          return cycle;
+        }
+        if (color[v] == kWhite) {
+          color[v] = kGray;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+SymbolSet AttackGraph::AttackedVars() const {
+  SymbolSet out;
+  for (size_t i = 0; i < n_; ++i) out.UnionWith(reach_[i]);
+  return out;
+}
+
+std::vector<Symbol> AttackGraph::Witness(size_t i, Symbol w) const {
+  if (!reach_[i].contains(w)) return {};
+  // BFS with parents from the allowed source variables of F_i.
+  SymbolSet sources = q_.atom(i).Vars(q_.reified()).Minus(plus_[i]);
+  std::unordered_map<Symbol, Symbol> parent;
+  std::deque<Symbol> frontier;
+  for (Symbol s : sources) {
+    parent.emplace(s, kNoSymbol);
+    frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    Symbol u = frontier.front();
+    frontier.pop_front();
+    if (u == w) {
+      std::vector<Symbol> path;
+      for (Symbol x = w; x != kNoSymbol; x = parent[x]) path.push_back(x);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    size_t ui = IndexOf(var_list_, u);
+    if (ui == SIZE_MAX) continue;
+    for (Symbol v : var_adj_[ui]) {
+      if (plus_[i].contains(v) || parent.count(v)) continue;
+      parent.emplace(v, u);
+      frontier.push_back(v);
+    }
+  }
+  return {};
+}
+
+std::vector<size_t> AttackGraph::UnattackedNonAllKey() const {
+  std::vector<size_t> out;
+  for (size_t j = 0; j < n_; ++j) {
+    if (q_.atom(j).IsAllKey()) continue;
+    bool attacked = false;
+    for (size_t i = 0; i < n_ && !attacked; ++i) {
+      if (Attacks(i, j)) attacked = true;
+    }
+    if (!attacked) out.push_back(j);
+  }
+  return out;
+}
+
+std::string AttackGraph::ToString() const {
+  std::string out;
+  for (const auto& [i, j] : Edges()) {
+    if (!out.empty()) out += ", ";
+    out += q_.atom(i).relation_name() + " -> " + q_.atom(j).relation_name();
+  }
+  return out.empty() ? "(no attacks)" : out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,93 @@
+#ifndef CQA_ATTACK_ATTACK_GRAPH_H_
+#define CQA_ATTACK_ATTACK_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cqa/base/symbol_set.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// The attack graph of a query in sjfBCQ¬ (Section 4.1, extending [19] to
+/// negated atoms). Vertices are the literals of `q` (indices into
+/// `q.literals()`); there is an edge F → G iff F attacks some variable of
+/// key(G).
+///
+/// Reified variables of `q` are treated as constants throughout. Disequality
+/// constraints correspond to negated all-key atoms (Lemma 6.6) and provably
+/// contribute no attacks, so they are ignored here (see
+/// attack_graph_test.cc::DiseqAtomsNeverAttack).
+class AttackGraph {
+ public:
+  explicit AttackGraph(const Query& q);
+
+  size_t size() const { return n_; }
+  const Query& query() const { return q_; }
+
+  /// F^{⊕,q} of literal `i`.
+  const SymbolSet& plus_set(size_t i) const { return plus_[i]; }
+
+  /// {w : F_i ⇝ w} — all variables attacked by literal `i`.
+  const SymbolSet& reachable_vars(size_t i) const { return reach_[i]; }
+
+  /// {w : F_i|u ⇝ w} — variables attacked starting from `u ∈ vars(F_i)`.
+  /// Empty if `u ∉ vars(F_i)` or `u ∈ F_i^{⊕,q}`.
+  SymbolSet ReachFrom(size_t i, Symbol u) const;
+
+  /// F_i ⇝ w.
+  bool AttacksVar(size_t i, Symbol w) const { return reach_[i].contains(w); }
+
+  /// F_i ⇝ F_j (i ≠ j; self-attacks are undefined and return false).
+  bool Attacks(size_t i, size_t j) const;
+
+  /// All edges (i, j) with F_i ⇝ F_j.
+  std::vector<std::pair<size_t, size_t>> Edges() const;
+
+  bool IsAcyclic() const;
+
+  /// Some 2-cycle {F, G} with F ⇝ G ⇝ F, if the graph is cyclic. By
+  /// Lemma 4.9, a cyclic attack graph of a weakly-guarded query always has
+  /// one; for non-weakly-guarded queries this may be nullopt even if cyclic.
+  std::optional<std::pair<size_t, size_t>> FindTwoCycle() const;
+
+  /// Any cycle (sequence of literal indices, first == last), empty if
+  /// acyclic.
+  std::vector<size_t> FindCycle() const;
+
+  /// Variables attacked by at least one atom. By Corollary 6.9 /
+  /// Proposition 7.2, for weakly-guarded queries the reifiable variables are
+  /// exactly the unattacked ones.
+  SymbolSet AttackedVars() const;
+
+  /// A witness sequence (u_0, ..., u_ℓ = w) for F_i ⇝ w, empty if no attack.
+  std::vector<Symbol> Witness(size_t i, Symbol w) const;
+
+  /// Literals whose atom is not all-key and that no atom attacks. The
+  /// rewriting algorithm picks from these (nonempty whenever the graph is
+  /// acyclic and some atom is not all-key).
+  std::vector<size_t> UnattackedNonAllKey() const;
+
+  /// Renders edges as "R -> S, ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  // BFS over the positive co-occurrence graph from `sources`, avoiding
+  // `forbidden`; returns every variable reached (sources included if
+  // allowed).
+  SymbolSet Reach(const SymbolSet& sources, const SymbolSet& forbidden) const;
+
+  Query q_;
+  size_t n_;
+  std::vector<SymbolSet> plus_;   // F^{⊕,q} per literal
+  std::vector<SymbolSet> reach_;  // attacked variables per literal
+  // Positive co-occurrence adjacency over non-reified variables.
+  std::vector<Symbol> var_list_;
+  std::vector<SymbolSet> var_adj_;  // parallel to var_list_
+};
+
+}  // namespace cqa
+
+#endif  // CQA_ATTACK_ATTACK_GRAPH_H_

@@ -1,0 +1,112 @@
+#include "cqa/attack/classification.h"
+
+#include "cqa/attack/attack_graph.h"
+
+namespace cqa {
+
+std::string ToString(CertaintyClass c) {
+  switch (c) {
+    case CertaintyClass::kFO:
+      return "in FO";
+    case CertaintyClass::kLHard:
+      return "L-hard (not in FO)";
+    case CertaintyClass::kNLHard:
+      return "NL-hard (not in FO)";
+    case CertaintyClass::kUnknown:
+      return "unknown (outside Theorem 4.3)";
+  }
+  return "?";
+}
+
+Classification Classify(const Query& q) {
+  Classification out;
+  out.weakly_guarded = q.IsWeaklyGuarded();
+  out.guarded = q.IsGuarded();
+
+  AttackGraph graph(q);
+  out.attack_graph_acyclic = graph.IsAcyclic();
+  out.two_cycle = graph.FindTwoCycle();
+  if (out.two_cycle.has_value()) {
+    out.negated_in_cycle =
+        static_cast<int>(q.IsNegated(out.two_cycle->first)) +
+        static_cast<int>(q.IsNegated(out.two_cycle->second));
+  }
+
+  if (out.attack_graph_acyclic) {
+    if (out.weakly_guarded) {
+      out.cls = CertaintyClass::kFO;
+      out.explanation =
+          "attack graph acyclic and negation weakly guarded: consistent "
+          "first-order rewriting exists (Theorem 4.3(2))";
+    } else {
+      out.cls = CertaintyClass::kUnknown;
+      out.explanation =
+          "attack graph acyclic but negation not weakly guarded: acyclicity "
+          "is not sufficient for FO membership (Section 7)";
+    }
+    return out;
+  }
+
+  // Cyclic attack graph: scan every 2-cycle and report the strongest
+  // hardness bound the paper's lemmas give. A 2-cycle with exactly one
+  // negated atom yields NL-hardness (Lemma 5.6) and is preferred over the
+  // L-hardness of all-positive (Lemma 5.5) or all-negated (Lemma 5.7)
+  // 2-cycles; Lemmas 5.5/5.6 hold without the weak-guardedness hypothesis.
+  std::optional<std::pair<size_t, size_t>> best;
+  int best_rank = -1;  // 2: NL (mixed); 1: L (positive); 0: L (negated, WG)
+  for (size_t i = 0; i < q.NumLiterals(); ++i) {
+    for (size_t j = i + 1; j < q.NumLiterals(); ++j) {
+      if (!graph.Attacks(i, j) || !graph.Attacks(j, i)) continue;
+      int negated =
+          static_cast<int>(q.IsNegated(i)) + static_cast<int>(q.IsNegated(j));
+      int rank = negated == 1 ? 2
+                 : negated == 0 ? 1
+                                : (out.weakly_guarded ? 0 : -1);
+      if (rank > best_rank) {
+        best_rank = rank;
+        best = std::make_pair(i, j);
+      }
+    }
+  }
+  if (best.has_value()) {
+    out.two_cycle = best;
+    out.negated_in_cycle = static_cast<int>(q.IsNegated(best->first)) +
+                           static_cast<int>(q.IsNegated(best->second));
+    if (best_rank == 2) {
+      out.cls = CertaintyClass::kNLHard;
+      out.explanation =
+          "2-cycle with one negated atom: NL-hard by Lemma 5.6 "
+          "(holds without weak guardedness)";
+    } else if (best_rank == 1) {
+      out.cls = CertaintyClass::kLHard;
+      out.explanation =
+          "2-cycle between non-negated atoms: L-hard by Lemma 5.5 "
+          "(holds without weak guardedness)";
+    } else {
+      out.cls = CertaintyClass::kLHard;
+      out.explanation =
+          "2-cycle between negated atoms under weak guardedness: L-hard by "
+          "Lemma 5.7";
+    }
+    return out;
+  }
+  if (out.two_cycle.has_value()) {
+    // Only 2-cycles between negated atoms without weak guardedness.
+    out.cls = CertaintyClass::kUnknown;
+    out.explanation =
+        "2-cycle between negated atoms but negation is not weakly guarded: "
+        "Lemma 5.7 does not apply (Example 7.1 shows such queries can be in "
+        "FO)";
+    return out;
+  }
+
+  // Cyclic without a 2-cycle: by Lemma 4.9 this cannot happen under weak
+  // guardedness.
+  out.cls = CertaintyClass::kUnknown;
+  out.explanation =
+      "cyclic attack graph without a 2-cycle; possible only for "
+      "non-weakly-guarded negation (contrapositive of Lemma 4.9)";
+  return out;
+}
+
+}  // namespace cqa

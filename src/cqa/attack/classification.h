@@ -1,0 +1,49 @@
+#ifndef CQA_ATTACK_CLASSIFICATION_H_
+#define CQA_ATTACK_CLASSIFICATION_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Complexity classification of CERTAINTY(q) per Theorem 4.3 and Section 7.
+enum class CertaintyClass {
+  /// Attack graph acyclic and negation weakly guarded: CERTAINTY(q) has a
+  /// consistent first-order rewriting.
+  kFO,
+  /// Not in FO; L-hard (2-cycle with zero negated atoms, Lemma 5.5, or two
+  /// negated atoms under weak guardedness, Lemma 5.7).
+  kLHard,
+  /// Not in FO; NL-hard (2-cycle with exactly one negated atom, Lemma 5.6;
+  /// holds without the weak-guardedness hypothesis).
+  kNLHard,
+  /// Negation is not weakly guarded and no unconditional hardness lemma
+  /// applies: Theorem 4.3 does not cover this query (Section 7 shows both
+  /// outcomes are possible).
+  kUnknown,
+};
+
+std::string ToString(CertaintyClass c);
+
+/// Full classification report for a query.
+struct Classification {
+  CertaintyClass cls = CertaintyClass::kUnknown;
+  bool weakly_guarded = false;
+  bool guarded = false;
+  bool attack_graph_acyclic = false;
+  /// A 2-cycle witnessing hardness, if one exists (literal indices).
+  std::optional<std::pair<size_t, size_t>> two_cycle;
+  /// Number of negated atoms in `two_cycle` (0, 1 or 2).
+  int negated_in_cycle = 0;
+  std::string explanation;
+};
+
+/// Classifies CERTAINTY(q). Runs in polynomial time in |q|.
+Classification Classify(const Query& q);
+
+}  // namespace cqa
+
+#endif  // CQA_ATTACK_CLASSIFICATION_H_

@@ -1,0 +1,25 @@
+#include "cqa/attack/dot.h"
+
+namespace cqa {
+
+std::string AttackGraphToDot(const AttackGraph& graph) {
+  const Query& q = graph.query();
+  std::string out = "digraph attack_graph {\n";
+  out += "  rankdir=LR;\n";
+  for (size_t i = 0; i < q.NumLiterals(); ++i) {
+    const Literal& l = q.literal(i);
+    out += "  n" + std::to_string(i) + " [label=\"" + l.ToString() + "\"";
+    if (l.negated) out += ", shape=box";
+    out += "];\n";
+  }
+  for (const auto& [i, j] : graph.Edges()) {
+    bool in_two_cycle = graph.Attacks(j, i);
+    out += "  n" + std::to_string(i) + " -> n" + std::to_string(j);
+    if (in_two_cycle) out += " [color=red, penwidth=2]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cqa

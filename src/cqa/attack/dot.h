@@ -1,0 +1,17 @@
+#ifndef CQA_ATTACK_DOT_H_
+#define CQA_ATTACK_DOT_H_
+
+#include <string>
+
+#include "cqa/attack/attack_graph.h"
+
+namespace cqa {
+
+/// Renders an attack graph in Graphviz DOT format: one node per literal
+/// (negated atoms drawn as boxes), one edge per attack, with 2-cycles
+/// highlighted in red. Pipe into `dot -Tsvg` for the paper-style pictures.
+std::string AttackGraphToDot(const AttackGraph& graph);
+
+}  // namespace cqa
+
+#endif  // CQA_ATTACK_DOT_H_

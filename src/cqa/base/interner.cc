@@ -1,0 +1,60 @@
+#include "cqa/base/interner.h"
+
+#include <cassert>
+#include <memory>
+
+namespace cqa {
+
+Interner& Interner::Global() {
+  static Interner& instance = *new Interner();
+  return instance;
+}
+
+Symbol Interner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(names_.size());
+  names_.push_back(std::make_unique<std::string>(s));
+  ids_.emplace(*names_.back(), id);
+  return id;
+}
+
+const std::string& Interner::NameOf(Symbol id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id >= 0 && static_cast<size_t>(id) < names_.size());
+  return *names_[static_cast<size_t>(id)];
+}
+
+Symbol Interner::Fresh(std::string_view prefix) {
+  while (true) {
+    std::string candidate;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      candidate = std::string(prefix) + "#" + std::to_string(fresh_counter_++);
+      if (ids_.find(candidate) == ids_.end()) {
+        Symbol id = static_cast<Symbol>(names_.size());
+        names_.push_back(std::make_unique<std::string>(candidate));
+        ids_.emplace(*names_.back(), id);
+        return id;
+      }
+    }
+  }
+}
+
+size_t Interner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+Symbol InternSymbol(std::string_view s) { return Interner::Global().Intern(s); }
+
+const std::string& SymbolName(Symbol id) {
+  return Interner::Global().NameOf(id);
+}
+
+Symbol FreshSymbol(std::string_view prefix) {
+  return Interner::Global().Fresh(prefix);
+}
+
+}  // namespace cqa

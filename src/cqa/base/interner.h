@@ -1,0 +1,64 @@
+#ifndef CQA_BASE_INTERNER_H_
+#define CQA_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cqa {
+
+/// A dense integer id for an interned string. Symbols are used for relation
+/// names, variable names, and the spellings of constants. Two symbols are
+/// equal iff their underlying strings are equal.
+using Symbol = int32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr Symbol kNoSymbol = -1;
+
+/// Process-wide, thread-safe string interner. All names used by the library
+/// (relations, variables, constants) are interned here so that comparisons
+/// and hashing are O(1).
+class Interner {
+ public:
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the singleton interner.
+  static Interner& Global();
+
+  /// Interns `s`, returning its dense id. Idempotent.
+  Symbol Intern(std::string_view s);
+
+  /// Returns the string for a previously interned symbol.
+  const std::string& NameOf(Symbol id) const;
+
+  /// Returns a symbol whose name starts with `prefix` and that has never been
+  /// returned by `Intern` or `Fresh` before (e.g. "z#17").
+  Symbol Fresh(std::string_view prefix);
+
+  /// Number of interned strings (for diagnostics).
+  size_t size() const;
+
+ private:
+  Interner() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Symbol> ids_;
+  // Deque-like stable storage: vector of pointers so NameOf stays valid
+  // across rehash/regrowth without holding the lock at the caller.
+  std::vector<std::unique_ptr<std::string>> names_;
+  int64_t fresh_counter_ = 0;
+};
+
+/// Convenience wrappers around the global interner.
+Symbol InternSymbol(std::string_view s);
+const std::string& SymbolName(Symbol id);
+Symbol FreshSymbol(std::string_view prefix);
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_INTERNER_H_

@@ -1,0 +1,56 @@
+#ifndef CQA_BASE_RESULT_H_
+#define CQA_BASE_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cqa {
+
+/// A value-or-error-message result type. The library does not use exceptions;
+/// fallible operations return `Result<T>`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result.
+  static Result Error(std::string message) {
+    return Result(ErrorTag{}, std::move(message));
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& operator*() const { return value(); }
+  const T* operator->() const { return &value(); }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<ErrorString>(data_).message;
+  }
+
+ private:
+  struct ErrorTag {};
+  struct ErrorString {
+    std::string message;
+  };
+  Result(ErrorTag, std::string message)
+      : data_(ErrorString{std::move(message)}) {}
+
+  std::variant<T, ErrorString> data_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_RESULT_H_

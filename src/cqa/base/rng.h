@@ -1,0 +1,36 @@
+#ifndef CQA_BASE_RNG_H_
+#define CQA_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace cqa {
+
+/// A small deterministic pseudo-random generator (splitmix64). Used by the
+/// workload generators and property tests so that every run is reproducible
+/// from a seed, independent of the standard library implementation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with probability `p` (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_RNG_H_

@@ -1,0 +1,120 @@
+#ifndef CQA_BASE_SYMBOL_SET_H_
+#define CQA_BASE_SYMBOL_SET_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "cqa/base/interner.h"
+
+namespace cqa {
+
+/// A small set of symbols, stored as a sorted, duplicate-free vector.
+/// Queries have a handful of variables, so linear/merge operations beat
+/// hash sets here and give deterministic iteration order.
+class SymbolSet {
+ public:
+  SymbolSet() = default;
+  SymbolSet(std::initializer_list<Symbol> items)
+      : items_(items) {
+    Normalize();
+  }
+  explicit SymbolSet(std::vector<Symbol> items) : items_(std::move(items)) {
+    Normalize();
+  }
+
+  bool contains(Symbol s) const {
+    return std::binary_search(items_.begin(), items_.end(), s);
+  }
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+
+  void Insert(Symbol s) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), s);
+    if (it == items_.end() || *it != s) items_.insert(it, s);
+  }
+  void Erase(Symbol s) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), s);
+    if (it != items_.end() && *it == s) items_.erase(it);
+  }
+
+  /// In-place union.
+  void UnionWith(const SymbolSet& other) {
+    std::vector<Symbol> merged;
+    merged.reserve(items_.size() + other.items_.size());
+    std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                   other.items_.end(), std::back_inserter(merged));
+    items_ = std::move(merged);
+  }
+
+  bool IsSubsetOf(const SymbolSet& other) const {
+    return std::includes(other.items_.begin(), other.items_.end(),
+                         items_.begin(), items_.end());
+  }
+
+  bool Intersects(const SymbolSet& other) const {
+    auto a = items_.begin();
+    auto b = other.items_.begin();
+    while (a != items_.end() && b != other.items_.end()) {
+      if (*a == *b) return true;
+      if (*a < *b) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    return false;
+  }
+
+  SymbolSet Union(const SymbolSet& other) const {
+    SymbolSet out = *this;
+    out.UnionWith(other);
+    return out;
+  }
+
+  SymbolSet Minus(const SymbolSet& other) const {
+    SymbolSet out;
+    std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  SymbolSet Intersect(const SymbolSet& other) const {
+    SymbolSet out;
+    std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                          other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  const std::vector<Symbol>& items() const { return items_; }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  friend bool operator==(const SymbolSet& a, const SymbolSet& b) {
+    return a.items_ == b.items_;
+  }
+
+  /// Renders as "{x, y, z}" using symbol names.
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += SymbolName(items_[i]);
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  void Normalize() {
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  }
+
+  std::vector<Symbol> items_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_SYMBOL_SET_H_

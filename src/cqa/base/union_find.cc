@@ -1,0 +1,36 @@
+#include "cqa/base/union_find.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace cqa {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_components_(static_cast<int>(n)) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::Find(int x) {
+  assert(x >= 0 && static_cast<size_t>(x) < parent_.size());
+  int root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    int next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_components_;
+  return true;
+}
+
+}  // namespace cqa

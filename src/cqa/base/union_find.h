@@ -1,0 +1,35 @@
+#ifndef CQA_BASE_UNION_FIND_H_
+#define CQA_BASE_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cqa {
+
+/// Disjoint-set forest with path compression and union by size. Used by the
+/// UFA (Undirected Forest Accessibility) ground-truth solver of Lemma 5.3.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Representative of `x`'s component.
+  int Find(int x);
+
+  /// Merges the components of `a` and `b`. Returns false if already merged.
+  bool Union(int a, int b);
+
+  /// True iff `a` and `b` are in the same component.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  /// Number of components.
+  int num_components() const { return num_components_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int num_components_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_UNION_FIND_H_

@@ -1,0 +1,15 @@
+#include "cqa/base/value.h"
+
+namespace cqa {
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].valid() ? t[i].name() : std::string("<invalid>");
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,80 @@
+#ifndef CQA_BASE_VALUE_H_
+#define CQA_BASE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cqa/base/interner.h"
+
+namespace cqa {
+
+/// A database constant. Values are interned strings, so equality and hashing
+/// are O(1). Pair values `<a,b>` (used by the Θ-valuation reductions of
+/// Lemmas 5.6/5.7) are represented by interning the compound spelling.
+class Value {
+ public:
+  /// Constructs the invalid value. Use `Value::Of` for real constants.
+  Value() : id_(kNoSymbol) {}
+
+  /// Interns `name` as a constant.
+  static Value Of(std::string_view name) { return Value(InternSymbol(name)); }
+
+  /// Interns the decimal spelling of `n`.
+  static Value OfInt(int64_t n) { return Of(std::to_string(n)); }
+
+  /// The pair constant `<a,b>`.
+  static Value Pair(Value a, Value b) {
+    return Of("<" + a.name() + "," + b.name() + ">");
+  }
+
+  /// A constant guaranteed to be distinct from all previously created ones.
+  static Value Fresh(std::string_view prefix) {
+    return Value(FreshSymbol(prefix));
+  }
+
+  /// Wraps a raw interned symbol.
+  static Value FromSymbol(Symbol s) { return Value(s); }
+
+  bool valid() const { return id_ != kNoSymbol; }
+  Symbol id() const { return id_; }
+  const std::string& name() const { return SymbolName(id_); }
+
+  friend bool operator==(Value a, Value b) { return a.id_ == b.id_; }
+  friend bool operator!=(Value a, Value b) { return a.id_ != b.id_; }
+  friend bool operator<(Value a, Value b) { return a.id_ < b.id_; }
+
+ private:
+  explicit Value(Symbol id) : id_(id) {}
+
+  Symbol id_;
+};
+
+/// A tuple of constants (one fact's columns, or a block key).
+using Tuple = std::vector<Value>;
+
+struct ValueHash {
+  size_t operator()(Value v) const {
+    return std::hash<int32_t>()(v.id());
+  }
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (Value v : t) {
+      h ^= static_cast<size_t>(v.id()) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Renders a tuple as "(a, b, c)".
+std::string TupleToString(const Tuple& t);
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_VALUE_H_

@@ -1,0 +1,144 @@
+#include "cqa/certainty/certain_answers.h"
+
+#include <algorithm>
+
+#include "cqa/certainty/solver.h"
+#include "cqa/fo/eval.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace cqa {
+
+namespace {
+
+// Candidate values for one free variable: the values of some positive
+// column in which it occurs (every certain answer must embed a positive
+// atom into every repair, hence into db).
+Result<std::vector<Value>> CandidatesFor(const Query& q, Symbol v,
+                                         const Database& db) {
+  for (const Literal& l : q.literals()) {
+    if (l.negated) continue;
+    for (int i = 0; i < l.atom.arity(); ++i) {
+      if (l.atom.term(i).is_variable() && l.atom.term(i).var() == v) {
+        std::vector<Value> out;
+        std::unordered_map<Value, bool, ValueHash> seen;
+        db.ForEachFact(l.atom.relation(), [&](const Tuple& t) {
+          if (seen.emplace(t[static_cast<size_t>(i)], true).second) {
+            out.push_back(t[static_cast<size_t>(i)]);
+          }
+          return true;
+        });
+        return out;
+      }
+    }
+  }
+  return Result<std::vector<Value>>::Error(
+      "free variable '" + SymbolName(v) +
+      "' does not occur in a non-negated atom");
+}
+
+void SortAnswers(std::vector<Tuple>* answers) {
+  std::sort(answers->begin(), answers->end(),
+            [](const Tuple& a, const Tuple& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                if (a[i] != b[i]) return a[i].name() < b[i].name();
+              }
+              return a.size() < b.size();
+            });
+}
+
+// Enumerates the cartesian product of candidates, invoking `fn` per tuple.
+// Returns false if `fn` reported an error.
+bool ForEachCandidate(const std::vector<std::vector<Value>>& candidates,
+                      const std::function<bool(const Tuple&)>& fn) {
+  Tuple current(candidates.size());
+  std::function<bool(size_t)> rec = [&](size_t i) {
+    if (i == candidates.size()) return fn(current);
+    for (Value v : candidates[i]) {
+      current[i] = v;
+      if (!rec(i + 1)) return false;
+    }
+    return true;
+  };
+  return rec(0);
+}
+
+Result<std::vector<std::vector<Value>>> AllCandidates(
+    const Query& q, const std::vector<Symbol>& free_vars,
+    const Database& db) {
+  std::vector<std::vector<Value>> candidates;
+  for (Symbol v : free_vars) {
+    Result<std::vector<Value>> c = CandidatesFor(q, v, db);
+    if (!c.ok()) return Result<std::vector<std::vector<Value>>>::Error(
+        c.error());
+    candidates.push_back(std::move(c.value()));
+  }
+  return candidates;
+}
+
+}  // namespace
+
+Result<CertainAnswers> ComputeCertainAnswers(
+    const Query& q, const std::vector<Symbol>& free_vars,
+    const Database& db) {
+  Result<std::vector<std::vector<Value>>> candidates =
+      AllCandidates(q, free_vars, db);
+  if (!candidates.ok()) return Result<CertainAnswers>::Error(
+      candidates.error());
+
+  CertainAnswers out;
+  out.free_vars = free_vars;
+  std::string error;
+  ForEachCandidate(*candidates, [&](const Tuple& tuple) {
+    ++out.candidates;
+    Query ground = q;
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      ground = ground.Substituted(free_vars[i], tuple[i]);
+    }
+    Result<SolveReport> report = SolveCertainty(ground, db);
+    if (!report.ok()) {
+      error = report.error();
+      return false;
+    }
+    if (report->certain) out.answers.push_back(tuple);
+    return true;
+  });
+  if (!error.empty()) return Result<CertainAnswers>::Error(error);
+  SortAnswers(&out.answers);
+  return out;
+}
+
+Result<FoPtr> RewriteCertainWithFree(const Query& q,
+                                     const std::vector<Symbol>& free_vars) {
+  Result<Rewriting> rw =
+      RewriteCertain(q.WithReified(SymbolSet(free_vars)), {});
+  if (!rw.ok()) return Result<FoPtr>::Error(rw.error());
+  return rw->formula;
+}
+
+Result<CertainAnswers> CertainAnswersByRewriting(
+    const Query& q, const std::vector<Symbol>& free_vars,
+    const Database& db) {
+  Result<FoPtr> formula = RewriteCertainWithFree(q, free_vars);
+  if (!formula.ok()) return Result<CertainAnswers>::Error(formula.error());
+  Result<std::vector<std::vector<Value>>> candidates =
+      AllCandidates(q, free_vars, db);
+  if (!candidates.ok()) return Result<CertainAnswers>::Error(
+      candidates.error());
+
+  CertainAnswers out;
+  out.free_vars = free_vars;
+  FoEvaluator eval(db);
+  ForEachCandidate(*candidates, [&](const Tuple& tuple) {
+    ++out.candidates;
+    Valuation env;
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      env.emplace(free_vars[i], tuple[i]);
+    }
+    if (eval.Eval(formula.value(), env)) out.answers.push_back(tuple);
+    return true;
+  });
+  SortAnswers(&out.answers);
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,52 @@
+#ifndef CQA_CERTAINTY_CERTAIN_ANSWERS_H_
+#define CQA_CERTAINTY_CERTAIN_ANSWERS_H_
+
+#include <vector>
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/fo/formula.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Certain answers for non-Boolean queries. The paper (Section 1) notes
+/// that free variables can be treated as constants; concretely, a tuple c̄
+/// is a *certain answer* for q with free variables x̄ iff q[x̄→c̄] is true in
+/// every repair. Candidate tuples need only range over the database columns
+/// in which the free variables occur positively (any certain answer must
+/// match a positive atom in every repair).
+
+struct CertainAnswers {
+  /// The free variables, in the order of the answer tuples.
+  std::vector<Symbol> free_vars;
+  /// All certain answer tuples, lexicographically sorted.
+  std::vector<Tuple> answers;
+  /// Number of candidate tuples examined.
+  size_t candidates = 0;
+};
+
+/// Computes the certain answers of `q` with free variables `free_vars` on
+/// `db`, deciding each candidate with the auto-dispatched solver. Fails if
+/// a free variable does not occur in a positive atom, or if the underlying
+/// solver fails.
+Result<CertainAnswers> ComputeCertainAnswers(
+    const Query& q, const std::vector<Symbol>& free_vars, const Database& db);
+
+/// Builds a consistent first-order rewriting for q(x̄) with the free
+/// variables `free_vars` left free in the output formula (they are treated
+/// as constants during construction, exactly as in the proof of Lemma 6.1).
+/// Evaluating the formula under a binding of x̄ decides whether that binding
+/// is a certain answer. Requires the FO conditions of Theorem 4.3 with x̄
+/// treated as constants.
+Result<FoPtr> RewriteCertainWithFree(const Query& q,
+                                     const std::vector<Symbol>& free_vars);
+
+/// Certain answers computed by evaluating `RewriteCertainWithFree`'s
+/// formula on every candidate binding.
+Result<CertainAnswers> CertainAnswersByRewriting(
+    const Query& q, const std::vector<Symbol>& free_vars, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_CERTAINTY_CERTAIN_ANSWERS_H_

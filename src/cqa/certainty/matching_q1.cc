@@ -1,0 +1,74 @@
+#include "cqa/certainty/matching_q1.h"
+
+#include <unordered_map>
+
+#include "cqa/matching/hopcroft_karp.h"
+
+namespace cqa {
+
+std::optional<size_t> DetectQ1Shape(const Query& q) {
+  if (q.NumLiterals() != 2 || !q.diseqs().empty() || !q.reified().empty()) {
+    return std::nullopt;
+  }
+  size_t pos, neg;
+  if (!q.IsNegated(0) && q.IsNegated(1)) {
+    pos = 0;
+    neg = 1;
+  } else if (q.IsNegated(0) && !q.IsNegated(1)) {
+    pos = 1;
+    neg = 0;
+  } else {
+    return std::nullopt;
+  }
+  const Atom& r = q.atom(pos);
+  const Atom& s = q.atom(neg);
+  if (r.arity() != 2 || r.key_len() != 1 || s.arity() != 2 ||
+      s.key_len() != 1) {
+    return std::nullopt;
+  }
+  for (const Term& t : r.terms()) {
+    if (!t.is_variable()) return std::nullopt;
+  }
+  for (const Term& t : s.terms()) {
+    if (!t.is_variable()) return std::nullopt;
+  }
+  Symbol x = r.term(0).var();
+  Symbol y = r.term(1).var();
+  if (x == y) return std::nullopt;
+  if (s.term(0).var() != y || s.term(1).var() != x) return std::nullopt;
+  return pos;
+}
+
+std::optional<bool> IsCertainQ1ByMatching(const Query& q, const Database& db) {
+  std::optional<size_t> pos = DetectQ1Shape(q);
+  if (!pos.has_value()) return std::nullopt;
+  Symbol rel_r = q.atom(*pos).relation();
+  Symbol rel_s = q.atom(1 - *pos).relation();
+
+  // Collect R-block keys (left side) and S-block keys (right side).
+  std::unordered_map<Value, int, ValueHash> left_ids;
+  std::unordered_map<Value, int, ValueHash> right_ids;
+  db.ForEachFact(rel_r, [&](const Tuple& t) {
+    left_ids.emplace(t[0], static_cast<int>(left_ids.size()));
+    return true;
+  });
+  db.ForEachFact(rel_s, [&](const Tuple& t) {
+    right_ids.emplace(t[0], static_cast<int>(right_ids.size()));
+    return true;
+  });
+
+  BipartiteGraph g(static_cast<int>(left_ids.size()),
+                   static_cast<int>(right_ids.size()));
+  db.ForEachFact(rel_r, [&](const Tuple& t) {
+    // Edge a—b iff R(a,b) ∈ db and S(b,a) ∈ db.
+    if (db.Contains(rel_s, Tuple{t[1], t[0]})) {
+      g.AddEdge(left_ids.at(t[0]), right_ids.at(t[1]));
+    }
+    return true;
+  });
+
+  bool falsifier_exists = HasLeftPerfectMatching(g);
+  return !falsifier_exists;
+}
+
+}  // namespace cqa

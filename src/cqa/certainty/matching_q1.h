@@ -1,0 +1,27 @@
+#ifndef CQA_CERTAINTY_MATCHING_Q1_H_
+#define CQA_CERTAINTY_MATCHING_Q1_H_
+
+#include <optional>
+
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Shape detection for the paper's canonical query
+///   q1 = { R(x | y), ¬S(y | x) }
+/// up to renaming of relations and variables (both atoms binary and
+/// simple-key, variables crossed, no constants). Returns the literal index
+/// of the positive atom, or nullopt.
+std::optional<size_t> DetectQ1Shape(const Query& q);
+
+/// Polynomial-time solver for q1-shaped queries. By (the argument of)
+/// Lemma 5.2, a repair falsifying q1 exists iff the bipartite graph
+///   { R-block keys } × { S-block keys },  a—b iff R(a,b) ∈ db ∧ S(b,a) ∈ db
+/// has a matching saturating every R-block. CERTAINTY(q1) is the complement.
+/// Returns nullopt if `q` is not q1-shaped.
+std::optional<bool> IsCertainQ1ByMatching(const Query& q, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_CERTAINTY_MATCHING_Q1_H_

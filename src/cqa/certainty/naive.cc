@@ -1,0 +1,40 @@
+#include "cqa/certainty/naive.h"
+
+#include "cqa/db/eval.h"
+#include "cqa/db/repairs.h"
+
+namespace cqa {
+
+Result<bool> IsCertainNaive(const Query& q, const Database& db,
+                            const NaiveOptions& options) {
+  if (db.CountRepairs(options.max_repairs) >= options.max_repairs) {
+    return Result<bool>::Error(
+        "database has too many repairs for naive enumeration");
+  }
+  bool certain = true;
+  ForEachRepair(db, [&](const Repair& r) {
+    if (!Satisfies(q, r)) {
+      certain = false;
+      return false;
+    }
+    return true;
+  });
+  return certain;
+}
+
+Result<RepairCount> CountSatisfyingRepairs(const Query& q, const Database& db,
+                                           const NaiveOptions& options) {
+  if (db.CountRepairs(options.max_repairs) >= options.max_repairs) {
+    return Result<RepairCount>::Error(
+        "database has too many repairs for naive enumeration");
+  }
+  RepairCount out;
+  ForEachRepair(db, [&](const Repair& r) {
+    ++out.total;
+    if (Satisfies(q, r)) ++out.satisfying;
+    return true;
+  });
+  return out;
+}
+
+}  // namespace cqa

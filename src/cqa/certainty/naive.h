@@ -1,0 +1,34 @@
+#ifndef CQA_CERTAINTY_NAIVE_H_
+#define CQA_CERTAINTY_NAIVE_H_
+
+#include <cstdint>
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+struct NaiveOptions {
+  /// Abort (with an error) if the database has more repairs than this.
+  uint64_t max_repairs = 1u << 22;
+};
+
+/// Decides CERTAINTY(q) by enumerating every repair — the definitional
+/// oracle. Exponential in the number of non-singleton blocks; used to
+/// validate every other solver.
+Result<bool> IsCertainNaive(const Query& q, const Database& db,
+                            const NaiveOptions& options = {});
+
+/// #repairs(q): the number of repairs satisfying q, and the total number of
+/// repairs (the counting problem ♯CERTAINTY(q) of Section 2's related work).
+struct RepairCount {
+  uint64_t satisfying = 0;
+  uint64_t total = 0;
+};
+Result<RepairCount> CountSatisfyingRepairs(const Query& q, const Database& db,
+                                           const NaiveOptions& options = {});
+
+}  // namespace cqa
+
+#endif  // CQA_CERTAINTY_NAIVE_H_

@@ -1,0 +1,24 @@
+#include "cqa/certainty/rewriting_solver.h"
+
+#include "cqa/fo/eval.h"
+
+namespace cqa {
+
+Result<RewritingSolver> RewritingSolver::Create(
+    const Query& q, const RewriterOptions& options) {
+  Result<Rewriting> r = RewriteCertain(q, options);
+  if (!r.ok()) return Result<RewritingSolver>::Error(r.error());
+  return RewritingSolver(std::move(r.value()));
+}
+
+bool RewritingSolver::IsCertain(const Database& db) const {
+  return EvalFo(rewriting_.formula, db);
+}
+
+Result<bool> IsCertainByRewriting(const Query& q, const Database& db) {
+  Result<RewritingSolver> solver = RewritingSolver::Create(q);
+  if (!solver.ok()) return Result<bool>::Error(solver.error());
+  return solver->IsCertain(db);
+}
+
+}  // namespace cqa

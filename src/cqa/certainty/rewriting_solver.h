@@ -1,0 +1,38 @@
+#ifndef CQA_CERTAINTY_REWRITING_SOLVER_H_
+#define CQA_CERTAINTY_REWRITING_SOLVER_H_
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace cqa {
+
+/// CERTAINTY solver that builds the consistent first-order rewriting once
+/// (Lemma 6.1) and answers by evaluating the formula — the "run it as SQL"
+/// execution model. Construction cost can be exponential in |q|
+/// (Example 6.12), evaluation is data-complexity AC⁰.
+class RewritingSolver {
+ public:
+  /// Fails if CERTAINTY(q) is not in the FO fragment of Theorem 4.3.
+  static Result<RewritingSolver> Create(const Query& q,
+                                        const RewriterOptions& options = {});
+
+  /// Decides whether q holds in every repair of db.
+  bool IsCertain(const Database& db) const;
+
+  const Rewriting& rewriting() const { return rewriting_; }
+
+ private:
+  explicit RewritingSolver(Rewriting rewriting)
+      : rewriting_(std::move(rewriting)) {}
+
+  Rewriting rewriting_;
+};
+
+/// One-shot convenience wrapper.
+Result<bool> IsCertainByRewriting(const Query& q, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_CERTAINTY_REWRITING_SOLVER_H_

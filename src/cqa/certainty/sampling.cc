@@ -1,0 +1,24 @@
+#include "cqa/certainty/sampling.h"
+
+#include "cqa/db/eval.h"
+#include "cqa/db/repairs.h"
+
+namespace cqa {
+
+SampleEstimate EstimateCertainty(const Query& q, const Database& db,
+                                 uint64_t max_samples, Rng* rng) {
+  SampleEstimate out;
+  for (uint64_t i = 0; i < max_samples; ++i) {
+    Repair r = RandomRepair(db, rng);
+    ++out.samples;
+    if (Satisfies(q, r)) {
+      ++out.satisfying;
+    } else {
+      out.refuted = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,39 @@
+#ifndef CQA_CERTAINTY_SAMPLING_H_
+#define CQA_CERTAINTY_SAMPLING_H_
+
+#include <cstdint>
+
+#include "cqa/base/rng.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Monte-Carlo estimation for databases whose repair count defeats both
+/// exact enumeration and (for cyclic queries) the branch-and-prune search.
+/// Samples repairs uniformly (each block choice independent uniform). A
+/// single falsifying sample refutes certainty exactly; otherwise the result
+/// is an estimate of the fraction of satisfying repairs.
+struct SampleEstimate {
+  /// True iff a falsifying repair was found: certainty is definitely false.
+  bool refuted = false;
+  /// Samples drawn (stops early on refutation).
+  uint64_t samples = 0;
+  /// Satisfying samples.
+  uint64_t satisfying = 0;
+
+  /// Fraction of satisfying repairs among the samples.
+  double SatisfyingFraction() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(satisfying) /
+                              static_cast<double>(samples);
+  }
+};
+
+/// Draws up to `max_samples` uniform repairs and evaluates q on each.
+SampleEstimate EstimateCertainty(const Query& q, const Database& db,
+                                 uint64_t max_samples, Rng* rng);
+
+}  // namespace cqa
+
+#endif  // CQA_CERTAINTY_SAMPLING_H_

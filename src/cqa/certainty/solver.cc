@@ -1,0 +1,87 @@
+#include "cqa/certainty/solver.h"
+
+#include "cqa/certainty/backtracking.h"
+#include "cqa/certainty/matching_q1.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/certainty/rewriting_solver.h"
+#include "cqa/rewriting/algorithm1.h"
+
+namespace cqa {
+
+std::string ToString(SolverMethod m) {
+  switch (m) {
+    case SolverMethod::kAuto:
+      return "auto";
+    case SolverMethod::kRewriting:
+      return "fo-rewriting";
+    case SolverMethod::kAlgorithm1:
+      return "algorithm1";
+    case SolverMethod::kBacktracking:
+      return "backtracking";
+    case SolverMethod::kNaive:
+      return "naive";
+    case SolverMethod::kMatchingQ1:
+      return "matching-q1";
+  }
+  return "?";
+}
+
+Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
+                                   SolverMethod method) {
+  SolveReport report;
+  report.classification = Classify(q);
+
+  SolverMethod chosen = method;
+  if (method == SolverMethod::kAuto) {
+    if (report.classification.cls == CertaintyClass::kFO) {
+      chosen = SolverMethod::kAlgorithm1;
+    } else if (DetectQ1Shape(q).has_value()) {
+      chosen = SolverMethod::kMatchingQ1;
+    } else {
+      chosen = SolverMethod::kBacktracking;
+    }
+  }
+  report.used = chosen;
+
+  switch (chosen) {
+    case SolverMethod::kAuto:
+      break;  // unreachable
+    case SolverMethod::kRewriting: {
+      Result<bool> r = IsCertainByRewriting(q, db);
+      if (!r.ok()) return Result<SolveReport>::Error(r.error());
+      report.certain = r.value();
+      return report;
+    }
+    case SolverMethod::kAlgorithm1: {
+      Result<bool> r = IsCertainAlgorithm1(q, db);
+      if (!r.ok()) return Result<SolveReport>::Error(r.error());
+      report.certain = r.value();
+      return report;
+    }
+    case SolverMethod::kBacktracking: {
+      Result<bool> r = IsCertainBacktracking(q, db);
+      if (!r.ok()) return Result<SolveReport>::Error(r.error());
+      report.certain = r.value();
+      return report;
+    }
+    case SolverMethod::kNaive: {
+      Result<bool> r = IsCertainNaive(q, db);
+      if (!r.ok()) return Result<SolveReport>::Error(r.error());
+      report.certain = r.value();
+      return report;
+    }
+    case SolverMethod::kMatchingQ1: {
+      std::optional<bool> r = IsCertainQ1ByMatching(q, db);
+      if (!r.has_value()) {
+        return Result<SolveReport>::Error(
+            "query does not have the q1 shape required by the matching "
+            "solver");
+      }
+      report.certain = *r;
+      return report;
+    }
+  }
+  return Result<SolveReport>::Error("invalid solver method");
+}
+
+}  // namespace cqa

@@ -1,0 +1,40 @@
+#ifndef CQA_CERTAINTY_SOLVER_H_
+#define CQA_CERTAINTY_SOLVER_H_
+
+#include <string>
+
+#include "cqa/attack/classification.h"
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Strategy for `SolveCertainty`.
+enum class SolverMethod {
+  /// Classify first: FO queries go through Algorithm 1; q1-shaped hard
+  /// queries use the polynomial matching solver; everything else uses the
+  /// exact backtracking search.
+  kAuto,
+  kRewriting,    // build + evaluate the FO rewriting (requires FO class)
+  kAlgorithm1,   // direct Algorithm 1 interpreter (requires FO class)
+  kBacktracking, // exact branch-and-prune over blocks (any query)
+  kNaive,        // full repair enumeration (any query; oracle)
+  kMatchingQ1,   // Hopcroft–Karp (requires q1 shape)
+};
+
+std::string ToString(SolverMethod m);
+
+struct SolveReport {
+  bool certain = false;
+  SolverMethod used = SolverMethod::kAuto;
+  Classification classification;
+};
+
+/// Unified entry point: decides whether `q` is true in every repair of `db`.
+Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
+                                   SolverMethod method = SolverMethod::kAuto);
+
+}  // namespace cqa
+
+#endif  // CQA_CERTAINTY_SOLVER_H_

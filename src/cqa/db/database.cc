@@ -1,0 +1,264 @@
+#include "cqa/db/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "cqa/query/parser.h"
+
+namespace cqa {
+
+Result<Database> Database::FromText(std::string_view text) {
+  Result<std::vector<ParsedFact>> facts = ParseFacts(text);
+  if (!facts.ok()) return Result<Database>::Error(facts.error());
+  Database db{Schema()};
+  for (const ParsedFact& f : *facts) {
+    Result<bool> r = db.AddFactAutoSchema(f.relation, f.key_len, f.values);
+    if (!r.ok()) return Result<Database>::Error(r.error());
+  }
+  return db;
+}
+
+Result<bool> Database::AddFact(Symbol relation, Tuple values) {
+  if (!schema_.Has(relation)) {
+    return Result<bool>::Error("unknown relation '" + SymbolName(relation) +
+                               "'");
+  }
+  const RelationSchema& rs = schema_.Get(relation);
+  if (static_cast<int>(values.size()) != rs.arity) {
+    return Result<bool>::Error(
+        "arity mismatch for '" + SymbolName(relation) + "': got " +
+        std::to_string(values.size()) + ", expected " +
+        std::to_string(rs.arity));
+  }
+  RelationData& rd = relations_[relation];
+  auto [it, inserted] =
+      rd.fact_index.emplace(values, static_cast<int>(rd.facts.size()));
+  if (!inserted) return false;
+  rd.facts.push_back(std::move(values));
+  InvalidateBlocks();
+  return true;
+}
+
+Result<bool> Database::AddFact(std::string_view relation, Tuple values) {
+  return AddFact(InternSymbol(relation), std::move(values));
+}
+
+void Database::AddFactOrDie(std::string_view relation, Tuple values) {
+  Result<bool> r = AddFact(relation, std::move(values));
+  assert(r.ok());
+  (void)r;
+}
+
+Result<bool> Database::AddFactAutoSchema(std::string_view relation,
+                                         int key_len, Tuple values) {
+  Result<Symbol> rel = schema_.AddRelation(
+      relation, static_cast<int>(values.size()), key_len);
+  if (!rel.ok()) return Result<bool>::Error(rel.error());
+  return AddFact(rel.value(), std::move(values));
+}
+
+Result<bool> Database::AddAll(const Database& other) {
+  for (const RelationSchema& rs : other.schema_.relations()) {
+    Result<Symbol> r =
+        schema_.AddRelation(SymbolName(rs.name), rs.arity, rs.key_len);
+    if (!r.ok()) return Result<bool>::Error(r.error());
+  }
+  for (const auto& [rel, rd] : other.relations_) {
+    for (const Tuple& t : rd.facts) {
+      Result<bool> r = AddFact(rel, t);
+      if (!r.ok()) return r;
+    }
+  }
+  return true;
+}
+
+bool Database::RemoveFact(Symbol relation, const Tuple& values) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return false;
+  RelationData& rd = it->second;
+  auto fit = rd.fact_index.find(values);
+  if (fit == rd.fact_index.end()) return false;
+  int idx = fit->second;
+  int last = static_cast<int>(rd.facts.size()) - 1;
+  if (idx != last) {
+    rd.facts[static_cast<size_t>(idx)] = rd.facts[static_cast<size_t>(last)];
+    rd.fact_index[rd.facts[static_cast<size_t>(idx)]] = idx;
+  }
+  rd.facts.pop_back();
+  rd.fact_index.erase(fit);
+  InvalidateBlocks();
+  return true;
+}
+
+void FactView::ForEachFactWithKey(
+    Symbol relation, const Tuple& key,
+    const std::function<bool(const Tuple&)>& fn) const {
+  ForEachFact(relation, [&](const Tuple& t) {
+    if (std::equal(key.begin(), key.end(), t.begin())) return fn(t);
+    return true;
+  });
+}
+
+void Database::ForEachFactWithKey(
+    Symbol relation, const Tuple& key,
+    const std::function<bool(const Tuple&)>& fn) const {
+  for (const Tuple* t : FactsWithKey(relation, key)) {
+    if (!fn(*t)) return;
+  }
+}
+
+void Database::ForEachFact(Symbol relation,
+                           const std::function<bool(const Tuple&)>& fn) const {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return;
+  for (const Tuple& t : it->second.facts) {
+    if (!fn(t)) return;
+  }
+}
+
+bool Database::Contains(Symbol relation, const Tuple& values) const {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return false;
+  return it->second.fact_index.count(values) > 0;
+}
+
+std::vector<Value> Database::ActiveDomain() const {
+  std::set<Value> seen;
+  for (const auto& [rel, rd] : relations_) {
+    for (const Tuple& t : rd.facts) {
+      for (Value v : t) seen.insert(v);
+    }
+  }
+  return std::vector<Value>(seen.begin(), seen.end());
+}
+
+const std::vector<Tuple>& Database::FactsOf(Symbol relation) const {
+  static const std::vector<Tuple>& empty = *new std::vector<Tuple>();
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? empty : it->second.facts;
+}
+
+size_t Database::NumFacts() const {
+  size_t n = 0;
+  for (const auto& [rel, rd] : relations_) n += rd.facts.size();
+  return n;
+}
+
+void Database::RebuildBlocks() const {
+  blocks_.clear();
+  fact_to_block_.clear();
+  block_by_key_.clear();
+  // Deterministic relation order: schema registration order.
+  for (const RelationSchema& rs : schema_.relations()) {
+    auto it = relations_.find(rs.name);
+    if (it == relations_.end()) continue;
+    const RelationData& rd = it->second;
+    std::unordered_map<Tuple, int, TupleHash>& key_to_block =
+        block_by_key_[rs.name];
+    std::vector<int>& f2b = fact_to_block_[rs.name];
+    f2b.assign(rd.facts.size(), -1);
+    for (size_t i = 0; i < rd.facts.size(); ++i) {
+      Tuple key(rd.facts[i].begin(), rd.facts[i].begin() + rs.key_len);
+      auto [kit, inserted] =
+          key_to_block.emplace(key, static_cast<int>(blocks_.size()));
+      if (inserted) {
+        blocks_.push_back(Block{rs.name, std::move(key), {}});
+      }
+      blocks_[static_cast<size_t>(kit->second)].fact_indices.push_back(
+          static_cast<int>(i));
+      f2b[i] = kit->second;
+    }
+  }
+  blocks_valid_ = true;
+}
+
+std::optional<int> Database::BlockWithKey(Symbol relation,
+                                          const Tuple& key) const {
+  if (!blocks_valid_) RebuildBlocks();
+  auto rit = block_by_key_.find(relation);
+  if (rit == block_by_key_.end()) return std::nullopt;
+  auto kit = rit->second.find(key);
+  if (kit == rit->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+std::vector<const Tuple*> Database::FactsWithKey(Symbol relation,
+                                                 const Tuple& key) const {
+  std::vector<const Tuple*> out;
+  std::optional<int> b = BlockWithKey(relation, key);
+  if (!b.has_value()) return out;
+  const Block& block = blocks_[static_cast<size_t>(*b)];
+  const std::vector<Tuple>& facts = FactsOf(relation);
+  out.reserve(block.fact_indices.size());
+  for (int i : block.fact_indices) {
+    out.push_back(&facts[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+const std::vector<Database::Block>& Database::blocks() const {
+  if (!blocks_valid_) RebuildBlocks();
+  return blocks_;
+}
+
+std::optional<int> Database::BlockOf(Symbol relation,
+                                     const Tuple& values) const {
+  if (!blocks_valid_) RebuildBlocks();
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return std::nullopt;
+  auto fit = it->second.fact_index.find(values);
+  if (fit == it->second.fact_index.end()) return std::nullopt;
+  auto bit = fact_to_block_.find(relation);
+  assert(bit != fact_to_block_.end());
+  return bit->second[static_cast<size_t>(fit->second)];
+}
+
+bool Database::IsConsistent() const {
+  for (const Block& b : blocks()) {
+    if (b.size() > 1) return false;
+  }
+  return true;
+}
+
+uint64_t Database::CountRepairs(uint64_t cap) const {
+  uint64_t count = 1;
+  for (const Block& b : blocks()) {
+    uint64_t s = b.size();
+    if (count > cap / (s == 0 ? 1 : s)) return cap;
+    count *= s;
+  }
+  return count;
+}
+
+std::string Database::ToText() const {
+  std::string out;
+  for (const RelationSchema& rs : schema_.relations()) {
+    for (const Tuple& t : FactsOf(rs.name)) {
+      out += SymbolName(rs.name) + "(";
+      for (int i = 0; i < rs.arity; ++i) {
+        if (i > 0) out += (i == rs.key_len) ? " | " : ", ";
+        out += "'";
+        for (char c : t[static_cast<size_t>(i)].name()) {
+          if (c == '\'') out += '\'';  // double embedded quotes
+          out += c;
+        }
+        out += "'";
+      }
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const RelationSchema& rs : schema_.relations()) {
+    for (const Tuple& t : FactsOf(rs.name)) {
+      out += Fact{rs.name, t}.ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cqa

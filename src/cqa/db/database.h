@@ -1,0 +1,157 @@
+#ifndef CQA_DB_DATABASE_H_
+#define CQA_DB_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cqa/base/result.h"
+#include "cqa/base/value.h"
+#include "cqa/db/fact.h"
+#include "cqa/query/schema.h"
+
+namespace cqa {
+
+/// Read-only view over a set of facts. Implemented by `Database` (all facts)
+/// and `Repair` (one fact per block). Query and first-order evaluation run
+/// against this interface so the same evaluator serves both.
+class FactView {
+ public:
+  virtual ~FactView() = default;
+
+  virtual const Schema& schema() const = 0;
+
+  /// Calls `fn` for every fact of `relation`; stops early if `fn` returns
+  /// false. Unknown relations yield no facts.
+  virtual void ForEachFact(
+      Symbol relation,
+      const std::function<bool(const Tuple&)>& fn) const = 0;
+
+  /// Calls `fn` for every fact of `relation` whose key prefix equals `key`
+  /// (i.e. one block). The default filters `ForEachFact`; implementations
+  /// with a block index override this with an O(block) lookup.
+  virtual void ForEachFactWithKey(
+      Symbol relation, const Tuple& key,
+      const std::function<bool(const Tuple&)>& fn) const;
+
+  /// Membership test.
+  virtual bool Contains(Symbol relation, const Tuple& values) const = 0;
+
+  /// All constants occurring in any fact.
+  virtual std::vector<Value> ActiveDomain() const = 0;
+};
+
+/// A (possibly inconsistent) database: a finite set of facts over a schema
+/// with one primary key per relation. Maintains a block index — a *block* is
+/// a maximal set of key-equal facts; repairs pick one fact per block.
+class Database : public FactView {
+ public:
+  /// One block: all facts of `relation` sharing key `key`.
+  struct Block {
+    Symbol relation = kNoSymbol;
+    Tuple key;
+    std::vector<int> fact_indices;  // indices into facts(relation)
+
+    size_t size() const { return fact_indices.size(); }
+  };
+
+  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Parses facts (see `ParseFacts` grammar) into a database, inferring the
+  /// schema from the first occurrence of each relation.
+  static Result<Database> FromText(std::string_view text);
+
+  /// Inserts a fact (set semantics: duplicates are ignored). Returns an
+  /// error if the relation is unknown or the arity mismatches. Returns true
+  /// if the fact was new.
+  Result<bool> AddFact(Symbol relation, Tuple values);
+  Result<bool> AddFact(std::string_view relation, Tuple values);
+  void AddFactOrDie(std::string_view relation, Tuple values);
+
+  /// Registers `relation` into the schema if absent, then inserts.
+  Result<bool> AddFactAutoSchema(std::string_view relation, int key_len,
+                                 Tuple values);
+
+  /// Inserts every fact of `other` (schemas must agree on shared relations).
+  Result<bool> AddAll(const Database& other);
+
+  /// Removes a fact if present; returns true if removed. Invalidates block
+  /// and fact indices of that relation (they are rebuilt).
+  bool RemoveFact(Symbol relation, const Tuple& values);
+
+  // FactView:
+  const Schema& schema() const override { return schema_; }
+  void ForEachFact(Symbol relation,
+                   const std::function<bool(const Tuple&)>& fn) const override;
+  void ForEachFactWithKey(
+      Symbol relation, const Tuple& key,
+      const std::function<bool(const Tuple&)>& fn) const override;
+  bool Contains(Symbol relation, const Tuple& values) const override;
+  std::vector<Value> ActiveDomain() const override;
+
+  /// All facts of one relation (empty for unknown relations).
+  const std::vector<Tuple>& FactsOf(Symbol relation) const;
+
+  size_t NumFacts() const;
+  size_t NumFacts(Symbol relation) const { return FactsOf(relation).size(); }
+
+  /// The global block list (across all relations). Stable order.
+  const std::vector<Block>& blocks() const;
+
+  /// Index into `blocks()` of the block containing the given fact, if the
+  /// fact is present.
+  std::optional<int> BlockOf(Symbol relation, const Tuple& values) const;
+
+  /// Index into `blocks()` of the block with the given key, if any fact has
+  /// that key.
+  std::optional<int> BlockWithKey(Symbol relation, const Tuple& key) const;
+
+  /// The facts whose key prefix equals `key` (one block), resolved through
+  /// the block index — O(1) plus the block size, instead of a relation scan.
+  /// Returns tuples by value indices; empty if no such block.
+  std::vector<const Tuple*> FactsWithKey(Symbol relation,
+                                         const Tuple& key) const;
+
+  size_t NumBlocks() const { return blocks().size(); }
+
+  /// True iff every block is a singleton.
+  bool IsConsistent() const;
+
+  /// Number of repairs = product of block sizes, capped at `cap`.
+  uint64_t CountRepairs(uint64_t cap = UINT64_MAX) const;
+
+  std::string ToString() const;
+
+  /// Serialises in the `ParseFacts` grammar (quoted values, "|" key
+  /// separator), so that `Database::FromText(db.ToText())` round-trips.
+  std::string ToText() const;
+
+ private:
+  struct RelationData {
+    std::vector<Tuple> facts;
+    std::unordered_map<Tuple, int, TupleHash> fact_index;
+  };
+
+  void InvalidateBlocks() { blocks_valid_ = false; }
+  void RebuildBlocks() const;
+
+  Schema schema_;
+  std::unordered_map<Symbol, RelationData> relations_;
+
+  // Lazily rebuilt block index.
+  mutable bool blocks_valid_ = false;
+  mutable std::vector<Block> blocks_;
+  // (relation, fact index) -> global block id
+  mutable std::unordered_map<Symbol, std::vector<int>> fact_to_block_;
+  // relation -> key tuple -> global block id
+  mutable std::unordered_map<Symbol,
+                             std::unordered_map<Tuple, int, TupleHash>>
+      block_by_key_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DB_DATABASE_H_

@@ -1,0 +1,220 @@
+#include "cqa/db/eval.h"
+
+#include <cassert>
+
+namespace cqa {
+
+namespace {
+
+// Tries to extend `env` so that `atom` matches `tuple`. Appends newly bound
+// variables to `trail`. Returns false (leaving some trail entries to undo)
+// on mismatch.
+bool MatchAtom(const Atom& atom, const Tuple& tuple, Valuation* env,
+               std::vector<Symbol>* trail) {
+  assert(static_cast<size_t>(atom.arity()) == tuple.size());
+  for (int i = 0; i < atom.arity(); ++i) {
+    const Term& t = atom.term(i);
+    Value v = tuple[static_cast<size_t>(i)];
+    if (t.is_constant()) {
+      if (t.constant() != v) return false;
+    } else {
+      auto it = env->find(t.var());
+      if (it != env->end()) {
+        if (it->second != v) return false;
+      } else {
+        env->emplace(t.var(), v);
+        trail->push_back(t.var());
+      }
+    }
+  }
+  return true;
+}
+
+void UndoTrail(Valuation* env, std::vector<Symbol>* trail, size_t mark) {
+  while (trail->size() > mark) {
+    env->erase(trail->back());
+    trail->pop_back();
+  }
+}
+
+struct SearchState {
+  const Query* q;
+  const FactView* view;
+  const std::function<bool(const Valuation&)>* fn;
+  std::vector<size_t> positive;  // literal indices
+  std::vector<bool> used;
+  Valuation env;
+  std::vector<Symbol> trail;
+};
+
+// Selection score: unbound variable count, heavily penalised when the key
+// prefix is not fully bound (ground keys enable block-index lookups).
+int AtomScore(const Atom& atom, const Valuation& env) {
+  int n = 0;
+  bool key_ground = true;
+  SymbolSet seen;
+  for (int i = 0; i < atom.arity(); ++i) {
+    const Term& t = atom.term(i);
+    if (t.is_variable() && env.find(t.var()) == env.end()) {
+      if (i < atom.key_len()) key_ground = false;
+      if (!seen.contains(t.var())) {
+        seen.Insert(t.var());
+        ++n;
+      }
+    }
+  }
+  return n + (key_ground ? 0 : 1000);
+}
+
+// Checks negated atoms and disequalities once all variables are bound.
+bool CheckResiduals(SearchState* s) {
+  for (const Literal& l : s->q->literals()) {
+    if (!l.negated) continue;
+    Tuple ground;
+    ground.reserve(static_cast<size_t>(l.atom.arity()));
+    for (const Term& t : l.atom.terms()) {
+      Value v = ResolveTerm(t, s->env);
+      assert(v.valid() && "unbound variable in negated atom (unsafe query?)");
+      ground.push_back(v);
+    }
+    if (s->view->Contains(l.atom.relation(), ground)) return false;
+  }
+  for (const Diseq& d : s->q->diseqs()) {
+    bool some_diff = false;
+    for (size_t i = 0; i < d.lhs.size(); ++i) {
+      Value a = ResolveTerm(d.lhs[i], s->env);
+      Value b = ResolveTerm(d.rhs[i], s->env);
+      assert(a.valid() && b.valid() &&
+             "unbound variable in disequality (unsafe query?)");
+      if (a != b) {
+        some_diff = true;
+        break;
+      }
+    }
+    if (!some_diff) return false;
+  }
+  return true;
+}
+
+// Backtracking join over the positive literals. Returns false iff the
+// callback requested a stop.
+bool Search(SearchState* s, size_t bound_count) {
+  if (bound_count == s->positive.size()) {
+    if (!CheckResiduals(s)) return true;  // not a witness; keep searching
+    return (*s->fn)(s->env);
+  }
+  // Greedy: pick the unused positive literal with the best score (ground
+  // key first, then fewest unbound variables).
+  size_t best = SIZE_MAX;
+  int best_score = INT32_MAX;
+  for (size_t i = 0; i < s->positive.size(); ++i) {
+    if (s->used[i]) continue;
+    int score = AtomScore(s->q->atom(s->positive[i]), s->env);
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  assert(best != SIZE_MAX);
+  s->used[best] = true;
+  const Atom& atom = s->q->atom(s->positive[best]);
+  bool keep_going = true;
+  auto try_fact = [&](const Tuple& tuple) {
+    size_t mark = s->trail.size();
+    if (MatchAtom(atom, tuple, &s->env, &s->trail)) {
+      if (!Search(s, bound_count + 1)) keep_going = false;
+    }
+    UndoTrail(&s->env, &s->trail, mark);
+    return keep_going;
+  };
+  // Ground key prefix: restrict to the single matching block.
+  Tuple key;
+  bool key_ground = true;
+  for (int i = 0; i < atom.key_len() && key_ground; ++i) {
+    Value v = ResolveTerm(atom.term(i), s->env);
+    if (v.valid()) {
+      key.push_back(v);
+    } else {
+      key_ground = false;
+    }
+  }
+  if (key_ground) {
+    s->view->ForEachFactWithKey(atom.relation(), key, try_fact);
+  } else {
+    s->view->ForEachFact(atom.relation(), try_fact);
+  }
+  s->used[best] = false;
+  return keep_going;
+}
+
+}  // namespace
+
+Value ResolveTerm(const Term& t, const Valuation& env) {
+  if (t.is_constant()) return t.constant();
+  auto it = env.find(t.var());
+  return it == env.end() ? Value() : it->second;
+}
+
+bool ForEachWitness(const Query& q, const FactView& view,
+                    const Valuation& initial,
+                    const std::function<bool(const Valuation&)>& fn) {
+  SearchState s;
+  s.q = &q;
+  s.view = &view;
+  s.fn = &fn;
+  s.positive = q.PositiveIndices();
+  s.used.assign(s.positive.size(), false);
+  s.env = initial;
+  return Search(&s, 0);
+}
+
+bool Satisfies(const Query& q, const FactView& view,
+               const Valuation& initial) {
+  bool found = false;
+  ForEachWitness(q, view, initial, [&](const Valuation&) {
+    found = true;
+    return false;  // stop at first witness
+  });
+  return found;
+}
+
+std::optional<Valuation> FindWitness(const Query& q, const FactView& view,
+                                     const Valuation& initial) {
+  std::optional<Valuation> out;
+  ForEachWitness(q, view, initial, [&](const Valuation& v) {
+    out = v;
+    return false;
+  });
+  return out;
+}
+
+std::vector<Fact> KeyRelevantFacts(const Query& q, size_t literal_idx,
+                                   const FactView& view) {
+  const Atom& f = q.atom(literal_idx);
+  std::vector<Tuple> keys;
+  ForEachWitness(q, view, {}, [&](const Valuation& theta) {
+    Tuple key;
+    key.reserve(static_cast<size_t>(f.key_len()));
+    for (int i = 0; i < f.key_len(); ++i) {
+      Value v = ResolveTerm(f.term(i), theta);
+      assert(v.valid());
+      key.push_back(v);
+    }
+    keys.push_back(std::move(key));
+    return true;
+  });
+  std::vector<Fact> out;
+  view.ForEachFact(f.relation(), [&](const Tuple& tuple) {
+    Tuple key(tuple.begin(), tuple.begin() + f.key_len());
+    for (const Tuple& k : keys) {
+      if (k == key) {
+        out.push_back(Fact{f.relation(), tuple});
+        break;
+      }
+    }
+    return true;
+  });
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,49 @@
+#ifndef CQA_DB_EVAL_H_
+#define CQA_DB_EVAL_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cqa/db/database.h"
+#include "cqa/db/fact.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// A (partial) valuation: variable symbol -> constant.
+using Valuation = std::unordered_map<Symbol, Value>;
+
+/// Enumerates every valuation θ over the variables of `q` (extending
+/// `initial`, which must bind all reified variables of `q`) such that
+/// `view ⊨ θ(q)`: θ maps every positive atom to a fact of `view`, no negated
+/// atom to a fact of `view`, and satisfies all disequalities. Invokes `fn`
+/// per witness; stops early if `fn` returns false. Returns false iff stopped
+/// early.
+bool ForEachWitness(const Query& q, const FactView& view,
+                    const Valuation& initial,
+                    const std::function<bool(const Valuation&)>& fn);
+
+/// True iff `view` satisfies `q` (with reified variables bound by
+/// `initial`, empty by default).
+bool Satisfies(const Query& q, const FactView& view,
+               const Valuation& initial = {});
+
+/// A witness valuation, if one exists.
+std::optional<Valuation> FindWitness(const Query& q, const FactView& view,
+                                     const Valuation& initial = {});
+
+/// The facts of `view` that are key-relevant for `q` at the atom of literal
+/// `literal_idx` (the notion of Section 3 / Example 3.3): facts A such that
+/// some witness θ has θ(F) key-equal to A. `view` is typically a repair.
+std::vector<Fact> KeyRelevantFacts(const Query& q, size_t literal_idx,
+                                   const FactView& view);
+
+/// Resolves a term under a valuation. Returns an invalid Value for an
+/// unbound variable.
+Value ResolveTerm(const Term& t, const Valuation& env);
+
+}  // namespace cqa
+
+#endif  // CQA_DB_EVAL_H_

@@ -1,0 +1,17 @@
+#include "cqa/db/fact.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+std::string Fact::ToString() const {
+  return SymbolName(relation) + TupleToString(values);
+}
+
+bool KeyEqual(const Fact& a, const Fact& b, int key_len) {
+  if (a.relation != b.relation) return false;
+  return std::equal(a.values.begin(), a.values.begin() + key_len,
+                    b.values.begin());
+}
+
+}  // namespace cqa

@@ -1,0 +1,33 @@
+#ifndef CQA_DB_FACT_H_
+#define CQA_DB_FACT_H_
+
+#include <string>
+
+#include "cqa/base/interner.h"
+#include "cqa/base/value.h"
+
+namespace cqa {
+
+/// A ground fact: a relation name plus a tuple of constants.
+struct Fact {
+  Symbol relation = kNoSymbol;
+  Tuple values;
+
+  /// The key prefix (first `key_len` values).
+  Tuple Key(int key_len) const {
+    return Tuple(values.begin(), values.begin() + key_len);
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation == b.relation && a.values == b.values;
+  }
+};
+
+/// True iff the two facts are key-equal (same relation, same key prefix).
+bool KeyEqual(const Fact& a, const Fact& b, int key_len);
+
+}  // namespace cqa
+
+#endif  // CQA_DB_FACT_H_

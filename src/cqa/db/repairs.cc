@@ -1,0 +1,101 @@
+#include "cqa/db/repairs.h"
+
+#include <cassert>
+#include <set>
+
+namespace cqa {
+
+Repair::Repair(const Database* db, std::vector<int> choices)
+    : db_(db), choices_(std::move(choices)) {
+  assert(choices_.size() == db_->blocks().size());
+}
+
+const Tuple& Repair::ChosenFact(int b) const {
+  const Database::Block& block = db_->blocks()[static_cast<size_t>(b)];
+  int fact_idx =
+      block.fact_indices[static_cast<size_t>(choices_[static_cast<size_t>(b)])];
+  return db_->FactsOf(block.relation)[static_cast<size_t>(fact_idx)];
+}
+
+void Repair::ForEachFact(Symbol relation,
+                         const std::function<bool(const Tuple&)>& fn) const {
+  const auto& blocks = db_->blocks();
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (blocks[b].relation != relation) continue;
+    if (!fn(ChosenFact(static_cast<int>(b)))) return;
+  }
+}
+
+void Repair::ForEachFactWithKey(
+    Symbol relation, const Tuple& key,
+    const std::function<bool(const Tuple&)>& fn) const {
+  std::optional<int> b = db_->BlockWithKey(relation, key);
+  if (!b.has_value()) return;
+  fn(ChosenFact(*b));
+}
+
+bool Repair::Contains(Symbol relation, const Tuple& values) const {
+  std::optional<int> b = db_->BlockOf(relation, values);
+  if (!b.has_value()) return false;
+  return ChosenFact(*b) == values;
+}
+
+std::vector<Value> Repair::ActiveDomain() const {
+  std::set<Value> seen;
+  for (size_t b = 0; b < choices_.size(); ++b) {
+    for (Value v : ChosenFact(static_cast<int>(b))) seen.insert(v);
+  }
+  return std::vector<Value>(seen.begin(), seen.end());
+}
+
+Database Repair::ToDatabase() const {
+  Database out(db_->schema());
+  const auto& blocks = db_->blocks();
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    Result<bool> r =
+        out.AddFact(blocks[b].relation, ChosenFact(static_cast<int>(b)));
+    assert(r.ok());
+    (void)r;
+  }
+  return out;
+}
+
+std::string Repair::ToString() const {
+  std::string out;
+  const auto& blocks = db_->blocks();
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    out += Fact{blocks[b].relation, ChosenFact(static_cast<int>(b))}.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+bool ForEachRepair(const Database& db,
+                   const std::function<bool(const Repair&)>& fn) {
+  const auto& blocks = db.blocks();
+  std::vector<int> choices(blocks.size(), 0);
+  while (true) {
+    if (!fn(Repair(&db, choices))) return false;
+    // Odometer increment.
+    size_t i = 0;
+    for (; i < blocks.size(); ++i) {
+      if (choices[i] + 1 < static_cast<int>(blocks[i].size())) {
+        ++choices[i];
+        for (size_t j = 0; j < i; ++j) choices[j] = 0;
+        break;
+      }
+    }
+    if (i == blocks.size()) return true;
+  }
+}
+
+Repair RandomRepair(const Database& db, Rng* rng) {
+  const auto& blocks = db.blocks();
+  std::vector<int> choices(blocks.size());
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    choices[b] = static_cast<int>(rng->Below(blocks[b].size()));
+  }
+  return Repair(&db, choices);
+}
+
+}  // namespace cqa

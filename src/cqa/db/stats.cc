@@ -1,0 +1,58 @@
+#include "cqa/db/stats.h"
+
+#include <cmath>
+
+namespace cqa {
+
+namespace {
+
+void Accumulate(InconsistencyStats* s, const Database::Block& block) {
+  s->facts += block.size();
+  s->blocks += 1;
+  if (block.size() > 1) s->violating_blocks += 1;
+  s->max_block_size = std::max(s->max_block_size, block.size());
+  s->block_sizes[block.size()] += 1;
+  s->log2_repairs += std::log2(static_cast<double>(block.size()));
+}
+
+}  // namespace
+
+std::string InconsistencyStats::ToString() const {
+  std::string out = std::to_string(facts) + " facts, " +
+                    std::to_string(blocks) + " blocks, " +
+                    std::to_string(violating_blocks) +
+                    " violating (max block " +
+                    std::to_string(max_block_size) + "), ~2^" +
+                    std::to_string(log2_repairs) + " repairs";
+  return out;
+}
+
+InconsistencyStats ComputeStats(const Database& db) {
+  InconsistencyStats out;
+  for (const Database::Block& block : db.blocks()) Accumulate(&out, block);
+  return out;
+}
+
+std::map<std::string, InconsistencyStats> ComputeStatsPerRelation(
+    const Database& db) {
+  std::map<std::string, InconsistencyStats> out;
+  for (const Database::Block& block : db.blocks()) {
+    Accumulate(&out[SymbolName(block.relation)], block);
+  }
+  return out;
+}
+
+Database CertainFacts(const Database& db) {
+  Database out(db.schema());
+  for (const Database::Block& block : db.blocks()) {
+    if (block.size() != 1) continue;
+    Result<bool> r = out.AddFact(
+        block.relation,
+        db.FactsOf(block.relation)[static_cast<size_t>(
+            block.fact_indices[0])]);
+    (void)r;
+  }
+  return out;
+}
+
+}  // namespace cqa

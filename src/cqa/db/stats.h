@@ -1,0 +1,46 @@
+#ifndef CQA_DB_STATS_H_
+#define CQA_DB_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "cqa/db/database.h"
+
+namespace cqa {
+
+/// Inconsistency profile of a database: how badly the primary keys are
+/// violated, per relation and overall. Used by the CLI, the benchmarks and
+/// the workload generators' self-checks.
+struct InconsistencyStats {
+  size_t facts = 0;
+  size_t blocks = 0;
+  size_t violating_blocks = 0;  // blocks with >= 2 facts
+  size_t max_block_size = 0;
+  /// Block-size histogram: size -> count.
+  std::map<size_t, size_t> block_sizes;
+  /// log2 of the number of repairs (sum of log2(block size)).
+  double log2_repairs = 0.0;
+
+  /// Fraction of blocks violating their key.
+  double ViolationRate() const {
+    return blocks == 0 ? 0.0
+                       : static_cast<double>(violating_blocks) /
+                             static_cast<double>(blocks);
+  }
+
+  std::string ToString() const;
+};
+
+InconsistencyStats ComputeStats(const Database& db);
+
+/// Per-relation breakdown.
+std::map<std::string, InconsistencyStats> ComputeStatsPerRelation(
+    const Database& db);
+
+/// The facts present in EVERY repair (the singleton blocks) — sometimes
+/// called the database core or the intersection of repairs.
+Database CertainFacts(const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_DB_STATS_H_

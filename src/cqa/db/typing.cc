@@ -1,0 +1,43 @@
+#include "cqa/db/typing.h"
+
+namespace cqa {
+
+Result<Database> MakeTyped(const Query& q, const Database& db) {
+  if (!q.reified().empty()) {
+    return Result<Database>::Error(
+        "MakeTyped requires a query without reified variables");
+  }
+  Database out(db.schema());
+  for (const RelationSchema& rs : db.schema().relations()) {
+    std::optional<size_t> lit = q.FindRelation(rs.name);
+    const Atom* atom = nullptr;
+    if (lit.has_value()) {
+      const Atom& a = q.atom(*lit);
+      if (a.arity() == rs.arity && a.key_len() == rs.key_len) {
+        atom = &a;
+      } else {
+        return Result<Database>::Error(
+            "signature mismatch between query and database for relation '" +
+            SymbolName(rs.name) + "'");
+      }
+    }
+    for (const Tuple& t : db.FactsOf(rs.name)) {
+      Tuple renamed = t;
+      if (atom != nullptr) {
+        for (int i = 0; i < atom->arity(); ++i) {
+          const Term& term = atom->term(i);
+          if (term.is_variable()) {
+            renamed[static_cast<size_t>(i)] = Value::Of(
+                SymbolName(term.var()) + ":" +
+                t[static_cast<size_t>(i)].name());
+          }
+        }
+      }
+      Result<bool> r = out.AddFact(rs.name, std::move(renamed));
+      if (!r.ok()) return Result<Database>::Error(r.error());
+    }
+  }
+  return out;
+}
+
+}  // namespace cqa

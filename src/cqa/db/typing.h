@@ -1,0 +1,26 @@
+#ifndef CQA_DB_TYPING_H_
+#define CQA_DB_TYPING_H_
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Transforms `db` into a database *typed relative to q* (Section 3 of the
+/// paper): at every position held by a variable `x` in the atom of `q` over
+/// the same relation, constants are injectively renamed into x's type
+/// ("x:value"), so that distinct variables range over disjoint constant
+/// sets. Positions held by constants in `q`, and relations not mentioned by
+/// `q`, are left unchanged.
+///
+/// The renaming is injective per position and uniform per variable, so block
+/// structure is preserved and CERTAINTY(q) gives the same answer on `db` and
+/// on the result (tested in typing_test.cc).
+///
+/// Requires `q` to have no reified variables.
+Result<Database> MakeTyped(const Query& q, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_DB_TYPING_H_

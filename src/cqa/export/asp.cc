@@ -1,0 +1,116 @@
+#include "cqa/export/asp.h"
+
+#include <cctype>
+
+namespace cqa {
+
+namespace {
+
+// ASP constants must be lowercase identifiers or quoted strings; quote
+// everything for uniformity.
+std::string AspConst(Value v) {
+  std::string out = "\"";
+  for (char c : v.name()) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string AspVarName(Symbol v, const char* prefix = "V") {
+  // Variables must start with an uppercase letter; mangle the symbol id so
+  // distinct variables never clash.
+  return std::string(prefix) + std::to_string(v);
+}
+
+std::string PredicateName(const char* prefix, Symbol relation) {
+  std::string out = prefix;
+  for (char c : SymbolName(relation)) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string TermList(const Atom& atom, const char* var_prefix) {
+  std::string out;
+  for (int i = 0; i < atom.arity(); ++i) {
+    if (i > 0) out += ", ";
+    const Term& t = atom.term(i);
+    out += t.is_constant() ? AspConst(t.constant())
+                           : AspVarName(t.var(), var_prefix);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ToAspProgram(const Query& q, const Database& db) {
+  if (!q.reified().empty() || !q.diseqs().empty()) {
+    return Result<std::string>::Error(
+        "ASP export supports plain sjfBCQ¬ queries (no reified variables or "
+        "disequalities)");
+  }
+  std::string out;
+  out += "% CERTAINTY(q) as ASP: answer sets = repairs falsifying q;\n";
+  out += "% q is certain iff this program is UNSATISFIABLE.\n";
+  out += "% query: " + q.ToString() + "\n\n";
+
+  // Facts.
+  out += "% database facts\n";
+  for (const RelationSchema& rs : db.schema().relations()) {
+    std::string pred = PredicateName("f_", rs.name);
+    for (const Tuple& t : db.FactsOf(rs.name)) {
+      out += pred + "(";
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += AspConst(t[i]);
+      }
+      out += ").\n";
+    }
+  }
+
+  // Repair choice: exactly one fact per block.
+  out += "\n% repairs: exactly one fact per block\n";
+  for (const RelationSchema& rs : db.schema().relations()) {
+    std::string f = PredicateName("f_", rs.name);
+    std::string in = PredicateName("in_", rs.name);
+    // Key variables X_i are bound by the body (one rule instance per block);
+    // the non-key variables of the head condition must be LOCAL (Y_i), so
+    // the choice ranges over the block's facts.
+    std::string key_vars, all_vars, local_value_vars;
+    for (int i = 1; i <= rs.arity; ++i) {
+      if (i > 1) all_vars += ", ";
+      all_vars += "X" + std::to_string(i);
+      if (i <= rs.key_len) {
+        if (i > 1) key_vars += ", ";
+        key_vars += "X" + std::to_string(i);
+      } else {
+        local_value_vars += ", Y" + std::to_string(i);
+      }
+    }
+    out += "1 { " + in + "(" + key_vars + local_value_vars + ") : " + f +
+           "(" + key_vars + local_value_vars + ") } 1 :- " + f + "(" +
+           all_vars + ").\n";
+  }
+
+  // Query match over the repair.
+  out += "\n% q matches the repair\n";
+  out += "sat :- ";
+  bool first = true;
+  for (const Literal& l : q.literals()) {
+    if (!first) out += ", ";
+    first = false;
+    if (l.negated) out += "not ";
+    out += PredicateName("in_", l.atom.relation()) + "(" +
+           TermList(l.atom, "V") + ")";
+  }
+  out += ".\n";
+
+  // Safety for clingo: negated-literal variables must be bound; they are,
+  // because q is safe (every variable occurs in a positive literal).
+  out += "\n% falsifying repairs only\n:- sat.\n";
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,26 @@
+#ifndef CQA_EXPORT_ASP_H_
+#define CQA_EXPORT_ASP_H_
+
+#include <string>
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Answer-set-programming export, after the ASP-based CQA systems the paper
+/// cites in its related work ([16, 23, 24]): a clingo-style program whose
+/// answer sets are exactly the repairs that FALSIFY q. Hence:
+///
+///   CERTAINTY(q) holds on db  ⟺  the program is UNSATISFIABLE.
+///
+/// Encoding: one predicate `f_R/n` per relation holding the facts, a choice
+/// rule picking exactly one fact per block into `in_R/n`, a rule deriving
+/// `sat` from a query match over the `in_R` predicates, and the constraint
+/// `:- sat.`
+Result<std::string> ToAspProgram(const Query& q, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_EXPORT_ASP_H_

@@ -1,0 +1,49 @@
+#include "cqa/fd/fd.h"
+
+namespace cqa {
+
+SymbolSet FdClosure(const std::vector<Fd>& fds, SymbolSet start) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds) {
+      if (fd.lhs.IsSubsetOf(start) && !fd.rhs.IsSubsetOf(start)) {
+        start.UnionWith(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return start;
+}
+
+bool FdImplies(const std::vector<Fd>& fds, const SymbolSet& lhs,
+               const SymbolSet& rhs) {
+  return rhs.IsSubsetOf(FdClosure(fds, lhs));
+}
+
+std::vector<Fd> KeyFds(const Query& q) {
+  std::vector<Fd> out;
+  for (const Literal& l : q.literals()) {
+    if (l.negated) continue;
+    out.push_back(
+        Fd{l.atom.KeyVars(q.reified()), l.atom.Vars(q.reified())});
+  }
+  return out;
+}
+
+std::vector<Fd> KeyFdsExcluding(const Query& q, size_t excluded_literal) {
+  std::vector<Fd> out;
+  for (size_t i = 0; i < q.NumLiterals(); ++i) {
+    if (i == excluded_literal || q.IsNegated(i)) continue;
+    out.push_back(
+        Fd{q.atom(i).KeyVars(q.reified()), q.atom(i).Vars(q.reified())});
+  }
+  return out;
+}
+
+SymbolSet PlusSet(const Query& q, size_t literal_idx) {
+  return FdClosure(KeyFdsExcluding(q, literal_idx),
+                   q.atom(literal_idx).KeyVars(q.reified()));
+}
+
+}  // namespace cqa

@@ -1,0 +1,43 @@
+#ifndef CQA_FD_FD_H_
+#define CQA_FD_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "cqa/base/symbol_set.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// A functional dependency between sets of variables.
+struct Fd {
+  SymbolSet lhs;
+  SymbolSet rhs;
+
+  std::string ToString() const {
+    return lhs.ToString() + " -> " + rhs.ToString();
+  }
+};
+
+/// The closure of `start` under `fds` (standard fixpoint computation).
+SymbolSet FdClosure(const std::vector<Fd>& fds, SymbolSet start);
+
+/// True iff `fds ⊨ lhs → rhs`.
+bool FdImplies(const std::vector<Fd>& fds, const SymbolSet& lhs,
+               const SymbolSet& rhs);
+
+/// K(q⁺): one dependency key(F) → vars(F) per non-negated atom F of `q`
+/// (Section 4.1). Reified variables are treated as constants and omitted.
+std::vector<Fd> KeyFds(const Query& q);
+
+/// K(q⁺ \ {F}) where F is the atom of literal `excluded_literal`. If that
+/// literal is negated, this equals K(q⁺).
+std::vector<Fd> KeyFdsExcluding(const Query& q, size_t excluded_literal);
+
+/// F^{⊕,q}: the closure of key(F) with respect to K(q⁺ \ {F}), for F the
+/// atom of literal `literal_idx` (Section 4.1).
+SymbolSet PlusSet(const Query& q, size_t literal_idx);
+
+}  // namespace cqa
+
+#endif  // CQA_FD_FD_H_

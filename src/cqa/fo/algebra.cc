@@ -1,0 +1,334 @@
+#include "cqa/fo/algebra.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cqa {
+
+namespace {
+
+// Counts quantified variable binders (for the fresh-constant construction).
+int CountQuantifiedVars(const Fo& f) {
+  int n = static_cast<int>(f.qvars().size());
+  for (const FoPtr& c : f.children()) n += CountQuantifiedVars(*c);
+  return n;
+}
+
+size_t ColumnIndex(const NamedRelation& r, Symbol v) {
+  auto it = std::find(r.columns.begin(), r.columns.end(), v);
+  assert(it != r.columns.end());
+  return static_cast<size_t>(it - r.columns.begin());
+}
+
+// Cartesian-extends `r` with one new column over `domain`.
+NamedRelation ExtendWithColumn(const NamedRelation& r, Symbol v,
+                               const std::vector<Value>& domain) {
+  NamedRelation out;
+  out.columns = r.columns;
+  out.columns.push_back(v);
+  for (const Tuple& t : r.tuples) {
+    for (Value d : domain) {
+      Tuple extended = t;
+      extended.push_back(d);
+      out.tuples.insert(std::move(extended));
+    }
+  }
+  return out;
+}
+
+// Reorders/projects `r` onto `columns` (must be a subset of r's columns,
+// duplicates not allowed).
+NamedRelation ProjectTo(const NamedRelation& r,
+                        const std::vector<Symbol>& columns) {
+  NamedRelation out;
+  out.columns = columns;
+  std::vector<size_t> index;
+  index.reserve(columns.size());
+  for (Symbol c : columns) index.push_back(ColumnIndex(r, c));
+  for (const Tuple& t : r.tuples) {
+    Tuple projected;
+    projected.reserve(columns.size());
+    for (size_t i : index) projected.push_back(t[i]);
+    out.tuples.insert(std::move(projected));
+  }
+  return out;
+}
+
+// Natural join on shared columns.
+NamedRelation NaturalJoin(const NamedRelation& a, const NamedRelation& b) {
+  // Shared and b-only columns.
+  std::vector<std::pair<size_t, size_t>> shared;  // (a idx, b idx)
+  std::vector<size_t> b_only;
+  for (size_t j = 0; j < b.columns.size(); ++j) {
+    auto it = std::find(a.columns.begin(), a.columns.end(), b.columns[j]);
+    if (it == a.columns.end()) {
+      b_only.push_back(j);
+    } else {
+      shared.emplace_back(static_cast<size_t>(it - a.columns.begin()), j);
+    }
+  }
+  NamedRelation out;
+  out.columns = a.columns;
+  for (size_t j : b_only) out.columns.push_back(b.columns[j]);
+
+  // Hash b on the shared key.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+  for (const Tuple& t : b.tuples) {
+    Tuple key;
+    key.reserve(shared.size());
+    for (const auto& [ai, bi] : shared) key.push_back(t[bi]);
+    index[key].push_back(&t);
+  }
+  for (const Tuple& t : a.tuples) {
+    Tuple key;
+    key.reserve(shared.size());
+    for (const auto& [ai, bi] : shared) key.push_back(t[ai]);
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (const Tuple* bt : it->second) {
+      Tuple joined = t;
+      for (size_t j : b_only) joined.push_back((*bt)[j]);
+      out.tuples.insert(std::move(joined));
+    }
+  }
+  return out;
+}
+
+class AlgebraEvaluator {
+ public:
+  AlgebraEvaluator(const FactView& view, std::vector<Value> domain)
+      : view_(view), domain_(std::move(domain)) {}
+
+  NamedRelation Eval(const Fo& f) {
+    switch (f.kind()) {
+      case FoKind::kTrue: {
+        NamedRelation r;
+        r.tuples.insert(Tuple{});
+        return r;
+      }
+      case FoKind::kFalse:
+        return NamedRelation{};
+      case FoKind::kAtom:
+        return EvalAtom(f);
+      case FoKind::kEquals:
+        return EvalEquals(f);
+      case FoKind::kAnd: {
+        NamedRelation out = Eval(*f.children()[0]);
+        for (size_t i = 1; i < f.children().size(); ++i) {
+          out = NaturalJoin(out, Eval(*f.children()[i]));
+        }
+        return out;
+      }
+      case FoKind::kOr: {
+        // Pad every child to the union of columns, then union the sets.
+        std::vector<NamedRelation> parts;
+        SymbolSet all_cols;
+        for (const FoPtr& c : f.children()) {
+          parts.push_back(Eval(*c));
+          all_cols.UnionWith(SymbolSet(parts.back().columns));
+        }
+        NamedRelation out;
+        out.columns = all_cols.items();
+        for (NamedRelation& p : parts) {
+          for (Symbol col : out.columns) {
+            if (std::find(p.columns.begin(), p.columns.end(), col) ==
+                p.columns.end()) {
+              p = ExtendWithColumn(p, col, domain_);
+            }
+          }
+          NamedRelation aligned = ProjectTo(p, out.columns);
+          out.tuples.insert(aligned.tuples.begin(), aligned.tuples.end());
+        }
+        return out;
+      }
+      case FoKind::kNot:
+        return Complement(Eval(*f.child()));
+      case FoKind::kImplies: {
+        NamedRelation not_lhs = Complement(Eval(*f.children()[0]));
+        NamedRelation rhs = Eval(*f.children()[1]);
+        // ¬a ∨ b with column padding, via the kOr machinery.
+        return EvalOrOfTwo(std::move(not_lhs), std::move(rhs));
+      }
+      case FoKind::kExists: {
+        NamedRelation body = Eval(*f.child());
+        std::vector<Symbol> keep;
+        for (Symbol c : body.columns) {
+          if (std::find(f.qvars().begin(), f.qvars().end(), c) ==
+              f.qvars().end()) {
+            keep.push_back(c);
+          }
+        }
+        return ProjectTo(body, keep);
+      }
+      case FoKind::kForall: {
+        // ∀x̄ φ ≡ ¬∃x̄ ¬φ.
+        NamedRelation not_body = Complement(Eval(*f.child()));
+        std::vector<Symbol> keep;
+        for (Symbol c : not_body.columns) {
+          if (std::find(f.qvars().begin(), f.qvars().end(), c) ==
+              f.qvars().end()) {
+            keep.push_back(c);
+          }
+        }
+        return Complement(ProjectTo(not_body, keep));
+      }
+    }
+    return NamedRelation{};
+  }
+
+ private:
+  NamedRelation EvalAtom(const Fo& f) {
+    NamedRelation out;
+    // Distinct variables of the atom, in order of first occurrence.
+    for (const Term& t : f.terms()) {
+      if (t.is_variable() &&
+          std::find(out.columns.begin(), out.columns.end(), t.var()) ==
+              out.columns.end()) {
+        out.columns.push_back(t.var());
+      }
+    }
+    view_.ForEachFact(f.relation(), [&](const Tuple& fact) {
+      Tuple row(out.columns.size());
+      std::vector<bool> bound(out.columns.size(), false);
+      bool match = true;
+      for (size_t i = 0; i < fact.size() && match; ++i) {
+        const Term& t = f.terms()[i];
+        if (t.is_constant()) {
+          match = (t.constant() == fact[i]);
+        } else {
+          size_t col = ColumnIndex(out, t.var());
+          if (bound[col]) {
+            match = (row[col] == fact[i]);
+          } else {
+            row[col] = fact[i];
+            bound[col] = true;
+          }
+        }
+      }
+      if (match) out.tuples.insert(std::move(row));
+      return true;
+    });
+    return out;
+  }
+
+  NamedRelation EvalEquals(const Fo& f) {
+    const Term& a = f.lhs();
+    const Term& b = f.rhs();
+    NamedRelation out;
+    if (a.is_constant() && b.is_constant()) {
+      if (a.constant() == b.constant()) out.tuples.insert(Tuple{});
+      return out;
+    }
+    if (a.is_variable() && b.is_variable()) {
+      if (a.var() == b.var()) {
+        out.columns = {a.var()};
+        for (Value d : domain_) out.tuples.insert(Tuple{d});
+        return out;
+      }
+      out.columns = {a.var(), b.var()};
+      for (Value d : domain_) out.tuples.insert(Tuple{d, d});
+      return out;
+    }
+    const Term& var = a.is_variable() ? a : b;
+    const Term& cst = a.is_variable() ? b : a;
+    out.columns = {var.var()};
+    out.tuples.insert(Tuple{cst.constant()});
+    return out;
+  }
+
+  NamedRelation Complement(const NamedRelation& r) {
+    NamedRelation out;
+    out.columns = r.columns;
+    // Enumerate D^k and keep tuples absent from r.
+    Tuple current(r.columns.size());
+    std::function<void(size_t)> rec = [&](size_t i) {
+      if (i == current.size()) {
+        if (r.tuples.find(current) == r.tuples.end()) {
+          out.tuples.insert(current);
+        }
+        return;
+      }
+      for (Value d : domain_) {
+        current[i] = d;
+        rec(i + 1);
+      }
+    };
+    rec(0);
+    return out;
+  }
+
+  NamedRelation EvalOrOfTwo(NamedRelation a, NamedRelation b) {
+    SymbolSet all_cols = SymbolSet(a.columns).Union(SymbolSet(b.columns));
+    NamedRelation out;
+    out.columns = all_cols.items();
+    for (NamedRelation* p : {&a, &b}) {
+      for (Symbol col : out.columns) {
+        if (std::find(p->columns.begin(), p->columns.end(), col) ==
+            p->columns.end()) {
+          *p = ExtendWithColumn(*p, col, domain_);
+        }
+      }
+      NamedRelation aligned = ProjectTo(*p, out.columns);
+      out.tuples.insert(aligned.tuples.begin(), aligned.tuples.end());
+    }
+    return out;
+  }
+
+  const FactView& view_;
+  std::vector<Value> domain_;
+};
+
+}  // namespace
+
+std::string NamedRelation::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += SymbolName(columns[i]);
+  }
+  out += "): {";
+  bool first = true;
+  for (const Tuple& t : tuples) {
+    if (!first) out += ", ";
+    first = false;
+    out += TupleToString(t);
+  }
+  out += "}";
+  return out;
+}
+
+Result<NamedRelation> EvalFoAlgebra(const FoPtr& f, const FactView& view,
+                                    const AlgebraOptions& options) {
+  std::vector<Value> domain = view.ActiveDomain();
+  for (Value c : f->Constants()) {
+    if (std::find(domain.begin(), domain.end(), c) == domain.end()) {
+      domain.push_back(c);
+    }
+  }
+  int fresh = options.extra_fresh_values >= 0 ? options.extra_fresh_values
+                                              : CountQuantifiedVars(*f);
+  for (int i = 0; i < fresh; ++i) {
+    domain.push_back(Value::Of("@alg_fresh:" + std::to_string(i)));
+  }
+  if (domain.empty()) {
+    // A nonempty domain keeps quantifier semantics sane even for an empty
+    // database and constant-free formula.
+    domain.push_back(Value::Of("@alg_fresh:0"));
+  }
+  AlgebraEvaluator eval(view, std::move(domain));
+  return eval.Eval(*f);
+}
+
+Result<bool> EvalFoAlgebraBool(const FoPtr& f, const FactView& view,
+                               const AlgebraOptions& options) {
+  if (!f->FreeVars().empty()) {
+    return Result<bool>::Error(
+        "EvalFoAlgebraBool requires a sentence; free variables: " +
+        f->FreeVars().ToString());
+  }
+  Result<NamedRelation> r = EvalFoAlgebra(f, view, options);
+  if (!r.ok()) return Result<bool>::Error(r.error());
+  return r->AsBool();
+}
+
+}  // namespace cqa

@@ -1,0 +1,55 @@
+#ifndef CQA_FO_ALGEBRA_H_
+#define CQA_FO_ALGEBRA_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/fo/formula.h"
+
+namespace cqa {
+
+/// A named relation: a set of tuples over an ordered list of variable
+/// columns. The set-at-a-time counterpart of a valuation set.
+struct NamedRelation {
+  std::vector<Symbol> columns;
+  std::unordered_set<Tuple, TupleHash> tuples;
+
+  bool Boolean() const { return columns.empty(); }
+  /// For 0-column relations: true iff the empty tuple is present.
+  bool AsBool() const { return !tuples.empty(); }
+
+  std::string ToString() const;
+};
+
+struct AlgebraOptions {
+  /// Number of fresh constants added to the evaluation domain. FO with
+  /// equality cannot distinguish values outside adom ∪ consts(φ), so adding
+  /// one fresh constant per quantified variable of φ makes active-domain
+  /// evaluation agree exactly with the paper's infinite-domain semantics.
+  /// -1 (default): derive automatically from the formula.
+  int extra_fresh_values = -1;
+};
+
+/// Set-at-a-time (relational algebra) evaluation of a first-order formula
+/// over a fact view: atoms become scans, ∧ a natural join, ∨ a padded
+/// union, ¬ a complement against D^k (D the evaluation domain), ∃ a
+/// projection. Returns the relation of satisfying assignments over
+/// FreeVars(f); for sentences use `EvalFoAlgebraBool`.
+///
+/// Exponential in the maximum number of free variables of a subformula
+/// (inherent to active-domain FO evaluation); used as a second, independent
+/// engine to differentially test `FoEvaluator`, and competitive when a
+/// subformula is evaluated against many bindings.
+Result<NamedRelation> EvalFoAlgebra(const FoPtr& f, const FactView& view,
+                                    const AlgebraOptions& options = {});
+
+/// Evaluates a sentence (no free variables).
+Result<bool> EvalFoAlgebraBool(const FoPtr& f, const FactView& view,
+                               const AlgebraOptions& options = {});
+
+}  // namespace cqa
+
+#endif  // CQA_FO_ALGEBRA_H_

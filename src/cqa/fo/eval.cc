@@ -1,0 +1,261 @@
+#include "cqa/fo/eval.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cqa {
+
+namespace {
+
+std::vector<FoPtr> Conjuncts(const FoPtr& f) {
+  if (f->kind() == FoKind::kAnd) return f->children();
+  return {f};
+}
+
+bool IsBound(Symbol v, const Valuation& env) { return env.count(v) > 0; }
+
+}  // namespace
+
+bool FoEvaluator::Eval(const FoPtr& f) {
+  Valuation env;
+  return Eval(f, env);
+}
+
+bool FoEvaluator::Eval(const FoPtr& f, const Valuation& env) {
+  steps_ = 0;
+  if (root_ != f.get()) {
+    root_ = f.get();
+    base_values_ready_ = false;
+    fallback_cache_.clear();
+  }
+  Valuation scratch = env;
+  return EvalNode(*f, &scratch);
+}
+
+const std::vector<Value>& FoEvaluator::FallbackValues(Symbol v) {
+  auto it = fallback_cache_.find(v);
+  if (it != fallback_cache_.end()) return it->second;
+  if (!base_values_ready_) {
+    base_values_ = view_.ActiveDomain();
+    if (root_ != nullptr) {
+      for (Value c : root_->Constants()) {
+        if (std::find(base_values_.begin(), base_values_.end(), c) ==
+            base_values_.end()) {
+          base_values_.push_back(c);
+        }
+      }
+    }
+    base_values_ready_ = true;
+  }
+  std::vector<Value> values = base_values_;
+  // One fresh witness per variable: distinct variables can require distinct
+  // outside-the-domain values (e.g. ∃x∃y (x ≠ y ∧ ¬P(x) ∧ ¬P(y))).
+  values.push_back(Value::Of("@fresh:" + SymbolName(v)));
+  return fallback_cache_.emplace(v, std::move(values)).first->second;
+}
+
+bool FoEvaluator::EvalNode(const Fo& f, Valuation* env) {
+  ++steps_;
+  switch (f.kind()) {
+    case FoKind::kTrue:
+      return true;
+    case FoKind::kFalse:
+      return false;
+    case FoKind::kAtom: {
+      Tuple ground;
+      ground.reserve(f.terms().size());
+      for (const Term& t : f.terms()) {
+        Value v = ResolveTerm(t, *env);
+        assert(v.valid() && "unbound variable in atom");
+        ground.push_back(v);
+      }
+      return view_.Contains(f.relation(), ground);
+    }
+    case FoKind::kEquals: {
+      Value a = ResolveTerm(f.lhs(), *env);
+      Value b = ResolveTerm(f.rhs(), *env);
+      assert(a.valid() && b.valid() && "unbound variable in equality");
+      return a == b;
+    }
+    case FoKind::kAnd:
+      for (const FoPtr& c : f.children()) {
+        if (!EvalNode(*c, env)) return false;
+      }
+      return true;
+    case FoKind::kOr:
+      for (const FoPtr& c : f.children()) {
+        if (EvalNode(*c, env)) return true;
+      }
+      return false;
+    case FoKind::kNot:
+      return !EvalNode(*f.child(), env);
+    case FoKind::kImplies:
+      return !EvalNode(*f.children()[0], env) ||
+             EvalNode(*f.children()[1], env);
+    case FoKind::kExists:
+    case FoKind::kForall: {
+      // Save and clear shadowed bindings.
+      std::vector<std::pair<Symbol, Value>> saved;
+      for (Symbol v : f.qvars()) {
+        auto it = env->find(v);
+        if (it != env->end()) {
+          saved.emplace_back(v, it->second);
+          env->erase(it);
+        }
+      }
+      bool result;
+      if (f.kind() == FoKind::kExists) {
+        result = ExistsSat(f.qvars(), Conjuncts(f.child()), env);
+      } else {
+        // ∀x̄ φ ≡ ¬∃x̄ ¬φ; for φ = (p → c), ¬φ ≡ p ∧ ¬c.
+        std::vector<FoPtr> conjuncts;
+        if (f.child()->kind() == FoKind::kImplies) {
+          conjuncts = Conjuncts(f.child()->children()[0]);
+          conjuncts.push_back(FoNot(f.child()->children()[1]));
+        } else {
+          conjuncts = {FoNot(f.child())};
+        }
+        result = !ExistsSat(f.qvars(), conjuncts, env);
+      }
+      for (const auto& [v, val] : saved) (*env)[v] = val;
+      return result;
+    }
+  }
+  return false;
+}
+
+bool FoEvaluator::ExistsSat(const std::vector<Symbol>& vars,
+                            const std::vector<FoPtr>& conjuncts,
+                            Valuation* env) {
+  ++steps_;
+  // Unbound quantified variables.
+  std::vector<Symbol> unbound;
+  for (Symbol v : vars) {
+    if (!IsBound(v, *env)) unbound.push_back(v);
+  }
+  if (unbound.empty()) {
+    for (const FoPtr& c : conjuncts) {
+      if (!EvalNode(*c, env)) return false;
+    }
+    return true;
+  }
+
+  // 1) A pinning equality: v = t with t resolvable.
+  for (const FoPtr& c : conjuncts) {
+    if (c->kind() != FoKind::kEquals) continue;
+    for (int side = 0; side < 2; ++side) {
+      const Term& var_side = side == 0 ? c->lhs() : c->rhs();
+      const Term& other = side == 0 ? c->rhs() : c->lhs();
+      if (!var_side.is_variable() || IsBound(var_side.var(), *env)) continue;
+      if (std::find(unbound.begin(), unbound.end(), var_side.var()) ==
+          unbound.end()) {
+        continue;
+      }
+      Value val = ResolveTerm(other, *env);
+      if (!val.valid()) continue;
+      (*env)[var_side.var()] = val;
+      bool ok = ExistsSat(vars, conjuncts, env);
+      env->erase(var_side.var());
+      return ok;
+    }
+  }
+
+  // 2) A generator atom: a positive conjunct atom with some unbound
+  //    quantified variable and no other unbound variables. Prefer atoms
+  //    whose key positions are already ground (block-index lookup), then
+  //    fewest unbound variables.
+  const Fo* best_atom = nullptr;
+  int best_score = INT32_MAX;
+  for (const FoPtr& c : conjuncts) {
+    if (c->kind() != FoKind::kAtom) continue;
+    int n_unbound = 0;
+    bool usable = true;
+    bool key_ground = true;
+    SymbolSet seen;
+    for (size_t i = 0; i < c->terms().size(); ++i) {
+      const Term& t = c->terms()[i];
+      if (!t.is_variable() || IsBound(t.var(), *env)) continue;
+      if (static_cast<int>(i) < c->key_len()) key_ground = false;
+      if (std::find(unbound.begin(), unbound.end(), t.var()) ==
+          unbound.end()) {
+        usable = false;  // unbound variable not quantified here
+        break;
+      }
+      if (!seen.contains(t.var())) {
+        seen.Insert(t.var());
+        ++n_unbound;
+      }
+    }
+    if (!usable || n_unbound == 0) continue;
+    int score = n_unbound + (key_ground ? 0 : 1000);
+    if (score < best_score) {
+      best_score = score;
+      best_atom = c.get();
+    }
+  }
+  if (best_atom != nullptr) {
+    bool found = false;
+    auto try_fact = [&](const Tuple& tuple) {
+      ++steps_;
+      std::vector<Symbol> bound_here;
+      bool match = true;
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        const Term& t = best_atom->terms()[i];
+        if (t.is_constant()) {
+          if (t.constant() != tuple[i]) {
+            match = false;
+            break;
+          }
+        } else {
+          auto it = env->find(t.var());
+          if (it != env->end()) {
+            if (it->second != tuple[i]) {
+              match = false;
+              break;
+            }
+          } else {
+            (*env)[t.var()] = tuple[i];
+            bound_here.push_back(t.var());
+          }
+        }
+      }
+      if (match && ExistsSat(vars, conjuncts, env)) found = true;
+      for (Symbol v : bound_here) env->erase(v);
+      return !found;
+    };
+    // Ground key prefix: restrict to the single matching block.
+    Tuple key;
+    bool key_ground = true;
+    for (int i = 0; i < best_atom->key_len() && key_ground; ++i) {
+      Value v = ResolveTerm(best_atom->terms()[static_cast<size_t>(i)], *env);
+      if (v.valid()) {
+        key.push_back(v);
+      } else {
+        key_ground = false;
+      }
+    }
+    if (key_ground) {
+      view_.ForEachFactWithKey(best_atom->relation(), key, try_fact);
+    } else {
+      view_.ForEachFact(best_atom->relation(), try_fact);
+    }
+    return found;
+  }
+
+  // 3) Fallback: enumerate candidates for one unguarded variable.
+  Symbol v = unbound.front();
+  for (Value val : FallbackValues(v)) {
+    ++steps_;
+    (*env)[v] = val;
+    bool ok = ExistsSat(vars, conjuncts, env);
+    env->erase(v);
+    if (ok) return true;
+  }
+  return false;
+}
+
+bool EvalFo(const FoPtr& f, const FactView& view) {
+  return FoEvaluator(view).Eval(f);
+}
+
+}  // namespace cqa

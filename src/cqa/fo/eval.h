@@ -1,0 +1,57 @@
+#ifndef CQA_FO_EVAL_H_
+#define CQA_FO_EVAL_H_
+
+#include <vector>
+
+#include "cqa/db/eval.h"
+#include "cqa/fo/formula.h"
+
+namespace cqa {
+
+/// Evaluates first-order sentences over a `FactView` (a database or a
+/// repair).
+///
+/// Semantics: FO with equality and constants over an *infinite* domain of
+/// constants (the paper's class FO). Quantifiers are evaluated guard-first:
+/// inside ∃x̄(...∧...), conjuncts that are atoms or pinning equalities drive
+/// the search; only unguarded variables fall back to enumerating the active
+/// domain ∪ the formula's constants ∪ one fresh witness per variable, which
+/// is sound and complete for this logic.
+class FoEvaluator {
+ public:
+  explicit FoEvaluator(const FactView& view) : view_(view) {}
+
+  /// Evaluates a sentence (no free variables).
+  bool Eval(const FoPtr& f);
+
+  /// Evaluates with free variables bound by `env`.
+  bool Eval(const FoPtr& f, const Valuation& env);
+
+  /// Number of atom/equality/connective evaluations in the last `Eval`
+  /// (a portable work measure for benchmarks).
+  size_t steps() const { return steps_; }
+
+ private:
+  bool EvalNode(const Fo& f, Valuation* env);
+
+  // Satisfiability search for ∃vars.(∧ conjuncts) under `env`.
+  bool ExistsSat(const std::vector<Symbol>& vars,
+                 const std::vector<FoPtr>& conjuncts, Valuation* env);
+
+  // Fallback candidate values for an unguarded variable `v`.
+  const std::vector<Value>& FallbackValues(Symbol v);
+
+  const FactView& view_;
+  size_t steps_ = 0;
+  std::vector<Value> base_values_;  // adom ∪ formula constants
+  bool base_values_ready_ = false;
+  std::unordered_map<Symbol, std::vector<Value>> fallback_cache_;
+  const Fo* root_ = nullptr;
+};
+
+/// Convenience wrapper.
+bool EvalFo(const FoPtr& f, const FactView& view);
+
+}  // namespace cqa
+
+#endif  // CQA_FO_EVAL_H_

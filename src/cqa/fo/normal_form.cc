@@ -1,0 +1,121 @@
+#include "cqa/fo/normal_form.h"
+
+#include <cassert>
+
+#include "cqa/fo/simplify.h"
+
+namespace cqa {
+
+namespace {
+
+FoPtr Nnf(const FoPtr& f, bool negate) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+      return negate ? FoFalse() : FoTrue();
+    case FoKind::kFalse:
+      return negate ? FoTrue() : FoFalse();
+    case FoKind::kAtom:
+    case FoKind::kEquals:
+      return negate ? FoNot(f) : f;
+    case FoKind::kAnd:
+    case FoKind::kOr: {
+      std::vector<FoPtr> children;
+      children.reserve(f->children().size());
+      for (const FoPtr& c : f->children()) children.push_back(Nnf(c, negate));
+      bool is_and = (f->kind() == FoKind::kAnd) != negate;
+      return is_and ? FoAnd(std::move(children)) : FoOr(std::move(children));
+    }
+    case FoKind::kNot:
+      return Nnf(f->child(), !negate);
+    case FoKind::kImplies:
+      // a → b ≡ ¬a ∨ b; negated: a ∧ ¬b.
+      if (negate) {
+        return FoAnd({Nnf(f->children()[0], false),
+                      Nnf(f->children()[1], true)});
+      }
+      return FoOr({Nnf(f->children()[0], true),
+                   Nnf(f->children()[1], false)});
+    case FoKind::kExists:
+    case FoKind::kForall: {
+      FoPtr body = Nnf(f->child(), negate);
+      bool is_exists = (f->kind() == FoKind::kExists) != negate;
+      return is_exists ? FoExists(f->qvars(), std::move(body))
+                       : FoForall(f->qvars(), std::move(body));
+    }
+  }
+  return f;
+}
+
+// Pulls quantifiers out of an NNF formula, renaming bound variables apart.
+struct PrenexBuilder {
+  std::vector<PrenexQuantifier> prefix;
+
+  FoPtr Pull(const FoPtr& f) {
+    switch (f->kind()) {
+      case FoKind::kTrue:
+      case FoKind::kFalse:
+      case FoKind::kAtom:
+      case FoKind::kEquals:
+      case FoKind::kNot:  // NNF: negation only over atoms/equalities
+        return f;
+      case FoKind::kAnd:
+      case FoKind::kOr: {
+        std::vector<FoPtr> children;
+        children.reserve(f->children().size());
+        for (const FoPtr& c : f->children()) children.push_back(Pull(c));
+        return f->kind() == FoKind::kAnd ? FoAnd(std::move(children))
+                                         : FoOr(std::move(children));
+      }
+      case FoKind::kImplies:
+        assert(false && "implication survived NNF");
+        return f;
+      case FoKind::kExists:
+      case FoKind::kForall: {
+        FoPtr body = f->child();
+        // Rename each bound variable to a fresh one before descending.
+        for (Symbol v : f->qvars()) {
+          Symbol fresh = FreshSymbol(SymbolName(v));
+          FoPtr renamed = SubstituteVar(body, v, Term::VarOf(fresh));
+          // Renaming to a fresh symbol can never capture.
+          assert(renamed != nullptr);
+          body = renamed;
+          prefix.push_back(
+              PrenexQuantifier{f->kind() == FoKind::kForall, fresh});
+        }
+        return Pull(body);
+      }
+    }
+    return f;
+  }
+};
+
+}  // namespace
+
+FoPtr ToNnf(const FoPtr& f) { return Nnf(f, false); }
+
+FoPtr PrenexForm::ToFormula() const {
+  FoPtr out = matrix;
+  for (auto it = prefix.rbegin(); it != prefix.rend(); ++it) {
+    out = it->universal ? FoForall({it->var}, std::move(out))
+                        : FoExists({it->var}, std::move(out));
+  }
+  return out;
+}
+
+int PrenexForm::Alternations() const {
+  int alternations = 0;
+  for (size_t i = 0; i + 1 < prefix.size(); ++i) {
+    if (prefix[i].universal != prefix[i + 1].universal) ++alternations;
+  }
+  return alternations;
+}
+
+PrenexForm ToPrenex(const FoPtr& f) {
+  PrenexBuilder builder;
+  PrenexForm out;
+  out.matrix = builder.Pull(ToNnf(f));
+  out.prefix = std::move(builder.prefix);
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,43 @@
+#ifndef CQA_FO_NORMAL_FORM_H_
+#define CQA_FO_NORMAL_FORM_H_
+
+#include <utility>
+#include <vector>
+
+#include "cqa/fo/formula.h"
+
+namespace cqa {
+
+/// Negation normal form: negations pushed to atoms/equalities, implications
+/// expanded, quantifiers flipped as needed. Logically equivalent.
+FoPtr ToNnf(const FoPtr& f);
+
+/// One quantifier of a prenex prefix.
+struct PrenexQuantifier {
+  bool universal = false;
+  Symbol var = kNoSymbol;
+};
+
+/// A formula in prenex normal form: Q1 x1 ... Qn xn . matrix.
+struct PrenexForm {
+  std::vector<PrenexQuantifier> prefix;
+  FoPtr matrix;
+
+  /// Reassembles the (equivalent) formula.
+  FoPtr ToFormula() const;
+
+  /// Number of ∃/∀ alternations in the prefix (0 for a purely existential
+  /// or purely universal prefix). For consistent rewritings this reflects
+  /// the nesting of block quantifications the construction of Lemma 6.1
+  /// introduced.
+  int Alternations() const;
+};
+
+/// Converts to prenex normal form. Bound variables are renamed apart with
+/// fresh symbols, so no capture can occur. The input is first brought to
+/// NNF.
+PrenexForm ToPrenex(const FoPtr& f);
+
+}  // namespace cqa
+
+#endif  // CQA_FO_NORMAL_FORM_H_

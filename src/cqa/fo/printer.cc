@@ -1,0 +1,104 @@
+#include "cqa/fo/formula.h"
+
+namespace cqa {
+
+namespace {
+
+// Precedence for parenthesisation: higher binds tighter.
+int Precedence(FoKind k) {
+  switch (k) {
+    case FoKind::kTrue:
+    case FoKind::kFalse:
+    case FoKind::kAtom:
+    case FoKind::kEquals:
+      return 5;
+    case FoKind::kNot:
+      return 4;
+    case FoKind::kAnd:
+      return 3;
+    case FoKind::kOr:
+      return 2;
+    case FoKind::kImplies:
+      return 1;
+    case FoKind::kExists:
+    case FoKind::kForall:
+      return 0;
+  }
+  return 0;
+}
+
+void Print(const Fo& f, int parent_prec, std::string* out) {
+  int prec = Precedence(f.kind());
+  bool parens = prec < parent_prec;
+  if (parens) *out += "(";
+  switch (f.kind()) {
+    case FoKind::kTrue:
+      *out += "true";
+      break;
+    case FoKind::kFalse:
+      *out += "false";
+      break;
+    case FoKind::kAtom: {
+      *out += f.relation_name() + "(";
+      for (size_t i = 0; i < f.terms().size(); ++i) {
+        if (i > 0) {
+          *out += (static_cast<int>(i) == f.key_len() &&
+                   f.key_len() < static_cast<int>(f.terms().size()))
+                      ? " | "
+                      : ", ";
+        }
+        *out += f.terms()[i].ToString();
+      }
+      *out += ")";
+      break;
+    }
+    case FoKind::kEquals:
+      *out += f.lhs().ToString() + " = " + f.rhs().ToString();
+      break;
+    case FoKind::kNot:
+      // Special-case negated equality for readability.
+      if (f.child()->kind() == FoKind::kEquals) {
+        *out += f.child()->lhs().ToString() + " != " +
+                f.child()->rhs().ToString();
+      } else {
+        *out += "!";
+        Print(*f.child(), Precedence(FoKind::kNot) + 1, out);
+      }
+      break;
+    case FoKind::kAnd:
+    case FoKind::kOr: {
+      const char* op = f.kind() == FoKind::kAnd ? " & " : " | ";
+      for (size_t i = 0; i < f.children().size(); ++i) {
+        if (i > 0) *out += op;
+        Print(*f.children()[i], prec + 1, out);
+      }
+      break;
+    }
+    case FoKind::kImplies:
+      Print(*f.children()[0], prec + 1, out);
+      *out += " -> ";
+      Print(*f.children()[1], prec, out);
+      break;
+    case FoKind::kExists:
+    case FoKind::kForall: {
+      *out += f.kind() == FoKind::kExists ? "exists" : "forall";
+      for (Symbol v : f.qvars()) {
+        *out += " " + SymbolName(v);
+      }
+      *out += ". ";
+      Print(*f.child(), prec, out);
+      break;
+    }
+  }
+  if (parens) *out += ")";
+}
+
+}  // namespace
+
+std::string Fo::ToString() const {
+  std::string out;
+  Print(*this, 0, &out);
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,216 @@
+#include "cqa/fo/simplify.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+namespace {
+
+Term SubstTerm(const Term& term, Symbol v, const Term& t) {
+  if (term.is_variable() && term.var() == v) return t;
+  return term;
+}
+
+}  // namespace
+
+FoPtr SubstituteVar(const FoPtr& f, Symbol v, const Term& t) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+    case FoKind::kFalse:
+      return f;
+    case FoKind::kAtom: {
+      std::vector<Term> terms = f->terms();
+      bool changed = false;
+      for (Term& term : terms) {
+        Term nt = SubstTerm(term, v, t);
+        if (nt != term) {
+          term = nt;
+          changed = true;
+        }
+      }
+      if (!changed) return f;
+      return FoAtom(f->relation(), f->key_len(), std::move(terms));
+    }
+    case FoKind::kEquals: {
+      Term a = SubstTerm(f->lhs(), v, t);
+      Term b = SubstTerm(f->rhs(), v, t);
+      if (a == f->lhs() && b == f->rhs()) return f;
+      return FoEquals(a, b);
+    }
+    case FoKind::kAnd:
+    case FoKind::kOr:
+    case FoKind::kNot:
+    case FoKind::kImplies: {
+      std::vector<FoPtr> children;
+      children.reserve(f->children().size());
+      bool changed = false;
+      for (const FoPtr& c : f->children()) {
+        FoPtr nc = SubstituteVar(c, v, t);
+        if (nc == nullptr) return nullptr;
+        if (nc.get() != c.get()) changed = true;
+        children.push_back(std::move(nc));
+      }
+      if (!changed) return f;
+      switch (f->kind()) {
+        case FoKind::kAnd:
+          return FoAnd(std::move(children));
+        case FoKind::kOr:
+          return FoOr(std::move(children));
+        case FoKind::kNot:
+          return FoNot(std::move(children[0]));
+        default:
+          return FoImplies(std::move(children[0]), std::move(children[1]));
+      }
+    }
+    case FoKind::kExists:
+    case FoKind::kForall: {
+      // If the quantifier binds v, the substitution stops here.
+      if (std::find(f->qvars().begin(), f->qvars().end(), v) !=
+          f->qvars().end()) {
+        return f;
+      }
+      // Capture check: does the body mention v while the quantifier binds t?
+      if (t.is_variable() &&
+          std::find(f->qvars().begin(), f->qvars().end(), t.var()) !=
+              f->qvars().end() &&
+          f->child()->FreeVars().contains(v)) {
+        return nullptr;
+      }
+      FoPtr body = SubstituteVar(f->child(), v, t);
+      if (body == nullptr) return nullptr;
+      if (body.get() == f->child().get()) return f;
+      if (f->kind() == FoKind::kExists) return FoExists(f->qvars(), body);
+      return FoForall(f->qvars(), body);
+    }
+  }
+  return f;
+}
+
+namespace {
+
+// Fold equalities between identical terms / distinct constants.
+FoPtr FoldEquals(const FoPtr& f) {
+  if (f->kind() != FoKind::kEquals) return f;
+  if (f->lhs() == f->rhs()) return FoTrue();
+  if (f->lhs().is_constant() && f->rhs().is_constant()) {
+    return f->lhs().constant() == f->rhs().constant() ? FoTrue() : FoFalse();
+  }
+  return f;
+}
+
+// Tries to eliminate one quantified variable pinned by an equality among
+// `conjuncts`. On success rewrites `conjuncts`/`vars` in place.
+bool EliminatePinnedVar(std::vector<Symbol>* vars,
+                        std::vector<FoPtr>* conjuncts) {
+  for (size_t i = 0; i < conjuncts->size(); ++i) {
+    const FoPtr& c = (*conjuncts)[i];
+    if (c->kind() != FoKind::kEquals) continue;
+    for (int side = 0; side < 2; ++side) {
+      const Term& var_side = side == 0 ? c->lhs() : c->rhs();
+      const Term& other = side == 0 ? c->rhs() : c->lhs();
+      if (!var_side.is_variable()) continue;
+      Symbol v = var_side.var();
+      auto vit = std::find(vars->begin(), vars->end(), v);
+      if (vit == vars->end()) continue;
+      if (other.is_variable() && other.var() == v) continue;
+      // Substitute v := other in all remaining conjuncts.
+      std::vector<FoPtr> replaced;
+      replaced.reserve(conjuncts->size() - 1);
+      bool ok = true;
+      for (size_t j = 0; j < conjuncts->size(); ++j) {
+        if (j == i) continue;
+        FoPtr r = SubstituteVar((*conjuncts)[j], v, other);
+        if (r == nullptr) {
+          ok = false;
+          break;
+        }
+        replaced.push_back(std::move(r));
+      }
+      if (!ok) continue;
+      vars->erase(vit);
+      *conjuncts = std::move(replaced);
+      return true;
+    }
+  }
+  return false;
+}
+
+void DedupStructural(std::vector<FoPtr>* items) {
+  std::vector<FoPtr> out;
+  for (FoPtr& f : *items) {
+    bool dup = false;
+    for (const FoPtr& g : out) {
+      if (Fo::Equal(f, g)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(std::move(f));
+  }
+  *items = std::move(out);
+}
+
+}  // namespace
+
+FoPtr Simplify(const FoPtr& f) {
+  switch (f->kind()) {
+    case FoKind::kTrue:
+    case FoKind::kFalse:
+    case FoKind::kAtom:
+      return f;
+    case FoKind::kEquals:
+      return FoldEquals(f);
+    case FoKind::kAnd:
+    case FoKind::kOr: {
+      std::vector<FoPtr> children;
+      children.reserve(f->children().size());
+      for (const FoPtr& c : f->children()) children.push_back(Simplify(c));
+      DedupStructural(&children);
+      return f->kind() == FoKind::kAnd ? FoAnd(std::move(children))
+                                       : FoOr(std::move(children));
+    }
+    case FoKind::kNot:
+      return FoNot(Simplify(f->child()));
+    case FoKind::kImplies:
+      return FoImplies(Simplify(f->children()[0]), Simplify(f->children()[1]));
+    case FoKind::kExists: {
+      FoPtr body = Simplify(f->child());
+      std::vector<Symbol> vars = f->qvars();
+      std::vector<FoPtr> conjuncts =
+          body->kind() == FoKind::kAnd ? body->children()
+                                       : std::vector<FoPtr>{body};
+      while (EliminatePinnedVar(&vars, &conjuncts)) {
+        for (FoPtr& c : conjuncts) c = Simplify(c);
+      }
+      return FoExists(std::move(vars), FoAnd(std::move(conjuncts)));
+    }
+    case FoKind::kForall: {
+      FoPtr body = Simplify(f->child());
+      // ∀x (x = t ∧ p → c) ⇒ (p → c)[x := t]; handled via the premise.
+      if (body->kind() == FoKind::kImplies) {
+        std::vector<Symbol> vars = f->qvars();
+        FoPtr premise = body->children()[0];
+        FoPtr conclusion = body->children()[1];
+        std::vector<FoPtr> pre =
+            premise->kind() == FoKind::kAnd ? premise->children()
+                                            : std::vector<FoPtr>{premise};
+        // Append the conclusion as a pseudo-conjunct so substitutions reach
+        // it, then split again.
+        pre.push_back(FoNot(conclusion));
+        bool changed = false;
+        while (EliminatePinnedVar(&vars, &pre)) changed = true;
+        if (changed && !pre.empty()) {
+          FoPtr new_conclusion = FoNot(pre.back());
+          pre.pop_back();
+          return FoForall(std::move(vars),
+                          FoImplies(FoAnd(std::move(pre)),
+                                    Simplify(new_conclusion)));
+        }
+      }
+      return FoForall(f->qvars(), std::move(body));
+    }
+  }
+  return f;
+}
+
+}  // namespace cqa

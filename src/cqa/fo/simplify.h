@@ -1,0 +1,27 @@
+#ifndef CQA_FO_SIMPLIFY_H_
+#define CQA_FO_SIMPLIFY_H_
+
+#include "cqa/fo/formula.h"
+
+namespace cqa {
+
+/// Structurally simplifies a formula while preserving logical equivalence
+/// (under the paper's FO semantics: equality, constants, infinite domain):
+///  * ⊤/⊥ folding and ∧/∨ flattening (via the factories),
+///  * deduplication of identical conjuncts/disjuncts,
+///  * elimination of quantified variables pinned by an equality, e.g.
+///    ∃y (z = y ∧ φ(y))  ⇒  φ(z),
+///  * dropping quantifiers over unused variables.
+///
+/// The consistent rewritings of Lemma 6.1 become substantially smaller and
+/// match the paper's hand-simplified forms (Examples 4.5, 6.11, Figure 2).
+FoPtr Simplify(const FoPtr& f);
+
+/// Capture-checked substitution of variable `v` by term `t` (which must be a
+/// constant or a variable). Returns nullptr if the substitution would
+/// capture `t` under a quantifier.
+FoPtr SubstituteVar(const FoPtr& f, Symbol v, const Term& t);
+
+}  // namespace cqa
+
+#endif  // CQA_FO_SIMPLIFY_H_

@@ -1,0 +1,147 @@
+#include "cqa/fo/sql.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace cqa {
+
+namespace {
+
+std::string EscapeSqlString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += '\'';  // double embedded quotes
+    out += c;
+  }
+  out += "'";
+  return out;
+}
+
+class SqlTranslator {
+ public:
+  std::string Translate(const Fo& f) {
+    std::unordered_map<Symbol, std::string> varmap;
+    return Tr(f, &varmap);
+  }
+
+ private:
+  std::string TermSql(const Term& t,
+                      const std::unordered_map<Symbol, std::string>& varmap) {
+    if (t.is_constant()) return EscapeSqlString(t.constant().name());
+    auto it = varmap.find(t.var());
+    assert(it != varmap.end() && "free variable in SQL translation");
+    return it->second;
+  }
+
+  std::string Tr(const Fo& f,
+                 std::unordered_map<Symbol, std::string>* varmap) {
+    switch (f.kind()) {
+      case FoKind::kTrue:
+        return "(1 = 1)";
+      case FoKind::kFalse:
+        return "(1 = 0)";
+      case FoKind::kAtom: {
+        std::string alias = "t" + std::to_string(next_alias_++);
+        std::string where;
+        for (size_t i = 0; i < f.terms().size(); ++i) {
+          if (!where.empty()) where += " AND ";
+          where += alias + ".c" + std::to_string(i + 1) + " = " +
+                   TermSql(f.terms()[i], *varmap);
+        }
+        return "EXISTS (SELECT 1 FROM " + f.relation_name() + " " + alias +
+               (where.empty() ? "" : " WHERE " + where) + ")";
+      }
+      case FoKind::kEquals:
+        return "(" + TermSql(f.lhs(), *varmap) + " = " +
+               TermSql(f.rhs(), *varmap) + ")";
+      case FoKind::kAnd:
+      case FoKind::kOr: {
+        const char* op = f.kind() == FoKind::kAnd ? " AND " : " OR ";
+        std::string out = "(";
+        for (size_t i = 0; i < f.children().size(); ++i) {
+          if (i > 0) out += op;
+          out += Tr(*f.children()[i], varmap);
+        }
+        return out + ")";
+      }
+      case FoKind::kNot:
+        return "NOT " + Tr(*f.child(), varmap);
+      case FoKind::kImplies:
+        return "(NOT " + Tr(*f.children()[0], varmap) + " OR " +
+               Tr(*f.children()[1], varmap) + ")";
+      case FoKind::kExists:
+      case FoKind::kForall: {
+        std::string from;
+        std::vector<std::pair<Symbol, std::string>> saved;
+        for (Symbol v : f.qvars()) {
+          std::string alias = "a" + std::to_string(next_alias_++);
+          if (!from.empty()) from += ", ";
+          from += "cqa_adom " + alias;
+          auto it = varmap->find(v);
+          saved.emplace_back(v, it == varmap->end() ? "" : it->second);
+          (*varmap)[v] = alias + ".v";
+        }
+        std::string body = Tr(*f.child(), varmap);
+        for (const auto& [v, old] : saved) {
+          if (old.empty()) {
+            varmap->erase(v);
+          } else {
+            (*varmap)[v] = old;
+          }
+        }
+        if (f.kind() == FoKind::kExists) {
+          return "EXISTS (SELECT 1 FROM " + from + " WHERE " + body + ")";
+        }
+        return "NOT EXISTS (SELECT 1 FROM " + from + " WHERE NOT " + body +
+               ")";
+      }
+    }
+    return "(1 = 0)";
+  }
+
+  int next_alias_ = 0;
+};
+
+}  // namespace
+
+std::string SchemaDdl(const Schema& schema) {
+  std::string out;
+  for (const RelationSchema& r : schema.relations()) {
+    out += "CREATE TABLE " + SymbolName(r.name) + " (";
+    for (int i = 1; i <= r.arity; ++i) {
+      if (i > 1) out += ", ";
+      out += "c" + std::to_string(i) + " TEXT NOT NULL";
+    }
+    // No PRIMARY KEY constraint: the stored instance may violate the key
+    // {c1..ck}; that is the whole point of consistent query answering.
+    out += ");  -- key: c1..c" + std::to_string(r.key_len) + "\n";
+  }
+  return out;
+}
+
+std::string AdomViewDdl(const Schema& schema) {
+  std::string out = "CREATE VIEW cqa_adom(v) AS\n";
+  bool first = true;
+  for (const RelationSchema& r : schema.relations()) {
+    for (int i = 1; i <= r.arity; ++i) {
+      if (!first) out += "  UNION\n";
+      first = false;
+      out += "  SELECT c" + std::to_string(i) + " FROM " + SymbolName(r.name) +
+             "\n";
+    }
+  }
+  if (first) out += "  SELECT 'none' WHERE 1 = 0\n";
+  out += ";\n";
+  return out;
+}
+
+std::string ToSqlCondition(const FoPtr& f) {
+  return SqlTranslator().Translate(*f);
+}
+
+std::string ToSqlQuery(const FoPtr& f) {
+  return "SELECT CASE WHEN " + ToSqlCondition(f) +
+         " THEN 1 ELSE 0 END AS certain;";
+}
+
+}  // namespace cqa

@@ -1,0 +1,35 @@
+#ifndef CQA_FO_SQL_H_
+#define CQA_FO_SQL_H_
+
+#include <string>
+
+#include "cqa/fo/formula.h"
+#include "cqa/query/schema.h"
+
+namespace cqa {
+
+/// SQL generation: turns a consistent first-order rewriting into a single
+/// SQL query, which is the practical payoff of Theorem 4.3 — certain answers
+/// computable by any SQL engine, no repair enumeration.
+///
+/// Quantifiers are relativised to an active-domain view `cqa_adom(v)`. This
+/// is equivalent to the paper's infinite-domain semantics for the formulas
+/// produced by the rewriter, because every quantified variable is guarded by
+/// a positive atom occurrence (see DESIGN.md).
+
+/// `CREATE TABLE` statements for all relations (TEXT columns c1..cn; no
+/// PRIMARY KEY constraint, since the instance may violate it).
+std::string SchemaDdl(const Schema& schema);
+
+/// `CREATE VIEW cqa_adom(v) AS ...` over all columns of all relations.
+std::string AdomViewDdl(const Schema& schema);
+
+/// A boolean SQL expression equivalent to the sentence `f`.
+std::string ToSqlCondition(const FoPtr& f);
+
+/// A complete `SELECT` producing a single row with column `certain` ∈ {0,1}.
+std::string ToSqlQuery(const FoPtr& f);
+
+}  // namespace cqa
+
+#endif  // CQA_FO_SQL_H_

@@ -1,0 +1,27 @@
+#ifndef CQA_GEN_FAMILIES_H_
+#define CQA_GEN_FAMILIES_H_
+
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Parametric query families used by tests and benchmarks to study how the
+/// paper's machinery scales with query size.
+
+/// Chain: C0(x0|x1), C1(x1|x2), ..., C{k-1}(x{k-1}|xk), optionally followed
+/// by ¬CN(x{k-1}|xk). Acyclic attack graph for every k (in FO).
+Query ChainQuery(int k, bool negated_tail = true);
+
+/// Cycle: C0(x0|x1), ..., C{k-1}(x{k-1}|x0). The attack graph is cyclic for
+/// k >= 2 (and contains a 2-cycle, per [19]'s structure theory), so
+/// CERTAINTY is L-hard.
+Query CycleQuery(int k);
+
+/// Star: Core(x | y1,...,yb) plus negated leaves ¬N1(x|y1), ..., ¬Nb(x|yb).
+/// Guarded negation, acyclic attack graph (in FO); the rewriting nests one
+/// block quantification per leaf, mirroring q_Hall's exponential growth.
+Query StarQuery(int branches);
+
+}  // namespace cqa
+
+#endif  // CQA_GEN_FAMILIES_H_

@@ -1,0 +1,95 @@
+#include "cqa/gen/poll.h"
+
+namespace cqa {
+
+Schema PollSchema() {
+  Schema s;
+  s.AddRelationOrDie("Likes", 2, 2);  // all-key: a person may like many towns
+  s.AddRelationOrDie("Born", 2, 1);
+  s.AddRelationOrDie("Lives", 2, 1);
+  s.AddRelationOrDie("Mayor", 2, 1);
+  return s;
+}
+
+namespace {
+Term VarP() { return Term::Var("p"); }
+Term VarT() { return Term::Var("t"); }
+}  // namespace
+
+Query PollQ1() {
+  return Query::MakeOrDie({
+      Pos(Atom("Mayor", 1, {VarT(), VarP()})),
+      Neg(Atom("Lives", 1, {VarP(), VarT()})),
+  });
+}
+
+Query PollQ2() {
+  return Query::MakeOrDie({
+      Pos(Atom("Likes", 2, {VarP(), VarT()})),
+      Neg(Atom("Lives", 1, {VarP(), VarT()})),
+      Neg(Atom("Mayor", 1, {VarT(), VarP()})),
+  });
+}
+
+Query PollQa() {
+  return Query::MakeOrDie({
+      Pos(Atom("Lives", 1, {VarP(), VarT()})),
+      Neg(Atom("Born", 1, {VarP(), VarT()})),
+      Neg(Atom("Likes", 2, {VarP(), VarT()})),
+  });
+}
+
+Query PollQb() {
+  return Query::MakeOrDie({
+      Pos(Atom("Likes", 2, {VarP(), VarT()})),
+      Neg(Atom("Born", 1, {VarP(), VarT()})),
+      Neg(Atom("Lives", 1, {VarP(), VarT()})),
+  });
+}
+
+Database GeneratePollDatabase(const PollDbOptions& options, Rng* rng) {
+  Database db(PollSchema());
+  auto town = [&](uint64_t i) {
+    return Value::Of("town" + std::to_string(i));
+  };
+  auto person = [&](int i) {
+    return Value::Of("person" + std::to_string(i));
+  };
+  auto random_town = [&] {
+    return town(rng->Below(static_cast<uint64_t>(options.num_towns)));
+  };
+
+  for (int p = 0; p < options.num_persons; ++p) {
+    db.AddFactOrDie("Born", {person(p), random_town()});
+    if (rng->Chance(options.inconsistency)) {
+      db.AddFactOrDie("Born", {person(p), random_town()});
+    }
+    db.AddFactOrDie("Lives", {person(p), random_town()});
+    if (rng->Chance(options.inconsistency)) {
+      db.AddFactOrDie("Lives", {person(p), random_town()});
+    }
+    if (rng->Chance(options.likes_rate)) {
+      db.AddFactOrDie("Likes", {person(p), random_town()});
+      if (rng->Chance(options.inconsistency)) {
+        db.AddFactOrDie("Likes", {person(p), random_town()});
+      }
+    }
+  }
+  for (int t = 0; t < options.num_towns; ++t) {
+    db.AddFactOrDie(
+        "Mayor",
+        {town(static_cast<uint64_t>(t)),
+         person(static_cast<int>(
+             rng->Below(static_cast<uint64_t>(options.num_persons))))});
+    if (rng->Chance(options.inconsistency)) {
+      db.AddFactOrDie(
+          "Mayor",
+          {town(static_cast<uint64_t>(t)),
+           person(static_cast<int>(
+               rng->Below(static_cast<uint64_t>(options.num_persons))))});
+    }
+  }
+  return db;
+}
+
+}  // namespace cqa

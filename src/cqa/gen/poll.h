@@ -1,0 +1,37 @@
+#ifndef CQA_GEN_POLL_H_
+#define CQA_GEN_POLL_H_
+
+#include "cqa/base/rng.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// The persons/towns schema of Example 4.6:
+///   Likes(p, t) [all-key], Born(p | t), Lives(p | t), Mayor(t | p).
+Schema PollSchema();
+
+/// The four named queries of Example 4.6. q1/q2 have cyclic attack graphs
+/// (no consistent FO rewriting); qa/qb are acyclic (rewritable).
+Query PollQ1();  // { Mayor(t | p), ¬Lives(p | t) }
+Query PollQ2();  // { Likes(p, t), ¬Lives(p | t), ¬Mayor(t | p) }
+Query PollQa();  // { Lives(p | t), ¬Born(p | t), ¬Likes(p, t) }
+Query PollQb();  // { Likes(p, t), ¬Born(p | t), ¬Lives(p | t) }
+
+struct PollDbOptions {
+  int num_persons = 10;
+  int num_towns = 4;
+  /// Probability that a person/town gets a second, key-violating fact in a
+  /// given relation.
+  double inconsistency = 0.3;
+  /// Probability that a person appears in Likes at all.
+  double likes_rate = 0.8;
+};
+
+/// Random poll data: every person has Born and Lives facts (possibly
+/// inconsistent), most like some town, and every town has a mayor.
+Database GeneratePollDatabase(const PollDbOptions& options, Rng* rng);
+
+}  // namespace cqa
+
+#endif  // CQA_GEN_POLL_H_

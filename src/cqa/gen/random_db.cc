@@ -1,0 +1,51 @@
+#include "cqa/gen/random_db.h"
+
+#include <cassert>
+
+namespace cqa {
+
+Database GenerateRandomDatabase(const Schema& schema,
+                                const RandomDbOptions& options, Rng* rng,
+                                const std::vector<Value>& extra_pool) {
+  std::vector<Value> pool;
+  for (int i = 0; i < options.domain_size; ++i) {
+    pool.push_back(Value::Of("v" + std::to_string(i)));
+  }
+  for (Value v : extra_pool) pool.push_back(v);
+  assert(!pool.empty());
+
+  auto draw = [&] { return pool[rng->Below(pool.size())]; };
+
+  Database db(schema);
+  for (const RelationSchema& rs : schema.relations()) {
+    for (int b = 0; b < options.blocks_per_relation; ++b) {
+      Tuple key;
+      for (int i = 0; i < rs.key_len; ++i) key.push_back(draw());
+      int64_t size =
+          rng->Range(options.min_block_size, options.max_block_size);
+      for (int64_t f = 0; f < size; ++f) {
+        Tuple values = key;
+        for (int i = rs.key_len; i < rs.arity; ++i) values.push_back(draw());
+        db.AddFactOrDie(SymbolName(rs.name), std::move(values));
+      }
+    }
+  }
+  return db;
+}
+
+Database GenerateRandomDatabaseFor(const Query& q,
+                                   const RandomDbOptions& options, Rng* rng) {
+  Schema schema;
+  Result<bool> reg = q.RegisterInto(&schema);
+  assert(reg.ok());
+  (void)reg;
+  std::vector<Value> extra;
+  for (const Literal& l : q.literals()) {
+    for (const Term& t : l.atom.terms()) {
+      if (t.is_constant()) extra.push_back(t.constant());
+    }
+  }
+  return GenerateRandomDatabase(schema, options, rng, extra);
+}
+
+}  // namespace cqa

@@ -1,0 +1,37 @@
+#ifndef CQA_GEN_RANDOM_DB_H_
+#define CQA_GEN_RANDOM_DB_H_
+
+#include <vector>
+
+#include "cqa/base/rng.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Knobs for random inconsistent database generation.
+struct RandomDbOptions {
+  /// Key tuples drawn per relation (several draws may merge into one block).
+  int blocks_per_relation = 4;
+  int min_block_size = 1;
+  int max_block_size = 3;
+  /// Values are drawn from a shared pool v0..v{domain_size-1}, so joins
+  /// across relations actually hit.
+  int domain_size = 5;
+};
+
+/// A random (typically inconsistent) database over `schema`. `extra_pool`
+/// values (e.g. the constants of a query under test) are added to the value
+/// pool so that constant atoms can match.
+Database GenerateRandomDatabase(const Schema& schema,
+                                const RandomDbOptions& options, Rng* rng,
+                                const std::vector<Value>& extra_pool = {});
+
+/// Convenience: derives the schema from `q`'s literals and seeds the pool
+/// with `q`'s constants.
+Database GenerateRandomDatabaseFor(const Query& q,
+                                   const RandomDbOptions& options, Rng* rng);
+
+}  // namespace cqa
+
+#endif  // CQA_GEN_RANDOM_DB_H_

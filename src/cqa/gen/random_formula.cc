@@ -1,0 +1,93 @@
+#include "cqa/gen/random_formula.h"
+
+#include <cassert>
+
+namespace cqa {
+
+namespace {
+
+struct Generator {
+  const Schema* schema;
+  const RandomFormulaOptions* opts;
+  Rng* rng;
+  std::vector<Symbol> vars;
+
+  Term RandomTerm() {
+    if (rng->Chance(opts->constant_prob)) {
+      return Term::Const("fc" + std::to_string(rng->Below(3)));
+    }
+    return Term::VarOf(vars[rng->Below(vars.size())]);
+  }
+
+  FoPtr Atom() {
+    const auto& relations = schema->relations();
+    const RelationSchema& rs = relations[rng->Below(relations.size())];
+    std::vector<Term> terms;
+    for (int i = 0; i < rs.arity; ++i) terms.push_back(RandomTerm());
+    return FoAtom(rs.name, rs.key_len, std::move(terms));
+  }
+
+  FoPtr Gen(int depth) {
+    if (depth <= 0) {
+      switch (rng->Below(3)) {
+        case 0:
+          return Atom();
+        case 1:
+          return FoEquals(RandomTerm(), RandomTerm());
+        default:
+          return rng->Chance(0.5) ? FoNot(Atom()) : Atom();
+      }
+    }
+    switch (rng->Below(7)) {
+      case 0: {
+        std::vector<FoPtr> children;
+        for (int i = 0; i < 2; ++i) children.push_back(Gen(depth - 1));
+        return FoAnd(std::move(children));
+      }
+      case 1: {
+        std::vector<FoPtr> children;
+        for (int i = 0; i < 2; ++i) children.push_back(Gen(depth - 1));
+        return FoOr(std::move(children));
+      }
+      case 2:
+        return FoNot(Gen(depth - 1));
+      case 3:
+        return FoImplies(Gen(depth - 1), Gen(depth - 1));
+      case 4: {
+        Symbol v = vars[rng->Below(vars.size())];
+        return FoExists({v}, Gen(depth - 1));
+      }
+      case 5: {
+        Symbol v = vars[rng->Below(vars.size())];
+        return FoForall({v}, Gen(depth - 1));
+      }
+      default:
+        return Atom();
+    }
+  }
+};
+
+}  // namespace
+
+FoPtr GenerateRandomFormula(const Schema& schema,
+                            const RandomFormulaOptions& options, Rng* rng) {
+  assert(!schema.relations().empty());
+  Generator gen;
+  gen.schema = &schema;
+  gen.opts = &options;
+  gen.rng = rng;
+  for (int i = 0; i < options.num_vars; ++i) {
+    gen.vars.push_back(InternSymbol("fv" + std::to_string(i)));
+  }
+  FoPtr f = gen.Gen(options.max_depth);
+  if (options.closed) {
+    SymbolSet free = f->FreeVars();
+    if (!free.empty()) {
+      f = rng->Chance(0.5) ? FoExists(free.items(), std::move(f))
+                           : FoForall(free.items(), std::move(f));
+    }
+  }
+  return f;
+}
+
+}  // namespace cqa

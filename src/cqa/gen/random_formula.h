@@ -1,0 +1,27 @@
+#ifndef CQA_GEN_RANDOM_FORMULA_H_
+#define CQA_GEN_RANDOM_FORMULA_H_
+
+#include "cqa/base/rng.h"
+#include "cqa/fo/formula.h"
+#include "cqa/query/schema.h"
+
+namespace cqa {
+
+struct RandomFormulaOptions {
+  int max_depth = 4;
+  int num_vars = 3;
+  double constant_prob = 0.2;
+  /// If true, the formula is closed by quantifying leftover free variables.
+  bool closed = true;
+};
+
+/// A random first-order sentence over `schema`, exercising every connective
+/// and quantifier kind. Used to differentially test the tuple-at-a-time
+/// evaluator (FoEvaluator) against the relational-algebra engine
+/// (EvalFoAlgebra), whose semantics provably coincide.
+FoPtr GenerateRandomFormula(const Schema& schema,
+                            const RandomFormulaOptions& options, Rng* rng);
+
+}  // namespace cqa
+
+#endif  // CQA_GEN_RANDOM_FORMULA_H_

@@ -1,0 +1,72 @@
+#include "cqa/gen/random_query.h"
+
+#include <cassert>
+
+namespace cqa {
+
+namespace {
+
+Term DrawTerm(const std::vector<Symbol>& vars, double constant_prob,
+              Rng* rng) {
+  if (rng->Chance(constant_prob)) {
+    return Term::Const("c" + std::to_string(rng->Below(2)));
+  }
+  return Term::VarOf(vars[rng->Below(vars.size())]);
+}
+
+}  // namespace
+
+Query GenerateRandomQuery(const RandomQueryOptions& options, Rng* rng) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<Symbol> vars;
+    for (int i = 0; i < options.num_vars; ++i) {
+      vars.push_back(InternSymbol("x" + std::to_string(i)));
+    }
+
+    std::vector<Literal> literals;
+    int n_pos = static_cast<int>(
+        rng->Range(options.min_positive, options.max_positive));
+    for (int p = 0; p < n_pos; ++p) {
+      int arity = static_cast<int>(rng->Range(1, options.max_arity));
+      int key_len = static_cast<int>(rng->Range(1, arity));
+      std::vector<Term> terms;
+      for (int i = 0; i < arity; ++i) {
+        terms.push_back(DrawTerm(vars, options.constant_prob, rng));
+      }
+      literals.push_back(
+          Pos(Atom("P" + std::to_string(p), key_len, std::move(terms))));
+    }
+
+    // Negated atoms draw variables from one positive guard atom, which makes
+    // the query guarded (hence weakly guarded) by construction; a sprinkle
+    // of constants keeps shapes varied.
+    int n_neg = static_cast<int>(rng->Range(0, options.max_negative));
+    for (int n = 0; n < n_neg; ++n) {
+      const Atom& guard =
+          literals[rng->Below(static_cast<size_t>(n_pos))].atom;
+      SymbolSet guard_vars = guard.Vars();
+      std::vector<Symbol> pool = guard_vars.items();
+      int arity = static_cast<int>(rng->Range(1, options.max_arity));
+      int key_len = static_cast<int>(rng->Range(1, arity));
+      std::vector<Term> terms;
+      for (int i = 0; i < arity; ++i) {
+        if (pool.empty() || rng->Chance(options.constant_prob)) {
+          terms.push_back(Term::Const("c" + std::to_string(rng->Below(2))));
+        } else {
+          terms.push_back(Term::VarOf(pool[rng->Below(pool.size())]));
+        }
+      }
+      literals.push_back(
+          Neg(Atom("N" + std::to_string(n), key_len, std::move(terms))));
+    }
+
+    Result<Query> q = Query::Make(std::move(literals));
+    if (!q.ok()) continue;
+    if (options.require_weakly_guarded && !q->IsWeaklyGuarded()) continue;
+    return q.value();
+  }
+  assert(false && "random query generation failed repeatedly");
+  return Query::MakeOrDie({Pos(Atom("P0", 1, {Term::Var("x0")}))});
+}
+
+}  // namespace cqa

@@ -1,0 +1,29 @@
+#ifndef CQA_GEN_RANDOM_QUERY_H_
+#define CQA_GEN_RANDOM_QUERY_H_
+
+#include "cqa/base/rng.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Knobs for random sjfBCQ¬ query generation.
+struct RandomQueryOptions {
+  int min_positive = 1;
+  int max_positive = 3;
+  int max_negative = 2;
+  int max_arity = 3;
+  int num_vars = 4;
+  double constant_prob = 0.15;
+  /// If true (default), only weakly-guarded queries are returned; negated
+  /// atoms draw their variables so that the guard condition holds (retrying
+  /// if necessary).
+  bool require_weakly_guarded = true;
+};
+
+/// Generates a random valid (safe, self-join-free) query. Deterministic for
+/// a given RNG state.
+Query GenerateRandomQuery(const RandomQueryOptions& options, Rng* rng);
+
+}  // namespace cqa
+
+#endif  // CQA_GEN_RANDOM_QUERY_H_

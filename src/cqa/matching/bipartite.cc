@@ -1,0 +1,19 @@
+#include "cqa/matching/bipartite.h"
+
+#include <cassert>
+
+namespace cqa {
+
+void BipartiteGraph::AddEdge(int l, int r) {
+  assert(l >= 0 && static_cast<size_t>(l) < adj_.size());
+  assert(r >= 0 && r < num_right_);
+  adj_[static_cast<size_t>(l)].push_back(r);
+}
+
+size_t BipartiteGraph::NumEdges() const {
+  size_t n = 0;
+  for (const auto& nbrs : adj_) n += nbrs.size();
+  return n;
+}
+
+}  // namespace cqa

@@ -1,0 +1,35 @@
+#ifndef CQA_MATCHING_BIPARTITE_H_
+#define CQA_MATCHING_BIPARTITE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cqa {
+
+/// A bipartite graph with `num_left` left vertices and `num_right` right
+/// vertices, adjacency stored on the left side.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int num_left, int num_right)
+      : num_right_(num_right), adj_(static_cast<size_t>(num_left)) {}
+
+  int num_left() const { return static_cast<int>(adj_.size()); }
+  int num_right() const { return num_right_; }
+
+  /// Adds edge (l, r). Duplicate edges are allowed and harmless.
+  void AddEdge(int l, int r);
+
+  const std::vector<int>& Neighbors(int l) const {
+    return adj_[static_cast<size_t>(l)];
+  }
+
+  size_t NumEdges() const;
+
+ private:
+  int num_right_;
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_MATCHING_BIPARTITE_H_

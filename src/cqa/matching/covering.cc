@@ -1,0 +1,25 @@
+#include "cqa/matching/covering.h"
+
+#include <cassert>
+
+#include "cqa/matching/hopcroft_karp.h"
+
+namespace cqa {
+
+std::optional<SCoveringSolution> SolveSCovering(
+    const SCoveringInstance& inst) {
+  BipartiteGraph g(inst.num_elements, static_cast<int>(inst.sets.size()));
+  for (size_t t = 0; t < inst.sets.size(); ++t) {
+    for (int a : inst.sets[t]) {
+      assert(a >= 0 && a < inst.num_elements);
+      g.AddEdge(a, static_cast<int>(t));
+    }
+  }
+  Matching m = MaxMatching(g);
+  if (m.size != inst.num_elements) return std::nullopt;
+  SCoveringSolution out;
+  out.assigned_set = std::move(m.match_left);
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,29 @@
+#ifndef CQA_MATCHING_COVERING_H_
+#define CQA_MATCHING_COVERING_H_
+
+#include <optional>
+#include <vector>
+
+namespace cqa {
+
+/// The S-COVERING problem of Example 1.2: given a set S = {0..num_elements-1}
+/// and a list of subsets T_1..T_ℓ, pick at most one element from each T_i so
+/// that every element of S is picked exactly once, i.e. find an injective
+/// f : S → {1..ℓ} with a ∈ T_{f(a)}.
+struct SCoveringInstance {
+  int num_elements = 0;
+  std::vector<std::vector<int>> sets;  // T_1..T_ℓ, elements in [0, n)
+};
+
+/// A solution maps each element a to the index of the set it is picked from.
+struct SCoveringSolution {
+  std::vector<int> assigned_set;  // size num_elements
+};
+
+/// Solves S-COVERING via left-saturating bipartite matching (elements × set
+/// indices). Returns nullopt if no covering exists (Hall's condition fails).
+std::optional<SCoveringSolution> SolveSCovering(const SCoveringInstance& inst);
+
+}  // namespace cqa
+
+#endif  // CQA_MATCHING_COVERING_H_

@@ -1,0 +1,52 @@
+#include "cqa/matching/hall.h"
+
+#include <deque>
+
+#include "cqa/matching/hopcroft_karp.h"
+
+namespace cqa {
+
+bool HallConditionHolds(const BipartiteGraph& g) {
+  return HasLeftPerfectMatching(g);
+}
+
+std::optional<std::vector<int>> FindHallViolator(const BipartiteGraph& g) {
+  Matching m = MaxMatching(g);
+  if (m.size == g.num_left()) return std::nullopt;
+  // Pick an unmatched left vertex and grow alternating reachability:
+  // left -> any neighbor, right -> its matched left vertex.
+  int start = -1;
+  for (int l = 0; l < g.num_left(); ++l) {
+    if (m.match_left[static_cast<size_t>(l)] < 0) {
+      start = l;
+      break;
+    }
+  }
+  std::vector<bool> left_seen(static_cast<size_t>(g.num_left()), false);
+  std::vector<bool> right_seen(static_cast<size_t>(g.num_right()), false);
+  std::deque<int> queue{start};
+  left_seen[static_cast<size_t>(start)] = true;
+  while (!queue.empty()) {
+    int l = queue.front();
+    queue.pop_front();
+    for (int r : g.Neighbors(l)) {
+      if (right_seen[static_cast<size_t>(r)]) continue;
+      right_seen[static_cast<size_t>(r)] = true;
+      int l2 = m.match_right[static_cast<size_t>(r)];
+      if (l2 >= 0 && !left_seen[static_cast<size_t>(l2)]) {
+        left_seen[static_cast<size_t>(l2)] = true;
+        queue.push_back(l2);
+      }
+    }
+  }
+  // All reached right vertices are matched (else an augmenting path would
+  // exist), and every reached left vertex's neighborhood is reached, so the
+  // reached left set S has |N(S)| = |S| - 1.
+  std::vector<int> violator;
+  for (int l = 0; l < g.num_left(); ++l) {
+    if (left_seen[static_cast<size_t>(l)]) violator.push_back(l);
+  }
+  return violator;
+}
+
+}  // namespace cqa

@@ -1,0 +1,25 @@
+#ifndef CQA_MATCHING_HALL_H_
+#define CQA_MATCHING_HALL_H_
+
+#include <optional>
+#include <vector>
+
+#include "cqa/matching/bipartite.h"
+
+namespace cqa {
+
+/// Hall's Marriage Theorem utilities [14]. A left-saturating matching exists
+/// iff |N(S)| >= |S| for every subset S of left vertices.
+
+/// Checks Hall's condition by maximum matching (deficiency version of the
+/// theorem); equivalent to `HasLeftPerfectMatching`.
+bool HallConditionHolds(const BipartiteGraph& g);
+
+/// A violating set S (|N(S)| < |S|) if Hall's condition fails, found by
+/// taking the left vertices reachable by alternating paths from an
+/// unmatched left vertex. Returns nullopt if the condition holds.
+std::optional<std::vector<int>> FindHallViolator(const BipartiteGraph& g);
+
+}  // namespace cqa
+
+#endif  // CQA_MATCHING_HALL_H_

@@ -1,0 +1,88 @@
+#include "cqa/matching/hopcroft_karp.h"
+
+#include <deque>
+#include <limits>
+
+namespace cqa {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+struct HkState {
+  const BipartiteGraph* g;
+  std::vector<int> match_l;
+  std::vector<int> match_r;
+  std::vector<int> dist;
+
+  bool Bfs() {
+    std::deque<int> queue;
+    dist.assign(static_cast<size_t>(g->num_left()), kInf);
+    for (int l = 0; l < g->num_left(); ++l) {
+      if (match_l[static_cast<size_t>(l)] < 0) {
+        dist[static_cast<size_t>(l)] = 0;
+        queue.push_back(l);
+      }
+    }
+    bool found_free = false;
+    while (!queue.empty()) {
+      int l = queue.front();
+      queue.pop_front();
+      for (int r : g->Neighbors(l)) {
+        int l2 = match_r[static_cast<size_t>(r)];
+        if (l2 < 0) {
+          found_free = true;
+        } else if (dist[static_cast<size_t>(l2)] == kInf) {
+          dist[static_cast<size_t>(l2)] = dist[static_cast<size_t>(l)] + 1;
+          queue.push_back(l2);
+        }
+      }
+    }
+    return found_free;
+  }
+
+  bool Dfs(int l) {
+    for (int r : g->Neighbors(l)) {
+      int l2 = match_r[static_cast<size_t>(r)];
+      if (l2 < 0 || (dist[static_cast<size_t>(l2)] ==
+                         dist[static_cast<size_t>(l)] + 1 &&
+                     Dfs(l2))) {
+        match_l[static_cast<size_t>(l)] = r;
+        match_r[static_cast<size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<size_t>(l)] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching MaxMatching(const BipartiteGraph& g) {
+  HkState s;
+  s.g = &g;
+  s.match_l.assign(static_cast<size_t>(g.num_left()), -1);
+  s.match_r.assign(static_cast<size_t>(g.num_right()), -1);
+  int size = 0;
+  while (s.Bfs()) {
+    for (int l = 0; l < g.num_left(); ++l) {
+      if (s.match_l[static_cast<size_t>(l)] < 0 && s.Dfs(l)) ++size;
+    }
+  }
+  Matching out;
+  out.size = size;
+  out.match_left = std::move(s.match_l);
+  out.match_right = std::move(s.match_r);
+  return out;
+}
+
+bool HasLeftPerfectMatching(const BipartiteGraph& g) {
+  return MaxMatching(g).size == g.num_left();
+}
+
+bool HasPerfectMatching(const BipartiteGraph& g) {
+  return g.num_left() == g.num_right() && HasLeftPerfectMatching(g);
+}
+
+}  // namespace cqa

@@ -1,0 +1,32 @@
+#ifndef CQA_MATCHING_HOPCROFT_KARP_H_
+#define CQA_MATCHING_HOPCROFT_KARP_H_
+
+#include <vector>
+
+#include "cqa/matching/bipartite.h"
+
+namespace cqa {
+
+/// Result of a maximum-matching computation.
+struct Matching {
+  int size = 0;
+  /// match_left[l] = matched right vertex, or -1.
+  std::vector<int> match_left;
+  /// match_right[r] = matched left vertex, or -1.
+  std::vector<int> match_right;
+};
+
+/// Hopcroft–Karp maximum bipartite matching, O(E·√V). This is the
+/// polynomial engine behind the BIPARTITE PERFECT MATCHING connection of
+/// Lemma 5.2 and the Hall-theorem machinery of Examples 1.2/6.12.
+Matching MaxMatching(const BipartiteGraph& g);
+
+/// True iff a matching saturating every left vertex exists.
+bool HasLeftPerfectMatching(const BipartiteGraph& g);
+
+/// True iff `g` has a perfect matching (requires num_left == num_right).
+bool HasPerfectMatching(const BipartiteGraph& g);
+
+}  // namespace cqa
+
+#endif  // CQA_MATCHING_HOPCROFT_KARP_H_

@@ -1,0 +1,59 @@
+#include "cqa/query/atom.h"
+
+#include <cassert>
+
+namespace cqa {
+
+Atom::Atom(std::string_view relation, int key_len, std::vector<Term> terms)
+    : Atom(InternSymbol(relation), key_len, std::move(terms)) {}
+
+Atom::Atom(Symbol relation, int key_len, std::vector<Term> terms)
+    : relation_(relation), key_len_(key_len), terms_(std::move(terms)) {
+  assert(key_len_ >= 1);
+  assert(static_cast<size_t>(key_len_) <= terms_.size());
+}
+
+SymbolSet Atom::KeyVars(const SymbolSet& treat_as_const) const {
+  SymbolSet out;
+  for (int i = 0; i < key_len_; ++i) {
+    const Term& t = terms_[static_cast<size_t>(i)];
+    if (t.is_variable() && !treat_as_const.contains(t.var())) {
+      out.Insert(t.var());
+    }
+  }
+  return out;
+}
+
+SymbolSet Atom::Vars(const SymbolSet& treat_as_const) const {
+  SymbolSet out;
+  for (const Term& t : terms_) {
+    if (t.is_variable() && !treat_as_const.contains(t.var())) {
+      out.Insert(t.var());
+    }
+  }
+  return out;
+}
+
+bool Atom::IsGround(const SymbolSet& treat_as_const) const {
+  return Vars(treat_as_const).empty();
+}
+
+Atom Atom::Substituted(Symbol v, Value c) const {
+  std::vector<Term> terms = terms_;
+  for (Term& t : terms) {
+    if (t.is_variable() && t.var() == v) t = Term::Const(c);
+  }
+  return Atom(relation_, key_len_, std::move(terms));
+}
+
+std::string Atom::ToString() const {
+  std::string out = relation_name() + "(";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) out += (i == key_len_) ? " | " : ", ";
+    out += terms_[static_cast<size_t>(i)].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cqa

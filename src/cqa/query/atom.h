@@ -1,0 +1,64 @@
+#ifndef CQA_QUERY_ATOM_H_
+#define CQA_QUERY_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "cqa/base/interner.h"
+#include "cqa/base/symbol_set.h"
+#include "cqa/base/value.h"
+#include "cqa/query/term.h"
+
+namespace cqa {
+
+/// An atom R(s1,...,sn) over a relation with signature [n,k]: the first `k`
+/// positions form the primary key. Terms may be variables or constants.
+class Atom {
+ public:
+  /// Constructs an atom. `key_len` must satisfy 1 <= key_len <= terms.size().
+  Atom(std::string_view relation, int key_len, std::vector<Term> terms);
+  Atom(Symbol relation, int key_len, std::vector<Term> terms);
+
+  Symbol relation() const { return relation_; }
+  const std::string& relation_name() const { return SymbolName(relation_); }
+  int key_len() const { return key_len_; }
+  int arity() const { return static_cast<int>(terms_.size()); }
+  const std::vector<Term>& terms() const { return terms_; }
+  const Term& term(int i) const { return terms_[static_cast<size_t>(i)]; }
+
+  /// True iff the primary key spans every position (signature [n,n]).
+  bool IsAllKey() const { return key_len_ == arity(); }
+  /// True iff the primary key is a single position (signature [n,1]).
+  bool IsSimpleKey() const { return key_len_ == 1; }
+
+  /// Variables occurring in the key positions, excluding `treat_as_const`
+  /// (variables that have been reified and behave like constants).
+  SymbolSet KeyVars(const SymbolSet& treat_as_const = SymbolSet()) const;
+
+  /// All variables of the atom, with the same exclusion.
+  SymbolSet Vars(const SymbolSet& treat_as_const = SymbolSet()) const;
+
+  /// True iff no variable outside `treat_as_const` occurs.
+  bool IsGround(const SymbolSet& treat_as_const = SymbolSet()) const;
+
+  /// Replaces every occurrence of variable `v` by constant `c`.
+  Atom Substituted(Symbol v, Value c) const;
+
+  /// Renders as "R(x, 'a' | y)" with "|" separating key from non-key part;
+  /// all-key atoms render without the separator.
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation_ == b.relation_ && a.key_len_ == b.key_len_ &&
+           a.terms_ == b.terms_;
+  }
+
+ private:
+  Symbol relation_;
+  int key_len_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_QUERY_ATOM_H_

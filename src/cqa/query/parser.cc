@@ -1,0 +1,250 @@
+#include "cqa/query/parser.h"
+
+#include <cctype>
+
+namespace cqa {
+
+namespace {
+
+// A minimal hand-written lexer shared by the query and fact parsers.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '-') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // Reads an identifier ([A-Za-z_][A-Za-z0-9_]*); empty if none.
+  std::string ReadIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ > start &&
+        std::isdigit(static_cast<unsigned char>(text_[start]))) {
+      pos_ = start;  // a number, not an identifier
+      return "";
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Reads a number as its string spelling; empty if none.
+  std::string ReadNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Reads a quoted constant 'abc'; an embedded quote is doubled (''), as
+  // in SQL. Returns false on malformed input.
+  bool ReadQuoted(std::string* out) {
+    if (!Consume('\'')) return false;
+    std::string s;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '\'') {
+        if (pos_ < text_.size() && text_[pos_] == '\'') {
+          s += '\'';
+          ++pos_;
+          continue;
+        }
+        *out = s;
+        return true;
+      }
+      s += c;
+    }
+    return false;  // unterminated
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Parses one term. In fact context (`constants_only`), bare identifiers are
+// constants instead of variables.
+Result<Term> ParseTerm(Lexer* lex, bool constants_only) {
+  char c = lex->Peek();
+  if (c == '\'') {
+    std::string s;
+    if (!lex->ReadQuoted(&s)) {
+      return Result<Term>::Error("unterminated quoted constant");
+    }
+    return Term::Const(s);
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    return Term::Const(lex->ReadNumber());
+  }
+  std::string ident = lex->ReadIdent();
+  if (ident.empty()) {
+    return Result<Term>::Error("expected a term at position " +
+                               std::to_string(lex->pos()));
+  }
+  if (constants_only) return Term::Const(ident);
+  return Term::Var(ident);
+}
+
+struct ParsedAtom {
+  std::string relation;
+  int key_len = 0;
+  std::vector<Term> terms;
+};
+
+// Parses the body of an atom whose relation name `name` has already been
+// consumed.
+Result<ParsedAtom> ParseAtomBody(Lexer* lex, std::string name,
+                                 bool constants_only) {
+  ParsedAtom out;
+  out.relation = std::move(name);
+  if (out.relation.empty()) {
+    return Result<ParsedAtom>::Error("expected a relation name at position " +
+                                     std::to_string(lex->pos()));
+  }
+  if (!lex->Consume('(')) {
+    return Result<ParsedAtom>::Error("expected '(' after relation name '" +
+                                     out.relation + "'");
+  }
+  int key_len = -1;  // -1: no '|' seen yet
+  while (true) {
+    Result<Term> t = ParseTerm(lex, constants_only);
+    if (!t.ok()) return Result<ParsedAtom>::Error(t.error());
+    out.terms.push_back(t.value());
+    if (lex->Consume(',')) continue;
+    if (lex->Consume('|')) {
+      if (key_len != -1) {
+        return Result<ParsedAtom>::Error("multiple '|' in atom '" +
+                                         out.relation + "'");
+      }
+      key_len = static_cast<int>(out.terms.size());
+      continue;
+    }
+    if (lex->Consume(')')) break;
+    return Result<ParsedAtom>::Error("expected ',', '|' or ')' in atom '" +
+                                     out.relation + "'");
+  }
+  out.key_len = key_len == -1 ? static_cast<int>(out.terms.size()) : key_len;
+  if (out.key_len < 1) {
+    return Result<ParsedAtom>::Error("atom '" + out.relation +
+                                     "' has an empty primary key");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  Lexer lex(text);
+  std::vector<Literal> literals;
+  std::vector<Diseq> diseqs;
+  while (!lex.AtEnd()) {
+    // A conjunct starting with a quoted/numeric term can only be a
+    // disequality, e.g. "'a' != x".
+    char first = lex.Peek();
+    bool negated = false;
+    std::string ident;
+    if (first != '\'' && !std::isdigit(static_cast<unsigned char>(first))) {
+      if (lex.Consume('!')) {
+        if (lex.Consume('=')) {
+          return Result<Query>::Error("disequality without left-hand side");
+        }
+        negated = true;
+      }
+      ident = lex.ReadIdent();
+      if (!negated && ident == "not") {
+        negated = true;
+        ident = lex.ReadIdent();
+      }
+    }
+    if (!negated && lex.Peek() != '(') {
+      // Disequality conjunct: lhs was `ident` (a variable) or a constant.
+      Term lhs;
+      if (ident.empty()) {
+        Result<Term> t = ParseTerm(&lex, /*constants_only=*/false);
+        if (!t.ok()) return Result<Query>::Error(t.error());
+        lhs = t.value();
+      } else {
+        lhs = Term::Var(ident);
+      }
+      if (!(lex.Consume('!') && lex.Consume('='))) {
+        return Result<Query>::Error(
+            "expected '(' (atom) or '!=' (disequality) at position " +
+            std::to_string(lex.pos()));
+      }
+      Result<Term> rhs = ParseTerm(&lex, /*constants_only=*/false);
+      if (!rhs.ok()) return Result<Query>::Error(rhs.error());
+      diseqs.push_back(Diseq{{lhs}, {rhs.value()}});
+    } else {
+      Result<ParsedAtom> atom =
+          ParseAtomBody(&lex, std::move(ident), /*constants_only=*/false);
+      if (!atom.ok()) return Result<Query>::Error(atom.error());
+      literals.push_back(
+          Literal{Atom(atom->relation, atom->key_len, atom->terms), negated});
+    }
+    if (!lex.Consume(',')) break;
+  }
+  if (!lex.AtEnd()) {
+    return Result<Query>::Error("trailing input at position " +
+                                std::to_string(lex.pos()));
+  }
+  if (literals.empty()) {
+    return Result<Query>::Error("empty query");
+  }
+  return Query::Make(std::move(literals), std::move(diseqs));
+}
+
+Result<std::vector<ParsedFact>> ParseFacts(std::string_view text) {
+  Lexer lex(text);
+  std::vector<ParsedFact> out;
+  while (!lex.AtEnd()) {
+    Result<ParsedAtom> atom =
+        ParseAtomBody(&lex, lex.ReadIdent(), /*constants_only=*/true);
+    if (!atom.ok()) return Result<std::vector<ParsedFact>>::Error(atom.error());
+    ParsedFact fact;
+    fact.relation = atom->relation;
+    fact.key_len = atom->key_len;
+    for (const Term& t : atom->terms) fact.values.push_back(t.constant());
+    out.push_back(std::move(fact));
+    lex.Consume(',');  // optional separator (newlines also suffice)
+  }
+  return out;
+}
+
+}  // namespace cqa

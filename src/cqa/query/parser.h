@@ -1,0 +1,50 @@
+#ifndef CQA_QUERY_PARSER_H_
+#define CQA_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cqa/base/result.h"
+#include "cqa/base/value.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Parses a query from text.
+///
+/// Grammar (whitespace-insensitive; "--" starts a line comment):
+///
+///   query    := conjunct ("," conjunct)*
+///   conjunct := literal | term "!=" term        -- scalar disequality
+///   literal  := ("not" | "!")? atom
+///   atom     := NAME "(" terms ("|" terms)? ")"
+///   terms    := term ("," term)*
+///   term     := IDENT            -- a variable
+///             | "'" chars "'"    -- a constant
+///             | NUMBER           -- a constant
+///
+/// Positions before "|" form the primary key; an atom without "|" is
+/// all-key. Examples:
+///
+///   R(x | y), not S(y | x)                      -- the paper's q1
+///   Lives(p | t), !Born(p | t), !Likes(p | t)   -- Example 4.6's qa
+///   S(x), not N1('c' | x)                       -- part of q_Hall
+///   R(x | y), y != 'b'                           -- with a disequality
+Result<Query> ParseQuery(std::string_view text);
+
+/// One parsed ground fact.
+struct ParsedFact {
+  std::string relation;
+  int key_len = 0;  // number of terms before "|"; arity if no "|"
+  Tuple values;
+};
+
+/// Parses a list of facts, e.g. "R('a'|'b'), R('a'|'c'), S('b'|'a')".
+/// In fact context, bare identifiers are constants. Facts are separated by
+/// commas and/or newlines.
+Result<std::vector<ParsedFact>> ParseFacts(std::string_view text);
+
+}  // namespace cqa
+
+#endif  // CQA_QUERY_PARSER_H_

@@ -1,0 +1,3 @@
+#include "cqa/query/term.h"
+
+// Term is header-only; this file exists to anchor the translation unit.

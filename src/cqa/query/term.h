@@ -1,0 +1,61 @@
+#ifndef CQA_QUERY_TERM_H_
+#define CQA_QUERY_TERM_H_
+
+#include <string>
+
+#include "cqa/base/interner.h"
+#include "cqa/base/value.h"
+
+namespace cqa {
+
+/// A term of an atom: either a variable or a constant.
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant };
+
+  Term() : kind_(Kind::kConstant), id_(kNoSymbol) {}
+
+  /// A variable named `name`.
+  static Term Var(std::string_view name) {
+    return Term(Kind::kVariable, InternSymbol(name));
+  }
+  static Term VarOf(Symbol v) { return Term(Kind::kVariable, v); }
+
+  /// A constant.
+  static Term Const(Value v) { return Term(Kind::kConstant, v.id()); }
+  static Term Const(std::string_view name) { return Const(Value::Of(name)); }
+
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+
+  /// Variable symbol; only valid if `is_variable()`.
+  Symbol var() const { return id_; }
+
+  /// Constant value; only valid if `is_constant()`.
+  Value constant() const { return Value::FromSymbol(id_); }
+
+  std::string ToString() const {
+    if (!is_variable() && id_ == kNoSymbol) return "<invalid>";
+    if (is_constant()) return "'" + SymbolName(id_) + "'";
+    return SymbolName(id_);
+  }
+
+  friend bool operator==(Term a, Term b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(Term a, Term b) { return !(a == b); }
+  friend bool operator<(Term a, Term b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.id_ < b.id_;
+  }
+
+ private:
+  Term(Kind kind, Symbol id) : kind_(kind), id_(id) {}
+
+  Kind kind_;
+  Symbol id_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_QUERY_TERM_H_

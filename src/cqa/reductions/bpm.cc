@@ -1,0 +1,30 @@
+#include "cqa/reductions/bpm.h"
+
+namespace cqa {
+
+Query MakeQ1() {
+  Term x = Term::Var("x");
+  Term y = Term::Var("y");
+  return Query::MakeOrDie({
+      Pos(Atom("R", 1, {x, y})),
+      Neg(Atom("S", 1, {y, x})),
+  });
+}
+
+Database BpmToQ1Database(const BipartiteGraph& g) {
+  Schema schema;
+  schema.AddRelationOrDie("R", 2, 1);
+  schema.AddRelationOrDie("S", 2, 1);
+  Database db(schema);
+  for (int l = 0; l < g.num_left(); ++l) {
+    Value a = Value::Of("a" + std::to_string(l));
+    for (int r : g.Neighbors(l)) {
+      Value b = Value::Of("b" + std::to_string(r));
+      db.AddFactOrDie("R", {a, b});
+      db.AddFactOrDie("S", {b, a});
+    }
+  }
+  return db;
+}
+
+}  // namespace cqa

@@ -1,0 +1,27 @@
+#ifndef CQA_REDUCTIONS_BPM_H_
+#define CQA_REDUCTIONS_BPM_H_
+
+#include "cqa/db/database.h"
+#include "cqa/matching/bipartite.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// The canonical query q1 = { R(x | y), ¬S(y | x) } of Section 5.1
+/// (Example 1.1's girls/boys query). Its attack graph has the 2-cycle
+/// R ⇄ S... more precisely R ⇝ S ⇝ R, so CERTAINTY(q1) is NL-hard
+/// (Lemma 5.2) via the reduction below.
+Query MakeQ1();
+
+/// The first-order reduction of Lemma 5.2 from BIPARTITE PERFECT MATCHING to
+/// the complement of CERTAINTY(q1): every edge {a_l, b_r} of `g` becomes the
+/// facts R(a_l, b_r) and S(b_r, a_l).
+///
+/// For graphs in which every left vertex has at least one edge and
+/// |A| = |B|, `g` has a perfect matching iff some repair of the result
+/// falsifies q1 (i.e. iff CERTAINTY(q1) answers false).
+Database BpmToQ1Database(const BipartiteGraph& g);
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTIONS_BPM_H_

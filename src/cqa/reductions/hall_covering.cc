@@ -1,0 +1,39 @@
+#include "cqa/reductions/hall_covering.h"
+
+#include <cassert>
+
+namespace cqa {
+
+Query MakeHallQuery(int ell) {
+  assert(ell >= 0);
+  Term x = Term::Var("x");
+  Term c = Term::Const("c");
+  std::vector<Literal> literals;
+  literals.push_back(Pos(Atom("S", 1, {x})));
+  for (int i = 1; i <= ell; ++i) {
+    literals.push_back(Neg(Atom("N" + std::to_string(i), 1, {c, x})));
+  }
+  return Query::MakeOrDie(std::move(literals));
+}
+
+Database CoveringToHallDatabase(const SCoveringInstance& inst) {
+  Schema schema;
+  schema.AddRelationOrDie("S", 1, 1);
+  for (size_t i = 1; i <= inst.sets.size(); ++i) {
+    schema.AddRelationOrDie("N" + std::to_string(i), 2, 1);
+  }
+  Database db(schema);
+  auto elem = [](int a) { return Value::Of("s" + std::to_string(a)); };
+  Value c = Value::Of("c");
+  for (int a = 0; a < inst.num_elements; ++a) {
+    db.AddFactOrDie("S", {elem(a)});
+  }
+  for (size_t i = 0; i < inst.sets.size(); ++i) {
+    for (int a : inst.sets[i]) {
+      db.AddFactOrDie("N" + std::to_string(i + 1), {c, elem(a)});
+    }
+  }
+  return db;
+}
+
+}  // namespace cqa

@@ -1,0 +1,23 @@
+#ifndef CQA_REDUCTIONS_HALL_COVERING_H_
+#define CQA_REDUCTIONS_HALL_COVERING_H_
+
+#include "cqa/db/database.h"
+#include "cqa/matching/covering.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// q_Hall = { S(x), ¬N1('c' | x), ..., ¬Nℓ('c' | x) } (Examples 1.2 and
+/// 6.12): the query whose certainty captures the complement of S-COVERING.
+/// Its attack graph is acyclic, so it has a consistent first-order rewriting
+/// (Figure 2 shows the case ℓ = 3) — whose length is exponential in ℓ.
+Query MakeHallQuery(int ell);
+
+/// The reduction of Example 1.2: S(a) for every element a, and N_i(c, a)
+/// whenever a ∈ T_i. The S-COVERING instance has a solution iff some repair
+/// falsifies q_Hall (i.e. iff CERTAINTY(q_Hall) answers false).
+Database CoveringToHallDatabase(const SCoveringInstance& inst);
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTIONS_HALL_COVERING_H_

@@ -1,0 +1,37 @@
+#include "cqa/reductions/lemma54.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+Result<Database> DropNegatedReduction(const Query& q,
+                                      const std::vector<Symbol>& dropped,
+                                      const Database& db) {
+  // The dropped atoms must be negated atoms of q.
+  for (Symbol rel : dropped) {
+    std::optional<size_t> idx = q.FindRelation(rel);
+    if (!idx.has_value() || !q.IsNegated(*idx)) {
+      return Result<Database>::Error(
+          "Lemma 5.4 reduction: '" + SymbolName(rel) +
+          "' is not a negated atom of q");
+    }
+  }
+  // Schema of the output: q's relations plus db's.
+  Schema schema = db.schema();
+  Result<bool> reg = q.RegisterInto(&schema);
+  if (!reg.ok()) return Result<Database>::Error(reg.error());
+
+  Database out(schema);
+  for (const RelationSchema& rs : db.schema().relations()) {
+    if (std::find(dropped.begin(), dropped.end(), rs.name) != dropped.end()) {
+      continue;  // delete all facts of dropped negated relations
+    }
+    for (const Tuple& t : db.FactsOf(rs.name)) {
+      Result<bool> r = out.AddFact(rs.name, t);
+      if (!r.ok()) return Result<Database>::Error(r.error());
+    }
+  }
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,24 @@
+#ifndef CQA_REDUCTIONS_LEMMA54_H_
+#define CQA_REDUCTIONS_LEMMA54_H_
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Lemma 5.4: for q' ⊆ q with q⁺ ⊆ q', CERTAINTY(q') first-order reduces to
+/// CERTAINTY(q). The reduction deletes, for every negated atom ¬N of q that
+/// is absent from q', all N-facts from the input database (and registers N's
+/// relation so the schema fits q).
+///
+/// `dropped_relations` lists the relations of q \ q' (all must be negated in
+/// q). Returns the transformed database db₀ with: every repair of db
+/// satisfies q' iff every repair of db₀ satisfies q.
+Result<Database> DropNegatedReduction(const Query& q,
+                                      const std::vector<Symbol>& dropped,
+                                      const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTIONS_LEMMA54_H_

@@ -1,0 +1,54 @@
+#include "cqa/reductions/lemma66.h"
+
+namespace cqa {
+
+Result<Lemma66Reduction> ApplyLemma66(const Query& q, const Database& db) {
+  // Locate a disequality v̄ ≠ c̄ with variable lhs and constant rhs.
+  int target = -1;
+  for (size_t i = 0; i < q.diseqs().size(); ++i) {
+    const Diseq& d = q.diseqs()[i];
+    bool shape_ok = true;
+    for (size_t j = 0; j < d.lhs.size(); ++j) {
+      if (!d.lhs[j].is_variable() || !d.rhs[j].is_constant()) {
+        shape_ok = false;
+        break;
+      }
+    }
+    if (shape_ok) {
+      target = static_cast<int>(i);
+      break;
+    }
+  }
+  if (target < 0) {
+    return Result<Lemma66Reduction>::Error(
+        "query has no disequality of the form v̄ ≠ c̄");
+  }
+  const Diseq& d = q.diseqs()[static_cast<size_t>(target)];
+
+  Symbol e = FreshSymbol("E");
+  int arity = static_cast<int>(d.lhs.size());
+
+  // q ∪ {¬E(v̄)} ∪ C \ {v̄ ≠ c̄}. E is all-key, so it adds no attacks and
+  // cannot break weak guardedness beyond what the disequality already
+  // required (Definition 6.3).
+  std::vector<Literal> literals = q.literals();
+  literals.push_back(Neg(Atom(e, arity, d.lhs)));
+  std::vector<Diseq> diseqs;
+  for (size_t i = 0; i < q.diseqs().size(); ++i) {
+    if (static_cast<int>(i) != target) diseqs.push_back(q.diseqs()[i]);
+  }
+  Result<Query> out_q =
+      Query::Make(std::move(literals), std::move(diseqs), q.reified());
+  if (!out_q.ok()) return Result<Lemma66Reduction>::Error(out_q.error());
+
+  Database out_db = db;
+  Tuple c_tuple;
+  for (const Term& t : d.rhs) c_tuple.push_back(t.constant());
+  Result<bool> reg = out_db.AddFactAutoSchema(SymbolName(e), arity,
+                                              std::move(c_tuple));
+  if (!reg.ok()) return Result<Lemma66Reduction>::Error(reg.error());
+
+  return Lemma66Reduction{std::move(out_q.value()), std::move(out_db), e};
+}
+
+}  // namespace cqa

@@ -1,0 +1,29 @@
+#ifndef CQA_REDUCTIONS_LEMMA66_H_
+#define CQA_REDUCTIONS_LEMMA66_H_
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Lemma 6.6: CERTAINTY(q ∪ C) with a disequality v̄ ≠ c̄ first-order reduces
+/// to CERTAINTY(q ∪ {¬E(v̄)} ∪ C') where E is a fresh all-key relation and
+/// the input database gains the single fact E(c̄).
+///
+/// The library's rewriter keeps disequalities native, but this reduction is
+/// part of the paper's toolbox and is exposed (and tested) in its own right.
+struct Lemma66Reduction {
+  Query query;       // q with the first ground disequality replaced by ¬E(v̄)
+  Database database; // db ∪ {E(c̄)}
+  Symbol e_relation; // the fresh all-key relation name
+};
+
+/// Applies the reduction to the first disequality of `q`, which must have
+/// all-constant right-hand side (the form produced by Lemma 6.5). Fails if
+/// `q` has no such disequality.
+Result<Lemma66Reduction> ApplyLemma66(const Query& q, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTIONS_LEMMA66_H_

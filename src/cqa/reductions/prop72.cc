@@ -1,0 +1,61 @@
+#include "cqa/reductions/prop72.h"
+
+#include "cqa/attack/attack_graph.h"
+
+namespace cqa {
+
+Result<NonReifiabilityGadget> BuildProp72Gadget(const Query& q, Symbol x) {
+  AttackGraph graph(q);
+  size_t attacker = SIZE_MAX;
+  Symbol source = kNoSymbol;
+  SymbolSet reach;
+  for (size_t i = 0; i < q.NumLiterals() && attacker == SIZE_MAX; ++i) {
+    if (!graph.AttacksVar(i, x)) continue;
+    for (Symbol v : q.atom(i).Vars(q.reified())) {
+      SymbolSet r = graph.ReachFrom(i, v);
+      if (r.contains(x)) {
+        attacker = i;
+        source = v;
+        reach = std::move(r);
+        break;
+      }
+    }
+  }
+  if (attacker == SIZE_MAX) {
+    return Result<NonReifiabilityGadget>::Error(
+        "no atom of q attacks variable '" + SymbolName(x) + "'");
+  }
+
+  // Θ_c(w) = c if F|v_F ⇝ w, else ⊥.
+  Value a = Value::Of("p72_a");
+  Value b = Value::Of("p72_b");
+  Value bot = Value::Of("_bot");
+  auto theta_fact = [&](size_t lit, Value c) {
+    Tuple out;
+    for (const Term& t : q.atom(lit).terms()) {
+      if (t.is_constant()) {
+        out.push_back(t.constant());
+      } else {
+        out.push_back(reach.contains(t.var()) ? c : bot);
+      }
+    }
+    return out;
+  };
+
+  Schema schema;
+  Result<bool> reg = q.RegisterInto(&schema);
+  if (!reg.ok()) return Result<NonReifiabilityGadget>::Error(reg.error());
+  Database db(schema);
+  for (Value c : {a, b}) {
+    for (size_t i = 0; i < q.NumLiterals(); ++i) {
+      if (q.IsNegated(i) && i != attacker) continue;
+      Result<bool> r = db.AddFact(q.atom(i).relation(), theta_fact(i, c));
+      if (!r.ok()) return Result<NonReifiabilityGadget>::Error(r.error());
+    }
+    // If F is negated, its Θ_c(F) fact is added explicitly (the loop above
+    // already added it via the i == attacker exception).
+  }
+  return NonReifiabilityGadget{std::move(db), a, b, attacker, source};
+}
+
+}  // namespace cqa

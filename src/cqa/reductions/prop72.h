@@ -1,0 +1,29 @@
+#ifndef CQA_REDUCTIONS_PROP72_H_
+#define CQA_REDUCTIONS_PROP72_H_
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// The two-repair gadget from the proof of Proposition 7.2, witnessing that
+/// an attacked variable is not reifiable: a database with exactly two
+/// repairs r_a and r_b such that both satisfy q, but q[x→a] fails in one and
+/// q[x→b] fails in the other.
+struct NonReifiabilityGadget {
+  Database db;
+  Value a;
+  Value b;
+  size_t attacker;     // literal index of the atom F with F ⇝ x
+  Symbol source_var;   // v_F with F|v_F ⇝ x
+};
+
+/// Builds the gadget for an attacked variable `x` of `q`. Fails if no atom
+/// attacks `x` (then x is reifiable by Corollary 6.9 under weak
+/// guardedness).
+Result<NonReifiabilityGadget> BuildProp72Gadget(const Query& q, Symbol x);
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTIONS_PROP72_H_

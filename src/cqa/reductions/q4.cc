@@ -1,0 +1,79 @@
+#include "cqa/reductions/q4.h"
+
+namespace cqa {
+
+Query MakeQ4() {
+  Term x = Term::Var("x");
+  Term y = Term::Var("y");
+  return Query::MakeOrDie({
+      Pos(Atom("X", 1, {x})),
+      Pos(Atom("Y", 1, {y})),
+      Neg(Atom("R", 1, {x, y})),
+      Neg(Atom("S", 1, {y, x})),
+  });
+}
+
+namespace {
+
+// Does a repair falsifying q4 exist when |X| = 1? The single x must be
+// covered at every y: each S-block y can pick S(y, x); at most one uncovered
+// y can be rescued by the R-block of x.
+bool FalsifierExistsSingleX(const Database& db, Value x,
+                            const std::vector<Tuple>& ys) {
+  Symbol rel_r = InternSymbol("R");
+  Symbol rel_s = InternSymbol("S");
+  std::vector<Value> uncovered;
+  for (const Tuple& yt : ys) {
+    if (!db.Contains(rel_s, {yt[0], x})) uncovered.push_back(yt[0]);
+  }
+  if (uncovered.empty()) return true;
+  if (uncovered.size() == 1) return db.Contains(rel_r, {x, uncovered[0]});
+  return false;
+}
+
+// Symmetric case |Y| = 1.
+bool FalsifierExistsSingleY(const Database& db, Value y,
+                            const std::vector<Tuple>& xs) {
+  Symbol rel_r = InternSymbol("R");
+  Symbol rel_s = InternSymbol("S");
+  std::vector<Value> uncovered;
+  for (const Tuple& xt : xs) {
+    if (!db.Contains(rel_r, {xt[0], y})) uncovered.push_back(xt[0]);
+  }
+  if (uncovered.empty()) return true;
+  if (uncovered.size() == 1) return db.Contains(rel_s, {y, uncovered[0]});
+  return false;
+}
+
+}  // namespace
+
+bool IsCertainQ4(const Database& db) {
+  const std::vector<Tuple>& xs = db.FactsOf(InternSymbol("X"));
+  const std::vector<Tuple>& ys = db.FactsOf(InternSymbol("Y"));
+  size_t m = xs.size();
+  size_t n = ys.size();
+  if (m == 0 || n == 0) return false;
+
+  if (m == 1) return !FalsifierExistsSingleX(db, xs[0][0], ys);
+  if (n == 1) return !FalsifierExistsSingleY(db, ys[0][0], xs);
+
+  if (m == 2 && n == 2) {
+    // A falsifying repair exists iff db ⊇ { R(a1,b_{j1}), R(a2,b_{j2}),
+    // S(b_{j1},a2), S(b_{j2},a1) } for some j1 ≠ j2 (Example 7.1).
+    Symbol rel_r = InternSymbol("R");
+    Symbol rel_s = InternSymbol("S");
+    Value a1 = xs[0][0], a2 = xs[1][0];
+    Value b1 = ys[0][0], b2 = ys[1][0];
+    auto pattern = [&](Value bj1, Value bj2) {
+      return db.Contains(rel_r, {a1, bj1}) && db.Contains(rel_r, {a2, bj2}) &&
+             db.Contains(rel_s, {bj1, a2}) && db.Contains(rel_s, {bj2, a1});
+    };
+    return !(pattern(b1, b2) || pattern(b2, b1));
+  }
+
+  // m·n > m+n for all remaining shapes: no repair can cover X×Y with only
+  // m R-picks and n S-picks, so every repair satisfies q4.
+  return true;
+}
+
+}  // namespace cqa

@@ -1,0 +1,26 @@
+#ifndef CQA_REDUCTIONS_Q4_H_
+#define CQA_REDUCTIONS_Q4_H_
+
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// q4 = { X(x), Y(y), ¬R(x | y), ¬S(y | x) } (Example 7.1): negation is NOT
+/// weakly guarded and the attack graph is cyclic, yet CERTAINTY(q4) is in FO
+/// by a counting argument — the paper's witness that Theorem 4.3 does not
+/// extend beyond weakly-guarded negation.
+Query MakeQ4();
+
+/// Decides CERTAINTY(q4) by the combinatorial argument of Example 7.1:
+/// with m = |X| and n = |Y|,
+///  * m = 0 or n = 0            → false;
+///  * m·n > m+n                 → true (not enough R/S picks to cover X×Y);
+///  * m = 1, n = 1, or m = n = 2 → explicit degenerate-case analysis.
+/// Expects X, Y unary all-key and R, S binary simple-key relations named as
+/// in `MakeQ4`.
+bool IsCertainQ4(const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTIONS_Q4_H_

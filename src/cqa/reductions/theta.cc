@@ -1,0 +1,121 @@
+#include "cqa/reductions/theta.h"
+
+#include "cqa/attack/attack_graph.h"
+
+namespace cqa {
+
+Result<ThetaReduction> ThetaReduction::Create(const Query& q, size_t f_idx,
+                                              size_t g_idx) {
+  AttackGraph graph(q);
+  if (!graph.Attacks(f_idx, g_idx) || !graph.Attacks(g_idx, f_idx)) {
+    return Result<ThetaReduction>::Error(
+        "ThetaReduction requires a 2-cycle F ⇝ G ⇝ F");
+  }
+  ThetaReduction out(q, f_idx, g_idx);
+  // v_F ∈ vars(F) with F|v_F ⇝ u for some u ∈ key(G); symmetrically v_G.
+  auto find_source = [&](size_t from, size_t to, Symbol* src,
+                         SymbolSet* reach) {
+    SymbolSet target = q.atom(to).KeyVars(q.reified());
+    for (Symbol v : q.atom(from).Vars(q.reified())) {
+      SymbolSet r = graph.ReachFrom(from, v);
+      if (r.Intersects(target)) {
+        *src = v;
+        *reach = std::move(r);
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!find_source(f_idx, g_idx, &out.v_f_, &out.reach_f_) ||
+      !find_source(g_idx, f_idx, &out.v_g_, &out.reach_g_)) {
+    return Result<ThetaReduction>::Error(
+        "internal error: attack without a reaching source variable");
+  }
+  return out;
+}
+
+Value ThetaReduction::Theta(Symbol w, Value a, Value b) const {
+  bool f_reaches = reach_f_.contains(w);
+  bool g_reaches = reach_g_.contains(w);
+  if (g_reaches && !f_reaches) return a;
+  if (f_reaches && !g_reaches) return b;
+  if (f_reaches && g_reaches) return Value::Pair(a, b);
+  return Value::Of("_bot");
+}
+
+Tuple ThetaReduction::ThetaFact(size_t lit, Value a, Value b) const {
+  const Atom& atom = q_.atom(lit);
+  Tuple out;
+  out.reserve(static_cast<size_t>(atom.arity()));
+  for (const Term& t : atom.terms()) {
+    out.push_back(t.is_constant() ? t.constant() : Theta(t.var(), a, b));
+  }
+  return out;
+}
+
+Result<Database> ThetaReduction::Apply(const Database& in,
+                                       bool lemma57) const {
+  Schema schema;
+  Result<bool> reg = q_.RegisterInto(&schema);
+  if (!reg.ok()) return Result<Database>::Error(reg.error());
+  Database out(schema);
+
+  Symbol rel_r = InternSymbol("R");
+  Symbol rel_s = InternSymbol("S");
+  Symbol rel_t = InternSymbol("T");
+
+  auto add = [&](size_t lit, Value a, Value b) -> Result<bool> {
+    return out.AddFact(q_.atom(lit).relation(), ThetaFact(lit, a, b));
+  };
+
+  std::string error;
+  auto add_positive_block = [&](Value a, Value b) {
+    for (size_t i = 0; i < q_.NumLiterals(); ++i) {
+      if (q_.IsNegated(i)) continue;
+      Result<bool> r = add(i, a, b);
+      if (!r.ok()) error = r.error();
+    }
+  };
+
+  // The "generator" relation whose facts produce Θᵃᵇ(q⁺): T for Lemma 5.7,
+  // R for Lemma 5.6.
+  Symbol generator = lemma57 ? rel_t : rel_r;
+  in.ForEachFact(generator, [&](const Tuple& t) {
+    add_positive_block(t[0], t[1]);
+    return error.empty();
+  });
+  if (lemma57) {
+    // R(a,b) → Θᵃᵇ(F) (F is negated here, so its facts are added directly).
+    in.ForEachFact(rel_r, [&](const Tuple& t) {
+      Result<bool> r = add(f_idx_, t[0], t[1]);
+      if (!r.ok()) error = r.error();
+      return error.empty();
+    });
+  }
+  // S(b,a) → Θᵃᵇ(G) in both lemmas (note the argument order: key is b).
+  in.ForEachFact(rel_s, [&](const Tuple& t) {
+    Result<bool> r = add(g_idx_, t[1], t[0]);
+    if (!r.ok()) error = r.error();
+    return error.empty();
+  });
+
+  if (!error.empty()) return Result<Database>::Error(error);
+  return out;
+}
+
+Result<Database> ThetaReduction::ApplyLemma56(const Database& q1_db) const {
+  if (q_.IsNegated(f_idx_) || !q_.IsNegated(g_idx_)) {
+    return Result<Database>::Error(
+        "Lemma 5.6 requires F ∈ q⁺ and G ∈ q⁻");
+  }
+  return Apply(q1_db, /*lemma57=*/false);
+}
+
+Result<Database> ThetaReduction::ApplyLemma57(const Database& q2_db) const {
+  if (!q_.IsNegated(f_idx_) || !q_.IsNegated(g_idx_)) {
+    return Result<Database>::Error("Lemma 5.7 requires F, G ∈ q⁻");
+  }
+  return Apply(q2_db, /*lemma57=*/true);
+}
+
+}  // namespace cqa

@@ -1,0 +1,65 @@
+#ifndef CQA_REDUCTIONS_THETA_H_
+#define CQA_REDUCTIONS_THETA_H_
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// The Θᵃᵇ valuation machinery of Lemmas 5.6 and 5.7: given a 2-cycle
+/// F ⇝ G ⇝ F in the attack graph of q, the reductions map each input fact of
+/// a canonical hard query (q1 or q2) to facts of q's schema via
+///
+///   Θᵃᵇ(w) = a      if G|v_G ⇝ w and F|v_F ̸⇝ w
+///            b      if F|v_F ⇝ w and G|v_G ̸⇝ w
+///            <a,b>  if both
+///            ⊥      otherwise
+///
+/// where v_F ∈ vars(F) reaches key(G) and v_G ∈ vars(G) reaches key(F).
+class ThetaReduction {
+ public:
+  /// Builds the machinery for the 2-cycle (f_idx, g_idx). Fails if the two
+  /// literals do not attack each other.
+  static Result<ThetaReduction> Create(const Query& q, size_t f_idx,
+                                       size_t g_idx);
+
+  /// Θᵃᵇ(w) for a variable w of q.
+  Value Theta(Symbol w, Value a, Value b) const;
+
+  /// Θᵃᵇ applied to the atom of literal `lit` (grounds it).
+  Tuple ThetaFact(size_t lit, Value a, Value b) const;
+
+  /// Lemma 5.6 (F ∈ q⁺, G ∈ q⁻): input over q1's schema {R[2,1], S[2,1]}.
+  /// R(a,b) contributes Θᵃᵇ(P) for every P ∈ q⁺; S(b,a) contributes Θᵃᵇ(G).
+  /// Every repair of `q1_db` satisfies q1 iff every repair of the result
+  /// satisfies q.
+  Result<Database> ApplyLemma56(const Database& q1_db) const;
+
+  /// Lemma 5.7 (F, G ∈ q⁻): input over q2's schema {R, S, T all [2,1]}.
+  /// T(a,b) → Θᵃᵇ(q⁺); R(a,b) → Θᵃᵇ(F); S(b,a) → Θᵃᵇ(G).
+  Result<Database> ApplyLemma57(const Database& q2_db) const;
+
+  size_t f_idx() const { return f_idx_; }
+  size_t g_idx() const { return g_idx_; }
+  Symbol v_f() const { return v_f_; }
+  Symbol v_g() const { return v_g_; }
+
+ private:
+  ThetaReduction(const Query& q, size_t f_idx, size_t g_idx)
+      : q_(q), f_idx_(f_idx), g_idx_(g_idx) {}
+
+  Result<Database> Apply(const Database& in, bool lemma57) const;
+
+  Query q_;
+  size_t f_idx_;
+  size_t g_idx_;
+  Symbol v_f_ = kNoSymbol;
+  Symbol v_g_ = kNoSymbol;
+  SymbolSet reach_f_;  // {w : F|v_F ⇝ w}
+  SymbolSet reach_g_;  // {w : G|v_G ⇝ w}
+};
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTIONS_THETA_H_

@@ -1,0 +1,47 @@
+#include "cqa/reductions/ufa.h"
+
+#include "cqa/base/union_find.h"
+
+namespace cqa {
+
+bool SolveUfa(const UfaInstance& inst) {
+  UnionFind uf(static_cast<size_t>(inst.num_vertices));
+  for (const auto& [a, b] : inst.edges) uf.Union(a, b);
+  return uf.Connected(inst.u, inst.v);
+}
+
+Query MakeQ2() {
+  Term x = Term::Var("x");
+  Term y = Term::Var("y");
+  return Query::MakeOrDie({
+      Pos(Atom("R", 2, {x, y})),
+      Neg(Atom("S", 1, {x, y})),
+      Neg(Atom("T", 1, {y, x})),
+  });
+}
+
+Database UfaToQ2Database(const UfaInstance& inst) {
+  Schema schema;
+  schema.AddRelationOrDie("R", 2, 2);
+  schema.AddRelationOrDie("S", 2, 1);
+  schema.AddRelationOrDie("T", 2, 1);
+  Database db(schema);
+  auto vertex = [](int i) { return Value::Of("n" + std::to_string(i)); };
+  for (const auto& [a, b] : inst.edges) {
+    Value e = Value::Of("e" + std::to_string(a) + "_" + std::to_string(b));
+    db.AddFactOrDie("R", {vertex(a), e});
+    db.AddFactOrDie("R", {vertex(b), e});
+    db.AddFactOrDie("S", {vertex(a), e});
+    db.AddFactOrDie("S", {vertex(b), e});
+    db.AddFactOrDie("T", {e, vertex(a)});
+    db.AddFactOrDie("T", {e, vertex(b)});
+  }
+  Value t = Value::Of("t");
+  db.AddFactOrDie("R", {vertex(inst.u), t});
+  db.AddFactOrDie("R", {vertex(inst.v), t});
+  db.AddFactOrDie("S", {vertex(inst.u), t});
+  db.AddFactOrDie("S", {vertex(inst.v), t});
+  return db;
+}
+
+}  // namespace cqa

@@ -1,0 +1,43 @@
+#ifndef CQA_REDUCTIONS_UFA_H_
+#define CQA_REDUCTIONS_UFA_H_
+
+#include <utility>
+#include <vector>
+
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// An instance of UNDIRECTED FOREST ACCESSIBILITY [8]: an acyclic undirected
+/// graph plus two distinguished vertices. The problem (is there a path from
+/// `u` to `v`?) is L-complete and remains so when the forest has exactly two
+/// connected components, each containing at least one edge — the form the
+/// Lemma 5.3 reduction expects.
+struct UfaInstance {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;
+  int u = 0;
+  int v = 0;
+};
+
+/// Ground truth via union-find.
+bool SolveUfa(const UfaInstance& inst);
+
+/// The canonical query q2 = { R(x, y), ¬S(x | y), ¬T(y | x) } of
+/// Section 5.1 — the positive atom is ALL-KEY (the Lemma 5.3 proof keeps
+/// R(u,t) and R(u,{u,u1}) in one repair, which forces key = {1,2});
+/// CERTAINTY(q2) is L-hard (Lemma 5.3) via `UfaToQ2Database`.
+Query MakeQ2();
+
+/// The first-order reduction of Lemma 5.3 (illustrated in Fig. 4): for every
+/// edge {a,b} with edge-constant e: facts R(a,e), R(b,e), S(a,e), S(b,e),
+/// T(e,a), T(e,b); plus R(u,t), R(v,t), S(u,t), S(v,t) for a fresh t.
+/// Then, provided u ≠ v, u and v are connected in the forest iff every
+/// repair satisfies q2 (for u = v the two t-facts collapse and a falsifying
+/// repair always exists, so callers must pass distinct vertices).
+Database UfaToQ2Database(const UfaInstance& inst);
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTIONS_UFA_H_

@@ -1,0 +1,60 @@
+#ifndef CQA_REWRITING_ALGORITHM1_H_
+#define CQA_REWRITING_ALGORITHM1_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+struct Algorithm1Options {
+  /// Memoise recursive calls on the canonical query string. The rewriting is
+  /// exponential in |q| (Example 6.12); memoisation collapses repeated
+  /// subproblems that arise from identical substituted subqueries.
+  bool memoize = true;
+};
+
+/// Direct recursive interpreter of the paper's Algorithm 1: decides
+/// CERTAINTY(q) on `db` without materialising the first-order rewriting.
+/// Unlike the rewriter it substitutes real constants (taken from `db`)
+/// rather than reifying symbolically, so candidate key valuations range
+/// over the relevant columns only.
+///
+/// Requires q weakly guarded with an acyclic attack graph.
+class Algorithm1 {
+ public:
+  Algorithm1(const Database& db, Algorithm1Options options = {})
+      : db_(db), options_(options) {}
+
+  /// Returns whether q is true in every repair of the database, or an error
+  /// if q is outside the FO fragment of Theorem 4.3.
+  Result<bool> IsCertain(const Query& q);
+
+  /// Number of recursive calls in the last `IsCertain` run.
+  uint64_t calls() const { return calls_; }
+
+ private:
+  bool Rec(const Query& q);
+  bool RecCached(const Query& q);
+
+  bool CaseKeyVars(const Query& q, size_t pick);
+  bool CaseGroundKeyNegative(const Query& q, size_t pick);
+  bool CaseGroundKeyPositive(const Query& q, size_t pick);
+
+  const Database& db_;
+  Algorithm1Options options_;
+  std::unordered_map<std::string, bool> memo_;
+  uint64_t calls_ = 0;
+};
+
+/// One-shot convenience wrapper.
+Result<bool> IsCertainAlgorithm1(const Query& q, const Database& db,
+                                 Algorithm1Options options = {});
+
+}  // namespace cqa
+
+#endif  // CQA_REWRITING_ALGORITHM1_H_

@@ -1,0 +1,210 @@
+#include "cqa/rewriting/rewriter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+#include "cqa/attack/attack_graph.h"
+#include "cqa/fo/simplify.h"
+
+namespace cqa {
+
+std::optional<size_t> PickUnattackedNonAllKey(const Query& q) {
+  AttackGraph graph(q);
+  std::vector<size_t> picks = graph.UnattackedNonAllKey();
+  if (picks.empty()) return std::nullopt;
+  return picks.front();
+}
+
+namespace {
+
+// Recursive construction from the proof of Lemma 6.1. Reified variables of
+// the query appear in the produced formula as free FO variables; each level
+// binds the variables it reifies with an ∃ (key variables) or ∀ (the fresh
+// z̄ enumerating a block).
+class RewriteBuilder {
+ public:
+  FoPtr Rec(const Query& q) {
+    ++levels_;
+    if (q.AllAtomsAllKey()) return Base(q);
+
+    std::optional<size_t> pick = PickUnattackedNonAllKey(q);
+    // Guaranteed by acyclicity (checked by the caller) and preserved along
+    // the recursion (Lemma 6.10 plus: a removed atom is fully reified, so
+    // its removal changes neither closures nor guards over live variables).
+    assert(pick.has_value() && "attack graph became cyclic during rewriting");
+
+    const Atom& atom = q.atom(*pick);
+    const bool negated = q.IsNegated(*pick);
+    SymbolSet key_vars = atom.KeyVars(q.reified());
+    Query q_reified = q.WithReified(key_vars);
+
+    // Non-key terms s̄ and the new (non-reified) variables they introduce.
+    std::vector<Term> s_terms(atom.terms().begin() + atom.key_len(),
+                              atom.terms().end());
+    SymbolSet new_vars;
+    for (const Term& t : s_terms) {
+      if (t.is_variable() && !q_reified.reified().contains(t.var())) {
+        new_vars.Insert(t.var());
+      }
+    }
+
+    Query q_rest = q_reified.WithoutLiteralAt(*pick);
+    FoPtr level =
+        negated ? NegativeCase(q_rest, atom, s_terms, new_vars)
+                : PositiveCase(q_rest, atom, s_terms, new_vars);
+    return FoExists(key_vars.items(), std::move(level));
+  }
+
+  int levels() const { return levels_; }
+
+ private:
+  // Base case: every remaining atom is all-key, so every repair contains
+  // exactly the remaining relations' facts and certainty coincides with
+  // plain satisfaction: ∃(free vars). ⋀ literals ∧ ⋀ disequalities.
+  FoPtr Base(const Query& q) {
+    std::vector<FoPtr> conjuncts;
+    for (const Literal& l : q.literals()) {
+      FoPtr a = FoAtom(l.atom.relation(), l.atom.key_len(), l.atom.terms());
+      conjuncts.push_back(l.negated ? FoNot(std::move(a)) : std::move(a));
+    }
+    for (const Diseq& d : q.diseqs()) {
+      std::vector<FoPtr> diffs;
+      for (size_t i = 0; i < d.lhs.size(); ++i) {
+        diffs.push_back(FoNotEquals(d.lhs[i], d.rhs[i]));
+      }
+      conjuncts.push_back(FoOr(std::move(diffs)));
+    }
+    return FoExists(q.Vars().items(), FoAnd(std::move(conjuncts)));
+  }
+
+  // Fresh universally quantified variables z̄, one per non-key position.
+  std::vector<Symbol> FreshZ(size_t count) {
+    std::vector<Symbol> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) out.push_back(FreshSymbol("z"));
+    return out;
+  }
+
+  // Premise atom R(k̄, z̄) over the original key terms and fresh z̄.
+  FoPtr PremiseAtom(const Atom& atom, const std::vector<Symbol>& z) {
+    std::vector<Term> terms(atom.terms().begin(),
+                            atom.terms().begin() + atom.key_len());
+    for (Symbol zv : z) terms.push_back(Term::VarOf(zv));
+    return FoAtom(atom.relation(), atom.key_len(), std::move(terms));
+  }
+
+  // Case F ∈ q⁺ (with key(F) already reified):
+  //   ∃s̄ R(k̄, s̄)  ∧  ∀z̄ (R(k̄, z̄) → ∃new(z̄ = s̄ ∧ ψ))
+  // where ψ rewrites q \ {F} with vars(s̄) reified.
+  FoPtr PositiveCase(const Query& q_rest, const Atom& atom,
+                     const std::vector<Term>& s_terms,
+                     const SymbolSet& new_vars) {
+    FoPtr psi = Rec(q_rest.WithReified(new_vars));
+
+    FoPtr witness = FoExists(
+        new_vars.items(), FoAtom(atom.relation(), atom.key_len(),
+                                 atom.terms()));
+
+    std::vector<Symbol> z = FreshZ(s_terms.size());
+    std::vector<FoPtr> conclusion_parts;
+    for (size_t j = 0; j < s_terms.size(); ++j) {
+      conclusion_parts.push_back(FoEquals(Term::VarOf(z[j]), s_terms[j]));
+    }
+    conclusion_parts.push_back(std::move(psi));
+    FoPtr conclusion =
+        FoExists(new_vars.items(), FoAnd(std::move(conclusion_parts)));
+    FoPtr guard =
+        FoForall(z, FoImplies(PremiseAtom(atom, z), std::move(conclusion)));
+    return FoAnd({std::move(witness), std::move(guard)});
+  }
+
+  // Case F ∈ q⁻ (with key(F) already reified):
+  //   vars(s̄) = ∅ :  ψ0 ∧ ¬R(k̄, s̄)                          (Lemma 6.2)
+  //   otherwise   :  ψ0 ∧ ∀z̄ (R(k̄, z̄) ∧ match(z̄, s̄) → ψ≠)  (Lemma 6.5)
+  // where ψ0 rewrites q \ {¬F} and ψ≠ rewrites q \ {¬F} plus the
+  // disequality ȳ ≠ z̄ (ȳ the distinct new variables of s̄); the z̄ that
+  // occur in the disequality ride along as reified variables (they are the
+  // all-key ¬E trick of Lemma 6.6, kept as native disequalities).
+  FoPtr NegativeCase(const Query& q_rest, const Atom& atom,
+                     const std::vector<Term>& s_terms,
+                     const SymbolSet& new_vars) {
+    FoPtr psi0 = Rec(q_rest);
+
+    if (new_vars.empty()) {
+      FoPtr ground =
+          FoAtom(atom.relation(), atom.key_len(), atom.terms());
+      return FoAnd({std::move(psi0), FoNot(std::move(ground))});
+    }
+
+    std::vector<Symbol> z = FreshZ(s_terms.size());
+    std::vector<FoPtr> premise;
+    premise.push_back(PremiseAtom(atom, z));
+
+    // match(z̄, s̄): constants / reified variables pin z_j; repeated new
+    // variables force equal z's. Representative position per new variable.
+    std::unordered_map<Symbol, size_t> rep;
+    for (size_t j = 0; j < s_terms.size(); ++j) {
+      const Term& s = s_terms[j];
+      if (s.is_variable() && new_vars.contains(s.var())) {
+        auto it = rep.find(s.var());
+        if (it == rep.end()) {
+          rep.emplace(s.var(), j);
+        } else {
+          premise.push_back(
+              FoEquals(Term::VarOf(z[j]), Term::VarOf(z[it->second])));
+        }
+      } else {
+        premise.push_back(FoEquals(Term::VarOf(z[j]), s));
+      }
+    }
+
+    // Disequality ȳ ≠ z̄_rep, ordered by representative position.
+    std::vector<std::pair<size_t, Symbol>> ordered;
+    for (const auto& [v, j] : rep) ordered.emplace_back(j, v);
+    std::sort(ordered.begin(), ordered.end());
+    Diseq diseq;
+    SymbolSet z_reified;
+    for (const auto& [j, v] : ordered) {
+      diseq.lhs.push_back(Term::VarOf(v));
+      diseq.rhs.push_back(Term::VarOf(z[j]));
+      z_reified.Insert(z[j]);
+    }
+    FoPtr psi_ne = Rec(q_rest.WithDiseq(std::move(diseq))
+                           .WithReified(z_reified));
+
+    FoPtr guard =
+        FoForall(z, FoImplies(FoAnd(std::move(premise)), std::move(psi_ne)));
+    return FoAnd({std::move(psi0), std::move(guard)});
+  }
+
+  int levels_ = 0;
+};
+
+}  // namespace
+
+Result<Rewriting> RewriteCertain(const Query& q,
+                                 const RewriterOptions& options) {
+  if (!q.IsWeaklyGuarded()) {
+    return Result<Rewriting>::Error(
+        "negation in the query is not weakly guarded; Theorem 4.3 does not "
+        "apply");
+  }
+  AttackGraph graph(q);
+  if (!graph.IsAcyclic()) {
+    return Result<Rewriting>::Error(
+        "the attack graph of the query is cyclic; CERTAINTY(q) is not in FO "
+        "(Theorem 4.3(1))");
+  }
+  RewriteBuilder builder;
+  Rewriting out;
+  out.formula = builder.Rec(q);
+  out.levels = builder.levels();
+  out.raw_size = out.formula->Size();
+  if (options.simplify) out.formula = Simplify(out.formula);
+  out.simplified_size = out.formula->Size();
+  return out;
+}
+
+}  // namespace cqa

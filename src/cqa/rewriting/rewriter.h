@@ -1,0 +1,50 @@
+#ifndef CQA_REWRITING_REWRITER_H_
+#define CQA_REWRITING_REWRITER_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "cqa/base/result.h"
+#include "cqa/fo/formula.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Picks a literal whose atom is not all-key and whose primary-key variables
+/// are unattacked — the elimination step of Algorithm 1 / Lemma 6.1.
+/// Returns nullopt iff every atom is all-key OR no such literal exists
+/// (which implies the attack graph is cyclic). Deterministic: prefers the
+/// lowest literal index.
+std::optional<size_t> PickUnattackedNonAllKey(const Query& q);
+
+struct RewriterOptions {
+  /// Run the structural simplifier on the result (recommended; yields the
+  /// paper's hand-simplified shapes).
+  bool simplify = true;
+};
+
+/// A constructed consistent first-order rewriting plus size accounting.
+struct Rewriting {
+  FoPtr formula;
+  size_t raw_size = 0;         // AST nodes before simplification
+  size_t simplified_size = 0;  // AST nodes of `formula`
+  int levels = 0;              // number of elimination steps performed
+};
+
+/// Constructs a consistent first-order rewriting for CERTAINTY(q)
+/// (Theorem 4.3(2) / Lemma 6.1). Requires q ∈ sjfBCQ¬≠ with weakly-guarded
+/// negation and an acyclic attack graph (both judged with q's reified
+/// variables treated as constants). Pre-reified variables — used for
+/// non-Boolean queries, see certain_answers.h — appear as free variables of
+/// the output formula.
+///
+/// The returned sentence φ satisfies: for every database db,
+///   db ⊨ φ  ⟺  every repair of db satisfies q.
+/// (Verified against the naive repair-enumeration oracle in
+/// rewriter_test.cc and property_test.cc.)
+Result<Rewriting> RewriteCertain(const Query& q,
+                                 const RewriterOptions& options = {});
+
+}  // namespace cqa
+
+#endif  // CQA_REWRITING_REWRITER_H_

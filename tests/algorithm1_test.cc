@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/naive.h"
+#include "cqa/gen/poll.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/bpm.h"
+#include "cqa/reductions/hall_covering.h"
+#include "cqa/rewriting/algorithm1.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+Database Db(const char* text) {
+  Result<Database> db = Database::FromText(text);
+  EXPECT_TRUE(db.ok()) << (db.ok() ? "" : db.error());
+  return db.value();
+}
+
+void CrossValidate(const Query& q, int trials, uint64_t seed,
+                   RandomDbOptions db_opts = {}) {
+  Rng rng(seed);
+  for (int i = 0; i < trials; ++i) {
+    Database db = GenerateRandomDatabaseFor(q, db_opts, &rng);
+    Result<bool> expected = IsCertainNaive(q, db);
+    ASSERT_TRUE(expected.ok());
+    Result<bool> got = IsCertainAlgorithm1(q, db);
+    ASSERT_TRUE(got.ok()) << got.error();
+    ASSERT_EQ(got.value(), expected.value())
+        << "query: " << q.ToString() << "\ndb:\n" << db.ToString();
+  }
+}
+
+TEST(Algorithm1Test, RejectsOutsideFoFragment) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  Database db(s);
+  EXPECT_FALSE(IsCertainAlgorithm1(MakeQ1(), db).ok());
+  EXPECT_FALSE(
+      IsCertainAlgorithm1(Q("X(x), Y(y), not R(x | y), not S(y | x)"), db)
+          .ok());
+}
+
+TEST(Algorithm1Test, Q3HandCases) {
+  Query q3 = Q("P(x | y), not N('c' | y)");
+  EXPECT_TRUE(IsCertainAlgorithm1(q3, Db("P(k1 | a)\nP(k2 | b)\nN(c | b)"))
+                  .value());
+  EXPECT_FALSE(
+      IsCertainAlgorithm1(q3, Db("P(k1 | b), P(k1 | a)\nN(c | b)")).value());
+  EXPECT_FALSE(IsCertainAlgorithm1(q3, Db("N(c | b)")).value());
+  EXPECT_TRUE(IsCertainAlgorithm1(q3, Db("P(k1 | b)\nN(d | b)")).value());
+}
+
+TEST(Algorithm1Test, CrossValidatesOnNamedQueries) {
+  CrossValidate(Q("P(x | y), not N('c' | y)"), 300, 101);
+  CrossValidate(Q("R(x | y), S(y | z)"), 300, 103);
+  CrossValidate(Q("P(x | y), not N(x | y)"), 300, 107);
+  CrossValidate(Q("P(y), not N('c' | 'a', y, y)"), 200, 109);
+  RandomDbOptions small;
+  small.blocks_per_relation = 3;
+  small.max_block_size = 2;
+  small.domain_size = 4;
+  CrossValidate(PollQa(), 200, 113, small);
+  CrossValidate(PollQb(), 200, 127, small);
+}
+
+TEST(Algorithm1Test, HallQueriesAgainstCoveringSolver) {
+  Query q = MakeHallQuery(3);
+  Rng rng(131);
+  for (int i = 0; i < 100; ++i) {
+    SCoveringInstance inst;
+    inst.num_elements = static_cast<int>(rng.Range(0, 4));
+    for (int t = 0; t < 3; ++t) {
+      std::vector<int> set;
+      for (int a = 0; a < inst.num_elements; ++a) {
+        if (rng.Chance(0.5)) set.push_back(a);
+      }
+      inst.sets.push_back(std::move(set));
+    }
+    Database db = CoveringToHallDatabase(inst);
+    bool coverable = SolveSCovering(inst).has_value();
+    Result<bool> certain = IsCertainAlgorithm1(q, db);
+    ASSERT_TRUE(certain.ok());
+    EXPECT_EQ(certain.value(), !coverable);
+  }
+}
+
+TEST(Algorithm1Test, MemoizationReducesCalls) {
+  Query q = MakeHallQuery(4);
+  SCoveringInstance inst{4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}};
+  Database db = CoveringToHallDatabase(inst);
+
+  Algorithm1 memo(db, {.memoize = true});
+  Result<bool> r1 = memo.IsCertain(q);
+  ASSERT_TRUE(r1.ok());
+  uint64_t calls_memo = memo.calls();
+
+  Algorithm1 plain(db, {.memoize = false});
+  Result<bool> r2 = plain.IsCertain(q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value(), r2.value());
+  EXPECT_LE(calls_memo, plain.calls());
+}
+
+TEST(Algorithm1Test, EmptyDatabaseAndEmptyishQueries) {
+  Schema s;
+  s.AddRelationOrDie("P", 2, 1);
+  s.AddRelationOrDie("N", 2, 1);
+  Database empty(s);
+  EXPECT_FALSE(
+      IsCertainAlgorithm1(Q("P(x | y), not N('c' | y)"), empty).value());
+  // Fully ground query.
+  EXPECT_FALSE(IsCertainAlgorithm1(Q("P('a' | 'b')"), empty).value());
+  Database one(s);
+  one.AddFactOrDie("P", {Value::Of("a"), Value::Of("b")});
+  EXPECT_TRUE(IsCertainAlgorithm1(Q("P('a' | 'b')"), one).value());
+  EXPECT_TRUE(
+      IsCertainAlgorithm1(Q("P('a' | 'b'), not N('x' | 'y')"), one).value());
+}
+
+}  // namespace
+}  // namespace cqa

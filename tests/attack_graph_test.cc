@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "cqa/attack/attack_graph.h"
+#include "cqa/gen/poll.h"
+#include "cqa/gen/random_query.h"
+#include "cqa/query/parser.h"
+
+namespace cqa {
+namespace {
+
+Symbol S(const char* n) { return InternSymbol(n); }
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+TEST(AttackGraphTest, Example41FourEdges) {
+  // q2 = {P(x,y), ¬R(x|y), ¬S(y|x)}: R ⇝ S, S ⇝ R, R ⇝ P, S ⇝ P.
+  Query q = Q("P(x, y), not R(x | y), not S(y | x)");
+  AttackGraph g(q);
+  EXPECT_TRUE(g.Attacks(1, 2));
+  EXPECT_TRUE(g.Attacks(2, 1));
+  EXPECT_TRUE(g.Attacks(1, 0));
+  EXPECT_TRUE(g.Attacks(2, 0));
+  EXPECT_FALSE(g.Attacks(0, 1));
+  EXPECT_FALSE(g.Attacks(0, 2));
+  EXPECT_EQ(g.Edges().size(), 4u);
+  EXPECT_FALSE(g.IsAcyclic());
+  ASSERT_TRUE(g.FindTwoCycle().has_value());
+}
+
+TEST(AttackGraphTest, Example42OneEdge) {
+  // q3 = {P(x|y), ¬N(c|y)}: single edge N ⇝ P; P ̸⇝ N because P attacks no
+  // variable of N's (constant) primary key.
+  Query q = Q("P(x | y), not N('c' | y)");
+  AttackGraph g(q);
+  EXPECT_TRUE(g.Attacks(1, 0));
+  EXPECT_FALSE(g.Attacks(0, 1));
+  EXPECT_EQ(g.Edges().size(), 1u);
+  EXPECT_TRUE(g.IsAcyclic());
+  // N|y ⇝ y and N|y ⇝ x with witness (y, x).
+  EXPECT_TRUE(g.AttacksVar(1, S("y")));
+  EXPECT_TRUE(g.AttacksVar(1, S("x")));
+  std::vector<Symbol> w = g.Witness(1, S("x"));
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], S("y"));
+  EXPECT_EQ(w[1], S("x"));
+  // P|y ⇝ y but P ̸⇝ x.
+  EXPECT_TRUE(g.AttacksVar(0, S("y")));
+  EXPECT_FALSE(g.AttacksVar(0, S("x")));
+}
+
+TEST(AttackGraphTest, Example46PollQueries) {
+  {
+    // qa: exactly one attack, Lives ⇝ Likes (via Lives|t ⇝ t).
+    AttackGraph g(PollQa());
+    auto edges = g.Edges();
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(PollQa().atom(edges[0].first).relation_name(), "Lives");
+    EXPECT_EQ(PollQa().atom(edges[0].second).relation_name(), "Likes");
+    EXPECT_TRUE(g.IsAcyclic());
+  }
+  {
+    // qb: two attacks, Born ⇝ Likes and Lives ⇝ Likes.
+    AttackGraph g(PollQb());
+    auto edges = g.Edges();
+    ASSERT_EQ(edges.size(), 2u);
+    for (const auto& [from, to] : edges) {
+      EXPECT_EQ(PollQb().atom(to).relation_name(), "Likes");
+    }
+    EXPECT_TRUE(g.IsAcyclic());
+  }
+  {
+    // q1 and q2 are the canonical cyclic examples.
+    EXPECT_FALSE(AttackGraph(PollQ1()).IsAcyclic());
+    EXPECT_FALSE(AttackGraph(PollQ2()).IsAcyclic());
+  }
+}
+
+TEST(AttackGraphTest, Q4IsCyclic) {
+  Query q4 = Q("X(x), Y(y), not R(x | y), not S(y | x)");
+  AttackGraph g(q4);
+  EXPECT_FALSE(g.IsAcyclic());
+  ASSERT_TRUE(g.FindTwoCycle().has_value());
+  auto [i, j] = *g.FindTwoCycle();
+  EXPECT_TRUE(q4.IsNegated(i));
+  EXPECT_TRUE(q4.IsNegated(j));
+}
+
+TEST(AttackGraphTest, HallQueryIsAcyclic) {
+  Query q = Q("S(x), not N1('c' | x), not N2('c' | x), not N3('c' | x)");
+  AttackGraph g(q);
+  EXPECT_TRUE(g.IsAcyclic());
+  // All-key S is unattackable... S is attacked by each Ni (x ∈ key(S));
+  // but the Ni have constant keys, hence no incoming edges.
+  for (size_t i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(g.Attacks(i, 0));
+    EXPECT_FALSE(g.Attacks(0, i));
+  }
+}
+
+TEST(AttackGraphTest, AllKeyAtomsNeverAttack) {
+  Query q = Q("E(x, y), R(x | y)");
+  AttackGraph g(q);
+  EXPECT_TRUE(g.reachable_vars(0).empty());
+  EXPECT_FALSE(g.Attacks(0, 1));
+}
+
+TEST(AttackGraphTest, DiseqAtomsNeverAttack) {
+  // Lemma 6.6 sanity: adding a disequality (the ¬E(v̄) all-key atom in the
+  // paper's encoding) leaves the attack graph unchanged.
+  Query q = Q("R(x | y), not N(x | y)");
+  Query q_ne = q.WithDiseq(
+      Diseq{{Term::Var("x"), Term::Var("y")},
+            {Term::Const("a"), Term::Const("b")}});
+  AttackGraph g1(q);
+  AttackGraph g2(q_ne);
+  EXPECT_EQ(g1.Edges(), g2.Edges());
+}
+
+TEST(AttackGraphTest, WitnessAvoidsPlusSet) {
+  Query q = Q("R(x | y, z), S(y | z), not N(x | z)");
+  AttackGraph g(q);
+  for (size_t i = 0; i < q.NumLiterals(); ++i) {
+    for (Symbol w : g.reachable_vars(i)) {
+      std::vector<Symbol> path = g.Witness(i, w);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.back(), w);
+      // Every node of the witness avoids F⊕ and consecutive nodes co-occur
+      // in a positive atom.
+      for (size_t k = 0; k < path.size(); ++k) {
+        EXPECT_FALSE(g.plus_set(i).contains(path[k]));
+        if (k > 0) {
+          EXPECT_TRUE(q.CoOccurPositively(path[k - 1], path[k]));
+        }
+      }
+      // The first node must be a variable of the atom.
+      EXPECT_TRUE(q.atom(i).Vars().contains(path.front()));
+    }
+  }
+}
+
+TEST(AttackGraphTest, UnattackedNonAllKeyExistsWhenAcyclic) {
+  Rng rng(123);
+  RandomQueryOptions opts;
+  for (int trial = 0; trial < 200; ++trial) {
+    Query q = GenerateRandomQuery(opts, &rng);
+    AttackGraph g(q);
+    if (g.IsAcyclic() && q.Alpha() > 0) {
+      EXPECT_FALSE(g.UnattackedNonAllKey().empty()) << q.ToString();
+    }
+  }
+}
+
+// Lemma 4.7: if F|w ⇝ u then for every positive P ≠ F containing u, F
+// attacks some variable of key(P).
+TEST(AttackGraphTest, Lemma47Property) {
+  Rng rng(99);
+  RandomQueryOptions opts;
+  for (int trial = 0; trial < 300; ++trial) {
+    Query q = GenerateRandomQuery(opts, &rng);
+    AttackGraph g(q);
+    for (size_t f = 0; f < q.NumLiterals(); ++f) {
+      for (Symbol u : g.reachable_vars(f)) {
+        for (size_t p = 0; p < q.NumLiterals(); ++p) {
+          if (p == f || q.IsNegated(p)) continue;
+          if (!q.atom(p).Vars().contains(u)) continue;
+          EXPECT_TRUE(g.reachable_vars(f).Intersects(q.atom(p).KeyVars()))
+              << q.ToString();
+        }
+      }
+    }
+  }
+}
+
+// Lemma 4.8: if F ⇝ P (P positive), then F attacks every u ∈ vars(P)\F⊕.
+TEST(AttackGraphTest, Lemma48Property) {
+  Rng rng(7);
+  RandomQueryOptions opts;
+  for (int trial = 0; trial < 300; ++trial) {
+    Query q = GenerateRandomQuery(opts, &rng);
+    AttackGraph g(q);
+    for (size_t f = 0; f < q.NumLiterals(); ++f) {
+      for (size_t p = 0; p < q.NumLiterals(); ++p) {
+        if (p == f || q.IsNegated(p) || !g.Attacks(f, p)) continue;
+        SymbolSet must = q.atom(p).Vars().Minus(g.plus_set(f));
+        EXPECT_TRUE(must.IsSubsetOf(g.reachable_vars(f))) << q.ToString();
+      }
+    }
+  }
+}
+
+// Lemma 4.9 corollary: under weak guardedness, a cyclic attack graph
+// contains a cycle of length two.
+TEST(AttackGraphTest, Lemma49TwoCycleProperty) {
+  Rng rng(2024);
+  RandomQueryOptions opts;
+  int cyclic_seen = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    Query q = GenerateRandomQuery(opts, &rng);
+    AttackGraph g(q);
+    if (!g.IsAcyclic()) {
+      ++cyclic_seen;
+      EXPECT_TRUE(g.FindTwoCycle().has_value()) << q.ToString();
+    }
+  }
+  EXPECT_GT(cyclic_seen, 0);  // the generator does produce cyclic queries
+}
+
+// Reified key variables kill outgoing attacks that relied on them.
+TEST(AttackGraphTest, ReificationMonotonicity) {
+  // Lemma 6.10(1): substituting a constant cannot create new attacks.
+  Rng rng(31337);
+  RandomQueryOptions opts;
+  for (int trial = 0; trial < 200; ++trial) {
+    Query q = GenerateRandomQuery(opts, &rng);
+    SymbolSet vars = q.Vars();
+    if (vars.empty()) continue;
+    Symbol x = vars.items()[rng.Below(vars.size())];
+    Query qc = q.Substituted(x, Value::Of("subst"));
+    AttackGraph g(q);
+    AttackGraph gc(qc);
+    for (size_t i = 0; i < q.NumLiterals(); ++i) {
+      for (size_t j = 0; j < q.NumLiterals(); ++j) {
+        if (i == j) continue;
+        if (gc.Attacks(i, j)) {
+          EXPECT_TRUE(g.Attacks(i, j))
+              << q.ToString() << " with " << SymbolName(x) << " -> 'subst'";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqa

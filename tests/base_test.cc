@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cqa/base/interner.h"
+#include "cqa/base/result.h"
+#include "cqa/base/rng.h"
+#include "cqa/base/symbol_set.h"
+#include "cqa/base/union_find.h"
+#include "cqa/base/value.h"
+
+namespace cqa {
+namespace {
+
+TEST(InternerTest, InternIsIdempotent) {
+  Symbol a1 = InternSymbol("alpha");
+  Symbol a2 = InternSymbol("alpha");
+  Symbol b = InternSymbol("beta");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(SymbolName(a1), "alpha");
+  EXPECT_EQ(SymbolName(b), "beta");
+}
+
+TEST(InternerTest, FreshNeverCollides) {
+  std::set<Symbol> seen;
+  for (int i = 0; i < 100; ++i) {
+    Symbol s = FreshSymbol("z");
+    EXPECT_TRUE(seen.insert(s).second);
+    EXPECT_EQ(SymbolName(s).rfind("z#", 0), 0u);
+  }
+}
+
+TEST(InternerTest, FreshAvoidsExistingNames) {
+  // Pre-intern a name that the fresh counter would produce next.
+  Symbol pre = InternSymbol("taken#0");
+  Symbol fresh = FreshSymbol("taken");
+  EXPECT_NE(pre, fresh);
+  EXPECT_NE(SymbolName(fresh), "taken#0");
+}
+
+TEST(ValueTest, EqualityAndPairs) {
+  Value a = Value::Of("a");
+  Value a2 = Value::Of("a");
+  Value b = Value::Of("b");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(Value().valid());
+  EXPECT_TRUE(a.valid());
+  Value p = Value::Pair(a, b);
+  EXPECT_EQ(p.name(), "<a,b>");
+  EXPECT_EQ(p, Value::Pair(Value::Of("a"), Value::Of("b")));
+  EXPECT_NE(p, Value::Pair(b, a));
+  EXPECT_EQ(Value::OfInt(42).name(), "42");
+}
+
+TEST(ValueTest, TupleToString) {
+  EXPECT_EQ(TupleToString({Value::Of("x"), Value::Of("y")}), "(x, y)");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+TEST(SymbolSetTest, BasicSetOperations) {
+  Symbol x = InternSymbol("ss_x");
+  Symbol y = InternSymbol("ss_y");
+  Symbol z = InternSymbol("ss_z");
+  SymbolSet s{x, y, x};
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(x));
+  EXPECT_FALSE(s.contains(z));
+
+  SymbolSet t{y, z};
+  EXPECT_TRUE(s.Intersects(t));
+  EXPECT_EQ(s.Union(t).size(), 3u);
+  EXPECT_EQ(s.Minus(t), SymbolSet{x});
+  EXPECT_EQ(s.Intersect(t), SymbolSet{y});
+  EXPECT_TRUE(SymbolSet{y}.IsSubsetOf(s));
+  EXPECT_FALSE(s.IsSubsetOf(t));
+
+  s.Erase(x);
+  EXPECT_FALSE(s.contains(x));
+  s.Insert(z);
+  EXPECT_TRUE(s.contains(z));
+  EXPECT_FALSE(SymbolSet{}.Intersects(t));
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> err = Result<int>::Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), "boom");
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(Rng(42).Next(), c.Next());
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = a.Below(10);
+    EXPECT_LT(v, 10u);
+    int64_t r = a.Range(-3, 3);
+    EXPECT_GE(r, -3);
+    EXPECT_LE(r, 3);
+    double d = a.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_FALSE(a.Chance(0.0));
+  EXPECT_TRUE(a.Chance(1.0));
+}
+
+TEST(UnionFindTest, ComponentsMerge) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.num_components(), 6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.num_components(), 4);
+}
+
+}  // namespace
+}  // namespace cqa

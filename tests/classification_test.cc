@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "cqa/attack/classification.h"
+#include "cqa/gen/poll.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/bpm.h"
+#include "cqa/reductions/hall_covering.h"
+#include "cqa/reductions/q4.h"
+#include "cqa/reductions/ufa.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+TEST(ClassificationTest, CanonicalQ0IsLHard) {
+  // q0 = {R(x|y), S(y|x)} — the classic negation-free 2-cycle.
+  Classification c = Classify(Q("R(x | y), S(y | x)"));
+  EXPECT_EQ(c.cls, CertaintyClass::kLHard);
+  EXPECT_EQ(c.negated_in_cycle, 0);
+  EXPECT_FALSE(c.attack_graph_acyclic);
+}
+
+TEST(ClassificationTest, CanonicalQ1IsNLHard) {
+  Classification c = Classify(MakeQ1());
+  EXPECT_EQ(c.cls, CertaintyClass::kNLHard);
+  EXPECT_EQ(c.negated_in_cycle, 1);
+  EXPECT_TRUE(c.weakly_guarded);
+}
+
+TEST(ClassificationTest, CanonicalQ2IsLHard) {
+  // q2 = {R(x,y) all-key, ¬S(x|y), ¬T(y|x)}: the only 2-cycle is S ⇄ T
+  // between negated atoms; weakly guarded, so Lemma 5.7 gives L-hardness,
+  // matching Lemma 5.3's direct UFA reduction.
+  Classification c = Classify(MakeQ2());
+  EXPECT_EQ(c.cls, CertaintyClass::kLHard);
+  EXPECT_EQ(c.negated_in_cycle, 2);
+  EXPECT_TRUE(c.weakly_guarded);
+}
+
+TEST(ClassificationTest, PurelyNegatedTwoCycleIsLHard) {
+  // Example 4.1's q2 = {P(x,y), ¬R(x|y), ¬S(y|x)}: the only 2-cycle is
+  // R ⇄ S between negated atoms; weakly guarded, so Lemma 5.7 applies.
+  Result<Query> q = ParseQuery("P(x, y), not R(x | y), not S(y | x)");
+  ASSERT_TRUE(q.ok());
+  Classification c = Classify(q.value());
+  EXPECT_EQ(c.cls, CertaintyClass::kLHard);
+  EXPECT_EQ(c.negated_in_cycle, 2);
+}
+
+TEST(ClassificationTest, Q3IsFO) {
+  Classification c = Classify(Q("P(x | y), not N('c' | y)"));
+  EXPECT_EQ(c.cls, CertaintyClass::kFO);
+  EXPECT_TRUE(c.attack_graph_acyclic);
+}
+
+TEST(ClassificationTest, HallQueriesAreFO) {
+  for (int ell = 0; ell <= 5; ++ell) {
+    Classification c = Classify(MakeHallQuery(ell));
+    EXPECT_EQ(c.cls, CertaintyClass::kFO) << "ell=" << ell;
+  }
+}
+
+TEST(ClassificationTest, PollQueries) {
+  // Example 4.6: q1, q2 cyclic (not in FO); qa, qb acyclic (in FO).
+  EXPECT_EQ(Classify(PollQ1()).cls, CertaintyClass::kNLHard);
+  EXPECT_EQ(Classify(PollQ2()).cls, CertaintyClass::kLHard);
+  EXPECT_EQ(Classify(PollQa()).cls, CertaintyClass::kFO);
+  EXPECT_EQ(Classify(PollQb()).cls, CertaintyClass::kFO);
+}
+
+TEST(ClassificationTest, Q4IsOutsideTheorem43) {
+  // Example 7.1: cyclic 2-cycle of negated atoms, but not weakly guarded —
+  // Lemma 5.7 does not apply, and indeed CERTAINTY(q4) is in FO.
+  Classification c = Classify(MakeQ4());
+  EXPECT_EQ(c.cls, CertaintyClass::kUnknown);
+  EXPECT_FALSE(c.weakly_guarded);
+  EXPECT_FALSE(c.attack_graph_acyclic);
+  EXPECT_EQ(c.negated_in_cycle, 2);
+}
+
+TEST(ClassificationTest, MixedCycleHardEvenWithoutWeakGuard) {
+  // A 2-cycle with one negated atom is NL-hard regardless of guardedness
+  // (Lemma 5.6 makes no weak-guardedness hypothesis).
+  // q = {R(x|y), X(x), Y(y), ¬S(y|x)} — R ⇝ S ⇝ R; also not weakly guarded
+  // variant: use q1 plus an unguarded negated atom pair.
+  Query q = Q("R(x | y), not S(y | x), U(z), not W(x | z)");
+  EXPECT_FALSE(q.IsWeaklyGuarded());
+  Classification c = Classify(q);
+  EXPECT_EQ(c.cls, CertaintyClass::kNLHard);
+}
+
+TEST(ClassificationTest, SingleAtomQueriesAreFO) {
+  EXPECT_EQ(Classify(Q("R(x | y)")).cls, CertaintyClass::kFO);
+  EXPECT_EQ(Classify(Q("R(x, y)")).cls, CertaintyClass::kFO);
+}
+
+TEST(ClassificationTest, ExplanationsAreNonEmpty) {
+  for (const Query& q :
+       {MakeQ1(), MakeQ2(), MakeQ4(), Q("R(x | y)"), PollQa()}) {
+    EXPECT_FALSE(Classify(q).explanation.empty());
+  }
+}
+
+TEST(ClassificationTest, ToStringCovers) {
+  EXPECT_EQ(ToString(CertaintyClass::kFO), "in FO");
+  EXPECT_NE(ToString(CertaintyClass::kLHard).find("L-hard"),
+            std::string::npos);
+  EXPECT_NE(ToString(CertaintyClass::kNLHard).find("NL-hard"),
+            std::string::npos);
+  EXPECT_NE(ToString(CertaintyClass::kUnknown).find("unknown"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,115 @@
+// Integration test for the cqa_cli binary: spawns the real executable (path
+// injected by CMake) and checks output and exit codes end to end.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#ifndef CQA_CLI_PATH
+#define CQA_CLI_PATH "cqa_cli"
+#endif
+
+namespace cqa {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+RunResult RunCli(const std::string& args) {
+  std::string command = std::string(CQA_CLI_PATH) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  RunResult out;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    out.stdout_text.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return out;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_path_ = ::testing::TempDir() + "/cli_test_db.facts";
+    std::ofstream out(db_path_);
+    out << "R(a | b), R(a | c)\nS(b | a)\n";
+  }
+  std::string db_path_;
+};
+
+TEST_F(CliTest, Classify) {
+  RunResult r = RunCli("classify \"R(x | y), not S(y | x)\"");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.stdout_text.find("NL-hard"), std::string::npos);
+  EXPECT_NE(r.stdout_text.find("weakly guarded:  yes"), std::string::npos);
+}
+
+TEST_F(CliTest, RewriteAndSql) {
+  RunResult r = RunCli("rewrite \"P(x | y), not N('c' | y)\"");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.stdout_text.find("exists"), std::string::npos);
+  RunResult sql = RunCli("sql \"P(x | y), not N('c' | y)\"");
+  EXPECT_EQ(sql.exit_code, 0);
+  EXPECT_NE(sql.stdout_text.find("CREATE TABLE P"), std::string::npos);
+  EXPECT_NE(sql.stdout_text.find("SELECT CASE WHEN"), std::string::npos);
+  // Rewriting a hard query fails cleanly.
+  EXPECT_NE(RunCli("rewrite \"R(x | y), not S(y | x)\"").exit_code, 0);
+}
+
+TEST_F(CliTest, SolveExitCodes) {
+  // Not certain: S(b,a) blocks the R(a,b) witness in one repair... exit 3.
+  RunResult r = RunCli("solve \"R(x | y), not S(y | x)\" " + db_path_);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.stdout_text.find("not certain"), std::string::npos);
+  // Certain: plain positive query.
+  RunResult c = RunCli("solve \"R(x | y)\" " + db_path_);
+  EXPECT_EQ(c.exit_code, 0);
+  EXPECT_NE(c.stdout_text.find("certain"), std::string::npos);
+  // Forced method.
+  RunResult m = RunCli("solve \"R(x | y)\" " + db_path_ + " --method=naive");
+  EXPECT_EQ(m.exit_code, 0);
+  EXPECT_NE(RunCli("solve \"R(x | y)\" " + db_path_ + " --method=bogus")
+                .exit_code,
+            0);
+}
+
+TEST_F(CliTest, AnswersStatsRepairsAspDot) {
+  RunResult answers =
+      RunCli("answers \"R(x | y), not S(y | x)\" " + db_path_ + " --free=x");
+  EXPECT_EQ(answers.exit_code, 0);
+
+  RunResult stats = RunCli("stats " + db_path_);
+  EXPECT_EQ(stats.exit_code, 0);
+  EXPECT_NE(stats.stdout_text.find("total:"), std::string::npos);
+
+  RunResult repairs = RunCli("repairs " + db_path_ + " --limit=1");
+  EXPECT_EQ(repairs.exit_code, 0);
+  EXPECT_NE(repairs.stdout_text.find("repairs: 2"), std::string::npos);
+
+  RunResult asp = RunCli("asp \"R(x | y), not S(y | x)\" " + db_path_);
+  EXPECT_EQ(asp.exit_code, 0);
+  EXPECT_NE(asp.stdout_text.find(":- sat."), std::string::npos);
+
+  RunResult dot = RunCli("dot \"R(x | y), not S(y | x)\"");
+  EXPECT_EQ(dot.exit_code, 0);
+  EXPECT_NE(dot.stdout_text.find("digraph"), std::string::npos);
+}
+
+TEST_F(CliTest, ErrorsAreClean) {
+  EXPECT_EQ(RunCli("").exit_code, 2);
+  EXPECT_NE(RunCli("frobnicate x").exit_code, 0);
+  EXPECT_EQ(RunCli("frobnicate \"R(x | y)\"").exit_code, 2);
+  EXPECT_NE(RunCli("classify \"R(x\"").exit_code, 0);
+  EXPECT_NE(RunCli("solve \"R(x | y)\" /nonexistent.facts").exit_code, 0);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,85 @@
+// The interner is the only process-global mutable state in the library;
+// hammer it from several threads to check the locking.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cqa/base/interner.h"
+#include "cqa/base/value.h"
+
+namespace cqa {
+namespace {
+
+TEST(ConcurrencyTest, ParallelInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kNames = 500;
+  std::vector<std::vector<Symbol>> results(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      results[static_cast<size_t>(t)].reserve(kNames);
+      for (int i = 0; i < kNames; ++i) {
+        results[static_cast<size_t>(t)].push_back(
+            InternSymbol("conc_" + std::to_string(i)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every thread resolved every name to the same symbol.
+  for (int i = 0; i < kNames; ++i) {
+    for (int t = 1; t < kThreads; ++t) {
+      ASSERT_EQ(results[0][static_cast<size_t>(i)],
+                results[static_cast<size_t>(t)][static_cast<size_t>(i)]);
+    }
+    EXPECT_EQ(SymbolName(results[0][static_cast<size_t>(i)]),
+              "conc_" + std::to_string(i));
+  }
+}
+
+TEST(ConcurrencyTest, ParallelFreshSymbolsAreDistinct) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 300;
+  std::vector<std::vector<Symbol>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        results[static_cast<size_t>(t)].push_back(FreshSymbol("cz"));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::set<Symbol> all;
+  for (const auto& r : results) {
+    for (Symbol s : r) {
+      EXPECT_TRUE(all.insert(s).second) << SymbolName(s);
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(ConcurrencyTest, ValuesUsableAcrossThreads) {
+  Value v = Value::Of("shared_value");
+  std::vector<std::thread> threads;
+  std::atomic<int> matches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (Value::Of("shared_value") == v) matches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(matches.load(), 4000);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,32 @@
+#include <gtest/gtest.h>
+
+#include "cqa/attack/dot.h"
+#include "cqa/query/parser.h"
+
+namespace cqa {
+namespace {
+
+TEST(DotTest, RendersNodesAndEdges) {
+  Result<Query> q = ParseQuery("R(x | y), not S(y | x)");
+  ASSERT_TRUE(q.ok());
+  AttackGraph g(q.value());
+  std::string dot = AttackGraphToDot(g);
+  EXPECT_NE(dot.find("digraph attack_graph"), std::string::npos);
+  EXPECT_NE(dot.find("R(x | y)"), std::string::npos);
+  EXPECT_NE(dot.find("not S(y | x)"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);  // negated atom
+  // q1 has the 2-cycle R ⇄ S: both edges highlighted.
+  EXPECT_NE(dot.find("n0 -> n1 [color=red"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n0 [color=red"), std::string::npos);
+}
+
+TEST(DotTest, AcyclicGraphHasNoRedEdges) {
+  Result<Query> q = ParseQuery("P(x | y), not N('c' | y)");
+  ASSERT_TRUE(q.ok());
+  std::string dot = AttackGraphToDot(AttackGraph(q.value()));
+  EXPECT_EQ(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n0"), std::string::npos);  // N attacks P
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "cqa/db/eval.h"
+#include "cqa/db/repairs.h"
+#include "cqa/query/parser.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+Database Db(const char* text) {
+  Result<Database> db = Database::FromText(text);
+  EXPECT_TRUE(db.ok()) << (db.ok() ? "" : db.error());
+  return db.value();
+}
+
+TEST(EvalTest, PositiveJoin) {
+  Database db = Db("R(a | b)\nS(b | c)");
+  EXPECT_TRUE(Satisfies(Q("R(x | y), S(y | z)"), db));
+  EXPECT_FALSE(Satisfies(Q("R(x | y), S(x | z)"), db));
+}
+
+TEST(EvalTest, NegationSemantics) {
+  Database db = Db("R(a | b)\nS(b | a)");
+  // q1 = R(x|y), ¬S(y|x): the S-fact blocks the only witness.
+  EXPECT_FALSE(Satisfies(Q("R(x | y), not S(y | x)"), db));
+  Database db2 = Db("R(a | b)\nS(b | zzz)");
+  EXPECT_TRUE(Satisfies(Q("R(x | y), not S(y | x)"), db2));
+}
+
+TEST(EvalTest, ConstantsInAtoms) {
+  Database db = Db("N(c | a)\nP(k | a)");
+  EXPECT_TRUE(Satisfies(Q("P(x | y), N('c' | y)"), db));
+  EXPECT_FALSE(Satisfies(Q("P(x | y), N('d' | y)"), db));
+}
+
+TEST(EvalTest, RepeatedVariables) {
+  Database db = Db("R(a | a)\nR(b | c)");
+  EXPECT_TRUE(Satisfies(Q("R(x | x)"), db));
+  Database db2 = Db("R(b | c)");
+  EXPECT_FALSE(Satisfies(Q("R(x | x)"), db2));
+}
+
+TEST(EvalTest, DiseqConstraints) {
+  Database db = Db("R(a | b)");
+  Query q = Q("R(x | y)");
+  Query q_ne = q.WithDiseq(Diseq{{Term::Var("y")}, {Term::Const("b")}});
+  EXPECT_FALSE(Satisfies(q_ne, db));
+  Query q_ne2 = q.WithDiseq(Diseq{{Term::Var("y")}, {Term::Const("zzz")}});
+  EXPECT_TRUE(Satisfies(q_ne2, db));
+  // Vector diseq: some component must differ.
+  Query q_vec = q.WithDiseq(
+      Diseq{{Term::Var("x"), Term::Var("y")},
+            {Term::Const("a"), Term::Const("zzz")}});
+  EXPECT_TRUE(Satisfies(q_vec, db));
+}
+
+TEST(EvalTest, ForEachWitnessEnumeratesAll) {
+  Database db = Db("R(a | b)\nR(c | d)\nS(b | x)\nS(d | x)");
+  int count = 0;
+  ForEachWitness(Q("R(x | y), S(y | z)"), db, {}, [&](const Valuation& v) {
+    EXPECT_EQ(v.size(), 3u);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EvalTest, InitialBindingsRestrictSearch) {
+  Database db = Db("R(a | b)\nR(c | d)");
+  Query q = Q("R(x | y)");
+  Valuation init{{InternSymbol("x"), Value::Of("a")}};
+  std::optional<Valuation> w = FindWitness(q, db, init);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->at(InternSymbol("y")), Value::Of("b"));
+  Valuation bad{{InternSymbol("x"), Value::Of("zzz")}};
+  EXPECT_FALSE(FindWitness(q, db, bad).has_value());
+}
+
+TEST(EvalTest, Example33KeyRelevantFacts) {
+  // q1 = {R(x|y), ¬S(y|x)}, r = {R(b,1), S(1,a), S(2,a)}.
+  Query q1 = Q("R(x | y), not S(y | x)");
+  Database r = Db("R(b | 1)\nS(1 | a)\nS(2 | a)");
+  // The only witness is {x→b, y→1}; S(1,a) is key-relevant, S(2,a) is not.
+  std::vector<Fact> relevant = KeyRelevantFacts(q1, 1, r);
+  ASSERT_EQ(relevant.size(), 1u);
+  EXPECT_EQ(relevant[0].values, (Tuple{Value::Of("1"), Value::Of("a")}));
+}
+
+TEST(EvalTest, EvaluationOnRepairs) {
+  Database db = Db("R(a | b), R(a | c)\nS(b | a)");
+  Query q1 = Q("R(x | y), not S(y | x)");
+  int satisfied = 0;
+  ForEachRepair(db, [&](const Repair& r) {
+    if (Satisfies(q1, r)) ++satisfied;
+    return true;
+  });
+  // Repair {R(a,b), S(b,a)} falsifies; repair {R(a,c), S(b,a)} satisfies.
+  EXPECT_EQ(satisfied, 1);
+}
+
+TEST(EvalTest, GroundQueryOnEmptyRelation) {
+  Database db = Db("R(a | b)");
+  // A negated atom over a relation with no facts is vacuously true.
+  EXPECT_TRUE(Satisfies(Q("R(x | y), not T(x | y)"), db));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "cqa/attack/attack_graph.h"
+#include "cqa/attack/classification.h"
+#include "cqa/certainty/backtracking.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/certainty/rewriting_solver.h"
+#include "cqa/gen/families.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace cqa {
+namespace {
+
+TEST(FamiliesTest, ChainsAreInFO) {
+  for (int k = 1; k <= 6; ++k) {
+    Classification c = Classify(ChainQuery(k));
+    EXPECT_EQ(c.cls, CertaintyClass::kFO) << "k=" << k;
+    EXPECT_EQ(Classify(ChainQuery(k, false)).cls, CertaintyClass::kFO);
+  }
+}
+
+TEST(FamiliesTest, CyclesAreLHardWithTwoCycle) {
+  // [19]'s structure theory: a cyclic attack graph of a negation-free
+  // query always contains a 2-cycle; our classifier must find one.
+  for (int k = 2; k <= 6; ++k) {
+    Query q = CycleQuery(k);
+    AttackGraph g(q);
+    EXPECT_FALSE(g.IsAcyclic()) << "k=" << k;
+    EXPECT_TRUE(g.FindTwoCycle().has_value()) << "k=" << k;
+    Classification c = Classify(q);
+    EXPECT_EQ(c.cls, CertaintyClass::kLHard) << "k=" << k;
+    EXPECT_EQ(c.negated_in_cycle, 0) << "k=" << k;
+  }
+}
+
+TEST(FamiliesTest, StarsAreInFOAndGrowExponentially) {
+  size_t prev = 0;
+  for (int b = 1; b <= 5; ++b) {
+    Query q = StarQuery(b);
+    EXPECT_TRUE(q.IsGuarded());
+    Classification c = Classify(q);
+    ASSERT_EQ(c.cls, CertaintyClass::kFO) << "b=" << b;
+    Result<Rewriting> rw = RewriteCertain(q, {.simplify = false});
+    ASSERT_TRUE(rw.ok());
+    if (b > 1) {
+      EXPECT_GT(rw->raw_size, prev) << "b=" << b;
+    }
+    prev = rw->raw_size;
+  }
+}
+
+TEST(FamiliesTest, ChainRewritingCrossValidates) {
+  for (int k : {2, 3}) {
+    Query q = ChainQuery(k);
+    Result<RewritingSolver> solver = RewritingSolver::Create(q);
+    ASSERT_TRUE(solver.ok()) << solver.error();
+    Rng rng(1900 + static_cast<uint64_t>(k));
+    RandomDbOptions opts;
+    opts.blocks_per_relation = 2;
+    opts.domain_size = 3;
+    for (int i = 0; i < 60; ++i) {
+      Database db = GenerateRandomDatabaseFor(q, opts, &rng);
+      Result<bool> oracle = IsCertainNaive(q, db);
+      ASSERT_TRUE(oracle.ok());
+      ASSERT_EQ(solver->IsCertain(db), oracle.value())
+          << q.ToString() << "\n" << db.ToString();
+    }
+  }
+}
+
+TEST(FamiliesTest, StarRewritingCrossValidates) {
+  Query q = StarQuery(2);
+  Result<RewritingSolver> solver = RewritingSolver::Create(q);
+  ASSERT_TRUE(solver.ok()) << solver.error();
+  Rng rng(1913);
+  RandomDbOptions opts;
+  opts.blocks_per_relation = 2;
+  opts.domain_size = 3;
+  for (int i = 0; i < 60; ++i) {
+    Database db = GenerateRandomDatabaseFor(q, opts, &rng);
+    Result<bool> oracle = IsCertainNaive(q, db);
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_EQ(solver->IsCertain(db), oracle.value()) << db.ToString();
+  }
+}
+
+TEST(FamiliesTest, CycleBacktrackingMatchesOracle) {
+  Query q = CycleQuery(3);
+  Rng rng(1931);
+  RandomDbOptions opts;
+  opts.blocks_per_relation = 2;
+  opts.domain_size = 3;
+  for (int i = 0; i < 60; ++i) {
+    Database db = GenerateRandomDatabaseFor(q, opts, &rng);
+    Result<bool> oracle = IsCertainNaive(q, db);
+    Result<bool> bt = IsCertainBacktracking(q, db);
+    ASSERT_TRUE(oracle.ok() && bt.ok());
+    ASSERT_EQ(bt.value(), oracle.value()) << db.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cqa

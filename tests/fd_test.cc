@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "cqa/fd/fd.h"
+#include "cqa/query/parser.h"
+
+namespace cqa {
+namespace {
+
+Symbol S(const char* n) { return InternSymbol(n); }
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+TEST(FdTest, ClosureFixpoint) {
+  std::vector<Fd> fds = {
+      {SymbolSet{S("a")}, SymbolSet{S("b")}},
+      {SymbolSet{S("b")}, SymbolSet{S("c")}},
+      {SymbolSet{S("c"), S("d")}, SymbolSet{S("e")}},
+  };
+  SymbolSet closure = FdClosure(fds, SymbolSet{S("a")});
+  EXPECT_EQ(closure, (SymbolSet{S("a"), S("b"), S("c")}));
+  closure = FdClosure(fds, SymbolSet{S("a"), S("d")});
+  EXPECT_EQ(closure, (SymbolSet{S("a"), S("b"), S("c"), S("d"), S("e")}));
+  EXPECT_TRUE(FdImplies(fds, SymbolSet{S("a")}, SymbolSet{S("c")}));
+  EXPECT_FALSE(FdImplies(fds, SymbolSet{S("a")}, SymbolSet{S("e")}));
+}
+
+TEST(FdTest, EmptyFdSetClosureIsIdentity) {
+  SymbolSet start{S("x")};
+  EXPECT_EQ(FdClosure({}, start), start);
+}
+
+TEST(FdTest, Example41PlusSets) {
+  // q2 = {P(x,y) all-key, ¬R(x|y), ¬S(y|x)}: P⊕={x,y}, R⊕={x}, S⊕={y}.
+  Query q = Q("P(x, y), not R(x | y), not S(y | x)");
+  EXPECT_EQ(PlusSet(q, 0), (SymbolSet{S("x"), S("y")}));
+  EXPECT_EQ(PlusSet(q, 1), SymbolSet{S("x")});
+  EXPECT_EQ(PlusSet(q, 2), SymbolSet{S("y")});
+}
+
+TEST(FdTest, Example42PlusSets) {
+  // q3 = {P(x|y), ¬N(c|y)}: P⊕={x}, N⊕={} .
+  Query q = Q("P(x | y), not N('c' | y)");
+  EXPECT_EQ(PlusSet(q, 0), SymbolSet{S("x")});
+  EXPECT_TRUE(PlusSet(q, 1).empty());
+}
+
+TEST(FdTest, KeyFdsExcludingSkipsOnlyPositive) {
+  Query q = Q("P(x | y), not N('c' | y)");
+  // Excluding the negated literal leaves K(q⁺) intact.
+  EXPECT_EQ(KeyFdsExcluding(q, 1).size(), 1u);
+  EXPECT_EQ(KeyFdsExcluding(q, 0).size(), 0u);
+  EXPECT_EQ(KeyFds(q).size(), 1u);
+}
+
+TEST(FdTest, ReifiedVariablesActAsConstants) {
+  Query q = Q("P(x | y), not N('c' | y)");
+  Query qr = q.WithReified(SymbolSet{S("x")});
+  // With x reified, P's dependency becomes {} → {y}: closure of N's empty
+  // key now contains y.
+  EXPECT_EQ(PlusSet(qr, 1), SymbolSet{S("y")});
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "cqa/fo/eval.h"
+#include "cqa/fo/formula.h"
+
+namespace cqa {
+namespace {
+
+Term V(const char* n) { return Term::Var(n); }
+Term C(const char* n) { return Term::Const(n); }
+Symbol S(const char* n) { return InternSymbol(n); }
+
+Database Db(const char* text) {
+  Result<Database> db = Database::FromText(text);
+  EXPECT_TRUE(db.ok()) << (db.ok() ? "" : db.error());
+  return db.value();
+}
+
+TEST(FoEvalTest, GroundAtoms) {
+  Database db = Db("R(a | b)");
+  EXPECT_TRUE(EvalFo(FoAtom(S("R"), 1, {C("a"), C("b")}), db));
+  EXPECT_FALSE(EvalFo(FoAtom(S("R"), 1, {C("a"), C("zz")}), db));
+  EXPECT_FALSE(EvalFo(FoAtom(S("Missing"), 1, {C("a")}), db));
+}
+
+TEST(FoEvalTest, GuardedExists) {
+  Database db = Db("R(a | b)\nR(c | d)\nT(b)");
+  FoPtr f = FoExists({S("x"), S("y")},
+                     FoAnd({FoAtom(S("R"), 1, {V("x"), V("y")}),
+                            FoAtom(S("T"), 1, {V("y")})}));
+  EXPECT_TRUE(EvalFo(f, db));
+  FoPtr g = FoExists({S("x"), S("y")},
+                     FoAnd({FoAtom(S("R"), 1, {V("x"), V("y")}),
+                            FoAtom(S("T"), 1, {V("x")})}));
+  EXPECT_FALSE(EvalFo(g, db));
+}
+
+TEST(FoEvalTest, ForallWithImplicationPremise) {
+  Database db = Db("R(a | b)\nR(a | c)\nT(b)\nT(c)");
+  FoPtr f = FoForall({S("z")},
+                     FoImplies(FoAtom(S("R"), 1, {C("a"), V("z")}),
+                               FoAtom(S("T"), 1, {V("z")})));
+  EXPECT_TRUE(EvalFo(f, db));
+  Database db2 = Db("R(a | b)\nR(a | c)\nT(b)");
+  EXPECT_FALSE(EvalFo(f, db2));
+}
+
+TEST(FoEvalTest, InfiniteDomainSemantics) {
+  // ∃x ¬P(x) is TRUE over the infinite constant domain even if P holds for
+  // every active-domain value (fresh witness).
+  Database db = Db("P(a)\nP(b)");
+  FoPtr f = FoExists({S("x")}, FoNot(FoAtom(S("P"), 1, {V("x")})));
+  EXPECT_TRUE(EvalFo(f, db));
+  // ∀x P(x) is FALSE for the same reason.
+  FoPtr g = FoForall({S("x")}, FoAtom(S("P"), 1, {V("x")}));
+  EXPECT_FALSE(EvalFo(g, db));
+}
+
+TEST(FoEvalTest, DistinctFreshWitnessesPerVariable) {
+  // ∃x∃y (x ≠ y ∧ ¬P(x) ∧ ¬P(y)) needs two distinct outside-domain values.
+  Database db = Db("P(a)");
+  FoPtr f = FoExists(
+      {S("x"), S("y")},
+      FoAnd({FoNotEquals(V("x"), V("y")),
+             FoNot(FoAtom(S("P"), 1, {V("x")})),
+             FoNot(FoAtom(S("P"), 1, {V("y")}))}));
+  EXPECT_TRUE(EvalFo(f, db));
+}
+
+TEST(FoEvalTest, PinningEqualities) {
+  Database db = Db("R(a | b)");
+  // ∃x (x = 'a' ∧ ∃y R(x, y)) — x pinned by equality, y by the atom.
+  FoPtr f = FoExists(
+      {S("x")},
+      FoAnd({FoEquals(V("x"), C("a")),
+             FoExists({S("y")}, FoAtom(S("R"), 1, {V("x"), V("y")}))}));
+  EXPECT_TRUE(EvalFo(f, db));
+  FoPtr g = FoExists(
+      {S("x")},
+      FoAnd({FoEquals(V("x"), C("zz")),
+             FoExists({S("y")}, FoAtom(S("R"), 1, {V("x"), V("y")}))}));
+  EXPECT_FALSE(EvalFo(g, db));
+}
+
+TEST(FoEvalTest, Example45RewritingShape) {
+  // The hand-written rewriting of Example 4.5 for q3 = {P(x|y), ¬N(c|y)}:
+  // ∃x∃y P(x,y) ∧ ∀z (N(c,z) → ∃x (∃y P(x,y) ∧ ∀w (P(x,w) → w ≠ z))).
+  FoPtr inner = FoExists(
+      {S("x")},
+      FoAnd({FoExists({S("y")}, FoAtom(S("P"), 1, {V("x"), V("y")})),
+             FoForall({S("w")},
+                      FoImplies(FoAtom(S("P"), 1, {V("x"), V("w")}),
+                                FoNotEquals(V("w"), V("z"))))}));
+  FoPtr phi = FoAnd(
+      {FoExists({S("x"), S("y")}, FoAtom(S("P"), 1, {V("x"), V("y")})),
+       FoForall({S("z")},
+                FoImplies(FoAtom(S("N"), 1, {C("c"), V("z")}), inner))});
+
+  // P has a block where value 'b' does not occur => certain.
+  Database yes = Db("P(k1 | a)\nP(k2 | b)\nN(c | b)");
+  EXPECT_TRUE(EvalFo(phi, yes));
+  // Every P-block contains b => some repair picks b everywhere => false.
+  Database no = Db("P(k1 | b)\nP(k1 | a)\nN(c | b)");
+  EXPECT_FALSE(EvalFo(phi, no));
+  Database no2 = Db("N(c | b)");
+  EXPECT_FALSE(EvalFo(phi, no2));  // no P-fact at all
+}
+
+TEST(FoEvalTest, ShadowedQuantifier) {
+  Database db = Db("P(a)\nQ(b)");
+  // ∃x (P(x) ∧ ∃x Q(x)) — inner x shadows outer.
+  FoPtr f = FoExists(
+      {S("x")},
+      FoAnd({FoAtom(S("P"), 1, {V("x")}),
+             FoExists({S("x")}, FoAtom(S("Q"), 1, {V("x")}))}));
+  EXPECT_TRUE(EvalFo(f, db));
+}
+
+TEST(FoEvalTest, StepsCounterMoves) {
+  Database db = Db("R(a | b)");
+  FoEvaluator ev(db);
+  EXPECT_TRUE(ev.Eval(FoExists(
+      {S("x"), S("y")}, FoAtom(S("R"), 1, {V("x"), V("y")}))));
+  EXPECT_GT(ev.steps(), 0u);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "cqa/fo/eval.h"
+#include "cqa/fo/fo_parser.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/gen/random_formula.h"
+#include "cqa/rewriting/rewriter.h"
+#include "cqa/query/parser.h"
+
+namespace cqa {
+namespace {
+
+TEST(FoParserTest, BasicShapes) {
+  Result<FoPtr> t = ParseFo("true");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->kind(), FoKind::kTrue);
+
+  Result<FoPtr> atom = ParseFo("R(x | y)");
+  ASSERT_TRUE(atom.ok()) << atom.error();
+  EXPECT_EQ((*atom)->kind(), FoKind::kAtom);
+  EXPECT_EQ((*atom)->key_len(), 1);
+
+  Result<FoPtr> eq = ParseFo("x = 'a'");
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ((*eq)->kind(), FoKind::kEquals);
+
+  Result<FoPtr> ne = ParseFo("x != y");
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ((*ne)->kind(), FoKind::kNot);
+
+  Result<FoPtr> q = ParseFo("exists x y. R(x | y) & !S(y | x)");
+  ASSERT_TRUE(q.ok()) << q.error();
+  EXPECT_EQ((*q)->kind(), FoKind::kExists);
+  EXPECT_TRUE((*q)->FreeVars().empty());
+
+  Result<FoPtr> imp =
+      ParseFo("forall z. N('c' | z) -> exists x. S(x) & x != z");
+  ASSERT_TRUE(imp.ok()) << imp.error();
+  EXPECT_EQ((*imp)->kind(), FoKind::kForall);
+  EXPECT_EQ((*imp)->child()->kind(), FoKind::kImplies);
+}
+
+TEST(FoParserTest, PrecedenceAndAssociativity) {
+  // a -> b -> c parses right-associative.
+  Result<FoPtr> f = ParseFo("P(x) -> Q(x) -> T(x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->kind(), FoKind::kImplies);
+  EXPECT_EQ((*f)->children()[1]->kind(), FoKind::kImplies);
+  // & binds tighter than |, which binds tighter than ->.
+  Result<FoPtr> g = ParseFo("P(x) & Q(x) | T(x) -> U(x)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->kind(), FoKind::kImplies);
+  EXPECT_EQ((*g)->children()[0]->kind(), FoKind::kOr);
+}
+
+TEST(FoParserTest, Errors) {
+  EXPECT_FALSE(ParseFo("").ok());
+  EXPECT_FALSE(ParseFo("exists . P(x)").ok());
+  EXPECT_FALSE(ParseFo("exists x P(x)").ok());  // missing '.'
+  EXPECT_FALSE(ParseFo("R(x").ok());
+  EXPECT_FALSE(ParseFo("(P(x)").ok());
+  EXPECT_FALSE(ParseFo("P(x) extra").ok());
+  EXPECT_FALSE(ParseFo("x <> y").ok());
+}
+
+TEST(FoParserTest, PrinterRoundTripsOnRandomFormulas) {
+  Schema schema;
+  schema.AddRelationOrDie("P", 1, 1);
+  schema.AddRelationOrDie("R", 2, 1);
+  Rng rng(2203);
+  RandomFormulaOptions fopts;
+  RandomDbOptions dopts;
+  for (int trial = 0; trial < 200; ++trial) {
+    FoPtr f = GenerateRandomFormula(schema, fopts, &rng);
+    Result<FoPtr> back = ParseFo(f->ToString());
+    ASSERT_TRUE(back.ok()) << f->ToString() << "\n" << back.error();
+    Database db = GenerateRandomDatabase(schema, dopts, &rng);
+    EXPECT_EQ(EvalFo(f, db), EvalFo(back.value(), db)) << f->ToString();
+  }
+}
+
+TEST(FoParserTest, RewritingsRoundTrip) {
+  for (const char* text :
+       {"P(x | y), not N('c' | y)", "R(x | y), S(y | z)",
+        "Lives(p | t), not Born(p | t)"}) {
+    Result<Query> q = ParseQuery(text);
+    ASSERT_TRUE(q.ok());
+    Result<Rewriting> rw = RewriteCertain(q.value());
+    ASSERT_TRUE(rw.ok());
+    Result<FoPtr> back = ParseFo(rw->formula->ToString());
+    ASSERT_TRUE(back.ok()) << rw->formula->ToString() << "\n"
+                           << back.error();
+    EXPECT_TRUE(Fo::Equal(rw->formula, back.value()))
+        << rw->formula->ToString() << "\nvs\n"
+        << back.value()->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "cqa/fo/formula.h"
+
+namespace cqa {
+namespace {
+
+Term V(const char* n) { return Term::Var(n); }
+Term C(const char* n) { return Term::Const(n); }
+Symbol S(const char* n) { return InternSymbol(n); }
+
+FoPtr AtomRxy() { return FoAtom(S("R"), 1, {V("x"), V("y")}); }
+
+TEST(FormulaTest, ConstantsFold) {
+  EXPECT_EQ(FoAnd({FoTrue(), FoTrue()})->kind(), FoKind::kTrue);
+  EXPECT_EQ(FoAnd({FoTrue(), FoFalse()})->kind(), FoKind::kFalse);
+  EXPECT_EQ(FoOr({FoFalse()})->kind(), FoKind::kFalse);
+  EXPECT_EQ(FoOr({FoFalse(), FoTrue()})->kind(), FoKind::kTrue);
+  EXPECT_EQ(FoNot(FoTrue())->kind(), FoKind::kFalse);
+  EXPECT_EQ(FoNot(FoNot(AtomRxy()))->kind(), FoKind::kAtom);
+  EXPECT_EQ(FoImplies(FoFalse(), AtomRxy())->kind(), FoKind::kTrue);
+  EXPECT_EQ(FoImplies(FoTrue(), AtomRxy())->kind(), FoKind::kAtom);
+  EXPECT_EQ(FoImplies(AtomRxy(), FoFalse())->kind(), FoKind::kNot);
+}
+
+TEST(FormulaTest, AndOrFlatten) {
+  FoPtr f = FoAnd({AtomRxy(), FoAnd({AtomRxy(), AtomRxy()})});
+  EXPECT_EQ(f->kind(), FoKind::kAnd);
+  EXPECT_EQ(f->children().size(), 3u);
+  FoPtr g = FoOr({AtomRxy(), FoOr({AtomRxy()})});
+  // Inner single-element Or collapses to the atom; outer Or has 2 children.
+  EXPECT_EQ(g->children().size(), 2u);
+}
+
+TEST(FormulaTest, QuantifierNormalisation) {
+  // Unused variables are dropped.
+  FoPtr f = FoExists({S("x"), S("unused_q")}, AtomRxy());
+  ASSERT_EQ(f->kind(), FoKind::kExists);
+  EXPECT_EQ(f->qvars().size(), 1u);
+  // Quantifier over no used variables collapses.
+  EXPECT_EQ(FoExists({S("unused_q")}, AtomRxy())->kind(), FoKind::kAtom);
+  // Adjacent same-kind quantifiers merge.
+  FoPtr g = FoExists({S("x")}, FoExists({S("y")}, AtomRxy()));
+  ASSERT_EQ(g->kind(), FoKind::kExists);
+  EXPECT_EQ(g->qvars().size(), 2u);
+  EXPECT_EQ(g->child()->kind(), FoKind::kAtom);
+  // Quantified True/False collapse (infinite-domain semantics).
+  EXPECT_EQ(FoForall({S("x")}, FoFalse())->kind(), FoKind::kFalse);
+}
+
+TEST(FormulaTest, FreeVars) {
+  FoPtr f = FoExists({S("x")}, FoAnd({AtomRxy(), FoEquals(V("y"), C("a"))}));
+  EXPECT_EQ(f->FreeVars(), SymbolSet{S("y")});
+  FoPtr closed = FoExists({S("x"), S("y")}, AtomRxy());
+  EXPECT_TRUE(closed->FreeVars().empty());
+}
+
+TEST(FormulaTest, SizeAndDepth) {
+  FoPtr atom = AtomRxy();
+  EXPECT_EQ(atom->Size(), 1u);
+  EXPECT_EQ(atom->QuantifierDepth(), 0);
+  FoPtr f = FoForall({S("z")},
+                     FoImplies(FoAtom(S("R"), 1, {V("z"), V("z")}),
+                               FoExists({S("w")},
+                                        FoAtom(S("T"), 1, {V("w")}))));
+  EXPECT_EQ(f->QuantifierDepth(), 2);
+  EXPECT_GE(f->Size(), 4u);
+}
+
+TEST(FormulaTest, ConstantsCollected) {
+  FoPtr f = FoAnd(
+      {FoAtom(S("R"), 1, {C("a"), V("x")}), FoEquals(V("x"), C("b"))});
+  std::vector<Value> consts = f->Constants();
+  EXPECT_EQ(consts.size(), 2u);
+}
+
+TEST(FormulaTest, StructuralEquality) {
+  EXPECT_TRUE(Fo::Equal(AtomRxy(), AtomRxy()));
+  EXPECT_FALSE(Fo::Equal(AtomRxy(), FoAtom(S("R"), 1, {V("y"), V("x")})));
+  EXPECT_TRUE(Fo::Equal(FoAnd({AtomRxy(), FoTrue()}), AtomRxy()));
+}
+
+TEST(FormulaTest, PrinterShapes) {
+  FoPtr f = FoExists(
+      {S("x"), S("y")},
+      FoAnd({AtomRxy(), FoNot(FoAtom(S("N1"), 1, {C("c"), V("x")}))}));
+  std::string s = f->ToString();
+  EXPECT_NE(s.find("exists x y. "), std::string::npos);
+  EXPECT_NE(s.find("R(x | y)"), std::string::npos);
+  EXPECT_NE(s.find("!N1('c' | x)"), std::string::npos);
+  // Negated equality prints as !=.
+  EXPECT_EQ(FoNotEquals(V("x"), C("a"))->ToString(), "x != 'a'");
+  // Implication and quantifier rendering.
+  FoPtr g = FoForall({S("z")}, FoImplies(FoAtom(S("R"), 1, {V("z"), V("z")}),
+                                         FoAtom(S("T"), 1, {V("z")})));
+  EXPECT_NE(g->ToString().find("forall z. "), std::string::npos);
+  EXPECT_NE(g->ToString().find(" -> "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqa

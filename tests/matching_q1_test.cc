@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/matching_q1.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/bpm.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+TEST(MatchingQ1Test, ShapeDetection) {
+  EXPECT_TRUE(DetectQ1Shape(MakeQ1()).has_value());
+  // Renamed relations/variables still match.
+  EXPECT_TRUE(DetectQ1Shape(Q("Knows(g | b), not Liked(b | g)")).has_value());
+  // Reversed literal order.
+  EXPECT_EQ(DetectQ1Shape(Q("not S(y | x), R(x | y)")).value(), 1u);
+  // Non-matching shapes.
+  EXPECT_FALSE(DetectQ1Shape(Q("R(x | y), not S(x | y)")).has_value());
+  EXPECT_FALSE(DetectQ1Shape(Q("R(x | y), S(y | x)")).has_value());
+  EXPECT_FALSE(DetectQ1Shape(Q("R(x | y), not S(y | 'c')")).has_value());
+  EXPECT_FALSE(DetectQ1Shape(Q("R(x, y), not S(y | x)")).has_value());
+  EXPECT_FALSE(
+      DetectQ1Shape(Q("R(x | y), not S(y | x), not T(y | x)")).has_value());
+}
+
+TEST(MatchingQ1Test, Figure1Database) {
+  // Example 1.1: Alice–George / Maria–Bob is a perfect matching, so q1 is
+  // not certain.
+  Result<Database> db = Database::FromText(R"(
+    R(alice | bob), R(alice | george), R(maria | bob), R(maria | john)
+    S(bob | alice), S(bob | maria), S(george | alice), S(george | maria)
+  )");
+  ASSERT_TRUE(db.ok());
+  std::optional<bool> certain = IsCertainQ1ByMatching(MakeQ1(), db.value());
+  ASSERT_TRUE(certain.has_value());
+  EXPECT_FALSE(*certain);
+}
+
+TEST(MatchingQ1Test, AgreesWithNaiveOnRandomDatabases) {
+  Query q1 = MakeQ1();
+  Rng rng(401);
+  RandomDbOptions opts;
+  opts.blocks_per_relation = 4;
+  opts.max_block_size = 3;
+  opts.domain_size = 5;
+  for (int i = 0; i < 500; ++i) {
+    Database db = GenerateRandomDatabaseFor(q1, opts, &rng);
+    std::optional<bool> got = IsCertainQ1ByMatching(q1, db);
+    ASSERT_TRUE(got.has_value());
+    Result<bool> expected = IsCertainNaive(q1, db);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(*got, expected.value()) << db.ToString();
+  }
+}
+
+TEST(MatchingQ1Test, EmptyRIsNotCertain) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("S", 2, 1);
+  Database db(s);
+  EXPECT_FALSE(IsCertainQ1ByMatching(MakeQ1(), db).value());
+}
+
+TEST(MatchingQ1Test, RefusesOtherShapes) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  Database db(s);
+  EXPECT_FALSE(IsCertainQ1ByMatching(Q("R(x | y)"), db).has_value());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cqa/base/rng.h"
+#include "cqa/matching/covering.h"
+#include "cqa/matching/hall.h"
+#include "cqa/matching/hopcroft_karp.h"
+
+namespace cqa {
+namespace {
+
+// Brute-force maximum matching by trying all subsets of left→right maps.
+int BruteForceMaxMatching(const BipartiteGraph& g) {
+  int best = 0;
+  std::vector<int> assign(static_cast<size_t>(g.num_left()), -1);
+  std::vector<bool> used(static_cast<size_t>(g.num_right()), false);
+  std::function<void(int, int)> rec = [&](int l, int size) {
+    best = std::max(best, size);
+    if (l == g.num_left()) return;
+    rec(l + 1, size);  // leave l unmatched
+    for (int r : g.Neighbors(l)) {
+      if (!used[static_cast<size_t>(r)]) {
+        used[static_cast<size_t>(r)] = true;
+        rec(l + 1, size + 1);
+        used[static_cast<size_t>(r)] = false;
+      }
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+BipartiteGraph RandomGraph(Rng* rng, int nl, int nr, double p) {
+  BipartiteGraph g(nl, nr);
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r < nr; ++r) {
+      if (rng->Chance(p)) g.AddEdge(l, r);
+    }
+  }
+  return g;
+}
+
+TEST(HopcroftKarpTest, SmallHandCases) {
+  BipartiteGraph g(2, 2);
+  g.AddEdge(0, 0);
+  g.AddEdge(1, 0);
+  EXPECT_EQ(MaxMatching(g).size, 1);
+  EXPECT_FALSE(HasPerfectMatching(g));
+  g.AddEdge(1, 1);
+  EXPECT_EQ(MaxMatching(g).size, 2);
+  EXPECT_TRUE(HasPerfectMatching(g));
+}
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  EXPECT_EQ(MaxMatching(g).size, 0);
+  EXPECT_TRUE(HasPerfectMatching(g));  // vacuously
+  BipartiteGraph g2(3, 3);
+  EXPECT_EQ(MaxMatching(g2).size, 0);
+  EXPECT_FALSE(HasLeftPerfectMatching(g2));
+}
+
+TEST(HopcroftKarpTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(307);
+  for (int trial = 0; trial < 300; ++trial) {
+    int nl = static_cast<int>(rng.Range(0, 6));
+    int nr = static_cast<int>(rng.Range(0, 6));
+    BipartiteGraph g = RandomGraph(&rng, nl, nr, 0.4);
+    Matching m = MaxMatching(g);
+    EXPECT_EQ(m.size, BruteForceMaxMatching(g));
+    // The returned pairing is a valid matching.
+    int count = 0;
+    for (int l = 0; l < nl; ++l) {
+      int r = m.match_left[static_cast<size_t>(l)];
+      if (r >= 0) {
+        ++count;
+        EXPECT_EQ(m.match_right[static_cast<size_t>(r)], l);
+        const auto& nbrs = g.Neighbors(l);
+        EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), r), nbrs.end());
+      }
+    }
+    EXPECT_EQ(count, m.size);
+  }
+}
+
+TEST(HallTest, ViolatorWitnessesDeficiency) {
+  Rng rng(311);
+  for (int trial = 0; trial < 200; ++trial) {
+    int nl = static_cast<int>(rng.Range(1, 6));
+    int nr = static_cast<int>(rng.Range(0, 6));
+    BipartiteGraph g = RandomGraph(&rng, nl, nr, 0.35);
+    std::optional<std::vector<int>> violator = FindHallViolator(g);
+    EXPECT_EQ(violator.has_value(), !HallConditionHolds(g));
+    if (violator.has_value()) {
+      // |N(S)| < |S| must hold for the returned S.
+      std::vector<bool> nbr(static_cast<size_t>(g.num_right()), false);
+      for (int l : *violator) {
+        for (int r : g.Neighbors(l)) nbr[static_cast<size_t>(r)] = true;
+      }
+      size_t n_count =
+          static_cast<size_t>(std::count(nbr.begin(), nbr.end(), true));
+      EXPECT_LT(n_count, violator->size());
+    }
+  }
+}
+
+TEST(SCoveringTest, HandCases) {
+  // Example 1.2 shape: 3 elements, 3 sets.
+  EXPECT_TRUE(SolveSCovering({3, {{0}, {1}, {2}}}).has_value());
+  EXPECT_FALSE(SolveSCovering({3, {{0, 1, 2}, {}, {}}}).has_value());
+  EXPECT_TRUE(SolveSCovering({0, {{}, {}}}).has_value());  // empty S
+  EXPECT_FALSE(SolveSCovering({1, {}}).has_value());
+  std::optional<SCoveringSolution> sol =
+      SolveSCovering({2, {{0, 1}, {0, 1}, {}}});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NE(sol->assigned_set[0], sol->assigned_set[1]);  // injective
+}
+
+TEST(SCoveringTest, SolutionIsValidOnRandomInstances) {
+  Rng rng(313);
+  for (int trial = 0; trial < 200; ++trial) {
+    SCoveringInstance inst;
+    inst.num_elements = static_cast<int>(rng.Range(0, 5));
+    int ell = static_cast<int>(rng.Range(0, 5));
+    for (int t = 0; t < ell; ++t) {
+      std::vector<int> set;
+      for (int a = 0; a < inst.num_elements; ++a) {
+        if (rng.Chance(0.45)) set.push_back(a);
+      }
+      inst.sets.push_back(std::move(set));
+    }
+    std::optional<SCoveringSolution> sol = SolveSCovering(inst);
+    if (sol.has_value()) {
+      std::vector<bool> used(inst.sets.size(), false);
+      for (int a = 0; a < inst.num_elements; ++a) {
+        int t = sol->assigned_set[static_cast<size_t>(a)];
+        ASSERT_GE(t, 0);
+        EXPECT_FALSE(used[static_cast<size_t>(t)]);  // at most one per set
+        used[static_cast<size_t>(t)] = true;
+        const auto& set = inst.sets[static_cast<size_t>(t)];
+        EXPECT_NE(std::find(set.begin(), set.end(), a), set.end());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/naive.h"
+#include "cqa/query/parser.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+Database Db(const char* text) {
+  Result<Database> db = Database::FromText(text);
+  EXPECT_TRUE(db.ok()) << (db.ok() ? "" : db.error());
+  return db.value();
+}
+
+TEST(NaiveTest, Figure1GirlsBoys) {
+  // Example 1.1: the database of Fig. 1 admits the repair
+  // {R(alice,george), R(maria,bob), S(george,alice), S(bob,maria)} which
+  // falsifies q1, so q1 is NOT certain.
+  Database db = Db(R"(
+    R(alice | bob), R(alice | george), R(maria | bob), R(maria | john)
+    S(bob | alice), S(bob | maria), S(george | alice), S(george | maria)
+  )");
+  Result<bool> certain = IsCertainNaive(Q("R(x | y), not S(y | x)"), db);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_FALSE(certain.value());
+}
+
+TEST(NaiveTest, CertainWhenEveryRepairMatches) {
+  Database db = Db("R(a | b)\nS(zzz | w)");
+  Result<bool> certain = IsCertainNaive(Q("R(x | y), not S(y | x)"), db);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(certain.value());
+}
+
+TEST(NaiveTest, ConsistentDatabaseReducesToSatisfaction) {
+  Database db = Db("R(a | b)");
+  EXPECT_TRUE(IsCertainNaive(Q("R(x | y)"), db).value());
+  EXPECT_FALSE(IsCertainNaive(Q("R(x | y), T(y | x)"), db).value());
+}
+
+TEST(NaiveTest, TooManyRepairsErrors) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  Database db(s);
+  for (int k = 0; k < 30; ++k) {
+    for (int v = 0; v < 4; ++v) {
+      db.AddFactOrDie("R", {Value::Of("k" + std::to_string(k)),
+                            Value::Of("v" + std::to_string(v))});
+    }
+  }
+  NaiveOptions opts;
+  opts.max_repairs = 1000;
+  EXPECT_FALSE(IsCertainNaive(Q("R(x | y)"), db, opts).ok());
+}
+
+TEST(NaiveTest, CountSatisfyingRepairs) {
+  // R has one block of size 2; S one block of size 2. q1 fails only in the
+  // repairs pairing R(a,b) with S(b,a).
+  Database db = Db("R(a | b), R(a | c)\nS(b | a), S(b | x)");
+  Result<RepairCount> rc =
+      CountSatisfyingRepairs(Q("R(x | y), not S(y | x)"), db);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(rc->total, 4u);
+  EXPECT_EQ(rc->satisfying, 3u);
+}
+
+TEST(NaiveTest, EmptyDatabase) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  Database db(s);
+  EXPECT_FALSE(IsCertainNaive(Q("R(x | y)"), db).value());
+}
+
+}  // namespace
+}  // namespace cqa

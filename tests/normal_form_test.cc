@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "cqa/fo/eval.h"
+#include "cqa/fo/normal_form.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/gen/random_formula.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/hall_covering.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace cqa {
+namespace {
+
+Term V(const char* n) { return Term::Var(n); }
+Symbol S(const char* n) { return InternSymbol(n); }
+
+bool IsNnf(const FoPtr& f) {
+  switch (f->kind()) {
+    case FoKind::kNot:
+      return f->child()->kind() == FoKind::kAtom ||
+             f->child()->kind() == FoKind::kEquals;
+    case FoKind::kImplies:
+      return false;
+    default:
+      for (const FoPtr& c : f->children()) {
+        if (!IsNnf(c)) return false;
+      }
+      return true;
+  }
+}
+
+bool IsQuantifierFree(const FoPtr& f) {
+  if (f->kind() == FoKind::kExists || f->kind() == FoKind::kForall) {
+    return false;
+  }
+  for (const FoPtr& c : f->children()) {
+    if (!IsQuantifierFree(c)) return false;
+  }
+  return true;
+}
+
+TEST(NnfTest, PushesNegations) {
+  // ¬(∀x (P(x) → Q(x)))  ⇒  ∃x (P(x) ∧ ¬Q(x)).
+  FoPtr f = FoNot(FoForall(
+      {S("x")}, FoImplies(FoAtom(S("P"), 1, {V("x")}),
+                          FoAtom(S("Q"), 1, {V("x")}))));
+  FoPtr nnf = ToNnf(f);
+  EXPECT_TRUE(IsNnf(nnf));
+  ASSERT_EQ(nnf->kind(), FoKind::kExists);
+  EXPECT_EQ(nnf->child()->kind(), FoKind::kAnd);
+}
+
+TEST(NnfTest, PreservesSemantics) {
+  Schema schema;
+  schema.AddRelationOrDie("P", 1, 1);
+  schema.AddRelationOrDie("R", 2, 1);
+  Rng rng(1601);
+  RandomFormulaOptions fopts;
+  RandomDbOptions dopts;
+  for (int trial = 0; trial < 150; ++trial) {
+    FoPtr f = GenerateRandomFormula(schema, fopts, &rng);
+    FoPtr nnf = ToNnf(f);
+    EXPECT_TRUE(IsNnf(nnf)) << f->ToString();
+    Database db = GenerateRandomDatabase(schema, dopts, &rng);
+    EXPECT_EQ(EvalFo(f, db), EvalFo(nnf, db)) << f->ToString();
+  }
+}
+
+TEST(PrenexTest, MatrixIsQuantifierFreeAndEquivalent) {
+  Schema schema;
+  schema.AddRelationOrDie("P", 1, 1);
+  schema.AddRelationOrDie("R", 2, 1);
+  Rng rng(1607);
+  RandomFormulaOptions fopts;
+  RandomDbOptions dopts;
+  for (int trial = 0; trial < 100; ++trial) {
+    FoPtr f = GenerateRandomFormula(schema, fopts, &rng);
+    PrenexForm p = ToPrenex(f);
+    EXPECT_TRUE(IsQuantifierFree(p.matrix)) << f->ToString();
+    FoPtr back = p.ToFormula();
+    EXPECT_TRUE(back->FreeVars().empty()) << f->ToString();
+    Database db = GenerateRandomDatabase(schema, dopts, &rng);
+    EXPECT_EQ(EvalFo(f, db), EvalFo(back, db)) << f->ToString();
+  }
+}
+
+TEST(PrenexTest, AlternationsCounted) {
+  PrenexForm p;
+  p.prefix = {{false, S("a")}, {false, S("b")}, {true, S("c")},
+              {false, S("d")}};
+  EXPECT_EQ(p.Alternations(), 2);
+  p.prefix = {{true, S("a")}};
+  EXPECT_EQ(p.Alternations(), 0);
+  p.prefix = {};
+  EXPECT_EQ(p.Alternations(), 0);
+}
+
+TEST(PrenexTest, RewritingAlternationsGrowWithHallEll) {
+  // The q_Hall rewritings nest one block quantification per negated atom:
+  // their prenex alternation count grows with ℓ.
+  int prev = -1;
+  for (int ell = 1; ell <= 4; ++ell) {
+    Result<Rewriting> rw = RewriteCertain(MakeHallQuery(ell));
+    ASSERT_TRUE(rw.ok());
+    PrenexForm p = ToPrenex(rw->formula);
+    EXPECT_GE(p.Alternations(), prev) << "ell=" << ell;
+    prev = p.Alternations();
+  }
+  EXPECT_GE(prev, 2);
+}
+
+}  // namespace
+}  // namespace cqa

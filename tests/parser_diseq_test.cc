@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/naive.h"
+#include "cqa/certainty/rewriting_solver.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/query/parser.h"
+
+namespace cqa {
+namespace {
+
+TEST(ParserDiseqTest, ParsesScalarDisequalities) {
+  Result<Query> q = ParseQuery("R(x | y), y != 'b'");
+  ASSERT_TRUE(q.ok()) << q.error();
+  ASSERT_EQ(q->diseqs().size(), 1u);
+  EXPECT_EQ(q->diseqs()[0].lhs[0], Term::Var("y"));
+  EXPECT_EQ(q->diseqs()[0].rhs[0], Term::Const("b"));
+  // Constant-first form.
+  Result<Query> q2 = ParseQuery("R(x | y), 'b' != y");
+  ASSERT_TRUE(q2.ok()) << q2.error();
+  EXPECT_TRUE(q2->diseqs()[0].lhs[0].is_constant());
+  // Variable-variable form.
+  Result<Query> q3 = ParseQuery("R(x | y), x != y");
+  ASSERT_TRUE(q3.ok()) << q3.error();
+}
+
+TEST(ParserDiseqTest, DiseqErrors) {
+  EXPECT_FALSE(ParseQuery("R(x | y), != y").ok());
+  EXPECT_FALSE(ParseQuery("R(x | y), y !").ok());
+  EXPECT_FALSE(ParseQuery("R(x | y), z != 'a'").ok());  // unsafe variable
+  EXPECT_FALSE(ParseQuery("y != 'a'").ok());            // no atoms at all
+}
+
+TEST(ParserDiseqTest, QuoteEscapingRoundTrips) {
+  Result<std::vector<ParsedFact>> facts = ParseFacts("R('o''brien' | 'b')");
+  ASSERT_TRUE(facts.ok()) << facts.error();
+  EXPECT_EQ((*facts)[0].values[0], Value::Of("o'brien"));
+}
+
+TEST(ParserDiseqTest, DatabaseTextRoundTrip) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("T", 1, 1);
+  Database db(s);
+  db.AddFactOrDie("R", {Value::Of("o'brien"), Value::Of("x y")});
+  db.AddFactOrDie("R", {Value::Of("o'brien"), Value::Of("z|w")});
+  db.AddFactOrDie("T", {Value::Of("plain")});
+  Result<Database> back = Database::FromText(db.ToText());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back->NumFacts(), db.NumFacts());
+  EXPECT_TRUE(back->Contains(InternSymbol("R"),
+                             {Value::Of("o'brien"), Value::Of("z|w")}));
+  EXPECT_EQ(back->schema().KeyLenOf(InternSymbol("R")), 1);
+}
+
+TEST(ParserDiseqTest, ParsedDiseqQuerySolvesCorrectly) {
+  // q = R(x|y), y != 'v0': certain iff every repairable choice of every
+  // R-block... cross-check against the definitional oracle.
+  Result<Query> q = ParseQuery("R(x | y), y != 'v0'");
+  ASSERT_TRUE(q.ok());
+  Result<RewritingSolver> solver = RewritingSolver::Create(q.value());
+  ASSERT_TRUE(solver.ok()) << solver.error();
+  Rng rng(2001);
+  RandomDbOptions opts;
+  opts.domain_size = 3;
+  for (int i = 0; i < 100; ++i) {
+    Database db = GenerateRandomDatabaseFor(q.value(), opts, &rng);
+    Result<bool> oracle = IsCertainNaive(q.value(), db);
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_EQ(solver->IsCertain(db), oracle.value()) << db.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "cqa/query/parser.h"
+
+namespace cqa {
+namespace {
+
+TEST(ParserTest, ParsesQ1) {
+  Result<Query> q = ParseQuery("R(x | y), not S(y | x)");
+  ASSERT_TRUE(q.ok()) << q.error();
+  EXPECT_EQ(q->NumLiterals(), 2u);
+  EXPECT_FALSE(q->IsNegated(0));
+  EXPECT_TRUE(q->IsNegated(1));
+  EXPECT_EQ(q->atom(0).relation_name(), "R");
+  EXPECT_EQ(q->atom(0).key_len(), 1);
+  EXPECT_EQ(q->atom(1).term(0).var(), InternSymbol("y"));
+}
+
+TEST(ParserTest, BangNegationAndConstants) {
+  Result<Query> q = ParseQuery("S(x), !N1('c' | x), !N2('c' | x)");
+  ASSERT_TRUE(q.ok()) << q.error();
+  EXPECT_EQ(q->NumLiterals(), 3u);
+  EXPECT_TRUE(q->atom(0).IsAllKey());
+  EXPECT_TRUE(q->atom(1).term(0).is_constant());
+  EXPECT_EQ(q->atom(1).term(0).constant(), Value::Of("c"));
+}
+
+TEST(ParserTest, NumbersAreConstants) {
+  Result<Query> q = ParseQuery("R(x | 42)");
+  ASSERT_TRUE(q.ok()) << q.error();
+  EXPECT_EQ(q->atom(0).term(1).constant(), Value::Of("42"));
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  Result<Query> q = ParseQuery(
+      "-- the mayor query\n"
+      "Mayor(t | p),\n"
+      "  not Lives(p | t)  -- trailing\n");
+  ASSERT_TRUE(q.ok()) << q.error();
+  EXPECT_EQ(q->NumLiterals(), 2u);
+}
+
+TEST(ParserTest, RelationNamedNotParses) {
+  // "not" followed by "not(...)" should negate the relation named "nott"?
+  // We only guarantee: "not X(...)" negates X. A relation literally named
+  // "not" is not supported; it parses as a dangling negation and errors.
+  EXPECT_FALSE(ParseQuery("not(x)").ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("R(x").ok());
+  EXPECT_FALSE(ParseQuery("R()").ok());
+  EXPECT_FALSE(ParseQuery("R(x | y) S(y)").ok());       // missing comma
+  EXPECT_FALSE(ParseQuery("R(x | y | z)").ok());        // two separators
+  EXPECT_FALSE(ParseQuery("R('unterminated)").ok());
+  EXPECT_FALSE(ParseQuery("R(x, y), R(y, x)").ok());    // self-join
+  EXPECT_FALSE(ParseQuery("R(x), not S(x, y)").ok());   // unsafe
+}
+
+TEST(ParserTest, ParsesFacts) {
+  Result<std::vector<ParsedFact>> facts = ParseFacts(
+      "R(alice | bob)\n"
+      "R('alice' | george), S(bob | 'alice')");
+  ASSERT_TRUE(facts.ok()) << facts.error();
+  ASSERT_EQ(facts->size(), 3u);
+  EXPECT_EQ((*facts)[0].relation, "R");
+  EXPECT_EQ((*facts)[0].key_len, 1);
+  EXPECT_EQ((*facts)[0].values[0], Value::Of("alice"));
+  EXPECT_EQ((*facts)[1].values[0], Value::Of("alice"));  // quotes optional
+  EXPECT_EQ((*facts)[2].relation, "S");
+}
+
+TEST(ParserTest, FactErrors) {
+  EXPECT_FALSE(ParseFacts("R(a,").ok());
+  EXPECT_FALSE(ParseFacts("(a)").ok());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "cqa/attack/classification.h"
+#include "cqa/certainty/backtracking.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/certainty/rewriting_solver.h"
+#include "cqa/certainty/solver.h"
+#include "cqa/fo/eval.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/gen/random_query.h"
+#include "cqa/rewriting/algorithm1.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace cqa {
+namespace {
+
+// The central end-to-end property of the reproduction: on random
+// weakly-guarded queries and random inconsistent databases, every solver
+// agrees with the definitional repair-enumeration oracle, and for queries
+// classified FO by Theorem 4.3 the consistent first-order rewriting (i) can
+// be constructed and (ii) evaluates to the oracle's answer.
+class SolverAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverAgreementTest, AllSolversMatchOracle) {
+  Rng rng(GetParam());
+  RandomQueryOptions qopts;
+  RandomDbOptions dopts;
+  dopts.blocks_per_relation = 2;
+  dopts.max_block_size = 2;
+  dopts.domain_size = 4;
+
+  for (int round = 0; round < 8; ++round) {
+    Query q = GenerateRandomQuery(qopts, &rng);
+    Classification cls = Classify(q);
+
+    std::optional<RewritingSolver> rewriting;
+    std::optional<Algorithm1> algo1;
+    if (cls.cls == CertaintyClass::kFO) {
+      Result<RewritingSolver> rs = RewritingSolver::Create(q);
+      ASSERT_TRUE(rs.ok()) << "Theorem 4.3 promises a rewriting for "
+                           << q.ToString() << ": " << rs.error();
+      rewriting = std::move(rs.value());
+    } else {
+      // Hard or unknown: the FO constructors must refuse.
+      EXPECT_FALSE(RewriteCertain(q).ok()) << q.ToString();
+    }
+
+    for (int i = 0; i < 15; ++i) {
+      Database db = GenerateRandomDatabaseFor(q, dopts, &rng);
+      Result<bool> oracle = IsCertainNaive(q, db);
+      ASSERT_TRUE(oracle.ok()) << oracle.error();
+
+      Result<bool> bt = IsCertainBacktracking(q, db);
+      ASSERT_TRUE(bt.ok()) << bt.error();
+      ASSERT_EQ(bt.value(), oracle.value())
+          << "backtracking disagrees on " << q.ToString() << "\n"
+          << db.ToString();
+
+      Result<SolveReport> facade = SolveCertainty(q, db);
+      if (facade.ok()) {
+        EXPECT_EQ(facade->certain, oracle.value())
+            << "facade (" << ToString(facade->used) << ") disagrees on "
+            << q.ToString();
+      }
+
+      if (cls.cls == CertaintyClass::kFO) {
+        ASSERT_EQ(rewriting->IsCertain(db), oracle.value())
+            << "rewriting disagrees on " << q.ToString() << "\n"
+            << rewriting->rewriting().formula->ToString() << "\n"
+            << db.ToString();
+        Result<bool> a1 = IsCertainAlgorithm1(q, db);
+        ASSERT_TRUE(a1.ok()) << a1.error();
+        ASSERT_EQ(a1.value(), oracle.value())
+            << "Algorithm 1 disagrees on " << q.ToString() << "\n"
+            << db.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreementTest,
+                         ::testing::Range<uint64_t>(1, 61));
+
+// Rewriting evaluation is consistent across database mutations: adding a
+// fact to a negated-atom relation can only flip in controlled ways; here we
+// simply re-check oracle agreement after random single-fact removals.
+class MutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationTest, AgreementSurvivesFactRemovals) {
+  Rng rng(GetParam() * 7919);
+  RandomQueryOptions qopts;
+  qopts.max_negative = 2;
+  RandomDbOptions dopts;
+  dopts.blocks_per_relation = 2;
+  dopts.max_block_size = 2;
+
+  Query q = GenerateRandomQuery(qopts, &rng);
+  if (Classify(q).cls != CertaintyClass::kFO) return;
+  Result<RewritingSolver> rs = RewritingSolver::Create(q);
+  ASSERT_TRUE(rs.ok());
+
+  Database db = GenerateRandomDatabaseFor(q, dopts, &rng);
+  for (int step = 0; step < 20; ++step) {
+    Result<bool> oracle = IsCertainNaive(q, db);
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_EQ(rs->IsCertain(db), oracle.value()) << q.ToString();
+    // Remove one random fact (if any remain).
+    std::vector<std::pair<Symbol, Tuple>> all;
+    for (const RelationSchema& r : db.schema().relations()) {
+      for (const Tuple& t : db.FactsOf(r.name)) all.emplace_back(r.name, t);
+    }
+    if (all.empty()) break;
+    const auto& victim = all[rng.Below(all.size())];
+    db.RemoveFact(victim.first, victim.second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "cqa/base/rng.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/q4.h"
+
+namespace cqa {
+namespace {
+
+// Random q4 instance with |X| = m, |Y| = n and random R/S facts over (and
+// slightly beyond) X × Y.
+Database RandomQ4Db(Rng* rng, int m, int n, double p) {
+  Schema s;
+  s.AddRelationOrDie("X", 1, 1);
+  s.AddRelationOrDie("Y", 1, 1);
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("S", 2, 1);
+  Database db(s);
+  auto a = [](int i) { return Value::Of("qa" + std::to_string(i)); };
+  auto b = [](int i) { return Value::Of("qb" + std::to_string(i)); };
+  for (int i = 0; i < m; ++i) db.AddFactOrDie("X", {a(i)});
+  for (int j = 0; j < n; ++j) db.AddFactOrDie("Y", {b(j)});
+  // R and S facts, including some with keys outside X/Y.
+  for (int i = 0; i < m + 1; ++i) {
+    for (int j = 0; j < n + 1; ++j) {
+      if (rng->Chance(p)) db.AddFactOrDie("R", {a(i), b(j)});
+      if (rng->Chance(p)) db.AddFactOrDie("S", {b(j), a(i)});
+    }
+  }
+  return db;
+}
+
+TEST(Q4Test, EmptySides) {
+  Schema s;
+  s.AddRelationOrDie("X", 1, 1);
+  s.AddRelationOrDie("Y", 1, 1);
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("S", 2, 1);
+  Database db(s);
+  EXPECT_FALSE(IsCertainQ4(db));
+  db.AddFactOrDie("X", {Value::Of("a")});
+  EXPECT_FALSE(IsCertainQ4(db));  // Y still empty
+}
+
+TEST(Q4Test, Figure3CountingCase) {
+  // Fig. 3: m = 3, n = 2; since 3·2 > 3+2 every repair satisfies q4 no
+  // matter what R and S contain.
+  Result<Database> db = Database::FromText(R"(
+    X(a1), X(a2), X(a3)
+    Y(b1), Y(b2)
+    R(a1 | b1), R(a1 | b2), R(a2 | b1), R(a3 | b2)
+    S(b1 | a2), S(b2 | a1), S(b2 | a3)
+  )");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(IsCertainQ4(db.value()));
+  Result<bool> naive = IsCertainNaive(MakeQ4(), db.value());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_TRUE(naive.value());
+}
+
+TEST(Q4Test, DegenerateTwoByTwo) {
+  // m = n = 2 with the exact falsifying pattern of Example 7.1.
+  Result<Database> db = Database::FromText(R"(
+    X(a1), X(a2)
+    Y(b1), Y(b2)
+    R(a1 | b1), R(a2 | b2)
+    S(b1 | a2), S(b2 | a1)
+  )");
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(IsCertainQ4(db.value()));
+  EXPECT_FALSE(IsCertainNaive(MakeQ4(), db.value()).value());
+}
+
+TEST(Q4Test, SweepAgainstNaiveOracle) {
+  Query q4 = MakeQ4();
+  Rng rng(809);
+  for (int m = 0; m <= 3; ++m) {
+    for (int n = 0; n <= 3; ++n) {
+      for (int trial = 0; trial < 40; ++trial) {
+        Database db = RandomQ4Db(&rng, m, n, 0.45);
+        Result<bool> expected = IsCertainNaive(q4, db);
+        ASSERT_TRUE(expected.ok());
+        ASSERT_EQ(IsCertainQ4(db), expected.value())
+            << "m=" << m << " n=" << n << "\n" << db.ToString();
+      }
+    }
+  }
+}
+
+TEST(Q4Test, LargerCountingRegimeAgainstOracle) {
+  Query q4 = MakeQ4();
+  Rng rng(811);
+  for (int trial = 0; trial < 20; ++trial) {
+    Database db = RandomQ4Db(&rng, 3, 3, 0.5);
+    Result<bool> expected = IsCertainNaive(q4, db);
+    if (!expected.ok()) continue;  // too many repairs
+    EXPECT_EQ(IsCertainQ4(db), expected.value());
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "cqa/query/query.h"
+
+namespace cqa {
+namespace {
+
+Term V(const char* n) { return Term::Var(n); }
+Term C(const char* n) { return Term::Const(n); }
+
+TEST(AtomTest, AccessorsAndVars) {
+  Atom a("R", 2, {V("x"), C("k"), V("y"), V("x")});
+  EXPECT_EQ(a.arity(), 4);
+  EXPECT_EQ(a.key_len(), 2);
+  EXPECT_FALSE(a.IsAllKey());
+  EXPECT_FALSE(a.IsSimpleKey());
+  EXPECT_EQ(a.KeyVars(), SymbolSet{InternSymbol("x")});
+  SymbolSet expected{InternSymbol("x"), InternSymbol("y")};
+  EXPECT_EQ(a.Vars(), expected);
+  // Reified variables behave like constants.
+  SymbolSet reified{InternSymbol("x")};
+  EXPECT_EQ(a.Vars(reified), SymbolSet{InternSymbol("y")});
+  EXPECT_TRUE(a.KeyVars(reified).empty());
+  EXPECT_EQ(a.ToString(), "R(x, 'k' | y, x)");
+}
+
+TEST(AtomTest, SubstitutionAndGroundness) {
+  Atom a("R", 1, {V("x"), V("y")});
+  Atom g = a.Substituted(InternSymbol("x"), Value::Of("7"));
+  EXPECT_EQ(g.ToString(), "R('7' | y)");
+  EXPECT_FALSE(g.IsGround());
+  Atom g2 = g.Substituted(InternSymbol("y"), Value::Of("8"));
+  EXPECT_TRUE(g2.IsGround());
+}
+
+TEST(SchemaTest, RegistrationAndConflicts) {
+  Schema s;
+  Result<Symbol> r1 = s.AddRelation("R", 2, 1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(s.AddRelation("R", 2, 1).ok());     // identical re-registration
+  EXPECT_FALSE(s.AddRelation("R", 3, 1).ok());    // conflicting arity
+  EXPECT_FALSE(s.AddRelation("Q", 2, 3).ok());    // key too long
+  EXPECT_FALSE(s.AddRelation("Q", 0, 0).ok());    // zero arity
+  EXPECT_TRUE(s.Has(r1.value()));
+  EXPECT_EQ(s.ArityOf(r1.value()), 2);
+  EXPECT_EQ(s.KeyLenOf(r1.value()), 1);
+}
+
+TEST(QueryTest, RejectsSelfJoins) {
+  Result<Query> q = Query::Make({
+      Pos(Atom("R", 1, {V("x"), V("y")})),
+      Pos(Atom("R", 1, {V("y"), V("x")})),
+  });
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.error().find("self-join"), std::string::npos);
+}
+
+TEST(QueryTest, RejectsUnsafeNegation) {
+  // y occurs only in the negated atom.
+  Result<Query> q = Query::Make({
+      Pos(Atom("R", 1, {V("x")})),
+      Neg(Atom("S", 1, {V("x"), V("y")})),
+  });
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.error().find("unsafe"), std::string::npos);
+}
+
+TEST(QueryTest, SafetyWithReifiedVariables) {
+  // y is reified, so it does not violate safety.
+  Result<Query> q = Query::Make(
+      {
+          Pos(Atom("R", 1, {V("x")})),
+          Neg(Atom("S", 1, {V("x"), V("y")})),
+      },
+      {}, SymbolSet{InternSymbol("y")});
+  EXPECT_TRUE(q.ok());
+}
+
+TEST(QueryTest, Example31PositiveAndNegativeParts) {
+  // Example 3.1: q = {R(x|y), ¬S(x|y), ¬T(y|x)}.
+  Query q = Query::MakeOrDie({
+      Pos(Atom("R", 1, {V("x"), V("y")})),
+      Neg(Atom("S", 1, {V("x"), V("y")})),
+      Neg(Atom("T", 1, {V("y"), V("x")})),
+  });
+  EXPECT_EQ(q.PositiveIndices(), std::vector<size_t>{0});
+  EXPECT_EQ(q.NegativeIndices(), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(q.Alpha(), 3);
+  EXPECT_FALSE(q.AllAtomsAllKey());
+}
+
+TEST(QueryTest, Example32GuardChecks) {
+  // Not weakly guarded: {X(x), Y(y), ¬R(x|y), ¬S(y|x)}.
+  Query q4 = Query::MakeOrDie({
+      Pos(Atom("X", 1, {V("x")})),
+      Pos(Atom("Y", 1, {V("y")})),
+      Neg(Atom("R", 1, {V("x"), V("y")})),
+      Neg(Atom("S", 1, {V("y"), V("x")})),
+  });
+  EXPECT_FALSE(q4.IsWeaklyGuarded());
+  EXPECT_FALSE(q4.IsGuarded());
+
+  // Weakly guarded but not guarded:
+  // {R(x|y,z,u), S(y|w,z), T(x|u,w), ¬N(x|y,z,u,w)}.
+  Query q = Query::MakeOrDie({
+      Pos(Atom("R", 1, {V("x"), V("y"), V("z"), V("u")})),
+      Pos(Atom("S", 1, {V("y"), V("w"), V("z")})),
+      Pos(Atom("T", 1, {V("x"), V("u"), V("w")})),
+      Neg(Atom("N", 1, {V("x"), V("y"), V("z"), V("u"), V("w")})),
+  });
+  EXPECT_TRUE(q.IsWeaklyGuarded());
+  EXPECT_FALSE(q.IsGuarded());
+}
+
+TEST(QueryTest, GuardedImpliesWeaklyGuarded) {
+  Query q = Query::MakeOrDie({
+      Pos(Atom("P", 1, {V("x"), V("y")})),
+      Neg(Atom("N", 1, {V("x"), V("y")})),
+  });
+  EXPECT_TRUE(q.IsGuarded());
+  EXPECT_TRUE(q.IsWeaklyGuarded());
+}
+
+TEST(QueryTest, SubstitutionAppliesEverywhere) {
+  Query q = Query::MakeOrDie(
+      {
+          Pos(Atom("R", 1, {V("x"), V("y")})),
+          Neg(Atom("S", 1, {V("y"), V("x")})),
+      },
+      {Diseq{{V("x")}, {C("a")}}});
+  Query g = q.Substituted(InternSymbol("x"), Value::Of("b"));
+  EXPECT_EQ(g.atom(0).term(0).constant(), Value::Of("b"));
+  EXPECT_EQ(g.atom(1).term(1).constant(), Value::Of("b"));
+  EXPECT_EQ(g.diseqs()[0].lhs[0].constant(), Value::Of("b"));
+  // x no longer a variable of the query.
+  EXPECT_FALSE(g.Vars().contains(InternSymbol("x")));
+}
+
+TEST(QueryTest, WithHelpersAndCanonicalKey) {
+  Query q = Query::MakeOrDie({
+      Pos(Atom("R", 1, {V("x"), V("y")})),
+      Neg(Atom("S", 1, {V("y"), V("x")})),
+  });
+  Query q1 = q.WithoutLiteralAt(1);
+  EXPECT_EQ(q1.NumLiterals(), 1u);
+  Query q2 = q.WithReified(SymbolSet{InternSymbol("x")});
+  EXPECT_FALSE(q2.Vars().contains(InternSymbol("x")));
+  Query q3 = q.WithDiseq(Diseq{{V("x")}, {C("a")}});
+  EXPECT_EQ(q3.diseqs().size(), 1u);
+
+  // Canonical key is order-insensitive.
+  Query reordered = Query::MakeOrDie({
+      Neg(Atom("S", 1, {V("y"), V("x")})),
+      Pos(Atom("R", 1, {V("x"), V("y")})),
+  });
+  EXPECT_EQ(q.CanonicalKey(), reordered.CanonicalKey());
+  EXPECT_NE(q.CanonicalKey(), q1.CanonicalKey());
+}
+
+TEST(QueryTest, MalformedDiseqRejected) {
+  EXPECT_FALSE(Query::Make({Pos(Atom("R", 1, {V("x"), V("y")}))},
+                           {Diseq{{V("x")}, {C("a"), C("b")}}})
+                   .ok());
+  EXPECT_FALSE(
+      Query::Make({Pos(Atom("R", 1, {V("x"), V("y")}))}, {Diseq{{}, {}}})
+          .ok());
+  // Diseq variable not occurring positively.
+  EXPECT_FALSE(Query::Make({Pos(Atom("R", 1, {V("x"), V("y")}))},
+                           {Diseq{{V("w")}, {C("a")}}})
+                   .ok());
+}
+
+TEST(QueryTest, AllKeyQueries) {
+  Query q = Query::MakeOrDie({
+      Pos(Atom("E", 2, {V("x"), V("y")})),
+      Neg(Atom("F", 1, {V("x")})),
+  });
+  EXPECT_EQ(q.Alpha(), 0);
+  EXPECT_TRUE(q.AllAtomsAllKey());
+}
+
+}  // namespace
+}  // namespace cqa

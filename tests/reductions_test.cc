@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/backtracking.h"
+#include "cqa/certainty/matching_q1.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/matching/hopcroft_karp.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/bpm.h"
+#include "cqa/reductions/hall_covering.h"
+#include "cqa/reductions/lemma54.h"
+#include "cqa/reductions/ufa.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+// ---------------------------------------------------------------- Lemma 5.2
+
+// Random balanced bipartite graph where every left vertex has ≥ 1 edge
+// (see the precondition discussed in reductions/bpm.h).
+BipartiteGraph RandomBalancedGraph(Rng* rng, int m, double p) {
+  BipartiteGraph g(m, m);
+  for (int l = 0; l < m; ++l) {
+    bool any = false;
+    for (int r = 0; r < m; ++r) {
+      if (rng->Chance(p)) {
+        g.AddEdge(l, r);
+        any = true;
+      }
+    }
+    if (!any) g.AddEdge(l, static_cast<int>(rng->Below(m)));
+  }
+  return g;
+}
+
+TEST(BpmReductionTest, Lemma52Equivalence) {
+  Rng rng(501);
+  Query q1 = MakeQ1();
+  for (int trial = 0; trial < 300; ++trial) {
+    int m = static_cast<int>(rng.Range(1, 4));
+    BipartiteGraph g = RandomBalancedGraph(&rng, m, 0.4);
+    Database db = BpmToQ1Database(g);
+    bool pm = HasPerfectMatching(g);
+    // G has a perfect matching  iff  some repair falsifies q1.
+    Result<bool> certain = IsCertainNaive(q1, db);
+    ASSERT_TRUE(certain.ok());
+    EXPECT_EQ(pm, !certain.value());
+    // The polynomial solver agrees.
+    EXPECT_EQ(IsCertainQ1ByMatching(q1, db).value(), certain.value());
+  }
+}
+
+TEST(BpmReductionTest, Figure1RoundTrip) {
+  // The graph alice,maria × bob,george,john with Fig. 1's edges.
+  BipartiteGraph g(2, 3);
+  g.AddEdge(0, 0);  // alice-bob
+  g.AddEdge(0, 1);  // alice-george
+  g.AddEdge(1, 0);  // maria-bob
+  g.AddEdge(1, 2);  // maria-john
+  Database db = BpmToQ1Database(g);
+  EXPECT_EQ(db.NumFacts(), 8u);
+  EXPECT_EQ(db.NumBlocks(), 5u);  // 2 R-blocks + 3 S-blocks
+}
+
+// ---------------------------------------------------------------- Lemma 5.3
+
+// Random forest with exactly two components, each containing >= 1 edge.
+UfaInstance RandomTwoComponentForest(Rng* rng, int per_side) {
+  UfaInstance inst;
+  inst.num_vertices = 2 * per_side;
+  // Component A: vertices [0, per_side); component B: the rest. Random
+  // trees via attach-to-earlier.
+  for (int i = 1; i < per_side; ++i) {
+    inst.edges.emplace_back(static_cast<int>(rng->Below(i)), i);
+  }
+  for (int i = 1; i < per_side; ++i) {
+    inst.edges.emplace_back(
+        per_side + static_cast<int>(rng->Below(i)), per_side + i);
+  }
+  // u from component A; v a *different* vertex from either component (the
+  // reduction requires u ≠ v: otherwise R(u,t) and R(v,t) collapse to one
+  // fact and a falsifying repair always exists).
+  inst.u = static_cast<int>(rng->Below(per_side));
+  do {
+    inst.v = static_cast<int>(rng->Below(2 * per_side));
+  } while (inst.v == inst.u);
+  return inst;
+}
+
+TEST(UfaReductionTest, Lemma53Equivalence) {
+  Rng rng(503);
+  Query q2 = MakeQ2();
+  for (int trial = 0; trial < 60; ++trial) {
+    UfaInstance inst = RandomTwoComponentForest(&rng, 3);
+    Database db = UfaToQ2Database(inst);
+    bool connected = SolveUfa(inst);
+    Result<bool> certain = IsCertainBacktracking(q2, db);
+    ASSERT_TRUE(certain.ok()) << certain.error();
+    EXPECT_EQ(connected, certain.value())
+        << "u=" << inst.u << " v=" << inst.v << "\n" << db.ToString();
+  }
+}
+
+TEST(UfaReductionTest, Figure4Shape) {
+  // Two path components 0-1-2 and 3-4; u=0, v=2 connected.
+  UfaInstance inst{5, {{0, 1}, {1, 2}, {3, 4}}, 0, 2};
+  EXPECT_TRUE(SolveUfa(inst));
+  Database db = UfaToQ2Database(inst);
+  // Each edge contributes 6 facts; plus 4 facts for u,v/t.
+  EXPECT_EQ(db.NumFacts(), 3u * 6u + 4u);
+  EXPECT_TRUE(IsCertainBacktracking(MakeQ2(), db).value());
+
+  UfaInstance inst2{5, {{0, 1}, {1, 2}, {3, 4}}, 0, 3};
+  EXPECT_FALSE(SolveUfa(inst2));
+  EXPECT_FALSE(
+      IsCertainBacktracking(MakeQ2(), UfaToQ2Database(inst2)).value());
+}
+
+// ------------------------------------------------------------- Example 1.2
+
+TEST(HallReductionTest, CoveringEquivalence) {
+  Rng rng(509);
+  for (int ell = 1; ell <= 3; ++ell) {
+    Query q = MakeHallQuery(ell);
+    for (int trial = 0; trial < 60; ++trial) {
+      SCoveringInstance inst;
+      inst.num_elements = static_cast<int>(rng.Range(0, 4));
+      for (int t = 0; t < ell; ++t) {
+        std::vector<int> set;
+        for (int a = 0; a < inst.num_elements; ++a) {
+          if (rng.Chance(0.5)) set.push_back(a);
+        }
+        inst.sets.push_back(std::move(set));
+      }
+      Database db = CoveringToHallDatabase(inst);
+      bool coverable = SolveSCovering(inst).has_value();
+      Result<bool> certain = IsCertainNaive(q, db);
+      ASSERT_TRUE(certain.ok());
+      EXPECT_EQ(coverable, !certain.value());
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Lemma 5.4
+
+TEST(Lemma54Test, DroppingNegatedAtomsPreservesCertainty) {
+  // q' = q1; q = q1 plus an extra negated atom ¬T(x|y).
+  Query q_sub = MakeQ1();
+  Query q = Q("R(x | y), not S(y | x), not T(x | y)");
+  Rng rng(521);
+  RandomDbOptions opts;
+  opts.blocks_per_relation = 3;
+  opts.max_block_size = 2;
+  for (int trial = 0; trial < 150; ++trial) {
+    // Input db for q' — may also contain junk T-facts that the reduction
+    // must delete.
+    Database db = GenerateRandomDatabaseFor(q, opts, &rng);
+    Result<Database> reduced =
+        DropNegatedReduction(q, {InternSymbol("T")}, db);
+    ASSERT_TRUE(reduced.ok()) << reduced.error();
+    EXPECT_EQ(reduced->NumFacts(db.schema().relations()[2].name), 0u);
+    Result<bool> lhs = IsCertainNaive(q_sub, db);
+    Result<bool> rhs = IsCertainNaive(q, reduced.value());
+    ASSERT_TRUE(lhs.ok() && rhs.ok());
+    EXPECT_EQ(lhs.value(), rhs.value());
+  }
+}
+
+TEST(Lemma54Test, RejectsNonNegatedDrops) {
+  Query q = MakeQ1();
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  Database db(s);
+  EXPECT_FALSE(DropNegatedReduction(q, {InternSymbol("R")}, db).ok());
+  EXPECT_FALSE(DropNegatedReduction(q, {InternSymbol("Zzz")}, db).ok());
+}
+
+}  // namespace
+}  // namespace cqa

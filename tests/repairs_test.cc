@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cqa/db/repairs.h"
+
+namespace cqa {
+namespace {
+
+Database SmallDb() {
+  Result<Database> db = Database::FromText(R"(
+    R(a | 1), R(a | 2), R(a | 3)
+    S(b | 1), S(b | 2)
+  )");
+  EXPECT_TRUE(db.ok());
+  return db.value();
+}
+
+TEST(RepairsTest, EnumeratesAllDistinctRepairs) {
+  Database db = SmallDb();
+  std::set<std::string> seen;
+  ForEachRepair(db, [&](const Repair& r) {
+    seen.insert(r.ToString());
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(db.CountRepairs(), 6u);
+}
+
+TEST(RepairsTest, EmptyDatabaseHasOneRepair) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  Database db(s);
+  int count = 0;
+  ForEachRepair(db, [&](const Repair&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(RepairsTest, EarlyStop) {
+  Database db = SmallDb();
+  int count = 0;
+  bool completed = ForEachRepair(db, [&](const Repair&) {
+    ++count;
+    return count < 3;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(RepairsTest, RepairsAreConsistentAndMaximal) {
+  Database db = SmallDb();
+  ForEachRepair(db, [&](const Repair& r) {
+    Database materialised = r.ToDatabase();
+    EXPECT_TRUE(materialised.IsConsistent());
+    // One fact per block.
+    EXPECT_EQ(materialised.NumFacts(), db.NumBlocks());
+    return true;
+  });
+}
+
+TEST(RepairsTest, ContainsMatchesChoice) {
+  Database db = SmallDb();
+  Symbol rel = InternSymbol("R");
+  ForEachRepair(db, [&](const Repair& r) {
+    int present = 0;
+    for (int i = 1; i <= 3; ++i) {
+      if (r.Contains(rel, {Value::Of("a"), Value::Of(std::to_string(i))})) {
+        ++present;
+      }
+    }
+    EXPECT_EQ(present, 1);  // exactly one fact of the block
+    EXPECT_FALSE(r.Contains(rel, {Value::Of("zz"), Value::Of("1")}));
+    return true;
+  });
+}
+
+TEST(RepairsTest, ForEachFactYieldsOnePerBlock) {
+  Database db = SmallDb();
+  ForEachRepair(db, [&](const Repair& r) {
+    int count = 0;
+    r.ForEachFact(InternSymbol("R"), [&](const Tuple&) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, 1);
+    return true;
+  });
+}
+
+TEST(RepairsTest, RandomRepairIsValid) {
+  Database db = SmallDb();
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    Repair r = RandomRepair(db, &rng);
+    EXPECT_TRUE(r.ToDatabase().IsConsistent());
+  }
+}
+
+TEST(RepairsTest, ConsistentDatabaseIsItsOwnRepair) {
+  Result<Database> db = Database::FromText("R(a | 1)\nS(b | 2)");
+  ASSERT_TRUE(db.ok());
+  int count = 0;
+  ForEachRepair(db.value(), [&](const Repair& r) {
+    ++count;
+    EXPECT_TRUE(r.Contains(InternSymbol("R"), {Value::Of("a"), Value::Of("1")}));
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace cqa

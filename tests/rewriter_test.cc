@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/naive.h"
+#include "cqa/fo/eval.h"
+#include "cqa/gen/poll.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/bpm.h"
+#include "cqa/reductions/hall_covering.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+Database Db(const char* text) {
+  Result<Database> db = Database::FromText(text);
+  EXPECT_TRUE(db.ok()) << (db.ok() ? "" : db.error());
+  return db.value();
+}
+
+// Checks the rewriting against the naive oracle on `trials` random
+// databases for `q`.
+void CrossValidate(const Query& q, int trials, uint64_t seed,
+                   RandomDbOptions db_opts = {}) {
+  Result<Rewriting> rw = RewriteCertain(q);
+  ASSERT_TRUE(rw.ok()) << rw.error() << " for " << q.ToString();
+  Rng rng(seed);
+  for (int i = 0; i < trials; ++i) {
+    Database db = GenerateRandomDatabaseFor(q, db_opts, &rng);
+    Result<bool> expected = IsCertainNaive(q, db);
+    ASSERT_TRUE(expected.ok());
+    bool got = EvalFo(rw->formula, db);
+    ASSERT_EQ(got, expected.value())
+        << "query: " << q.ToString() << "\nrewriting: "
+        << rw->formula->ToString() << "\ndb:\n"
+        << db.ToString();
+  }
+}
+
+TEST(RewriterTest, RejectsCyclicAndUnguarded) {
+  EXPECT_FALSE(RewriteCertain(MakeQ1()).ok());
+  EXPECT_FALSE(RewriteCertain(Q("R(x | y), S(y | x)")).ok());
+  // q4: not weakly guarded.
+  EXPECT_FALSE(
+      RewriteCertain(Q("X(x), Y(y), not R(x | y), not S(y | x)")).ok());
+}
+
+TEST(RewriterTest, SingleAtomQuery) {
+  Query q = Q("R(x | y)");
+  Result<Rewriting> rw = RewriteCertain(q);
+  ASSERT_TRUE(rw.ok()) << rw.error();
+  // CERTAINTY(R(x|y)) just asks for a nonempty R.
+  EXPECT_TRUE(EvalFo(rw->formula, Db("R(a | b), R(a | c)")));
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  EXPECT_FALSE(EvalFo(rw->formula, Database(s)));
+}
+
+TEST(RewriterTest, Example45Q3Semantics) {
+  Query q3 = Q("P(x | y), not N('c' | y)");
+  Result<Rewriting> rw = RewriteCertain(q3);
+  ASSERT_TRUE(rw.ok()) << rw.error();
+  // Certain: a P-block avoiding the N-value exists.
+  EXPECT_TRUE(EvalFo(rw->formula, Db("P(k1 | a)\nP(k2 | b)\nN(c | b)")));
+  // Not certain: the only P-block can be repaired to the N-value.
+  EXPECT_FALSE(EvalFo(rw->formula, Db("P(k1 | b), P(k1 | a)\nN(c | b)")));
+  // Not certain: N-key is a different constant... N('c', z) only fires for
+  // facts with key 'c'; a 'd'-keyed fact is harmless.
+  EXPECT_TRUE(EvalFo(rw->formula, Db("P(k1 | b)\nN(d | b)")));
+  // No P-fact: never certain.
+  EXPECT_FALSE(EvalFo(rw->formula, Db("N(c | b)")));
+}
+
+TEST(RewriterTest, Example45Q3CrossValidation) {
+  CrossValidate(Q("P(x | y), not N('c' | y)"), 300, 17);
+}
+
+TEST(RewriterTest, Example611ConstantsAndRepeatedVariables) {
+  // q = {P(y), ¬N(c | a, y, y)} — the proof of Lemma 6.1 notes the
+  // rewriting must handle constants and repeated variables in the non-key
+  // part; Example 6.11's simplified form is
+  //   ∃y P(y) ∧ ∀z (N(c,a,z,z) → ∃y (P(y) ∧ y ≠ z)).
+  Query q = Q("P(y), not N('c' | 'a', y, y)");
+  Result<Rewriting> rw = RewriteCertain(q);
+  ASSERT_TRUE(rw.ok()) << rw.error();
+  // P all-key here: P(y) with key y... P is unary all-key, N is eliminated.
+  EXPECT_TRUE(EvalFo(rw->formula, Db("P(u)\nP(v)\nN(c | a, v, v)")));
+  EXPECT_FALSE(EvalFo(rw->formula, Db("P(v)\nN(c | a, v, v)")));
+  // Mismatching constant or non-repeated values: N-fact is irrelevant.
+  EXPECT_TRUE(EvalFo(rw->formula, Db("P(v)\nN(c | b, v, v)")));
+  EXPECT_TRUE(EvalFo(rw->formula, Db("P(v)\nN(c | a, v, w)")));
+  EXPECT_TRUE(EvalFo(rw->formula, Db("P(v)\nN(d | a, v, v)")));
+}
+
+TEST(RewriterTest, HallRewritingMatchesFigure2Semantics) {
+  // Figure 2 / Example 6.12, ℓ = 3.
+  Query q = MakeHallQuery(3);
+  Result<Rewriting> rw = RewriteCertain(q);
+  ASSERT_TRUE(rw.ok()) << rw.error();
+  // Empty S: not certain.
+  EXPECT_FALSE(EvalFo(rw->formula, CoveringToHallDatabase(
+                                       {0, {{}, {}, {}}})));
+  // Three elements, sets can cover them injectively: not certain.
+  SCoveringInstance coverable{3, {{0}, {1}, {2}}};
+  EXPECT_FALSE(EvalFo(rw->formula, CoveringToHallDatabase(coverable)));
+  // Two sets for three elements: cannot cover; q_Hall is certain.
+  SCoveringInstance uncoverable{3, {{0, 1, 2}, {0, 1, 2}, {}}};
+  EXPECT_TRUE(EvalFo(rw->formula, CoveringToHallDatabase(uncoverable)));
+  // Hall violation: two sets both only containing element 0, third empty.
+  SCoveringInstance hall_violation{2, {{0}, {0}, {}}};
+  EXPECT_TRUE(EvalFo(rw->formula, CoveringToHallDatabase(hall_violation)));
+}
+
+TEST(RewriterTest, HallRewritingGrowsExponentially) {
+  // Example 6.12 remarks the rewriting length is exponential in ℓ.
+  size_t prev = 0;
+  for (int ell = 1; ell <= 5; ++ell) {
+    Result<Rewriting> rw =
+        RewriteCertain(MakeHallQuery(ell), {.simplify = false});
+    ASSERT_TRUE(rw.ok());
+    if (ell > 1) {
+      EXPECT_GE(rw->raw_size, 2 * prev) << "ell=" << ell;
+    }
+    prev = rw->raw_size;
+  }
+}
+
+TEST(RewriterTest, PollQueriesCrossValidation) {
+  RandomDbOptions small;
+  small.blocks_per_relation = 3;
+  small.max_block_size = 2;
+  small.domain_size = 4;
+  CrossValidate(PollQa(), 200, 23, small);
+  CrossValidate(PollQb(), 200, 29, small);
+}
+
+TEST(RewriterTest, GuardedNegationQuery) {
+  CrossValidate(Q("P(x | y), not N(x | y)"), 300, 31);
+}
+
+TEST(RewriterTest, PositiveOnlyPathQuery) {
+  // Acyclic negation-free query R(x|y), S(y|z) — classic rewritable chain.
+  CrossValidate(Q("R(x | y), S(y | z)"), 300, 37);
+}
+
+TEST(RewriterTest, ConstantsInPositiveKeys) {
+  CrossValidate(Q("R('v0' | y), not N(y | 'v1')"), 300, 41);
+}
+
+TEST(RewriterTest, AllKeyOnlyQuery) {
+  Query q = Q("E(x, y), not F(y)");
+  Result<Rewriting> rw = RewriteCertain(q);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(rw->levels, 1);  // base case straight away
+  CrossValidate(q, 100, 43);
+}
+
+TEST(RewriterTest, WeaklyGuardedNotGuardedQuery) {
+  // Example 3.2's weakly-guarded-but-not-guarded query, made acyclic.
+  Query q = Q(
+      "R(x | y, z, u), S(y | w, z), T(x | u, w), not N(x, y, z, u, w)");
+  ASSERT_TRUE(q.IsWeaklyGuarded());
+  ASSERT_FALSE(q.IsGuarded());
+  Result<Rewriting> rw = RewriteCertain(q);
+  if (rw.ok()) {
+    RandomDbOptions tiny;
+    tiny.blocks_per_relation = 2;
+    tiny.max_block_size = 2;
+    tiny.domain_size = 3;
+    CrossValidate(q, 60, 47, tiny);
+  }
+}
+
+TEST(RewriterTest, SimplifiedAndRawAgree) {
+  for (const char* text :
+       {"P(x | y), not N('c' | y)", "R(x | y), S(y | z)",
+        "P(y), not N('c' | 'a', y, y)"}) {
+    Query q = Q(text);
+    Result<Rewriting> raw = RewriteCertain(q, {.simplify = false});
+    Result<Rewriting> simp = RewriteCertain(q, {.simplify = true});
+    ASSERT_TRUE(raw.ok() && simp.ok());
+    EXPECT_LE(simp->formula->Size(), raw->formula->Size());
+    Rng rng(53);
+    for (int i = 0; i < 60; ++i) {
+      Database db = GenerateRandomDatabaseFor(q, {}, &rng);
+      EXPECT_EQ(EvalFo(raw->formula, db), EvalFo(simp->formula, db))
+          << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqa

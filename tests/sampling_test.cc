@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/naive.h"
+#include "cqa/certainty/sampling.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/bpm.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+TEST(SamplingTest, RefutationIsSound) {
+  // Whenever sampling refutes, exact solving must also answer false.
+  Query q1 = MakeQ1();
+  Rng rng(1401);
+  RandomDbOptions opts;
+  opts.blocks_per_relation = 3;
+  for (int trial = 0; trial < 100; ++trial) {
+    Database db = GenerateRandomDatabaseFor(q1, opts, &rng);
+    Rng sample_rng(trial);
+    SampleEstimate est = EstimateCertainty(q1, db, 64, &sample_rng);
+    bool exact = IsCertainNaive(q1, db).value();
+    if (est.refuted) {
+      EXPECT_FALSE(exact) << db.ToString();
+    }
+    if (exact) {
+      EXPECT_FALSE(est.refuted);
+      EXPECT_EQ(est.SatisfyingFraction(), 1.0);
+    }
+  }
+}
+
+TEST(SamplingTest, FindsCounterexamplesWithHighProbability) {
+  // A database where exactly half the repairs falsify: one R-block of two
+  // facts, one of which is S-covered.
+  Result<Database> db = Database::FromText(R"(
+    R(a | b), R(a | c)
+    S(b | a)
+  )");
+  ASSERT_TRUE(db.ok());
+  Query q1 = MakeQ1();
+  Rng rng(7);
+  SampleEstimate est = EstimateCertainty(q1, db.value(), 64, &rng);
+  EXPECT_TRUE(est.refuted);  // P[miss in 64 draws] = 2^-64
+}
+
+TEST(SamplingTest, FractionApproximatesExactCount) {
+  Query q = Q("P(x | y), not N(x | y)");
+  Rng rng(1409);
+  RandomDbOptions opts;
+  opts.blocks_per_relation = 4;
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 20; ++trial) {
+    Database db = GenerateRandomDatabaseFor(q, opts, &rng);
+    Result<RepairCount> exact = CountSatisfyingRepairs(q, db);
+    ASSERT_TRUE(exact.ok());
+    if (exact->satisfying != exact->total) continue;  // want certain=true
+    ++checked;
+    Rng sample_rng(trial * 31 + 1);
+    SampleEstimate est = EstimateCertainty(q, db, 200, &sample_rng);
+    EXPECT_FALSE(est.refuted);
+    EXPECT_EQ(est.samples, 200u);
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(SamplingTest, EmptyDatabaseSingleRepair) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  Database db(s);
+  Rng rng(1);
+  SampleEstimate est = EstimateCertainty(Q("R(x | y)"), db, 10, &rng);
+  EXPECT_TRUE(est.refuted);  // the empty repair falsifies R(x|y)
+  EXPECT_EQ(est.samples, 1u);
+}
+
+}  // namespace
+}  // namespace cqa

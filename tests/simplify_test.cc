@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "cqa/fo/eval.h"
+#include "cqa/fo/simplify.h"
+#include "cqa/gen/random_db.h"
+
+namespace cqa {
+namespace {
+
+Term V(const char* n) { return Term::Var(n); }
+Term C(const char* n) { return Term::Const(n); }
+Symbol S(const char* n) { return InternSymbol(n); }
+
+TEST(SimplifyTest, EqualityFolding) {
+  EXPECT_EQ(Simplify(FoEquals(C("a"), C("a")))->kind(), FoKind::kTrue);
+  EXPECT_EQ(Simplify(FoEquals(C("a"), C("b")))->kind(), FoKind::kFalse);
+  EXPECT_EQ(Simplify(FoEquals(V("x"), V("x")))->kind(), FoKind::kTrue);
+}
+
+TEST(SimplifyTest, PinnedExistentialEliminated) {
+  // ∃y (z = y ∧ R(x, y))  ⇒  R(x, z)
+  FoPtr f = FoExists({S("y")}, FoAnd({FoEquals(V("z"), V("y")),
+                                      FoAtom(S("R"), 1, {V("x"), V("y")})}));
+  FoPtr s = Simplify(f);
+  ASSERT_EQ(s->kind(), FoKind::kAtom);
+  EXPECT_EQ(s->terms()[1], V("z"));
+}
+
+TEST(SimplifyTest, PinnedToConstant) {
+  // ∃y (y = 'a' ∧ R(y, x)) ⇒ R('a', x)
+  FoPtr f = FoExists({S("y")}, FoAnd({FoEquals(V("y"), C("a")),
+                                      FoAtom(S("R"), 1, {V("y"), V("x")})}));
+  FoPtr s = Simplify(f);
+  ASSERT_EQ(s->kind(), FoKind::kAtom);
+  EXPECT_EQ(s->terms()[0], C("a"));
+}
+
+TEST(SimplifyTest, ExistsEqualityOnlyBecomesTrue) {
+  // ∃y (z = y) ⇒ true.
+  FoPtr f = FoExists({S("y")}, FoEquals(V("z"), V("y")));
+  EXPECT_EQ(Simplify(f)->kind(), FoKind::kTrue);
+}
+
+TEST(SimplifyTest, ForallPremisePinning) {
+  // ∀z (R(x,z) ∧ z = 'a' → T(z))  ⇒  R(x,'a') → T('a')
+  FoPtr f = FoForall(
+      {S("z")},
+      FoImplies(FoAnd({FoAtom(S("R"), 1, {V("x"), V("z")}),
+                       FoEquals(V("z"), C("a"))}),
+                FoAtom(S("T"), 1, {V("z")})));
+  FoPtr s = Simplify(f);
+  EXPECT_EQ(s->kind(), FoKind::kImplies);
+  EXPECT_EQ(s->children()[0]->terms()[1], C("a"));
+  EXPECT_EQ(s->children()[1]->terms()[0], C("a"));
+}
+
+TEST(SimplifyTest, DeduplicatesConjuncts) {
+  FoPtr atom = FoAtom(S("R"), 1, {V("x"), V("y")});
+  FoPtr f = FoAnd({atom, FoAtom(S("R"), 1, {V("x"), V("y")})});
+  EXPECT_EQ(Simplify(f)->kind(), FoKind::kAtom);
+}
+
+TEST(SimplifyTest, SubstituteVarCaptureCheck) {
+  // Substituting x := y under ∃y(...x...) would capture: returns nullptr.
+  FoPtr f = FoExists({S("y")}, FoAtom(S("R"), 1, {V("x"), V("y")}));
+  EXPECT_EQ(SubstituteVar(f, S("x"), V("y")), nullptr);
+  // Substituting with a fresh variable is fine.
+  FoPtr ok = SubstituteVar(f, S("x"), V("w"));
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->FreeVars().contains(S("w")));
+}
+
+TEST(SimplifyTest, PreservesSemanticsOnRandomDatabases) {
+  // A moderately nested formula; simplified and original must agree on
+  // random databases.
+  FoPtr f = FoAnd(
+      {FoExists({S("x"), S("y")},
+                FoAnd({FoAtom(S("R"), 1, {V("x"), V("y")}),
+                       FoEquals(V("y"), V("y"))})),
+       FoForall(
+           {S("z")},
+           FoImplies(FoAtom(S("R"), 1, {C("v0"), V("z")}),
+                     FoExists({S("w")},
+                              FoAnd({FoEquals(V("w"), V("z")),
+                                     FoNot(FoAtom(S("T"), 1,
+                                                  {V("w"), C("v1")}))}))))});
+  FoPtr s = Simplify(f);
+  EXPECT_LE(s->Size(), f->Size());
+
+  Schema schema;
+  schema.AddRelationOrDie("R", 2, 1);
+  schema.AddRelationOrDie("T", 2, 1);
+  Rng rng(5);
+  RandomDbOptions opts;
+  for (int i = 0; i < 50; ++i) {
+    Database db = GenerateRandomDatabase(schema, opts, &rng);
+    EXPECT_EQ(EvalFo(f, db), EvalFo(s, db)) << f->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cqa

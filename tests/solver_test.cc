@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/solver.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/bpm.h"
+#include "cqa/reductions/q4.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+TEST(SolverTest, AutoPicksAlgorithm1ForFoQueries) {
+  Query q = Q("P(x | y), not N('c' | y)");
+  Rng rng(901);
+  Database db = GenerateRandomDatabaseFor(q, {}, &rng);
+  Result<SolveReport> report = SolveCertainty(q, db);
+  ASSERT_TRUE(report.ok()) << report.error();
+  EXPECT_EQ(report->used, SolverMethod::kAlgorithm1);
+  EXPECT_EQ(report->classification.cls, CertaintyClass::kFO);
+}
+
+TEST(SolverTest, AutoPicksMatchingForQ1) {
+  Query q1 = MakeQ1();
+  Rng rng(907);
+  Database db = GenerateRandomDatabaseFor(q1, {}, &rng);
+  Result<SolveReport> report = SolveCertainty(q1, db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->used, SolverMethod::kMatchingQ1);
+}
+
+TEST(SolverTest, AutoFallsBackToBacktracking) {
+  Query q4 = MakeQ4();
+  Rng rng(911);
+  Database db = GenerateRandomDatabaseFor(q4, {}, &rng);
+  Result<SolveReport> report = SolveCertainty(q4, db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->used, SolverMethod::kBacktracking);
+}
+
+TEST(SolverTest, AllApplicableMethodsAgree) {
+  Query q = Q("P(x | y), not N(x | y)");
+  Rng rng(919);
+  RandomDbOptions opts;
+  opts.blocks_per_relation = 3;
+  for (int i = 0; i < 100; ++i) {
+    Database db = GenerateRandomDatabaseFor(q, opts, &rng);
+    Result<SolveReport> naive = SolveCertainty(q, db, SolverMethod::kNaive);
+    ASSERT_TRUE(naive.ok());
+    for (SolverMethod m :
+         {SolverMethod::kRewriting, SolverMethod::kAlgorithm1,
+          SolverMethod::kBacktracking, SolverMethod::kAuto}) {
+      Result<SolveReport> r = SolveCertainty(q, db, m);
+      ASSERT_TRUE(r.ok()) << ToString(m) << ": " << r.error();
+      EXPECT_EQ(r->certain, naive->certain) << ToString(m);
+    }
+  }
+}
+
+TEST(SolverTest, MethodErrorsAreSurfaced) {
+  Query q1 = MakeQ1();
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  Database db(s);
+  // FO-only solvers refuse the cyclic q1.
+  EXPECT_FALSE(SolveCertainty(q1, db, SolverMethod::kRewriting).ok());
+  EXPECT_FALSE(SolveCertainty(q1, db, SolverMethod::kAlgorithm1).ok());
+  // Matching solver refuses a non-q1 shape.
+  EXPECT_FALSE(
+      SolveCertainty(Q("R(x | y)"), db, SolverMethod::kMatchingQ1).ok());
+}
+
+TEST(SolverTest, MethodNames) {
+  EXPECT_EQ(ToString(SolverMethod::kAuto), "auto");
+  EXPECT_EQ(ToString(SolverMethod::kRewriting), "fo-rewriting");
+  EXPECT_EQ(ToString(SolverMethod::kAlgorithm1), "algorithm1");
+  EXPECT_EQ(ToString(SolverMethod::kBacktracking), "backtracking");
+  EXPECT_EQ(ToString(SolverMethod::kNaive), "naive");
+  EXPECT_EQ(ToString(SolverMethod::kMatchingQ1), "matching-q1");
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cqa/fo/sql.h"
+#include "cqa/query/parser.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+bool BalancedParens(const std::string& s) {
+  int depth = 0;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+TEST(SqlTest, SchemaDdlShape) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("Likes", 2, 2);
+  std::string ddl = SchemaDdl(s);
+  EXPECT_NE(ddl.find("CREATE TABLE R (c1 TEXT NOT NULL, c2 TEXT NOT NULL);"),
+            std::string::npos);
+  EXPECT_NE(ddl.find("-- key: c1..c1"), std::string::npos);
+  EXPECT_NE(ddl.find("-- key: c1..c2"), std::string::npos);
+}
+
+TEST(SqlTest, AdomViewUnionsEveryColumn) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("T", 1, 1);
+  std::string view = AdomViewDdl(s);
+  EXPECT_NE(view.find("CREATE VIEW cqa_adom(v)"), std::string::npos);
+  EXPECT_NE(view.find("SELECT c1 FROM R"), std::string::npos);
+  EXPECT_NE(view.find("SELECT c2 FROM R"), std::string::npos);
+  EXPECT_NE(view.find("SELECT c1 FROM T"), std::string::npos);
+  EXPECT_EQ(std::count(view.begin(), view.end(), '\n'),
+            std::count(view.begin(), view.end(), '\n'));  // smoke
+}
+
+TEST(SqlTest, AtomTranslation) {
+  FoPtr atom = FoAtom(InternSymbol("R"), 1,
+                      {Term::Const("a"), Term::Const("b'c")});
+  std::string sql = ToSqlCondition(atom);
+  EXPECT_NE(sql.find("EXISTS (SELECT 1 FROM R"), std::string::npos);
+  EXPECT_NE(sql.find("= 'a'"), std::string::npos);
+  // Single quotes escaped by doubling.
+  EXPECT_NE(sql.find("'b''c'"), std::string::npos);
+  EXPECT_TRUE(BalancedParens(sql));
+}
+
+TEST(SqlTest, QuantifiersUseAdom) {
+  FoPtr f = FoForall(
+      {InternSymbol("z")},
+      FoImplies(FoAtom(InternSymbol("R"), 1, {Term::Const("a"), Term::Var("z")}),
+                FoAtom(InternSymbol("T"), 1, {Term::Var("z")})));
+  std::string sql = ToSqlCondition(f);
+  EXPECT_NE(sql.find("NOT EXISTS (SELECT 1 FROM cqa_adom"), std::string::npos);
+  EXPECT_TRUE(BalancedParens(sql));
+}
+
+TEST(SqlTest, RewritingOfQ3ProducesRunnableLookingSql) {
+  Query q3 = Q("P(x | y), not N('c' | y)");
+  Result<Rewriting> rw = RewriteCertain(q3);
+  ASSERT_TRUE(rw.ok());
+  std::string sql = ToSqlQuery(rw->formula);
+  EXPECT_EQ(sql.rfind("SELECT CASE WHEN ", 0), 0u);
+  EXPECT_NE(sql.find("THEN 1 ELSE 0 END AS certain;"), std::string::npos);
+  EXPECT_NE(sql.find("FROM P"), std::string::npos);
+  EXPECT_NE(sql.find("FROM N"), std::string::npos);
+  EXPECT_TRUE(BalancedParens(sql));
+}
+
+TEST(SqlTest, TrueFalseTranslation) {
+  EXPECT_EQ(ToSqlCondition(FoTrue()), "(1 = 1)");
+  EXPECT_EQ(ToSqlCondition(FoFalse()), "(1 = 0)");
+}
+
+}  // namespace
+}  // namespace cqa

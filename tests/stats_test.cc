@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cqa/db/repairs.h"
+#include "cqa/db/stats.h"
+
+namespace cqa {
+namespace {
+
+Database Db(const char* text) {
+  Result<Database> db = Database::FromText(text);
+  EXPECT_TRUE(db.ok()) << (db.ok() ? "" : db.error());
+  return db.value();
+}
+
+TEST(StatsTest, CountsBlocksAndViolations) {
+  Database db = Db(R"(
+    R(a | 1), R(a | 2), R(a | 3)
+    R(b | 1)
+    S(x | 1), S(x | 2)
+  )");
+  InconsistencyStats s = ComputeStats(db);
+  EXPECT_EQ(s.facts, 6u);
+  EXPECT_EQ(s.blocks, 3u);
+  EXPECT_EQ(s.violating_blocks, 2u);
+  EXPECT_EQ(s.max_block_size, 3u);
+  EXPECT_DOUBLE_EQ(s.ViolationRate(), 2.0 / 3.0);
+  // 3 * 1 * 2 repairs => log2 = log2(6).
+  EXPECT_NEAR(s.log2_repairs, std::log2(6.0), 1e-9);
+  EXPECT_EQ(s.block_sizes.at(1), 1u);
+  EXPECT_EQ(s.block_sizes.at(2), 1u);
+  EXPECT_EQ(s.block_sizes.at(3), 1u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(StatsTest, PerRelationBreakdown) {
+  Database db = Db("R(a | 1), R(a | 2)\nS(x | 1)");
+  auto per = ComputeStatsPerRelation(db);
+  EXPECT_EQ(per.at("R").violating_blocks, 1u);
+  EXPECT_EQ(per.at("S").violating_blocks, 0u);
+}
+
+TEST(StatsTest, CertainFactsAreTheSingletonBlocks) {
+  Database db = Db(R"(
+    R(a | 1), R(a | 2)
+    R(b | 7)
+    S(x | 1)
+  )");
+  Database core = CertainFacts(db);
+  EXPECT_EQ(core.NumFacts(), 2u);
+  EXPECT_TRUE(core.Contains(InternSymbol("R"),
+                            {Value::Of("b"), Value::Of("7")}));
+  EXPECT_TRUE(core.Contains(InternSymbol("S"),
+                            {Value::Of("x"), Value::Of("1")}));
+  // Core facts are exactly those in every repair.
+  ForEachRepair(db, [&](const Repair& r) {
+    core.ForEachFact(InternSymbol("R"), [&](const Tuple& t) {
+      EXPECT_TRUE(r.Contains(InternSymbol("R"), t));
+      return true;
+    });
+    return true;
+  });
+}
+
+TEST(StatsTest, EmptyDatabase) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  Database db(s);
+  InconsistencyStats stats = ComputeStats(db);
+  EXPECT_EQ(stats.blocks, 0u);
+  EXPECT_EQ(stats.ViolationRate(), 0.0);
+  EXPECT_EQ(CertainFacts(db).NumFacts(), 0u);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "cqa/base/rng.h"
+#include "cqa/certainty/backtracking.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/theta.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+// Random input database for CERTAINTY(q1) over schema {R[2,1], S[2,1]} with
+// typed values (R keys from the 'a' pool, non-keys from the 'b' pool), as
+// the Θ construction assumes (typed databases, Section 3).
+Database RandomQ1Db(Rng* rng, int m, int n) {
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("S", 2, 1);
+  Database db(s);
+  auto a = [](uint64_t i) { return Value::Of("ta" + std::to_string(i)); };
+  auto b = [](uint64_t i) { return Value::Of("tb" + std::to_string(i)); };
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (rng->Chance(0.4)) db.AddFactOrDie("R", {a(i), b(j)});
+      if (rng->Chance(0.4)) db.AddFactOrDie("S", {b(j), a(i)});
+    }
+  }
+  return db;
+}
+
+// Random input for CERTAINTY(q2) over {T, R, S}, typed likewise.
+Database RandomQ2Db(Rng* rng, int m, int n) {
+  Schema s;
+  s.AddRelationOrDie("T", 2, 2);  // positive atom of q2 is all-key
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("S", 2, 1);
+  Database db(s);
+  auto a = [](uint64_t i) { return Value::Of("ta" + std::to_string(i)); };
+  auto b = [](uint64_t i) { return Value::Of("tb" + std::to_string(i)); };
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (rng->Chance(0.4)) db.AddFactOrDie("T", {a(i), b(j)});
+      if (rng->Chance(0.4)) db.AddFactOrDie("R", {a(i), b(j)});
+      if (rng->Chance(0.4)) db.AddFactOrDie("S", {b(j), a(i)});
+    }
+  }
+  return db;
+}
+
+TEST(ThetaTest, RequiresTwoCycle) {
+  Query q3 = Q("P(x | y), not N('c' | y)");
+  EXPECT_FALSE(ThetaReduction::Create(q3, 0, 1).ok());
+}
+
+TEST(ThetaTest, Lemma56OnTargetWithMixedCycle) {
+  // Target query with F ∈ q⁺, G ∈ q⁻ in a 2-cycle: take q1 itself renamed —
+  // the reduction must be the identity-ish embedding — plus a wider target.
+  Query q = Q("F(u | v), not G(v | u)");
+  Result<ThetaReduction> theta = ThetaReduction::Create(q, 0, 1);
+  ASSERT_TRUE(theta.ok()) << theta.error();
+
+  Query q1 = Q("R(x | y), not S(y | x)");
+  Rng rng(601);
+  for (int trial = 0; trial < 120; ++trial) {
+    Database db = RandomQ1Db(&rng, 3, 3);
+    Result<Database> mapped = theta->ApplyLemma56(db);
+    ASSERT_TRUE(mapped.ok()) << mapped.error();
+    Result<bool> lhs = IsCertainNaive(q1, db);
+    Result<bool> rhs = IsCertainNaive(q, mapped.value());
+    ASSERT_TRUE(lhs.ok() && rhs.ok());
+    ASSERT_EQ(lhs.value(), rhs.value())
+        << "input:\n" << db.ToString() << "mapped:\n"
+        << mapped->ToString();
+  }
+}
+
+TEST(ThetaTest, Lemma56OnThreeAtomTarget) {
+  // A wider weakly-guarded target with the mixed 2-cycle F ⇝ G ⇝ F:
+  // q = {F(u | v), P(u, v, w), ¬G(v | u)} — P guards everything.
+  Query q = Q("F(u | v), P(u, v, w), not G(v | u)");
+  ASSERT_TRUE(q.IsWeaklyGuarded());
+  Result<ThetaReduction> theta = ThetaReduction::Create(q, 0, 2);
+  ASSERT_TRUE(theta.ok()) << theta.error();
+
+  Query q1 = Q("R(x | y), not S(y | x)");
+  Rng rng(607);
+  for (int trial = 0; trial < 120; ++trial) {
+    Database db = RandomQ1Db(&rng, 3, 2);
+    Result<Database> mapped = theta->ApplyLemma56(db);
+    ASSERT_TRUE(mapped.ok()) << mapped.error();
+    Result<bool> lhs = IsCertainNaive(q1, db);
+    Result<bool> rhs = IsCertainNaive(q, mapped.value());
+    ASSERT_TRUE(lhs.ok() && rhs.ok());
+    ASSERT_EQ(lhs.value(), rhs.value())
+        << "input:\n" << db.ToString() << "mapped:\n" << mapped->ToString();
+  }
+}
+
+TEST(ThetaTest, Lemma57OnNegatedPair) {
+  // Target with both cycle atoms negated: Example 4.1's
+  // q = {P(x, y), ¬F(x | y), ¬G(y | x)}.
+  Query q = Q("P(x, y), not F(x | y), not G(y | x)");
+  Result<ThetaReduction> theta = ThetaReduction::Create(q, 1, 2);
+  ASSERT_TRUE(theta.ok()) << theta.error();
+
+  Query q2 = Q("T(x, y), not R(x | y), not S(y | x)");
+  Rng rng(613);
+  for (int trial = 0; trial < 120; ++trial) {
+    Database db = RandomQ2Db(&rng, 2, 3);
+    Result<Database> mapped = theta->ApplyLemma57(db);
+    ASSERT_TRUE(mapped.ok()) << mapped.error();
+    Result<bool> lhs = IsCertainNaive(q2, db);
+    Result<bool> rhs = IsCertainNaive(q, mapped.value());
+    ASSERT_TRUE(lhs.ok() && rhs.ok());
+    ASSERT_EQ(lhs.value(), rhs.value())
+        << "input:\n" << db.ToString() << "mapped:\n" << mapped->ToString();
+  }
+}
+
+TEST(ThetaTest, LemmaDirectionValidation) {
+  Query mixed = Q("F(u | v), not G(v | u)");
+  Result<ThetaReduction> theta = ThetaReduction::Create(mixed, 0, 1);
+  ASSERT_TRUE(theta.ok());
+  Schema s;
+  s.AddRelationOrDie("T", 2, 2);  // positive atom of q2 is all-key
+  s.AddRelationOrDie("R", 2, 1);
+  s.AddRelationOrDie("S", 2, 1);
+  Database db(s);
+  EXPECT_FALSE(theta->ApplyLemma57(db).ok());  // F not negated
+}
+
+TEST(ThetaTest, ThetaValueShapes) {
+  Query q = Q("F(u | v), not G(v | u)");
+  Result<ThetaReduction> theta = ThetaReduction::Create(q, 0, 1);
+  ASSERT_TRUE(theta.ok());
+  Value a = Value::Of("A");
+  Value b = Value::Of("B");
+  // In q1's own shape: F|v ⇝ v (value of F), G|u ⇝ u; u = key(F) var gets a,
+  // v = key(G) var gets b.
+  EXPECT_EQ(theta->Theta(InternSymbol("u"), a, b), a);
+  EXPECT_EQ(theta->Theta(InternSymbol("v"), a, b), b);
+}
+
+}  // namespace
+}  // namespace cqa

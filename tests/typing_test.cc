@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/naive.h"
+#include "cqa/db/typing.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/gen/random_query.h"
+#include "cqa/query/parser.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+TEST(TypingTest, TagsVariablePositionsOnly) {
+  Query q = Q("R(x | 'k', y)");
+  Result<Database> db = Database::FromText("R(a | k, b)\nR(a | other, b)");
+  ASSERT_TRUE(db.ok());
+  Result<Database> typed = MakeTyped(q, db.value());
+  ASSERT_TRUE(typed.ok()) << typed.error();
+  Symbol r = InternSymbol("R");
+  // Variable positions tagged with the variable name; constant position
+  // untouched.
+  EXPECT_TRUE(typed->Contains(
+      r, {Value::Of("x:a"), Value::Of("k"), Value::Of("y:b")}));
+  EXPECT_TRUE(typed->Contains(
+      r, {Value::Of("x:a"), Value::Of("other"), Value::Of("y:b")}));
+}
+
+TEST(TypingTest, PreservesBlockStructure) {
+  Query q = Q("R(x | y)");
+  Rng rng(1009);
+  for (int i = 0; i < 50; ++i) {
+    Database db = GenerateRandomDatabaseFor(q, {}, &rng);
+    Result<Database> typed = MakeTyped(q, db);
+    ASSERT_TRUE(typed.ok());
+    EXPECT_EQ(db.NumFacts(), typed->NumFacts());
+    EXPECT_EQ(db.NumBlocks(), typed->NumBlocks());
+    EXPECT_EQ(db.CountRepairs(), typed->CountRepairs());
+  }
+}
+
+TEST(TypingTest, CertaintyInvariance) {
+  // CERTAINTY(q) answers identically on db and its typed version, for both
+  // FO and non-FO random queries (here checked with the naive oracle).
+  Rng rng(1013);
+  RandomQueryOptions qopts;
+  RandomDbOptions dopts;
+  dopts.blocks_per_relation = 3;
+  dopts.max_block_size = 2;
+  for (int trial = 0; trial < 150; ++trial) {
+    Query q = GenerateRandomQuery(qopts, &rng);
+    Database db = GenerateRandomDatabaseFor(q, dopts, &rng);
+    Result<Database> typed = MakeTyped(q, db);
+    ASSERT_TRUE(typed.ok());
+    Result<bool> before = IsCertainNaive(q, db);
+    Result<bool> after = IsCertainNaive(q, typed.value());
+    ASSERT_TRUE(before.ok() && after.ok());
+    EXPECT_EQ(before.value(), after.value()) << q.ToString();
+  }
+}
+
+TEST(TypingTest, RejectsReifiedQueries) {
+  Query q = Q("R(x | y)").WithReified(SymbolSet{InternSymbol("x")});
+  Schema s;
+  s.AddRelationOrDie("R", 2, 1);
+  EXPECT_FALSE(MakeTyped(q, Database(s)).ok());
+}
+
+TEST(TypingTest, RejectsSignatureMismatch) {
+  Query q = Q("R(x | y)");
+  Result<Database> db = Database::FromText("R(a | b, c)");
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(MakeTyped(q, db.value()).ok());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "cqa/certainty/backtracking.h"
+#include "cqa/certainty/naive.h"
+#include "cqa/db/eval.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/gen/random_query.h"
+#include "cqa/query/parser.h"
+#include "cqa/reductions/bpm.h"
+
+namespace cqa {
+namespace {
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+TEST(WitnessTest, Figure1FalsifyingRepair) {
+  Result<Database> db = Database::FromText(R"(
+    R(alice | bob), R(alice | george), R(maria | bob), R(maria | john)
+    S(bob | alice), S(bob | maria), S(george | alice), S(george | maria)
+  )");
+  ASSERT_TRUE(db.ok());
+  Query q1 = MakeQ1();
+  Result<std::optional<Database>> witness =
+      FindFalsifyingRepair(q1, db.value());
+  ASSERT_TRUE(witness.ok()) << witness.error();
+  ASSERT_TRUE(witness->has_value());
+  const Database& repair = **witness;
+  EXPECT_TRUE(repair.IsConsistent());
+  EXPECT_EQ(repair.NumFacts(), db->NumBlocks());  // maximal: one per block
+  EXPECT_FALSE(Satisfies(q1, repair));
+}
+
+TEST(WitnessTest, NoWitnessWhenCertain) {
+  Result<Database> db = Database::FromText("R(a | b)\nS(zzz | w)");
+  ASSERT_TRUE(db.ok());
+  Result<std::optional<Database>> witness =
+      FindFalsifyingRepair(MakeQ1(), db.value());
+  ASSERT_TRUE(witness.ok());
+  EXPECT_FALSE(witness->has_value());
+}
+
+TEST(WitnessTest, WitnessesAreValidOnRandomInstances) {
+  Rng rng(2301);
+  RandomQueryOptions qopts;
+  RandomDbOptions dopts;
+  dopts.blocks_per_relation = 3;
+  int falsified = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    Query q = GenerateRandomQuery(qopts, &rng);
+    Database db = GenerateRandomDatabaseFor(q, dopts, &rng);
+    Result<std::optional<Database>> witness = FindFalsifyingRepair(q, db);
+    ASSERT_TRUE(witness.ok()) << witness.error();
+    Result<bool> oracle = IsCertainNaive(q, db);
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_EQ(witness->has_value(), !oracle.value()) << q.ToString();
+    if (witness->has_value()) {
+      ++falsified;
+      const Database& repair = **witness;
+      EXPECT_TRUE(repair.IsConsistent());
+      EXPECT_EQ(repair.NumFacts(), db.NumBlocks());
+      EXPECT_FALSE(Satisfies(q, repair))
+          << q.ToString() << "\nwitness:\n" << repair.ToString()
+          << "\ndb:\n" << db.ToString();
+      // Every witness fact comes from the database.
+      for (const RelationSchema& rs : repair.schema().relations()) {
+        for (const Tuple& t : repair.FactsOf(rs.name)) {
+          EXPECT_TRUE(db.Contains(rs.name, t));
+        }
+      }
+    }
+  }
+  EXPECT_GT(falsified, 20);
+}
+
+TEST(WitnessTest, WorksWithCyclicQueries) {
+  // q0's falsifying repairs via the exact search.
+  Query q0 = Q("R(x | y), S(y | x)");
+  Result<Database> db = Database::FromText(R"(
+    R(a | b), R(a | c)
+    S(b | a), S(b | z)
+  )");
+  ASSERT_TRUE(db.ok());
+  Result<std::optional<Database>> witness =
+      FindFalsifyingRepair(q0, db.value());
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness->has_value());
+  EXPECT_FALSE(Satisfies(q0, **witness));
+}
+
+}  // namespace
+}  // namespace cqa

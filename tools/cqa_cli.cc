@@ -1,0 +1,268 @@
+// cqa_cli — command-line front end for the library.
+//
+//   cqa_cli classify "R(x | y), not S(y | x)"
+//   cqa_cli rewrite  "P(x | y), not N('c' | y)" [--raw]
+//   cqa_cli sql      "P(x | y), not N('c' | y)"
+//   cqa_cli dot      "R(x | y), not S(y | x)"
+//   cqa_cli solve    "<query>" db.facts [--witness]
+//                    [--method=auto|rewriting|algorithm1|backtracking|
+//                     naive|matching-q1]
+//   cqa_cli answers  "<query>" db.facts --free=x,y
+//   cqa_cli repairs  db.facts [--limit=N]
+//   cqa_cli stats    db.facts
+//   cqa_cli asp      "<query>" db.facts
+//   cqa_cli evalfo   "<fo formula>" db.facts
+//
+// Database files use the fact grammar of ParseFacts:
+//   R(alice | bob), R(alice | george)
+//   S(bob | alice)   -- comments allowed
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cqa/attack/attack_graph.h"
+#include "cqa/attack/classification.h"
+#include "cqa/attack/dot.h"
+#include "cqa/certainty/backtracking.h"
+#include "cqa/certainty/certain_answers.h"
+#include "cqa/certainty/solver.h"
+#include "cqa/db/repairs.h"
+#include "cqa/db/stats.h"
+#include "cqa/export/asp.h"
+#include "cqa/fo/eval.h"
+#include "cqa/fo/fo_parser.h"
+#include "cqa/fo/sql.h"
+#include "cqa/query/parser.h"
+#include "cqa/rewriting/rewriter.h"
+
+namespace {
+
+using namespace cqa;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cqa_cli <classify|rewrite|sql|dot|solve|answers|"
+               "repairs> ...\n(see the header of tools/cqa_cli.cc)\n");
+  return 2;
+}
+
+Result<Query> LoadQuery(const char* text) { return ParseQuery(text); }
+
+Result<Database> LoadDatabase(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Result<Database>::Error(std::string("cannot open ") + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Database::FromText(buffer.str());
+}
+
+std::string FlagValue(int argc, char** argv, const char* name) {
+  std::string prefix = std::string(name) + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int CmdClassify(const Query& q) {
+  AttackGraph graph(q);
+  Classification c = Classify(q);
+  std::printf("query:           %s\n", q.ToString().c_str());
+  std::printf("weakly guarded:  %s\n", c.weakly_guarded ? "yes" : "no");
+  std::printf("guarded:         %s\n", c.guarded ? "yes" : "no");
+  std::printf("attack graph:    %s\n", graph.ToString().c_str());
+  std::printf("acyclic:         %s\n", c.attack_graph_acyclic ? "yes" : "no");
+  std::printf("CERTAINTY(q):    %s\n", ToString(c.cls).c_str());
+  std::printf("why:             %s\n", c.explanation.c_str());
+  return 0;
+}
+
+int CmdRewrite(const Query& q, bool raw) {
+  Result<Rewriting> rw = RewriteCertain(q, {.simplify = !raw});
+  if (!rw.ok()) return Fail(rw.error());
+  std::printf("%s\n", rw->formula->ToString().c_str());
+  std::fprintf(stderr, "-- size %zu (raw %zu), %d elimination levels\n",
+               rw->simplified_size, rw->raw_size, rw->levels);
+  return 0;
+}
+
+int CmdSql(const Query& q) {
+  Result<Rewriting> rw = RewriteCertain(q);
+  if (!rw.ok()) return Fail(rw.error());
+  Schema schema;
+  Result<bool> reg = q.RegisterInto(&schema);
+  if (!reg.ok()) return Fail(reg.error());
+  std::printf("%s\n%s\n%s\n", SchemaDdl(schema).c_str(),
+              AdomViewDdl(schema).c_str(), ToSqlQuery(rw->formula).c_str());
+  return 0;
+}
+
+int CmdDot(const Query& q) {
+  AttackGraph graph(q);
+  std::printf("%s", AttackGraphToDot(graph).c_str());
+  return 0;
+}
+
+int CmdSolve(const Query& q, const Database& db, const std::string& method,
+             bool want_witness) {
+  SolverMethod m = SolverMethod::kAuto;
+  if (method == "rewriting" || method == "fo-rewriting") {
+    m = SolverMethod::kRewriting;
+  } else if (method == "algorithm1") {
+    m = SolverMethod::kAlgorithm1;
+  } else if (method == "backtracking") {
+    m = SolverMethod::kBacktracking;
+  } else if (method == "naive") {
+    m = SolverMethod::kNaive;
+  } else if (method == "matching-q1") {
+    m = SolverMethod::kMatchingQ1;
+  } else if (!method.empty() && method != "auto") {
+    return Fail("unknown method '" + method + "'");
+  }
+  Result<SolveReport> report = SolveCertainty(q, db, m);
+  if (!report.ok()) return Fail(report.error());
+  std::printf("%s\n", report->certain ? "certain" : "not certain");
+  if (want_witness && !report->certain) {
+    Result<std::optional<Database>> witness = FindFalsifyingRepair(q, db);
+    if (witness.ok() && witness->has_value()) {
+      std::printf("-- a falsifying repair:\n%s", (*witness)->ToText().c_str());
+    }
+  }
+  std::fprintf(stderr, "-- solved with %s; classification: %s\n",
+               ToString(report->used).c_str(),
+               ToString(report->classification.cls).c_str());
+  return report->certain ? 0 : 3;
+}
+
+int CmdAnswers(const Query& q, const Database& db, const std::string& free) {
+  std::vector<Symbol> vars;
+  std::string current;
+  for (char c : free + ",") {
+    if (c == ',') {
+      if (!current.empty()) vars.push_back(InternSymbol(current));
+      current.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current += c;
+    }
+  }
+  if (vars.empty()) return Fail("--free= lists no variables");
+  Result<CertainAnswers> answers = ComputeCertainAnswers(q, vars, db);
+  if (!answers.ok()) return Fail(answers.error());
+  for (const Tuple& t : answers->answers) {
+    std::printf("%s\n", TupleToString(t).c_str());
+  }
+  std::fprintf(stderr, "-- %zu certain answers out of %zu candidates\n",
+               answers->answers.size(), answers->candidates);
+  return 0;
+}
+
+int CmdStats(const Database& db) {
+  std::printf("total: %s\n", ComputeStats(db).ToString().c_str());
+  for (const auto& [relation, stats] : ComputeStatsPerRelation(db)) {
+    std::printf("%-12s %s\n", relation.c_str(), stats.ToString().c_str());
+  }
+  Database core = CertainFacts(db);
+  std::printf("facts in every repair: %zu\n", core.NumFacts());
+  return 0;
+}
+
+int CmdAsp(const Query& q, const Database& db) {
+  Result<std::string> program = ToAspProgram(q, db);
+  if (!program.ok()) return Fail(program.error());
+  std::printf("%s", program->c_str());
+  return 0;
+}
+
+int CmdEvalFo(const char* text, const Database& db) {
+  Result<FoPtr> f = ParseFo(text);
+  if (!f.ok()) return Fail(f.error());
+  if (!(*f)->FreeVars().empty()) {
+    return Fail("formula has free variables: " +
+                (*f)->FreeVars().ToString());
+  }
+  bool holds = EvalFo(f.value(), db);
+  std::printf("%s\n", holds ? "true" : "false");
+  return holds ? 0 : 3;
+}
+
+int CmdRepairs(const Database& db, uint64_t limit) {
+  std::printf("facts: %zu, blocks: %zu, consistent: %s, repairs: %llu%s\n",
+              db.NumFacts(), db.NumBlocks(),
+              db.IsConsistent() ? "yes" : "no",
+              static_cast<unsigned long long>(db.CountRepairs(1u << 30)),
+              db.CountRepairs(1u << 30) >= (1u << 30) ? "+" : "");
+  uint64_t shown = 0;
+  ForEachRepair(db, [&](const Repair& r) {
+    std::printf("--- repair %llu\n%s",
+                static_cast<unsigned long long>(++shown),
+                r.ToString().c_str());
+    return shown < limit;
+  });
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+
+  if (cmd == "repairs" || cmd == "stats") {
+    if (argc < 3) return Usage();
+    Result<Database> db = LoadDatabase(argv[2]);
+    if (!db.ok()) return Fail(db.error());
+    if (cmd == "stats") return CmdStats(db.value());
+    std::string limit = FlagValue(argc, argv, "--limit");
+    return CmdRepairs(db.value(),
+                      limit.empty() ? 8 : std::stoull(limit));
+  }
+
+  if (cmd == "evalfo") {
+    if (argc < 4) return Usage();
+    Result<Database> db = LoadDatabase(argv[3]);
+    if (!db.ok()) return Fail(db.error());
+    return CmdEvalFo(argv[2], db.value());
+  }
+
+  if (argc < 3) return Usage();
+  Result<Query> q = LoadQuery(argv[2]);
+  if (!q.ok()) return Fail(q.error());
+
+  if (cmd == "classify") return CmdClassify(q.value());
+  if (cmd == "rewrite") {
+    return CmdRewrite(q.value(), HasFlag(argc, argv, "--raw"));
+  }
+  if (cmd == "sql") return CmdSql(q.value());
+  if (cmd == "dot") return CmdDot(q.value());
+
+  if (argc < 4) return Usage();
+  Result<Database> db = LoadDatabase(argv[3]);
+  if (!db.ok()) return Fail(db.error());
+
+  if (cmd == "solve") {
+    return CmdSolve(q.value(), db.value(), FlagValue(argc, argv, "--method"),
+                    HasFlag(argc, argv, "--witness"));
+  }
+  if (cmd == "answers") {
+    return CmdAnswers(q.value(), db.value(), FlagValue(argc, argv, "--free"));
+  }
+  if (cmd == "asp") return CmdAsp(q.value(), db.value());
+  return Usage();
+}

@@ -1,0 +1,107 @@
+// cqa_fuzz — randomized differential tester. Runs forever-ish (bounded by
+// --rounds), generating random weakly-guarded queries and random databases
+// and cross-checking every applicable solver against the repair-enumeration
+// oracle, plus the two FO evaluation engines against each other. Exits
+// non-zero and prints a reproducer on the first disagreement.
+//
+//   cqa_fuzz [--seed=N] [--rounds=N] [--dbs-per-query=N]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cqa/cqa.h"
+
+namespace {
+
+using namespace cqa;
+
+uint64_t FlagOr(int argc, char** argv, const char* name, uint64_t fallback) {
+  std::string prefix = std::string(name) + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::stoull(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+int Reproducer(const Query& q, const Database& db, const char* what) {
+  std::printf("DISAGREEMENT (%s)\nquery: %s\ndatabase:\n%s\n", what,
+              q.ToString().c_str(), db.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = FlagOr(argc, argv, "--seed", 1);
+  uint64_t rounds = FlagOr(argc, argv, "--rounds", 200);
+  uint64_t dbs_per_query = FlagOr(argc, argv, "--dbs-per-query", 10);
+
+  Rng rng(seed);
+  RandomQueryOptions qopts;
+  RandomDbOptions dopts;
+  dopts.blocks_per_relation = 2;
+  dopts.max_block_size = 2;
+  dopts.domain_size = 4;
+
+  uint64_t fo_count = 0, hard_count = 0, checks = 0;
+  for (uint64_t round = 0; round < rounds; ++round) {
+    Query q = GenerateRandomQuery(qopts, &rng);
+    Classification cls = Classify(q);
+    std::optional<RewritingSolver> rewriting;
+    if (cls.cls == CertaintyClass::kFO) {
+      ++fo_count;
+      Result<RewritingSolver> rs = RewritingSolver::Create(q);
+      if (!rs.ok()) {
+        std::printf("rewriter refused an FO query: %s\n%s\n",
+                    q.ToString().c_str(), rs.error().c_str());
+        return 1;
+      }
+      rewriting = std::move(rs.value());
+    } else {
+      ++hard_count;
+    }
+
+    for (uint64_t i = 0; i < dbs_per_query; ++i) {
+      Database db = GenerateRandomDatabaseFor(q, dopts, &rng);
+      Result<bool> oracle = IsCertainNaive(q, db);
+      if (!oracle.ok()) continue;
+      ++checks;
+
+      Result<bool> bt = IsCertainBacktracking(q, db);
+      if (!bt.ok() || bt.value() != oracle.value()) {
+        return Reproducer(q, db, "backtracking vs naive");
+      }
+      if (rewriting.has_value()) {
+        if (rewriting->IsCertain(db) != oracle.value()) {
+          return Reproducer(q, db, "rewriting vs naive");
+        }
+        Result<bool> a1 = IsCertainAlgorithm1(q, db);
+        if (!a1.ok() || a1.value() != oracle.value()) {
+          return Reproducer(q, db, "algorithm1 vs naive");
+        }
+        // Third engine: algebra evaluation of the rewriting.
+        Result<bool> algebra =
+            EvalFoAlgebraBool(rewriting->rewriting().formula, db);
+        if (!algebra.ok() || algebra.value() != oracle.value()) {
+          return Reproducer(q, db, "algebra engine vs naive");
+        }
+      }
+      // Sampling may only refute when the oracle refutes.
+      Rng srng(round * 1000 + i);
+      SampleEstimate est = EstimateCertainty(q, db, 16, &srng);
+      if (est.refuted && oracle.value()) {
+        return Reproducer(q, db, "sampling refuted a certain instance");
+      }
+    }
+  }
+  std::printf(
+      "fuzz clean: %llu rounds (%llu FO, %llu hard), %llu database checks\n",
+      static_cast<unsigned long long>(rounds),
+      static_cast<unsigned long long>(fo_count),
+      static_cast<unsigned long long>(hard_count),
+      static_cast<unsigned long long>(checks));
+  return 0;
+}
