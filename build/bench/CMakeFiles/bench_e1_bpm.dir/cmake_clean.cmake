@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_bpm.dir/bench_e1_bpm.cc.o"
+  "CMakeFiles/bench_e1_bpm.dir/bench_e1_bpm.cc.o.d"
+  "bench_e1_bpm"
+  "bench_e1_bpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_bpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

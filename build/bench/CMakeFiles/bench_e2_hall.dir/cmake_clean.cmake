@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_hall.dir/bench_e2_hall.cc.o"
+  "CMakeFiles/bench_e2_hall.dir/bench_e2_hall.cc.o.d"
+  "bench_e2_hall"
+  "bench_e2_hall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_hall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

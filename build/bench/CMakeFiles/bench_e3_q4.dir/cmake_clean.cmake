@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_q4.dir/bench_e3_q4.cc.o"
+  "CMakeFiles/bench_e3_q4.dir/bench_e3_q4.cc.o.d"
+  "bench_e3_q4"
+  "bench_e3_q4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_q4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

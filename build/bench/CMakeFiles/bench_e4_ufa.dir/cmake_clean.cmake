@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_ufa.dir/bench_e4_ufa.cc.o"
+  "CMakeFiles/bench_e4_ufa.dir/bench_e4_ufa.cc.o.d"
+  "bench_e4_ufa"
+  "bench_e4_ufa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_ufa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

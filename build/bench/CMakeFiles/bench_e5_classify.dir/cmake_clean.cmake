@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_classify.dir/bench_e5_classify.cc.o"
+  "CMakeFiles/bench_e5_classify.dir/bench_e5_classify.cc.o.d"
+  "bench_e5_classify"
+  "bench_e5_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

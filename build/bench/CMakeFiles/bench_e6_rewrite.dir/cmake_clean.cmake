@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_rewrite.dir/bench_e6_rewrite.cc.o"
+  "CMakeFiles/bench_e6_rewrite.dir/bench_e6_rewrite.cc.o.d"
+  "bench_e6_rewrite"
+  "bench_e6_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_reductions.dir/bench_e7_reductions.cc.o"
+  "CMakeFiles/bench_e7_reductions.dir/bench_e7_reductions.cc.o.d"
+  "bench_e7_reductions"
+  "bench_e7_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_reify.dir/bench_e8_reify.cc.o"
+  "CMakeFiles/bench_e8_reify.dir/bench_e8_reify.cc.o.d"
+  "bench_e8_reify"
+  "bench_e8_reify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_reify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_certain_answers.dir/certain_answers.cpp.o"
+  "CMakeFiles/example_certain_answers.dir/certain_answers.cpp.o.d"
+  "example_certain_answers"
+  "example_certain_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_certain_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

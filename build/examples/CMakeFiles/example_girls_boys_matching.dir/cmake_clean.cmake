@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_girls_boys_matching.dir/girls_boys_matching.cpp.o"
+  "CMakeFiles/example_girls_boys_matching.dir/girls_boys_matching.cpp.o.d"
+  "example_girls_boys_matching"
+  "example_girls_boys_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_girls_boys_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

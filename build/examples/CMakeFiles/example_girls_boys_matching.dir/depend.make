@@ -1,0 +1,2 @@
+# Empty dependencies file for example_girls_boys_matching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hall_covering.dir/hall_covering.cpp.o"
+  "CMakeFiles/example_hall_covering.dir/hall_covering.cpp.o.d"
+  "example_hall_covering"
+  "example_hall_covering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hall_covering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

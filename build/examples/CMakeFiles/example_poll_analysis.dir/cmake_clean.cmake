@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_poll_analysis.dir/poll_analysis.cpp.o"
+  "CMakeFiles/example_poll_analysis.dir/poll_analysis.cpp.o.d"
+  "example_poll_analysis"
+  "example_poll_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_poll_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sql_export.dir/sql_export.cpp.o"
+  "CMakeFiles/example_sql_export.dir/sql_export.cpp.o.d"
+  "example_sql_export"
+  "example_sql_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sql_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cqa/attack/attack_graph.cc" "src/CMakeFiles/cqa.dir/cqa/attack/attack_graph.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/attack/attack_graph.cc.o.d"
+  "/root/repo/src/cqa/attack/classification.cc" "src/CMakeFiles/cqa.dir/cqa/attack/classification.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/attack/classification.cc.o.d"
+  "/root/repo/src/cqa/attack/dot.cc" "src/CMakeFiles/cqa.dir/cqa/attack/dot.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/attack/dot.cc.o.d"
+  "/root/repo/src/cqa/base/interner.cc" "src/CMakeFiles/cqa.dir/cqa/base/interner.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/base/interner.cc.o.d"
+  "/root/repo/src/cqa/base/rng.cc" "src/CMakeFiles/cqa.dir/cqa/base/rng.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/base/rng.cc.o.d"
+  "/root/repo/src/cqa/base/union_find.cc" "src/CMakeFiles/cqa.dir/cqa/base/union_find.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/base/union_find.cc.o.d"
+  "/root/repo/src/cqa/base/value.cc" "src/CMakeFiles/cqa.dir/cqa/base/value.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/base/value.cc.o.d"
+  "/root/repo/src/cqa/certainty/backtracking.cc" "src/CMakeFiles/cqa.dir/cqa/certainty/backtracking.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/certainty/backtracking.cc.o.d"
+  "/root/repo/src/cqa/certainty/certain_answers.cc" "src/CMakeFiles/cqa.dir/cqa/certainty/certain_answers.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/certainty/certain_answers.cc.o.d"
+  "/root/repo/src/cqa/certainty/matching_q1.cc" "src/CMakeFiles/cqa.dir/cqa/certainty/matching_q1.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/certainty/matching_q1.cc.o.d"
+  "/root/repo/src/cqa/certainty/naive.cc" "src/CMakeFiles/cqa.dir/cqa/certainty/naive.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/certainty/naive.cc.o.d"
+  "/root/repo/src/cqa/certainty/rewriting_solver.cc" "src/CMakeFiles/cqa.dir/cqa/certainty/rewriting_solver.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/certainty/rewriting_solver.cc.o.d"
+  "/root/repo/src/cqa/certainty/sampling.cc" "src/CMakeFiles/cqa.dir/cqa/certainty/sampling.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/certainty/sampling.cc.o.d"
+  "/root/repo/src/cqa/certainty/solver.cc" "src/CMakeFiles/cqa.dir/cqa/certainty/solver.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/certainty/solver.cc.o.d"
+  "/root/repo/src/cqa/db/database.cc" "src/CMakeFiles/cqa.dir/cqa/db/database.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/db/database.cc.o.d"
+  "/root/repo/src/cqa/db/eval.cc" "src/CMakeFiles/cqa.dir/cqa/db/eval.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/db/eval.cc.o.d"
+  "/root/repo/src/cqa/db/fact.cc" "src/CMakeFiles/cqa.dir/cqa/db/fact.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/db/fact.cc.o.d"
+  "/root/repo/src/cqa/db/repairs.cc" "src/CMakeFiles/cqa.dir/cqa/db/repairs.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/db/repairs.cc.o.d"
+  "/root/repo/src/cqa/db/stats.cc" "src/CMakeFiles/cqa.dir/cqa/db/stats.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/db/stats.cc.o.d"
+  "/root/repo/src/cqa/db/typing.cc" "src/CMakeFiles/cqa.dir/cqa/db/typing.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/db/typing.cc.o.d"
+  "/root/repo/src/cqa/export/asp.cc" "src/CMakeFiles/cqa.dir/cqa/export/asp.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/export/asp.cc.o.d"
+  "/root/repo/src/cqa/fd/fd.cc" "src/CMakeFiles/cqa.dir/cqa/fd/fd.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/fd/fd.cc.o.d"
+  "/root/repo/src/cqa/fo/algebra.cc" "src/CMakeFiles/cqa.dir/cqa/fo/algebra.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/fo/algebra.cc.o.d"
+  "/root/repo/src/cqa/fo/eval.cc" "src/CMakeFiles/cqa.dir/cqa/fo/eval.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/fo/eval.cc.o.d"
+  "/root/repo/src/cqa/fo/fo_parser.cc" "src/CMakeFiles/cqa.dir/cqa/fo/fo_parser.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/fo/fo_parser.cc.o.d"
+  "/root/repo/src/cqa/fo/formula.cc" "src/CMakeFiles/cqa.dir/cqa/fo/formula.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/fo/formula.cc.o.d"
+  "/root/repo/src/cqa/fo/normal_form.cc" "src/CMakeFiles/cqa.dir/cqa/fo/normal_form.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/fo/normal_form.cc.o.d"
+  "/root/repo/src/cqa/fo/printer.cc" "src/CMakeFiles/cqa.dir/cqa/fo/printer.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/fo/printer.cc.o.d"
+  "/root/repo/src/cqa/fo/simplify.cc" "src/CMakeFiles/cqa.dir/cqa/fo/simplify.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/fo/simplify.cc.o.d"
+  "/root/repo/src/cqa/fo/sql.cc" "src/CMakeFiles/cqa.dir/cqa/fo/sql.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/fo/sql.cc.o.d"
+  "/root/repo/src/cqa/gen/families.cc" "src/CMakeFiles/cqa.dir/cqa/gen/families.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/gen/families.cc.o.d"
+  "/root/repo/src/cqa/gen/poll.cc" "src/CMakeFiles/cqa.dir/cqa/gen/poll.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/gen/poll.cc.o.d"
+  "/root/repo/src/cqa/gen/random_db.cc" "src/CMakeFiles/cqa.dir/cqa/gen/random_db.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/gen/random_db.cc.o.d"
+  "/root/repo/src/cqa/gen/random_formula.cc" "src/CMakeFiles/cqa.dir/cqa/gen/random_formula.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/gen/random_formula.cc.o.d"
+  "/root/repo/src/cqa/gen/random_query.cc" "src/CMakeFiles/cqa.dir/cqa/gen/random_query.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/gen/random_query.cc.o.d"
+  "/root/repo/src/cqa/matching/bipartite.cc" "src/CMakeFiles/cqa.dir/cqa/matching/bipartite.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/matching/bipartite.cc.o.d"
+  "/root/repo/src/cqa/matching/covering.cc" "src/CMakeFiles/cqa.dir/cqa/matching/covering.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/matching/covering.cc.o.d"
+  "/root/repo/src/cqa/matching/hall.cc" "src/CMakeFiles/cqa.dir/cqa/matching/hall.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/matching/hall.cc.o.d"
+  "/root/repo/src/cqa/matching/hopcroft_karp.cc" "src/CMakeFiles/cqa.dir/cqa/matching/hopcroft_karp.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/matching/hopcroft_karp.cc.o.d"
+  "/root/repo/src/cqa/query/atom.cc" "src/CMakeFiles/cqa.dir/cqa/query/atom.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/query/atom.cc.o.d"
+  "/root/repo/src/cqa/query/parser.cc" "src/CMakeFiles/cqa.dir/cqa/query/parser.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/query/parser.cc.o.d"
+  "/root/repo/src/cqa/query/query.cc" "src/CMakeFiles/cqa.dir/cqa/query/query.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/query/query.cc.o.d"
+  "/root/repo/src/cqa/query/schema.cc" "src/CMakeFiles/cqa.dir/cqa/query/schema.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/query/schema.cc.o.d"
+  "/root/repo/src/cqa/query/term.cc" "src/CMakeFiles/cqa.dir/cqa/query/term.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/query/term.cc.o.d"
+  "/root/repo/src/cqa/reductions/bpm.cc" "src/CMakeFiles/cqa.dir/cqa/reductions/bpm.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/reductions/bpm.cc.o.d"
+  "/root/repo/src/cqa/reductions/hall_covering.cc" "src/CMakeFiles/cqa.dir/cqa/reductions/hall_covering.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/reductions/hall_covering.cc.o.d"
+  "/root/repo/src/cqa/reductions/lemma54.cc" "src/CMakeFiles/cqa.dir/cqa/reductions/lemma54.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/reductions/lemma54.cc.o.d"
+  "/root/repo/src/cqa/reductions/lemma66.cc" "src/CMakeFiles/cqa.dir/cqa/reductions/lemma66.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/reductions/lemma66.cc.o.d"
+  "/root/repo/src/cqa/reductions/prop72.cc" "src/CMakeFiles/cqa.dir/cqa/reductions/prop72.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/reductions/prop72.cc.o.d"
+  "/root/repo/src/cqa/reductions/q4.cc" "src/CMakeFiles/cqa.dir/cqa/reductions/q4.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/reductions/q4.cc.o.d"
+  "/root/repo/src/cqa/reductions/theta.cc" "src/CMakeFiles/cqa.dir/cqa/reductions/theta.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/reductions/theta.cc.o.d"
+  "/root/repo/src/cqa/reductions/ufa.cc" "src/CMakeFiles/cqa.dir/cqa/reductions/ufa.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/reductions/ufa.cc.o.d"
+  "/root/repo/src/cqa/rewriting/algorithm1.cc" "src/CMakeFiles/cqa.dir/cqa/rewriting/algorithm1.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/rewriting/algorithm1.cc.o.d"
+  "/root/repo/src/cqa/rewriting/rewriter.cc" "src/CMakeFiles/cqa.dir/cqa/rewriting/rewriter.cc.o" "gcc" "src/CMakeFiles/cqa.dir/cqa/rewriting/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

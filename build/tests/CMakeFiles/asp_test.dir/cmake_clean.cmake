@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asp_test.dir/asp_test.cc.o"
+  "CMakeFiles/asp_test.dir/asp_test.cc.o.d"
+  "asp_test"
+  "asp_test.pdb"
+  "asp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtracking_test.dir/backtracking_test.cc.o"
+  "CMakeFiles/backtracking_test.dir/backtracking_test.cc.o.d"
+  "backtracking_test"
+  "backtracking_test.pdb"
+  "backtracking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtracking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_parser_test.dir/fo_parser_test.cc.o"
+  "CMakeFiles/fo_parser_test.dir/fo_parser_test.cc.o.d"
+  "fo_parser_test"
+  "fo_parser_test.pdb"
+  "fo_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma66_test.dir/lemma66_test.cc.o"
+  "CMakeFiles/lemma66_test.dir/lemma66_test.cc.o.d"
+  "lemma66_test"
+  "lemma66_test.pdb"
+  "lemma66_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma66_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma6x_test.dir/lemma6x_test.cc.o"
+  "CMakeFiles/lemma6x_test.dir/lemma6x_test.cc.o.d"
+  "lemma6x_test"
+  "lemma6x_test.pdb"
+  "lemma6x_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma6x_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

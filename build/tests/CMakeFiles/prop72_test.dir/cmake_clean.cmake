@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop72_test.dir/prop72_test.cc.o"
+  "CMakeFiles/prop72_test.dir/prop72_test.cc.o.d"
+  "prop72_test"
+  "prop72_test.pdb"
+  "prop72_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop72_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q4_test.dir/q4_test.cc.o"
+  "CMakeFiles/q4_test.dir/q4_test.cc.o.d"
+  "q4_test"
+  "q4_test.pdb"
+  "q4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repairs_test.dir/repairs_test.cc.o"
+  "CMakeFiles/repairs_test.dir/repairs_test.cc.o.d"
+  "repairs_test"
+  "repairs_test.pdb"
+  "repairs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

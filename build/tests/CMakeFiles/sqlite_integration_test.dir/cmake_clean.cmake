@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlite_integration_test.dir/sqlite_integration_test.cc.o"
+  "CMakeFiles/sqlite_integration_test.dir/sqlite_integration_test.cc.o.d"
+  "sqlite_integration_test"
+  "sqlite_integration_test.pdb"
+  "sqlite_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlite_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_cli.dir/cqa_cli.cc.o"
+  "CMakeFiles/cqa_cli.dir/cqa_cli.cc.o.d"
+  "cqa_cli"
+  "cqa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_fuzz.dir/cqa_fuzz.cc.o"
+  "CMakeFiles/cqa_fuzz.dir/cqa_fuzz.cc.o.d"
+  "cqa_fuzz"
+  "cqa_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
