@@ -97,12 +97,12 @@ void TableBacktracking() {
       Database db = GeneratePollDatabase(opts, &rng);
       BacktrackingOptions bopts = v.opts;
       bopts.max_nodes = 5'000'000;
-      Result<bool> r{false};
-      double t =
-          benchutil::TimeUs([&] { r = IsCertainBacktracking(q1, db, bopts); });
+      Result<BacktrackingReport> r{BacktrackingReport{}};
+      double t = benchutil::TimeUs(
+          [&] { r = SolveCertainBacktracking(q1, db, bopts); });
       if (r.ok()) {
         std::printf(" %-7.0f/%-4llu", t,
-                    static_cast<unsigned long long>(LastBacktrackingNodes()));
+                    static_cast<unsigned long long>(r->nodes));
       } else {
         std::printf(" %-12s", "node-limit");
       }

@@ -1,0 +1,55 @@
+#include "cqa/base/budget.h"
+
+#include <string>
+
+namespace cqa {
+
+Budget Budget::WithTimeout(std::chrono::milliseconds timeout) {
+  Budget b;
+  b.deadline = Clock::now() + timeout;
+  return b;
+}
+
+Budget Budget::WithMaxSteps(uint64_t max_steps) {
+  Budget b;
+  b.max_steps = max_steps;
+  return b;
+}
+
+std::optional<ErrorCode> Budget::CheckNow() {
+  if (tripped_.has_value()) return tripped_;
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Trip(ErrorCode::kCancelled);
+  }
+  if (has_deadline() && Clock::now() >= deadline) {
+    return Trip(ErrorCode::kDeadlineExceeded);
+  }
+  return std::nullopt;
+}
+
+std::optional<Budget::Clock::duration> Budget::TimeRemaining() const {
+  if (!has_deadline()) return std::nullopt;
+  Clock::time_point now = Clock::now();
+  if (now >= deadline) return Clock::duration::zero();
+  return deadline - now;
+}
+
+std::optional<uint64_t> Budget::StepsRemaining() const {
+  if (max_steps == kNoStepLimit) return std::nullopt;
+  return steps_ >= max_steps ? 0 : max_steps - steps_;
+}
+
+std::string Budget::Describe(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kDeadlineExceeded:
+      return "wall-clock deadline exceeded";
+    case ErrorCode::kBudgetExhausted:
+      return "step budget exhausted";
+    case ErrorCode::kCancelled:
+      return "cancelled by caller";
+    default:
+      return ToString(code);
+  }
+}
+
+}  // namespace cqa

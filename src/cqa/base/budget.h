@@ -1,0 +1,107 @@
+#ifndef CQA_BASE_BUDGET_H_
+#define CQA_BASE_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cqa/base/error.h"
+
+namespace cqa {
+
+/// Execution governor shared by every potentially-exponential code path.
+///
+/// A `Budget` carries three independent limits — a wall-clock deadline, a
+/// step (search-node) limit, and an external cancellation token — plus the
+/// mutable counters of the run it governs. Solvers charge one step per unit
+/// of work via `CheckEvery(N)`; the step-limit and fault-injection checks
+/// are plain integer compares on every call, while the clock and the
+/// cancellation token are only consulted every N steps, so probes are cheap
+/// enough for the innermost search loops.
+///
+/// A violation is *sticky*: after the first non-ok probe every later probe
+/// returns the same code without rechecking, so deep recursions unwind
+/// promptly and report one coherent cause.
+///
+/// Budgets are single-threaded run state (pass one per solver call); only
+/// the `cancel` token may be touched from other threads.
+struct Budget {
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr uint64_t kNoStepLimit = UINT64_MAX;
+  /// Default amortization stride for `CheckEvery`.
+  static constexpr uint64_t kDefaultStride = 256;
+
+  /// Absolute wall-clock deadline; `time_point::max()` means none.
+  Clock::time_point deadline = Clock::time_point::max();
+  /// Inclusive upper bound on charged steps; `kNoStepLimit` means none.
+  uint64_t max_steps = kNoStepLimit;
+  /// Optional external cancellation token (set by another thread).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test-only fault injection: when non-zero, the probe numbered
+  /// `fail_after_probes` (1-based, counting every `CheckEvery` call)
+  /// deterministically reports `kBudgetExhausted`. Lets tests and the
+  /// fuzzer force exhaustion at every probe site in turn and prove each
+  /// solver unwinds cleanly.
+  uint64_t fail_after_probes = 0;
+
+  Budget() = default;
+
+  /// A budget with only a relative wall-clock timeout.
+  static Budget WithTimeout(std::chrono::milliseconds timeout);
+  /// A budget with only a step limit.
+  static Budget WithMaxSteps(uint64_t max_steps);
+
+  /// Charges one step and probes the limits. Step limit and fault
+  /// injection are checked on every call; the clock and the cancellation
+  /// token every `stride` steps (and on the first). Returns the violated
+  /// code, or nullopt while within budget.
+  std::optional<ErrorCode> CheckEvery(uint64_t stride = kDefaultStride) {
+    if (tripped_.has_value()) return tripped_;
+    ++steps_;
+    if (fail_after_probes != 0 && steps_ >= fail_after_probes) {
+      return Trip(ErrorCode::kBudgetExhausted);
+    }
+    if (steps_ > max_steps) return Trip(ErrorCode::kBudgetExhausted);
+    if (stride == 0 || steps_ % stride == 1 || stride == 1) return CheckNow();
+    return std::nullopt;
+  }
+
+  /// Unamortized probe: consults the cancellation token and the clock now
+  /// (does not charge a step).
+  std::optional<ErrorCode> CheckNow();
+
+  /// Steps charged so far.
+  uint64_t steps() const { return steps_; }
+
+  /// The sticky violation, if any probe failed.
+  std::optional<ErrorCode> tripped() const { return tripped_; }
+
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+
+  /// Time left until the deadline (zero if already past); nullopt if no
+  /// deadline is set.
+  std::optional<Clock::duration> TimeRemaining() const;
+
+  /// Steps left before `max_steps` (zero if exhausted); nullopt if no
+  /// step limit is set.
+  std::optional<uint64_t> StepsRemaining() const;
+
+  /// A human-readable message for a tripped code, e.g. for Result errors.
+  static std::string Describe(ErrorCode code);
+
+ private:
+  std::optional<ErrorCode> Trip(ErrorCode code) {
+    tripped_ = code;
+    return tripped_;
+  }
+
+  uint64_t steps_ = 0;
+  std::optional<ErrorCode> tripped_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_BUDGET_H_

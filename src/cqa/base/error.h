@@ -1,0 +1,55 @@
+#ifndef CQA_BASE_ERROR_H_
+#define CQA_BASE_ERROR_H_
+
+#include <string>
+
+namespace cqa {
+
+/// Failure taxonomy for `Result<T>`. Callers branch on the code (retry,
+/// degrade, reject) and show the message to humans.
+enum class ErrorCode {
+  /// Malformed input text (query, fact file, FO formula).
+  kParse,
+  /// The request is well-formed but outside what the callee can decide
+  /// (e.g. a cyclic attack graph handed to an FO-only solver).
+  kUnsupported,
+  /// The wall-clock deadline of the governing `Budget` passed.
+  kDeadlineExceeded,
+  /// A step/node limit of the governing `Budget` was exhausted (or its
+  /// fault-injection knob fired).
+  kBudgetExhausted,
+  /// The external cancellation token of the governing `Budget` was set.
+  kCancelled,
+  /// Anything else: internal invariant failures, I/O, legacy untyped errors.
+  kInternal,
+};
+
+inline const char* ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParse:
+      return "parse";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kBudgetExhausted:
+      return "budget-exhausted";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+/// True for the codes that mean "ran out of resources, a retry with a larger
+/// budget (or a cheaper method) could still succeed". Cancellation is *not*
+/// resource exhaustion: the caller asked to stop, degrading would be wrong.
+inline bool IsResourceExhaustion(ErrorCode code) {
+  return code == ErrorCode::kDeadlineExceeded ||
+         code == ErrorCode::kBudgetExhausted;
+}
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_ERROR_H_

@@ -6,19 +6,37 @@
 #include <utility>
 #include <variant>
 
+#include "cqa/base/error.h"
+
 namespace cqa {
 
-/// A value-or-error-message result type. The library does not use exceptions;
-/// fallible operations return `Result<T>`.
+/// A value-or-typed-error result type. The library does not use exceptions;
+/// fallible operations return `Result<T>`. Errors carry an `ErrorCode`
+/// (see base/error.h) so callers can tell "malformed query" from "ran out
+/// of budget" without string matching, plus a human-readable message.
 template <typename T>
 class Result {
  public:
   /// Implicit construction from a value.
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
-  /// Constructs an error result.
+  /// Constructs an error result with the default `kInternal` code
+  /// (source-compatible with pre-taxonomy call sites).
   static Result Error(std::string message) {
-    return Result(ErrorTag{}, std::move(message));
+    return Result(ErrorTag{}, ErrorCode::kInternal, std::move(message));
+  }
+
+  /// Constructs a typed error result.
+  static Result Error(ErrorCode code, std::string message) {
+    return Result(ErrorTag{}, code, std::move(message));
+  }
+
+  /// Re-types an error from a `Result` of a different payload type,
+  /// preserving both code and message.
+  template <typename U>
+  static Result Error(const Result<U>& other) {
+    assert(!other.ok());
+    return Result(ErrorTag{}, other.code(), other.error());
   }
 
   bool ok() const { return std::holds_alternative<T>(data_); }
@@ -40,13 +58,20 @@ class Result {
     return std::get<ErrorString>(data_).message;
   }
 
+  /// The error taxonomy code; only valid when `!ok()`.
+  ErrorCode code() const {
+    assert(!ok());
+    return std::get<ErrorString>(data_).code;
+  }
+
  private:
   struct ErrorTag {};
   struct ErrorString {
+    ErrorCode code = ErrorCode::kInternal;
     std::string message;
   };
-  Result(ErrorTag, std::string message)
-      : data_(ErrorString{std::move(message)}) {}
+  Result(ErrorTag, ErrorCode code, std::string message)
+      : data_(ErrorString{code, std::move(message)}) {}
 
   std::variant<T, ErrorString> data_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <string>
 
 #include "cqa/db/eval.h"
 #include "cqa/db/repairs.h"
@@ -11,7 +12,9 @@ namespace cqa {
 
 namespace {
 
-uint64_t g_last_nodes = 0;
+// Deprecated shim state for `LastBacktrackingNodes`; thread-local so that
+// concurrent solver calls at least do not race each other.
+thread_local uint64_t tl_last_nodes = 0;
 
 // Shared decision state: chosen_[b] >= 0 iff block b is decided.
 struct Decisions {
@@ -116,16 +119,26 @@ struct Searcher {
   PessimisticView* pessimistic;
   OptimisticView* optimistic;
   const std::vector<int>* blocks;  // relevant block ids, branch order
+  Budget* budget = nullptr;        // optional governor, probed per node
   uint64_t nodes = 0;
   uint64_t max_nodes = 0;
   bool early_accept = true;
+  std::optional<ErrorCode> abort_code;
   bool aborted = false;
 
   // True iff some completion of the current partial decision falsifies q.
   bool ExistsFalsifier(size_t depth) {
     if (++nodes > max_nodes) {
+      abort_code = ErrorCode::kBudgetExhausted;
       aborted = true;
       return false;
+    }
+    if (budget != nullptr) {
+      if (std::optional<ErrorCode> code = budget->CheckEvery()) {
+        abort_code = code;
+        aborted = true;
+        return false;
+      }
     }
     // Prune: if q is already certainly satisfied, no completion falsifies.
     if (Satisfies(*q, *pessimistic)) return false;
@@ -155,9 +168,10 @@ namespace {
 // Shared implementation: decides certainty and, if `witness` is non-null
 // and a falsifying completion exists, fills it with one fact choice per
 // block of the database.
-Result<bool> SolveBacktracking(const Query& q, const Database& db,
-                               const BacktrackingOptions& options,
-                               std::vector<int>* witness) {
+Result<BacktrackingReport> SolveBacktracking(const Query& q,
+                                             const Database& db,
+                                             const BacktrackingOptions& options,
+                                             std::vector<int>* witness) {
   // Only blocks of relations mentioned by q can influence the answer.
   std::set<Symbol> relations;
   for (const Literal& l : q.literals()) relations.insert(l.atom.relation());
@@ -201,12 +215,17 @@ Result<bool> SolveBacktracking(const Query& q, const Database& db,
   s.pessimistic = &pessimistic;
   s.optimistic = &optimistic;
   s.blocks = &relevant;
+  s.budget = options.budget;
   s.max_nodes = options.max_nodes;
   s.early_accept = options.optimistic_early_accept;
   bool falsifier = s.ExistsFalsifier(0);
-  g_last_nodes = s.nodes;
+  tl_last_nodes = s.nodes;
   if (s.aborted) {
-    return Result<bool>::Error("backtracking search exceeded max_nodes");
+    ErrorCode code = s.abort_code.value_or(ErrorCode::kBudgetExhausted);
+    return Result<BacktrackingReport>::Error(
+        code, "backtracking search aborted after " +
+                  std::to_string(s.nodes) + " nodes: " +
+                  Budget::Describe(code));
   }
   if (falsifier && witness != nullptr) {
     // The search may stop before deciding every block (prune or
@@ -217,27 +236,38 @@ Result<bool> SolveBacktracking(const Query& q, const Database& db,
       if (decisions.chosen_[b] >= 0) (*witness)[b] = decisions.chosen_[b];
     }
   }
-  return !falsifier;
+  BacktrackingReport report;
+  report.certain = !falsifier;
+  report.nodes = s.nodes;
+  return report;
 }
 
 }  // namespace
 
+Result<BacktrackingReport> SolveCertainBacktracking(
+    const Query& q, const Database& db, const BacktrackingOptions& options) {
+  return SolveBacktracking(q, db, options, nullptr);
+}
+
 Result<bool> IsCertainBacktracking(const Query& q, const Database& db,
                                    const BacktrackingOptions& options) {
-  return SolveBacktracking(q, db, options, nullptr);
+  Result<BacktrackingReport> r = SolveBacktracking(q, db, options, nullptr);
+  if (!r.ok()) return Result<bool>::Error(r);
+  return r->certain;
 }
 
 Result<std::optional<Database>> FindFalsifyingRepair(
     const Query& q, const Database& db, const BacktrackingOptions& options) {
   std::vector<int> choices;
-  Result<bool> certain = SolveBacktracking(q, db, options, &choices);
+  Result<BacktrackingReport> certain =
+      SolveBacktracking(q, db, options, &choices);
   if (!certain.ok()) {
-    return Result<std::optional<Database>>::Error(certain.error());
+    return Result<std::optional<Database>>::Error(certain);
   }
-  if (certain.value()) return std::optional<Database>();
+  if (certain->certain) return std::optional<Database>();
   return std::optional<Database>(Repair(&db, choices).ToDatabase());
 }
 
-uint64_t LastBacktrackingNodes() { return g_last_nodes; }
+uint64_t LastBacktrackingNodes() { return tl_last_nodes; }
 
 }  // namespace cqa

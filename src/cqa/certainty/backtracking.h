@@ -2,7 +2,9 @@
 #define CQA_CERTAINTY_BACKTRACKING_H_
 
 #include <cstdint>
+#include <optional>
 
+#include "cqa/base/budget.h"
 #include "cqa/base/result.h"
 #include "cqa/db/database.h"
 #include "cqa/query/query.h"
@@ -10,8 +12,12 @@
 namespace cqa {
 
 struct BacktrackingOptions {
-  /// Abort with an error after visiting this many search nodes.
+  /// Abort with `kBudgetExhausted` after visiting this many search nodes.
   uint64_t max_nodes = 50'000'000;
+  /// Optional execution governor (wall-clock deadline, shared step budget,
+  /// cancellation). Probed once per search node; not owned. The node count
+  /// above applies on top of the budget's own step limit.
+  Budget* budget = nullptr;
   /// Order blocks key-major (related keys adjacent) instead of relation-
   /// major; dramatically earlier pruning on realistic data (ablated in
   /// bench_ablation).
@@ -21,6 +27,15 @@ struct BacktrackingOptions {
   bool optimistic_early_accept = true;
 };
 
+/// Per-call statistics of a backtracking run (replaces the process-global
+/// `LastBacktrackingNodes`, which was a data race under concurrency).
+struct BacktrackingReport {
+  /// Whether q holds in every repair.
+  bool certain = false;
+  /// Search nodes visited.
+  uint64_t nodes = 0;
+};
+
 /// Exact CERTAINTY(q) solver for arbitrary sjfBCQ¬≠ queries (cyclic attack
 /// graphs included): searches for a *falsifying* repair by branching over
 /// blocks, pruning any branch in which the query is already certainly
@@ -28,11 +43,19 @@ struct BacktrackingOptions {
 /// choices and every negated atom to a fact that cannot appear in any
 /// completion. Worst-case exponential (CERTAINTY(q) is coNP-hard in
 /// general), but typically orders of magnitude faster than full repair
-/// enumeration.
+/// enumeration. Errors are typed: `kBudgetExhausted` on the node limit,
+/// `kDeadlineExceeded` / `kCancelled` from the governing budget.
+Result<BacktrackingReport> SolveCertainBacktracking(
+    const Query& q, const Database& db,
+    const BacktrackingOptions& options = {});
+
+/// Boolean convenience wrapper around `SolveCertainBacktracking`.
 Result<bool> IsCertainBacktracking(const Query& q, const Database& db,
                                    const BacktrackingOptions& options = {});
 
-/// Visited-node counter of the last run (single-threaded diagnostics).
+/// Deprecated: visited-node counter of the last run on *this thread*.
+/// Kept as a shim for old call sites; new code should read
+/// `BacktrackingReport::nodes` instead.
 uint64_t LastBacktrackingNodes();
 
 /// Explainability companion: if CERTAINTY(q) is false on `db`, returns a

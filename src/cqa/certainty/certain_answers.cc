@@ -32,6 +32,7 @@ Result<std::vector<Value>> CandidatesFor(const Query& q, Symbol v,
     }
   }
   return Result<std::vector<Value>>::Error(
+      ErrorCode::kUnsupported,
       "free variable '" + SymbolName(v) +
       "' does not occur in a non-negated atom");
 }
@@ -68,8 +69,7 @@ Result<std::vector<std::vector<Value>>> AllCandidates(
   std::vector<std::vector<Value>> candidates;
   for (Symbol v : free_vars) {
     Result<std::vector<Value>> c = CandidatesFor(q, v, db);
-    if (!c.ok()) return Result<std::vector<std::vector<Value>>>::Error(
-        c.error());
+    if (!c.ok()) return Result<std::vector<std::vector<Value>>>::Error(c);
     candidates.push_back(std::move(c.value()));
   }
   return candidates;
@@ -78,31 +78,48 @@ Result<std::vector<std::vector<Value>>> AllCandidates(
 }  // namespace
 
 Result<CertainAnswers> ComputeCertainAnswers(
-    const Query& q, const std::vector<Symbol>& free_vars,
-    const Database& db) {
+    const Query& q, const std::vector<Symbol>& free_vars, const Database& db,
+    Budget* budget) {
   Result<std::vector<std::vector<Value>>> candidates =
       AllCandidates(q, free_vars, db);
-  if (!candidates.ok()) return Result<CertainAnswers>::Error(
-      candidates.error());
+  if (!candidates.ok()) return Result<CertainAnswers>::Error(candidates);
 
   CertainAnswers out;
   out.free_vars = free_vars;
+  std::optional<ErrorCode> error_code;
   std::string error;
+  SolveOptions solve_options;
+  solve_options.budget = budget;
+  // A certain-answer *set* must be exact: a probably-certain candidate
+  // could not soundly be included or excluded.
+  solve_options.degrade_to_sampling = false;
   ForEachCandidate(*candidates, [&](const Tuple& tuple) {
+    if (budget != nullptr) {
+      if (std::optional<ErrorCode> code = budget->CheckEvery(1)) {
+        error_code = code;
+        error = "certain-answer enumeration aborted after " +
+                std::to_string(out.candidates) +
+                " candidates: " + Budget::Describe(*code);
+        return false;
+      }
+    }
     ++out.candidates;
     Query ground = q;
     for (size_t i = 0; i < free_vars.size(); ++i) {
       ground = ground.Substituted(free_vars[i], tuple[i]);
     }
-    Result<SolveReport> report = SolveCertainty(ground, db);
+    Result<SolveReport> report = SolveCertainty(ground, db, solve_options);
     if (!report.ok()) {
+      error_code = report.code();
       error = report.error();
       return false;
     }
     if (report->certain) out.answers.push_back(tuple);
     return true;
   });
-  if (!error.empty()) return Result<CertainAnswers>::Error(error);
+  if (error_code.has_value()) {
+    return Result<CertainAnswers>::Error(*error_code, error);
+  }
   SortAnswers(&out.answers);
   return out;
 }
@@ -116,27 +133,37 @@ Result<FoPtr> RewriteCertainWithFree(const Query& q,
 }
 
 Result<CertainAnswers> CertainAnswersByRewriting(
-    const Query& q, const std::vector<Symbol>& free_vars,
-    const Database& db) {
+    const Query& q, const std::vector<Symbol>& free_vars, const Database& db,
+    Budget* budget) {
   Result<FoPtr> formula = RewriteCertainWithFree(q, free_vars);
-  if (!formula.ok()) return Result<CertainAnswers>::Error(formula.error());
+  if (!formula.ok()) return Result<CertainAnswers>::Error(formula);
   Result<std::vector<std::vector<Value>>> candidates =
       AllCandidates(q, free_vars, db);
-  if (!candidates.ok()) return Result<CertainAnswers>::Error(
-      candidates.error());
+  if (!candidates.ok()) return Result<CertainAnswers>::Error(candidates);
 
   CertainAnswers out;
   out.free_vars = free_vars;
   FoEvaluator eval(db);
+  std::optional<ErrorCode> error_code;
+  std::string error;
   ForEachCandidate(*candidates, [&](const Tuple& tuple) {
     ++out.candidates;
     Valuation env;
     for (size_t i = 0; i < free_vars.size(); ++i) {
       env.emplace(free_vars[i], tuple[i]);
     }
-    if (eval.Eval(formula.value(), env)) out.answers.push_back(tuple);
+    Result<bool> holds = eval.EvalGoverned(formula.value(), env, budget);
+    if (!holds.ok()) {
+      error_code = holds.code();
+      error = holds.error();
+      return false;
+    }
+    if (holds.value()) out.answers.push_back(tuple);
     return true;
   });
+  if (error_code.has_value()) {
+    return Result<CertainAnswers>::Error(*error_code, error);
+  }
   SortAnswers(&out.answers);
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "cqa/base/budget.h"
 #include "cqa/base/result.h"
 #include "cqa/db/database.h"
 #include "cqa/fo/formula.h"
@@ -28,10 +29,14 @@ struct CertainAnswers {
 
 /// Computes the certain answers of `q` with free variables `free_vars` on
 /// `db`, deciding each candidate with the auto-dispatched solver. Fails if
-/// a free variable does not occur in a positive atom, or if the underlying
-/// solver fails.
+/// a free variable does not occur in a positive atom (`kUnsupported`), or
+/// if the underlying solver fails. An optional `budget` is probed per
+/// candidate and threaded into every per-candidate solve (degradation is
+/// off here: a certain-answer set must be exact, so exhaustion surfaces as
+/// a typed error rather than an approximate answer set).
 Result<CertainAnswers> ComputeCertainAnswers(
-    const Query& q, const std::vector<Symbol>& free_vars, const Database& db);
+    const Query& q, const std::vector<Symbol>& free_vars, const Database& db,
+    Budget* budget = nullptr);
 
 /// Builds a consistent first-order rewriting for q(x̄) with the free
 /// variables `free_vars` left free in the output formula (they are treated
@@ -43,9 +48,11 @@ Result<FoPtr> RewriteCertainWithFree(const Query& q,
                                      const std::vector<Symbol>& free_vars);
 
 /// Certain answers computed by evaluating `RewriteCertainWithFree`'s
-/// formula on every candidate binding.
+/// formula on every candidate binding. An optional `budget` governs both
+/// the candidate loop and each formula evaluation.
 Result<CertainAnswers> CertainAnswersByRewriting(
-    const Query& q, const std::vector<Symbol>& free_vars, const Database& db);
+    const Query& q, const std::vector<Symbol>& free_vars, const Database& db,
+    Budget* budget = nullptr);
 
 }  // namespace cqa
 

@@ -9,16 +9,19 @@ Result<bool> IsCertainNaive(const Query& q, const Database& db,
                             const NaiveOptions& options) {
   if (db.CountRepairs(options.max_repairs) >= options.max_repairs) {
     return Result<bool>::Error(
+        ErrorCode::kBudgetExhausted,
         "database has too many repairs for naive enumeration");
   }
   bool certain = true;
-  ForEachRepair(db, [&](const Repair& r) {
-    if (!Satisfies(q, r)) {
-      certain = false;
-      return false;
-    }
-    return true;
-  });
+  Result<bool> iterated =
+      ForEachRepair(db, options.budget, [&](const Repair& r) {
+        if (!Satisfies(q, r)) {
+          certain = false;
+          return false;
+        }
+        return true;
+      });
+  if (!iterated.ok()) return iterated;
   return certain;
 }
 
@@ -26,14 +29,17 @@ Result<RepairCount> CountSatisfyingRepairs(const Query& q, const Database& db,
                                            const NaiveOptions& options) {
   if (db.CountRepairs(options.max_repairs) >= options.max_repairs) {
     return Result<RepairCount>::Error(
+        ErrorCode::kBudgetExhausted,
         "database has too many repairs for naive enumeration");
   }
   RepairCount out;
-  ForEachRepair(db, [&](const Repair& r) {
-    ++out.total;
-    if (Satisfies(q, r)) ++out.satisfying;
-    return true;
-  });
+  Result<bool> iterated =
+      ForEachRepair(db, options.budget, [&](const Repair& r) {
+        ++out.total;
+        if (Satisfies(q, r)) ++out.satisfying;
+        return true;
+      });
+  if (!iterated.ok()) return Result<RepairCount>::Error(iterated);
   return out;
 }
 

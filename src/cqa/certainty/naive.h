@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "cqa/base/budget.h"
 #include "cqa/base/result.h"
 #include "cqa/db/database.h"
 #include "cqa/query/query.h"
@@ -10,8 +11,12 @@
 namespace cqa {
 
 struct NaiveOptions {
-  /// Abort (with an error) if the database has more repairs than this.
+  /// Refuse up front (with `kBudgetExhausted`) if the database has more
+  /// repairs than this.
   uint64_t max_repairs = 1u << 22;
+  /// Optional execution governor, probed once per enumerated repair; not
+  /// owned.
+  Budget* budget = nullptr;
 };
 
 /// Decides CERTAINTY(q) by enumerating every repair — the definitional

@@ -7,7 +7,7 @@ namespace cqa {
 Result<RewritingSolver> RewritingSolver::Create(
     const Query& q, const RewriterOptions& options) {
   Result<Rewriting> r = RewriteCertain(q, options);
-  if (!r.ok()) return Result<RewritingSolver>::Error(r.error());
+  if (!r.ok()) return Result<RewritingSolver>::Error(r);
   return RewritingSolver(std::move(r.value()));
 }
 
@@ -15,10 +15,16 @@ bool RewritingSolver::IsCertain(const Database& db) const {
   return EvalFo(rewriting_.formula, db);
 }
 
-Result<bool> IsCertainByRewriting(const Query& q, const Database& db) {
+Result<bool> RewritingSolver::IsCertainGoverned(const Database& db,
+                                                Budget* budget) const {
+  return EvalFoGoverned(rewriting_.formula, db, budget);
+}
+
+Result<bool> IsCertainByRewriting(const Query& q, const Database& db,
+                                  Budget* budget) {
   Result<RewritingSolver> solver = RewritingSolver::Create(q);
-  if (!solver.ok()) return Result<bool>::Error(solver.error());
-  return solver->IsCertain(db);
+  if (!solver.ok()) return Result<bool>::Error(solver);
+  return solver->IsCertainGoverned(db, budget);
 }
 
 }  // namespace cqa

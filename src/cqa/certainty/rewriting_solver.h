@@ -1,6 +1,7 @@
 #ifndef CQA_CERTAINTY_REWRITING_SOLVER_H_
 #define CQA_CERTAINTY_REWRITING_SOLVER_H_
 
+#include "cqa/base/budget.h"
 #include "cqa/base/result.h"
 #include "cqa/db/database.h"
 #include "cqa/query/query.h"
@@ -21,6 +22,10 @@ class RewritingSolver {
   /// Decides whether q holds in every repair of db.
   bool IsCertain(const Database& db) const;
 
+  /// Governed variant: evaluation probes `budget` and fails with a typed
+  /// error if it trips mid-evaluation.
+  Result<bool> IsCertainGoverned(const Database& db, Budget* budget) const;
+
   const Rewriting& rewriting() const { return rewriting_; }
 
  private:
@@ -30,8 +35,10 @@ class RewritingSolver {
   Rewriting rewriting_;
 };
 
-/// One-shot convenience wrapper.
-Result<bool> IsCertainByRewriting(const Query& q, const Database& db);
+/// One-shot convenience wrapper. A non-null `budget` governs the formula
+/// evaluation.
+Result<bool> IsCertainByRewriting(const Query& q, const Database& db,
+                                  Budget* budget = nullptr);
 
 }  // namespace cqa
 

@@ -6,9 +6,17 @@
 namespace cqa {
 
 SampleEstimate EstimateCertainty(const Query& q, const Database& db,
-                                 uint64_t max_samples, Rng* rng) {
+                                 uint64_t max_samples, Rng* rng,
+                                 Budget* budget) {
   SampleEstimate out;
   for (uint64_t i = 0; i < max_samples; ++i) {
+    if (budget != nullptr) {
+      // Stride 1: a sample (full query evaluation) dwarfs a clock read.
+      if (std::optional<ErrorCode> code = budget->CheckEvery(1)) {
+        out.stopped = code;
+        return out;
+      }
+    }
     Repair r = RandomRepair(db, rng);
     ++out.samples;
     if (Satisfies(q, r)) {

@@ -2,7 +2,9 @@
 #define CQA_CERTAINTY_SAMPLING_H_
 
 #include <cstdint>
+#include <optional>
 
+#include "cqa/base/budget.h"
 #include "cqa/base/rng.h"
 #include "cqa/db/database.h"
 #include "cqa/query/query.h"
@@ -21,6 +23,9 @@ struct SampleEstimate {
   uint64_t samples = 0;
   /// Satisfying samples.
   uint64_t satisfying = 0;
+  /// Set when a governing budget stopped the run before `max_samples`;
+  /// whatever samples were drawn up to that point are still valid.
+  std::optional<ErrorCode> stopped;
 
   /// Fraction of satisfying repairs among the samples.
   double SatisfyingFraction() const {
@@ -31,8 +36,12 @@ struct SampleEstimate {
 };
 
 /// Draws up to `max_samples` uniform repairs and evaluates q on each.
+/// A non-null `budget` is probed once per sample; sampling degrades
+/// gracefully — it reports what it saw and records the stop code instead of
+/// failing.
 SampleEstimate EstimateCertainty(const Query& q, const Database& db,
-                                 uint64_t max_samples, Rng* rng);
+                                 uint64_t max_samples, Rng* rng,
+                                 Budget* budget = nullptr);
 
 }  // namespace cqa
 

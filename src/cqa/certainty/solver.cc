@@ -1,9 +1,11 @@
 #include "cqa/certainty/solver.h"
 
+#include "cqa/base/rng.h"
 #include "cqa/certainty/backtracking.h"
 #include "cqa/certainty/matching_q1.h"
 #include "cqa/certainty/naive.h"
 #include "cqa/certainty/rewriting_solver.h"
+#include "cqa/certainty/sampling.h"
 #include "cqa/rewriting/algorithm1.h"
 
 namespace cqa {
@@ -22,17 +24,157 @@ std::string ToString(SolverMethod m) {
       return "naive";
     case SolverMethod::kMatchingQ1:
       return "matching-q1";
+    case SolverMethod::kSampling:
+      return "sampling";
   }
   return "?";
 }
 
+std::string ToString(Verdict v) {
+  switch (v) {
+    case Verdict::kCertain:
+      return "certain";
+    case Verdict::kNotCertain:
+      return "not-certain";
+    case Verdict::kProbablyCertain:
+      return "probably-certain";
+    case Verdict::kExhausted:
+      return "exhausted";
+  }
+  return "?";
+}
+
+namespace {
+
+// Runs `fn`, appending a SolveStage (outcome, wall-clock, work units) to the
+// report. `native_steps` points at a counter the lambda fills with
+// solver-native work units; when it stays 0 the governor-step delta of
+// `budget` is recorded instead.
+template <typename Fn>
+Result<bool> RunStage(SolveReport* report, SolverMethod method, Budget* budget,
+                      uint64_t* native_steps, Fn&& fn) {
+  uint64_t steps_before = budget != nullptr ? budget->steps() : 0;
+  auto start = std::chrono::steady_clock::now();
+  Result<bool> r = fn();
+  auto end = std::chrono::steady_clock::now();
+  SolveStage stage;
+  stage.method = method;
+  stage.ok = r.ok();
+  if (!r.ok()) stage.error = r.code();
+  stage.steps = *native_steps != 0
+                    ? *native_steps
+                    : (budget != nullptr ? budget->steps() - steps_before : 0);
+  stage.elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start);
+  report->stages.push_back(stage);
+  return r;
+}
+
+// Runs one exact (or matching) solver with the budget threaded through.
+Result<bool> RunExact(SolverMethod method, const Query& q, const Database& db,
+                      Budget* budget, uint64_t* native_steps) {
+  switch (method) {
+    case SolverMethod::kRewriting:
+      return IsCertainByRewriting(q, db, budget);
+    case SolverMethod::kAlgorithm1: {
+      Algorithm1Options opts;
+      opts.budget = budget;
+      Algorithm1 algo(db, opts);
+      Result<bool> r = algo.IsCertain(q);
+      *native_steps = algo.calls();
+      return r;
+    }
+    case SolverMethod::kBacktracking: {
+      BacktrackingOptions opts;
+      opts.budget = budget;
+      Result<BacktrackingReport> r = SolveCertainBacktracking(q, db, opts);
+      if (!r.ok()) return Result<bool>::Error(r);
+      *native_steps = r->nodes;
+      return r->certain;
+    }
+    case SolverMethod::kNaive: {
+      NaiveOptions opts;
+      opts.budget = budget;
+      return IsCertainNaive(q, db, opts);
+    }
+    case SolverMethod::kMatchingQ1: {
+      std::optional<bool> r = IsCertainQ1ByMatching(q, db);
+      if (!r.has_value()) {
+        return Result<bool>::Error(
+            ErrorCode::kUnsupported,
+            "query does not have the q1 shape required by the matching "
+            "solver");
+      }
+      return *r;
+    }
+    case SolverMethod::kAuto:
+    case SolverMethod::kSampling:
+      break;
+  }
+  return Result<bool>::Error(ErrorCode::kInternal, "invalid solver method");
+}
+
+// The sampling stage: never fails on deadline/step exhaustion — it reports
+// whatever it saw, qualified by the verdict. Only cancellation escapes as
+// an error.
+Result<SolveReport> RunSampling(const Query& q, const Database& db,
+                                const SolveOptions& options, Budget* budget,
+                                SolveReport report) {
+  Rng rng(options.sampling_seed);
+  SampleEstimate est;
+  uint64_t native_steps = 0;
+  Result<bool> r = RunStage(
+      &report, SolverMethod::kSampling, budget, &native_steps,
+      [&]() -> Result<bool> {
+        est = EstimateCertainty(q, db, options.max_samples, &rng, budget);
+        native_steps = est.samples;
+        if (est.stopped == ErrorCode::kCancelled) {
+          return Result<bool>::Error(ErrorCode::kCancelled,
+                                     "sampling cancelled by caller");
+        }
+        return !est.refuted;
+      });
+  if (!r.ok()) return Result<SolveReport>::Error(r);
+  report.used = SolverMethod::kSampling;
+  report.samples = est.samples;
+  if (est.refuted) {
+    // A falsifying sample is a definitive refutation.
+    report.certain = false;
+    report.verdict = Verdict::kNotCertain;
+    report.confidence = 1.0;
+  } else if (est.samples > 0) {
+    report.certain = false;  // not *exactly* decided
+    report.verdict = Verdict::kProbablyCertain;
+    report.confidence = static_cast<double>(est.samples + 1) /
+                        static_cast<double>(est.samples + 2);
+  } else {
+    report.certain = false;
+    report.verdict = Verdict::kExhausted;
+    report.confidence = 0.0;
+  }
+  return report;
+}
+
+}  // namespace
+
 Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
                                    SolverMethod method) {
+  SolveOptions options;
+  options.method = method;
+  return SolveCertainty(q, db, options);
+}
+
+Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
+                                   const SolveOptions& options) {
   SolveReport report;
   report.classification = Classify(q);
 
-  SolverMethod chosen = method;
-  if (method == SolverMethod::kAuto) {
+  if (options.method == SolverMethod::kSampling) {
+    return RunSampling(q, db, options, options.budget, std::move(report));
+  }
+
+  SolverMethod chosen = options.method;
+  if (chosen == SolverMethod::kAuto) {
     if (report.classification.cls == CertaintyClass::kFO) {
       chosen = SolverMethod::kAlgorithm1;
     } else if (DetectQ1Shape(q).has_value()) {
@@ -43,45 +185,54 @@ Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
   }
   report.used = chosen;
 
-  switch (chosen) {
-    case SolverMethod::kAuto:
-      break;  // unreachable
-    case SolverMethod::kRewriting: {
-      Result<bool> r = IsCertainByRewriting(q, db);
-      if (!r.ok()) return Result<SolveReport>::Error(r.error());
-      report.certain = r.value();
-      return report;
+  bool may_degrade =
+      options.method == SolverMethod::kAuto && options.degrade_to_sampling;
+
+  // When degradation is on the table and the caller set a deadline, the
+  // exact stage only gets ~80% of the remaining wall-clock: a tripped
+  // budget is sticky, so the sampling fallback needs its own slice to
+  // produce a qualified verdict inside the caller's deadline.
+  Budget exact_storage;
+  Budget* exact_budget = options.budget;
+  if (may_degrade && options.budget != nullptr &&
+      options.budget->has_deadline()) {
+    exact_storage = *options.budget;
+    if (auto remaining = exact_storage.TimeRemaining()) {
+      exact_storage.deadline = Budget::Clock::now() + (*remaining / 5) * 4;
     }
-    case SolverMethod::kAlgorithm1: {
-      Result<bool> r = IsCertainAlgorithm1(q, db);
-      if (!r.ok()) return Result<SolveReport>::Error(r.error());
-      report.certain = r.value();
-      return report;
-    }
-    case SolverMethod::kBacktracking: {
-      Result<bool> r = IsCertainBacktracking(q, db);
-      if (!r.ok()) return Result<SolveReport>::Error(r.error());
-      report.certain = r.value();
-      return report;
-    }
-    case SolverMethod::kNaive: {
-      Result<bool> r = IsCertainNaive(q, db);
-      if (!r.ok()) return Result<SolveReport>::Error(r.error());
-      report.certain = r.value();
-      return report;
-    }
-    case SolverMethod::kMatchingQ1: {
-      std::optional<bool> r = IsCertainQ1ByMatching(q, db);
-      if (!r.has_value()) {
-        return Result<SolveReport>::Error(
-            "query does not have the q1 shape required by the matching "
-            "solver");
-      }
-      report.certain = *r;
-      return report;
-    }
+    exact_budget = &exact_storage;
   }
-  return Result<SolveReport>::Error("invalid solver method");
+
+  uint64_t native_steps = 0;
+  Result<bool> r =
+      RunStage(&report, chosen, exact_budget, &native_steps, [&] {
+        return RunExact(chosen, q, db, exact_budget, &native_steps);
+      });
+  if (r.ok()) {
+    report.certain = r.value();
+    report.verdict = r.value() ? Verdict::kCertain : Verdict::kNotCertain;
+    report.confidence = 1.0;
+    return report;
+  }
+
+  // Degradation cascade: only for resource exhaustion — cancellation and
+  // unsupported/parse failures propagate as typed errors.
+  if (!may_degrade || !IsResourceExhaustion(r.code())) {
+    return Result<SolveReport>::Error(r);
+  }
+
+  // Sampling runs under the caller's original deadline and cancellation
+  // token, but not under the (already exhausted) step limit: its work is
+  // capped by `max_samples` and whatever wall-clock remains.
+  Budget sampling_storage;
+  Budget* sampling_budget = nullptr;
+  if (options.budget != nullptr) {
+    sampling_storage.deadline = options.budget->deadline;
+    sampling_storage.cancel = options.budget->cancel;
+    sampling_storage.fail_after_probes = options.budget->fail_after_probes;
+    sampling_budget = &sampling_storage;
+  }
+  return RunSampling(q, db, options, sampling_budget, std::move(report));
 }
 
 }  // namespace cqa

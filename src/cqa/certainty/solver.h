@@ -1,9 +1,14 @@
 #ifndef CQA_CERTAINTY_SOLVER_H_
 #define CQA_CERTAINTY_SOLVER_H_
 
+#include <chrono>
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "cqa/attack/classification.h"
+#include "cqa/base/budget.h"
 #include "cqa/base/result.h"
 #include "cqa/db/database.h"
 #include "cqa/query/query.h"
@@ -14,26 +19,96 @@ namespace cqa {
 enum class SolverMethod {
   /// Classify first: FO queries go through Algorithm 1; q1-shaped hard
   /// queries use the polynomial matching solver; everything else uses the
-  /// exact backtracking search.
+  /// exact backtracking search. Under a budget, exhaustion of the exact
+  /// solver degrades to Monte-Carlo sampling (see `SolveOptions`).
   kAuto,
   kRewriting,    // build + evaluate the FO rewriting (requires FO class)
   kAlgorithm1,   // direct Algorithm 1 interpreter (requires FO class)
   kBacktracking, // exact branch-and-prune over blocks (any query)
   kNaive,        // full repair enumeration (any query; oracle)
   kMatchingQ1,   // Hopcroft–Karp (requires q1 shape)
+  kSampling,     // Monte-Carlo repair sampling (any query; approximate)
 };
 
 std::string ToString(SolverMethod m);
 
+/// How much the answer of `SolveCertainty` can be trusted.
+enum class Verdict {
+  /// Exactly decided: q holds in every repair.
+  kCertain,
+  /// Exactly decided: some repair falsifies q (sampling reports this too —
+  /// a falsifying sample is a definitive refutation).
+  kNotCertain,
+  /// The exact solver ran out of budget; sampling found no falsifying
+  /// repair among `SolveReport::samples` draws. See
+  /// `SolveReport::confidence`.
+  kProbablyCertain,
+  /// The budget was exhausted before any evidence was gathered; the answer
+  /// carries no information.
+  kExhausted,
+};
+
+std::string ToString(Verdict v);
+
+/// Execution knobs for `SolveCertainty`.
+struct SolveOptions {
+  SolverMethod method = SolverMethod::kAuto;
+  /// Optional execution governor threaded through every stage; not owned.
+  Budget* budget = nullptr;
+  /// On `kAuto`, when the exact solver exhausts its budget (deadline or
+  /// node limit), fall back to Monte-Carlo sampling with whatever budget
+  /// remains instead of failing. Cancellation never degrades.
+  bool degrade_to_sampling = true;
+  /// Sample cap for the sampling stage (fallback or explicit `kSampling`).
+  uint64_t max_samples = 10'000;
+  /// Seed for the sampling stage (deterministic by default).
+  uint64_t sampling_seed = 0x5eedu;
+};
+
+/// Timing and work accounting for one stage of a solve.
+struct SolveStage {
+  SolverMethod method = SolverMethod::kAuto;
+  bool ok = false;
+  /// Failure code when `!ok` (the stage that triggered degradation keeps
+  /// its code here even though the overall solve succeeded).
+  std::optional<ErrorCode> error;
+  /// Solver-native work units: search nodes (backtracking), recursive
+  /// calls (Algorithm 1), repairs (naive), samples (sampling), governor
+  /// steps otherwise.
+  uint64_t steps = 0;
+  std::chrono::microseconds elapsed{0};
+};
+
 struct SolveReport {
+  /// True iff q was *exactly* decided certain (`verdict == kCertain`).
   bool certain = false;
+  /// Qualification of the answer; always set.
+  Verdict verdict = Verdict::kExhausted;
+  /// For `kProbablyCertain`: Laplace-smoothed estimate of the fraction of
+  /// repairs satisfying q, i.e. (samples+1)/(samples+2) after `samples`
+  /// satisfying draws and no falsifying one. 1.0 for exact verdicts, 0.0
+  /// for `kExhausted`.
+  double confidence = 0.0;
+  /// Samples drawn by the sampling stage (0 when sampling never ran).
+  uint64_t samples = 0;
+  /// The method that produced the final answer.
   SolverMethod used = SolverMethod::kAuto;
   Classification classification;
+  /// Every stage attempted, in order (e.g. backtracking then sampling).
+  std::vector<SolveStage> stages;
 };
 
 /// Unified entry point: decides whether `q` is true in every repair of `db`.
 Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
                                    SolverMethod method = SolverMethod::kAuto);
+
+/// Governed entry point: bounded-latency, honestly-qualified answers.
+/// With a budget and `kAuto`, a slow exact solve degrades to sampling and
+/// the report says so (`verdict`, `stages`); without degradation the
+/// failure is a typed error (`kDeadlineExceeded`, `kBudgetExhausted`,
+/// `kCancelled`, `kUnsupported`, ...).
+Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
+                                   const SolveOptions& options);
 
 }  // namespace cqa
 

@@ -18,6 +18,8 @@
 #include "cqa/attack/attack_graph.h"
 #include "cqa/attack/classification.h"
 #include "cqa/attack/dot.h"
+#include "cqa/base/budget.h"
+#include "cqa/base/error.h"
 #include "cqa/base/interner.h"
 #include "cqa/base/result.h"
 #include "cqa/base/rng.h"

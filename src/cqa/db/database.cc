@@ -10,11 +10,12 @@ namespace cqa {
 
 Result<Database> Database::FromText(std::string_view text) {
   Result<std::vector<ParsedFact>> facts = ParseFacts(text);
-  if (!facts.ok()) return Result<Database>::Error(facts.error());
+  if (!facts.ok()) return Result<Database>::Error(facts);
   Database db{Schema()};
   for (const ParsedFact& f : *facts) {
     Result<bool> r = db.AddFactAutoSchema(f.relation, f.key_len, f.values);
-    if (!r.ok()) return Result<Database>::Error(r.error());
+    // Schema conflicts in a fact file are still malformed input.
+    if (!r.ok()) return Result<Database>::Error(ErrorCode::kParse, r.error());
   }
   return db;
 }

@@ -89,6 +89,30 @@ bool ForEachRepair(const Database& db,
   }
 }
 
+Result<bool> ForEachRepair(const Database& db, Budget* budget,
+                           const std::function<bool(const Repair&)>& fn) {
+  const auto& blocks = db.blocks();
+  std::vector<int> choices(blocks.size(), 0);
+  while (true) {
+    if (budget != nullptr) {
+      if (std::optional<ErrorCode> code = budget->CheckEvery()) {
+        return Result<bool>::Error(
+            *code, "repair enumeration aborted: " + Budget::Describe(*code));
+      }
+    }
+    if (!fn(Repair(&db, choices))) return false;
+    size_t i = 0;
+    for (; i < blocks.size(); ++i) {
+      if (choices[i] + 1 < static_cast<int>(blocks[i].size())) {
+        ++choices[i];
+        for (size_t j = 0; j < i; ++j) choices[j] = 0;
+        break;
+      }
+    }
+    if (i == blocks.size()) return true;
+  }
+}
+
 Repair RandomRepair(const Database& db, Rng* rng) {
   const auto& blocks = db.blocks();
   std::vector<int> choices(blocks.size());

@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "cqa/base/budget.h"
+#include "cqa/base/result.h"
 #include "cqa/base/rng.h"
 #include "cqa/db/database.h"
 
@@ -49,6 +51,13 @@ class Repair : public FactView {
 /// (empty) repair.
 bool ForEachRepair(const Database& db,
                    const std::function<bool(const Repair&)>& fn);
+
+/// Budget-governed variant: charges one step per repair against `budget`
+/// (which may be null) and stops with the violated code if the budget runs
+/// out mid-enumeration. On success, the returned bool mirrors the ungoverned
+/// overload: false iff `fn` stopped the enumeration early.
+Result<bool> ForEachRepair(const Database& db, Budget* budget,
+                           const std::function<bool(const Repair&)>& fn);
 
 /// A uniformly random repair.
 Repair RandomRepair(const Database& db, Rng* rng);

@@ -23,6 +23,7 @@ bool FoEvaluator::Eval(const FoPtr& f) {
 
 bool FoEvaluator::Eval(const FoPtr& f, const Valuation& env) {
   steps_ = 0;
+  interrupted_.reset();
   if (root_ != f.get()) {
     root_ = f.get();
     base_values_ready_ = false;
@@ -30,6 +31,35 @@ bool FoEvaluator::Eval(const FoPtr& f, const Valuation& env) {
   }
   Valuation scratch = env;
   return EvalNode(*f, &scratch);
+}
+
+Result<bool> FoEvaluator::EvalGoverned(const FoPtr& f, Budget* budget) {
+  Valuation env;
+  return EvalGoverned(f, env, budget);
+}
+
+Result<bool> FoEvaluator::EvalGoverned(const FoPtr& f, const Valuation& env,
+                                       Budget* budget) {
+  Budget* saved = budget_;
+  budget_ = budget;
+  bool holds = Eval(f, env);
+  budget_ = saved;
+  if (interrupted_.has_value()) {
+    return Result<bool>::Error(
+        *interrupted_,
+        "FO evaluation aborted: " + Budget::Describe(*interrupted_));
+  }
+  return holds;
+}
+
+bool FoEvaluator::Probe() {
+  if (interrupted_.has_value()) return false;
+  if (budget_ == nullptr) return true;
+  if (std::optional<ErrorCode> code = budget_->CheckEvery()) {
+    interrupted_ = code;
+    return false;
+  }
+  return true;
 }
 
 const std::vector<Value>& FoEvaluator::FallbackValues(Symbol v) {
@@ -56,6 +86,7 @@ const std::vector<Value>& FoEvaluator::FallbackValues(Symbol v) {
 
 bool FoEvaluator::EvalNode(const Fo& f, Valuation* env) {
   ++steps_;
+  if (!Probe()) return false;  // unwinding; the value is meaningless
   switch (f.kind()) {
     case FoKind::kTrue:
       return true;
@@ -128,6 +159,7 @@ bool FoEvaluator::ExistsSat(const std::vector<Symbol>& vars,
                             const std::vector<FoPtr>& conjuncts,
                             Valuation* env) {
   ++steps_;
+  if (!Probe()) return false;  // unwinding; the value is meaningless
   // Unbound quantified variables.
   std::vector<Symbol> unbound;
   for (Symbol v : vars) {
@@ -197,6 +229,7 @@ bool FoEvaluator::ExistsSat(const std::vector<Symbol>& vars,
     bool found = false;
     auto try_fact = [&](const Tuple& tuple) {
       ++steps_;
+      if (!Probe()) return false;  // stop the scan; unwinding
       std::vector<Symbol> bound_here;
       bool match = true;
       for (size_t i = 0; i < tuple.size(); ++i) {
@@ -246,6 +279,7 @@ bool FoEvaluator::ExistsSat(const std::vector<Symbol>& vars,
   Symbol v = unbound.front();
   for (Value val : FallbackValues(v)) {
     ++steps_;
+    if (!Probe()) return false;  // unwinding
     (*env)[v] = val;
     bool ok = ExistsSat(vars, conjuncts, env);
     env->erase(v);
@@ -256,6 +290,11 @@ bool FoEvaluator::ExistsSat(const std::vector<Symbol>& vars,
 
 bool EvalFo(const FoPtr& f, const FactView& view) {
   return FoEvaluator(view).Eval(f);
+}
+
+Result<bool> EvalFoGoverned(const FoPtr& f, const FactView& view,
+                            Budget* budget) {
+  return FoEvaluator(view).EvalGoverned(f, budget);
 }
 
 }  // namespace cqa

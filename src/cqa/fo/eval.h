@@ -1,8 +1,11 @@
 #ifndef CQA_FO_EVAL_H_
 #define CQA_FO_EVAL_H_
 
+#include <optional>
 #include <vector>
 
+#include "cqa/base/budget.h"
+#include "cqa/base/result.h"
 #include "cqa/db/eval.h"
 #include "cqa/fo/formula.h"
 
@@ -21,11 +24,28 @@ class FoEvaluator {
  public:
   explicit FoEvaluator(const FactView& view) : view_(view) {}
 
+  /// Attaches an execution governor, probed once per evaluation step; not
+  /// owned. When the budget trips, the current `Eval` unwinds promptly and
+  /// `interrupted()` reports the code — the boolean it returned is
+  /// meaningless.
+  void set_budget(Budget* budget) { budget_ = budget; }
+
   /// Evaluates a sentence (no free variables).
   bool Eval(const FoPtr& f);
 
   /// Evaluates with free variables bound by `env`.
   bool Eval(const FoPtr& f, const Valuation& env);
+
+  /// Governed evaluation: like `Eval` but returns a typed error instead of
+  /// a meaningless boolean when the budget trips mid-evaluation.
+  Result<bool> EvalGoverned(const FoPtr& f, Budget* budget);
+
+  /// Governed evaluation with free variables bound by `env`.
+  Result<bool> EvalGoverned(const FoPtr& f, const Valuation& env,
+                            Budget* budget);
+
+  /// The budget violation of the last `Eval`, if it was interrupted.
+  std::optional<ErrorCode> interrupted() const { return interrupted_; }
 
   /// Number of atom/equality/connective evaluations in the last `Eval`
   /// (a portable work measure for benchmarks).
@@ -38,10 +58,16 @@ class FoEvaluator {
   bool ExistsSat(const std::vector<Symbol>& vars,
                  const std::vector<FoPtr>& conjuncts, Valuation* env);
 
+  // Charges the budget; on a trip records the code and tells the caller to
+  // unwind.
+  bool Probe();
+
   // Fallback candidate values for an unguarded variable `v`.
   const std::vector<Value>& FallbackValues(Symbol v);
 
   const FactView& view_;
+  Budget* budget_ = nullptr;
+  std::optional<ErrorCode> interrupted_;
   size_t steps_ = 0;
   std::vector<Value> base_values_;  // adom ∪ formula constants
   bool base_values_ready_ = false;
@@ -51,6 +77,10 @@ class FoEvaluator {
 
 /// Convenience wrapper.
 bool EvalFo(const FoPtr& f, const FactView& view);
+
+/// Governed convenience wrapper: typed error if `budget` trips.
+Result<bool> EvalFoGoverned(const FoPtr& f, const FactView& view,
+                            Budget* budget);
 
 }  // namespace cqa
 

@@ -290,7 +290,10 @@ class FoParser {
 }  // namespace
 
 Result<FoPtr> ParseFo(std::string_view text) {
-  return FoParser(text).Parse();
+  Result<FoPtr> r = FoParser(text).Parse();
+  // All failures from the FO parser are malformed input.
+  if (!r.ok()) return Result<FoPtr>::Error(ErrorCode::kParse, r.error());
+  return r;
 }
 
 }  // namespace cqa

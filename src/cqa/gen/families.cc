@@ -32,6 +32,37 @@ Query CycleQuery(int k) {
   return Query::MakeOrDie(std::move(literals));
 }
 
+Query PigeonholeQuery() {
+  return Query::MakeOrDie(
+      {Pos(Atom("R", 1, {Term::Var("x"), Term::Var("y")})),
+       Neg(Atom("S", 1, {Term::Var("y"), Term::Var("x")}))});
+}
+
+Query PigeonholeCyclicQuery() {
+  return Query::MakeOrDie(
+      {Pos(Atom("R", 1, {Term::Var("x"), Term::Var("y")})),
+       Neg(Atom("S", 1, {Term::Var("y"), Term::Var("x")})),
+       Neg(Atom("T", 1, {Term::Var("x"), Term::Var("y")}))});
+}
+
+Database PigeonholeDatabase(int k) {
+  assert(k >= 2);
+  Schema schema;
+  schema.AddRelationOrDie("R", 2, 1);
+  schema.AddRelationOrDie("S", 2, 1);
+  schema.AddRelationOrDie("T", 2, 1);
+  Database db(std::move(schema));
+  for (int i = 1; i <= k; ++i) {
+    Value a = Value::Of("a" + std::to_string(i));
+    for (int j = 1; j < k; ++j) {
+      Value b = Value::Of("b" + std::to_string(j));
+      db.AddFactOrDie("R", {a, b});
+      db.AddFactOrDie("S", {b, a});
+    }
+  }
+  return db;
+}
+
 Query StarQuery(int branches) {
   assert(branches >= 1);
   std::vector<Term> core_terms{Term::Var("x")};

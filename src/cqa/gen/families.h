@@ -1,6 +1,7 @@
 #ifndef CQA_GEN_FAMILIES_H_
 #define CQA_GEN_FAMILIES_H_
 
+#include "cqa/db/database.h"
 #include "cqa/query/query.h"
 
 namespace cqa {
@@ -21,6 +22,24 @@ Query CycleQuery(int k);
 /// Guarded negation, acyclic attack graph (in FO); the rewriting nests one
 /// block quantification per leaf, mirroring q_Hall's exponential growth.
 Query StarQuery(int branches);
+
+/// The paper's canonical coNP-complete query q1 = { R(x|y), ¬S(y|x) }.
+Query PigeonholeQuery();
+
+/// q1 with an extra (vacuous on `PigeonholeDatabase`) negated atom ¬T(x|y):
+/// the same certainty question, but the third atom defeats the q1 shape
+/// detector, so the auto-dispatched solver must fall back to exponential
+/// backtracking. The attack graph stays cyclic (not in FO).
+Query PigeonholeCyclicQuery();
+
+/// Adversarial instance for q1: R has k blocks a_1..a_k, each holding the
+/// k-1 facts R(a_i, b_j); S holds S(b_j, a_i) for all i, j (and T, used by
+/// `PigeonholeCyclicQuery`, is registered but empty). A falsifying repair
+/// would be a system of distinct representatives of the k R-blocks among
+/// k-1 values — impossible by pigeonhole, so certainty is TRUE — but a
+/// branch-and-prune search must exhaust exponentially many partial
+/// matchings to prove it. Used to exercise deadline/budget enforcement.
+Database PigeonholeDatabase(int k);
 
 }  // namespace cqa
 

@@ -170,7 +170,17 @@ Result<ParsedAtom> ParseAtomBody(Lexer* lex, std::string name,
 
 }  // namespace
 
-Result<Query> ParseQuery(std::string_view text) {
+namespace {
+
+// Re-tags any failure from a parser entry point as `kParse`, so callers can
+// distinguish malformed input from resource or internal errors.
+template <typename T>
+Result<T> TagParse(Result<T> r) {
+  if (!r.ok()) return Result<T>::Error(ErrorCode::kParse, r.error());
+  return r;
+}
+
+Result<Query> ParseQueryImpl(std::string_view text) {
   Lexer lex(text);
   std::vector<Literal> literals;
   std::vector<Diseq> diseqs;
@@ -230,7 +240,7 @@ Result<Query> ParseQuery(std::string_view text) {
   return Query::Make(std::move(literals), std::move(diseqs));
 }
 
-Result<std::vector<ParsedFact>> ParseFacts(std::string_view text) {
+Result<std::vector<ParsedFact>> ParseFactsImpl(std::string_view text) {
   Lexer lex(text);
   std::vector<ParsedFact> out;
   while (!lex.AtEnd()) {
@@ -245,6 +255,16 @@ Result<std::vector<ParsedFact>> ParseFacts(std::string_view text) {
     lex.Consume(',');  // optional separator (newlines also suffice)
   }
   return out;
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  return TagParse(ParseQueryImpl(text));
+}
+
+Result<std::vector<ParsedFact>> ParseFacts(std::string_view text) {
+  return TagParse(ParseFactsImpl(text));
 }
 
 }  // namespace cqa

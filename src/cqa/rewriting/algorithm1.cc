@@ -1,6 +1,7 @@
 #include "cqa/rewriting/algorithm1.h"
 
 #include <cassert>
+#include <string>
 
 #include "cqa/attack/attack_graph.h"
 #include "cqa/db/eval.h"
@@ -43,27 +44,51 @@ Query SubstituteAll(const Query& q, const Valuation& theta) {
 Result<bool> Algorithm1::IsCertain(const Query& q) {
   if (!q.reified().empty()) {
     return Result<bool>::Error(
+        ErrorCode::kUnsupported,
         "Algorithm 1 expects a query without reified variables "
         "(it substitutes constants instead)");
   }
   if (!q.IsWeaklyGuarded()) {
-    return Result<bool>::Error("negation is not weakly guarded");
+    return Result<bool>::Error(ErrorCode::kUnsupported,
+                               "negation is not weakly guarded");
   }
   if (!AttackGraph(q).IsAcyclic()) {
-    return Result<bool>::Error("cyclic attack graph: CERTAINTY(q) not in FO");
+    return Result<bool>::Error(ErrorCode::kUnsupported,
+                               "cyclic attack graph: CERTAINTY(q) not in FO");
   }
   calls_ = 0;
   memo_.clear();
-  return RecCached(q);
+  abort_code_.reset();
+  bool certain = RecCached(q);
+  if (abort_code_.has_value()) {
+    return Result<bool>::Error(
+        *abort_code_, "Algorithm 1 aborted after " + std::to_string(calls_) +
+                          " calls: " + Budget::Describe(*abort_code_));
+  }
+  return certain;
+}
+
+bool Algorithm1::Probe() {
+  if (abort_code_.has_value()) return false;
+  if (options_.budget == nullptr) return true;
+  if (std::optional<ErrorCode> code = options_.budget->CheckEvery()) {
+    abort_code_ = code;
+    return false;
+  }
+  return true;
 }
 
 bool Algorithm1::RecCached(const Query& q) {
   ++calls_;
+  if (!Probe()) return false;  // unwinding; the value is meaningless
   if (!options_.memoize) return Rec(q);
   std::string key = q.CanonicalKey();
   auto it = memo_.find(key);
   if (it != memo_.end()) return it->second;
   bool result = Rec(q);
+  // A result computed while unwinding from a tripped budget is bogus —
+  // never memoise it.
+  if (abort_code_.has_value()) return false;
   memo_.emplace(std::move(key), result);
   return result;
 }

@@ -2,9 +2,11 @@
 #define CQA_REWRITING_ALGORITHM1_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "cqa/base/budget.h"
 #include "cqa/base/result.h"
 #include "cqa/db/database.h"
 #include "cqa/query/query.h"
@@ -16,6 +18,9 @@ struct Algorithm1Options {
   /// exponential in |q| (Example 6.12); memoisation collapses repeated
   /// subproblems that arise from identical substituted subqueries.
   bool memoize = true;
+  /// Optional execution governor, probed once per recursive call and per
+  /// candidate valuation; not owned.
+  Budget* budget = nullptr;
 };
 
 /// Direct recursive interpreter of the paper's Algorithm 1: decides
@@ -40,6 +45,7 @@ class Algorithm1 {
  private:
   bool Rec(const Query& q);
   bool RecCached(const Query& q);
+  bool Probe();  // charges the budget; sets abort_code_ and unwinds on trip
 
   bool CaseKeyVars(const Query& q, size_t pick);
   bool CaseGroundKeyNegative(const Query& q, size_t pick);
@@ -49,6 +55,7 @@ class Algorithm1 {
   Algorithm1Options options_;
   std::unordered_map<std::string, bool> memo_;
   uint64_t calls_ = 0;
+  std::optional<ErrorCode> abort_code_;
 };
 
 /// One-shot convenience wrapper.

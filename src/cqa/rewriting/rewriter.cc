@@ -188,12 +188,14 @@ Result<Rewriting> RewriteCertain(const Query& q,
                                  const RewriterOptions& options) {
   if (!q.IsWeaklyGuarded()) {
     return Result<Rewriting>::Error(
+        ErrorCode::kUnsupported,
         "negation in the query is not weakly guarded; Theorem 4.3 does not "
         "apply");
   }
   AttackGraph graph(q);
   if (!graph.IsAcyclic()) {
     return Result<Rewriting>::Error(
+        ErrorCode::kUnsupported,
         "the attack graph of the query is cyclic; CERTAINTY(q) is not in FO "
         "(Theorem 4.3(1))");
   }

@@ -64,10 +64,12 @@ TEST(BacktrackingTest, PrunesComparedToFullEnumeration) {
     db.AddFactOrDie("R", {Value::Of("k" + std::to_string(k)), Value::Of("a")});
     db.AddFactOrDie("R", {Value::Of("k" + std::to_string(k)), Value::Of("b")});
   }
-  Result<bool> got = IsCertainBacktracking(MakeQ1(), db);
+  Result<BacktrackingReport> got = SolveCertainBacktracking(MakeQ1(), db);
   ASSERT_TRUE(got.ok());
-  EXPECT_TRUE(got.value());
-  EXPECT_LE(LastBacktrackingNodes(), 4u);
+  EXPECT_TRUE(got->certain);
+  EXPECT_LE(got->nodes, 4u);
+  // The deprecated thread-local shim agrees with the report.
+  EXPECT_EQ(LastBacktrackingNodes(), got->nodes);
 }
 
 TEST(BacktrackingTest, NodeLimitTriggers) {
@@ -88,6 +90,7 @@ TEST(BacktrackingTest, NodeLimitTriggers) {
   opts.max_nodes = 10;
   Result<bool> got = IsCertainBacktracking(MakeQ1(), db, opts);
   EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.code(), ErrorCode::kBudgetExhausted);
 }
 
 TEST(BacktrackingTest, IgnoresIrrelevantRelations) {
@@ -96,11 +99,12 @@ TEST(BacktrackingTest, IgnoresIrrelevantRelations) {
     Junk(j | 1), Junk(j | 2), Junk(j | 3), Junk(j | 4)
   )");
   ASSERT_TRUE(db.ok());
-  Result<bool> got = IsCertainBacktracking(Q("R(x | y)"), db.value());
+  Result<BacktrackingReport> got =
+      SolveCertainBacktracking(Q("R(x | y)"), db.value());
   ASSERT_TRUE(got.ok());
-  EXPECT_TRUE(got.value());
+  EXPECT_TRUE(got->certain);
   // Junk blocks are not branched on.
-  EXPECT_LE(LastBacktrackingNodes(), 2u);
+  EXPECT_LE(got->nodes, 2u);
 }
 
 }  // namespace

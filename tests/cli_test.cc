@@ -65,9 +65,9 @@ TEST_F(CliTest, RewriteAndSql) {
 }
 
 TEST_F(CliTest, SolveExitCodes) {
-  // Not certain: S(b,a) blocks the R(a,b) witness in one repair... exit 3.
+  // Not certain: S(b,a) blocks the R(a,b) witness in one repair... exit 5.
   RunResult r = RunCli("solve \"R(x | y), not S(y | x)\" " + db_path_);
-  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_EQ(r.exit_code, 5);
   EXPECT_NE(r.stdout_text.find("not certain"), std::string::npos);
   // Certain: plain positive query.
   RunResult c = RunCli("solve \"R(x | y)\" " + db_path_);
@@ -76,9 +76,33 @@ TEST_F(CliTest, SolveExitCodes) {
   // Forced method.
   RunResult m = RunCli("solve \"R(x | y)\" " + db_path_ + " --method=naive");
   EXPECT_EQ(m.exit_code, 0);
+  RunResult smp =
+      RunCli("solve \"R(x | y), not S(y | x)\" " + db_path_ +
+             " --method=sampling");
+  EXPECT_EQ(smp.exit_code, 5);  // a falsifying sample refutes exactly
   EXPECT_NE(RunCli("solve \"R(x | y)\" " + db_path_ + " --method=bogus")
                 .exit_code,
             0);
+}
+
+TEST_F(CliTest, GovernorFlags) {
+  // A generous budget leaves the answer unchanged.
+  RunResult ok = RunCli("solve \"R(x | y)\" " + db_path_ +
+                        " --timeout-ms=10000 --max-nodes=100000");
+  EXPECT_EQ(ok.exit_code, 0);
+  // An immediately exhausted step budget on a non-degradable method is a
+  // typed failure: exit 3.
+  RunResult tight = RunCli("solve \"R(x | y), not S(y | x)\" " + db_path_ +
+                           " --method=backtracking --max-nodes=0");
+  EXPECT_EQ(tight.exit_code, 3);
+  // Malformed values are rejected cleanly.
+  EXPECT_EQ(RunCli("solve \"R(x | y)\" " + db_path_ + " --timeout-ms=abc")
+                .exit_code,
+            1);
+  // evalfo under a tight budget also exits 3.
+  RunResult fo = RunCli("evalfo \"exists x y. R(x | y)\" " + db_path_ +
+                        " --max-nodes=1");
+  EXPECT_EQ(fo.exit_code, 3);
 }
 
 TEST_F(CliTest, AnswersStatsRepairsAspDot) {

@@ -82,6 +82,11 @@ TEST(SolverTest, MethodNames) {
   EXPECT_EQ(ToString(SolverMethod::kBacktracking), "backtracking");
   EXPECT_EQ(ToString(SolverMethod::kNaive), "naive");
   EXPECT_EQ(ToString(SolverMethod::kMatchingQ1), "matching-q1");
+  EXPECT_EQ(ToString(SolverMethod::kSampling), "sampling");
+  EXPECT_EQ(ToString(Verdict::kCertain), "certain");
+  EXPECT_EQ(ToString(Verdict::kNotCertain), "not-certain");
+  EXPECT_EQ(ToString(Verdict::kProbablyCertain), "probably-certain");
+  EXPECT_EQ(ToString(Verdict::kExhausted), "exhausted");
 }
 
 }  // namespace

@@ -6,18 +6,30 @@
 //   cqa_cli dot      "R(x | y), not S(y | x)"
 //   cqa_cli solve    "<query>" db.facts [--witness]
 //                    [--method=auto|rewriting|algorithm1|backtracking|
-//                     naive|matching-q1]
+//                     naive|matching-q1|sampling]
+//                    [--timeout-ms=N] [--max-nodes=N]
 //   cqa_cli answers  "<query>" db.facts --free=x,y
+//                    [--timeout-ms=N] [--max-nodes=N]
 //   cqa_cli repairs  db.facts [--limit=N]
 //   cqa_cli stats    db.facts
 //   cqa_cli asp      "<query>" db.facts
-//   cqa_cli evalfo   "<fo formula>" db.facts
+//   cqa_cli evalfo   "<fo formula>" db.facts [--timeout-ms=N] [--max-nodes=N]
+//
+// Exit codes: 0 certain / probably certain / success; 1 parse or input
+// error; 2 usage; 3 resource budget exhausted; 4 cancelled; 5 not certain
+// (resp. false, for evalfo).
+//
+// `--timeout-ms` and `--max-nodes` attach an execution governor: on `solve
+// --method=auto` an exhausted exact solver degrades to Monte-Carlo sampling
+// and reports a qualified verdict instead of failing.
 //
 // Database files use the fact grammar of ParseFacts:
 //   R(alice | bob), R(alice | george)
 //   S(bob | alice)   -- comments allowed
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -47,6 +59,20 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// Maps a typed error to the documented exit code: 3 for resource
+// exhaustion, 4 for cancellation, 1 for everything else.
+int ExitCodeFor(ErrorCode code) {
+  if (IsResourceExhaustion(code)) return 3;
+  if (code == ErrorCode::kCancelled) return 4;
+  return 1;
+}
+
+template <typename T>
+int Fail(const Result<T>& r) {
+  std::fprintf(stderr, "error: %s\n", r.error().c_str());
+  return ExitCodeFor(r.code());
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: cqa_cli <classify|rewrite|sql|dot|solve|answers|"
@@ -74,11 +100,53 @@ std::string FlagValue(int argc, char** argv, const char* name) {
   return "";
 }
 
+// Distinguishes "--flag=" (given, empty value) from an absent flag, which
+// FlagValue alone cannot.
+bool FlagGiven(int argc, char** argv, const char* name) {
+  std::string prefix = std::string(name) + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool HasFlag(int argc, char** argv, const char* name) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], name) == 0) return true;
   }
   return false;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// Builds an execution governor from --timeout-ms / --max-nodes. Returns
+// false on a malformed value; `*used` says whether any limit was given.
+bool ParseBudgetFlags(int argc, char** argv, Budget* budget, bool* used) {
+  *used = false;
+  if (FlagGiven(argc, argv, "--timeout-ms")) {
+    uint64_t ms = 0;
+    if (!ParseU64(FlagValue(argc, argv, "--timeout-ms"), &ms)) return false;
+    budget->deadline =
+        Budget::Clock::now() + std::chrono::milliseconds(ms);
+    *used = true;
+  }
+  if (FlagGiven(argc, argv, "--max-nodes")) {
+    uint64_t n = 0;
+    if (!ParseU64(FlagValue(argc, argv, "--max-nodes"), &n)) return false;
+    budget->max_steps = n;
+    *used = true;
+  }
+  return true;
 }
 
 int CmdClassify(const Query& q) {
@@ -121,7 +189,7 @@ int CmdDot(const Query& q) {
 }
 
 int CmdSolve(const Query& q, const Database& db, const std::string& method,
-             bool want_witness) {
+             bool want_witness, Budget* budget) {
   SolverMethod m = SolverMethod::kAuto;
   if (method == "rewriting" || method == "fo-rewriting") {
     m = SolverMethod::kRewriting;
@@ -133,13 +201,33 @@ int CmdSolve(const Query& q, const Database& db, const std::string& method,
     m = SolverMethod::kNaive;
   } else if (method == "matching-q1") {
     m = SolverMethod::kMatchingQ1;
+  } else if (method == "sampling") {
+    m = SolverMethod::kSampling;
   } else if (!method.empty() && method != "auto") {
     return Fail("unknown method '" + method + "'");
   }
-  Result<SolveReport> report = SolveCertainty(q, db, m);
-  if (!report.ok()) return Fail(report.error());
-  std::printf("%s\n", report->certain ? "certain" : "not certain");
-  if (want_witness && !report->certain) {
+  SolveOptions options;
+  options.method = m;
+  options.budget = budget;
+  Result<SolveReport> report = SolveCertainty(q, db, options);
+  if (!report.ok()) return Fail(report);
+  switch (report->verdict) {
+    case Verdict::kCertain:
+      std::printf("certain\n");
+      break;
+    case Verdict::kNotCertain:
+      std::printf("not certain\n");
+      break;
+    case Verdict::kProbablyCertain:
+      std::printf("probably certain (confidence %.4f after %llu samples)\n",
+                  report->confidence,
+                  static_cast<unsigned long long>(report->samples));
+      break;
+    case Verdict::kExhausted:
+      std::printf("exhausted (budget ran out before any evidence)\n");
+      break;
+  }
+  if (want_witness && report->verdict == Verdict::kNotCertain) {
     Result<std::optional<Database>> witness = FindFalsifyingRepair(q, db);
     if (witness.ok() && witness->has_value()) {
       std::printf("-- a falsifying repair:\n%s", (*witness)->ToText().c_str());
@@ -148,10 +236,28 @@ int CmdSolve(const Query& q, const Database& db, const std::string& method,
   std::fprintf(stderr, "-- solved with %s; classification: %s\n",
                ToString(report->used).c_str(),
                ToString(report->classification.cls).c_str());
-  return report->certain ? 0 : 3;
+  for (const SolveStage& stage : report->stages) {
+    std::fprintf(stderr, "-- stage %s: %s, %llu steps, %lld us%s%s\n",
+                 ToString(stage.method).c_str(), stage.ok ? "ok" : "failed",
+                 static_cast<unsigned long long>(stage.steps),
+                 static_cast<long long>(stage.elapsed.count()),
+                 stage.error.has_value() ? ", " : "",
+                 stage.error.has_value() ? ToString(*stage.error) : "");
+  }
+  switch (report->verdict) {
+    case Verdict::kCertain:
+    case Verdict::kProbablyCertain:
+      return 0;
+    case Verdict::kExhausted:
+      return 3;
+    case Verdict::kNotCertain:
+      break;
+  }
+  return 5;
 }
 
-int CmdAnswers(const Query& q, const Database& db, const std::string& free) {
+int CmdAnswers(const Query& q, const Database& db, const std::string& free,
+               Budget* budget) {
   std::vector<Symbol> vars;
   std::string current;
   for (char c : free + ",") {
@@ -163,8 +269,8 @@ int CmdAnswers(const Query& q, const Database& db, const std::string& free) {
     }
   }
   if (vars.empty()) return Fail("--free= lists no variables");
-  Result<CertainAnswers> answers = ComputeCertainAnswers(q, vars, db);
-  if (!answers.ok()) return Fail(answers.error());
+  Result<CertainAnswers> answers = ComputeCertainAnswers(q, vars, db, budget);
+  if (!answers.ok()) return Fail(answers);
   for (const Tuple& t : answers->answers) {
     std::printf("%s\n", TupleToString(t).c_str());
   }
@@ -190,16 +296,17 @@ int CmdAsp(const Query& q, const Database& db) {
   return 0;
 }
 
-int CmdEvalFo(const char* text, const Database& db) {
+int CmdEvalFo(const char* text, const Database& db, Budget* budget) {
   Result<FoPtr> f = ParseFo(text);
-  if (!f.ok()) return Fail(f.error());
+  if (!f.ok()) return Fail(f);
   if (!(*f)->FreeVars().empty()) {
     return Fail("formula has free variables: " +
                 (*f)->FreeVars().ToString());
   }
-  bool holds = EvalFo(f.value(), db);
-  std::printf("%s\n", holds ? "true" : "false");
-  return holds ? 0 : 3;
+  Result<bool> holds = EvalFoGoverned(f.value(), db, budget);
+  if (!holds.ok()) return Fail(holds);
+  std::printf("%s\n", holds.value() ? "true" : "false");
+  return holds.value() ? 0 : 5;
 }
 
 int CmdRepairs(const Database& db, uint64_t limit) {
@@ -224,6 +331,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
 
+  Budget budget_storage;
+  bool governed = false;
+  if (!ParseBudgetFlags(argc, argv, &budget_storage, &governed)) {
+    return Fail("malformed --timeout-ms or --max-nodes value");
+  }
+  Budget* budget = governed ? &budget_storage : nullptr;
+
   if (cmd == "repairs" || cmd == "stats") {
     if (argc < 3) return Usage();
     Result<Database> db = LoadDatabase(argv[2]);
@@ -238,7 +352,7 @@ int main(int argc, char** argv) {
     if (argc < 4) return Usage();
     Result<Database> db = LoadDatabase(argv[3]);
     if (!db.ok()) return Fail(db.error());
-    return CmdEvalFo(argv[2], db.value());
+    return CmdEvalFo(argv[2], db.value(), budget);
   }
 
   if (argc < 3) return Usage();
@@ -258,10 +372,11 @@ int main(int argc, char** argv) {
 
   if (cmd == "solve") {
     return CmdSolve(q.value(), db.value(), FlagValue(argc, argv, "--method"),
-                    HasFlag(argc, argv, "--witness"));
+                    HasFlag(argc, argv, "--witness"), budget);
   }
   if (cmd == "answers") {
-    return CmdAnswers(q.value(), db.value(), FlagValue(argc, argv, "--free"));
+    return CmdAnswers(q.value(), db.value(), FlagValue(argc, argv, "--free"),
+                      budget);
   }
   if (cmd == "asp") return CmdAsp(q.value(), db.value());
   return Usage();

@@ -1,14 +1,19 @@
 // cqa_fuzz — randomized differential tester. Runs forever-ish (bounded by
 // --rounds), generating random weakly-guarded queries and random databases
 // and cross-checking every applicable solver against the repair-enumeration
-// oracle, plus the two FO evaluation engines against each other. Exits
-// non-zero and prints a reproducer on the first disagreement.
+// oracle, plus the two FO evaluation engines against each other. Also fuzzes
+// the fact/query/FO parsers with mutated and garbage inputs (--parse-rounds)
+// and evaluates whatever parses under a tight execution budget, asserting
+// that only typed errors ever escape (kParse from the parsers; resource
+// codes from governed evaluation). Exits non-zero and prints a reproducer
+// on the first disagreement.
 //
-//   cqa_fuzz [--seed=N] [--rounds=N] [--dbs-per-query=N]
+//   cqa_fuzz [--seed=N] [--rounds=N] [--dbs-per-query=N] [--parse-rounds=N]
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "cqa/cqa.h"
 
@@ -32,12 +37,122 @@ int Reproducer(const Query& q, const Database& db, const char* what) {
   return 1;
 }
 
+int BadInput(const std::string& input, const char* what) {
+  std::printf("PARSER VIOLATION (%s)\ninput: %s\n", what, input.c_str());
+  return 1;
+}
+
+// Seed corpus for the parser fuzz: valid spellings whose mutations stay
+// near the interesting parts of the grammars.
+const char* const kFactCorpus[] = {
+    "R(a | b), R(a | c)\nS(b | a)",
+    "R('quo''ted' | b)",
+    "Edge(1, 2 | 3)  -- comment\nEdge(2, 3 | 4)",
+};
+const char* const kQueryCorpus[] = {
+    "R(x | y), not S(y | x)",
+    "P(x | y), not N('c' | y), x != y",
+    "C0(x0 | x1), C1(x1 | x0)",
+};
+const char* const kFoCorpus[] = {
+    "exists x y. R(x | y) & !S(y | x)",
+    "forall x. (R(x | x) -> exists y. S(x | y))",
+    "exists x. R(x | x) | 'a' != 'b'",
+};
+
+std::string Mutate(const std::string& base, Rng* rng) {
+  std::string s = base;
+  int edits = static_cast<int>(rng->Below(4)) + 1;
+  const char kGrammarChars[] = "(),|!&'.= \nRSxy123notexistsforall";
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    size_t pos = rng->Below(s.size());
+    switch (rng->Below(3)) {
+      case 0:  // flip
+        s[pos] = kGrammarChars[rng->Below(sizeof(kGrammarChars) - 1)];
+        break;
+      case 1:  // insert
+        s.insert(pos, 1, kGrammarChars[rng->Below(sizeof(kGrammarChars) - 1)]);
+        break;
+      default:  // truncate
+        s.resize(pos);
+        break;
+    }
+  }
+  return s;
+}
+
+std::string Garbage(Rng* rng) {
+  std::string s;
+  size_t len = rng->Below(64);
+  for (size_t i = 0; i < len; ++i) {
+    s += static_cast<char>(rng->Below(96) + 32);
+  }
+  return s;
+}
+
+// True iff `code` is one the governed evaluator is allowed to produce.
+bool IsResourceCode(ErrorCode code) {
+  return IsResourceExhaustion(code) || code == ErrorCode::kCancelled;
+}
+
+// One parser-fuzz input: the parsers must either accept or fail with
+// kParse (never hang, never return another code); formulas that do parse
+// are evaluated under a tight step budget, whose failures must be typed
+// resource errors.
+int CheckParsers(const std::string& input, const Database& db) {
+  Result<std::vector<ParsedFact>> facts = ParseFacts(input);
+  if (!facts.ok() && facts.code() != ErrorCode::kParse) {
+    return BadInput(input, "ParseFacts returned a non-parse error");
+  }
+  Result<Query> q = ParseQuery(input);
+  if (!q.ok() && q.code() != ErrorCode::kParse) {
+    return BadInput(input, "ParseQuery returned a non-parse error");
+  }
+  Result<FoPtr> f = ParseFo(input);
+  if (!f.ok()) {
+    if (f.code() != ErrorCode::kParse) {
+      return BadInput(input, "ParseFo returned a non-parse error");
+    }
+    return 0;
+  }
+  if (!(*f)->FreeVars().empty()) return 0;
+  Budget tight = Budget::WithMaxSteps(64);
+  Result<bool> holds = EvalFoGoverned(f.value(), db, &tight);
+  if (!holds.ok() && !IsResourceCode(holds.code())) {
+    return BadInput(input, "governed eval escaped with a non-resource error");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t seed = FlagOr(argc, argv, "--seed", 1);
   uint64_t rounds = FlagOr(argc, argv, "--rounds", 200);
   uint64_t dbs_per_query = FlagOr(argc, argv, "--dbs-per-query", 10);
+  uint64_t parse_rounds = FlagOr(argc, argv, "--parse-rounds", 300);
+
+  // Phase 1: parser robustness under mutation and garbage.
+  {
+    Rng prng(seed ^ 0xf0220u);
+    Result<Database> pdb = Database::FromText(kFactCorpus[0]);
+    if (!pdb.ok()) {
+      std::printf("corpus database failed to parse: %s\n",
+                  pdb.error().c_str());
+      return 1;
+    }
+    std::vector<std::string> corpus;
+    for (const char* s : kFactCorpus) corpus.push_back(s);
+    for (const char* s : kQueryCorpus) corpus.push_back(s);
+    for (const char* s : kFoCorpus) corpus.push_back(s);
+    for (uint64_t round = 0; round < parse_rounds; ++round) {
+      std::string input =
+          prng.Chance(0.2) ? Garbage(&prng)
+                           : Mutate(corpus[prng.Below(corpus.size())], &prng);
+      int rc = CheckParsers(input, pdb.value());
+      if (rc != 0) return rc;
+    }
+  }
 
   Rng rng(seed);
   RandomQueryOptions qopts;
@@ -98,7 +213,9 @@ int main(int argc, char** argv) {
     }
   }
   std::printf(
-      "fuzz clean: %llu rounds (%llu FO, %llu hard), %llu database checks\n",
+      "fuzz clean: %llu parse rounds, %llu rounds (%llu FO, %llu hard), "
+      "%llu database checks\n",
+      static_cast<unsigned long long>(parse_rounds),
       static_cast<unsigned long long>(rounds),
       static_cast<unsigned long long>(fo_count),
       static_cast<unsigned long long>(hard_count),
