@@ -1,0 +1,143 @@
+// Serve-layer experiments:
+//
+//   S1. Throughput scaling: batch completion time of a mixed query workload
+//       through the SolveService as the worker pool grows. The per-request
+//       work is small, so this mostly measures dispatch overhead and how
+//       close the pool gets to linear scaling before queue contention bites.
+//   S2. Overload behaviour: a single slow worker behind a tiny queue —
+//       admission control must shed deterministically, and the latency of
+//       the accepted requests stays bounded by queue depth, not offered
+//       load.
+//
+// The micro-benchmarks time the queue hot path (TryPush/Pop round trip) and
+// end-to-end service dispatch of a trivial request.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cqa/gen/families.h"
+#include "cqa/gen/poll.h"
+#include "cqa/gen/random_db.h"
+#include "cqa/query/parser.h"
+#include "cqa/serve/bounded_queue.h"
+#include "cqa/serve/service.h"
+
+namespace cqa {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::shared_ptr<const Database> PollDb(int persons, uint64_t seed) {
+  Rng rng(seed);
+  PollDbOptions opts;
+  opts.num_persons = persons;
+  opts.num_towns = std::max(2, persons / 5);
+  return std::make_shared<const Database>(GeneratePollDatabase(opts, &rng));
+}
+
+void TableThroughputScaling() {
+  benchutil::Header("SERVE", "concurrent solve service");
+  std::printf("S1. 200 poll-q1 solves, batch wall time by worker count:\n");
+  std::printf("%-10s %-12s %-12s %-10s\n", "workers", "t_ms", "p99_us",
+              "speedup");
+  auto db = PollDb(40, 17);
+  Query q1 = PollQ1();
+  constexpr int kJobs = 200;
+  double base_ms = 0;
+  for (int workers : {1, 2, 4, 8}) {
+    ServiceOptions options;
+    options.workers = workers;
+    options.queue_capacity = kJobs;
+    double t_us;
+    uint64_t p99 = 0;
+    {
+      SolveService service(options);
+      std::atomic<int> done{0};
+      t_us = benchutil::TimeUs([&] {
+        for (int i = 0; i < kJobs; ++i) {
+          (void)service.Submit(ServeJob(q1, db),
+                               [&](const ServeResponse&) { ++done; });
+        }
+        (void)service.Shutdown(milliseconds(60'000));
+      });
+      p99 = service.Stats().latency_p99_us;
+    }
+    double t_ms = t_us / 1000.0;
+    if (workers == 1) base_ms = t_ms;
+    std::printf("%-10d %-12.1f %-12llu %.2fx\n", workers, t_ms,
+                static_cast<unsigned long long>(p99),
+                base_ms / (t_ms > 0 ? t_ms : 1));
+  }
+  std::printf("\n");
+}
+
+void TableOverload() {
+  std::printf("S2. overload: 1 worker, queue cap 8, 200 offered jobs:\n");
+  std::printf("%-12s %-10s %-10s %-12s %-12s\n", "accepted", "shed",
+              "completed", "p99_us", "max_us");
+  auto db = PollDb(40, 19);
+  Query q1 = PollQ1();
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  SolveService service(options);
+  for (int i = 0; i < 200; ++i) {
+    (void)service.Submit(ServeJob(q1, db), [](const ServeResponse&) {});
+  }
+  (void)service.Shutdown(milliseconds(60'000));
+  ServiceStats s = service.Stats();
+  std::printf("%-12llu %-10llu %-10llu %-12llu %-12llu\n",
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.shed),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.latency_p99_us),
+              static_cast<unsigned long long>(s.latency_max_us));
+  std::printf("\n");
+}
+
+void Tables() {
+  TableThroughputScaling();
+  TableOverload();
+}
+
+void BM_QueuePushPop(benchmark::State& state) {
+  BoundedQueue<int> q(1024);
+  int item = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.TryPush(1));
+    benchmark::DoNotOptimize(q.TryPop(&item));
+  }
+}
+BENCHMARK(BM_QueuePushPop);
+
+void BM_ServiceDispatch(benchmark::State& state) {
+  // End-to-end cost of submit -> solve(trivial) -> callback, single worker.
+  Result<Database> db = Database::FromText("R(a | b)");
+  auto shared = std::make_shared<const Database>(std::move(db.value()));
+  Result<Query> q = ParseQuery("R(x | y)");
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  SolveService service(options);
+  for (auto _ : state) {
+    std::atomic<bool> done{false};
+    while (!service
+                .Submit(ServeJob(q.value(), shared),
+                        [&](const ServeResponse&) { done.store(true); })
+                .ok()) {
+      std::this_thread::yield();
+    }
+    while (!done.load()) std::this_thread::yield();
+  }
+  (void)service.Shutdown(milliseconds(10'000));
+}
+BENCHMARK(BM_ServiceDispatch);
+
+}  // namespace
+}  // namespace cqa
+
+CQA_BENCH_MAIN(cqa::Tables)

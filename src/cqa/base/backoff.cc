@@ -1,0 +1,23 @@
+#include "cqa/base/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cqa {
+
+std::chrono::milliseconds BackoffPolicy::DelayFor(int attempt,
+                                                  Rng* rng) const {
+  if (attempt < 1) attempt = 1;
+  double base = static_cast<double>(initial.count());
+  double cap = static_cast<double>(max_delay.count());
+  // pow can overflow double for absurd attempt counts; clamp via repeated
+  // multiplication that stops at the cap instead.
+  for (int i = 1; i < attempt && base < cap; ++i) base *= multiplier;
+  base = std::min(base, cap);
+  double j = std::clamp(jitter, 0.0, 1.0);
+  double u = rng != nullptr ? rng->NextDouble() : 0.0;
+  double delay = base * (1.0 - j) + base * j * u;
+  return std::chrono::milliseconds(static_cast<int64_t>(delay));
+}
+
+}  // namespace cqa

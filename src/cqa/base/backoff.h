@@ -1,0 +1,35 @@
+#ifndef CQA_BASE_BACKOFF_H_
+#define CQA_BASE_BACKOFF_H_
+
+#include <chrono>
+
+#include "cqa/base/rng.h"
+
+namespace cqa {
+
+/// Exponential backoff with deterministic jitter, for retrying requests
+/// that failed with a retryable code (see `IsRetryable`). The k-th retry
+/// (1-based) waits
+///
+///     base  = min(initial * multiplier^(k-1), max_delay)
+///     delay = base * (1 - jitter) + base * jitter * u,   u ~ U[0,1)
+///
+/// so the delay always lies in `[base * (1 - jitter), base)`. Jitter draws
+/// from a caller-owned `Rng`, keeping every schedule reproducible from a
+/// seed; with a null rng the jitter term is dropped and `DelayFor` returns
+/// the deterministic lower bound.
+struct BackoffPolicy {
+  std::chrono::milliseconds initial{10};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_delay{2'000};
+  /// Fraction of the base delay that is randomized, in [0, 1].
+  double jitter = 0.5;
+
+  /// Delay before retry number `attempt` (1-based). Attempts below 1 are
+  /// treated as 1.
+  std::chrono::milliseconds DelayFor(int attempt, Rng* rng = nullptr) const;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_BACKOFF_H_

@@ -20,6 +20,10 @@ enum class ErrorCode {
   kBudgetExhausted,
   /// The external cancellation token of the governing `Budget` was set.
   kCancelled,
+  /// A serving layer refused admission because its work queue was full (or
+  /// it was shutting down). The request never ran; resubmitting later — or
+  /// to another replica — can succeed.
+  kOverloaded,
   /// Anything else: internal invariant failures, I/O, legacy untyped errors.
   kInternal,
 };
@@ -36,6 +40,8 @@ inline const char* ToString(ErrorCode code) {
       return "budget-exhausted";
     case ErrorCode::kCancelled:
       return "cancelled";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
     case ErrorCode::kInternal:
       return "internal";
   }
@@ -48,6 +54,14 @@ inline const char* ToString(ErrorCode code) {
 inline bool IsResourceExhaustion(ErrorCode code) {
   return code == ErrorCode::kDeadlineExceeded ||
          code == ErrorCode::kBudgetExhausted;
+}
+
+/// True for the codes a client may transparently retry: the work itself was
+/// not rejected as malformed or impossible, only the attempt was unlucky
+/// (out of budget, or shed at admission). Cancellation is deliberate and
+/// never retried.
+inline bool IsRetryable(ErrorCode code) {
+  return IsResourceExhaustion(code) || code == ErrorCode::kOverloaded;
 }
 
 }  // namespace cqa

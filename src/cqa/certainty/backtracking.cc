@@ -12,10 +12,6 @@ namespace cqa {
 
 namespace {
 
-// Deprecated shim state for `LastBacktrackingNodes`; thread-local so that
-// concurrent solver calls at least do not race each other.
-thread_local uint64_t tl_last_nodes = 0;
-
 // Shared decision state: chosen_[b] >= 0 iff block b is decided.
 struct Decisions {
   const Database* db = nullptr;
@@ -219,7 +215,6 @@ Result<BacktrackingReport> SolveBacktracking(const Query& q,
   s.max_nodes = options.max_nodes;
   s.early_accept = options.optimistic_early_accept;
   bool falsifier = s.ExistsFalsifier(0);
-  tl_last_nodes = s.nodes;
   if (s.aborted) {
     ErrorCode code = s.abort_code.value_or(ErrorCode::kBudgetExhausted);
     return Result<BacktrackingReport>::Error(
@@ -267,7 +262,5 @@ Result<std::optional<Database>> FindFalsifyingRepair(
   if (certain->certain) return std::optional<Database>();
   return std::optional<Database>(Repair(&db, choices).ToDatabase());
 }
-
-uint64_t LastBacktrackingNodes() { return tl_last_nodes; }
 
 }  // namespace cqa

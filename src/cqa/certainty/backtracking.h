@@ -27,8 +27,7 @@ struct BacktrackingOptions {
   bool optimistic_early_accept = true;
 };
 
-/// Per-call statistics of a backtracking run (replaces the process-global
-/// `LastBacktrackingNodes`, which was a data race under concurrency).
+/// Per-call statistics of a backtracking run.
 struct BacktrackingReport {
   /// Whether q holds in every repair.
   bool certain = false;
@@ -52,11 +51,6 @@ Result<BacktrackingReport> SolveCertainBacktracking(
 /// Boolean convenience wrapper around `SolveCertainBacktracking`.
 Result<bool> IsCertainBacktracking(const Query& q, const Database& db,
                                    const BacktrackingOptions& options = {});
-
-/// Deprecated: visited-node counter of the last run on *this thread*.
-/// Kept as a shim for old call sites; new code should read
-/// `BacktrackingReport::nodes` instead.
-uint64_t LastBacktrackingNodes();
 
 /// Explainability companion: if CERTAINTY(q) is false on `db`, returns a
 /// concrete falsifying repair (as a standalone consistent database) — the

@@ -171,12 +171,18 @@ void Database::RebuildBlocks() const {
       f2b[i] = kit->second;
     }
   }
-  blocks_valid_ = true;
+  blocks_valid_.store(true, std::memory_order_release);
+}
+
+void Database::EnsureBlocks() const {
+  if (blocks_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  if (!blocks_valid_.load(std::memory_order_relaxed)) RebuildBlocks();
 }
 
 std::optional<int> Database::BlockWithKey(Symbol relation,
                                           const Tuple& key) const {
-  if (!blocks_valid_) RebuildBlocks();
+  EnsureBlocks();
   auto rit = block_by_key_.find(relation);
   if (rit == block_by_key_.end()) return std::nullopt;
   auto kit = rit->second.find(key);
@@ -199,13 +205,13 @@ std::vector<const Tuple*> Database::FactsWithKey(Symbol relation,
 }
 
 const std::vector<Database::Block>& Database::blocks() const {
-  if (!blocks_valid_) RebuildBlocks();
+  EnsureBlocks();
   return blocks_;
 }
 
 std::optional<int> Database::BlockOf(Symbol relation,
                                      const Tuple& values) const {
-  if (!blocks_valid_) RebuildBlocks();
+  EnsureBlocks();
   auto it = relations_.find(relation);
   if (it == relations_.end()) return std::nullopt;
   auto fit = it->second.fact_index.find(values);

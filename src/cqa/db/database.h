@@ -1,8 +1,10 @@
 #ifndef CQA_DB_DATABASE_H_
 #define CQA_DB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -59,6 +61,33 @@ class Database : public FactView {
   };
 
   explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  // Copy/move transfer the facts but not the lazily-built block index (the
+  // cache guard is not copyable; the index rebuilds on first use). Const
+  // access is thread-safe — many threads may share one const Database (the
+  // serve layer does) — but mutating concurrently with any other access is
+  // a data race, as usual.
+  Database(const Database& other)
+      : schema_(other.schema_), relations_(other.relations_) {}
+  Database(Database&& other) noexcept
+      : schema_(std::move(other.schema_)),
+        relations_(std::move(other.relations_)) {}
+  Database& operator=(const Database& other) {
+    if (this != &other) {
+      schema_ = other.schema_;
+      relations_ = other.relations_;
+      InvalidateBlocks();
+    }
+    return *this;
+  }
+  Database& operator=(Database&& other) noexcept {
+    if (this != &other) {
+      schema_ = std::move(other.schema_);
+      relations_ = std::move(other.relations_);
+      InvalidateBlocks();
+    }
+    return *this;
+  }
 
   /// Parses facts (see `ParseFacts` grammar) into a database, inferring the
   /// schema from the first occurrence of each relation.
@@ -135,14 +164,22 @@ class Database : public FactView {
     std::unordered_map<Tuple, int, TupleHash> fact_index;
   };
 
-  void InvalidateBlocks() { blocks_valid_ = false; }
+  void InvalidateBlocks() {
+    blocks_valid_.store(false, std::memory_order_release);
+  }
+  /// Double-checked rebuild of the lazy block index; safe to call from
+  /// concurrent const readers.
+  void EnsureBlocks() const;
   void RebuildBlocks() const;
 
   Schema schema_;
   std::unordered_map<Symbol, RelationData> relations_;
 
-  // Lazily rebuilt block index.
-  mutable bool blocks_valid_ = false;
+  // Lazily rebuilt block index. `blocks_valid_` is the publication flag:
+  // set with release after a rebuild completes (under `blocks_mu_`), read
+  // with acquire, so concurrent const readers see a fully-built index.
+  mutable std::mutex blocks_mu_;
+  mutable std::atomic<bool> blocks_valid_{false};
   mutable std::vector<Block> blocks_;
   // (relation, fact index) -> global block id
   mutable std::unordered_map<Symbol, std::vector<int>> fact_to_block_;

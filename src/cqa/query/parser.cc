@@ -1,5 +1,6 @@
 #include "cqa/query/parser.h"
 
+#include <algorithm>
 #include <cctype>
 
 namespace cqa {
@@ -240,13 +241,32 @@ Result<Query> ParseQueryImpl(std::string_view text) {
   return Query::Make(std::move(literals), std::move(diseqs));
 }
 
+// 1-based line number of byte offset `pos` in `text` (for error messages).
+// The lexer skips whitespace before noticing a problem, so back up to the
+// last non-blank character first — the line the offending construct is on,
+// not the gap after it.
+size_t LineOf(std::string_view text, size_t pos) {
+  pos = std::min(pos, text.size());
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(text[pos - 1]))) {
+    --pos;
+  }
+  return 1 + static_cast<size_t>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<ptrdiff_t>(pos), '\n'));
+}
+
 Result<std::vector<ParsedFact>> ParseFactsImpl(std::string_view text) {
   Lexer lex(text);
   std::vector<ParsedFact> out;
   while (!lex.AtEnd()) {
     Result<ParsedAtom> atom =
         ParseAtomBody(&lex, lex.ReadIdent(), /*constants_only=*/true);
-    if (!atom.ok()) return Result<std::vector<ParsedFact>>::Error(atom.error());
+    if (!atom.ok()) {
+      return Result<std::vector<ParsedFact>>::Error(
+          "line " + std::to_string(LineOf(text, lex.pos())) + ": " +
+          atom.error());
+    }
     ParsedFact fact;
     fact.relation = atom->relation;
     fact.key_len = atom->key_len;

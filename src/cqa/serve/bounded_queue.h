@@ -1,0 +1,105 @@
+#ifndef CQA_SERVE_BOUNDED_QUEUE_H_
+#define CQA_SERVE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cqa {
+
+/// A bounded multi-producer multi-consumer FIFO queue, the admission point
+/// of the solve service. Producers never block: `TryPush` fails immediately
+/// when the queue is full (the caller sheds the request with `kOverloaded`)
+/// or closed. Consumers block in `Pop` until an item arrives or the queue
+/// is closed *and* drained, so closing lets workers finish the backlog and
+/// then exit cleanly.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues without blocking. Returns false — and does not take the
+  /// item — when the queue is at capacity or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// empty (false).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop; false when nothing is queued right now.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects all future pushes; consumers drain the remaining items and
+  /// then see `Pop` return false. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Atomically removes and returns every queued item (e.g. to complete
+  /// them as cancelled when a shutdown drain deadline expires).
+  std::vector<T> DrainNow() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out.assign(std::make_move_iterator(items_.begin()),
+                 std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
+    not_empty_.notify_all();
+    return out;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_BOUNDED_QUEUE_H_

@@ -1,0 +1,246 @@
+#include "cqa/serve/service.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cqa {
+
+const char* ToString(RequestState state) {
+  switch (state) {
+    case RequestState::kCompleted:
+      return "completed";
+    case RequestState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+SolveService::SolveService(ServiceOptions options)
+    : options_(std::move(options)),
+      queue_(std::max<size_t>(options_.queue_capacity, 1)) {
+  int workers = std::max(options_.workers, 1);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+SolveService::~SolveService() { Shutdown(std::chrono::milliseconds(0)); }
+
+Result<uint64_t> SolveService::Submit(ServeJob job, Callback callback) {
+  stats_.RecordSubmitted();
+  if (!accepting_.load(std::memory_order_acquire)) {
+    stats_.RecordShed();
+    return Result<uint64_t>::Error(ErrorCode::kOverloaded,
+                                   "service is shutting down");
+  }
+  auto req = std::make_shared<Request>(next_id_.fetch_add(1), std::move(job),
+                                       std::move(callback));
+  req->submitted = Budget::Clock::now();
+  req->cancel = std::make_shared<std::atomic<bool>>(false);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_.emplace(req->id, req->cancel);
+    ++outstanding_;
+  }
+  if (!queue_.TryPush(req)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      registry_.erase(req->id);
+      --outstanding_;
+    }
+    drained_cv_.notify_all();
+    stats_.RecordShed();
+    return Result<uint64_t>::Error(
+        ErrorCode::kOverloaded,
+        "work queue full (capacity " + std::to_string(queue_.capacity()) +
+            "); request shed");
+  }
+  stats_.RecordAccepted();
+  return req->id;
+}
+
+bool SolveService::Cancel(uint64_t id) {
+  std::shared_ptr<std::atomic<bool>> token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = registry_.find(id);
+    if (it == registry_.end()) return false;
+    token = it->second;
+  }
+  token->store(true, std::memory_order_release);
+  drained_cv_.notify_all();  // interrupt a backoff sleep, if any
+  return true;
+}
+
+void SolveService::CancelAll() {
+  std::vector<std::shared_ptr<std::atomic<bool>>> tokens;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tokens.reserve(registry_.size());
+    for (auto& [id, token] : registry_) tokens.push_back(token);
+  }
+  for (auto& token : tokens) token->store(true, std::memory_order_release);
+  drained_cv_.notify_all();
+}
+
+bool SolveService::Shutdown(std::chrono::milliseconds drain_deadline) {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shutdown_done_) return drained_result_;
+  accepting_.store(false, std::memory_order_release);
+  draining_.store(true, std::memory_order_release);
+  queue_.Close();          // workers finish the backlog, then exit
+  drained_cv_.notify_all();  // abort backoff sleeps: no retries while draining
+
+  bool drained;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained = drained_cv_.wait_for(lock, drain_deadline,
+                                   [&] { return outstanding_ == 0; });
+  }
+  if (!drained) {
+    // Drain deadline expired: cancel everything still known. Requests in
+    // flight trip their budget's cancel token at the next probe; requests
+    // still queued are completed as cancelled right here (the workers may
+    // never reach them).
+    CancelAll();
+    for (RequestPtr& req : queue_.DrainNow()) {
+      Finish(req, /*started=*/false, RequestState::kCancelled,
+             Result<SolveReport>::Error(
+                 ErrorCode::kCancelled,
+                 "cancelled: shutdown drain deadline expired while queued"));
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  shutdown_done_ = true;
+  drained_result_ = drained;
+  return drained;
+}
+
+void SolveService::WorkerLoop(int worker_index) {
+  // Per-worker jitter stream: deterministic given the seed and the worker
+  // index, independent across workers.
+  Rng rng(options_.backoff_seed ^
+          (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(worker_index + 1)));
+  RequestPtr req;
+  while (queue_.Pop(&req)) {
+    Process(req, &rng);
+    req.reset();
+  }
+}
+
+void SolveService::Process(const RequestPtr& req, Rng* rng) {
+  stats_.RecordStarted();
+  for (;;) {
+    if (req->cancel->load(std::memory_order_acquire)) {
+      Finish(req, /*started=*/true, RequestState::kCancelled,
+             Result<SolveReport>::Error(ErrorCode::kCancelled,
+                                        "cancelled before attempt " +
+                                            std::to_string(req->attempts + 1)));
+      return;
+    }
+    ++req->attempts;
+
+    // Budget inheritance: the attempt deadline is the tighter of the
+    // service-wide deadline and this request's own timeout (re-armed per
+    // attempt); the solver's kAuto path further splits it 80/20 between
+    // the exact stage and the sampling fallback.
+    Budget budget;
+    budget.cancel = req->cancel.get();
+    budget.max_steps = req->job.max_steps;
+    if (req->attempts <= req->job.fault_attempts) {
+      budget.fail_after_probes = req->job.fail_after_probes;
+    }
+    std::chrono::milliseconds timeout =
+        req->job.timeout.value_or(options_.default_timeout);
+    budget.deadline = options_.service_deadline;
+    if (timeout.count() > 0) {
+      budget.deadline =
+          std::min(budget.deadline, Budget::Clock::now() + timeout);
+    }
+
+    SolveOptions sopts;
+    sopts.method = req->job.method;
+    sopts.budget = &budget;
+    sopts.degrade_to_sampling = req->job.degrade_to_sampling;
+    sopts.max_samples = req->job.max_samples;
+    Result<SolveReport> result =
+        SolveCertainty(req->job.query, *req->job.db, sopts);
+
+    if (result.ok()) {
+      Finish(req, /*started=*/true, RequestState::kCompleted,
+             std::move(result));
+      return;
+    }
+    if (result.code() == ErrorCode::kCancelled) {
+      Finish(req, /*started=*/true, RequestState::kCancelled,
+             std::move(result));
+      return;
+    }
+    // Retry only genuine resource exhaustion, within the retry allowance,
+    // and never once shutdown has begun (drain fast instead).
+    bool retry = IsResourceExhaustion(result.code()) &&
+                 req->attempts <= options_.max_retries &&
+                 !draining_.load(std::memory_order_acquire);
+    if (!retry) {
+      Finish(req, /*started=*/true, RequestState::kCompleted,
+             std::move(result));
+      return;
+    }
+    stats_.RecordRetry();
+    std::chrono::milliseconds delay =
+        options_.backoff.DelayFor(req->attempts, rng);
+    if (!WaitBackoff(delay, *req->cancel)) {
+      // Interrupted: surface the cancellation, or the last error when the
+      // interruption was shutdown.
+      if (req->cancel->load(std::memory_order_acquire)) {
+        Finish(req, /*started=*/true, RequestState::kCancelled,
+               Result<SolveReport>::Error(ErrorCode::kCancelled,
+                                          "cancelled during retry backoff"));
+      } else {
+        Finish(req, /*started=*/true, RequestState::kCompleted,
+               std::move(result));
+      }
+      return;
+    }
+  }
+}
+
+bool SolveService::WaitBackoff(std::chrono::milliseconds delay,
+                               const std::atomic<bool>& cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return !drained_cv_.wait_for(lock, delay, [&] {
+    return draining_.load(std::memory_order_acquire) ||
+           cancel.load(std::memory_order_acquire);
+  });
+}
+
+void SolveService::Finish(const RequestPtr& req, bool started,
+                          RequestState state, Result<SolveReport> result) {
+  if (req->done.exchange(true, std::memory_order_acq_rel)) return;
+  ServeResponse response;
+  response.id = req->id;
+  response.state = state;
+  response.result = std::move(result);
+  response.attempts = req->attempts;
+  response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      Budget::Clock::now() - req->submitted);
+  bool ok = response.result.ok();
+  bool degraded = ok && (response.result->verdict == Verdict::kProbablyCertain ||
+                         response.result->verdict == Verdict::kExhausted);
+  stats_.RecordTerminal(started, state == RequestState::kCancelled, ok,
+                        degraded, response.latency);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_.erase(req->id);
+    assert(outstanding_ > 0);
+    --outstanding_;
+  }
+  if (req->callback) req->callback(response);
+  drained_cv_.notify_all();
+}
+
+}  // namespace cqa

@@ -1,0 +1,210 @@
+#ifndef CQA_SERVE_SERVICE_H_
+#define CQA_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <climits>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cqa/base/backoff.h"
+#include "cqa/base/budget.h"
+#include "cqa/base/result.h"
+#include "cqa/certainty/solver.h"
+#include "cqa/db/database.h"
+#include "cqa/query/query.h"
+#include "cqa/serve/bounded_queue.h"
+#include "cqa/serve/stats.h"
+
+namespace cqa {
+
+/// One unit of work for `SolveService`: decide CERTAINTY(q) on a database.
+/// The database is shared (many jobs typically target the same instance)
+/// and must stay immutable while the service holds a reference.
+struct ServeJob {
+  ServeJob(Query q, std::shared_ptr<const Database> database)
+      : query(std::move(q)), db(std::move(database)) {}
+
+  Query query;
+  std::shared_ptr<const Database> db;
+
+  /// Per-attempt wall-clock budget; `nullopt` inherits the service's
+  /// `default_timeout`, zero means no per-request deadline (the service
+  /// deadline, if any, still applies).
+  std::optional<std::chrono::milliseconds> timeout;
+  /// Per-attempt step (search-node) budget.
+  uint64_t max_steps = Budget::kNoStepLimit;
+  SolverMethod method = SolverMethod::kAuto;
+  /// See `SolveOptions`: on kAuto, an exhausted exact stage degrades to a
+  /// qualified sampling verdict (which counts as completion — degraded
+  /// verdicts are surfaced, never retried).
+  bool degrade_to_sampling = true;
+  uint64_t max_samples = 10'000;
+
+  /// Chaos knobs: inject `fail_after_probes` into the attempt's `Budget`
+  /// (see base/budget.h) for the first `fault_attempts` attempts, so tests
+  /// can force deterministic exhaustion and then a clean retry.
+  uint64_t fail_after_probes = 0;
+  int fault_attempts = INT_MAX;
+};
+
+/// How a request left the service. Shed requests never enter the system:
+/// `Submit` fails synchronously with `kOverloaded` and no response is
+/// delivered for them.
+enum class RequestState {
+  /// The solve ran to a terminal result: an ok `SolveReport` (possibly
+  /// with a degraded verdict) or a typed non-cancellation error.
+  kCompleted,
+  /// Cancelled — by `Cancel`/`CancelAll`, or by the shutdown drain
+  /// deadline while still queued or running.
+  kCancelled,
+};
+
+const char* ToString(RequestState state);
+
+/// Terminal outcome of one accepted request, delivered exactly once via
+/// the submit callback.
+struct ServeResponse {
+  uint64_t id = 0;
+  RequestState state = RequestState::kCancelled;
+  Result<SolveReport> result =
+      Result<SolveReport>::Error(ErrorCode::kCancelled, "request never ran");
+  /// Solve attempts made (0 when cancelled while still queued).
+  int attempts = 0;
+  /// Submit-to-terminal wall clock, queueing and backoff included.
+  std::chrono::microseconds latency{0};
+};
+
+struct ServiceOptions {
+  /// Worker threads; clamped to at least 1.
+  int workers = 4;
+  /// Bounded queue capacity; a full queue sheds new submissions with
+  /// `kOverloaded`. Clamped to at least 1.
+  size_t queue_capacity = 64;
+  /// Default per-attempt timeout for jobs that do not set their own; zero
+  /// means none.
+  std::chrono::milliseconds default_timeout{0};
+  /// Absolute deadline for the service as a whole: every attempt's budget
+  /// deadline is clamped to it (`time_point::max()` = none). This is the
+  /// top of the inheritance chain service → request → exact-stage split.
+  Budget::Clock::time_point service_deadline = Budget::Clock::time_point::max();
+  /// Extra attempts for requests that fail with resource exhaustion
+  /// (deadline/step budget) *without* producing a degraded verdict. Each
+  /// retry waits per `backoff` and re-arms a fresh per-attempt budget.
+  int max_retries = 0;
+  BackoffPolicy backoff;
+  /// Seed for backoff jitter (each worker derives its own stream).
+  uint64_t backoff_seed = 0xb0ff5eedu;
+};
+
+/// A multi-threaded CERTAINTY(q) solve service: a fixed worker pool behind
+/// a bounded MPMC queue, with admission control (load shedding), budget
+/// inheritance, retry with exponential backoff and jitter, cross-request
+/// cancellation, and graceful shutdown.
+///
+/// Lifecycle guarantees (the chaos suite pins these down):
+///  * Every call to `Submit` either fails synchronously (`kOverloaded`,
+///    counted as shed) or delivers its callback exactly once with a
+///    terminal `ServeResponse` (`kCompleted` or `kCancelled`).
+///  * `Shutdown` always terminates: it drains in-flight and queued work
+///    until the drain deadline, then cancels whatever remains.
+///
+/// Callbacks run on worker threads (or on the `Shutdown` caller's thread
+/// for requests cancelled while queued); they must be thread-safe and must
+/// not call `Shutdown`.
+class SolveService {
+ public:
+  using Callback = std::function<void(const ServeResponse&)>;
+
+  explicit SolveService(ServiceOptions options);
+  ~SolveService();  // shuts down with a zero drain deadline if still running
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admission control: enqueues the job and returns its request id, or
+  /// fails with `kOverloaded` when the queue is full or the service is
+  /// shutting down (the request is shed; the callback will never run).
+  Result<uint64_t> Submit(ServeJob job, Callback callback);
+
+  /// Requests cancellation of one in-flight or queued request. Safe from
+  /// any thread. Returns false when the id is unknown or already terminal.
+  /// The terminal callback still fires (state `kCancelled` if the
+  /// cancellation won the race).
+  bool Cancel(uint64_t id);
+
+  /// Cancels every request currently known to the service.
+  void CancelAll();
+
+  /// Graceful shutdown: stops admissions immediately, lets workers drain
+  /// queued and in-flight work for up to `drain_deadline`, then cancels
+  /// the remainder and joins the pool. Returns true when everything
+  /// drained without forced cancellation. Idempotent; concurrent callers
+  /// serialize.
+  bool Shutdown(std::chrono::milliseconds drain_deadline);
+
+  /// Aggregate accounting; callable at any time, including after shutdown.
+  ServiceStats Stats() const { return stats_.Snapshot(); }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    Request(uint64_t request_id, ServeJob j, Callback cb)
+        : id(request_id), job(std::move(j)), callback(std::move(cb)) {}
+
+    const uint64_t id;
+    ServeJob job;
+    Callback callback;
+    Budget::Clock::time_point submitted;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    /// Exactly-once terminal guard.
+    std::atomic<bool> done{false};
+    int attempts = 0;
+  };
+  using RequestPtr = std::shared_ptr<Request>;
+
+  void WorkerLoop(int worker_index);
+  void Process(const RequestPtr& req, Rng* rng);
+  /// Delivers the terminal response exactly once and updates accounting.
+  void Finish(const RequestPtr& req, bool started, RequestState state,
+              Result<SolveReport> result);
+  /// Sleeps for `delay`, interruptible by shutdown or the request's cancel
+  /// token; true when the full delay elapsed (retry may proceed).
+  bool WaitBackoff(std::chrono::milliseconds delay,
+                   const std::atomic<bool>& cancel);
+
+  ServiceOptions options_;
+  BoundedQueue<RequestPtr> queue_;
+  StatsCollector stats_;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> draining_{false};
+
+  /// Guards `registry_` and `outstanding_`; `drained_cv_` signals both
+  /// "outstanding_ hit zero" and "a backoff sleep should re-check".
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> registry_;
+  uint64_t outstanding_ = 0;
+
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;
+  bool drained_result_ = true;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_SERVICE_H_

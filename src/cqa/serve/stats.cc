@@ -1,0 +1,95 @@
+#include "cqa/serve/stats.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+namespace {
+
+// p in [0,1]; nearest-rank percentile of an unsorted copy.
+uint64_t Percentile(std::vector<uint64_t> v, double p) {
+  if (v.empty()) return 0;
+  size_t rank = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(rank),
+                   v.end());
+  return v[rank];
+}
+
+}  // namespace
+
+void StatsCollector::RecordSubmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.submitted;
+}
+
+void StatsCollector::RecordAccepted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.accepted;
+}
+
+void StatsCollector::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.shed;
+}
+
+void StatsCollector::RecordRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.retries;
+}
+
+void StatsCollector::RecordStarted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.inflight;
+}
+
+void StatsCollector::RecordTerminal(bool started, bool cancelled, bool ok,
+                                    bool degraded,
+                                    std::chrono::microseconds latency) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started) --counters_.inflight;
+  if (cancelled) {
+    ++counters_.cancelled;
+  } else if (ok) {
+    ++counters_.completed;
+    if (degraded) ++counters_.degraded;
+  } else {
+    ++counters_.failed;
+  }
+  uint64_t us = static_cast<uint64_t>(std::max<int64_t>(latency.count(), 0));
+  if (latencies_us_.size() < kMaxLatencySamples) {
+    latencies_us_.push_back(us);
+  } else {
+    latencies_us_[next_overwrite_] = us;
+    next_overwrite_ = (next_overwrite_ + 1) % kMaxLatencySamples;
+  }
+  ++counters_.latency_count;
+  counters_.latency_max_us = std::max(counters_.latency_max_us, us);
+}
+
+ServiceStats StatsCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats out = counters_;
+  out.latency_p50_us = Percentile(latencies_us_, 0.50);
+  out.latency_p90_us = Percentile(latencies_us_, 0.90);
+  out.latency_p99_us = Percentile(latencies_us_, 0.99);
+  return out;
+}
+
+std::string ServiceStats::ToString() const {
+  std::string s;
+  s += "submitted " + std::to_string(submitted);
+  s += ", accepted " + std::to_string(accepted);
+  s += ", shed " + std::to_string(shed);
+  s += ", completed " + std::to_string(completed);
+  s += ", failed " + std::to_string(failed);
+  s += ", cancelled " + std::to_string(cancelled);
+  s += ", retries " + std::to_string(retries);
+  s += ", degraded " + std::to_string(degraded);
+  s += "; latency us p50 " + std::to_string(latency_p50_us);
+  s += " p90 " + std::to_string(latency_p90_us);
+  s += " p99 " + std::to_string(latency_p99_us);
+  s += " max " + std::to_string(latency_max_us);
+  return s;
+}
+
+}  // namespace cqa

@@ -1,0 +1,70 @@
+#ifndef CQA_SERVE_STATS_H_
+#define CQA_SERVE_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cqa {
+
+/// A point-in-time snapshot of `SolveService` accounting. Counter identity:
+///   submitted == accepted + shed
+///   accepted  == completed + failed + cancelled + (still queued/running)
+/// `retries` counts extra attempts, not requests; `degraded` counts
+/// completions whose verdict was qualified (probably-certain / exhausted)
+/// rather than exact.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;  // terminal, with a solve report (ok result)
+  uint64_t failed = 0;     // terminal, with a typed error result
+  uint64_t cancelled = 0;  // terminal via cancellation or shutdown
+  uint64_t retries = 0;
+  uint64_t degraded = 0;
+  uint64_t inflight = 0;  // popped by a worker, not yet terminal
+
+  /// Submit-to-terminal latency percentiles over every terminal request.
+  uint64_t latency_count = 0;
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p90_us = 0;
+  uint64_t latency_p99_us = 0;
+  uint64_t latency_max_us = 0;
+
+  std::string ToString() const;
+};
+
+/// Thread-safe collector behind `ServiceStats`. Counters are plain
+/// increments under a mutex (contention is dwarfed by the solves
+/// themselves); latencies are kept exactly up to a cap, after which new
+/// samples overwrite a deterministic rotating slot so the distribution
+/// stays bounded in memory.
+class StatsCollector {
+ public:
+  void RecordSubmitted();
+  void RecordAccepted();
+  void RecordShed();
+  void RecordRetry();
+  void RecordStarted();
+  /// Terminal accounting for one request. `cancelled` wins over the other
+  /// two; otherwise `ok` picks completed vs failed. `started` says whether
+  /// the request was ever popped by a worker (balances the inflight gauge).
+  void RecordTerminal(bool started, bool cancelled, bool ok, bool degraded,
+                      std::chrono::microseconds latency);
+
+  ServiceStats Snapshot() const;
+
+ private:
+  static constexpr size_t kMaxLatencySamples = 1 << 16;
+
+  mutable std::mutex mu_;
+  ServiceStats counters_;
+  std::vector<uint64_t> latencies_us_;
+  size_t next_overwrite_ = 0;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_STATS_H_

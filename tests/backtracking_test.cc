@@ -68,8 +68,6 @@ TEST(BacktrackingTest, PrunesComparedToFullEnumeration) {
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(got->certain);
   EXPECT_LE(got->nodes, 4u);
-  // The deprecated thread-local shim agrees with the report.
-  EXPECT_EQ(LastBacktrackingNodes(), got->nodes);
 }
 
 TEST(BacktrackingTest, NodeLimitTriggers) {

@@ -20,8 +20,7 @@ struct RunResult {
   std::string stdout_text;
 };
 
-RunResult RunCli(const std::string& args) {
-  std::string command = std::string(CQA_CLI_PATH) + " " + args + " 2>/dev/null";
+RunResult RunCommand(const std::string& command) {
   FILE* pipe = popen(command.c_str(), "r");
   EXPECT_NE(pipe, nullptr);
   RunResult out;
@@ -35,10 +34,30 @@ RunResult RunCli(const std::string& args) {
   return out;
 }
 
+RunResult RunCli(const std::string& args) {
+  return RunCommand(std::string(CQA_CLI_PATH) + " " + args + " 2>/dev/null");
+}
+
+// Like RunCli but with stderr merged into the captured output (for tests
+// asserting on diagnostics) and optional text piped to the CLI's stdin.
+RunResult RunCliMerged(const std::string& args, const std::string& stdin_text) {
+  std::string command;
+  if (!stdin_text.empty()) {
+    command = "printf '%b' \"" + stdin_text + "\" | ";  // %b expands \n
+  }
+  command += std::string(CQA_CLI_PATH) + " " + args + " 2>&1";
+  return RunCommand(command);
+}
+
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    db_path_ = ::testing::TempDir() + "/cli_test_db.facts";
+    // One db file per test case: ctest runs the cases of this binary as
+    // parallel processes, and a shared path would race SetUp's rewrite
+    // against a sibling's in-flight CLI read.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    db_path_ = ::testing::TempDir() + "/cli_test_db_" +
+               std::string(info->name()) + ".facts";
     std::ofstream out(db_path_);
     out << "R(a | b), R(a | c)\nS(b | a)\n";
   }
@@ -133,6 +152,88 @@ TEST_F(CliTest, ErrorsAreClean) {
   EXPECT_EQ(RunCli("frobnicate \"R(x | y)\"").exit_code, 2);
   EXPECT_NE(RunCli("classify \"R(x\"").exit_code, 0);
   EXPECT_NE(RunCli("solve \"R(x | y)\" /nonexistent.facts").exit_code, 0);
+}
+
+TEST_F(CliTest, DatabaseLoadErrorsAreTypedAndLocated) {
+  // Missing file: an I/O diagnostic naming the path, not a parse error.
+  RunResult missing = RunCliMerged("stats /nonexistent.facts", "");
+  EXPECT_EQ(missing.exit_code, 1);
+  EXPECT_NE(missing.stdout_text.find("cannot open"), std::string::npos);
+  EXPECT_NE(missing.stdout_text.find("/nonexistent.facts"), std::string::npos);
+
+  // Malformed facts: the diagnostic carries the path and the 1-based line
+  // of the offending fact.
+  std::string bad_path = ::testing::TempDir() + "/cli_test_bad.facts";
+  {
+    std::ofstream out(bad_path);
+    out << "R(a | b)\nR(a,\n";
+  }
+  RunResult parse = RunCliMerged("stats " + bad_path, "");
+  EXPECT_EQ(parse.exit_code, 1);
+  EXPECT_NE(parse.stdout_text.find(bad_path), std::string::npos);
+  EXPECT_NE(parse.stdout_text.find("line 2"), std::string::npos);
+}
+
+TEST_F(CliTest, DatabaseFromStdin) {
+  RunResult stats = RunCliMerged("stats -", "R(a | b), R(a | c)\\nS(b | a)\\n");
+  EXPECT_EQ(stats.exit_code, 0);
+  EXPECT_NE(stats.stdout_text.find("total:"), std::string::npos);
+  // A stdin parse error is attributed to <stdin>.
+  RunResult bad = RunCliMerged("stats -", "R(a | b)\\nR(a,\\n");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.stdout_text.find("<stdin>"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeBatch) {
+  // Two well-formed jobs: per-request verdicts in submission order tags,
+  // aggregate stats on stderr, exit 0.
+  RunResult ok = RunCliMerged(
+      "serve " + db_path_ + " --workers=2",
+      "R(x | y)\\nR(x | y), not S(y | x)\\n");
+  EXPECT_EQ(ok.exit_code, 0);
+  EXPECT_NE(ok.stdout_text.find("[1] certain"), std::string::npos);
+  EXPECT_NE(ok.stdout_text.find("[2] not certain"), std::string::npos);
+  EXPECT_NE(ok.stdout_text.find("-- serve:"), std::string::npos);
+  EXPECT_NE(ok.stdout_text.find("accepted 2"), std::string::npos);
+
+  // A malformed job line is reported per-request and poisons the exit code,
+  // but the well-formed job still completes.
+  RunResult bad = RunCliMerged("serve " + db_path_,
+                               "R(x | y)\\nR(x |\\n");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.stdout_text.find("[1] certain"), std::string::npos);
+  EXPECT_NE(bad.stdout_text.find("[2] error:"), std::string::npos);
+
+  // Blank lines and comments are skipped; result tags are input line
+  // numbers, so the query on line 3 reports as [3].
+  RunResult sparse = RunCliMerged(
+      "serve " + db_path_, "\\n-- a comment\\nR(x | y)\\n\\n");
+  EXPECT_EQ(sparse.exit_code, 0);
+  EXPECT_NE(sparse.stdout_text.find("[3] certain"), std::string::npos);
+
+  // Reading both the database and jobs from stdin is impossible: the db may
+  // only be '-' when jobs come from a file.
+  RunResult clash = RunCliMerged("serve - ", "R(x | y)\\n");
+  EXPECT_EQ(clash.exit_code, 1);
+
+  // serve with a jobs file and the db on stdin works.
+  std::string jobs_path = ::testing::TempDir() + "/cli_test_jobs.txt";
+  {
+    std::ofstream out(jobs_path);
+    out << "R(x | y)\n";
+  }
+  RunResult from_file = RunCliMerged(
+      "serve - --jobs=" + jobs_path, "R(a | b), R(a | c)\\nS(b | a)\\n");
+  EXPECT_EQ(from_file.exit_code, 0);
+  EXPECT_NE(from_file.stdout_text.find("[1] certain"), std::string::npos);
+
+  // Governor flags flow through to every request: with degradation off and
+  // a zero node budget the request fails typed, exit 3.
+  RunResult tight = RunCliMerged(
+      "serve " + db_path_ + " --max-nodes=0 --method=backtracking",
+      "R(x | y), not S(y | x)\\n");
+  EXPECT_EQ(tight.exit_code, 3);
+  EXPECT_NE(tight.stdout_text.find("budget-exhausted"), std::string::npos);
 }
 
 }  // namespace

@@ -61,6 +61,64 @@ TEST(BudgetTest, ExpiredDeadlineTripsOnFirstProbe) {
   EXPECT_EQ(b.CheckEvery(1u << 20), ErrorCode::kDeadlineExceeded);
 }
 
+TEST(BudgetTest, StrideZeroAndOneProbeEveryCall) {
+  // Strides 0 and 1 are both "no amortization": the cancellation token is
+  // consulted on every single call, so a cancel lands on the very next probe.
+  for (uint64_t stride : {0ull, 1ull}) {
+    std::atomic<bool> flag{false};
+    Budget b;
+    b.cancel = &flag;
+    EXPECT_FALSE(b.CheckEvery(stride).has_value()) << "stride " << stride;
+    flag.store(true);
+    EXPECT_EQ(b.CheckEvery(stride), ErrorCode::kCancelled)
+        << "stride " << stride;
+  }
+}
+
+TEST(BudgetTest, LargeStrideAmortizesTheTokenAway) {
+  // With a huge stride, the token is only consulted on the first probe; a
+  // cancel raised afterwards goes unnoticed by amortized probes (that is the
+  // amortization contract) but an explicit CheckNow still sees it.
+  std::atomic<bool> flag{false};
+  Budget b;
+  b.cancel = &flag;
+  EXPECT_FALSE(b.CheckEvery(1u << 20).has_value());  // probe #1 checks token
+  flag.store(true);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(b.CheckEvery(1u << 20).has_value()) << "probe " << i;
+  }
+  EXPECT_EQ(b.CheckNow(), ErrorCode::kCancelled);
+}
+
+TEST(BudgetTest, CancellationIsStickyEvenAfterTheTokenClears) {
+  // Once tripped, the violation outlives the token: clearing the flag must
+  // not resurrect the run (deep recursions unwind against a stable cause).
+  std::atomic<bool> flag{true};
+  Budget b;
+  b.cancel = &flag;
+  EXPECT_EQ(b.CheckEvery(1), ErrorCode::kCancelled);
+  flag.store(false);
+  EXPECT_EQ(b.CheckEvery(1), ErrorCode::kCancelled);
+  EXPECT_EQ(b.CheckNow(), ErrorCode::kCancelled);
+  EXPECT_EQ(b.tripped(), ErrorCode::kCancelled);
+}
+
+TEST(BudgetTest, FaultInjectionFiresRegardlessOfStride) {
+  // fail_after_probes counts probes, not strides: with stride 7 the fault
+  // still fires on exactly the Nth call, and steps() freezes there because
+  // later (sticky) probes no longer charge steps.
+  constexpr uint64_t kN = 10;
+  Budget b;
+  b.fail_after_probes = kN;
+  for (uint64_t i = 1; i < kN; ++i) {
+    EXPECT_FALSE(b.CheckEvery(7).has_value()) << "probe " << i;
+  }
+  EXPECT_EQ(b.CheckEvery(7), ErrorCode::kBudgetExhausted);
+  EXPECT_EQ(b.steps(), kN);
+  for (int i = 0; i < 5; ++i) (void)b.CheckEvery(7);
+  EXPECT_EQ(b.steps(), kN) << "sticky probes must not keep charging steps";
+}
+
 TEST(BudgetTest, FaultInjectionFiresAtTheExactProbe) {
   for (uint64_t n = 1; n <= 5; ++n) {
     Budget b;

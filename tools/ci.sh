@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-shot local CI: tier-1 build + full test suite, then the sanitizer
+# presets (ASan+UBSan on the governor suites, TSan on everything labelled
+# `concurrency` — the serve and governor threading tests).
+#
+#   tools/ci.sh            # all three stages
+#   tools/ci.sh tier1      # just the tier-1 stage
+#   tools/ci.sh asan tsan  # just the sanitizer stages
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stages=("$@")
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan)
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_stage() {
+  local name="$1" configure="$2" build="$3" test="$4"
+  echo "==== [$name] configure"
+  cmake --preset "$configure"
+  echo "==== [$name] build"
+  cmake --build --preset "$build" -j "$jobs"
+  echo "==== [$name] test"
+  ctest --preset "$test" -j "$jobs"
+}
+
+for stage in "${stages[@]}"; do
+  case "$stage" in
+    tier1) run_stage tier1 default default default ;;
+    asan)  run_stage asan-ubsan asan-ubsan asan-ubsan asan-ubsan ;;
+    tsan)  run_stage tsan tsan tsan tsan ;;
+    *) echo "unknown stage '$stage' (want: tier1 asan tsan)" >&2; exit 2 ;;
+  esac
+done
+echo "==== CI OK (${stages[*]})"

@@ -14,6 +14,9 @@
 //   cqa_cli stats    db.facts
 //   cqa_cli asp      "<query>" db.facts
 //   cqa_cli evalfo   "<fo formula>" db.facts [--timeout-ms=N] [--max-nodes=N]
+//   cqa_cli serve    db.facts [--jobs=FILE] [--workers=N] [--queue-cap=M]
+//                    [--timeout-ms=T] [--retries=R] [--deadline-ms=S]
+//                    [--drain-ms=D] [--max-nodes=K] [--method=...]
 //
 // Exit codes: 0 certain / probably certain / success; 1 parse or input
 // error; 2 usage; 3 resource budget exhausted; 4 cancelled; 5 not certain
@@ -23,21 +26,43 @@
 // --method=auto` an exhausted exact solver degrades to Monte-Carlo sampling
 // and reports a qualified verdict instead of failing.
 //
+// `serve` runs the concurrent solve service (src/cqa/serve/) over a batch
+// of newline-delimited solve jobs — one query per line, read from stdin or
+// `--jobs=FILE` — against one database. `--timeout-ms` becomes the
+// per-request budget, `--deadline-ms` a deadline for the whole service,
+// `--retries` the per-request retry allowance (exponential backoff with
+// jitter), and `--drain-ms` the graceful-shutdown drain deadline. A full
+// queue applies backpressure to the reader (the driver resubmits with
+// backoff rather than dropping jobs). One result line `[i] <verdict>` is
+// printed per job in completion order; aggregate `ServiceStats` go to
+// stderr. Exit code: 1 if any job failed (parse/unsupported/internal),
+// else 4 if any was cancelled, else 3 if any exhausted its budget without
+// a verdict, else 0.
+//
 // Database files use the fact grammar of ParseFacts:
 //   R(alice | bob), R(alice | george)
 //   S(bob | alice)   -- comments allowed
+// A database path of `-` reads from stdin (requires --jobs=FILE in serve
+// mode, so the two streams do not collide).
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "cqa/attack/attack_graph.h"
 #include "cqa/attack/classification.h"
 #include "cqa/attack/dot.h"
+#include "cqa/base/backoff.h"
 #include "cqa/certainty/backtracking.h"
 #include "cqa/certainty/certain_answers.h"
 #include "cqa/certainty/solver.h"
@@ -49,6 +74,7 @@
 #include "cqa/fo/sql.h"
 #include "cqa/query/parser.h"
 #include "cqa/rewriting/rewriter.h"
+#include "cqa/serve/service.h"
 
 namespace {
 
@@ -76,18 +102,46 @@ int Fail(const Result<T>& r) {
 int Usage() {
   std::fprintf(stderr,
                "usage: cqa_cli <classify|rewrite|sql|dot|solve|answers|"
-               "repairs> ...\n(see the header of tools/cqa_cli.cc)\n");
+               "repairs|stats|asp|evalfo|serve> ...\n"
+               "(see the header of tools/cqa_cli.cc)\n");
   return 2;
 }
 
 Result<Query> LoadQuery(const char* text) { return ParseQuery(text); }
 
+// Loads a fact database from a file, or from stdin when `path` is "-".
+// Failures are typed: I/O problems (missing file, read error) are
+// `kInternal` with the errno detail, malformed content is `kParse`; both
+// name the offending path (and, for parse errors, the line).
 Result<Database> LoadDatabase(const char* path) {
-  std::ifstream in(path);
-  if (!in) return Result<Database>::Error(std::string("cannot open ") + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return Database::FromText(buffer.str());
+  std::string text;
+  if (std::strcmp(path, "-") == 0) {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      return Result<Database>::Error(
+          ErrorCode::kInternal, std::string("cannot open '") + path +
+                                    "': " + std::strerror(errno));
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+      return Result<Database>::Error(
+          ErrorCode::kInternal,
+          std::string("I/O error reading '") + path + "'");
+    }
+    text = buffer.str();
+  }
+  Result<Database> db = Database::FromText(text);
+  if (!db.ok()) {
+    return Result<Database>::Error(
+        db.code(), (std::strcmp(path, "-") == 0 ? "<stdin>" : path) +
+                       (": " + db.error()));
+  }
+  return db;
 }
 
 std::string FlagValue(int argc, char** argv, const char* name) {
@@ -188,22 +242,32 @@ int CmdDot(const Query& q) {
   return 0;
 }
 
+// Maps a --method= value onto SolverMethod; false on an unknown name.
+bool ParseMethod(const std::string& method, SolverMethod* out) {
+  if (method.empty() || method == "auto") {
+    *out = SolverMethod::kAuto;
+  } else if (method == "rewriting" || method == "fo-rewriting") {
+    *out = SolverMethod::kRewriting;
+  } else if (method == "algorithm1") {
+    *out = SolverMethod::kAlgorithm1;
+  } else if (method == "backtracking") {
+    *out = SolverMethod::kBacktracking;
+  } else if (method == "naive") {
+    *out = SolverMethod::kNaive;
+  } else if (method == "matching-q1") {
+    *out = SolverMethod::kMatchingQ1;
+  } else if (method == "sampling") {
+    *out = SolverMethod::kSampling;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 int CmdSolve(const Query& q, const Database& db, const std::string& method,
              bool want_witness, Budget* budget) {
   SolverMethod m = SolverMethod::kAuto;
-  if (method == "rewriting" || method == "fo-rewriting") {
-    m = SolverMethod::kRewriting;
-  } else if (method == "algorithm1") {
-    m = SolverMethod::kAlgorithm1;
-  } else if (method == "backtracking") {
-    m = SolverMethod::kBacktracking;
-  } else if (method == "naive") {
-    m = SolverMethod::kNaive;
-  } else if (method == "matching-q1") {
-    m = SolverMethod::kMatchingQ1;
-  } else if (method == "sampling") {
-    m = SolverMethod::kSampling;
-  } else if (!method.empty() && method != "auto") {
+  if (!ParseMethod(method, &m)) {
     return Fail("unknown method '" + method + "'");
   }
   SolveOptions options;
@@ -325,6 +389,163 @@ int CmdRepairs(const Database& db, uint64_t limit) {
   return 0;
 }
 
+// Exit-severity ranks for serve mode, worst wins: ok < exhausted(3) <
+// cancelled(4) < failed(1).
+int ServeSeverityRank(int exit_code) {
+  switch (exit_code) {
+    case 0:
+      return 0;
+    case 3:
+      return 1;
+    case 4:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+int CmdServe(int argc, char** argv, const char* db_path) {
+  std::string jobs_path = FlagValue(argc, argv, "--jobs");
+  if (std::strcmp(db_path, "-") == 0 && jobs_path.empty()) {
+    return Fail("serve: a database from stdin ('-') requires --jobs=FILE");
+  }
+  Result<Database> db = LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db);
+  auto shared_db = std::make_shared<const Database>(std::move(db.value()));
+
+  // Numeric flags (all optional).
+  struct {
+    const char* name;
+    uint64_t value;
+  } flags[] = {
+      {"--workers", 4},         {"--queue-cap", 64}, {"--timeout-ms", 0},
+      {"--retries", 0},         {"--deadline-ms", 0}, {"--drain-ms", 3'600'000},
+      {"--max-nodes", Budget::kNoStepLimit},
+  };
+  for (auto& flag : flags) {
+    if (FlagGiven(argc, argv, flag.name) &&
+        !ParseU64(FlagValue(argc, argv, flag.name), &flag.value)) {
+      return Fail(std::string("malformed ") + flag.name + " value");
+    }
+  }
+  SolverMethod method = SolverMethod::kAuto;
+  if (!ParseMethod(FlagValue(argc, argv, "--method"), &method)) {
+    return Fail("unknown method '" + FlagValue(argc, argv, "--method") + "'");
+  }
+
+  ServiceOptions options;
+  options.workers = static_cast<int>(flags[0].value);
+  options.queue_capacity = flags[1].value;
+  options.default_timeout = std::chrono::milliseconds(flags[2].value);
+  options.max_retries = static_cast<int>(flags[3].value);
+  if (flags[4].value > 0) {
+    options.service_deadline =
+        Budget::Clock::now() + std::chrono::milliseconds(flags[4].value);
+  }
+
+  std::ifstream jobs_file;
+  std::istream* jobs = &std::cin;
+  if (!jobs_path.empty()) {
+    jobs_file.open(jobs_path);
+    if (!jobs_file) {
+      return Fail("cannot open jobs file '" + jobs_path + "': " +
+                  std::strerror(errno));
+    }
+    jobs = &jobs_file;
+  }
+
+  SolveService service(options);
+  std::mutex out_mu;
+  int worst = 0;  // guarded by out_mu
+  auto record_outcome = [&](int exit_code) {
+    if (ServeSeverityRank(exit_code) > ServeSeverityRank(worst)) {
+      worst = exit_code;
+    }
+  };
+
+  BackoffPolicy admission_backoff;
+  Rng admission_rng(1);
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(*jobs, line)) {
+    ++line_no;
+    // Skip blanks and comment lines (same `--` convention as fact files).
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line.compare(first, 2, "--") == 0) {
+      continue;
+    }
+    Result<Query> q = ParseQuery(line);
+    if (!q.ok()) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::printf("[%llu] error: %s (parse)\n",
+                  static_cast<unsigned long long>(line_no),
+                  q.error().c_str());
+      record_outcome(1);
+      continue;
+    }
+    ServeJob job(std::move(q.value()), shared_db);
+    job.method = method;
+    job.max_steps = flags[6].value;
+    uint64_t job_line = line_no;
+    auto callback = [&, job_line](const ServeResponse& response) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      unsigned long long n = job_line;
+      if (response.state == RequestState::kCancelled) {
+        std::printf("[%llu] cancelled\n", n);
+        record_outcome(4);
+      } else if (!response.result.ok()) {
+        std::printf("[%llu] error: %s (%s)\n", n,
+                    response.result.error().c_str(),
+                    ToString(response.result.code()));
+        record_outcome(ExitCodeFor(response.result.code()));
+      } else {
+        const SolveReport& report = *response.result;
+        switch (report.verdict) {
+          case Verdict::kCertain:
+            std::printf("[%llu] certain\n", n);
+            break;
+          case Verdict::kNotCertain:
+            std::printf("[%llu] not certain\n", n);
+            break;
+          case Verdict::kProbablyCertain:
+            std::printf("[%llu] probably certain (confidence %.4f after "
+                        "%llu samples)\n",
+                        n, report.confidence,
+                        static_cast<unsigned long long>(report.samples));
+            break;
+          case Verdict::kExhausted:
+            std::printf("[%llu] exhausted\n", n);
+            record_outcome(3);
+            break;
+        }
+      }
+    };
+    // Admission control with backpressure: a full queue makes the reader
+    // wait (backoff with jitter) and resubmit instead of dropping the job.
+    for (int attempt = 1;; ++attempt) {
+      Result<uint64_t> id = service.Submit(job, callback);
+      if (id.ok()) break;
+      if (id.code() != ErrorCode::kOverloaded || attempt >= 10'000) {
+        std::lock_guard<std::mutex> lock(out_mu);
+        std::printf("[%llu] error: %s (%s)\n",
+                    static_cast<unsigned long long>(job_line),
+                    id.error().c_str(), ToString(id.code()));
+        record_outcome(ExitCodeFor(id.code()));
+        break;
+      }
+      std::this_thread::sleep_for(
+          admission_backoff.DelayFor(std::min(attempt, 8), &admission_rng));
+    }
+  }
+
+  service.Shutdown(std::chrono::milliseconds(flags[5].value));
+  std::fflush(stdout);
+  std::fprintf(stderr, "-- serve: %s\n",
+               service.Stats().ToString().c_str());
+  std::lock_guard<std::mutex> lock(out_mu);
+  return worst;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -337,6 +558,11 @@ int main(int argc, char** argv) {
     return Fail("malformed --timeout-ms or --max-nodes value");
   }
   Budget* budget = governed ? &budget_storage : nullptr;
+
+  if (cmd == "serve") {
+    if (argc < 3) return Usage();
+    return CmdServe(argc, argv, argv[2]);
+  }
 
   if (cmd == "repairs" || cmd == "stats") {
     if (argc < 3) return Usage();
