@@ -1,0 +1,160 @@
+// Network-daemon experiments:
+//
+//   D1. Round-trip latency: one client, solves submitted one at a time over
+//       a real loopback socket. Measures the full wire path — encode, TCP,
+//       frame decode, service dispatch, response frame — as percentiles,
+//       next to the in-process service dispatch from bench_serve as the
+//       implied transport overhead.
+//   D2. Pipelined throughput and shed rate under overload: clients pipeline
+//       batches far past the service queue capacity; reports accepted vs
+//       shed (typed `overloaded` frames) and terminal-frame accounting —
+//       every pipelined solve must still get exactly one terminal frame.
+//
+// The micro-benchmark times a single socket round trip through the daemon.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cqa/gen/poll.h"
+#include "cqa/serve/net/client.h"
+#include "cqa/serve/net/daemon.h"
+#include "cqa/serve/net/json.h"
+#include "cqa/serve/net/protocol.h"
+
+namespace cqa {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr milliseconds kIo{30'000};
+
+std::shared_ptr<const Database> PollDb(int persons, uint64_t seed) {
+  Rng rng(seed);
+  PollDbOptions opts;
+  opts.num_persons = persons;
+  opts.num_towns = std::max(2, persons / 5);
+  return std::make_shared<const Database>(GeneratePollDatabase(opts, &rng));
+}
+
+std::string SolveFrame(uint64_t id, const std::string& query) {
+  JsonObjectBuilder b;
+  b.Set("type", "solve").Set("id", id).Set("query", query);
+  return b.Build().Serialize();
+}
+
+uint64_t Percentile(std::vector<double>* us, double p) {
+  std::sort(us->begin(), us->end());
+  size_t rank = static_cast<size_t>(p * static_cast<double>(us->size() - 1));
+  return static_cast<uint64_t>((*us)[std::min(rank, us->size() - 1)]);
+}
+
+void TableRoundTrip() {
+  benchutil::Header("DAEMON", "framed TCP front-end for SolveService");
+  std::printf("D1. loopback round-trip latency, 500 sequential solves:\n");
+  std::printf("%-10s %-10s %-10s %-10s %-10s\n", "p50_us", "p90_us", "p99_us",
+              "max_us", "solve_us(p50, service-side)");
+  DaemonOptions options;
+  options.service.workers = 2;
+  SolveDaemon daemon(PollDb(40, 17), options);
+  if (!daemon.Start().ok()) return;
+  NetClient client;
+  if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+  std::string query = "Mayor(t | p), not Lives(p | t)";  // PollQ1, wire spelling
+  std::vector<double> rtt_us;
+  constexpr int kRounds = 500;
+  for (uint64_t id = 1; id <= kRounds; ++id) {
+    double us = benchutil::TimeUs([&] {
+      (void)client.SendFrame(SolveFrame(id, query), kIo);
+      (void)client.WaitTerminal(id, kIo);
+    });
+    rtt_us.push_back(us);
+  }
+  ServiceStats service = daemon.service_stats();
+  std::printf("%-10llu %-10llu %-10llu %-10llu %llu\n",
+              static_cast<unsigned long long>(Percentile(&rtt_us, 0.50)),
+              static_cast<unsigned long long>(Percentile(&rtt_us, 0.90)),
+              static_cast<unsigned long long>(Percentile(&rtt_us, 0.99)),
+              static_cast<unsigned long long>(Percentile(&rtt_us, 1.0)),
+              static_cast<unsigned long long>(service.latency_p50_us));
+  (void)daemon.Shutdown(milliseconds(5'000));
+  std::printf("\n");
+}
+
+void TableOverloadShedRate() {
+  std::printf(
+      "D2. pipelined overload: 1 worker, queue cap 8, per-conn inflight cap "
+      "256,\n    batches pipelined before reading; shed answers are typed "
+      "`overloaded` frames:\n");
+  std::printf("%-10s %-10s %-10s %-12s %-12s %-10s\n", "offered", "results",
+              "shed", "shed_rate", "terminal", "t_ms");
+  for (int offered : {8, 64, 256}) {
+    DaemonOptions options;
+    options.service.workers = 1;
+    options.service.queue_capacity = 8;
+    options.connection.max_inflight = 256;
+    SolveDaemon daemon(PollDb(40, 19), options);
+    if (!daemon.Start().ok()) return;
+    NetClient client;
+    if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+    std::string query = "Mayor(t | p), not Lives(p | t)";  // PollQ1, wire spelling
+    uint64_t results = 0, shed = 0, terminal = 0;
+    double t_us = benchutil::TimeUs([&] {
+      for (uint64_t id = 1; id <= static_cast<uint64_t>(offered); ++id) {
+        (void)client.SendFrame(SolveFrame(id, query), kIo);
+      }
+      for (int i = 0; i < offered; ++i) {
+        Result<WireResponse> r = client.ReadResponse(kIo);
+        if (!r.ok()) break;
+        ++terminal;
+        if (r->type == "result") ++results;
+        if (r->type == "error" && r->code == "overloaded") ++shed;
+      }
+    });
+    std::printf("%-10d %-10llu %-10llu %-12.2f %-12llu %.1f\n", offered,
+                static_cast<unsigned long long>(results),
+                static_cast<unsigned long long>(shed),
+                offered > 0 ? static_cast<double>(shed) / offered : 0.0,
+                static_cast<unsigned long long>(terminal), t_us / 1000.0);
+    (void)daemon.Shutdown(milliseconds(5'000));
+  }
+  std::printf("\n");
+}
+
+void Tables() {
+  TableRoundTrip();
+  TableOverloadShedRate();
+}
+
+void BM_DaemonRoundTrip(benchmark::State& state) {
+  DaemonOptions options;
+  options.service.workers = 1;
+  SolveDaemon daemon(PollDb(20, 23), options);
+  if (!daemon.Start().ok()) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  NetClient client;
+  if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) {
+    state.SkipWithError("client failed to connect");
+    return;
+  }
+  std::string query = "Mayor(t | p), not Lives(p | t)";  // PollQ1, wire spelling
+  uint64_t id = 0;
+  for (auto _ : state) {
+    ++id;
+    benchmark::DoNotOptimize(client.SendFrame(SolveFrame(id, query), kIo));
+    benchmark::DoNotOptimize(client.WaitTerminal(id, kIo));
+  }
+  (void)daemon.Shutdown(milliseconds(5'000));
+}
+BENCHMARK(BM_DaemonRoundTrip);
+
+}  // namespace
+}  // namespace cqa
+
+CQA_BENCH_MAIN(cqa::Tables)

@@ -1,0 +1,226 @@
+#include "cqa/base/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace cqa {
+
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Clamps a steady-clock remaining budget to a non-negative poll timeout.
+int PollMs(steady_clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<milliseconds>(deadline -
+                                                       steady_clock::now());
+  return static_cast<int>(std::clamp<int64_t>(left.count(), 0, INT32_MAX));
+}
+
+Result<PollStatus> PollOne(int fd, short events, milliseconds timeout) {
+  if (fd < 0) {
+    return Result<PollStatus>::Error(ErrorCode::kInternal,
+                                     "poll on an invalid socket");
+  }
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  int ms = static_cast<int>(
+      std::clamp<int64_t>(timeout.count(), 0, INT32_MAX));
+  int rc = ::poll(&pfd, 1, ms);
+  if (rc < 0) {
+    if (errno == EINTR) return PollStatus::kTimeout;  // caller re-checks
+    return Result<PollStatus>::Error(ErrorCode::kInternal, Errno("poll"));
+  }
+  if (rc == 0) return PollStatus::kTimeout;
+  // POLLERR/POLLHUP also count as "ready": the subsequent read/write will
+  // surface the actual condition as a typed error or EOF.
+  return PollStatus::kReady;
+}
+
+Result<struct sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string h = host.empty() || host == "localhost" ? "127.0.0.1" : host;
+  if (h == "*" || h == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, h.c_str(), &addr.sin_addr) != 1) {
+    return Result<struct sockaddr_in>::Error(
+        ErrorCode::kParse, "not an IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<PollStatus> PollReadable(int fd, milliseconds timeout) {
+  return PollOne(fd, POLLIN, timeout);
+}
+
+Result<PollStatus> PollWritable(int fd, milliseconds timeout) {
+  return PollOne(fd, POLLOUT, timeout);
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         uint16_t* bound_port) {
+  Result<struct sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return Result<Socket>::Error(addr);
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    return Result<Socket>::Error(ErrorCode::kInternal, Errno("socket"));
+  }
+  int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(s.fd(), reinterpret_cast<const struct sockaddr*>(&addr.value()),
+             sizeof(addr.value())) != 0) {
+    return Result<Socket>::Error(ErrorCode::kInternal, Errno("bind"));
+  }
+  if (::listen(s.fd(), 128) != 0) {
+    return Result<Socket>::Error(ErrorCode::kInternal, Errno("listen"));
+  }
+  if (bound_port != nullptr) {
+    struct sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(s.fd(), reinterpret_cast<struct sockaddr*>(&actual),
+                      &len) != 0) {
+      return Result<Socket>::Error(ErrorCode::kInternal,
+                                   Errno("getsockname"));
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return s;
+}
+
+Result<Socket> AcceptConnection(const Socket& listener) {
+  int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED ||
+        errno == EINTR || errno == EMFILE || errno == ENFILE) {
+      return Result<Socket>::Error(ErrorCode::kOverloaded, Errno("accept"));
+    }
+    return Result<Socket>::Error(ErrorCode::kInternal, Errno("accept"));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          milliseconds timeout) {
+  Result<struct sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return Result<Socket>::Error(addr);
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    return Result<Socket>::Error(ErrorCode::kInternal, Errno("socket"));
+  }
+  int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  ::fcntl(s.fd(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(
+      s.fd(), reinterpret_cast<const struct sockaddr*>(&addr.value()),
+      sizeof(addr.value()));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Result<Socket>::Error(ErrorCode::kInternal, Errno("connect"));
+  }
+  if (rc != 0) {
+    Result<PollStatus> ready = PollWritable(s.fd(), timeout);
+    if (!ready.ok()) return Result<Socket>::Error(ready);
+    if (ready.value() == PollStatus::kTimeout) {
+      return Result<Socket>::Error(ErrorCode::kDeadlineExceeded,
+                                   "connect timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      return Result<Socket>::Error(ErrorCode::kInternal, Errno("connect"));
+    }
+  }
+  ::fcntl(s.fd(), F_SETFL, flags);  // back to blocking
+  int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+Result<size_t> ReadSome(const Socket& socket, char* buffer, size_t capacity,
+                        milliseconds timeout) {
+  Result<PollStatus> ready = PollReadable(socket.fd(), timeout);
+  if (!ready.ok()) return Result<size_t>::Error(ready);
+  if (ready.value() == PollStatus::kTimeout) {
+    return Result<size_t>::Error(ErrorCode::kDeadlineExceeded,
+                                 "read timed out");
+  }
+  ssize_t n = ::recv(socket.fd(), buffer, capacity, 0);
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Result<size_t>::Error(ErrorCode::kDeadlineExceeded,
+                                   "read timed out");
+    }
+    return Result<size_t>::Error(ErrorCode::kInternal, Errno("recv"));
+  }
+  return static_cast<size_t>(n);
+}
+
+Result<size_t> WriteAll(const Socket& socket, const char* data, size_t size,
+                        milliseconds timeout) {
+  steady_clock::time_point deadline = steady_clock::now() + timeout;
+  size_t written = 0;
+  while (written < size) {
+    Result<PollStatus> ready =
+        PollWritable(socket.fd(), milliseconds(PollMs(deadline)));
+    if (!ready.ok()) return Result<size_t>::Error(ready);
+    if (ready.value() == PollStatus::kTimeout) {
+      if (steady_clock::now() < deadline) continue;  // EINTR slice
+      return Result<size_t>::Error(ErrorCode::kDeadlineExceeded,
+                                   "write timed out");
+    }
+    ssize_t n = ::send(socket.fd(), data + written, size - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Result<size_t>::Error(ErrorCode::kInternal, Errno("send"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return written;
+}
+
+}  // namespace cqa

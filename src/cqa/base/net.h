@@ -1,0 +1,84 @@
+#ifndef CQA_BASE_NET_H_
+#define CQA_BASE_NET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cqa/base/result.h"
+
+namespace cqa {
+
+/// Thin RAII + typed-error layer over POSIX TCP sockets and poll(2), shared
+/// by the solve daemon and its client. All blocking operations take explicit
+/// timeouts so callers can implement read/write deadlines and idle timeouts;
+/// none of them ever raise SIGPIPE (writes use MSG_NOSIGNAL).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Closes the descriptor (idempotent).
+  void Close();
+
+  /// shutdown(2) both directions; reliably wakes any thread blocked in
+  /// poll/read/write on this socket from another thread. Never fails
+  /// (an already-dead socket is the desired end state).
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of a single poll-with-timeout on one descriptor.
+enum class PollStatus {
+  kReady,    // the requested event (or an error/hangup) is pending
+  kTimeout,  // the timeout elapsed with nothing to do
+};
+
+/// Polls `fd` for readability; interprets EINTR as a timeout slice so
+/// callers re-check their own stop conditions. `kInternal` on real errors.
+Result<PollStatus> PollReadable(int fd, std::chrono::milliseconds timeout);
+/// Same for writability.
+Result<PollStatus> PollWritable(int fd, std::chrono::milliseconds timeout);
+
+/// Binds and listens on `host:port` (IPv4 dotted quad or "localhost").
+/// Port 0 picks an ephemeral port; `*bound_port` reports the actual one.
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         uint16_t* bound_port);
+
+/// Accepts one pending connection; call after PollReadable on the listener.
+/// `kUnavailable`-style transient conditions (EAGAIN, ECONNABORTED) are
+/// reported as `kOverloaded` so accept loops can just continue.
+Result<Socket> AcceptConnection(const Socket& listener);
+
+/// Connects to `host:port` within `timeout`.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          std::chrono::milliseconds timeout);
+
+/// Reads up to `capacity` bytes once the socket is readable, waiting at
+/// most `timeout`. Returns the byte count: 0 means orderly EOF. A timeout
+/// is `kDeadlineExceeded`; connection errors are `kInternal`.
+Result<size_t> ReadSome(const Socket& socket, char* buffer, size_t capacity,
+                        std::chrono::milliseconds timeout);
+
+/// Writes the whole buffer, waiting for writability as needed; the timeout
+/// bounds the *total* call. Partial progress past the deadline still fails
+/// with `kDeadlineExceeded` (the connection is no longer frame-aligned and
+/// must be closed).
+Result<size_t> WriteAll(const Socket& socket, const char* data, size_t size,
+                        std::chrono::milliseconds timeout);
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_NET_H_

@@ -1,0 +1,106 @@
+#include "cqa/base/signals.h"
+
+#include <atomic>
+#include <cassert>
+#include <cerrno>
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace cqa {
+
+namespace {
+
+// Handler state is necessarily global: signal handlers cannot carry a
+// `this`. Guarded by the one-live-instance contract of SignalDrainLatch.
+std::atomic<int> g_signal_number{0};
+int g_pipe_fds[2] = {-1, -1};
+
+void DrainHandler(int signum) {
+  int expected = 0;
+  g_signal_number.compare_exchange_strong(expected, signum);
+  // Wake any waiter. A full pipe is fine — one pending byte suffices —
+  // and there is nothing useful to do on any other error here.
+  char byte = 1;
+  [[maybe_unused]] ssize_t ignored = ::write(g_pipe_fds[1], &byte, 1);
+}
+
+}  // namespace
+
+struct LatchState {
+  struct sigaction old_int;
+  struct sigaction old_term;
+  struct sigaction old_pipe;
+};
+
+// One live latch at a time; the state does not need to be per-instance.
+static LatchState g_latch_state;
+static std::atomic<bool> g_latch_live{false};
+
+SignalDrainLatch::SignalDrainLatch() {
+  bool was_live = g_latch_live.exchange(true);
+  assert(!was_live && "only one SignalDrainLatch may be live");
+  (void)was_live;
+  g_signal_number.store(0);
+  if (::pipe(g_pipe_fds) != 0) {
+    g_pipe_fds[0] = g_pipe_fds[1] = -1;
+  } else {
+    ::fcntl(g_pipe_fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(g_pipe_fds[1], F_SETFL, O_NONBLOCK);
+  }
+  struct sigaction action;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  action.sa_handler = DrainHandler;
+  ::sigaction(SIGINT, &action, &g_latch_state.old_int);
+  ::sigaction(SIGTERM, &action, &g_latch_state.old_term);
+  struct sigaction ignore = action;
+  ignore.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &ignore, &g_latch_state.old_pipe);
+}
+
+SignalDrainLatch::~SignalDrainLatch() {
+  ::sigaction(SIGINT, &g_latch_state.old_int, nullptr);
+  ::sigaction(SIGTERM, &g_latch_state.old_term, nullptr);
+  ::sigaction(SIGPIPE, &g_latch_state.old_pipe, nullptr);
+  if (g_pipe_fds[0] >= 0) ::close(g_pipe_fds[0]);
+  if (g_pipe_fds[1] >= 0) ::close(g_pipe_fds[1]);
+  g_pipe_fds[0] = g_pipe_fds[1] = -1;
+  g_latch_live.store(false);
+}
+
+bool SignalDrainLatch::signalled() const {
+  return g_signal_number.load(std::memory_order_acquire) != 0;
+}
+
+int SignalDrainLatch::signal_number() const {
+  return g_signal_number.load(std::memory_order_acquire);
+}
+
+int SignalDrainLatch::fd() const { return g_pipe_fds[0]; }
+
+bool SignalDrainLatch::Wait(std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!signalled()) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return signalled();
+    struct pollfd pfd;
+    pfd.fd = g_pipe_fds[0];
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ms = static_cast<int>(std::min<int64_t>(left.count(), INT32_MAX));
+    int rc = ::poll(&pfd, 1, ms);
+    if (rc < 0 && errno != EINTR) return signalled();
+  }
+  return true;
+}
+
+void SignalDrainLatch::TripForTesting(int signal_number) {
+  DrainHandler(signal_number);
+}
+
+}  // namespace cqa

@@ -1,0 +1,45 @@
+#ifndef CQA_BASE_SIGNALS_H_
+#define CQA_BASE_SIGNALS_H_
+
+#include <chrono>
+
+namespace cqa {
+
+/// Async-signal-safe SIGINT/SIGTERM latch built on the self-pipe trick:
+/// the handler writes one byte to a pipe, so a thread can *block* on
+/// "signal or timeout" (via poll on `fd()` or `Wait`) instead of spinning
+/// on a flag. Used by the daemon front-end to start a graceful drain.
+///
+/// At most one instance may be live at a time (signal dispositions are
+/// process-global); the previous dispositions are restored on destruction.
+class SignalDrainLatch {
+ public:
+  /// Installs handlers for SIGINT and SIGTERM (and ignores SIGPIPE, which
+  /// any socket daemon must).
+  SignalDrainLatch();
+  ~SignalDrainLatch();
+
+  SignalDrainLatch(const SignalDrainLatch&) = delete;
+  SignalDrainLatch& operator=(const SignalDrainLatch&) = delete;
+
+  /// True once a drain signal has been received (sticky).
+  bool signalled() const;
+
+  /// The signal number that fired first (0 if none yet).
+  int signal_number() const;
+
+  /// Blocks until a signal arrives or `timeout` elapses; true iff
+  /// signalled. Spurious wakeups re-wait internally.
+  bool Wait(std::chrono::milliseconds timeout);
+
+  /// Readable end of the self-pipe, for integrating into a poll loop.
+  int fd() const;
+
+  /// Trips the latch programmatically (tests; also lets a daemon reuse the
+  /// same drain path for non-signal shutdown causes).
+  void TripForTesting(int signal_number);
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_SIGNALS_H_

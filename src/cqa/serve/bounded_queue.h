@@ -4,22 +4,33 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 namespace cqa {
 
-/// A bounded multi-producer multi-consumer FIFO queue, the admission point
-/// of the solve service. Producers never block: `TryPush` fails immediately
+/// A bounded multi-producer multi-consumer queue, the admission point of
+/// the solve service. Producers never block: `TryPush` fails immediately
 /// when the queue is full (the caller sheds the request with `kOverloaded`)
 /// or closed. Consumers block in `Pop` until an item arrives or the queue
 /// is closed *and* drained, so closing lets workers finish the backlog and
 /// then exit cleanly.
+///
+/// Ordering is FIFO by default. An optional strict-weak `before` predicate
+/// turns consumption into priority order (e.g. earliest-deadline-first):
+/// `Pop`/`TryPop` remove the minimum element, with ties broken FIFO (the
+/// scan keeps the earliest-pushed of equal elements), so a priority queue
+/// with all-equal keys behaves exactly like the FIFO one. The scan is
+/// O(queue length), which the bounded capacity keeps small by design.
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+  using BeforeFn = std::function<bool(const T&, const T&)>;
+
+  explicit BoundedQueue(size_t capacity, BeforeFn before = nullptr)
+      : capacity_(capacity), before_(std::move(before)) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -42,8 +53,7 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;
-    *out = std::move(items_.front());
-    items_.pop_front();
+    PopNextLocked(out);
     return true;
   }
 
@@ -51,8 +61,7 @@ class BoundedQueue {
   bool TryPop(T* out) {
     std::lock_guard<std::mutex> lock(mu_);
     if (items_.empty()) return false;
-    *out = std::move(items_.front());
-    items_.pop_front();
+    PopNextLocked(out);
     return true;
   }
 
@@ -93,7 +102,22 @@ class BoundedQueue {
   }
 
  private:
+  // Removes the next item per the queue discipline (front for FIFO, the
+  // minimum under `before_` otherwise). Caller holds `mu_` and guarantees
+  // non-emptiness.
+  void PopNextLocked(T* out) {
+    size_t pick = 0;
+    if (before_) {
+      for (size_t i = 1; i < items_.size(); ++i) {
+        if (before_(items_[i], items_[pick])) pick = i;
+      }
+    }
+    *out = std::move(items_[pick]);
+    items_.erase(items_.begin() + static_cast<ptrdiff_t>(pick));
+  }
+
   const size_t capacity_;
+  const BeforeFn before_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::deque<T> items_;

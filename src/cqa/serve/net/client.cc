@@ -1,0 +1,100 @@
+#include "cqa/serve/net/client.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+#include <vector>
+
+namespace cqa {
+
+Result<bool> NetClient::Connect(const std::string& host, uint16_t port,
+                                std::chrono::milliseconds timeout) {
+  Result<Socket> s = ConnectTcp(host, port, timeout);
+  if (!s.ok()) return Result<bool>::Error(s.code(), s.error());
+  socket_ = std::move(s.value());
+  return true;
+}
+
+void NetClient::CloseWriteHalf() {
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_WR);
+}
+
+Result<bool> NetClient::SendFrame(const std::string& payload,
+                                  std::chrono::milliseconds timeout) {
+  return SendRaw(EncodeFrame(payload), timeout);
+}
+
+Result<bool> NetClient::SendRaw(const std::string& bytes,
+                                std::chrono::milliseconds timeout) {
+  if (!socket_.valid()) {
+    return Result<bool>::Error(ErrorCode::kInternal, "not connected");
+  }
+  Result<size_t> w = WriteAll(socket_, bytes.data(), bytes.size(), timeout);
+  if (!w.ok()) return Result<bool>::Error(w.code(), w.error());
+  return true;
+}
+
+Result<WireResponse> NetClient::ReadResponse(
+    std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  char buf[4096];
+  std::vector<std::string> frames;
+  while (pending_frames_.empty()) {
+    if (!socket_.valid()) {
+      return Result<WireResponse>::Error(ErrorCode::kInternal,
+                                         "not connected");
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Result<WireResponse>::Error(ErrorCode::kDeadlineExceeded,
+                                         "no frame before the deadline");
+    }
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    Result<size_t> r = ReadSome(socket_, buf, sizeof(buf), left);
+    if (!r.ok()) return Result<WireResponse>::Error(r.code(), r.error());
+    if (*r == 0) {
+      return Result<WireResponse>::Error(ErrorCode::kInternal,
+                                         "connection closed");
+    }
+    frames.clear();
+    if (!decoder_.Feed(buf, *r, &frames)) {
+      return Result<WireResponse>::Error(ErrorCode::kParse,
+                                         "oversized response frame");
+    }
+    for (std::string& f : frames) pending_frames_.push_back(std::move(f));
+  }
+  std::string frame = std::move(pending_frames_.front());
+  pending_frames_.pop_front();
+  return DecodeResponse(frame);
+}
+
+Result<WireResponse> NetClient::WaitTerminal(
+    uint64_t id, std::chrono::milliseconds timeout) {
+  for (auto it = stashed_terminals_.begin(); it != stashed_terminals_.end();
+       ++it) {
+    if (it->id == id) {
+      WireResponse resp = std::move(*it);
+      stashed_terminals_.erase(it);
+      return resp;
+    }
+  }
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Result<WireResponse>::Error(ErrorCode::kDeadlineExceeded,
+                                         "no terminal frame for id " +
+                                             std::to_string(id));
+    }
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    Result<WireResponse> resp = ReadResponse(left);
+    if (!resp.ok()) return resp;
+    if (!IsTerminalResponseType(resp->type)) continue;
+    if (resp->id == id) return resp;
+    stashed_terminals_.push_back(std::move(*resp));
+  }
+}
+
+}  // namespace cqa

@@ -1,0 +1,70 @@
+#ifndef CQA_SERVE_NET_CLIENT_H_
+#define CQA_SERVE_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "cqa/base/net.h"
+#include "cqa/base/result.h"
+#include "cqa/serve/net/framing.h"
+#include "cqa/serve/net/protocol.h"
+
+namespace cqa {
+
+/// Minimal blocking client for the solve daemon: connects, writes frames,
+/// reads decoded responses with a deadline. Single-threaded by design —
+/// tests and the CLI drive it; it is also the tool of choice for chaos
+/// tests because `SendRaw` can inject arbitrary bytes (garbage, truncated
+/// or oversized frames) and `Close` can hang up mid-solve.
+class NetClient {
+ public:
+  NetClient() : decoder_(kClientMaxFrameBytes) {}
+
+  /// Connects within `timeout`.
+  Result<bool> Connect(const std::string& host, uint16_t port,
+                       std::chrono::milliseconds timeout);
+
+  bool connected() const { return socket_.valid(); }
+
+  /// Hangs up (RST-free orderly close). Safe when not connected.
+  void Close() { socket_.Close(); }
+
+  /// Shuts down only the write side: the daemon sees EOF while this client
+  /// can still read the frames already in flight.
+  void CloseWriteHalf();
+
+  /// Frames `payload` (appends the newline) and writes it.
+  Result<bool> SendFrame(const std::string& payload,
+                         std::chrono::milliseconds timeout);
+
+  /// Writes raw bytes verbatim — no framing, no validation. Chaos only.
+  Result<bool> SendRaw(const std::string& bytes,
+                       std::chrono::milliseconds timeout);
+
+  /// Reads the next complete frame (decoded). `kDeadlineExceeded` when the
+  /// deadline passes first; `kInternal` with "connection closed" on EOF.
+  Result<WireResponse> ReadResponse(std::chrono::milliseconds timeout);
+
+  /// Reads frames until one is a terminal answer ("result" / "error" /
+  /// "cancelled") for `id`; non-terminal frames are skipped. Terminal
+  /// frames for *other* ids are stashed, not dropped — with concurrent
+  /// workers results arrive in any order, and a later WaitTerminal for
+  /// that id must still find its frame.
+  Result<WireResponse> WaitTerminal(uint64_t id,
+                                    std::chrono::milliseconds timeout);
+
+ private:
+  // Responses are small; a daemon-sized cap would only hide bugs.
+  static constexpr size_t kClientMaxFrameBytes = 1 << 20;
+
+  Socket socket_;
+  FrameDecoder decoder_;
+  std::deque<std::string> pending_frames_;
+  std::deque<WireResponse> stashed_terminals_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_NET_CLIENT_H_

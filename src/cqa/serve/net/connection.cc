@@ -1,0 +1,405 @@
+#include "cqa/serve/net/connection.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "cqa/query/parser.h"
+#include "cqa/serve/net/daemon_stats.h"
+
+namespace cqa {
+
+void DaemonStatsCollector::OnConnectionClosed(CloseReason reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.connections_active > 0) --stats_.connections_active;
+  switch (reason) {
+    case CloseReason::kGarbage:
+      ++stats_.connections_closed_garbage;
+      break;
+    case CloseReason::kOversize:
+      ++stats_.connections_closed_oversize;
+      break;
+    case CloseReason::kIdle:
+      ++stats_.connections_closed_idle;
+      break;
+    case CloseReason::kError:
+      ++stats_.connections_closed_error;
+      break;
+    case CloseReason::kOpen:
+    case CloseReason::kClientEof:
+    case CloseReason::kDrain:
+      break;
+  }
+}
+
+Connection::Connection(Socket socket, SolveService* service,
+                       std::shared_ptr<const Database> db,
+                       ConnectionOptions options, DaemonStatsCollector* stats)
+    : socket_(std::move(socket)),
+      service_(service),
+      db_(std::move(db)),
+      options_(options),
+      stats_(stats),
+      decoder_(options.max_frame_bytes) {}
+
+Connection::~Connection() { Join(); }
+
+void Connection::Start() {
+  stats_->OnConnectionOpened();
+  auto self = shared_from_this();
+  reader_ = std::thread([self] {
+    self->ReaderLoop();
+    self->threads_exited_.fetch_add(1);
+  });
+  writer_ = std::thread([self] {
+    self->WriterLoop();
+    self->threads_exited_.fetch_add(1);
+  });
+}
+
+void Connection::BeginDrain() { draining_.store(true); }
+
+void Connection::FinishAfterFlush() { CloseAfterFlush(CloseReason::kDrain); }
+
+void Connection::ForceClose() { Abort(CloseReason::kDrain); }
+
+void Connection::Join() {
+  if (reader_.joinable()) reader_.join();
+  if (writer_.joinable()) writer_.join();
+}
+
+bool Connection::RecordCloseReason(CloseReason reason) {
+  std::lock_guard<std::mutex> lock(close_mu_);
+  if (close_reason_ != CloseReason::kOpen) return false;
+  close_reason_ = reason;
+  return true;
+}
+
+void Connection::CloseAfterFlush(CloseReason reason) {
+  if (RecordCloseReason(reason)) stats_->OnConnectionClosed(reason);
+  draining_.store(true);
+  closing_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    out_finishing_ = true;
+  }
+  out_ready_cv_.notify_all();
+  out_space_cv_.notify_all();
+}
+
+void Connection::Abort(CloseReason reason) {
+  if (RecordCloseReason(reason)) stats_->OnConnectionClosed(reason);
+  draining_.store(true);
+  closing_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    out_closed_ = true;
+    outbound_.clear();
+  }
+  out_ready_cv_.notify_all();
+  out_space_cv_.notify_all();
+  // Wakes a reader blocked in poll/read and a writer blocked in send.
+  socket_.ShutdownBoth();
+}
+
+void Connection::CancelOutstanding() {
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ids.reserve(inflight_.size());
+    for (const auto& [client_id, service_id] : inflight_) {
+      ids.push_back(service_id);
+    }
+  }
+  for (uint64_t id : ids) service_->Cancel(id);
+}
+
+void Connection::ReaderLoop() {
+  using Clock = std::chrono::steady_clock;
+  char buf[4096];
+  Clock::time_point last_activity = Clock::now();
+  std::optional<Clock::time_point> partial_since;
+  std::vector<std::string> frames;
+
+  while (!closing_.load()) {
+    Result<size_t> r = ReadSome(socket_, buf, sizeof(buf), options_.poll_slice);
+    if (closing_.load()) break;  // woken by shutdown, not by the client
+    if (!r.ok()) {
+      if (r.code() == ErrorCode::kDeadlineExceeded) {
+        // Just a poll slice; enforce the connection-level deadlines.
+        Clock::time_point now = Clock::now();
+        if (now - last_activity >= options_.idle_timeout) {
+          EnqueueFromReader(EncodeErrorFrame(std::nullopt,
+                                             ErrorCode::kDeadlineExceeded,
+                                             "idle timeout", /*fatal=*/true));
+          CloseAfterFlush(CloseReason::kIdle);
+          break;
+        }
+        if (partial_since && now - *partial_since >= options_.read_deadline) {
+          EnqueueFromReader(EncodeErrorFrame(
+              std::nullopt, ErrorCode::kDeadlineExceeded,
+              "read deadline: frame not completed in time", /*fatal=*/true));
+          CloseAfterFlush(CloseReason::kIdle);
+          break;
+        }
+        continue;
+      }
+      Abort(CloseReason::kError);
+      break;
+    }
+    if (*r == 0) {
+      // Orderly client disconnect; outstanding solves are cancelled below.
+      Abort(CloseReason::kClientEof);
+      break;
+    }
+    last_activity = Clock::now();
+    frames.clear();
+    bool stream_ok = decoder_.Feed(buf, *r, &frames);
+    for (const std::string& frame : frames) {
+      if (closing_.load()) break;
+      HandleFrame(frame);
+    }
+    if (!stream_ok) {
+      // Oversized frame: the stream cannot be resynchronized; send a fatal
+      // typed error and close.
+      EnqueueFromReader(EncodeErrorFrame(
+          std::nullopt, ErrorCode::kParse,
+          "frame exceeds max_frame_bytes (" +
+              std::to_string(options_.max_frame_bytes) + ")",
+          /*fatal=*/true));
+      CloseAfterFlush(CloseReason::kOversize);
+      break;
+    }
+    if (decoder_.pending_bytes() > 0) {
+      if (!partial_since) partial_since = Clock::now();
+    } else {
+      partial_since.reset();
+    }
+  }
+  // Whatever ended the read loop — disconnect, deadline, garbage limit,
+  // drain — this connection can never receive a cancel or produce new work,
+  // so every solve still in flight is cancelled. Their terminal "cancelled"
+  // frames are flushed if the write side is still alive.
+  CancelOutstanding();
+}
+
+void Connection::HandleFrame(const std::string& frame) {
+  Result<WireRequest> decoded = DecodeRequest(frame);
+  stats_->OnFrame(/*garbage=*/!decoded.ok());
+  if (!decoded.ok()) {
+    ++consecutive_garbage_;
+    bool fatal = consecutive_garbage_ >= options_.max_consecutive_garbage;
+    // A malformed frame fails the *frame*, never the connection — unless
+    // the client keeps sending garbage, which marks it hostile.
+    EnqueueFromReader(
+        EncodeErrorFrame(std::nullopt, decoded.code(), decoded.error(), fatal));
+    if (fatal) CloseAfterFlush(CloseReason::kGarbage);
+    return;
+  }
+  consecutive_garbage_ = 0;
+
+  switch (decoded->type) {
+    case WireRequestType::kHealth:
+      EnqueueFromReader(EncodeHealthFrame(decoded->id, draining_.load()));
+      return;
+    case WireRequestType::kStats:
+      EnqueueFromReader(
+          EncodeStatsFrame(decoded->id, service_->Stats(), stats_->Snapshot()));
+      return;
+    case WireRequestType::kCancel: {
+      uint64_t service_id = 0;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        auto it = inflight_.find(decoded->target);
+        if (it != inflight_.end()) {
+          found = true;
+          service_id = it->second;
+        }
+      }
+      if (found) found = service_->Cancel(service_id);
+      EnqueueFromReader(
+          EncodeCancelAckFrame(decoded->id, decoded->target, found));
+      return;
+    }
+    case WireRequestType::kSolve:
+      HandleSolve(std::move(*decoded));
+      return;
+  }
+}
+
+void Connection::HandleSolve(WireRequest request) {
+  const uint64_t id = request.id;
+  if (draining_.load()) {
+    stats_->OnSolveRejectedOverloaded();
+    EnqueueFromReader(EncodeErrorFrame(
+        id, ErrorCode::kOverloaded, "daemon is draining; not accepting work"));
+    return;
+  }
+  enum class Reject { kNone, kDuplicate, kInflightCap };
+  Reject reject;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    if (inflight_.count(id) > 0) {
+      reject = Reject::kDuplicate;
+    } else if (inflight_.size() >= options_.max_inflight) {
+      reject = Reject::kInflightCap;
+    } else {
+      reject = Reject::kNone;
+      // Pre-insert before Submit so the terminal callback — which can fire
+      // on a worker thread before Submit even returns — always finds the
+      // entry to erase. The placeholder service id is fixed up below; only
+      // this reader thread reads the map until then.
+      inflight_.emplace(id, 0);
+    }
+  }
+  if (reject == Reject::kDuplicate) {
+    // Reusing an in-flight id would make "exactly one terminal frame per
+    // id" ambiguous; reject the new frame, keep the old request.
+    EnqueueFromReader(EncodeErrorFrame(
+        id, ErrorCode::kParse,
+        "duplicate id: a solve with this id is already in flight"));
+    return;
+  }
+  if (reject == Reject::kInflightCap) {
+    stats_->OnSolveRejectedInflightCap();
+    EnqueueFromReader(
+        EncodeErrorFrame(id, ErrorCode::kOverloaded,
+                         "per-connection in-flight cap (" +
+                             std::to_string(options_.max_inflight) +
+                             ") reached"));
+    return;
+  }
+
+  Result<Query> query = ParseQuery(request.query);
+  if (!query.ok()) {
+    // A well-formed frame carrying an unparsable query is a request-level
+    // failure: it gets its terminal error frame and does not count toward
+    // the consecutive-garbage limit.
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(id);
+    }
+    EnqueueFromReader(EncodeErrorFrame(id, query.code(), query.error()));
+    return;
+  }
+
+  ServeJob job(std::move(*query), db_);
+  if (request.timeout_ms) {
+    job.timeout = std::chrono::milliseconds(*request.timeout_ms);
+  }
+  job.deadline_from_submit = request.deadline_from_submit;
+  job.max_steps = request.max_steps;
+  job.method = request.method;
+  job.degrade_to_sampling = request.degrade_to_sampling;
+  job.max_samples = request.max_samples;
+  job.chaos_sleep = std::chrono::milliseconds(request.chaos_sleep_ms);
+  job.fail_after_probes = request.fail_after_probes;
+  job.fault_attempts = request.fault_attempts;
+
+  auto self = shared_from_this();
+  Result<uint64_t> submitted = service_->Submit(
+      std::move(job), [self, id](const ServeResponse& response) {
+        self->SolveCallback(id, response);
+      });
+  if (!submitted.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(id);
+    }
+    stats_->OnSolveRejectedOverloaded();
+    EnqueueFromReader(EncodeErrorFrame(id, submitted.code(), submitted.error()));
+    return;
+  }
+  stats_->OnSolveAdmitted();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(id);
+    // Absent means the terminal callback already fired and erased the
+    // pre-inserted entry; do not resurrect it.
+    if (it != inflight_.end()) it->second = *submitted;
+  }
+}
+
+void Connection::SolveCallback(uint64_t client_id,
+                               const ServeResponse& response) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(client_id);
+  }
+  std::string frame;
+  if (response.state == RequestState::kCancelled) {
+    frame = EncodeCancelledFrame(
+        client_id,
+        response.result.ok() ? "cancelled" : response.result.error());
+  } else if (response.result.ok()) {
+    frame = EncodeResultFrame(client_id, *response.result, response.attempts,
+                              response.latency);
+  } else {
+    frame = EncodeErrorFrame(client_id, response.result.code(),
+                             response.result.error());
+  }
+  EnqueueFromWorker(std::move(frame));
+}
+
+void Connection::EnqueueFromWorker(std::string payload) {
+  std::string frame = EncodeFrame(payload);
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    if (out_closed_) return;  // client is gone; nothing to deliver to
+    outbound_.push_back(std::move(frame));
+  }
+  out_ready_cv_.notify_one();
+}
+
+void Connection::EnqueueFromReader(std::string payload) {
+  std::string frame = EncodeFrame(payload);
+  std::unique_lock<std::mutex> lock(out_mu_);
+  // Backpressure: the reader stalls (stopping further reads → the TCP
+  // window fills → the client's sends block) until the writer catches up
+  // or the connection dies. The writer's own write deadline bounds this.
+  out_space_cv_.wait(lock, [&] {
+    return out_closed_ || out_finishing_ ||
+           outbound_.size() < options_.outbound_soft_cap;
+  });
+  if (out_closed_) return;
+  outbound_.push_back(std::move(frame));
+  lock.unlock();
+  out_ready_cv_.notify_one();
+}
+
+void Connection::WriterLoop() {
+  for (;;) {
+    std::string frame;
+    {
+      std::unique_lock<std::mutex> lock(out_mu_);
+      out_ready_cv_.wait(lock, [&] {
+        return !outbound_.empty() || out_closed_ || out_finishing_;
+      });
+      if (out_closed_) break;
+      if (outbound_.empty()) break;  // finishing and fully flushed
+      frame = std::move(outbound_.front());
+      outbound_.pop_front();
+    }
+    out_space_cv_.notify_all();
+    Result<size_t> w =
+        WriteAll(socket_, frame.data(), frame.size(), options_.write_deadline);
+    if (!w.ok()) {
+      // Slow or dead reader past the write deadline: the stream is no
+      // longer frame-aligned; drop the connection.
+      Abort(CloseReason::kError);
+      break;
+    }
+  }
+  // Nothing more will ever be written: fail fast any producer still
+  // enqueueing and let the peer see EOF.
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    out_closed_ = true;
+    outbound_.clear();
+  }
+  out_space_cv_.notify_all();
+  socket_.ShutdownBoth();
+}
+
+}  // namespace cqa

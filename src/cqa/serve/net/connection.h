@@ -1,0 +1,170 @@
+#ifndef CQA_SERVE_NET_CONNECTION_H_
+#define CQA_SERVE_NET_CONNECTION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "cqa/base/net.h"
+#include "cqa/db/database.h"
+#include "cqa/serve/net/framing.h"
+#include "cqa/serve/net/protocol.h"
+#include "cqa/serve/service.h"
+
+namespace cqa {
+
+/// Fault-handling knobs of one daemon connection. Every limit exists to
+/// keep a single misbehaving client from wedging the daemon: slowloris
+/// writers hit the partial-frame read deadline, silent clients the idle
+/// timeout, stalled readers the write deadline, and floods the per-
+/// connection in-flight cap.
+struct ConnectionOptions {
+  /// Hard cap on one frame; exceeding it is unrecoverable (the stream can
+  /// no longer be resynchronized) and closes the connection.
+  size_t max_frame_bytes = 1 << 20;
+  /// Consecutive undecodable frames tolerated before the connection is
+  /// closed as hostile. A single garbage frame only fails that frame.
+  int max_consecutive_garbage = 3;
+  /// Cap on solve requests in flight per connection; beyond it new solves
+  /// are answered with a typed `overloaded` error frame.
+  size_t max_inflight = 16;
+  /// Connection with no traffic at all for this long is closed.
+  std::chrono::milliseconds idle_timeout{300'000};
+  /// A started-but-unterminated frame older than this closes the
+  /// connection (read deadline).
+  std::chrono::milliseconds read_deadline{30'000};
+  /// Total time allowed to write one response frame to a slow reader.
+  std::chrono::milliseconds write_deadline{30'000};
+  /// Reader-generated frames (errors, health, stats) buffered before the
+  /// reader blocks — slow readers backpressure the connection's own
+  /// reader, never the service workers.
+  size_t outbound_soft_cap = 64;
+  /// Poll slice for the reader loop; bounds shutdown latency.
+  std::chrono::milliseconds poll_slice{50};
+};
+
+/// Why a connection ended (recorded in `DaemonStats`).
+enum class CloseReason {
+  kOpen,      // not closed yet
+  kClientEof, // orderly client disconnect
+  kGarbage,   // too many consecutive undecodable frames
+  kOversize,  // a frame exceeded max_frame_bytes
+  kIdle,      // idle timeout or partial-frame read deadline
+  kError,     // socket error or write deadline
+  kDrain,     // daemon shutdown
+};
+
+class DaemonStatsCollector;
+
+/// One accepted client connection: a reader thread that decodes frames and
+/// bridges solve requests into the `SolveService`, and a writer thread
+/// that owns all socket writes. Worker callbacks only enqueue response
+/// frames (never block, never touch the socket), so a slow or dead client
+/// cannot stall the solve workers. The connection guarantees exactly one
+/// terminal frame (result / typed error / cancellation notice) per decoded
+/// solve frame for as long as the socket lives, and cancels every
+/// outstanding request the moment the client disconnects.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  Connection(Socket socket, SolveService* service,
+             std::shared_ptr<const Database> db, ConnectionOptions options,
+             DaemonStatsCollector* stats);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Spawns the reader and writer threads. Call once, on a shared_ptr-owned
+  /// instance (callbacks keep the connection alive via shared_from_this).
+  void Start();
+
+  /// Daemon drain: stop admitting new solves (they get a typed overloaded
+  /// error frame); reads and writes continue so in-flight results flush.
+  void BeginDrain();
+
+  /// Asks the connection to finish: the writer flushes what is queued and
+  /// then closes the socket; the reader stops at its next poll slice.
+  void FinishAfterFlush();
+
+  /// Hard stop: shuts the socket down both ways (waking any blocked
+  /// reader/writer) and abandons unflushed output.
+  void ForceClose();
+
+  /// True once both threads have exited (the connection can be joined
+  /// without blocking).
+  bool finished() const { return threads_exited_.load() == 2; }
+
+  /// Joins both threads; call after `finished()` or after ForceClose.
+  void Join();
+
+ private:
+  void ReaderLoop();
+  void WriterLoop();
+  void HandleFrame(const std::string& frame);
+  void HandleSolve(WireRequest request);
+  void SolveCallback(uint64_t client_id, const ServeResponse& response);
+
+  /// Worker-side enqueue of a response payload (framed here): never
+  /// blocks; drops the frame only if the connection is already closed
+  /// (the client is gone).
+  void EnqueueFromWorker(std::string payload);
+  /// Reader-side enqueue: blocks (bounded by the writer's own deadline)
+  /// when the outbound buffer is past the soft cap — this is the
+  /// backpressure path for slow readers.
+  void EnqueueFromReader(std::string payload);
+
+  /// Records the close reason once (first cause wins); true on the first
+  /// call, which also updates the daemon stats.
+  bool RecordCloseReason(CloseReason reason);
+  /// Stops the reader and new output, lets the writer flush what is queued
+  /// (the path that delivers fatal error frames), then closes the socket.
+  void CloseAfterFlush(CloseReason reason);
+  /// Hard stop: drops unflushed output and shuts the socket down both
+  /// ways, waking any blocked reader/writer.
+  void Abort(CloseReason reason);
+  /// Cancels every outstanding request of this connection.
+  void CancelOutstanding();
+
+  Socket socket_;
+  SolveService* const service_;
+  const std::shared_ptr<const Database> db_;
+  const ConnectionOptions options_;
+  DaemonStatsCollector* const stats_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> closing_{false};
+  std::atomic<int> threads_exited_{0};
+
+  // Outbound frame buffer, owned by the writer.
+  std::mutex out_mu_;
+  std::condition_variable out_ready_cv_;  // writer waits for work
+  std::condition_variable out_space_cv_;  // reader waits for room
+  std::deque<std::string> outbound_;
+  bool out_closed_ = false;     // socket dead: drop further frames
+  bool out_finishing_ = false;  // flush what is queued, then exit
+
+  // client id -> service request id for every admitted, unterminated solve.
+  std::mutex inflight_mu_;
+  std::unordered_map<uint64_t, uint64_t> inflight_;
+
+  // Reader-only state.
+  FrameDecoder decoder_;
+  int consecutive_garbage_ = 0;
+
+  std::mutex close_mu_;
+  CloseReason close_reason_ = CloseReason::kOpen;
+
+  std::thread reader_;
+  std::thread writer_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_NET_CONNECTION_H_

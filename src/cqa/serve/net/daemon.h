@@ -1,0 +1,103 @@
+#ifndef CQA_SERVE_NET_DAEMON_H_
+#define CQA_SERVE_NET_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cqa/base/net.h"
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/serve/net/connection.h"
+#include "cqa/serve/net/daemon_stats.h"
+#include "cqa/serve/service.h"
+
+namespace cqa {
+
+struct DaemonOptions {
+  /// Listen address; IPv4 dotted quad or "localhost". Port 0 binds an
+  /// ephemeral port (reported by `SolveDaemon::port()`).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Hard cap on simultaneously open connections; excess clients get a
+  /// fatal `overloaded` error frame and an immediate close.
+  size_t max_connections = 256;
+  /// Worker pool, queue discipline, timeouts, retries (see service.h).
+  ServiceOptions service;
+  /// Per-connection fault handling (see connection.h).
+  ConnectionOptions connection;
+  /// During `Shutdown`, the budget for writers to flush already-queued
+  /// response frames after the service itself has drained.
+  std::chrono::milliseconds flush_deadline{2'000};
+};
+
+/// TCP front-end for `SolveService`: accepts connections, speaks the
+/// newline-delimited JSON protocol (protocol.h), and mirrors the service's
+/// lifecycle guarantees on the wire — exactly one terminal frame per
+/// accepted solve frame, typed error frames for overload and malformed
+/// input, cancellation of everything a disconnected client left behind,
+/// and graceful drain on shutdown.
+class SolveDaemon {
+ public:
+  /// `db` is the database served to every connection; it must stay
+  /// immutable for the daemon's lifetime.
+  SolveDaemon(std::shared_ptr<const Database> db, DaemonOptions options);
+  ~SolveDaemon();  // Shutdown with a zero drain deadline if still running
+
+  SolveDaemon(const SolveDaemon&) = delete;
+  SolveDaemon& operator=(const SolveDaemon&) = delete;
+
+  /// Binds, listens and starts the accept loop. Fails with a typed error
+  /// (e.g. address in use) without leaving threads behind.
+  Result<bool> Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown, mirroring `SolveService::Shutdown`:
+  ///  1. stop accepting connections and new solve frames (clients get
+  ///     typed `overloaded` errors while draining),
+  ///  2. let in-flight solves finish within `drain_deadline`, then
+  ///     force-cancel the rest (each still gets its terminal frame),
+  ///  3. flush connection writers within `flush_deadline`, then close.
+  /// Returns true when everything drained without forced cancellation.
+  /// Idempotent; concurrent callers serialize.
+  bool Shutdown(std::chrono::milliseconds drain_deadline);
+
+  bool draining() const { return draining_.load(); }
+
+  ServiceStats service_stats() const { return service_->Stats(); }
+  DaemonStats daemon_stats() const { return stats_.Snapshot(); }
+
+ private:
+  void AcceptLoop();
+  /// Joins and drops connections whose threads have exited.
+  void ReapFinished();
+
+  const std::shared_ptr<const Database> db_;
+  const DaemonOptions options_;
+  DaemonStatsCollector stats_;
+  std::unique_ptr<SolveService> service_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> draining_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;
+  bool drained_result_ = true;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_NET_DAEMON_H_

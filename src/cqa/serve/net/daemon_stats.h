@@ -1,0 +1,58 @@
+#ifndef CQA_SERVE_NET_DAEMON_STATS_H_
+#define CQA_SERVE_NET_DAEMON_STATS_H_
+
+#include <mutex>
+
+#include "cqa/serve/net/protocol.h"
+
+namespace cqa {
+
+enum class CloseReason;
+
+/// Thread-safe accumulator for `DaemonStats`, shared by the daemon and all
+/// of its connections (connections outlive neither the collector nor the
+/// daemon that owns both).
+class DaemonStatsCollector {
+ public:
+  void OnConnectionOpened() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.connections_opened;
+    ++stats_.connections_active;
+  }
+
+  void OnConnectionClosed(CloseReason reason);
+
+  void OnFrame(bool garbage) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frames_received;
+    if (garbage) ++stats_.frames_garbage;
+  }
+
+  void OnSolveAdmitted() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.solves_admitted;
+  }
+
+  void OnSolveRejectedInflightCap() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.solves_rejected_inflight_cap;
+  }
+
+  void OnSolveRejectedOverloaded() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.solves_rejected_overloaded;
+  }
+
+  DaemonStats Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  DaemonStats stats_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_NET_DAEMON_STATS_H_

@@ -1,0 +1,47 @@
+#include "cqa/serve/net/framing.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cqa {
+
+bool FrameDecoder::Feed(const char* data, size_t size,
+                        std::vector<std::string>* frames) {
+  if (overflowed_) return false;
+  size_t pos = 0;
+  while (pos < size) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + pos, '\n', size - pos));
+    if (nl == nullptr) {
+      // No terminator in this chunk: buffer the tail, watching the cap.
+      if (buffer_.size() + (size - pos) > max_frame_bytes_) {
+        overflowed_ = true;
+        buffer_.clear();
+        return false;
+      }
+      buffer_.append(data + pos, size - pos);
+      return true;
+    }
+    size_t chunk = static_cast<size_t>(nl - (data + pos));
+    if (buffer_.size() + chunk > max_frame_bytes_) {
+      overflowed_ = true;
+      buffer_.clear();
+      return false;
+    }
+    buffer_.append(data + pos, chunk);
+    pos += chunk + 1;  // skip '\n'
+    if (!buffer_.empty() && buffer_.back() == '\r') buffer_.pop_back();
+    if (!buffer_.empty()) frames->push_back(std::move(buffer_));
+    buffer_.clear();
+  }
+  return true;
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  std::string frame = payload;
+  std::replace(frame.begin(), frame.end(), '\n', ' ');
+  frame.push_back('\n');
+  return frame;
+}
+
+}  // namespace cqa

@@ -1,0 +1,51 @@
+#ifndef CQA_SERVE_NET_FRAMING_H_
+#define CQA_SERVE_NET_FRAMING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cqa {
+
+/// Newline-delimited framing for the solve daemon's wire protocol.
+///
+/// A frame is one line: any byte sequence not containing '\n', terminated
+/// by '\n' (a preceding '\r' is stripped, so both LF and CRLF work). The
+/// decoder enforces a maximum frame size: the moment the unterminated tail
+/// exceeds `max_frame_bytes`, it latches the `overflowed` state — the
+/// protocol cannot resynchronize reliably after an oversized frame, so the
+/// connection owner must send a typed error and close.
+///
+/// Empty lines are silently skipped (they are a common artifact of
+/// interactive clients and keepalive newlines, and carry no payload).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes a chunk of bytes from the stream and appends every complete
+  /// frame to `frames`. Returns false once the decoder has overflowed
+  /// (frames completed before the overflow are still delivered).
+  bool Feed(const char* data, size_t size, std::vector<std::string>* frames);
+
+  bool overflowed() const { return overflowed_; }
+
+  /// Bytes buffered for the (incomplete) current frame.
+  size_t pending_bytes() const { return buffer_.size(); }
+
+  size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  const size_t max_frame_bytes_;
+  std::string buffer_;
+  bool overflowed_ = false;
+};
+
+/// Encodes a payload as one frame. The payload must not contain '\n'
+/// (serialized JSON never does; a stray newline would desynchronize the
+/// stream, so it is replaced by a space defensively).
+std::string EncodeFrame(const std::string& payload);
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_NET_FRAMING_H_

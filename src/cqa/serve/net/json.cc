@@ -1,0 +1,432 @@
+#include "cqa/serve/net/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cqa {
+
+Json Json::MakeBool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::MakeInt(int64_t i) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = i;
+  return j;
+}
+
+Json Json::MakeDouble(double d) {
+  Json j;
+  j.type_ = Type::kDouble;
+  j.double_ = d;
+  return j;
+}
+
+Json Json::MakeString(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::MakeArray(Array a) {
+  Json j;
+  j.type_ = Type::kArray;
+  j.array_ = std::make_shared<Array>(std::move(a));
+  return j;
+}
+
+Json Json::MakeObject(Object o) {
+  Json j;
+  j.type_ = Type::kObject;
+  j.object_ = std::make_shared<Object>(std::move(o));
+  return j;
+}
+
+int64_t Json::AsInt() const {
+  if (type_ == Type::kDouble) return static_cast<int64_t>(double_);
+  return int_;
+}
+
+double Json::AsDouble() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return double_;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_->find(key);
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Recursive-descent parser over a bounded input. The cursor is shared
+// mutable state; every production leaves it just past what it consumed.
+class Parser {
+ public:
+  Parser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<Json> Run() {
+    Result<Json> v = ParseValue(0);
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing content after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Result<Json> Fail(const std::string& message) {
+    return Result<Json>::Error(
+        ErrorCode::kParse,
+        "json: " + message + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue(int depth) {
+    if (depth > max_depth_) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return Result<Json>::Error(s);
+        return Json::MakeString(std::move(s.value()));
+      }
+      case 't':
+        if (ConsumeWord("true")) return Json::MakeBool(true);
+        return Fail("bad literal");
+      case 'f':
+        if (ConsumeWord("false")) return Json::MakeBool(false);
+        return Fail("bad literal");
+      case 'n':
+        if (ConsumeWord("null")) return Json();
+        return Fail("bad literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<Json> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Json::Object object;
+    SkipWs();
+    if (Consume('}')) return Json::MakeObject(std::move(object));
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return Result<Json>::Error(key);
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      Result<Json> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      object[std::move(key.value())] = std::move(value.value());
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Json::MakeObject(std::move(object));
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> ParseArray(int depth) {
+    ++pos_;  // '['
+    Json::Array array;
+    SkipWs();
+    if (Consume(']')) return Json::MakeArray(std::move(array));
+    for (;;) {
+      Result<Json> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      array.push_back(std::move(value.value()));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Json::MakeArray(std::move(array));
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Result<std::string>::Error(ErrorCode::kParse,
+                                                "json: truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Result<std::string>::Error(ErrorCode::kParse,
+                                                  "json: bad \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogates pass through as
+            // replacement — the wire protocol is ASCII in practice).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Result<std::string>::Error(ErrorCode::kParse,
+                                              "json: bad escape");
+        }
+        continue;
+      }
+      if (c < 0x20) {
+        return Result<std::string>::Error(
+            ErrorCode::kParse, "json: raw control character in string");
+      }
+      out.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Result<std::string>::Error(ErrorCode::kParse,
+                                      "json: unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    bool digits = false;
+    while (pos_ < text_.size() && std::isdigit(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      digits = true;
+    }
+    if (!digits) return Fail("bad number");
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      bool frac = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        frac = true;
+      }
+      if (!frac) return Fail("bad number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      bool exp = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        exp = true;
+      }
+      if (!exp) return Fail("bad number");
+    }
+    std::string spelling = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(spelling.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Json::MakeInt(v);
+      }
+      // Out of int64 range: fall through to double.
+    }
+    errno = 0;
+    double d = std::strtod(spelling.c_str(), nullptr);
+    if (!std::isfinite(d)) return Fail("number out of range");
+    return Json::MakeDouble(d);
+  }
+
+  const std::string& text_;
+  const int max_depth_;
+  size_t pos_ = 0;
+};
+
+void SerializeInto(const Json& j, std::string* out) {
+  switch (j.type()) {
+    case Json::Type::kNull:
+      *out += "null";
+      break;
+    case Json::Type::kBool:
+      *out += j.AsBool() ? "true" : "false";
+      break;
+    case Json::Type::kInt:
+      *out += std::to_string(j.AsInt());
+      break;
+    case Json::Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", j.AsDouble());
+      *out += buf;
+      break;
+    }
+    case Json::Type::kString:
+      EscapeInto(j.AsString(), out);
+      break;
+    case Json::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : j.AsArray()) {
+        if (!first) out->push_back(',');
+        first = false;
+        SerializeInto(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Json::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : j.AsObject()) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeInto(key, out);
+        out->push_back(':');
+        SerializeInto(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Json::Serialize() const {
+  std::string out;
+  SerializeInto(*this, &out);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text, int max_depth) {
+  return Parser(text, max_depth).Run();
+}
+
+}  // namespace cqa

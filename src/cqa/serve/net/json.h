@@ -1,0 +1,109 @@
+#ifndef CQA_SERVE_NET_JSON_H_
+#define CQA_SERVE_NET_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cqa/base/result.h"
+
+namespace cqa {
+
+/// Minimal JSON value for the wire protocol. Self-contained (the container
+/// ships no JSON dependency) and written to be fuzzed: parsing any byte
+/// string either yields a value or fails with a typed `kParse` error —
+/// never crashes, never recurses past a fixed depth limit.
+///
+/// Numbers are kept as int64 when the spelling is integral and in range,
+/// double otherwise; object keys are ordered (std::map) so serialization
+/// is deterministic.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  static Json MakeBool(bool b);
+  static Json MakeInt(int64_t i);
+  static Json MakeDouble(double d);
+  static Json MakeString(std::string s);
+  static Json MakeArray(Array a);
+  static Json MakeObject(Object o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return *array_; }
+  const Object& AsObject() const { return *object_; }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Compact, deterministic serialization (keys sorted, no whitespace).
+  std::string Serialize() const;
+
+  /// Parses a complete JSON document; trailing non-whitespace is a parse
+  /// error. `max_depth` bounds nesting of arrays/objects.
+  static Result<Json> Parse(const std::string& text, int max_depth = 64);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  // Indirection keeps Json movable/copyable without recursive layout.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// A convenience builder for flat response objects.
+class JsonObjectBuilder {
+ public:
+  JsonObjectBuilder& Set(const std::string& key, Json value) {
+    object_[key] = std::move(value);
+    return *this;
+  }
+  JsonObjectBuilder& Set(const std::string& key, const std::string& value) {
+    return Set(key, Json::MakeString(value));
+  }
+  JsonObjectBuilder& Set(const std::string& key, const char* value) {
+    return Set(key, Json::MakeString(value));
+  }
+  JsonObjectBuilder& Set(const std::string& key, int64_t value) {
+    return Set(key, Json::MakeInt(value));
+  }
+  JsonObjectBuilder& Set(const std::string& key, uint64_t value) {
+    return Set(key, Json::MakeInt(static_cast<int64_t>(value)));
+  }
+  JsonObjectBuilder& Set(const std::string& key, bool value) {
+    return Set(key, Json::MakeBool(value));
+  }
+  JsonObjectBuilder& Set(const std::string& key, double value) {
+    return Set(key, Json::MakeDouble(value));
+  }
+  Json Build() { return Json::MakeObject(std::move(object_)); }
+
+ private:
+  Json::Object object_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_NET_JSON_H_

@@ -1,0 +1,285 @@
+#include "cqa/serve/net/protocol.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+namespace {
+
+// Reads an optional non-negative integer field; false on type errors.
+bool ReadU64(const Json& object, const std::string& key, uint64_t* out,
+             std::string* error) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return true;
+  if (!field->is_int() || field->AsInt() < 0) {
+    *error = "field '" + key + "' must be a non-negative integer";
+    return false;
+  }
+  *out = static_cast<uint64_t>(field->AsInt());
+  return true;
+}
+
+bool ReadBool(const Json& object, const std::string& key, bool* out,
+              std::string* error) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return true;
+  if (!field->is_bool()) {
+    *error = "field '" + key + "' must be a boolean";
+    return false;
+  }
+  *out = field->AsBool();
+  return true;
+}
+
+Result<WireRequest> ParseError(const std::string& message) {
+  return Result<WireRequest>::Error(ErrorCode::kParse, message);
+}
+
+}  // namespace
+
+Result<SolverMethod> ParseSolverMethod(const std::string& name) {
+  if (name.empty() || name == "auto") return SolverMethod::kAuto;
+  if (name == "rewriting" || name == "fo-rewriting") {
+    return SolverMethod::kRewriting;
+  }
+  if (name == "algorithm1") return SolverMethod::kAlgorithm1;
+  if (name == "backtracking") return SolverMethod::kBacktracking;
+  if (name == "naive") return SolverMethod::kNaive;
+  if (name == "matching-q1") return SolverMethod::kMatchingQ1;
+  if (name == "sampling") return SolverMethod::kSampling;
+  return Result<SolverMethod>::Error(ErrorCode::kUnsupported,
+                                     "unknown method '" + name + "'");
+}
+
+Result<WireRequest> DecodeRequest(const std::string& frame) {
+  Result<Json> parsed = Json::Parse(frame);
+  if (!parsed.ok()) return Result<WireRequest>::Error(parsed);
+  const Json& object = parsed.value();
+  if (!object.is_object()) return ParseError("request must be a JSON object");
+
+  const Json* type = object.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return ParseError("missing string field 'type'");
+  }
+
+  WireRequest request;
+  std::string error;
+  if (!ReadU64(object, "id", &request.id, &error)) return ParseError(error);
+
+  const std::string& type_name = type->AsString();
+  if (type_name == "health") {
+    request.type = WireRequestType::kHealth;
+    return request;
+  }
+  if (type_name == "stats") {
+    request.type = WireRequestType::kStats;
+    return request;
+  }
+  if (type_name == "cancel") {
+    request.type = WireRequestType::kCancel;
+    if (object.Find("id") == nullptr) {
+      return ParseError("cancel requires an 'id'");
+    }
+    const Json* target = object.Find("target");
+    if (target == nullptr || !target->is_int() || target->AsInt() < 0) {
+      return ParseError("cancel requires a non-negative integer 'target'");
+    }
+    request.target = static_cast<uint64_t>(target->AsInt());
+    return request;
+  }
+  if (type_name != "solve") {
+    return Result<WireRequest>::Error(
+        ErrorCode::kUnsupported, "unknown request type '" + type_name + "'");
+  }
+
+  request.type = WireRequestType::kSolve;
+  if (object.Find("id") == nullptr) {
+    return ParseError("solve requires an 'id'");
+  }
+  const Json* query = object.Find("query");
+  if (query == nullptr || !query->is_string()) {
+    return ParseError("solve requires a string 'query'");
+  }
+  request.query = query->AsString();
+
+  uint64_t timeout_ms = 0;
+  if (object.Find("timeout_ms") != nullptr) {
+    if (!ReadU64(object, "timeout_ms", &timeout_ms, &error)) {
+      return ParseError(error);
+    }
+    request.timeout_ms = timeout_ms;
+  }
+  if (!ReadU64(object, "max_steps", &request.max_steps, &error) ||
+      !ReadU64(object, "max_samples", &request.max_samples, &error) ||
+      !ReadU64(object, "chaos_sleep_ms", &request.chaos_sleep_ms, &error) ||
+      !ReadU64(object, "fail_after_probes", &request.fail_after_probes,
+               &error) ||
+      !ReadBool(object, "degrade_to_sampling", &request.degrade_to_sampling,
+                &error) ||
+      !ReadBool(object, "deadline_from_submit", &request.deadline_from_submit,
+                &error)) {
+    return ParseError(error);
+  }
+  uint64_t fault_attempts = static_cast<uint64_t>(request.fault_attempts);
+  if (!ReadU64(object, "fault_attempts", &fault_attempts, &error)) {
+    return ParseError(error);
+  }
+  request.fault_attempts = static_cast<int>(
+      std::min<uint64_t>(fault_attempts, INT_MAX));
+
+  const Json* method = object.Find("method");
+  if (method != nullptr) {
+    if (!method->is_string()) {
+      return ParseError("field 'method' must be a string");
+    }
+    Result<SolverMethod> m = ParseSolverMethod(method->AsString());
+    if (!m.ok()) return Result<WireRequest>::Error(m);
+    request.method = m.value();
+  }
+  return request;
+}
+
+std::string EncodeResultFrame(uint64_t id, const SolveReport& report,
+                              int attempts,
+                              std::chrono::microseconds latency) {
+  JsonObjectBuilder b;
+  b.Set("type", "result")
+      .Set("id", id)
+      .Set("verdict", ToString(report.verdict))
+      .Set("attempts", static_cast<int64_t>(attempts))
+      .Set("latency_us", static_cast<uint64_t>(latency.count()));
+  if (report.verdict == Verdict::kProbablyCertain) {
+    b.Set("confidence", report.confidence).Set("samples", report.samples);
+  }
+  return b.Build().Serialize();
+}
+
+std::string EncodeErrorFrame(std::optional<uint64_t> id, ErrorCode code,
+                             const std::string& message, bool fatal) {
+  JsonObjectBuilder b;
+  b.Set("type", "error").Set("code", ToString(code)).Set("message", message);
+  if (id.has_value()) b.Set("id", *id);
+  if (fatal) b.Set("fatal", true);
+  return b.Build().Serialize();
+}
+
+std::string EncodeCancelledFrame(uint64_t id, const std::string& message) {
+  return JsonObjectBuilder()
+      .Set("type", "cancelled")
+      .Set("id", id)
+      .Set("message", message)
+      .Build()
+      .Serialize();
+}
+
+std::string EncodeHealthFrame(uint64_t id, bool draining) {
+  return JsonObjectBuilder()
+      .Set("type", "health")
+      .Set("id", id)
+      .Set("status", draining ? "draining" : "serving")
+      .Build()
+      .Serialize();
+}
+
+std::string EncodeStatsFrame(uint64_t id, const ServiceStats& service,
+                             const DaemonStats& daemon) {
+  Json service_json = JsonObjectBuilder()
+                          .Set("submitted", service.submitted)
+                          .Set("accepted", service.accepted)
+                          .Set("shed", service.shed)
+                          .Set("completed", service.completed)
+                          .Set("failed", service.failed)
+                          .Set("cancelled", service.cancelled)
+                          .Set("retries", service.retries)
+                          .Set("degraded", service.degraded)
+                          .Set("inflight", service.inflight)
+                          .Set("latency_count", service.latency_count)
+                          .Set("latency_p50_us", service.latency_p50_us)
+                          .Set("latency_p90_us", service.latency_p90_us)
+                          .Set("latency_p99_us", service.latency_p99_us)
+                          .Set("latency_max_us", service.latency_max_us)
+                          .Build();
+  Json daemon_json =
+      JsonObjectBuilder()
+          .Set("connections_opened", daemon.connections_opened)
+          .Set("connections_active", daemon.connections_active)
+          .Set("connections_closed_garbage", daemon.connections_closed_garbage)
+          .Set("connections_closed_oversize",
+               daemon.connections_closed_oversize)
+          .Set("connections_closed_idle", daemon.connections_closed_idle)
+          .Set("connections_closed_error", daemon.connections_closed_error)
+          .Set("frames_received", daemon.frames_received)
+          .Set("frames_garbage", daemon.frames_garbage)
+          .Set("solves_admitted", daemon.solves_admitted)
+          .Set("solves_rejected_inflight_cap",
+               daemon.solves_rejected_inflight_cap)
+          .Set("solves_rejected_overloaded",
+               daemon.solves_rejected_overloaded)
+          .Build();
+  return JsonObjectBuilder()
+      .Set("type", "stats")
+      .Set("id", id)
+      .Set("service", std::move(service_json))
+      .Set("daemon", std::move(daemon_json))
+      .Build()
+      .Serialize();
+}
+
+std::string EncodeCancelAckFrame(uint64_t id, uint64_t target, bool found) {
+  return JsonObjectBuilder()
+      .Set("type", "cancel_ack")
+      .Set("id", id)
+      .Set("target", target)
+      .Set("found", found)
+      .Build()
+      .Serialize();
+}
+
+Result<WireResponse> DecodeResponse(const std::string& frame) {
+  Result<Json> parsed = Json::Parse(frame);
+  if (!parsed.ok()) return Result<WireResponse>::Error(parsed);
+  const Json& object = parsed.value();
+  if (!object.is_object()) {
+    return Result<WireResponse>::Error(ErrorCode::kParse,
+                                       "response must be a JSON object");
+  }
+  const Json* type = object.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return Result<WireResponse>::Error(ErrorCode::kParse,
+                                       "response missing string 'type'");
+  }
+  WireResponse r;
+  r.type = type->AsString();
+  r.raw = object;
+  auto u64 = [&object](const char* key, uint64_t fallback) -> uint64_t {
+    const Json* f = object.Find(key);
+    if (f != nullptr && f->is_int() && f->AsInt() >= 0) {
+      return static_cast<uint64_t>(f->AsInt());
+    }
+    return fallback;
+  };
+  auto str = [&object](const char* key) -> std::string {
+    const Json* f = object.Find(key);
+    return f != nullptr && f->is_string() ? f->AsString() : std::string();
+  };
+  r.id = u64("id", 0);
+  r.verdict = str("verdict");
+  r.code = str("code");
+  r.message = str("message");
+  r.status = str("status");
+  r.samples = u64("samples", 0);
+  r.attempts = static_cast<int64_t>(u64("attempts", 0));
+  r.latency_us = u64("latency_us", 0);
+  r.target = u64("target", 0);
+  const Json* confidence = object.Find("confidence");
+  if (confidence != nullptr && confidence->is_number()) {
+    r.confidence = confidence->AsDouble();
+  }
+  const Json* fatal = object.Find("fatal");
+  r.fatal = fatal != nullptr && fatal->is_bool() && fatal->AsBool();
+  const Json* found = object.Find("found");
+  r.found = found != nullptr && found->is_bool() && found->AsBool();
+  return r;
+}
+
+}  // namespace cqa

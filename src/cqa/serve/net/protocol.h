@@ -1,0 +1,126 @@
+#ifndef CQA_SERVE_NET_PROTOCOL_H_
+#define CQA_SERVE_NET_PROTOCOL_H_
+
+#include <chrono>
+#include <climits>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cqa/base/budget.h"
+#include "cqa/base/result.h"
+#include "cqa/certainty/solver.h"
+#include "cqa/serve/net/json.h"
+#include "cqa/serve/stats.h"
+
+namespace cqa {
+
+/// Wire protocol of the solve daemon (see docs/SERVING.md for the spec).
+/// One JSON object per newline-delimited frame, in both directions.
+///
+/// Requests: {"type":"solve","id":N,"query":"...",...}, plus "health",
+/// "stats" and "cancel". Responses echo the client-chosen id; every
+/// accepted solve receives exactly one terminal frame ("result", "error"
+/// or "cancelled").
+
+enum class WireRequestType { kSolve, kHealth, kStats, kCancel };
+
+struct WireRequest {
+  WireRequestType type = WireRequestType::kHealth;
+  /// Client-chosen correlation id; required for solve and cancel.
+  uint64_t id = 0;
+
+  // --- solve fields ---
+  std::string query;
+  /// Per-request wall-clock budget; absent inherits the daemon default.
+  std::optional<uint64_t> timeout_ms;
+  uint64_t max_steps = UINT64_MAX;
+  SolverMethod method = SolverMethod::kAuto;
+  bool degrade_to_sampling = true;
+  uint64_t max_samples = 10'000;
+  /// Anchor the deadline at submit time (queue wait consumes the budget);
+  /// pairs with the service's earliest-deadline-first queueing.
+  bool deadline_from_submit = false;
+  // Chaos knobs (tests): see ServeJob.
+  uint64_t chaos_sleep_ms = 0;
+  uint64_t fail_after_probes = 0;
+  int fault_attempts = INT_MAX;
+
+  // --- cancel fields ---
+  /// The id of the in-flight solve to cancel.
+  uint64_t target = 0;
+};
+
+/// Parses `--method=`-style names shared by the CLI and the wire protocol.
+Result<SolverMethod> ParseSolverMethod(const std::string& name);
+
+/// Decodes one request frame. Failures are typed: `kParse` for malformed
+/// JSON or missing/mistyped fields, `kUnsupported` for an unknown request
+/// type or solver method. Either way the *frame* failed, not the
+/// connection — the daemon answers with an error frame and keeps reading
+/// (up to its consecutive-garbage limit).
+Result<WireRequest> DecodeRequest(const std::string& frame);
+
+/// Daemon-level counters, exposed through "stats" frames next to the
+/// embedded `ServiceStats`.
+struct DaemonStats {
+  uint64_t connections_opened = 0;
+  uint64_t connections_active = 0;
+  uint64_t connections_closed_garbage = 0;   // N consecutive bad frames
+  uint64_t connections_closed_oversize = 0;  // frame exceeded the cap
+  uint64_t connections_closed_idle = 0;      // idle / read-deadline timeout
+  uint64_t connections_closed_error = 0;     // write timeout or socket error
+  uint64_t frames_received = 0;
+  uint64_t frames_garbage = 0;
+  uint64_t solves_admitted = 0;
+  uint64_t solves_rejected_inflight_cap = 0;
+  uint64_t solves_rejected_overloaded = 0;  // service queue shed or draining
+};
+
+// --- response encoders (daemon side) ---
+
+std::string EncodeResultFrame(uint64_t id, const SolveReport& report,
+                              int attempts, std::chrono::microseconds latency);
+std::string EncodeErrorFrame(std::optional<uint64_t> id, ErrorCode code,
+                             const std::string& message, bool fatal = false);
+std::string EncodeCancelledFrame(uint64_t id, const std::string& message);
+std::string EncodeHealthFrame(uint64_t id, bool draining);
+std::string EncodeStatsFrame(uint64_t id, const ServiceStats& service,
+                             const DaemonStats& daemon);
+std::string EncodeCancelAckFrame(uint64_t id, uint64_t target, bool found);
+
+// --- response decoding (client side) ---
+
+struct WireResponse {
+  std::string type;  // "result" | "error" | "cancelled" | "health" |
+                     // "stats" | "cancel_ack"
+  uint64_t id = 0;
+  // result
+  std::string verdict;
+  double confidence = 0.0;
+  uint64_t samples = 0;
+  int64_t attempts = 0;
+  uint64_t latency_us = 0;
+  // error
+  std::string code;
+  std::string message;
+  bool fatal = false;
+  // health
+  std::string status;
+  // cancel_ack
+  uint64_t target = 0;
+  bool found = false;
+  /// The full parsed payload (stats frames are read through this).
+  Json raw;
+};
+
+Result<WireResponse> DecodeResponse(const std::string& frame);
+
+/// True iff the response type is a terminal answer to a solve request.
+inline bool IsTerminalResponseType(const std::string& type) {
+  return type == "result" || type == "error" || type == "cancelled";
+}
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_NET_PROTOCOL_H_

@@ -17,7 +17,12 @@ const char* ToString(RequestState state) {
 
 SolveService::SolveService(ServiceOptions options)
     : options_(std::move(options)),
-      queue_(std::max<size_t>(options_.queue_capacity, 1)) {
+      queue_(std::max<size_t>(options_.queue_capacity, 1),
+             options_.discipline == QueueDiscipline::kEdf
+                 ? [](const RequestPtr& a, const RequestPtr& b) {
+                     return a->deadline_key < b->deadline_key;
+                   }
+                 : BoundedQueue<RequestPtr>::BeforeFn(nullptr)) {
   int workers = std::max(options_.workers, 1);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -38,6 +43,14 @@ Result<uint64_t> SolveService::Submit(ServeJob job, Callback callback) {
                                        std::move(callback));
   req->submitted = Budget::Clock::now();
   req->cancel = std::make_shared<std::atomic<bool>>(false);
+  // EDF sort key (harmless under FIFO): the nearest deadline that can
+  // terminate this request, anchored at submission.
+  req->deadline_key = options_.service_deadline;
+  std::chrono::milliseconds timeout =
+      req->job.timeout.value_or(options_.default_timeout);
+  if (timeout.count() > 0) {
+    req->deadline_key = std::min(req->deadline_key, req->submitted + timeout);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     registry_.emplace(req->id, req->cancel);
@@ -144,10 +157,21 @@ void SolveService::Process(const RequestPtr& req, Rng* rng) {
     }
     ++req->attempts;
 
+    // Chaos knob: a deterministic-duration stall before the solve,
+    // interruptible by cancellation and by shutdown drain.
+    if (req->job.chaos_sleep.count() > 0 &&
+        !WaitBackoff(req->job.chaos_sleep, *req->cancel)) {
+      Finish(req, /*started=*/true, RequestState::kCancelled,
+             Result<SolveReport>::Error(ErrorCode::kCancelled,
+                                        "cancelled during chaos sleep"));
+      return;
+    }
+
     // Budget inheritance: the attempt deadline is the tighter of the
-    // service-wide deadline and this request's own timeout (re-armed per
-    // attempt); the solver's kAuto path further splits it 80/20 between
-    // the exact stage and the sampling fallback.
+    // service-wide deadline and this request's own timeout — re-armed per
+    // attempt by default, or fixed at submit + timeout when the job opts
+    // into submit-anchored deadlines; the solver's kAuto path further
+    // splits it 80/20 between the exact stage and the sampling fallback.
     Budget budget;
     budget.cancel = req->cancel.get();
     budget.max_steps = req->job.max_steps;
@@ -158,8 +182,10 @@ void SolveService::Process(const RequestPtr& req, Rng* rng) {
         req->job.timeout.value_or(options_.default_timeout);
     budget.deadline = options_.service_deadline;
     if (timeout.count() > 0) {
-      budget.deadline =
-          std::min(budget.deadline, Budget::Clock::now() + timeout);
+      Budget::Clock::time_point anchor = req->job.deadline_from_submit
+                                             ? req->submitted
+                                             : Budget::Clock::now();
+      budget.deadline = std::min(budget.deadline, anchor + timeout);
     }
 
     SolveOptions sopts;

@@ -41,6 +41,12 @@ struct ServeJob {
   /// `default_timeout`, zero means no per-request deadline (the service
   /// deadline, if any, still applies).
   std::optional<std::chrono::milliseconds> timeout;
+  /// When true, the deadline is anchored at submit time — queue wait,
+  /// backoff, and earlier attempts all consume the same absolute budget
+  /// `submitted + timeout` — instead of re-arming `now + timeout` per
+  /// attempt. This is the semantics under which earliest-deadline-first
+  /// queueing (ServiceOptions::discipline) actually reduces timeout rates.
+  bool deadline_from_submit = false;
   /// Per-attempt step (search-node) budget.
   uint64_t max_steps = Budget::kNoStepLimit;
   SolverMethod method = SolverMethod::kAuto;
@@ -55,6 +61,11 @@ struct ServeJob {
   /// can force deterministic exhaustion and then a clean retry.
   uint64_t fail_after_probes = 0;
   int fault_attempts = INT_MAX;
+  /// Chaos knob: an interruptible sleep before each attempt's solve,
+  /// giving tests a deterministic-duration "slow request". Cancellation
+  /// and shutdown drain cut the sleep short (the request then terminates
+  /// as cancelled).
+  std::chrono::milliseconds chaos_sleep{0};
 };
 
 /// How a request left the service. Shed requests never enter the system:
@@ -84,12 +95,27 @@ struct ServeResponse {
   std::chrono::microseconds latency{0};
 };
 
+/// Consumption order of the bounded work queue.
+enum class QueueDiscipline {
+  /// First in, first out.
+  kFifo,
+  /// Earliest-deadline-first: workers pop the queued request whose
+  /// effective deadline — min(service deadline, submit time + timeout) —
+  /// is nearest, ties broken FIFO. Requests with no deadline sort last.
+  /// Under mixed timeouts this serves urgent requests before they expire
+  /// in the queue, cutting timeout rates versus FIFO (see serve_test).
+  kEdf,
+};
+
 struct ServiceOptions {
   /// Worker threads; clamped to at least 1.
   int workers = 4;
   /// Bounded queue capacity; a full queue sheds new submissions with
   /// `kOverloaded`. Clamped to at least 1.
   size_t queue_capacity = 64;
+  /// Queue consumption order. EDF is the default: with homogeneous
+  /// deadlines it degrades to exact FIFO behaviour.
+  QueueDiscipline discipline = QueueDiscipline::kEdf;
   /// Default per-attempt timeout for jobs that do not set their own; zero
   /// means none.
   std::chrono::milliseconds default_timeout{0};
@@ -166,6 +192,9 @@ class SolveService {
     ServeJob job;
     Callback callback;
     Budget::Clock::time_point submitted;
+    /// EDF sort key: min(service deadline, submitted + timeout);
+    /// `time_point::max()` when the request has no deadline at all.
+    Budget::Clock::time_point deadline_key = Budget::Clock::time_point::max();
     std::shared_ptr<std::atomic<bool>> cancel;
     /// Exactly-once terminal guard.
     std::atomic<bool> done{false};

@@ -6,13 +6,13 @@ namespace cqa {
 
 namespace {
 
-// p in [0,1]; nearest-rank percentile of an unsorted copy.
-uint64_t Percentile(std::vector<uint64_t> v, double p) {
-  if (v.empty()) return 0;
-  size_t rank = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
-  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(rank),
-                   v.end());
-  return v[rank];
+// p in [0,1]; nearest-rank percentile of a sorted, non-empty window. The
+// rank is clamped so no rounding of `p * (n-1)` can ever index out of
+// bounds (the empty window is handled by the caller, which reports zeros).
+uint64_t PercentileSorted(const std::vector<uint64_t>& sorted, double p) {
+  size_t rank = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  rank = std::min(rank, sorted.size() - 1);
+  return sorted[rank];
 }
 
 }  // namespace
@@ -69,9 +69,16 @@ void StatsCollector::RecordTerminal(bool started, bool cancelled, bool ok,
 ServiceStats StatsCollector::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats out = counters_;
-  out.latency_p50_us = Percentile(latencies_us_, 0.50);
-  out.latency_p90_us = Percentile(latencies_us_, 0.90);
-  out.latency_p99_us = Percentile(latencies_us_, 0.99);
+  if (latencies_us_.empty()) {
+    // An empty window reports all-zero percentiles (and latency_count is
+    // zero by construction): never touch the sample buffer.
+    return out;
+  }
+  std::vector<uint64_t> sorted = latencies_us_;
+  std::sort(sorted.begin(), sorted.end());
+  out.latency_p50_us = PercentileSorted(sorted, 0.50);
+  out.latency_p90_us = PercentileSorted(sorted, 0.90);
+  out.latency_p99_us = PercentileSorted(sorted, 0.99);
   return out;
 }
 

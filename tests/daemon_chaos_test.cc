@@ -1,0 +1,238 @@
+// Chaos tests for the network daemon: client disconnect mid-solve,
+// garbage interleaved with valid traffic, and shutdown under load with
+// connected clients. All scenarios are deterministic (chaos_sleep gives
+// solves a known duration; ephemeral loopback ports avoid collisions) and
+// pin down the wire-level lifecycle invariant: every decoded solve frame
+// receives exactly one terminal frame for as long as the socket lives, and
+// a dead client's outstanding work is cancelled, never leaked.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cqa/serve/net/client.h"
+#include "cqa/serve/net/daemon.h"
+#include "cqa/serve/net/json.h"
+#include "cqa/serve/net/protocol.h"
+
+namespace cqa {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr milliseconds kIo{15'000};
+
+std::shared_ptr<const Database> Db() {
+  Result<Database> db = Database::FromText("R(a | b), R(a | c)\nS(b | a)");
+  EXPECT_TRUE(db.ok());
+  return std::make_shared<const Database>(std::move(db.value()));
+}
+
+std::string SolveFrame(uint64_t id, uint64_t chaos_sleep_ms = 0) {
+  JsonObjectBuilder b;
+  b.Set("type", "solve").Set("id", id).Set("query", "R(x | y)");
+  if (chaos_sleep_ms > 0) b.Set("chaos_sleep_ms", chaos_sleep_ms);
+  return b.Build().Serialize();
+}
+
+// Polls until `predicate` holds or ~10s elapse.
+template <typename Fn>
+bool Eventually(Fn predicate) {
+  for (int i = 0; i < 10'000; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  return predicate();
+}
+
+TEST(DaemonChaosTest, ClientDisconnectCancelsItsOutstandingSolves) {
+  DaemonOptions options;
+  options.service.workers = 2;
+  options.connection.max_inflight = 8;
+  SolveDaemon daemon(Db(), options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", daemon.port(), kIo).ok());
+  // Four slow solves: two running (workers=2), two queued.
+  constexpr int kJobs = 4;
+  for (uint64_t id = 1; id <= kJobs; ++id) {
+    ASSERT_TRUE(
+        client.SendFrame(SolveFrame(id, /*chaos_sleep_ms=*/60'000), kIo).ok());
+  }
+  ASSERT_TRUE(Eventually([&] {
+    return daemon.daemon_stats().solves_admitted == kJobs;
+  })) << "daemon never admitted the solves";
+
+  client.Close();  // hang up with everything still in flight
+
+  // Disconnect must cancel all four — long before their 60s sleeps could
+  // finish on their own.
+  ASSERT_TRUE(Eventually([&] {
+    return daemon.service_stats().cancelled == kJobs;
+  })) << "outstanding solves were not cancelled on disconnect; stats: "
+      << daemon.service_stats().ToString();
+  ServiceStats stats = daemon.service_stats();
+  EXPECT_EQ(stats.cancelled, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_TRUE(daemon.Shutdown(milliseconds(5'000)));
+}
+
+TEST(DaemonChaosTest, GarbageInterleavedWithValidTrafficStaysExactlyOnce) {
+  DaemonOptions options;
+  options.service.workers = 4;
+  options.connection.max_consecutive_garbage = 5;
+  SolveDaemon daemon(Db(), options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    NetClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", daemon.port(), kIo).ok());
+    // Interleave: garbage, valid, garbage, valid... consecutive garbage
+    // never reaches the limit, so the connection must survive throughout.
+    constexpr uint64_t kSolves = 10;
+    uint64_t sent_garbage = 0;
+    for (uint64_t id = 1; id <= kSolves; ++id) {
+      std::string junk = (id + seed) % 3 == 0
+                             ? "\"dangling"
+                             : std::string("{\"unclosed\":") +
+                                   std::to_string(id * seed);
+      ASSERT_TRUE(client.SendFrame(junk, kIo).ok());
+      ++sent_garbage;
+      ASSERT_TRUE(client.SendFrame(SolveFrame(id), kIo).ok());
+    }
+    // Exactly one terminal frame per solve id and one parse error per junk
+    // frame; nothing extra, nothing missing.
+    std::map<uint64_t, int> terminals;
+    uint64_t parse_errors = 0;
+    uint64_t expected = kSolves + sent_garbage;
+    for (uint64_t i = 0; i < expected; ++i) {
+      Result<WireResponse> r = client.ReadResponse(kIo);
+      ASSERT_TRUE(r.ok()) << r.error() << " after " << i << " frames";
+      if (r->type == "error" && r->code == "parse") {
+        EXPECT_FALSE(r->fatal);
+        ++parse_errors;
+      } else {
+        ASSERT_EQ(r->type, "result");
+        ++terminals[r->id];
+      }
+    }
+    EXPECT_EQ(parse_errors, sent_garbage);
+    ASSERT_EQ(terminals.size(), kSolves);
+    for (const auto& [id, count] : terminals) {
+      EXPECT_EQ(count, 1) << "id " << id << " got " << count
+                          << " terminal frames";
+    }
+  }
+  DaemonStats stats = daemon.daemon_stats();
+  EXPECT_EQ(stats.connections_closed_garbage, 0u);
+  EXPECT_EQ(stats.frames_garbage, 30u);
+  EXPECT_TRUE(daemon.Shutdown(milliseconds(5'000)));
+}
+
+TEST(DaemonChaosTest, ShutdownUnderLoadDeliversTerminalFrameToEveryClient) {
+  DaemonOptions options;
+  options.service.workers = 2;
+  options.service.queue_capacity = 64;
+  options.connection.max_inflight = 16;
+  SolveDaemon daemon(Db(), options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  constexpr int kClients = 3;
+  constexpr uint64_t kJobsPerClient = 4;
+  std::vector<std::unique_ptr<NetClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<NetClient>());
+    ASSERT_TRUE(
+        clients.back()->Connect("127.0.0.1", daemon.port(), kIo).ok());
+    for (uint64_t id = 1; id <= kJobsPerClient; ++id) {
+      ASSERT_TRUE(clients.back()
+                      ->SendFrame(SolveFrame(id, /*chaos_sleep_ms=*/30'000),
+                                  kIo)
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(Eventually([&] {
+    return daemon.daemon_stats().solves_admitted ==
+           kClients * kJobsPerClient;
+  })) << "daemon never admitted all solves";
+
+  // Shut down with everything still sleeping: the short drain deadline
+  // forces cancellation, and every client must still receive exactly one
+  // terminal frame per admitted solve before its connection closes.
+  std::thread shutdown([&] { daemon.Shutdown(milliseconds(50)); });
+  for (int c = 0; c < kClients; ++c) {
+    std::map<uint64_t, int> terminals;
+    for (uint64_t i = 0; i < kJobsPerClient; ++i) {
+      Result<WireResponse> r = clients[c]->ReadResponse(kIo);
+      ASSERT_TRUE(r.ok())
+          << "client " << c << ": " << r.error() << " after " << i;
+      ASSERT_TRUE(IsTerminalResponseType(r->type)) << r->type;
+      EXPECT_EQ(r->type, "cancelled");
+      ++terminals[r->id];
+    }
+    ASSERT_EQ(terminals.size(), kJobsPerClient);
+    for (const auto& [id, count] : terminals) EXPECT_EQ(count, 1);
+    // After the terminal frames, the daemon closes the connection.
+    Result<WireResponse> eof = clients[c]->ReadResponse(milliseconds(5'000));
+    EXPECT_FALSE(eof.ok()) << "expected EOF, got a " << eof->type << " frame";
+  }
+  shutdown.join();
+  ServiceStats stats = daemon.service_stats();
+  EXPECT_EQ(stats.cancelled, kClients * kJobsPerClient);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(DaemonChaosTest, SolvesDuringDrainAreNeverAdmittedAndNeverSilent) {
+  DaemonOptions options;
+  options.service.workers = 1;
+  SolveDaemon daemon(Db(), options);
+  ASSERT_TRUE(daemon.Start().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", daemon.port(), kIo).ok());
+  // Park one slow solve so the drain has something to cancel. (Chaos
+  // sleeps abort the moment the service drains, so the drain window
+  // itself is near-instant — the race below is intentional.)
+  ASSERT_TRUE(
+      client.SendFrame(SolveFrame(1, /*chaos_sleep_ms=*/30'000), kIo).ok());
+  ASSERT_TRUE(Eventually(
+      [&] { return daemon.daemon_stats().solves_admitted == 1; }));
+
+  std::thread shutdown([&] { daemon.Shutdown(milliseconds(2'000)); });
+  ASSERT_TRUE(Eventually([&] { return daemon.draining(); }));
+  // A solve racing the drain must never be admitted into the dying
+  // service. The client sees either a typed overloaded error (the reader
+  // was still up) or a clean close — never silence, never a crash.
+  client.SendFrame(SolveFrame(2), milliseconds(1'000));
+  bool saw_overloaded = false;
+  bool saw_cancelled = false;
+  for (;;) {
+    Result<WireResponse> r = client.ReadResponse(milliseconds(5'000));
+    if (!r.ok()) break;  // drain finished, connection closed
+    if (r->id == 2 && r->type == "error") {
+      EXPECT_EQ(r->code, "overloaded");
+      saw_overloaded = true;
+    }
+    if (r->id == 1 && r->type == "cancelled") saw_cancelled = true;
+  }
+  shutdown.join();
+  EXPECT_TRUE(saw_cancelled) << "parked solve must terminate as cancelled";
+  // The drain-window solve was either answered with a typed rejection or
+  // dropped with the connection — but it never reached the service.
+  EXPECT_EQ(daemon.daemon_stats().solves_admitted, 1u);
+  ServiceStats stats = daemon.service_stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  if (saw_overloaded) {
+    EXPECT_EQ(daemon.daemon_stats().solves_rejected_overloaded, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -112,6 +112,36 @@ TEST(BoundedQueueTest, ConcurrentProducersConsumersConserveItems) {
   EXPECT_EQ(sum.load(), static_cast<long long>(total) * (total - 1) / 2);
 }
 
+TEST(BoundedQueueTest, BeforePredicatePopsMinimumWithFifoTies) {
+  // Priority order: pop the smallest `first`; ties must come out in push
+  // order (the discipline the EDF queue relies on for equal deadlines).
+  using Item = std::pair<int, int>;  // (key, push sequence)
+  BoundedQueue<Item> q(8, [](const Item& a, const Item& b) {
+    return a.first < b.first;
+  });
+  EXPECT_TRUE(q.TryPush({5, 0}));
+  EXPECT_TRUE(q.TryPush({1, 1}));
+  EXPECT_TRUE(q.TryPush({5, 2}));
+  EXPECT_TRUE(q.TryPush({1, 3}));
+  EXPECT_TRUE(q.TryPush({3, 4}));
+  Item out;
+  std::vector<Item> popped;
+  while (q.TryPop(&out)) popped.push_back(out);
+  std::vector<Item> expected = {{1, 1}, {1, 3}, {3, 4}, {5, 0}, {5, 2}};
+  EXPECT_EQ(popped, expected);
+}
+
+TEST(BoundedQueueTest, AllEqualKeysDegradeToExactFifo) {
+  BoundedQueue<std::pair<int, int>> q(
+      8, [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.TryPush({7, i}));
+  std::pair<int, int> out;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out.second, i);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // BackoffPolicy
 
@@ -202,6 +232,48 @@ TEST(StatsTest, TerminalKindsAreDisjoint) {
   EXPECT_EQ(s.completed, 1u);
   EXPECT_EQ(s.degraded, 1u);
   EXPECT_EQ(s.inflight, 0u);
+}
+
+TEST(StatsTest, EmptyWindowReportsZeroPercentilesWithoutReadingSamples) {
+  // Regression: percentiles over an empty latency window must report zeros
+  // (and must not index into the empty sample buffer).
+  StatsCollector stats;
+  stats.RecordSubmitted();
+  stats.RecordShed();  // shed requests record no latency sample
+  ServiceStats s = stats.Snapshot();
+  EXPECT_EQ(s.latency_count, 0u);
+  EXPECT_EQ(s.latency_p50_us, 0u);
+  EXPECT_EQ(s.latency_p90_us, 0u);
+  EXPECT_EQ(s.latency_p99_us, 0u);
+  EXPECT_EQ(s.latency_max_us, 0u);
+  EXPECT_NE(s.ToString().find("p50 0"), std::string::npos);
+}
+
+TEST(StatsTest, SingleSampleWindowClampsEveryPercentile) {
+  StatsCollector stats;
+  stats.RecordStarted();
+  stats.RecordTerminal(true, false, /*ok=*/true, false, microseconds(42));
+  ServiceStats s = stats.Snapshot();
+  EXPECT_EQ(s.latency_p50_us, 42u);
+  EXPECT_EQ(s.latency_p99_us, 42u);
+  EXPECT_EQ(s.latency_max_us, 42u);
+}
+
+TEST(StatsTest, CancelledWhileQueuedCountsInExactlyOneBucket) {
+  // Regression: a request cancelled before any worker started it must land
+  // in `cancelled` only — and must not decrement `inflight` below zero.
+  StatsCollector stats;
+  stats.RecordSubmitted();
+  stats.RecordAccepted();
+  stats.RecordTerminal(/*started=*/false, /*cancelled=*/true, /*ok=*/false,
+                       /*degraded=*/false, microseconds(10));
+  ServiceStats s = stats.Snapshot();
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.degraded, 0u);
+  EXPECT_EQ(s.inflight, 0u) << "never-started terminal must not touch inflight";
+  EXPECT_EQ(s.cancelled + s.completed + s.failed, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -357,7 +429,11 @@ TEST(SolveServiceTest, DegradedVerdictIsSurfacedNotRetried) {
   SolveService service(options);
   ResponseSink sink;
   ServeJob job(PigeonholeCyclicQuery(), shared);
-  job.timeout = milliseconds(50);
+  // Exhaust the exact stage by step budget, not wall-clock: a step limit
+  // trips identically on a loaded or sanitized build, and the generous
+  // timeout leaves sampling all the time it needs for its verdict.
+  job.max_steps = 200;
+  job.timeout = milliseconds(10'000);
   ASSERT_TRUE(service.Submit(std::move(job), sink.Callback()).ok());
   EXPECT_TRUE(service.Shutdown(milliseconds(20'000)));
   ASSERT_EQ(sink.Count(), 1u);
@@ -433,6 +509,80 @@ TEST(SolveServiceTest, CancelledQueuedRequestNeverRuns) {
     }
   }
   EXPECT_EQ(service.Stats().cancelled, 2u);
+}
+
+// Mixed-deadline load on one worker: a blocker occupies the worker while
+// three relaxed no-deadline sleepers and one urgent submit-anchored job sit
+// in the queue. Returns the service stats and the urgent job's result.
+struct MixedLoadOutcome {
+  ServiceStats stats;
+  Result<SolveReport> urgent = Result<SolveReport>::Error(ErrorCode::kInternal,
+                                                          "no response");
+};
+
+MixedLoadOutcome RunMixedDeadlineLoad(QueueDiscipline discipline) {
+  auto db = Db("R(a | b), R(a | c)\nS(b | a)");
+  ServiceOptions options;
+  options.workers = 1;
+  options.discipline = discipline;
+  SolveService service(options);
+  ResponseSink sink;
+
+  // Blocker: pins the single worker for 150ms.
+  ServeJob blocker(Q("R(x | y)"), db);
+  blocker.chaos_sleep = milliseconds(150);
+  EXPECT_TRUE(service.Submit(std::move(blocker), sink.Callback()).ok());
+  for (int i = 0; i < 2'000 && service.Stats().inflight == 0; ++i) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_EQ(service.Stats().inflight, 1u) << "blocker never started";
+
+  // Three relaxed jobs (250ms each, no deadline) queued ahead of the
+  // urgent one in FIFO order.
+  for (int i = 0; i < 3; ++i) {
+    ServeJob relaxed(Q("R(x | y)"), db);
+    relaxed.chaos_sleep = milliseconds(250);
+    EXPECT_TRUE(service.Submit(std::move(relaxed), sink.Callback()).ok());
+  }
+  // Urgent job: 500ms budget anchored at submit time. Under FIFO it waits
+  // ~150 + 3*250 = 900ms in the queue and expires before it runs; under
+  // EDF it is popped first (the others sort last, having no deadline) and
+  // runs at ~150ms with most of its budget intact.
+  ServeJob urgent(Q("R(x | y)"), db);
+  urgent.timeout = milliseconds(500);
+  urgent.deadline_from_submit = true;
+  urgent.degrade_to_sampling = false;  // typed error instead of a verdict
+  // The governed solver probes the budget; the poly-time matcher that would
+  // otherwise answer this q1-shaped query ignores deadlines entirely.
+  urgent.method = SolverMethod::kBacktracking;
+  Result<uint64_t> urgent_id = service.Submit(std::move(urgent),
+                                              sink.Callback());
+  EXPECT_TRUE(urgent_id.ok());
+
+  EXPECT_TRUE(sink.WaitForCount(5)) << "responses missing";
+  EXPECT_TRUE(service.Shutdown(milliseconds(10'000)));
+  MixedLoadOutcome out;
+  out.stats = service.Stats();
+  for (const ServeResponse& r : sink.responses) {
+    if (r.id == urgent_id.value()) out.urgent = r.result;
+  }
+  return out;
+}
+
+TEST(SolveServiceTest, EdfServesUrgentJobsBeforeTheyExpireInTheQueue) {
+  MixedLoadOutcome fifo = RunMixedDeadlineLoad(QueueDiscipline::kFifo);
+  ASSERT_FALSE(fifo.urgent.ok())
+      << "FIFO must let the urgent job expire while queued";
+  EXPECT_EQ(fifo.urgent.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(fifo.stats.failed, 1u);
+  EXPECT_EQ(fifo.stats.completed, 4u);
+
+  MixedLoadOutcome edf = RunMixedDeadlineLoad(QueueDiscipline::kEdf);
+  ASSERT_TRUE(edf.urgent.ok())
+      << "EDF must run the urgent job first: " << edf.urgent.error();
+  EXPECT_EQ(edf.urgent->verdict, Verdict::kCertain);
+  EXPECT_EQ(edf.stats.failed, 0u);
+  EXPECT_EQ(edf.stats.completed, 5u);
 }
 
 TEST(SolveServiceTest, DestructorShutsDownAnIdleService) {

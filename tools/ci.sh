@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # One-shot local CI: tier-1 build + full test suite, then the sanitizer
 # presets (ASan+UBSan on the governor suites, TSan on everything labelled
-# `concurrency` — the serve and governor threading tests).
+# `concurrency` — the serve, daemon and governor threading tests), then a
+# live end-to-end smoke of the network daemon: start it, run solves through
+# the CLI client, SIGTERM it, and assert a clean drain and exit code.
 #
-#   tools/ci.sh            # all three stages
+#   tools/ci.sh            # all four stages
 #   tools/ci.sh tier1      # just the tier-1 stage
 #   tools/ci.sh asan tsan  # just the sanitizer stages
+#   tools/ci.sh daemon     # just the daemon smoke (needs a tier-1 build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon)
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -24,12 +27,59 @@ run_stage() {
   ctest --preset "$test" -j "$jobs"
 }
 
+# End-to-end daemon smoke against the tier-1 build: a real process, a real
+# socket, a real signal. Asserts the solves answer correctly, health serves,
+# SIGTERM drains, and the daemon exits 0 (clean drain, not forced).
+daemon_smoke() {
+  local cli=build/tools/cqa_cli
+  [ -x "$cli" ] || { echo "daemon smoke needs a tier-1 build ($cli)"; exit 2; }
+  local work; work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  printf 'R(a | b), R(a | c)\nS(b | a)\n' > "$work/facts"
+  printf 'R(x | y)\nR(x | y), not S(y | x)\n' > "$work/queries"
+
+  echo "==== [daemon] start"
+  "$cli" serve "$work/facts" --listen=127.0.0.1:0 --workers=2 \
+      > "$work/daemon.log" 2>&1 &
+  local daemon_pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$work/daemon.log")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon never reported its address"; cat "$work/daemon.log"; exit 1
+  fi
+
+  echo "==== [daemon] client solves via $addr"
+  "$cli" client "$addr" --jobs="$work/queries" > "$work/client.out"
+  grep -q '^\[1\] certain' "$work/client.out"
+  grep -q '^\[2\] not-certain' "$work/client.out"
+  "$cli" client "$addr" --health | grep -q '"status":"serving"'
+  "$cli" client "$addr" --stats | grep -q '"solves_admitted":2'
+
+  echo "==== [daemon] SIGTERM drain"
+  kill -TERM "$daemon_pid"
+  local rc=0
+  wait "$daemon_pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "daemon exited $rc (expected 0: clean drain)"
+    cat "$work/daemon.log"; exit 1
+  fi
+  grep -q 'draining' "$work/daemon.log"
+  echo "==== [daemon] OK (clean drain, exit 0)"
+}
+
 for stage in "${stages[@]}"; do
   case "$stage" in
     tier1) run_stage tier1 default default default ;;
     asan)  run_stage asan-ubsan asan-ubsan asan-ubsan asan-ubsan ;;
     tsan)  run_stage tsan tsan tsan tsan ;;
-    *) echo "unknown stage '$stage' (want: tier1 asan tsan)" >&2; exit 2 ;;
+    daemon) daemon_smoke ;;
+    *) echo "unknown stage '$stage' (want: tier1 asan tsan daemon)" >&2
+       exit 2 ;;
   esac
 done
 echo "==== CI OK (${stages[*]})"

@@ -17,6 +17,11 @@
 //   cqa_cli serve    db.facts [--jobs=FILE] [--workers=N] [--queue-cap=M]
 //                    [--timeout-ms=T] [--retries=R] [--deadline-ms=S]
 //                    [--drain-ms=D] [--max-nodes=K] [--method=...]
+//   cqa_cli serve    db.facts --listen=HOST:PORT [--workers=N]
+//                    [--queue-cap=M] [--timeout-ms=T] [--retries=R]
+//                    [--drain-ms=D] [--max-connections=C] [--max-inflight=I]
+//   cqa_cli client   HOST:PORT [--jobs=FILE] [--timeout-ms=T]
+//                    [--max-nodes=K] [--method=...] [--health] [--stats]
 //
 // Exit codes: 0 certain / probably certain / success; 1 parse or input
 // error; 2 usage; 3 resource budget exhausted; 4 cancelled; 5 not certain
@@ -25,6 +30,14 @@
 // `--timeout-ms` and `--max-nodes` attach an execution governor: on `solve
 // --method=auto` an exhausted exact solver degrades to Monte-Carlo sampling
 // and reports a qualified verdict instead of failing.
+//
+// `serve --listen=HOST:PORT` runs the network daemon (src/cqa/serve/net/)
+// instead of the batch driver: it prints `listening on HOST:PORT`, serves
+// the framed JSON protocol documented in docs/SERVING.md, and drains
+// gracefully on SIGINT/SIGTERM (exit 0 when everything drained, 4 when the
+// drain deadline forced cancellations). `client` submits jobs to a running
+// daemon — one query per line, as in batch serve mode — and exits with the
+// same severity ranking; `--health` / `--stats` print one status frame.
 //
 // `serve` runs the concurrent solve service (src/cqa/serve/) over a batch
 // of newline-delimited solve jobs — one query per line, read from stdin or
@@ -72,8 +85,13 @@
 #include "cqa/fo/eval.h"
 #include "cqa/fo/fo_parser.h"
 #include "cqa/fo/sql.h"
+#include "cqa/base/signals.h"
 #include "cqa/query/parser.h"
 #include "cqa/rewriting/rewriter.h"
+#include "cqa/serve/net/client.h"
+#include "cqa/serve/net/daemon.h"
+#include "cqa/serve/net/json.h"
+#include "cqa/serve/net/protocol.h"
 #include "cqa/serve/service.h"
 
 namespace {
@@ -243,24 +261,12 @@ int CmdDot(const Query& q) {
 }
 
 // Maps a --method= value onto SolverMethod; false on an unknown name.
+// The name table itself lives in the wire protocol (ParseSolverMethod) so
+// the CLI and the daemon always accept the same spellings.
 bool ParseMethod(const std::string& method, SolverMethod* out) {
-  if (method.empty() || method == "auto") {
-    *out = SolverMethod::kAuto;
-  } else if (method == "rewriting" || method == "fo-rewriting") {
-    *out = SolverMethod::kRewriting;
-  } else if (method == "algorithm1") {
-    *out = SolverMethod::kAlgorithm1;
-  } else if (method == "backtracking") {
-    *out = SolverMethod::kBacktracking;
-  } else if (method == "naive") {
-    *out = SolverMethod::kNaive;
-  } else if (method == "matching-q1") {
-    *out = SolverMethod::kMatchingQ1;
-  } else if (method == "sampling") {
-    *out = SolverMethod::kSampling;
-  } else {
-    return false;
-  }
+  Result<SolverMethod> m = ParseSolverMethod(method);
+  if (!m.ok()) return false;
+  *out = *m;
   return true;
 }
 
@@ -389,6 +395,193 @@ int CmdRepairs(const Database& db, uint64_t limit) {
   return 0;
 }
 
+int ServeSeverityRank(int exit_code);
+
+// Splits "HOST:PORT" (or a bare "PORT", defaulting the host) and parses
+// the port. False on malformed input.
+bool ParseHostPort(const std::string& addr, std::string* host,
+                   uint16_t* port) {
+  std::string port_text = addr;
+  size_t colon = addr.rfind(':');
+  if (colon != std::string::npos) {
+    *host = addr.substr(0, colon);
+    port_text = addr.substr(colon + 1);
+  } else {
+    *host = "127.0.0.1";
+  }
+  if (host->empty()) *host = "127.0.0.1";
+  uint64_t p = 0;
+  if (!ParseU64(port_text, &p) || p > 65'535) return false;
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+// serve --listen: run the network daemon until SIGINT/SIGTERM, then drain.
+int CmdServeDaemon(int argc, char** argv, const char* db_path) {
+  std::string listen = FlagValue(argc, argv, "--listen");
+  DaemonOptions dopts;
+  if (!ParseHostPort(listen, &dopts.host, &dopts.port)) {
+    return Fail("malformed --listen address '" + listen + "'");
+  }
+  Result<Database> db = LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db);
+  auto shared_db = std::make_shared<const Database>(std::move(db.value()));
+
+  struct {
+    const char* name;
+    uint64_t value;
+  } flags[] = {
+      {"--workers", 4},          {"--queue-cap", 64},
+      {"--timeout-ms", 0},       {"--retries", 0},
+      {"--drain-ms", 5'000},     {"--max-connections", 256},
+      {"--max-inflight", 16},    {"--idle-timeout-ms", 300'000},
+  };
+  for (auto& flag : flags) {
+    if (FlagGiven(argc, argv, flag.name) &&
+        !ParseU64(FlagValue(argc, argv, flag.name), &flag.value)) {
+      return Fail(std::string("malformed ") + flag.name + " value");
+    }
+  }
+  dopts.service.workers = static_cast<int>(flags[0].value);
+  dopts.service.queue_capacity = flags[1].value;
+  dopts.service.default_timeout = std::chrono::milliseconds(flags[2].value);
+  dopts.service.max_retries = static_cast<int>(flags[3].value);
+  dopts.max_connections = flags[5].value;
+  dopts.connection.max_inflight = flags[6].value;
+  dopts.connection.idle_timeout = std::chrono::milliseconds(flags[7].value);
+
+  // Install the latch before accepting work so a signal arriving during
+  // startup still drains instead of killing the process.
+  SignalDrainLatch latch;
+  SolveDaemon daemon(shared_db, dopts);
+  Result<bool> started = daemon.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("listening on %s:%u\n", dopts.host.c_str(),
+              static_cast<unsigned>(daemon.port()));
+  std::fflush(stdout);
+
+  while (!latch.Wait(std::chrono::milliseconds(250))) {
+  }
+  std::fprintf(stderr, "-- signal %d received: draining\n",
+               latch.signal_number());
+  bool drained = daemon.Shutdown(std::chrono::milliseconds(flags[4].value));
+  std::fprintf(stderr, "-- serve: %s\n",
+               daemon.service_stats().ToString().c_str());
+  return drained ? 0 : 4;
+}
+
+// Exit code for one terminal wire response, using the same severity
+// classes as batch serve mode.
+int ClientExitCodeFor(const WireResponse& response) {
+  if (response.type == "cancelled") return 4;
+  if (response.type == "error") {
+    if (response.code == "deadline-exceeded" ||
+        response.code == "budget-exhausted") {
+      return 3;
+    }
+    return response.code == "cancelled" ? 4 : 1;
+  }
+  return response.verdict == "exhausted" ? 3 : 0;
+}
+
+// client: submit newline-delimited queries to a running daemon.
+int CmdClient(int argc, char** argv, const char* addr) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(addr, &host, &port)) {
+    return Fail(std::string("malformed address '") + addr + "'");
+  }
+  const auto io_timeout = std::chrono::milliseconds(10'000);
+  NetClient client;
+  Result<bool> connected = client.Connect(host, port, io_timeout);
+  if (!connected.ok()) return Fail(connected);
+
+  if (HasFlag(argc, argv, "--health") || HasFlag(argc, argv, "--stats")) {
+    const bool health = HasFlag(argc, argv, "--health");
+    JsonObjectBuilder req;
+    req.Set("type", health ? "health" : "stats").Set("id", uint64_t{1});
+    Result<bool> sent = client.SendFrame(req.Build().Serialize(), io_timeout);
+    if (!sent.ok()) return Fail(sent);
+    Result<WireResponse> resp = client.ReadResponse(io_timeout);
+    if (!resp.ok()) return Fail(resp);
+    std::printf("%s\n", resp->raw.Serialize().c_str());
+    return health && resp->status != "serving" ? 4 : 0;
+  }
+
+  std::string jobs_path = FlagValue(argc, argv, "--jobs");
+  std::ifstream jobs_file;
+  std::istream* jobs = &std::cin;
+  if (!jobs_path.empty()) {
+    jobs_file.open(jobs_path);
+    if (!jobs_file) {
+      return Fail("cannot open jobs file '" + jobs_path + "': " +
+                  std::strerror(errno));
+    }
+    jobs = &jobs_file;
+  }
+  uint64_t timeout_ms = 0, max_nodes = Budget::kNoStepLimit;
+  if (FlagGiven(argc, argv, "--timeout-ms") &&
+      !ParseU64(FlagValue(argc, argv, "--timeout-ms"), &timeout_ms)) {
+    return Fail("malformed --timeout-ms value");
+  }
+  if (FlagGiven(argc, argv, "--max-nodes") &&
+      !ParseU64(FlagValue(argc, argv, "--max-nodes"), &max_nodes)) {
+    return Fail("malformed --max-nodes value");
+  }
+  std::string method = FlagValue(argc, argv, "--method");
+  if (!ParseSolverMethod(method).ok()) {
+    return Fail("unknown method '" + method + "'");
+  }
+
+  // Pipeline all jobs, then collect a terminal frame for each; the daemon
+  // answers in completion order, ids tie responses back to input lines.
+  std::string line;
+  uint64_t line_no = 0;
+  size_t outstanding = 0;
+  int worst = 0;
+  auto record_outcome = [&](int exit_code) {
+    if (ServeSeverityRank(exit_code) > ServeSeverityRank(worst)) {
+      worst = exit_code;
+    }
+  };
+  while (std::getline(*jobs, line)) {
+    ++line_no;
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line.compare(first, 2, "--") == 0) {
+      continue;
+    }
+    JsonObjectBuilder req;
+    req.Set("type", "solve").Set("id", line_no).Set("query", line);
+    if (timeout_ms > 0) req.Set("timeout_ms", timeout_ms);
+    if (max_nodes != Budget::kNoStepLimit) req.Set("max_steps", max_nodes);
+    if (!method.empty()) req.Set("method", method);
+    Result<bool> sent = client.SendFrame(req.Build().Serialize(), io_timeout);
+    if (!sent.ok()) return Fail(sent);
+    ++outstanding;
+  }
+  while (outstanding > 0) {
+    Result<WireResponse> resp = client.ReadResponse(io_timeout);
+    if (!resp.ok()) return Fail(resp);
+    if (!IsTerminalResponseType(resp->type)) continue;
+    --outstanding;
+    unsigned long long n = resp->id;
+    if (resp->type == "cancelled") {
+      std::printf("[%llu] cancelled\n", n);
+    } else if (resp->type == "error") {
+      std::printf("[%llu] error: %s (%s)\n", n, resp->message.c_str(),
+                  resp->code.c_str());
+    } else if (resp->verdict == "probably-certain") {
+      std::printf("[%llu] %s (confidence %.4f after %llu samples)\n", n,
+                  resp->verdict.c_str(), resp->confidence,
+                  static_cast<unsigned long long>(resp->samples));
+    } else {
+      std::printf("[%llu] %s\n", n, resp->verdict.c_str());
+    }
+    record_outcome(ClientExitCodeFor(*resp));
+  }
+  return worst;
+}
+
 // Exit-severity ranks for serve mode, worst wins: ok < exhausted(3) <
 // cancelled(4) < failed(1).
 int ServeSeverityRank(int exit_code) {
@@ -405,6 +598,9 @@ int ServeSeverityRank(int exit_code) {
 }
 
 int CmdServe(int argc, char** argv, const char* db_path) {
+  if (FlagGiven(argc, argv, "--listen")) {
+    return CmdServeDaemon(argc, argv, db_path);
+  }
   std::string jobs_path = FlagValue(argc, argv, "--jobs");
   if (std::strcmp(db_path, "-") == 0 && jobs_path.empty()) {
     return Fail("serve: a database from stdin ('-') requires --jobs=FILE");
@@ -562,6 +758,10 @@ int main(int argc, char** argv) {
   if (cmd == "serve") {
     if (argc < 3) return Usage();
     return CmdServe(argc, argv, argv[2]);
+  }
+  if (cmd == "client") {
+    if (argc < 3) return Usage();
+    return CmdClient(argc, argv, argv[2]);
   }
 
   if (cmd == "repairs" || cmd == "stats") {

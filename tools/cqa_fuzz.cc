@@ -5,10 +5,15 @@
 // the fact/query/FO parsers with mutated and garbage inputs (--parse-rounds)
 // and evaluates whatever parses under a tight execution budget, asserting
 // that only typed errors ever escape (kParse from the parsers; resource
-// codes from governed evaluation). Exits non-zero and prints a reproducer
-// on the first disagreement.
+// codes from governed evaluation). A third phase (--wire-rounds) throws
+// random, mutated, truncated and oversized byte streams at the daemon's
+// wire stack — FrameDecoder, Json::Parse, DecodeRequest, DecodeResponse —
+// asserting frames fail with typed kParse/kUnsupported errors and the
+// decoder's overflow latch engages exactly at its cap. Exits non-zero and
+// prints a reproducer on the first violation.
 //
 //   cqa_fuzz [--seed=N] [--rounds=N] [--dbs-per-query=N] [--parse-rounds=N]
+//            [--wire-rounds=N]
 
 #include <cstdio>
 #include <cstring>
@@ -16,6 +21,9 @@
 #include <vector>
 
 #include "cqa/cqa.h"
+#include "cqa/serve/net/framing.h"
+#include "cqa/serve/net/json.h"
+#include "cqa/serve/net/protocol.h"
 
 namespace {
 
@@ -124,6 +132,66 @@ int CheckParsers(const std::string& input, const Database& db) {
   return 0;
 }
 
+// Seed corpus for the wire fuzz: one valid spelling of every request type
+// plus daemon-encoded responses, so mutations explore the near-valid
+// neighborhood of both directions of the protocol.
+std::vector<std::string> WireCorpus() {
+  std::vector<std::string> corpus = {
+      R"js({"type":"solve","id":1,"query":"R(x | y), not S(y | x)"})js",
+      R"js({"type":"solve","id":2,"query":"R(x | y)","timeout_ms":50,)js"
+      R"js("max_steps":100,"method":"backtracking","max_samples":10,)js"
+      R"js("degrade_to_sampling":false,"deadline_from_submit":true})js",
+      R"js({"type":"health","id":3})js",
+      R"js({"type":"stats","id":4})js",
+      R"js({"type":"cancel","id":5,"target":1})js",
+  };
+  corpus.push_back(EncodeErrorFrame(7, ErrorCode::kOverloaded, "busy", true));
+  corpus.push_back(EncodeCancelledFrame(8, "cancelled"));
+  corpus.push_back(EncodeHealthFrame(9, /*draining=*/false));
+  corpus.push_back(EncodeCancelAckFrame(10, 1, true));
+  return corpus;
+}
+
+// One wire-fuzz input: the byte stream is fed to a FrameDecoder in random
+// chunk sizes; every completed frame must decode as a request or fail with
+// kParse/kUnsupported, and likewise for responses. Nothing may crash or
+// return an untyped error, and the overflow latch must respect the cap.
+int CheckWireStack(const std::string& stream, size_t max_frame_bytes,
+                   Rng* rng) {
+  FrameDecoder decoder(max_frame_bytes);
+  std::vector<std::string> frames;
+  size_t offset = 0;
+  while (offset < stream.size()) {
+    size_t chunk = rng->Below(7) + 1;
+    chunk = std::min(chunk, stream.size() - offset);
+    decoder.Feed(stream.data() + offset, chunk, &frames);
+    offset += chunk;
+  }
+  if (decoder.pending_bytes() > max_frame_bytes && !decoder.overflowed()) {
+    return BadInput(stream, "decoder exceeded its cap without latching");
+  }
+  for (const std::string& frame : frames) {
+    if (frame.size() > max_frame_bytes) {
+      return BadInput(frame, "decoder emitted a frame beyond its cap");
+    }
+    Result<Json> json = Json::Parse(frame);
+    if (!json.ok() && json.code() != ErrorCode::kParse) {
+      return BadInput(frame, "Json::Parse returned a non-parse error");
+    }
+    Result<WireRequest> req = DecodeRequest(frame);
+    if (!req.ok() && req.code() != ErrorCode::kParse &&
+        req.code() != ErrorCode::kUnsupported) {
+      return BadInput(frame, "DecodeRequest returned an untyped error");
+    }
+    Result<WireResponse> resp = DecodeResponse(frame);
+    if (!resp.ok() && resp.code() != ErrorCode::kParse &&
+        resp.code() != ErrorCode::kUnsupported) {
+      return BadInput(frame, "DecodeResponse returned an untyped error");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,6 +199,7 @@ int main(int argc, char** argv) {
   uint64_t rounds = FlagOr(argc, argv, "--rounds", 200);
   uint64_t dbs_per_query = FlagOr(argc, argv, "--dbs-per-query", 10);
   uint64_t parse_rounds = FlagOr(argc, argv, "--parse-rounds", 300);
+  uint64_t wire_rounds = FlagOr(argc, argv, "--wire-rounds", 300);
 
   // Phase 1: parser robustness under mutation and garbage.
   {
@@ -150,6 +219,43 @@ int main(int argc, char** argv) {
           prng.Chance(0.2) ? Garbage(&prng)
                            : Mutate(corpus[prng.Below(corpus.size())], &prng);
       int rc = CheckParsers(input, pdb.value());
+      if (rc != 0) return rc;
+    }
+  }
+
+  // Phase 2: wire-protocol robustness — random frame streams through the
+  // daemon's decoder and codecs, delivered in adversarial chunk sizes.
+  {
+    Rng wrng(seed ^ 0x3142u);
+    std::vector<std::string> corpus = WireCorpus();
+    for (uint64_t round = 0; round < wire_rounds; ++round) {
+      // A small cap every few rounds exercises the overflow latch; the
+      // big cap exercises ordinary reassembly.
+      size_t cap = wrng.Chance(0.3) ? 48 : 4096;
+      std::string stream;
+      int pieces = static_cast<int>(wrng.Below(4)) + 1;
+      for (int p = 0; p < pieces; ++p) {
+        switch (wrng.Below(4)) {
+          case 0:  // intact corpus frame
+            stream += corpus[wrng.Below(corpus.size())];
+            break;
+          case 1:  // mutated corpus frame (may contain stray newlines)
+            stream += Mutate(corpus[wrng.Below(corpus.size())], &wrng);
+            break;
+          case 2:  // raw garbage
+            stream += Garbage(&wrng);
+            break;
+          default: {  // oversized filler
+            stream += std::string(cap + wrng.Below(64) + 1, '{');
+            break;
+          }
+        }
+        if (!wrng.Chance(0.2)) stream += wrng.Chance(0.1) ? "\r\n" : "\n";
+      }
+      if (wrng.Chance(0.3) && !stream.empty()) {
+        stream.resize(wrng.Below(stream.size()));  // truncated delivery
+      }
+      int rc = CheckWireStack(stream, cap, &wrng);
       if (rc != 0) return rc;
     }
   }
@@ -213,9 +319,10 @@ int main(int argc, char** argv) {
     }
   }
   std::printf(
-      "fuzz clean: %llu parse rounds, %llu rounds (%llu FO, %llu hard), "
-      "%llu database checks\n",
+      "fuzz clean: %llu parse rounds, %llu wire rounds, %llu rounds "
+      "(%llu FO, %llu hard), %llu database checks\n",
       static_cast<unsigned long long>(parse_rounds),
+      static_cast<unsigned long long>(wire_rounds),
       static_cast<unsigned long long>(rounds),
       static_cast<unsigned long long>(fo_count),
       static_cast<unsigned long long>(hard_count),
