@@ -9,6 +9,10 @@
 //       batches far past the service queue capacity; reports accepted vs
 //       shed (typed `overloaded` frames) and terminal-frame accounting —
 //       every pipelined solve must still get exactly one terminal frame.
+//   D3. Result cache over the wire: the same solve frame submitted
+//       repeatedly with `"cache":"default"` (hot: served from the result
+//       cache after the first) vs `"cache":"bypass"` (cold: full solve each
+//       time). The remaining hot-path cost is the wire round trip itself.
 //
 // The micro-benchmark times a single socket round trip through the daemon.
 
@@ -125,9 +129,56 @@ void TableOverloadShedRate() {
   std::printf("\n");
 }
 
+std::string SolveFrameCached(uint64_t id, const std::string& query,
+                             const char* policy) {
+  JsonObjectBuilder b;
+  b.Set("type", "solve").Set("id", id).Set("query", query).Set("cache",
+                                                               policy);
+  return b.Build().Serialize();
+}
+
+void TableCacheHotCold() {
+  std::printf("D3. result cache over the wire, 300 identical solves each "
+              "mode:\n");
+  std::printf("%-8s %-10s %-10s %-10s %-10s\n", "mode", "p50_us", "p99_us",
+              "hits", "speedup");
+  double cold_p50 = 0;
+  for (bool hot : {false, true}) {
+    DaemonOptions options;
+    options.service.workers = 2;
+    options.service.cache_entries = 1024;
+    options.service.warm_state = hot;
+    SolveDaemon daemon(PollDb(200, 29), options);
+    if (!daemon.Start().ok()) return;
+    NetClient client;
+    if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+    std::string query = "Mayor(t | p), not Lives(p | t)";  // PollQ1
+    const char* policy = hot ? "default" : "bypass";
+    std::vector<double> rtt_us;
+    constexpr int kRounds = 300;
+    for (uint64_t id = 1; id <= kRounds; ++id) {
+      double us = benchutil::TimeUs([&] {
+        (void)client.SendFrame(SolveFrameCached(id, query, policy), kIo);
+        (void)client.WaitTerminal(id, kIo);
+      });
+      rtt_us.push_back(us);
+    }
+    ServiceStats service = daemon.service_stats();
+    (void)daemon.Shutdown(milliseconds(5'000));
+    double p50 = static_cast<double>(Percentile(&rtt_us, 0.50));
+    double p99 = static_cast<double>(Percentile(&rtt_us, 0.99));
+    if (!hot) cold_p50 = p50;
+    std::printf("%-8s %-10.0f %-10.0f %-10llu %.1fx\n", hot ? "hot" : "cold",
+                p50, p99, static_cast<unsigned long long>(service.cache_hits),
+                hot && p50 > 0 ? cold_p50 / p50 : 1.0);
+  }
+  std::printf("\n");
+}
+
 void Tables() {
   TableRoundTrip();
   TableOverloadShedRate();
+  TableCacheHotCold();
 }
 
 void BM_DaemonRoundTrip(benchmark::State& state) {

@@ -8,10 +8,15 @@
 //       admission control must shed deterministically, and the latency of
 //       the accepted requests stays bounded by queue depth, not offered
 //       load.
+//   S3. Result cache hot vs cold: the same solve submitted repeatedly with
+//       the cache enabled (hot: everything after the first submit is a
+//       lookup) vs every submit bypassing the cache (cold: each one pays
+//       the full solve). The ratio of median latencies is the cache win.
 //
 // The micro-benchmarks time the queue hot path (TryPush/Pop round trip) and
 // end-to-end service dispatch of a trivial request.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -99,9 +104,57 @@ void TableOverload() {
   std::printf("\n");
 }
 
+void TableCacheHotCold() {
+  std::printf("S3. result cache: 200 identical solves each mode, per-solve "
+              "latency:\n");
+  std::printf("%-8s %-10s %-10s %-10s %-8s %-10s\n", "mode", "p50_us",
+              "p99_us", "hits", "misses", "speedup");
+  auto db = PollDb(200, 23);
+  Query q1 = PollQ1();
+  constexpr int kJobs = 200;
+  double cold_p50 = 0;
+  for (bool hot : {false, true}) {
+    ServiceOptions options;
+    options.workers = 1;
+    options.queue_capacity = 4;
+    options.cache_entries = 1024;
+    options.warm_state = hot;
+    SolveService service(options);
+    std::vector<double> lat_us;
+    for (int i = 0; i < kJobs; ++i) {
+      ServeJob job(q1, db);
+      job.cache = hot ? CachePolicy::kDefault : CachePolicy::kBypass;
+      std::atomic<bool> done{false};
+      double us = benchutil::TimeUs([&] {
+        while (!service
+                    .Submit(job,
+                            [&](const ServeResponse&) { done.store(true); })
+                    .ok()) {
+          std::this_thread::yield();
+        }
+        while (!done.load()) std::this_thread::yield();
+      });
+      lat_us.push_back(us);
+    }
+    ServiceStats s = service.Stats();
+    (void)service.Shutdown(milliseconds(10'000));
+    std::sort(lat_us.begin(), lat_us.end());
+    double p50 = lat_us[lat_us.size() / 2];
+    double p99 = lat_us[lat_us.size() * 99 / 100];
+    if (!hot) cold_p50 = p50;
+    std::printf("%-8s %-10.1f %-10.1f %-10llu %-8llu %.1fx\n",
+                hot ? "hot" : "cold", p50, p99,
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.cache_misses),
+                hot && p50 > 0 ? cold_p50 / p50 : 1.0);
+  }
+  std::printf("\n");
+}
+
 void Tables() {
   TableThroughputScaling();
   TableOverload();
+  TableCacheHotCold();
 }
 
 void BM_QueuePushPop(benchmark::State& state) {

@@ -1,0 +1,97 @@
+#ifndef CQA_BASE_HASH_H_
+#define CQA_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cqa {
+
+/// A 128-bit non-cryptographic streaming hash (two independently seeded
+/// 64-bit FNV-style lanes with a splitmix finalizer and a cross-lane mix).
+/// Used for database fingerprints and cache keys, where 128 bits make
+/// accidental collisions negligible; this is NOT a defense against
+/// adversarial inputs.
+///
+/// The digest depends only on the byte stream fed in, never on process
+/// state (interner ids, pointer values), so equal canonical serialisations
+/// hash equally across runs.
+class Hash128 {
+ public:
+  struct Digest {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    friend bool operator==(const Digest& a, const Digest& b) {
+      return a.hi == b.hi && a.lo == b.lo;
+    }
+    friend bool operator!=(const Digest& a, const Digest& b) {
+      return !(a == b);
+    }
+
+    /// 32 lowercase hex characters, hi half first.
+    std::string ToHex() const {
+      static const char* kHex = "0123456789abcdef";
+      std::string out(32, '0');
+      uint64_t parts[2] = {hi, lo};
+      for (int p = 0; p < 2; ++p) {
+        for (int i = 0; i < 16; ++i) {
+          out[static_cast<size_t>(p * 16 + 15 - i)] =
+              kHex[(parts[p] >> (4 * i)) & 0xf];
+        }
+      }
+      return out;
+    }
+  };
+
+  void Update(const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      a_ = (a_ ^ p[i]) * 0x100000001b3ull;           // FNV-1a prime
+      b_ = (b_ ^ p[i]) * 0x9e3779b97f4a7c15ull + 1;  // golden-ratio lane
+    }
+    length_ += len;
+  }
+
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Absorbs a length-prefixed string: unambiguous under concatenation
+  /// (Update("ab") + Update("c") vs Update("a") + Update("bc") differ).
+  void UpdateSized(std::string_view s) {
+    UpdateU64(s.size());
+    Update(s);
+  }
+
+  void UpdateU64(uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    Update(bytes, 8);
+  }
+
+  Digest Finish() const {
+    Digest d;
+    d.hi = Avalanche(a_ ^ length_);
+    d.lo = Avalanche(b_ + 0x632be59bd9b4e019ull * length_ + d.hi);
+    return d;
+  }
+
+ private:
+  // splitmix64 finalizer: full-avalanche bijection on 64 bits.
+  static uint64_t Avalanche(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  uint64_t a_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  uint64_t b_ = 0x6a09e667f3bcc909ull;  // sqrt(2) fraction
+  uint64_t length_ = 0;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_HASH_H_

@@ -1,0 +1,55 @@
+#ifndef CQA_CACHE_FINGERPRINT_H_
+#define CQA_CACHE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cqa/base/hash.h"
+#include "cqa/db/database.h"
+
+namespace cqa {
+
+/// A stable 128-bit identity for a database instance, computed once at load
+/// and used as half of every result-cache key. Two databases with the same
+/// facts (same relation names, signatures, and value spellings) fingerprint
+/// equally regardless of insertion order, interner state, or process — the
+/// hash is taken over a canonical serialisation, never over interned ids.
+struct DbFingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool valid() const { return hi != 0 || lo != 0; }
+
+  std::string ToHex() const {
+    Hash128::Digest d;
+    d.hi = hi;
+    d.lo = lo;
+    return d.ToHex();
+  }
+
+  friend bool operator==(const DbFingerprint& a, const DbFingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const DbFingerprint& a, const DbFingerprint& b) {
+    return !(a == b);
+  }
+};
+
+/// Fingerprints `db` over its canonical form: relations sorted by name,
+/// and within each relation the facts sorted lexicographically by value
+/// spelling. Since the primary key is a tuple prefix, the sorted fact list
+/// is automatically block-ordered (key-equal facts are adjacent), matching
+/// the repair semantics the cached verdicts depend on. O(n log n) in the
+/// number of facts; call it once per load and keep the result.
+DbFingerprint FingerprintDatabase(const Database& db);
+
+struct DbFingerprintHash {
+  size_t operator()(const DbFingerprint& fp) const {
+    return static_cast<size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+}  // namespace cqa
+
+#endif  // CQA_CACHE_FINGERPRINT_H_

@@ -1,0 +1,90 @@
+#include "cqa/cache/query_key.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "cqa/base/interner.h"
+
+namespace cqa {
+
+namespace {
+
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(const Query& q) : q_(q) {}
+
+  std::string Render() {
+    // Literal order by relation name: total for self-join-free queries
+    // (one literal per relation) and independent of variable naming, so
+    // the first-occurrence variable numbering below is structural.
+    std::vector<size_t> order(q_.NumLiterals());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return q_.atom(a).relation_name() < q_.atom(b).relation_name();
+    });
+
+    std::string out;
+    for (size_t idx : order) {
+      if (!out.empty()) out += ";";
+      const Literal& l = q_.literal(idx);
+      if (l.negated) out += "!";
+      out += l.atom.relation_name();
+      out += "/" + std::to_string(l.atom.arity());
+      out += "." + std::to_string(l.atom.key_len());
+      out += "(";
+      for (int i = 0; i < l.atom.arity(); ++i) {
+        if (i > 0) out += i == l.atom.key_len() ? "|" : ",";
+        out += RenderTerm(l.atom.term(i));
+      }
+      out += ")";
+    }
+
+    // Disequalities after renaming (their variables occur in positive
+    // atoms by the safety condition, so names are already assigned), then
+    // sorted: the diseq list is a set.
+    std::vector<std::string> diseqs;
+    diseqs.reserve(q_.diseqs().size());
+    for (const Diseq& d : q_.diseqs()) {
+      std::string s = "(";
+      for (size_t i = 0; i < d.lhs.size(); ++i) {
+        if (i > 0) s += ",";
+        s += RenderTerm(d.lhs[i]);
+      }
+      s += ")!=(";
+      for (size_t i = 0; i < d.rhs.size(); ++i) {
+        if (i > 0) s += ",";
+        s += RenderTerm(d.rhs[i]);
+      }
+      s += ")";
+      diseqs.push_back(std::move(s));
+    }
+    std::sort(diseqs.begin(), diseqs.end());
+    for (const std::string& s : diseqs) out += ";" + s;
+    return out;
+  }
+
+ private:
+  std::string RenderTerm(const Term& t) {
+    if (t.is_constant()) return "'" + t.constant().name() + "'";
+    Symbol v = t.var();
+    // Reified variables behave like constants; their spelling is identity.
+    if (q_.reified().contains(v)) return "@" + SymbolName(v);
+    auto it = names_.find(v);
+    if (it == names_.end()) {
+      it = names_.emplace(v, "?" + std::to_string(names_.size())).first;
+    }
+    return it->second;
+  }
+
+  const Query& q_;
+  std::unordered_map<Symbol, std::string> names_;
+};
+
+}  // namespace
+
+std::string CanonicalQueryKey(const Query& q) {
+  return Canonicalizer(q).Render();
+}
+
+}  // namespace cqa

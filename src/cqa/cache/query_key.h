@@ -1,0 +1,29 @@
+#ifndef CQA_CACHE_QUERY_KEY_H_
+#define CQA_CACHE_QUERY_KEY_H_
+
+#include <string>
+
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// An alpha-invariant canonical serialisation of a query, used as the
+/// query half of a result-cache key.
+///
+/// `Query::CanonicalKey()` is literal-order independent but serialises
+/// variable names literally, so the alpha-equivalent `R(x|y), not S(y|x)`
+/// and `R(a|b), not S(b|a)` get different keys. `CanonicalQueryKey`
+/// additionally normalises variable naming: literals are ordered by
+/// relation name (total for self-join-free queries — every relation occurs
+/// at most once), and variables are renamed `?0, ?1, ...` in order of
+/// first occurrence along that name-independent literal order. Two queries
+/// produce the same key iff they differ only by variable renaming and
+/// literal/disequality order.
+///
+/// Reified variables are treated as constants (they carry identity, like
+/// constants do) and keep their original spelling, prefixed `@`.
+std::string CanonicalQueryKey(const Query& q);
+
+}  // namespace cqa
+
+#endif  // CQA_CACHE_QUERY_KEY_H_

@@ -1,0 +1,112 @@
+#include "cqa/cache/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cqa/base/hash.h"
+
+namespace cqa {
+
+namespace {
+
+size_t ClampShards(size_t max_entries, size_t shards) {
+  shards = std::max<size_t>(shards, 1);
+  // Never more shards than entries: each shard must hold at least one
+  // entry or a 1-entry cache would round up to `shards` entries.
+  return std::min(shards, std::max<size_t>(max_entries, 1));
+}
+
+}  // namespace
+
+CacheKey MakeCacheKey(const DbFingerprint& fp, SolverMethod method,
+                      const Query& q) {
+  CacheKey key;
+  key.text = fp.ToHex() + "|" + ToString(method) + "|" + CanonicalQueryKey(q);
+  Hash128 h;
+  h.Update(key.text);
+  key.hash = h.Finish().lo;
+  return key;
+}
+
+bool IsCacheableReport(const SolveReport& report) {
+  return report.verdict == Verdict::kCertain ||
+         report.verdict == Verdict::kNotCertain;
+}
+
+ResultCache::ResultCache(size_t max_entries, size_t shards)
+    : shards_(ClampShards(max_entries, shards)) {
+  per_shard_ = std::max<size_t>(std::max<size_t>(max_entries, 1) / shards_.size(), 1);
+}
+
+std::optional<SolveReport> ResultCache::Lookup(const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::optional<SolveReport> out;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key.text);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      out = it->second->report;
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (out.has_value()) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return out;
+}
+
+bool ResultCache::Insert(const CacheKey& key, const SolveReport& report) {
+  if (!IsCacheableReport(report)) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    return false;
+  }
+  Shard& shard = ShardFor(key);
+  uint64_t evicted = 0;
+  bool grew = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key.text);
+    if (it != shard.index.end()) {
+      // Refresh: identical by construction (exact verdicts are pure in the
+      // key), but keep the newest provenance and LRU position.
+      it->second->report = report;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      while (shard.lru.size() >= per_shard_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+      shard.lru.push_front(Entry{key.text, report});
+      shard.index.emplace(key.text, shard.lru.begin());
+      grew = true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.inserts;
+  stats_.evictions += evicted;
+  if (grew) stats_.entries += 1;
+  stats_.entries -= std::min(stats_.entries, evicted);
+  return true;
+}
+
+void ResultCache::RecordCoalesced() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.coalesced;
+}
+
+void ResultCache::RecordBypass() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.bypassed;
+}
+
+CacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace cqa

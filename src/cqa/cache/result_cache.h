@@ -1,0 +1,112 @@
+#ifndef CQA_CACHE_RESULT_CACHE_H_
+#define CQA_CACHE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cqa/cache/fingerprint.h"
+#include "cqa/cache/query_key.h"
+#include "cqa/certainty/solver.h"
+
+namespace cqa {
+
+/// A fully materialised cache key: (database fingerprint, requested solver
+/// method, alpha-canonical query). The method is part of the key because
+/// verdicts are method-independent but *failures* are not (e.g. rewriting
+/// on a non-FO query fails with `kUnsupported` while backtracking answers)
+/// — a cached verdict must never mask the error a cold solve would return.
+struct CacheKey {
+  std::string text;
+  uint64_t hash = 0;
+};
+
+CacheKey MakeCacheKey(const DbFingerprint& fp, SolverMethod method,
+                      const Query& q);
+
+/// Counters of one `ResultCache`, all monotone except `entries`.
+/// `coalesced` is a sub-classification of `misses`: a coalesced submission
+/// missed the cache first, then joined an in-flight identical solve, so
+/// hits + misses covers every lookup and misses − coalesced is the number
+/// of solves actually executed.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t coalesced = 0;  // misses that joined an in-flight solve
+  uint64_t bypassed = 0;   // submissions that opted out of the cache
+  uint64_t inserts = 0;
+  uint64_t rejected = 0;  // insert attempts with non-cacheable reports
+  uint64_t evictions = 0;
+  uint64_t entries = 0;  // current size (gauge)
+};
+
+/// True iff `report` may be stored: exact verdicts only. Degraded verdicts
+/// (`kProbablyCertain`, `kExhausted`) reflect the budget of one request,
+/// not a property of (query, database) — a later retry with a larger
+/// budget must re-solve. Errors are never `SolveReport`s, so they cannot
+/// be inserted at all.
+bool IsCacheableReport(const SolveReport& report);
+
+/// A sharded, bounded LRU map from `CacheKey` to a completed exact
+/// `SolveReport` (verdict plus provenance: stages, classification, work
+/// accounting). Thread-safe; each shard has its own mutex and LRU list, so
+/// concurrent lookups on different keys rarely contend.
+///
+/// The cache stores only what `IsCacheableReport` admits; `Insert` on
+/// anything else is counted as rejected and dropped. Single-flight
+/// coalescing lives in `SingleFlight` (the service owns the in-flight
+/// request handles); this class is the pure storage layer.
+class ResultCache {
+ public:
+  /// `max_entries` is a global bound, split evenly across `shards` (each
+  /// shard holds at least one entry, so a 1-entry cache is one shard).
+  explicit ResultCache(size_t max_entries, size_t shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached report and refreshes its LRU position. Counts a
+  /// hit or a miss.
+  std::optional<SolveReport> Lookup(const CacheKey& key);
+
+  /// Stores `report` if cacheable (evicting the shard's LRU tail when
+  /// full); returns false and counts a rejection otherwise.
+  bool Insert(const CacheKey& key, const SolveReport& report);
+
+  /// Counter hooks for decisions made by the caller (the service).
+  void RecordCoalesced();
+  void RecordBypass();
+
+  CacheStats Stats() const;
+
+  size_t max_entries() const { return shards_.size() * per_shard_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    SolveReport report;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return shards_[key.hash % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  size_t per_shard_;
+
+  mutable std::mutex stats_mu_;
+  CacheStats stats_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_CACHE_RESULT_CACHE_H_

@@ -1,0 +1,89 @@
+#ifndef CQA_CACHE_SINGLE_FLIGHT_H_
+#define CQA_CACHE_SINGLE_FLIGHT_H_
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cqa {
+
+/// Single-flight registry: at most one solve per cache key is in flight;
+/// concurrent identical submissions attach as *followers* and are settled
+/// by the leader's terminal result instead of stampeding the worker pool.
+///
+/// The registry stores only the followers — the existence of the map entry
+/// *is* the leader's flight. The owner (SolveService) drives the protocol:
+///
+///  * `JoinOrLead(key, h)`: true → caller is the leader and must run the
+///    solve; false → `h` was queued as a follower.
+///  * Leader terminal, cacheable result → `TakeFollowers(key)` removes the
+///    flight and returns everyone to settle with a copy of the result.
+///  * Leader terminal, non-cacheable (cancelled, error, degraded) →
+///    `PromoteOne(key)`: pops the oldest follower to become the new leader
+///    (the flight stays open for the remaining followers), or removes the
+///    empty flight. This is the no-lost-wakeups guarantee: a cancelled
+///    leader hands the flight to a live follower instead of stranding it.
+///
+/// Thread-safe; all operations are O(1) under one mutex.
+template <typename Handle>
+class SingleFlight {
+ public:
+  /// Returns true and opens a flight if `key` has none; otherwise appends
+  /// `handle` as a follower of the existing flight.
+  bool JoinOrLead(const std::string& key, Handle handle) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = flights_.try_emplace(key);
+    if (inserted) return true;
+    it->second.push_back(std::move(handle));
+    return false;
+  }
+
+  /// Closes the flight and returns its followers (possibly none). No-op
+  /// with empty result when `key` has no flight.
+  std::vector<Handle> TakeFollowers(const std::string& key) {
+    std::deque<Handle> followers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = flights_.find(key);
+      if (it == flights_.end()) return {};
+      followers = std::move(it->second);
+      flights_.erase(it);
+    }
+    return std::vector<Handle>(std::make_move_iterator(followers.begin()),
+                               std::make_move_iterator(followers.end()));
+  }
+
+  /// Pops the oldest follower to succeed a failed/cancelled leader,
+  /// keeping the flight open; removes the flight and returns nullopt when
+  /// no follower is waiting.
+  std::optional<Handle> PromoteOne(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return std::nullopt;
+    if (it->second.empty()) {
+      flights_.erase(it);
+      return std::nullopt;
+    }
+    Handle h = std::move(it->second.front());
+    it->second.pop_front();
+    return h;
+  }
+
+  size_t OpenFlights() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flights_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::deque<Handle>> flights_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_CACHE_SINGLE_FLIGHT_H_

@@ -1,0 +1,50 @@
+#include "cqa/cache/warm_state.h"
+
+#include <utility>
+
+namespace cqa {
+
+void WarmState::BindDatabase(const DbFingerprint& fp) {
+  if (has_bound_ && bound_ == fp) return;
+  if (has_bound_) {
+    algo1_memo_.clear();
+    ++stats_.arena_resets;
+  }
+  bound_ = fp;
+  has_bound_ = true;
+}
+
+const Classification& WarmState::ClassifyMemo(const std::string& key,
+                                              const Query& q) {
+  auto it = classifications_.find(key);
+  if (it != classifications_.end()) {
+    ++stats_.classification_hits;
+    return it->second;
+  }
+  ++stats_.classification_misses;
+  if (classifications_.size() >= max_entries_) classifications_.clear();
+  return classifications_.emplace(key, Classify(q)).first->second;
+}
+
+const WarmState::RewritingSlot& WarmState::RewritingMemo(const std::string& key,
+                                                         const Query& q) {
+  auto it = rewritings_.find(key);
+  if (it != rewritings_.end()) {
+    ++stats_.rewriting_hits;
+    return it->second;
+  }
+  ++stats_.rewriting_misses;
+  if (rewritings_.size() >= max_entries_) rewritings_.clear();
+  RewritingSlot slot;
+  Result<RewritingSolver> solver = RewritingSolver::Create(q);
+  if (solver.ok()) {
+    slot.solver =
+        std::make_shared<const RewritingSolver>(std::move(solver.value()));
+  } else {
+    slot.code = solver.code();
+    slot.error = solver.error();
+  }
+  return rewritings_.emplace(key, std::move(slot)).first->second;
+}
+
+}  // namespace cqa

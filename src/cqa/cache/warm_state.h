@@ -1,0 +1,79 @@
+#ifndef CQA_CACHE_WARM_STATE_H_
+#define CQA_CACHE_WARM_STATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cqa/attack/classification.h"
+#include "cqa/base/error.h"
+#include "cqa/cache/fingerprint.h"
+#include "cqa/certainty/rewriting_solver.h"
+#include "cqa/query/query.h"
+
+namespace cqa {
+
+/// Counters of one `WarmState` (single-threaded, like the state itself).
+struct WarmStats {
+  uint64_t classification_hits = 0;
+  uint64_t classification_misses = 0;
+  uint64_t rewriting_hits = 0;
+  uint64_t rewriting_misses = 0;
+  uint64_t arena_resets = 0;  // database changed or cap exceeded
+};
+
+/// Per-worker solver state reused across requests: the memoization the
+/// dichotomy licenses. `Classify(q)` and the rewriting construction are
+/// pure in the query alone (Koutris–Wijsen Theorem 4.3 / Lemma 6.1), so
+/// both memoize on the alpha-canonical query key with no invalidation
+/// ever. The Algorithm-1 memo arena maps substituted subqueries to
+/// certainty *on one database*; `BindDatabase` clears it when the
+/// fingerprint changes (the daemon fronts one immutable database, so in
+/// serving traffic it never clears).
+///
+/// NOT thread-safe: each worker thread owns one instance. All maps are
+/// bounded by `max_entries` per map — exceeding the cap clears the map
+/// (memoization is an optimisation; correctness never depends on a hit).
+class WarmState {
+ public:
+  explicit WarmState(size_t max_entries = 4096) : max_entries_(max_entries) {}
+
+  /// Declares the database of the next solve; clears the Algorithm-1
+  /// arena when it differs from the previous one.
+  void BindDatabase(const DbFingerprint& fp);
+
+  /// Memoized `Classify(q)`. `key` must be `CanonicalQueryKey(q)`
+  /// (classification is invariant under variable renaming).
+  const Classification& ClassifyMemo(const std::string& key, const Query& q);
+
+  /// A constructed rewriting, or the typed error `RewritingSolver::Create`
+  /// produced. The formula quantifies all variables away, so one solver
+  /// instance answers for every alpha-variant of the query.
+  struct RewritingSlot {
+    std::shared_ptr<const RewritingSolver> solver;  // null on failure
+    ErrorCode code = ErrorCode::kInternal;
+    std::string error;
+  };
+  const RewritingSlot& RewritingMemo(const std::string& key, const Query& q);
+
+  /// The Algorithm-1 memo arena for the bound database; pass as
+  /// `Algorithm1Options::memo_arena`. Valid until the next `BindDatabase`
+  /// with a different fingerprint.
+  std::unordered_map<std::string, bool>* Algo1Arena() { return &algo1_memo_; }
+
+  const WarmStats& stats() const { return stats_; }
+
+ private:
+  size_t max_entries_;
+  DbFingerprint bound_;
+  bool has_bound_ = false;
+  std::unordered_map<std::string, Classification> classifications_;
+  std::unordered_map<std::string, RewritingSlot> rewritings_;
+  std::unordered_map<std::string, bool> algo1_memo_;
+  WarmStats stats_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_CACHE_WARM_STATE_H_

@@ -1,6 +1,8 @@
 #include "cqa/certainty/solver.h"
 
 #include "cqa/base/rng.h"
+#include "cqa/cache/query_key.h"
+#include "cqa/cache/warm_state.h"
 #include "cqa/certainty/backtracking.h"
 #include "cqa/certainty/matching_q1.h"
 #include "cqa/certainty/naive.h"
@@ -71,14 +73,26 @@ Result<bool> RunStage(SolveReport* report, SolverMethod method, Budget* budget,
 }
 
 // Runs one exact (or matching) solver with the budget threaded through.
+// A non-null `warm` supplies memoized rewritings and a cross-request
+// Algorithm-1 arena; `warm_key` is the query's alpha-canonical key.
 Result<bool> RunExact(SolverMethod method, const Query& q, const Database& db,
-                      Budget* budget, uint64_t* native_steps) {
+                      Budget* budget, WarmState* warm,
+                      const std::string& warm_key, uint64_t* native_steps) {
   switch (method) {
-    case SolverMethod::kRewriting:
-      return IsCertainByRewriting(q, db, budget);
+    case SolverMethod::kRewriting: {
+      if (warm == nullptr) return IsCertainByRewriting(q, db, budget);
+      // The rewriting is pure in q and its formula is closed, so one
+      // constructed solver answers for every alpha-variant of the query.
+      const WarmState::RewritingSlot& slot = warm->RewritingMemo(warm_key, q);
+      if (slot.solver == nullptr) {
+        return Result<bool>::Error(slot.code, slot.error);
+      }
+      return slot.solver->IsCertainGoverned(db, budget);
+    }
     case SolverMethod::kAlgorithm1: {
       Algorithm1Options opts;
       opts.budget = budget;
+      if (warm != nullptr) opts.memo_arena = warm->Algo1Arena();
       Algorithm1 algo(db, opts);
       Result<bool> r = algo.IsCertain(q);
       *native_steps = algo.calls();
@@ -167,7 +181,13 @@ Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
 Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
                                    const SolveOptions& options) {
   SolveReport report;
-  report.classification = Classify(q);
+  std::string warm_key;
+  if (options.warm != nullptr) {
+    warm_key = CanonicalQueryKey(q);
+    report.classification = options.warm->ClassifyMemo(warm_key, q);
+  } else {
+    report.classification = Classify(q);
+  }
 
   if (options.method == SolverMethod::kSampling) {
     return RunSampling(q, db, options, options.budget, std::move(report));
@@ -206,7 +226,8 @@ Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
   uint64_t native_steps = 0;
   Result<bool> r =
       RunStage(&report, chosen, exact_budget, &native_steps, [&] {
-        return RunExact(chosen, q, db, exact_budget, &native_steps);
+        return RunExact(chosen, q, db, exact_budget, options.warm, warm_key,
+                        &native_steps);
       });
   if (r.ok()) {
     report.certain = r.value();

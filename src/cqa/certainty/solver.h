@@ -50,11 +50,20 @@ enum class Verdict {
 
 std::string ToString(Verdict v);
 
+class WarmState;
+
 /// Execution knobs for `SolveCertainty`.
 struct SolveOptions {
   SolverMethod method = SolverMethod::kAuto;
   /// Optional execution governor threaded through every stage; not owned.
   Budget* budget = nullptr;
+  /// Optional per-worker warm state (cqa/cache/warm_state.h); not owned
+  /// and NOT thread-safe — one instance per calling thread. Reuses
+  /// classification results, constructed rewritings, and the Algorithm-1
+  /// memo arena across calls. The caller must `BindDatabase` the warm
+  /// state to `db`'s fingerprint before each call (the arena is only
+  /// valid for the database it was filled from).
+  WarmState* warm = nullptr;
   /// On `kAuto`, when the exact solver exhausts its budget (deadline or
   /// node limit), fall back to Monte-Carlo sampling with whatever budget
   /// remains instead of failing. Cancellation never degrades.

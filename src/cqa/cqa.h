@@ -25,6 +25,10 @@
 #include "cqa/base/rng.h"
 #include "cqa/base/symbol_set.h"
 #include "cqa/base/value.h"
+#include "cqa/cache/fingerprint.h"
+#include "cqa/cache/query_key.h"
+#include "cqa/cache/result_cache.h"
+#include "cqa/cache/warm_state.h"
 #include "cqa/certainty/backtracking.h"
 #include "cqa/certainty/certain_answers.h"
 #include "cqa/certainty/matching_q1.h"

@@ -57,6 +57,8 @@ Result<bool> Algorithm1::IsCertain(const Query& q) {
                                "cyclic attack graph: CERTAINTY(q) not in FO");
   }
   calls_ = 0;
+  // An external arena persists across runs (and across Algorithm1
+  // instances) by design; only the private per-run memo is reset.
   memo_.clear();
   abort_code_.reset();
   bool certain = RecCached(q);
@@ -82,14 +84,15 @@ bool Algorithm1::RecCached(const Query& q) {
   ++calls_;
   if (!Probe()) return false;  // unwinding; the value is meaningless
   if (!options_.memoize) return Rec(q);
+  std::unordered_map<std::string, bool>* memo = Memo();
   std::string key = q.CanonicalKey();
-  auto it = memo_.find(key);
-  if (it != memo_.end()) return it->second;
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
   bool result = Rec(q);
   // A result computed while unwinding from a tripped budget is bogus —
   // never memoise it.
   if (abort_code_.has_value()) return false;
-  memo_.emplace(std::move(key), result);
+  memo->emplace(std::move(key), result);
   return result;
 }
 

@@ -21,6 +21,15 @@ struct Algorithm1Options {
   /// Optional execution governor, probed once per recursive call and per
   /// candidate valuation; not owned.
   Budget* budget = nullptr;
+  /// Optional externally-owned memo arena, reused *across* `IsCertain`
+  /// runs (the per-worker warm state of the serve layer threads one
+  /// through). Entries map canonical substituted subqueries to certainty
+  /// on one specific database — the caller must clear the arena whenever
+  /// the database changes (see `WarmState::BindDatabase`). When null, a
+  /// fresh internal memo is used per run. Entries computed while a budget
+  /// trip is unwinding are never stored, so a shared arena only ever holds
+  /// fully-computed values.
+  std::unordered_map<std::string, bool>* memo_arena = nullptr;
 };
 
 /// Direct recursive interpreter of the paper's Algorithm 1: decides
@@ -50,6 +59,12 @@ class Algorithm1 {
   bool CaseKeyVars(const Query& q, size_t pick);
   bool CaseGroundKeyNegative(const Query& q, size_t pick);
   bool CaseGroundKeyPositive(const Query& q, size_t pick);
+
+  /// The memo in effect: the external arena when configured, else the
+  /// internal per-run map.
+  std::unordered_map<std::string, bool>* Memo() {
+    return options_.memo_arena != nullptr ? options_.memo_arena : &memo_;
+  }
 
   const Database& db_;
   Algorithm1Options options_;

@@ -296,6 +296,7 @@ void Connection::HandleSolve(WireRequest request) {
   job.chaos_sleep = std::chrono::milliseconds(request.chaos_sleep_ms);
   job.fail_after_probes = request.fail_after_probes;
   job.fault_attempts = request.fault_attempts;
+  job.cache = request.cache_bypass ? CachePolicy::kBypass : CachePolicy::kDefault;
 
   auto self = shared_from_this();
   Result<uint64_t> submitted = service_->Submit(

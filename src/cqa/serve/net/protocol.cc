@@ -136,6 +136,19 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
     if (!m.ok()) return Result<WireRequest>::Error(m);
     request.method = m.value();
   }
+
+  const Json* cache = object.Find("cache");
+  if (cache != nullptr) {
+    if (!cache->is_string()) {
+      return ParseError("field 'cache' must be a string");
+    }
+    const std::string& policy = cache->AsString();
+    if (policy == "bypass") {
+      request.cache_bypass = true;
+    } else if (policy != "default") {
+      return ParseError("field 'cache' must be 'default' or 'bypass'");
+    }
+  }
   return request;
 }
 
@@ -193,6 +206,12 @@ std::string EncodeStatsFrame(uint64_t id, const ServiceStats& service,
                           .Set("retries", service.retries)
                           .Set("degraded", service.degraded)
                           .Set("inflight", service.inflight)
+                          .Set("cache_hits", service.cache_hits)
+                          .Set("cache_misses", service.cache_misses)
+                          .Set("cache_coalesced", service.cache_coalesced)
+                          .Set("cache_bypass", service.cache_bypass)
+                          .Set("cache_entries", service.cache_entries)
+                          .Set("cache_evictions", service.cache_evictions)
                           .Set("latency_count", service.latency_count)
                           .Set("latency_p50_us", service.latency_p50_us)
                           .Set("latency_p90_us", service.latency_p90_us)

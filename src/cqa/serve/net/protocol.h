@@ -41,6 +41,9 @@ struct WireRequest {
   /// Anchor the deadline at submit time (queue wait consumes the budget);
   /// pairs with the service's earliest-deadline-first queueing.
   bool deadline_from_submit = false;
+  /// "cache":"bypass" skips both the result-cache lookup and the store for
+  /// this solve; "default" (or absent) uses the daemon's cache policy.
+  bool cache_bypass = false;
   // Chaos knobs (tests): see ServeJob.
   uint64_t chaos_sleep_ms = 0;
   uint64_t fail_after_probes = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cqa/cache/warm_state.h"
+
 namespace cqa {
 
 const char* ToString(RequestState state) {
@@ -23,6 +25,10 @@ SolveService::SolveService(ServiceOptions options)
                      return a->deadline_key < b->deadline_key;
                    }
                  : BoundedQueue<RequestPtr>::BeforeFn(nullptr)) {
+  if (options_.cache_entries > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_entries,
+                                           options_.cache_shards);
+  }
   int workers = std::max(options_.workers, 1);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -51,12 +57,41 @@ Result<uint64_t> SolveService::Submit(ServeJob job, Callback callback) {
   if (timeout.count() > 0) {
     req->deadline_key = std::min(req->deadline_key, req->submitted + timeout);
   }
+  bool use_cache = cache_ != nullptr;
+  if (use_cache && req->job.cache == CachePolicy::kBypass) {
+    cache_->RecordBypass();
+    use_cache = false;
+  }
+  if (use_cache) {
+    req->cache_key = MakeCacheKey(FingerprintFor(req->job.db),
+                                  req->job.method, req->job.query);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     registry_.emplace(req->id, req->cancel);
     ++outstanding_;
   }
+  if (use_cache) {
+    // Cache check before admission: a hit never touches the queue — its
+    // terminal callback is delivered synchronously, right here.
+    if (std::optional<SolveReport> hit = cache_->Lookup(req->cache_key)) {
+      stats_.RecordAccepted();
+      Finish(req, /*started=*/false, RequestState::kCompleted,
+             Result<SolveReport>(std::move(*hit)));
+      return req->id;
+    }
+    if (!flights_.JoinOrLead(req->cache_key.text, req)) {
+      // Coalesced: an identical solve is already in flight; this request
+      // is settled by the leader's terminal result (or promoted to re-run
+      // the solve if the leader cannot settle it).
+      cache_->RecordCoalesced();
+      stats_.RecordAccepted();
+      return req->id;
+    }
+    req->flight_leader = true;
+  }
   if (!queue_.TryPush(req)) {
+    if (req->flight_leader) AbandonLeadership(req);
     {
       std::lock_guard<std::mutex> lock(mu_);
       registry_.erase(req->id);
@@ -71,6 +106,38 @@ Result<uint64_t> SolveService::Submit(ServeJob job, Callback callback) {
   }
   stats_.RecordAccepted();
   return req->id;
+}
+
+void SolveService::AbandonLeadership(const RequestPtr& req) {
+  req->flight_leader = false;
+  // Followers can join between JoinOrLead and the failed queue push; they
+  // were accepted, so they must still reach a terminal. Promote one into
+  // the queue if it has room again, else settle them as overloaded.
+  for (;;) {
+    std::optional<RequestPtr> next = flights_.PromoteOne(req->cache_key.text);
+    if (!next.has_value()) return;  // flight dissolved
+    (*next)->flight_leader = true;
+    if (queue_.TryPush(*next)) return;  // new leader queued; flight lives on
+    (*next)->flight_leader = false;
+    Finish(*next, /*started=*/false, RequestState::kCompleted,
+           Result<SolveReport>::Error(
+               ErrorCode::kOverloaded,
+               "coalesced solve shed: flight leader was shed and the work "
+               "queue is full"));
+  }
+}
+
+DbFingerprint SolveService::FingerprintFor(
+    const std::shared_ptr<const Database>& db) {
+  std::lock_guard<std::mutex> lock(fp_mu_);
+  for (auto it = fp_memo_.begin(); it != fp_memo_.end();) {
+    it = it->first.expired() ? fp_memo_.erase(it) : std::next(it);
+  }
+  auto it = fp_memo_.find(db);
+  if (it != fp_memo_.end()) return it->second;
+  DbFingerprint fp = FingerprintDatabase(*db);
+  fp_memo_.emplace(std::weak_ptr<const Database>(db), fp);
+  return fp;
 }
 
 bool SolveService::Cancel(uint64_t id) {
@@ -138,22 +205,31 @@ void SolveService::WorkerLoop(int worker_index) {
   // index, independent across workers.
   Rng rng(options_.backoff_seed ^
           (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(worker_index + 1)));
+  // Per-worker warm state: classification/rewriting memo plus the
+  // Algorithm-1 arena, reused across every request this worker runs.
+  WarmState warm_storage;
+  WarmState* warm = options_.warm_state ? &warm_storage : nullptr;
   RequestPtr req;
   while (queue_.Pop(&req)) {
-    Process(req, &rng);
-    req.reset();
+    // A terminal that cannot settle its single-flight followers promotes
+    // one of them; the promotion runs inline on this worker (it skipped
+    // the queue when it coalesced, and the queue may be full or closed).
+    while (req != nullptr) {
+      req = Process(req, &rng, warm);
+    }
   }
 }
 
-void SolveService::Process(const RequestPtr& req, Rng* rng) {
+SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
+                                               WarmState* warm) {
   stats_.RecordStarted();
   for (;;) {
     if (req->cancel->load(std::memory_order_acquire)) {
-      Finish(req, /*started=*/true, RequestState::kCancelled,
-             Result<SolveReport>::Error(ErrorCode::kCancelled,
-                                        "cancelled before attempt " +
-                                            std::to_string(req->attempts + 1)));
-      return;
+      return Finish(
+          req, /*started=*/true, RequestState::kCancelled,
+          Result<SolveReport>::Error(ErrorCode::kCancelled,
+                                     "cancelled before attempt " +
+                                         std::to_string(req->attempts + 1)));
     }
     ++req->attempts;
 
@@ -161,10 +237,9 @@ void SolveService::Process(const RequestPtr& req, Rng* rng) {
     // interruptible by cancellation and by shutdown drain.
     if (req->job.chaos_sleep.count() > 0 &&
         !WaitBackoff(req->job.chaos_sleep, *req->cancel)) {
-      Finish(req, /*started=*/true, RequestState::kCancelled,
-             Result<SolveReport>::Error(ErrorCode::kCancelled,
-                                        "cancelled during chaos sleep"));
-      return;
+      return Finish(req, /*started=*/true, RequestState::kCancelled,
+                    Result<SolveReport>::Error(ErrorCode::kCancelled,
+                                               "cancelled during chaos sleep"));
     }
 
     // Budget inheritance: the attempt deadline is the tighter of the
@@ -193,18 +268,20 @@ void SolveService::Process(const RequestPtr& req, Rng* rng) {
     sopts.budget = &budget;
     sopts.degrade_to_sampling = req->job.degrade_to_sampling;
     sopts.max_samples = req->job.max_samples;
+    if (warm != nullptr) {
+      warm->BindDatabase(FingerprintFor(req->job.db));
+      sopts.warm = warm;
+    }
     Result<SolveReport> result =
         SolveCertainty(req->job.query, *req->job.db, sopts);
 
     if (result.ok()) {
-      Finish(req, /*started=*/true, RequestState::kCompleted,
-             std::move(result));
-      return;
+      return Finish(req, /*started=*/true, RequestState::kCompleted,
+                    std::move(result));
     }
     if (result.code() == ErrorCode::kCancelled) {
-      Finish(req, /*started=*/true, RequestState::kCancelled,
-             std::move(result));
-      return;
+      return Finish(req, /*started=*/true, RequestState::kCancelled,
+                    std::move(result));
     }
     // Retry only genuine resource exhaustion, within the retry allowance,
     // and never once shutdown has begun (drain fast instead).
@@ -212,9 +289,8 @@ void SolveService::Process(const RequestPtr& req, Rng* rng) {
                  req->attempts <= options_.max_retries &&
                  !draining_.load(std::memory_order_acquire);
     if (!retry) {
-      Finish(req, /*started=*/true, RequestState::kCompleted,
-             std::move(result));
-      return;
+      return Finish(req, /*started=*/true, RequestState::kCompleted,
+                    std::move(result));
     }
     stats_.RecordRetry();
     std::chrono::milliseconds delay =
@@ -223,14 +299,13 @@ void SolveService::Process(const RequestPtr& req, Rng* rng) {
       // Interrupted: surface the cancellation, or the last error when the
       // interruption was shutdown.
       if (req->cancel->load(std::memory_order_acquire)) {
-        Finish(req, /*started=*/true, RequestState::kCancelled,
-               Result<SolveReport>::Error(ErrorCode::kCancelled,
-                                          "cancelled during retry backoff"));
-      } else {
-        Finish(req, /*started=*/true, RequestState::kCompleted,
-               std::move(result));
+        return Finish(
+            req, /*started=*/true, RequestState::kCancelled,
+            Result<SolveReport>::Error(ErrorCode::kCancelled,
+                                       "cancelled during retry backoff"));
       }
-      return;
+      return Finish(req, /*started=*/true, RequestState::kCompleted,
+                    std::move(result));
     }
   }
 }
@@ -244,9 +319,10 @@ bool SolveService::WaitBackoff(std::chrono::milliseconds delay,
   });
 }
 
-void SolveService::Finish(const RequestPtr& req, bool started,
-                          RequestState state, Result<SolveReport> result) {
-  if (req->done.exchange(true, std::memory_order_acq_rel)) return;
+SolveService::RequestPtr SolveService::Finish(const RequestPtr& req,
+                                              bool started, RequestState state,
+                                              Result<SolveReport> result) {
+  if (req->done.exchange(true, std::memory_order_acq_rel)) return nullptr;
   ServeResponse response;
   response.id = req->id;
   response.state = state;
@@ -259,6 +335,16 @@ void SolveService::Finish(const RequestPtr& req, bool started,
                          response.result->verdict == Verdict::kExhausted);
   stats_.RecordTerminal(started, state == RequestState::kCancelled, ok,
                         degraded, response.latency);
+  const bool leader = req->flight_leader;
+  const bool cacheable = ok && IsCacheableReport(*response.result);
+  if (leader && cacheable) {
+    // Store *before* delivering the terminal callback: a caller that has
+    // observed this result must hit the cache on its next identical
+    // submission (read-your-writes), and the store-then-take-followers
+    // order below closes the window where a new submission could miss the
+    // cache yet find no flight to join.
+    cache_->Insert(req->cache_key, *response.result);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     registry_.erase(req->id);
@@ -267,6 +353,66 @@ void SolveService::Finish(const RequestPtr& req, bool started,
   }
   if (req->callback) req->callback(response);
   drained_cv_.notify_all();
+
+  // Single-flight settlement (flight leaders only; the done-guard above
+  // makes this run exactly once per leader). A cacheable result was stored
+  // above and completes every coalesced follower; otherwise —
+  // cancellation, error, or a degraded verdict that must not be reused —
+  // one follower is promoted to re-run the solve so nobody waits on a
+  // dead leader.
+  RequestPtr promoted;
+  if (leader) {
+    const std::string& key = req->cache_key.text;
+    if (cacheable) {
+      for (RequestPtr& follower : flights_.TakeFollowers(key)) {
+        SettleFollower(follower, *response.result);
+      }
+    } else if (draining_.load(std::memory_order_acquire)) {
+      // No promotion during shutdown: workers may never pop again. Every
+      // follower terminates as cancelled, like drained queue entries.
+      for (RequestPtr& follower : flights_.TakeFollowers(key)) {
+        Finish(follower, /*started=*/false, RequestState::kCancelled,
+               Result<SolveReport>::Error(
+                   ErrorCode::kCancelled,
+                   "cancelled: coalesced solve's leader terminated during "
+                   "shutdown drain"));
+      }
+    } else {
+      std::optional<RequestPtr> next = flights_.PromoteOne(key);
+      if (next.has_value()) {
+        (*next)->flight_leader = true;
+        promoted = std::move(*next);
+      }
+    }
+  }
+  return promoted;
+}
+
+void SolveService::SettleFollower(const RequestPtr& follower,
+                                  const SolveReport& report) {
+  if (follower->cancel->load(std::memory_order_acquire)) {
+    Finish(follower, /*started=*/false, RequestState::kCancelled,
+           Result<SolveReport>::Error(
+               ErrorCode::kCancelled,
+               "cancelled while coalesced on an identical in-flight solve"));
+    return;
+  }
+  Finish(follower, /*started=*/false, RequestState::kCompleted,
+         Result<SolveReport>(report));
+}
+
+ServiceStats SolveService::Stats() const {
+  ServiceStats s = stats_.Snapshot();
+  if (cache_ != nullptr) {
+    CacheStats c = cache_->Stats();
+    s.cache_hits = c.hits;
+    s.cache_misses = c.misses;
+    s.cache_coalesced = c.coalesced;
+    s.cache_bypass = c.bypassed;
+    s.cache_entries = c.entries;
+    s.cache_evictions = c.evictions;
+  }
+  return s;
 }
 
 }  // namespace cqa

@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -19,6 +20,9 @@
 #include "cqa/base/backoff.h"
 #include "cqa/base/budget.h"
 #include "cqa/base/result.h"
+#include "cqa/cache/fingerprint.h"
+#include "cqa/cache/result_cache.h"
+#include "cqa/cache/single_flight.h"
 #include "cqa/certainty/solver.h"
 #include "cqa/db/database.h"
 #include "cqa/query/query.h"
@@ -26,6 +30,17 @@
 #include "cqa/serve/stats.h"
 
 namespace cqa {
+
+/// Per-job cache participation.
+enum class CachePolicy {
+  /// Look up before admission, coalesce onto an identical in-flight solve,
+  /// store exact verdicts.
+  kDefault,
+  /// Skip the cache entirely: no lookup, no coalescing, no store. For
+  /// measurements (bench cold mode) and jobs whose chaos knobs make the
+  /// outcome deliberately non-reusable.
+  kBypass,
+};
 
 /// One unit of work for `SolveService`: decide CERTAINTY(q) on a database.
 /// The database is shared (many jobs typically target the same instance)
@@ -66,6 +81,9 @@ struct ServeJob {
   /// and shutdown drain cut the sleep short (the request then terminates
   /// as cancelled).
   std::chrono::milliseconds chaos_sleep{0};
+
+  /// Result-cache participation; ignored when the service has no cache.
+  CachePolicy cache = CachePolicy::kDefault;
 };
 
 /// How a request left the service. Shed requests never enter the system:
@@ -130,6 +148,21 @@ struct ServiceOptions {
   BackoffPolicy backoff;
   /// Seed for backoff jitter (each worker derives its own stream).
   uint64_t backoff_seed = 0xb0ff5eedu;
+
+  /// Result-cache capacity in entries; 0 disables the cache (the default:
+  /// existing deployments opt in via `cqa_cli serve`, which enables it).
+  /// With a cache, identical (query, database, method) solves are answered
+  /// before admission on a hit, and concurrent identical misses coalesce
+  /// onto a single worker (single-flight).
+  size_t cache_entries = 0;
+  /// Shards of the cache's LRU map (clamped to [1, cache_entries]).
+  size_t cache_shards = 8;
+  /// Per-worker warm state: memoized classification, rewritings, and
+  /// Algorithm-1 arenas reused across requests on the same database
+  /// fingerprint. Off by default — warm memo hits change *work done*, not
+  /// answers, but deterministic fault-injection tests count probes and
+  /// must opt in deliberately.
+  bool warm_state = false;
 };
 
 /// A multi-threaded CERTAINTY(q) solve service: a fixed worker pool behind
@@ -144,9 +177,17 @@ struct ServiceOptions {
 ///  * `Shutdown` always terminates: it drains in-flight and queued work
 ///    until the drain deadline, then cancels whatever remains.
 ///
-/// Callbacks run on worker threads (or on the `Shutdown` caller's thread
-/// for requests cancelled while queued); they must be thread-safe and must
-/// not call `Shutdown`.
+/// Callbacks run on worker threads, on the `Shutdown` caller's thread for
+/// requests cancelled while queued, or on the `Submit` caller's thread for
+/// cache hits (delivered synchronously, before `Submit` returns); they
+/// must be thread-safe and must not call `Shutdown`.
+///
+/// With `ServiceOptions::cache_entries > 0` the service front-loads a
+/// result cache: a hit answers before admission (no queueing, no worker),
+/// a miss opens a single-flight — concurrent identical submissions attach
+/// to the in-flight leader and are settled by its terminal result. A
+/// cancelled or failed leader promotes one follower to re-run the solve,
+/// so coalesced requests are never stranded. See docs/CACHING.md.
 class SolveService {
  public:
   using Callback = std::function<void(const ServeResponse&)>;
@@ -178,8 +219,12 @@ class SolveService {
   /// serialize.
   bool Shutdown(std::chrono::milliseconds drain_deadline);
 
-  /// Aggregate accounting; callable at any time, including after shutdown.
-  ServiceStats Stats() const { return stats_.Snapshot(); }
+  /// Aggregate accounting (cache counters folded in when a cache is
+  /// configured); callable at any time, including after shutdown.
+  ServiceStats Stats() const;
+
+  /// The result cache, or null when disabled. Exposed for tests and stats.
+  const ResultCache* cache() const { return cache_.get(); }
 
   const ServiceOptions& options() const { return options_; }
 
@@ -199,14 +244,35 @@ class SolveService {
     /// Exactly-once terminal guard.
     std::atomic<bool> done{false};
     int attempts = 0;
+    /// Cache key when the request participates in the cache (empty text
+    /// otherwise), and whether it currently leads the key's flight. Both
+    /// are written before the request is visible to workers (or, for a
+    /// promotion, by the thread that already owns the request).
+    CacheKey cache_key;
+    bool flight_leader = false;
   };
   using RequestPtr = std::shared_ptr<Request>;
 
   void WorkerLoop(int worker_index);
-  void Process(const RequestPtr& req, Rng* rng);
-  /// Delivers the terminal response exactly once and updates accounting.
-  void Finish(const RequestPtr& req, bool started, RequestState state,
-              Result<SolveReport> result);
+  /// Processes one popped request; returns the follower promoted to lead
+  /// the same flight when this request's terminal could not settle it
+  /// (the worker processes the promotion inline, see WorkerLoop).
+  RequestPtr Process(const RequestPtr& req, Rng* rng, WarmState* warm);
+  /// Delivers the terminal response exactly once, updates accounting, and
+  /// settles the request's single-flight followers (leaders only): a
+  /// cacheable result completes them, anything else promotes one — the
+  /// returned request, which the caller must run or re-enqueue.
+  RequestPtr Finish(const RequestPtr& req, bool started, RequestState state,
+                    Result<SolveReport> result);
+  /// Terminal delivery for a coalesced follower settled by its leader.
+  void SettleFollower(const RequestPtr& follower, const SolveReport& report);
+  /// Called when a flight leader is shed at admission: hands leadership to
+  /// a follower that joined in the window (re-enqueueing it) or dissolves
+  /// the flight.
+  void AbandonLeadership(const RequestPtr& req);
+  /// The database fingerprint, memoized per instance (computed once at
+  /// load for the daemon's single database).
+  DbFingerprint FingerprintFor(const std::shared_ptr<const Database>& db);
   /// Sleeps for `delay`, interruptible by shutdown or the request's cancel
   /// token; true when the full delay elapsed (retry may proceed).
   bool WaitBackoff(std::chrono::milliseconds delay,
@@ -215,6 +281,14 @@ class SolveService {
   ServiceOptions options_;
   BoundedQueue<RequestPtr> queue_;
   StatsCollector stats_;
+  std::unique_ptr<ResultCache> cache_;
+  SingleFlight<RequestPtr> flights_;
+
+  /// Fingerprint memo keyed by owner identity (control block), so a
+  /// recycled allocation address can never alias a different database.
+  std::mutex fp_mu_;
+  std::map<std::weak_ptr<const Database>, DbFingerprint, std::owner_less<>>
+      fp_memo_;
 
   std::atomic<uint64_t> next_id_{1};
   std::atomic<bool> accepting_{true};

@@ -92,6 +92,12 @@ std::string ServiceStats::ToString() const {
   s += ", cancelled " + std::to_string(cancelled);
   s += ", retries " + std::to_string(retries);
   s += ", degraded " + std::to_string(degraded);
+  s += "; cache hits " + std::to_string(cache_hits);
+  s += " misses " + std::to_string(cache_misses);
+  s += " coalesced " + std::to_string(cache_coalesced);
+  s += " bypass " + std::to_string(cache_bypass);
+  s += " entries " + std::to_string(cache_entries);
+  s += " evictions " + std::to_string(cache_evictions);
   s += "; latency us p50 " + std::to_string(latency_p50_us);
   s += " p90 " + std::to_string(latency_p90_us);
   s += " p99 " + std::to_string(latency_p99_us);

@@ -26,6 +26,20 @@ struct ServiceStats {
   uint64_t degraded = 0;
   uint64_t inflight = 0;  // popped by a worker, not yet terminal
 
+  /// Result-cache counters, folded in by `SolveService::Stats` (all zero
+  /// when the service runs without a cache). Hits complete before
+  /// admission; `cache_misses` counts lookups that did not hit, of which
+  /// `cache_coalesced` piggybacked on an in-flight identical solve instead
+  /// of scheduling work (so solves actually executed = misses − coalesced);
+  /// `cache_bypass` counts jobs that opted out via `CachePolicy::kBypass`.
+  /// Identity: hits + misses + bypass == cache-eligible submissions.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_coalesced = 0;
+  uint64_t cache_bypass = 0;
+  uint64_t cache_entries = 0;    // current size (gauge)
+  uint64_t cache_evictions = 0;
+
   /// Submit-to-terminal latency percentiles over every terminal request.
   uint64_t latency_count = 0;
   uint64_t latency_p50_us = 0;

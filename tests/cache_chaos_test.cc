@@ -1,0 +1,354 @@
+// Chaos tests for the result cache's concurrent machinery: many threads
+// hammering a deliberately tiny cache, single-flight coalescing under
+// contention, follower promotion when a flight leader is cancelled
+// mid-solve, coalesced followers under shutdown drain, and exactly-once
+// terminal frames through the network daemon with caching enabled.
+//
+// Runs under the tsan preset (`ctest -L concurrency`): the scenarios are
+// designed so every outcome set is closed (callbacks counted with atomics,
+// verdicts compared against cold solves computed up front) while thread
+// interleaving stays genuinely racy.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cqa/certainty/solver.h"
+#include "cqa/query/parser.h"
+#include "cqa/serve/net/client.h"
+#include "cqa/serve/net/daemon.h"
+#include "cqa/serve/net/json.h"
+#include "cqa/serve/net/protocol.h"
+#include "cqa/serve/service.h"
+#include "cqa/serve/stats.h"
+
+namespace cqa {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr milliseconds kIo{15'000};
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+std::shared_ptr<const Database> Db() {
+  Result<Database> db = Database::FromText("R(a | b), R(a | c)\nS(b | a)");
+  EXPECT_TRUE(db.ok());
+  return std::make_shared<const Database>(std::move(db.value()));
+}
+
+// Polls until `predicate` holds or ~10s elapse.
+template <typename Fn>
+bool Eventually(Fn predicate) {
+  for (int i = 0; i < 10'000; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  return predicate();
+}
+
+TEST(CacheChaosTest, ManyThreadsThroughAOneEntryCacheStayConsistent) {
+  // 8 threads x 40 submissions, 4 distinct queries, through a 1-entry
+  // cache: constant eviction pressure, constant coalescing. Every
+  // submission must terminate exactly once with the query's exact verdict,
+  // and every cache-participating submission is exactly one of hit /
+  // coalesced / miss.
+  auto db = Db();
+  const std::vector<Query> queries = {
+      Q("R(x | y)"),
+      Q("R(x | y), not S(y | x)"),
+      Q("S(x | y)"),
+      Q("R(x | y), S(y | x)"),
+  };
+  std::vector<Verdict> expected;
+  for (const Query& q : queries) {
+    Result<SolveReport> cold = SolveCertainty(q, *db, SolverMethod::kAuto);
+    ASSERT_TRUE(cold.ok()) << cold.error();
+    expected.push_back(cold->verdict);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 40;
+  constexpr uint64_t kTotal = kThreads * kPerThread;
+
+  ServiceOptions options;
+  options.workers = 3;
+  options.queue_capacity = kTotal;  // no shedding: we count every terminal
+  options.cache_entries = 1;
+  options.warm_state = true;
+  SolveService service(options);
+
+  std::atomic<uint64_t> terminals{0};
+  std::atomic<uint64_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        size_t which = static_cast<size_t>(t + i) % queries.size();
+        Verdict want = expected[which];
+        Result<uint64_t> id = service.Submit(
+            ServeJob(queries[which], db), [&, want](const ServeResponse& r) {
+              if (r.state != RequestState::kCompleted || !r.result.ok() ||
+                  r.result->verdict != want) {
+                ++wrong;
+              }
+              ++terminals;
+            });
+        EXPECT_TRUE(id.ok()) << (id.ok() ? "" : id.error());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(Eventually([&] { return terminals.load() == kTotal; }))
+      << "lost terminals: " << terminals.load() << "/" << kTotal;
+  EXPECT_EQ(wrong.load(), 0u) << "cached path diverged from the cold verdict";
+
+  ServiceStats s = service.Stats();
+  EXPECT_EQ(s.submitted, kTotal);
+  EXPECT_EQ(s.accepted, kTotal);
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(s.cache_hits + s.cache_misses, kTotal)
+      << "every participating submission is exactly one lookup, hit or miss";
+  EXPECT_LE(s.cache_coalesced, s.cache_misses)
+      << "coalesced submissions are the misses that joined a flight";
+  EXPECT_GE(s.cache_misses, queries.size())
+      << "four keys cannot fit one entry without missing";
+  EXPECT_LE(s.cache_entries, 1u);
+  EXPECT_TRUE(service.Shutdown(milliseconds(10'000)));
+}
+
+TEST(CacheChaosTest, CancelledFlightLeaderPromotesAFollower) {
+  // A slow leader (chaos_sleep) occupies the single worker; identical fast
+  // submissions coalesce behind it. Cancelling the leader must not strand
+  // them: one follower is promoted, re-runs the solve, and its exact
+  // verdict settles the rest. No lost wakeups, no duplicate terminals.
+  auto db = Db();
+  Query q = Q("R(x | y)");
+  Result<SolveReport> cold = SolveCertainty(q, *db, SolverMethod::kAuto);
+  ASSERT_TRUE(cold.ok());
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 64;
+  options.cache_entries = 16;
+  SolveService service(options);
+
+  std::atomic<int> leader_cancelled{0};
+  std::atomic<int> follower_completed{0};
+  std::atomic<int> follower_wrong{0};
+
+  ServeJob slow(q, db);
+  slow.chaos_sleep = milliseconds(60'000);
+  Result<uint64_t> leader =
+      service.Submit(std::move(slow), [&](const ServeResponse& r) {
+        if (r.state == RequestState::kCancelled) ++leader_cancelled;
+      });
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(Eventually([&] { return service.Stats().inflight == 1u; }))
+      << "worker never picked up the slow leader";
+
+  constexpr int kFollowers = 6;
+  for (int i = 0; i < kFollowers; ++i) {
+    Verdict want = cold->verdict;
+    ASSERT_TRUE(service
+                    .Submit(ServeJob(q, db),
+                            [&, want](const ServeResponse& r) {
+                              if (r.state == RequestState::kCompleted &&
+                                  r.result.ok() &&
+                                  r.result->verdict == want) {
+                                ++follower_completed;
+                              } else {
+                                ++follower_wrong;
+                              }
+                            })
+                    .ok());
+  }
+  ServiceStats before = service.Stats();
+  EXPECT_EQ(before.cache_coalesced, static_cast<uint64_t>(kFollowers))
+      << "all followers should have coalesced onto the in-flight leader";
+
+  EXPECT_TRUE(service.Cancel(*leader));
+  ASSERT_TRUE(Eventually([&] { return leader_cancelled.load() == 1; }))
+      << "cancelled leader never delivered its terminal";
+  ASSERT_TRUE(Eventually(
+      [&] { return follower_completed.load() == kFollowers; }))
+      << "followers stranded after leader cancellation: "
+      << follower_completed.load() << "/" << kFollowers << ", wrong "
+      << follower_wrong.load();
+  EXPECT_EQ(follower_wrong.load(), 0);
+
+  // The promoted follower's solve was exact, so it must have filled the
+  // cache: one more identical submission is a synchronous hit.
+  uint64_t hits_before = service.Stats().cache_hits;
+  std::atomic<bool> hit_done{false};
+  ASSERT_TRUE(service
+                  .Submit(ServeJob(q, db),
+                          [&](const ServeResponse& r) {
+                            EXPECT_TRUE(r.result.ok());
+                            hit_done.store(true);
+                          })
+                  .ok());
+  EXPECT_TRUE(hit_done.load()) << "cache hits are delivered inside Submit";
+  EXPECT_EQ(service.Stats().cache_hits, hits_before + 1);
+  EXPECT_TRUE(service.Shutdown(milliseconds(10'000)));
+}
+
+TEST(CacheChaosTest, ShutdownDrainCancelsCoalescedFollowers) {
+  // A sleeping leader with followers coalesced behind it: shutdown's drain
+  // interrupts the sleep, the leader terminates cancelled, and the
+  // draining settlement path must cancel every follower too — promotion
+  // would strand them, since workers never pop again.
+  auto db = Db();
+  Query q = Q("R(x | y)");
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  options.cache_entries = 16;
+  SolveService service(options);
+
+  std::atomic<int> cancelled{0};
+  ServeJob slow(q, db);
+  slow.chaos_sleep = milliseconds(60'000);
+  ASSERT_TRUE(service
+                  .Submit(std::move(slow),
+                          [&](const ServeResponse& r) {
+                            if (r.state == RequestState::kCancelled)
+                              ++cancelled;
+                          })
+                  .ok());
+  ASSERT_TRUE(Eventually([&] { return service.Stats().inflight == 1u; }));
+  constexpr int kFollowers = 4;
+  for (int i = 0; i < kFollowers; ++i) {
+    ASSERT_TRUE(service
+                    .Submit(ServeJob(q, db),
+                            [&](const ServeResponse& r) {
+                              if (r.state == RequestState::kCancelled)
+                                ++cancelled;
+                            })
+                    .ok());
+  }
+  // The drain interrupts the chaos sleep, so everything reaches a terminal
+  // well within the deadline — as *cancellations*, never silently.
+  service.Shutdown(milliseconds(10'000));
+  EXPECT_EQ(cancelled.load(), 1 + kFollowers)
+      << "every coalesced follower must be cancelled by the drain";
+  ServiceStats s = service.Stats();
+  EXPECT_EQ(s.cancelled, static_cast<uint64_t>(1 + kFollowers));
+  EXPECT_EQ(s.completed + s.failed, 0u);
+}
+
+TEST(CacheChaosTest, DaemonDeliversExactlyOneTerminalPerSolveWithCache) {
+  // Two clients pipeline a mix of identical, alpha-renamed, and bypass
+  // solves through a cache-enabled daemon. Every id must receive exactly
+  // one terminal frame, every verdict must agree with the cold solve, and
+  // the daemon must record cache traffic (hits or coalesced > 0).
+  auto db = Db();
+  Result<SolveReport> cold =
+      SolveCertainty(Q("R(x | y), not S(y | x)"), *db, SolverMethod::kAuto);
+  ASSERT_TRUE(cold.ok());
+  std::string want = ToString(cold->verdict);
+
+  DaemonOptions options;
+  options.service.workers = 2;
+  options.service.queue_capacity = 256;  // the pipelined batch never sheds
+  options.service.cache_entries = 64;
+  options.service.warm_state = true;
+  options.connection.max_inflight = 128;
+  SolveDaemon daemon(db, options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  constexpr int kClients = 2;
+  constexpr int kPerClient = 60;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) {
+        ++failures;
+        return;
+      }
+      // Alternate spellings of the same query (alpha-variants share a
+      // cache slot) plus periodic bypass.
+      const char* spellings[] = {"R(x | y), not S(y | x)",
+                                 "R(u | v), not S(v | u)"};
+      for (uint64_t id = 1; id <= kPerClient; ++id) {
+        JsonObjectBuilder b;
+        b.Set("type", "solve")
+            .Set("id", id)
+            .Set("query", spellings[(c + id) % 2]);
+        if (id % 5 == 0) b.Set("cache", "bypass");
+        if (!client.SendFrame(b.Build().Serialize(), kIo).ok()) {
+          ++failures;
+          return;
+        }
+      }
+      std::map<uint64_t, int> terminals;
+      for (int i = 0; i < kPerClient; ++i) {
+        Result<WireResponse> r = client.ReadResponse(kIo);
+        if (!r.ok()) {
+          ++failures;
+          return;
+        }
+        if (!IsTerminalResponseType(r->type)) {
+          --i;
+          continue;
+        }
+        ++terminals[r->id];
+        if (r->type != "result" || r->verdict != want) ++failures;
+      }
+      for (const auto& [id, count] : terminals) {
+        if (count != 1) ++failures;
+      }
+      if (terminals.size() != kPerClient) ++failures;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // During the pipelined burst every non-bypass solve may coalesce onto a
+  // single in-flight leader (they all share one alpha-canonical slot), so
+  // hits alone can legitimately be zero here — but cache traffic cannot.
+  ServiceStats s = daemon.service_stats();
+  EXPECT_EQ(s.cache_hits + s.cache_misses + s.cache_bypass,
+            static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_LE(s.cache_coalesced, s.cache_misses);
+  EXPECT_GT(s.cache_hits + s.cache_coalesced, 0u);
+  EXPECT_EQ(s.cache_bypass,
+            static_cast<uint64_t>(kClients * (kPerClient / 5)));
+
+  // Every client has observed its terminals, so read-your-writes makes the
+  // next identical solve a guaranteed hit.
+  NetClient confirm;
+  ASSERT_TRUE(confirm.Connect("127.0.0.1", daemon.port(), kIo).ok());
+  JsonObjectBuilder b;
+  b.Set("type", "solve")
+      .Set("id", uint64_t{1})
+      .Set("query", "R(x | y), not S(y | x)");
+  ASSERT_TRUE(confirm.SendFrame(b.Build().Serialize(), kIo).ok());
+  for (;;) {
+    Result<WireResponse> r = confirm.ReadResponse(kIo);
+    ASSERT_TRUE(r.ok());
+    if (!IsTerminalResponseType(r->type)) continue;
+    EXPECT_EQ(r->type, "result");
+    EXPECT_EQ(r->verdict, want);
+    break;
+  }
+  ServiceStats after = daemon.service_stats();
+  EXPECT_GT(after.cache_hits, 0u);
+  EXPECT_TRUE(daemon.Shutdown(milliseconds(5'000)));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -3,17 +3,20 @@
 # presets (ASan+UBSan on the governor suites, TSan on everything labelled
 # `concurrency` — the serve, daemon and governor threading tests), then a
 # live end-to-end smoke of the network daemon: start it, run solves through
-# the CLI client, SIGTERM it, and assert a clean drain and exit code.
+# the CLI client, SIGTERM it, and assert a clean drain and exit code. A
+# final cache smoke runs the same job twice against a fresh daemon and
+# asserts the repeat was answered from the result cache (stats frame).
 #
-#   tools/ci.sh            # all four stages
+#   tools/ci.sh            # all five stages
 #   tools/ci.sh tier1      # just the tier-1 stage
 #   tools/ci.sh asan tsan  # just the sanitizer stages
 #   tools/ci.sh daemon     # just the daemon smoke (needs a tier-1 build)
+#   tools/ci.sh cache      # just the cache smoke (needs a tier-1 build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache)
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -72,13 +75,60 @@ daemon_smoke() {
   echo "==== [daemon] OK (clean drain, exit 0)"
 }
 
+# Cache smoke against the tier-1 build: a fresh daemon (cache on by
+# default) serves the identical job twice. The second run must be answered
+# from the result cache — one hit, one miss in the stats frame — which
+# also exercises the read-your-writes guarantee over a real socket.
+cache_smoke() {
+  local cli=build/tools/cqa_cli
+  [ -x "$cli" ] || { echo "cache smoke needs a tier-1 build ($cli)"; exit 2; }
+  local work; work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  printf 'R(a | b), R(a | c)\nS(b | a)\n' > "$work/facts"
+  printf 'R(x | y), not S(y | x)\n' > "$work/job"
+
+  echo "==== [cache] start daemon"
+  build/tools/cqa_cli serve "$work/facts" --listen=127.0.0.1:0 --workers=2 \
+      > "$work/daemon.log" 2>&1 &
+  local daemon_pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$work/daemon.log")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon never reported its address"; cat "$work/daemon.log"; exit 1
+  fi
+
+  echo "==== [cache] same job twice via $addr"
+  "$cli" client "$addr" --jobs="$work/job" > "$work/first.out"
+  grep -q '^\[1\] not-certain' "$work/first.out"
+  "$cli" client "$addr" --jobs="$work/job" > "$work/second.out"
+  grep -q '^\[1\] not-certain' "$work/second.out"
+  "$cli" client "$addr" --stats > "$work/stats.out"
+  grep -q '"cache_hits":1' "$work/stats.out"
+  grep -q '"cache_misses":1' "$work/stats.out"
+
+  kill -TERM "$daemon_pid"
+  local rc=0
+  wait "$daemon_pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "daemon exited $rc (expected 0: clean drain)"
+    cat "$work/daemon.log"; exit 1
+  fi
+  echo "==== [cache] OK (repeat served from cache: 1 hit, 1 miss)"
+}
+
 for stage in "${stages[@]}"; do
   case "$stage" in
     tier1) run_stage tier1 default default default ;;
     asan)  run_stage asan-ubsan asan-ubsan asan-ubsan asan-ubsan ;;
     tsan)  run_stage tsan tsan tsan tsan ;;
     daemon) daemon_smoke ;;
-    *) echo "unknown stage '$stage' (want: tier1 asan tsan daemon)" >&2
+    cache) cache_smoke ;;
+    *) echo "unknown stage '$stage' (want: tier1 asan tsan daemon cache)" >&2
        exit 2 ;;
   esac
 done

@@ -17,11 +17,14 @@
 //   cqa_cli serve    db.facts [--jobs=FILE] [--workers=N] [--queue-cap=M]
 //                    [--timeout-ms=T] [--retries=R] [--deadline-ms=S]
 //                    [--drain-ms=D] [--max-nodes=K] [--method=...]
+//                    [--cache-entries=E] [--no-cache]
 //   cqa_cli serve    db.facts --listen=HOST:PORT [--workers=N]
 //                    [--queue-cap=M] [--timeout-ms=T] [--retries=R]
 //                    [--drain-ms=D] [--max-connections=C] [--max-inflight=I]
+//                    [--cache-entries=E] [--no-cache]
 //   cqa_cli client   HOST:PORT [--jobs=FILE] [--timeout-ms=T]
-//                    [--max-nodes=K] [--method=...] [--health] [--stats]
+//                    [--max-nodes=K] [--method=...] [--cache=default|bypass]
+//                    [--health] [--stats]
 //
 // Exit codes: 0 certain / probably certain / success; 1 parse or input
 // error; 2 usage; 3 resource budget exhausted; 4 cancelled; 5 not certain
@@ -46,7 +49,10 @@
 // `--retries` the per-request retry allowance (exponential backoff with
 // jitter), and `--drain-ms` the graceful-shutdown drain deadline. A full
 // queue applies backpressure to the reader (the driver resubmits with
-// backoff rather than dropping jobs). One result line `[i] <verdict>` is
+// backoff rather than dropping jobs). Both serve modes keep a result cache
+// keyed by (query, database fingerprint) — 4096 entries by default; size it
+// with `--cache-entries=E` or turn it (and the workers' warm memo state)
+// off with `--no-cache`. One result line `[i] <verdict>` is
 // printed per job in completion order; aggregate `ServiceStats` go to
 // stderr. Exit code: 1 if any job failed (parse/unsupported/internal),
 // else 4 if any was cancelled, else 3 if any exhausted its budget without
@@ -435,6 +441,7 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
       {"--timeout-ms", 0},       {"--retries", 0},
       {"--drain-ms", 5'000},     {"--max-connections", 256},
       {"--max-inflight", 16},    {"--idle-timeout-ms", 300'000},
+      {"--cache-entries", 4'096},
   };
   for (auto& flag : flags) {
     if (FlagGiven(argc, argv, flag.name) &&
@@ -449,6 +456,11 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
   dopts.max_connections = flags[5].value;
   dopts.connection.max_inflight = flags[6].value;
   dopts.connection.idle_timeout = std::chrono::milliseconds(flags[7].value);
+  // Caching is on by default for the daemon (the library default is off);
+  // --no-cache disables both the result cache and worker warm state.
+  const bool no_cache = HasFlag(argc, argv, "--no-cache");
+  dopts.service.cache_entries = no_cache ? 0 : flags[8].value;
+  dopts.service.warm_state = !no_cache;
 
   // Install the latch before accepting work so a signal arriving during
   // startup still drains instead of killing the process.
@@ -532,6 +544,10 @@ int CmdClient(int argc, char** argv, const char* addr) {
   if (!ParseSolverMethod(method).ok()) {
     return Fail("unknown method '" + method + "'");
   }
+  std::string cache = FlagValue(argc, argv, "--cache");
+  if (!cache.empty() && cache != "default" && cache != "bypass") {
+    return Fail("--cache must be 'default' or 'bypass'");
+  }
 
   // Pipeline all jobs, then collect a terminal frame for each; the daemon
   // answers in completion order, ids tie responses back to input lines.
@@ -555,6 +571,7 @@ int CmdClient(int argc, char** argv, const char* addr) {
     if (timeout_ms > 0) req.Set("timeout_ms", timeout_ms);
     if (max_nodes != Budget::kNoStepLimit) req.Set("max_steps", max_nodes);
     if (!method.empty()) req.Set("method", method);
+    if (!cache.empty()) req.Set("cache", cache);
     Result<bool> sent = client.SendFrame(req.Build().Serialize(), io_timeout);
     if (!sent.ok()) return Fail(sent);
     ++outstanding;
@@ -617,6 +634,7 @@ int CmdServe(int argc, char** argv, const char* db_path) {
       {"--workers", 4},         {"--queue-cap", 64}, {"--timeout-ms", 0},
       {"--retries", 0},         {"--deadline-ms", 0}, {"--drain-ms", 3'600'000},
       {"--max-nodes", Budget::kNoStepLimit},
+      {"--cache-entries", 4'096},
   };
   for (auto& flag : flags) {
     if (FlagGiven(argc, argv, flag.name) &&
@@ -638,6 +656,11 @@ int CmdServe(int argc, char** argv, const char* db_path) {
     options.service_deadline =
         Budget::Clock::now() + std::chrono::milliseconds(flags[4].value);
   }
+  // Batch serve defaults the cache on too: a jobs file with repeated or
+  // alpha-equivalent queries collapses to one solve per equivalence class.
+  const bool no_cache = HasFlag(argc, argv, "--no-cache");
+  options.cache_entries = no_cache ? 0 : flags[7].value;
+  options.warm_state = !no_cache;
 
   std::ifstream jobs_file;
   std::istream* jobs = &std::cin;

@@ -9,15 +9,22 @@
 // random, mutated, truncated and oversized byte streams at the daemon's
 // wire stack — FrameDecoder, Json::Parse, DecodeRequest, DecodeResponse —
 // asserting frames fail with typed kParse/kUnsupported errors and the
-// decoder's overflow latch engages exactly at its cap. Exits non-zero and
-// prints a reproducer on the first violation.
+// decoder's overflow latch engages exactly at its cap. A fourth phase
+// (--cache-rounds) fuzzes the result-cache key scheme and a deliberately
+// tiny ResultCache: alpha-renamed random queries must collide on one cache
+// slot, constant-perturbed ones must not, and under constant eviction
+// pressure a lookup may only ever return a report previously inserted
+// under exactly that key. Exits non-zero and prints a reproducer on the
+// first violation.
 //
 //   cqa_fuzz [--seed=N] [--rounds=N] [--dbs-per-query=N] [--parse-rounds=N]
-//            [--wire-rounds=N]
+//            [--wire-rounds=N] [--cache-rounds=N]
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cqa/cqa.h"
@@ -140,7 +147,9 @@ std::vector<std::string> WireCorpus() {
       R"js({"type":"solve","id":1,"query":"R(x | y), not S(y | x)"})js",
       R"js({"type":"solve","id":2,"query":"R(x | y)","timeout_ms":50,)js"
       R"js("max_steps":100,"method":"backtracking","max_samples":10,)js"
-      R"js("degrade_to_sampling":false,"deadline_from_submit":true})js",
+      R"js("degrade_to_sampling":false,"deadline_from_submit":true,)js"
+      R"js("cache":"default"})js",
+      R"js({"type":"solve","id":11,"query":"R(x | y)","cache":"bypass"})js",
       R"js({"type":"health","id":3})js",
       R"js({"type":"stats","id":4})js",
       R"js({"type":"cancel","id":5,"target":1})js",
@@ -150,6 +159,37 @@ std::vector<std::string> WireCorpus() {
   corpus.push_back(EncodeHealthFrame(9, /*draining=*/false));
   corpus.push_back(EncodeCancelAckFrame(10, 1, true));
   return corpus;
+}
+
+// Alpha-renames every variable of `q` (salted so different rounds use
+// different spellings). The renamed query must produce the identical
+// canonical cache key.
+Query RenameVariables(const Query& q, uint64_t salt) {
+  auto rename = [salt](const Term& t) {
+    if (!t.is_variable()) return t;
+    return Term::Var("w" + std::to_string(salt) + SymbolName(t.var()));
+  };
+  std::vector<Literal> literals;
+  for (const Literal& l : q.literals()) {
+    std::vector<Term> terms;
+    for (const Term& t : l.atom.terms()) terms.push_back(rename(t));
+    Atom atom(l.atom.relation(), l.atom.key_len(), std::move(terms));
+    literals.push_back(l.negated ? Neg(atom) : Pos(atom));
+  }
+  std::vector<Diseq> diseqs;
+  for (const Diseq& d : q.diseqs()) {
+    Diseq nd;
+    for (const Term& t : d.lhs) nd.lhs.push_back(rename(t));
+    for (const Term& t : d.rhs) nd.rhs.push_back(rename(t));
+    diseqs.push_back(std::move(nd));
+  }
+  return Query::MakeOrDie(std::move(literals), std::move(diseqs));
+}
+
+int CacheViolation(const Query& q, const char* what) {
+  std::printf("CACHE VIOLATION (%s)\nquery: %s\n", what,
+              q.ToString().c_str());
+  return 1;
 }
 
 // One wire-fuzz input: the byte stream is fed to a FrameDecoder in random
@@ -200,6 +240,7 @@ int main(int argc, char** argv) {
   uint64_t dbs_per_query = FlagOr(argc, argv, "--dbs-per-query", 10);
   uint64_t parse_rounds = FlagOr(argc, argv, "--parse-rounds", 300);
   uint64_t wire_rounds = FlagOr(argc, argv, "--wire-rounds", 300);
+  uint64_t cache_rounds = FlagOr(argc, argv, "--cache-rounds", 200);
 
   // Phase 1: parser robustness under mutation and garbage.
   {
@@ -257,6 +298,66 @@ int main(int argc, char** argv) {
       }
       int rc = CheckWireStack(stream, cap, &wrng);
       if (rc != 0) return rc;
+    }
+  }
+
+  // Phase 3: result-cache invariants. A 4-entry cache under random query/
+  // database traffic evicts on almost every insert, so any aliasing bug in
+  // the key scheme (two distinct instances mapping to one slot, or an
+  // alpha-variant mapping to two) surfaces as a verdict mismatch against
+  // the reference map of everything ever inserted.
+  {
+    Rng crng(seed ^ 0xCAC4Eu);
+    RandomQueryOptions cqopts;
+    RandomDbOptions cdopts;
+    cdopts.blocks_per_relation = 2;
+    cdopts.max_block_size = 2;
+    cdopts.domain_size = 4;
+    ResultCache cache(/*max_entries=*/4, /*shards=*/2);
+    std::unordered_map<std::string, Verdict> reference;
+    for (uint64_t round = 0; round < cache_rounds; ++round) {
+      Query q = GenerateRandomQuery(cqopts, &crng);
+      Query renamed = RenameVariables(q, round % 9);
+      if (CanonicalQueryKey(q) != CanonicalQueryKey(renamed)) {
+        return CacheViolation(q, "alpha-variant got a different query key");
+      }
+      std::vector<Symbol> vars = q.Vars().items();
+      if (!vars.empty()) {
+        Query subst = q.Substituted(vars[crng.Below(vars.size())],
+                                    Value::Of("zz"));
+        if (CanonicalQueryKey(subst) == CanonicalQueryKey(q)) {
+          return CacheViolation(q, "constant-perturbed query kept the key");
+        }
+      }
+      Database db = GenerateRandomDatabaseFor(q, cdopts, &crng);
+      DbFingerprint fp = FingerprintDatabase(db);
+      CacheKey key = MakeCacheKey(fp, SolverMethod::kAuto, q);
+      CacheKey alias = MakeCacheKey(fp, SolverMethod::kAuto, renamed);
+      if (key.text != alias.text || key.hash != alias.hash) {
+        return CacheViolation(q, "alpha-variant got a different cache key");
+      }
+      if (std::optional<SolveReport> pre = cache.Lookup(key)) {
+        auto it = reference.find(key.text);
+        if (it == reference.end() || pre->verdict != it->second) {
+          return CacheViolation(q, "lookup returned a foreign report");
+        }
+      }
+      Result<SolveReport> solved = SolveCertainty(q, db, SolverMethod::kAuto);
+      if (solved.ok() && IsCacheableReport(*solved)) {
+        cache.Insert(key, *solved);
+        reference[key.text] = solved->verdict;
+        std::optional<SolveReport> back = cache.Lookup(key);
+        if (!back.has_value() || back->verdict != solved->verdict) {
+          return CacheViolation(q, "insert/lookup round trip failed");
+        }
+      }
+    }
+    CacheStats cs = cache.Stats();
+    if (cs.entries > cache.max_entries()) {
+      std::printf("CACHE VIOLATION (size bound): %llu entries, cap %llu\n",
+                  static_cast<unsigned long long>(cs.entries),
+                  static_cast<unsigned long long>(cache.max_entries()));
+      return 1;
     }
   }
 
@@ -319,10 +420,11 @@ int main(int argc, char** argv) {
     }
   }
   std::printf(
-      "fuzz clean: %llu parse rounds, %llu wire rounds, %llu rounds "
-      "(%llu FO, %llu hard), %llu database checks\n",
+      "fuzz clean: %llu parse rounds, %llu wire rounds, %llu cache rounds, "
+      "%llu rounds (%llu FO, %llu hard), %llu database checks\n",
       static_cast<unsigned long long>(parse_rounds),
       static_cast<unsigned long long>(wire_rounds),
+      static_cast<unsigned long long>(cache_rounds),
       static_cast<unsigned long long>(rounds),
       static_cast<unsigned long long>(fo_count),
       static_cast<unsigned long long>(hard_count),
