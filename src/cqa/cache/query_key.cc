@@ -65,11 +65,24 @@ class Canonicalizer {
   }
 
  private:
+  // Tag + decimal length + ':' + raw spelling. The length delimits the
+  // spelling, so the rendering is injective for arbitrary byte content —
+  // constants may embed quotes, commas, and every other separator used
+  // here (the parser accepts doubled quotes). Mirrors the length-prefixed
+  // RenderFact in fingerprint.cc, which exists for the same ambiguity.
+  static std::string Sized(char tag, const std::string& s) {
+    std::string out(1, tag);
+    out += std::to_string(s.size());
+    out += ':';
+    out += s;
+    return out;
+  }
+
   std::string RenderTerm(const Term& t) {
-    if (t.is_constant()) return "'" + t.constant().name() + "'";
+    if (t.is_constant()) return Sized('\'', t.constant().name());
     Symbol v = t.var();
     // Reified variables behave like constants; their spelling is identity.
-    if (q_.reified().contains(v)) return "@" + SymbolName(v);
+    if (q_.reified().contains(v)) return Sized('@', SymbolName(v));
     auto it = names_.find(v);
     if (it == names_.end()) {
       it = names_.emplace(v, "?" + std::to_string(names_.size())).first;

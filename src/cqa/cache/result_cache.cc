@@ -34,8 +34,16 @@ bool IsCacheableReport(const SolveReport& report) {
 }
 
 ResultCache::ResultCache(size_t max_entries, size_t shards)
-    : shards_(ClampShards(max_entries, shards)) {
-  per_shard_ = std::max<size_t>(std::max<size_t>(max_entries, 1) / shards_.size(), 1);
+    : shards_(ClampShards(max_entries, shards)),
+      max_entries_(std::max<size_t>(max_entries, 1)) {
+  // Exact split: base entries per shard, the remainder over the first
+  // shards, so the shard capacities sum to precisely max_entries (a
+  // floor-only split can under-provision, e.g. 10 entries over 8 shards).
+  size_t base = max_entries_ / shards_.size();
+  size_t extra = max_entries_ % shards_.size();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].capacity = base + (i < extra ? 1 : 0);
+  }
 }
 
 std::optional<SolveReport> ResultCache::Lookup(const CacheKey& key) {
@@ -76,7 +84,7 @@ bool ResultCache::Insert(const CacheKey& key, const SolveReport& report) {
       it->second->report = report;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     } else {
-      while (shard.lru.size() >= per_shard_) {
+      while (shard.lru.size() >= shard.capacity) {
         shard.index.erase(shard.lru.back().key);
         shard.lru.pop_back();
         ++evicted;

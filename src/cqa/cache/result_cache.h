@@ -62,8 +62,10 @@ bool IsCacheableReport(const SolveReport& report);
 /// request handles); this class is the pure storage layer.
 class ResultCache {
  public:
-  /// `max_entries` is a global bound, split evenly across `shards` (each
-  /// shard holds at least one entry, so a 1-entry cache is one shard).
+  /// `max_entries` is a global bound, split across `shards` with the
+  /// remainder spread over the first shards so the per-shard capacities
+  /// sum to exactly `max_entries` (each shard holds at least one entry,
+  /// so a 1-entry cache is one shard).
   explicit ResultCache(size_t max_entries, size_t shards = 8);
 
   ResultCache(const ResultCache&) = delete;
@@ -83,7 +85,7 @@ class ResultCache {
 
   CacheStats Stats() const;
 
-  size_t max_entries() const { return shards_.size() * per_shard_; }
+  size_t max_entries() const { return max_entries_; }
 
  private:
   struct Entry {
@@ -92,6 +94,7 @@ class ResultCache {
   };
   struct Shard {
     std::mutex mu;
+    size_t capacity = 0;   // set once at construction, then read-only
     std::list<Entry> lru;  // front = most recent
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
   };
@@ -101,7 +104,7 @@ class ResultCache {
   }
 
   std::vector<Shard> shards_;
-  size_t per_shard_;
+  size_t max_entries_;
 
   mutable std::mutex stats_mu_;
   CacheStats stats_;

@@ -16,61 +16,95 @@ namespace cqa {
 /// concurrent identical submissions attach as *followers* and are settled
 /// by the leader's terminal result instead of stampeding the worker pool.
 ///
+/// Each flight records its leader's effective deadline. A submission with
+/// a *strictly tighter* deadline than the open flight's leader is refused
+/// — parking it would silently drop its own deadline semantics (the
+/// leader may terminate arbitrarily later than the follower's budget
+/// allows) — and the caller runs it independently. Followers therefore
+/// always have deadlines no tighter than their leader's, and promotion
+/// picks the earliest-deadline follower so the invariant survives leader
+/// turnover.
+///
 /// The registry stores only the followers — the existence of the map entry
 /// *is* the leader's flight. The owner (SolveService) drives the protocol:
 ///
-///  * `JoinOrLead(key, h)`: true → caller is the leader and must run the
-///    solve; false → `h` was queued as a follower.
+///  * `JoinOrLead(key, h, deadline)`: `kLead` → caller is the leader and
+///    must run the solve; `kFollow` → `h` was queued as a follower;
+///    `kRefuse` → coalescing would loosen `h`'s deadline, run it yourself.
 ///  * Leader terminal, cacheable result → `TakeFollowers(key)` removes the
 ///    flight and returns everyone to settle with a copy of the result.
 ///  * Leader terminal, non-cacheable (cancelled, error, degraded) →
-///    `PromoteOne(key)`: pops the oldest follower to become the new leader
-///    (the flight stays open for the remaining followers), or removes the
-///    empty flight. This is the no-lost-wakeups guarantee: a cancelled
-///    leader hands the flight to a live follower instead of stranding it.
+///    `PromoteOne(key)`: pops the earliest-deadline follower (ties FIFO)
+///    to become the new leader (the flight stays open for the remaining
+///    followers), or removes the empty flight. This is the no-lost-wakeups
+///    guarantee: a cancelled leader hands the flight to a live follower
+///    instead of stranding it.
 ///
-/// Thread-safe; all operations are O(1) under one mutex.
-template <typename Handle>
+/// `Deadline` needs only `operator<` and default construction (the service
+/// uses a clock time_point; `max()` means "no deadline"). Thread-safe; all
+/// operations take one mutex and are O(followers) at worst.
+/// How `SingleFlight::JoinOrLead` disposed of a submission.
+enum class FlightOutcome { kLead, kFollow, kRefuse };
+
+template <typename Handle, typename Deadline>
 class SingleFlight {
  public:
-  /// Returns true and opens a flight if `key` has none; otherwise appends
-  /// `handle` as a follower of the existing flight.
-  bool JoinOrLead(const std::string& key, Handle handle) {
+  /// Opens a flight led by the caller if `key` has none; otherwise appends
+  /// `handle` as a follower when its deadline is no tighter than the
+  /// leader's, or refuses it.
+  FlightOutcome JoinOrLead(const std::string& key, Handle handle,
+                           Deadline deadline) {
     std::lock_guard<std::mutex> lock(mu_);
     auto [it, inserted] = flights_.try_emplace(key);
-    if (inserted) return true;
-    it->second.push_back(std::move(handle));
-    return false;
+    if (inserted) {
+      it->second.leader_deadline = deadline;
+      return FlightOutcome::kLead;
+    }
+    if (deadline < it->second.leader_deadline) return FlightOutcome::kRefuse;
+    it->second.followers.push_back({deadline, std::move(handle)});
+    return FlightOutcome::kFollow;
   }
 
   /// Closes the flight and returns its followers (possibly none). No-op
   /// with empty result when `key` has no flight.
   std::vector<Handle> TakeFollowers(const std::string& key) {
-    std::deque<Handle> followers;
+    std::deque<Follower> followers;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = flights_.find(key);
       if (it == flights_.end()) return {};
-      followers = std::move(it->second);
+      followers = std::move(it->second.followers);
       flights_.erase(it);
     }
-    return std::vector<Handle>(std::make_move_iterator(followers.begin()),
-                               std::make_move_iterator(followers.end()));
+    std::vector<Handle> out;
+    out.reserve(followers.size());
+    for (Follower& f : followers) out.push_back(std::move(f.handle));
+    return out;
   }
 
-  /// Pops the oldest follower to succeed a failed/cancelled leader,
-  /// keeping the flight open; removes the flight and returns nullopt when
-  /// no follower is waiting.
+  /// Pops the earliest-deadline follower (ties broken FIFO) to succeed a
+  /// failed/cancelled leader, keeping the flight open under the new
+  /// leader's deadline; removes the flight and returns nullopt when no
+  /// follower is waiting.
   std::optional<Handle> PromoteOne(const std::string& key) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = flights_.find(key);
     if (it == flights_.end()) return std::nullopt;
-    if (it->second.empty()) {
+    Flight& flight = it->second;
+    if (flight.followers.empty()) {
       flights_.erase(it);
       return std::nullopt;
     }
-    Handle h = std::move(it->second.front());
-    it->second.pop_front();
+    size_t best = 0;
+    for (size_t i = 1; i < flight.followers.size(); ++i) {
+      if (flight.followers[i].deadline < flight.followers[best].deadline) {
+        best = i;
+      }
+    }
+    flight.leader_deadline = flight.followers[best].deadline;
+    Handle h = std::move(flight.followers[best].handle);
+    flight.followers.erase(flight.followers.begin() +
+                           static_cast<std::ptrdiff_t>(best));
     return h;
   }
 
@@ -80,8 +114,17 @@ class SingleFlight {
   }
 
  private:
+  struct Follower {
+    Deadline deadline;
+    Handle handle;
+  };
+  struct Flight {
+    Deadline leader_deadline{};
+    std::deque<Follower> followers;
+  };
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::deque<Handle>> flights_;
+  std::unordered_map<std::string, Flight> flights_;
 };
 
 }  // namespace cqa

@@ -30,7 +30,7 @@ struct WarmStats {
 /// ever. The Algorithm-1 memo arena maps substituted subqueries to
 /// certainty *on one database*; `BindDatabase` clears it when the
 /// fingerprint changes (the daemon fronts one immutable database, so in
-/// serving traffic it never clears).
+/// serving traffic only the capacity cap ever clears it).
 ///
 /// NOT thread-safe: each worker thread owns one instance. All maps are
 /// bounded by `max_entries` per map — exceeding the cap clears the map
@@ -58,9 +58,18 @@ class WarmState {
   const RewritingSlot& RewritingMemo(const std::string& key, const Query& q);
 
   /// The Algorithm-1 memo arena for the bound database; pass as
-  /// `Algorithm1Options::memo_arena`. Valid until the next `BindDatabase`
-  /// with a different fingerprint.
-  std::unordered_map<std::string, bool>* Algo1Arena() { return &algo1_memo_; }
+  /// `Algorithm1Options::memo_arena`. The `max_entries` cap is enforced at
+  /// hand-out (an over-full arena is cleared and counted as a reset), so a
+  /// long-running worker on one immutable database stays bounded. Valid
+  /// until the next `BindDatabase` with a different fingerprint or the
+  /// next cap-exceeded hand-out.
+  std::unordered_map<std::string, bool>* Algo1Arena() {
+    if (!algo1_memo_.empty() && algo1_memo_.size() >= max_entries_) {
+      algo1_memo_.clear();
+      ++stats_.arena_resets;
+    }
+    return &algo1_memo_;
+  }
 
   const WarmStats& stats() const { return stats_; }
 

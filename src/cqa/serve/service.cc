@@ -80,15 +80,27 @@ Result<uint64_t> SolveService::Submit(ServeJob job, Callback callback) {
              Result<SolveReport>(std::move(*hit)));
       return req->id;
     }
-    if (!flights_.JoinOrLead(req->cache_key.text, req)) {
-      // Coalesced: an identical solve is already in flight; this request
-      // is settled by the leader's terminal result (or promoted to re-run
-      // the solve if the leader cannot settle it).
-      cache_->RecordCoalesced();
-      stats_.RecordAccepted();
-      return req->id;
+    switch (flights_.JoinOrLead(req->cache_key.text, req, req->deadline_key)) {
+      case FlightOutcome::kFollow:
+        // Coalesced: an identical solve is already in flight with a
+        // deadline at least as tight as ours; this request is settled by
+        // the leader's terminal result (or promoted to re-run the solve
+        // if the leader cannot settle it).
+        cache_->RecordCoalesced();
+        stats_.RecordAccepted();
+        return req->id;
+      case FlightOutcome::kLead:
+        req->flight_leader = true;
+        req->cache_store = true;
+        break;
+      case FlightOutcome::kRefuse:
+        // The open flight's leader has a looser deadline than this
+        // request; coalescing would silently drop its own deadline (EDF
+        // key, timeout). Run it independently — its exact result still
+        // fills the cache.
+        req->cache_store = true;
+        break;
     }
-    req->flight_leader = true;
   }
   if (!queue_.TryPush(req)) {
     if (req->flight_leader) AbandonLeadership(req);
@@ -117,6 +129,7 @@ void SolveService::AbandonLeadership(const RequestPtr& req) {
     std::optional<RequestPtr> next = flights_.PromoteOne(req->cache_key.text);
     if (!next.has_value()) return;  // flight dissolved
     (*next)->flight_leader = true;
+    (*next)->cache_store = true;
     if (queue_.TryPush(*next)) return;  // new leader queued; flight lives on
     (*next)->flight_leader = false;
     Finish(*next, /*started=*/false, RequestState::kCompleted,
@@ -337,12 +350,14 @@ SolveService::RequestPtr SolveService::Finish(const RequestPtr& req,
                         degraded, response.latency);
   const bool leader = req->flight_leader;
   const bool cacheable = ok && IsCacheableReport(*response.result);
-  if (leader && cacheable) {
+  if (req->cache_store && cacheable) {
     // Store *before* delivering the terminal callback: a caller that has
     // observed this result must hit the cache on its next identical
     // submission (read-your-writes), and the store-then-take-followers
     // order below closes the window where a new submission could miss the
-    // cache yet find no flight to join.
+    // cache yet find no flight to join. Deadline-refused independent runs
+    // store too (cache_store without leadership): their verdict is just
+    // as exact, and they typically finish before the looser leader.
     cache_->Insert(req->cache_key, *response.result);
   }
   {
@@ -381,6 +396,7 @@ SolveService::RequestPtr SolveService::Finish(const RequestPtr& req,
       std::optional<RequestPtr> next = flights_.PromoteOne(key);
       if (next.has_value()) {
         (*next)->flight_leader = true;
+        (*next)->cache_store = true;
         promoted = std::move(*next);
       }
     }

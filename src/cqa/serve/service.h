@@ -186,8 +186,12 @@ struct ServiceOptions {
 /// result cache: a hit answers before admission (no queueing, no worker),
 /// a miss opens a single-flight — concurrent identical submissions attach
 /// to the in-flight leader and are settled by its terminal result. A
-/// cancelled or failed leader promotes one follower to re-run the solve,
-/// so coalesced requests are never stranded. See docs/CACHING.md.
+/// submission whose effective deadline is strictly tighter than the
+/// leader's is not coalesced (parking it would silently drop its own
+/// deadline); it runs independently and its result still fills the cache.
+/// A cancelled or failed leader promotes its earliest-deadline follower
+/// to re-run the solve, so coalesced requests are never stranded. See
+/// docs/CACHING.md.
 class SolveService {
  public:
   using Callback = std::function<void(const ServeResponse&)>;
@@ -250,6 +254,12 @@ class SolveService {
     /// promotion, by the thread that already owns the request).
     CacheKey cache_key;
     bool flight_leader = false;
+    /// Whether this request's own terminal result may be stored in the
+    /// cache: true for flight leaders (promotion included) and for
+    /// requests refused from a flight because their deadline was tighter
+    /// than the leader's; false for settled followers (their leader
+    /// already stored the shared result).
+    bool cache_store = false;
   };
   using RequestPtr = std::shared_ptr<Request>;
 
@@ -282,7 +292,7 @@ class SolveService {
   BoundedQueue<RequestPtr> queue_;
   StatsCollector stats_;
   std::unique_ptr<ResultCache> cache_;
-  SingleFlight<RequestPtr> flights_;
+  SingleFlight<RequestPtr, Budget::Clock::time_point> flights_;
 
   /// Fingerprint memo keyed by owner identity (control block), so a
   /// recycled allocation address can never alias a different database.

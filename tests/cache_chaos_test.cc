@@ -204,6 +204,73 @@ TEST(CacheChaosTest, CancelledFlightLeaderPromotesAFollower) {
   EXPECT_TRUE(service.Shutdown(milliseconds(10'000)));
 }
 
+TEST(CacheChaosTest, TighterDeadlineSubmissionIsNotParkedBehindALooseLeader) {
+  // A deadline-less leader sleeps on worker 1. An identical submission
+  // with its own strict timeout must NOT coalesce onto it — parking would
+  // silently drop the follower's deadline semantics — so it runs
+  // independently on worker 2, terminates while the leader still sleeps,
+  // and its exact verdict fills the cache.
+  auto db = Db();
+  Query q = Q("R(x | y)");
+  ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 16;
+  options.cache_entries = 16;
+  SolveService service(options);
+
+  std::atomic<bool> leader_done{false};
+  ServeJob slow(q, db);
+  slow.chaos_sleep = milliseconds(60'000);
+  ASSERT_TRUE(service
+                  .Submit(std::move(slow),
+                          [&](const ServeResponse&) { leader_done = true; })
+                  .ok());
+  ASSERT_TRUE(Eventually([&] { return service.Stats().inflight == 1u; }))
+      << "worker never picked up the slow leader";
+
+  std::atomic<bool> urgent_done{false};
+  std::atomic<bool> urgent_beat_leader{false};
+  ServeJob urgent(q, db);
+  urgent.timeout = milliseconds(10'000);  // tighter than "no deadline"
+  ASSERT_TRUE(service
+                  .Submit(std::move(urgent),
+                          [&](const ServeResponse& r) {
+                            EXPECT_EQ(r.state, RequestState::kCompleted);
+                            EXPECT_TRUE(r.result.ok());
+                            urgent_beat_leader = !leader_done.load();
+                            urgent_done = true;
+                          })
+                  .ok());
+  ASSERT_TRUE(Eventually([&] { return urgent_done.load(); }))
+      << "deadline-carrying submission parked behind the loose leader";
+  EXPECT_TRUE(urgent_beat_leader.load());
+
+  ServiceStats s = service.Stats();
+  EXPECT_EQ(s.cache_coalesced, 0u)
+      << "a tighter deadline must refuse the flight, not join it";
+  EXPECT_EQ(s.cache_misses, 2u) << "leader and refused run are plain misses";
+  EXPECT_EQ(s.cache_entries, 1u)
+      << "the independent run's exact verdict must be stored";
+
+  // Read-your-writes holds for the refused run too: the next identical
+  // submission is a synchronous hit even though the leader never finished.
+  std::atomic<bool> hit_done{false};
+  ASSERT_TRUE(service
+                  .Submit(ServeJob(q, db),
+                          [&](const ServeResponse& r) {
+                            EXPECT_TRUE(r.result.ok());
+                            hit_done = true;
+                          })
+                  .ok());
+  EXPECT_TRUE(hit_done.load()) << "cache hits are delivered inside Submit";
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+
+  // Shutdown's drain interrupts the leader's sleep; it terminates
+  // cancelled, with no followers to strand.
+  service.Shutdown(milliseconds(10'000));
+  EXPECT_TRUE(leader_done.load());
+}
+
 TEST(CacheChaosTest, ShutdownDrainCancelsCoalescedFollowers) {
   // A sleeping leader with followers coalesced behind it: shutdown's drain
   // interrupts the sleep, the leader terminates cancelled, and the

@@ -137,6 +137,16 @@ TEST(QueryKeyTest, DistinctStructuresGetDistinctKeys) {
       << "join structure is part of the key";
 }
 
+TEST(QueryKeyTest, ConstantSpellingsCannotForgeSeparators) {
+  // The parser accepts embedded quotes via doubling ('a'',''b' is the
+  // constant a','b), so a constant can spell the key's own separators.
+  // Length-prefixed rendering keeps the key injective: these two queries
+  // would collide on 'a','b','c' under naive quoting, and a collision is
+  // a wrong verdict served from the shared cache.
+  EXPECT_NE(CanonicalQueryKey(Q("R('x' | 'a'',''b', 'c')")),
+            CanonicalQueryKey(Q("R('x' | 'a', 'b'',''c')")));
+}
+
 TEST(QueryKeyTest, MethodAndFingerprintSeparateCacheSlots) {
   auto db = Db("R(a | b)");
   DbFingerprint fp = FingerprintDatabase(*db);
@@ -213,6 +223,16 @@ TEST(ResultCacheTest, LruEvictionUnderCapacity) {
   EXPECT_EQ(cache.Stats().entries, 2u);
 }
 
+TEST(ResultCacheTest, ConfiguredCapacityIsHonouredAcrossShards) {
+  // 10 entries over 8 shards: a floor-only split would silently cap the
+  // cache at 8 entries; the remainder spreads over the first shards so
+  // the per-shard capacities sum to the configured bound.
+  ResultCache cache(10, 8);
+  EXPECT_EQ(cache.max_entries(), 10u);
+  ResultCache one(1, 8);
+  EXPECT_EQ(one.max_entries(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // WarmState
 
@@ -239,6 +259,20 @@ TEST(WarmStateTest, BindDatabaseClearsTheArenaOnlyOnChange) {
   EXPECT_EQ(warm.Algo1Arena()->size(), 1u) << "same database keeps the arena";
   warm.BindDatabase(FingerprintDatabase(*b));
   EXPECT_TRUE(warm.Algo1Arena()->empty()) << "new database clears the arena";
+  EXPECT_EQ(warm.stats().arena_resets, 1u);
+}
+
+TEST(WarmStateTest, ArenaCapBoundsLongRunningWorkers) {
+  // The Algorithm-1 arena obeys max_entries like the other memo maps: a
+  // daemon worker fronting one immutable database never changes
+  // fingerprint, so without the cap its arena would grow without bound.
+  WarmState warm(/*max_entries=*/2);
+  auto db = Db("R(a | b)");
+  warm.BindDatabase(FingerprintDatabase(*db));
+  (*warm.Algo1Arena())["p1"] = true;
+  (*warm.Algo1Arena())["p2"] = true;  // under the cap at hand-out
+  EXPECT_TRUE(warm.Algo1Arena()->empty())
+      << "an over-full arena must be cleared at the next hand-out";
   EXPECT_EQ(warm.stats().arena_resets, 1u);
 }
 
