@@ -13,17 +13,27 @@
 //       repeatedly with `"cache":"default"` (hot: served from the result
 //       cache after the first) vs `"cache":"bypass"` (cold: full solve each
 //       time). The remaining hot-path cost is the wire round trip itself.
+//   D4. Shard isolation: one daemon, identical pigeonhole database content
+//       behind every name. An adversary connection saturates one shard
+//       with pigeonhole backtracking solves (coNP-hard instances, ~5ms
+//       each) while a victim client runs FO solves — either on its own
+//       shard (sharded, this codebase) or on the adversary's (shared, the
+//       single-pool architecture the registry replaces). Reports the
+//       victim's latency percentiles against a solo baseline.
 //
 // The micro-benchmark times a single socket round trip through the daemon.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "cqa/gen/families.h"
 #include "cqa/gen/poll.h"
 #include "cqa/serve/net/client.h"
 #include "cqa/serve/net/daemon.h"
@@ -175,10 +185,124 @@ void TableCacheHotCold() {
   std::printf("\n");
 }
 
+std::string SolveFrameOn(uint64_t id, const std::string& query,
+                         const char* db, const char* method) {
+  JsonObjectBuilder b;
+  b.Set("type", "solve").Set("id", id).Set("query", query).Set("db", db);
+  if (method != nullptr) b.Set("method", method);
+  return b.Build().Serialize();
+}
+
+// D4 modes. The database content and the victim workload are identical in
+// all three; the only variable is where the adversary's hard solves land.
+enum class IsolationMode { kSolo, kSharded, kShared };
+
+void TableShardIsolation() {
+  std::printf(
+      "D4. shard isolation: the victim runs FO solves on shard 'a' while an "
+      "adversary\n    pipelines pigeonhole backtracking solves — on its own "
+      "shard 'b' (sharded,\n    this codebase) or on the victim's shard "
+      "(shared, the single-pool\n    architecture this subsystem replaces). "
+      "Identical database content\n    everywhere; only placement varies:\n");
+  std::printf("%-9s %-10s %-10s %-10s %-10s %-10s\n", "mode", "p50_us",
+              "p90_us", "p99_us", "ratio_p99", "hard_done");
+  // Both queries run against PigeonholeDatabase(5). The victim's is the FO
+  // differential query (rewriting answers it in microseconds); the
+  // adversary's is PigeonholeCyclicQuery (wire spelling) forced through
+  // kBacktracking, which holds a worker for ~5 ms per solve.
+  std::string victim_query = "R(x | y), not S(y | x)";
+  std::string pigeon_query = "R(x | y), not S(y | x), not T(x | y)";
+  auto mk_db = [] {
+    return std::make_shared<const Database>(PigeonholeDatabase(5));
+  };
+  constexpr int kRounds = 300;
+  double solo_p99 = 0;
+  for (IsolationMode mode : {IsolationMode::kSolo, IsolationMode::kSharded,
+                             IsolationMode::kShared}) {
+    DaemonOptions options;
+    options.service.workers = 1;
+    SolveDaemon daemon(options);
+    if (!daemon.Attach("a", mk_db()).ok()) return;
+    if (mode == IsolationMode::kSharded && !daemon.Attach("b", mk_db()).ok()) {
+      return;
+    }
+    if (!daemon.Start().ok()) return;
+    const char* adversary_db =
+        mode == IsolationMode::kSharded ? "b" : "a";
+
+    // The adversary keeps 4 hard solves pipelined on its own connection
+    // for the whole measurement window, so its target shard's queue and
+    // worker stay saturated throughout. (One worker per shard: the shards
+    // are the isolation boundary under test, and a single compute-bound
+    // thread keeps the numbers meaningful on a single-core host too.)
+    std::atomic<bool> stop{false};
+    std::thread adversary;
+    if (mode != IsolationMode::kSolo) {
+      adversary = std::thread([&, adversary_db] {
+        NetClient attacker;
+        if (!attacker.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+        uint64_t id = 0;
+        size_t inflight = 0;
+        while (true) {
+          while (inflight < 4) {
+            std::string frame = SolveFrameOn(++id, pigeon_query, adversary_db,
+                                             "backtracking");
+            if (!attacker.SendFrame(frame, kIo).ok()) return;
+            ++inflight;
+          }
+          Result<WireResponse> r = attacker.ReadResponse(kIo);
+          if (!r.ok()) return;
+          if (IsTerminalResponseType(r->type)) --inflight;
+          if (stop.load()) return;
+        }
+      });
+      // Let the flood reach steady state before measuring.
+      std::this_thread::sleep_for(milliseconds(50));
+    }
+
+    NetClient victim;
+    if (!victim.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+    std::vector<double> rtt_us;
+    for (uint64_t id = 1; id <= kRounds; ++id) {
+      double us = benchutil::TimeUs([&] {
+        (void)victim.SendFrame(SolveFrameOn(id, victim_query, "a", nullptr),
+                               kIo);
+        (void)victim.WaitTerminal(id, kIo);
+      });
+      rtt_us.push_back(us);
+    }
+
+    uint64_t hard_done = 0;
+    for (const auto& [name, stats] : daemon.stats_per_db()) {
+      if (name == adversary_db && mode != IsolationMode::kSolo) {
+        // Shared mode counts victim solves too; subtract them out.
+        hard_done = stats.completed -
+                    (mode == IsolationMode::kShared ? rtt_us.size() : 0);
+      }
+    }
+    stop.store(true);
+    if (adversary.joinable()) adversary.join();
+    (void)daemon.Shutdown(milliseconds(30'000));
+
+    double p50 = static_cast<double>(Percentile(&rtt_us, 0.50));
+    double p90 = static_cast<double>(Percentile(&rtt_us, 0.90));
+    double p99 = static_cast<double>(Percentile(&rtt_us, 0.99));
+    if (mode == IsolationMode::kSolo) solo_p99 = p99;
+    const char* label = mode == IsolationMode::kSolo      ? "solo"
+                        : mode == IsolationMode::kSharded ? "sharded"
+                                                          : "shared";
+    std::printf("%-9s %-10.0f %-10.0f %-10.0f %-10.2f %llu\n", label, p50,
+                p90, p99, solo_p99 > 0 ? p99 / solo_p99 : 1.0,
+                static_cast<unsigned long long>(hard_done));
+  }
+  std::printf("\n");
+}
+
 void Tables() {
   TableRoundTrip();
   TableOverloadShedRate();
   TableCacheHotCold();
+  TableShardIsolation();
 }
 
 void BM_DaemonRoundTrip(benchmark::State& state) {

@@ -24,6 +24,11 @@ enum class ErrorCode {
   /// it was shutting down). The request never ran; resubmitting later — or
   /// to another replica — can succeed.
   kOverloaded,
+  /// The named database instance was detached (or is mid-detach) from the
+  /// registry that was asked to serve it. Queued requests of a detaching
+  /// shard are shed with this code; resubmitting against a still-attached
+  /// instance (or after a re-attach) can succeed.
+  kDetached,
   /// Anything else: internal invariant failures, I/O, legacy untyped errors.
   kInternal,
 };
@@ -42,6 +47,8 @@ inline const char* ToString(ErrorCode code) {
       return "cancelled";
     case ErrorCode::kOverloaded:
       return "overloaded";
+    case ErrorCode::kDetached:
+      return "detached";
     case ErrorCode::kInternal:
       return "internal";
   }

@@ -1,67 +1,16 @@
 #include "cqa/cache/fingerprint.h"
 
-#include <algorithm>
-#include <vector>
-
-#include "cqa/base/interner.h"
-#include "cqa/base/value.h"
-#include "cqa/query/schema.h"
-
 namespace cqa {
 
-namespace {
-
-// One fact rendered as an unambiguous byte string: each value spelling
-// length-prefixed (a value may contain any byte, including the separator
-// of a naive join). Lexicographic order on these renderings sorts first by
-// the key prefix, so sorting yields the block-ordered canonical form.
-std::string RenderFact(const Tuple& fact) {
-  std::string out;
-  for (Value v : fact) {
-    const std::string& name = v.name();
-    uint64_t len = name.size();
-    for (int i = 0; i < 8; ++i) {
-      out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
-    }
-    out += name;
-  }
-  return out;
-}
-
-}  // namespace
-
 DbFingerprint FingerprintDatabase(const Database& db) {
-  // Relations in name order, not registration order: two loads that
-  // discovered relations in different orders must agree.
-  std::vector<const RelationSchema*> rels;
-  rels.reserve(db.schema().relations().size());
-  for (const RelationSchema& r : db.schema().relations()) rels.push_back(&r);
-  std::sort(rels.begin(), rels.end(),
-            [](const RelationSchema* a, const RelationSchema* b) {
-              return SymbolName(a->name) < SymbolName(b->name);
-            });
-
-  Hash128 h;
-  h.UpdateU64(rels.size());
-  for (const RelationSchema* r : rels) {
-    h.UpdateSized(SymbolName(r->name));
-    h.UpdateU64(static_cast<uint64_t>(r->arity));
-    h.UpdateU64(static_cast<uint64_t>(r->key_len));
-
-    std::vector<std::string> facts;
-    facts.reserve(db.NumFacts(r->name));
-    for (const Tuple& fact : db.FactsOf(r->name)) {
-      facts.push_back(RenderFact(fact));
-    }
-    std::sort(facts.begin(), facts.end());
-    h.UpdateU64(facts.size());
-    for (const std::string& f : facts) h.UpdateSized(f);
-  }
-
-  Hash128::Digest d = h.Finish();
+  // The canonical hashing (relations in name order, facts rendered
+  // length-prefixed and sorted) lives in `Database::ContentDigest`, which
+  // memoizes it per instance — repeated lookups against an unchanged
+  // database never rehash the facts.
+  auto [hi, lo] = db.ContentDigest();
   DbFingerprint fp;
-  fp.hi = d.hi;
-  fp.lo = d.lo;
+  fp.hi = hi;
+  fp.lo = lo;
   return fp;
 }
 

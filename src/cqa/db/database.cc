@@ -4,6 +4,7 @@
 #include <cassert>
 #include <set>
 
+#include "cqa/base/hash.h"
 #include "cqa/query/parser.h"
 
 namespace cqa {
@@ -226,6 +227,69 @@ bool Database::IsConsistent() const {
     if (b.size() > 1) return false;
   }
   return true;
+}
+
+namespace {
+
+// One fact rendered as an unambiguous byte string: each value spelling
+// length-prefixed (a value may contain any byte, including the separator
+// of a naive join). Lexicographic order on these renderings sorts first by
+// the key prefix, so sorting yields the block-ordered canonical form.
+std::string RenderFact(const Tuple& fact) {
+  std::string out;
+  for (Value v : fact) {
+    const std::string& name = v.name();
+    uint64_t len = name.size();
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    }
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::pair<uint64_t, uint64_t> Database::ContentDigest() const {
+  if (!digest_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(digest_mu_);
+    if (!digest_valid_.load(std::memory_order_relaxed)) {
+      // Relations in name order, not registration order: two loads that
+      // discovered relations in different orders must agree.
+      std::vector<const RelationSchema*> rels;
+      rels.reserve(schema_.relations().size());
+      for (const RelationSchema& r : schema_.relations()) rels.push_back(&r);
+      std::sort(rels.begin(), rels.end(),
+                [](const RelationSchema* a, const RelationSchema* b) {
+                  return SymbolName(a->name) < SymbolName(b->name);
+                });
+
+      Hash128 h;
+      h.UpdateU64(rels.size());
+      for (const RelationSchema* r : rels) {
+        h.UpdateSized(SymbolName(r->name));
+        h.UpdateU64(static_cast<uint64_t>(r->arity));
+        h.UpdateU64(static_cast<uint64_t>(r->key_len));
+
+        std::vector<std::string> rendered;
+        rendered.reserve(NumFacts(r->name));
+        for (const Tuple& fact : FactsOf(r->name)) {
+          rendered.push_back(RenderFact(fact));
+        }
+        std::sort(rendered.begin(), rendered.end());
+        h.UpdateU64(rendered.size());
+        for (const std::string& f : rendered) h.UpdateSized(f);
+      }
+
+      Hash128::Digest d = h.Finish();
+      digest_hi_ = d.hi;
+      digest_lo_ = d.lo;
+      digest_valid_.store(true, std::memory_order_release);
+    }
+  }
+  // The release store above (or the one a concurrent computer made before
+  // our acquire load succeeded) publishes the digest words.
+  return {digest_hi_, digest_lo_};
 }
 
 uint64_t Database::CountRepairs(uint64_t cap) const {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cqa/base/result.h"
@@ -149,6 +150,13 @@ class Database : public FactView {
   /// True iff every block is a singleton.
   bool IsConsistent() const;
 
+  /// 128-bit content digest over the canonical fact form (relations in name
+  /// order, facts sorted; the value `FingerprintDatabase` wraps). Memoized
+  /// under the same double-checked pattern as the block index — computed at
+  /// most once per instance between mutations — so per-request cache paths
+  /// never rehash an unchanged database. Thread-safe for const access.
+  std::pair<uint64_t, uint64_t> ContentDigest() const;
+
   /// Number of repairs = product of block sizes, capped at `cap`.
   uint64_t CountRepairs(uint64_t cap = UINT64_MAX) const;
 
@@ -166,6 +174,7 @@ class Database : public FactView {
 
   void InvalidateBlocks() {
     blocks_valid_.store(false, std::memory_order_release);
+    digest_valid_.store(false, std::memory_order_release);
   }
   /// Double-checked rebuild of the lazy block index; safe to call from
   /// concurrent const readers.
@@ -187,6 +196,15 @@ class Database : public FactView {
   mutable std::unordered_map<Symbol,
                              std::unordered_map<Tuple, int, TupleHash>>
       block_by_key_;
+
+  // Lazily computed content digest, published like the block index: the
+  // digest words are written under `digest_mu_` before the release store of
+  // `digest_valid_`. A separate mutex so an O(n log n) digest computation
+  // never blocks block-index readers.
+  mutable std::mutex digest_mu_;
+  mutable std::atomic<bool> digest_valid_{false};
+  mutable uint64_t digest_hi_ = 0;
+  mutable uint64_t digest_lo_ = 0;
 };
 
 }  // namespace cqa

@@ -1,0 +1,96 @@
+#ifndef CQA_REGISTRY_DATABASE_REGISTRY_H_
+#define CQA_REGISTRY_DATABASE_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cqa/base/result.h"
+#include "cqa/cache/fingerprint.h"
+#include "cqa/db/database.h"
+
+namespace cqa {
+
+/// A named, refcounted catalogue of immutable database instances. One
+/// registry backs one serving process: `attach` takes ownership of a
+/// database (freezing it — the registry only ever hands out
+/// `shared_ptr<const Database>`), precomputes its block index and content
+/// fingerprint so no request pays for either, and `detach` releases the
+/// registry's reference — the instance itself lives until the last
+/// in-flight solve drops its own reference, so detach never invalidates
+/// running work.
+///
+/// The first attached instance becomes the *default*: lookups with an
+/// empty name resolve to it, which is how solve frames without a `"db"`
+/// field keep their pre-registry semantics. Detaching the default leaves
+/// the registry default-less (empty-name lookups fail) until the next
+/// attach, which claims the vacancy.
+///
+/// Thread-safe; all methods may be called concurrently. The registry does
+/// not know about worker shards — `ShardedSolveService` layers those on
+/// top and keeps the two in lockstep.
+class DatabaseRegistry {
+ public:
+  /// One catalogue row, as a value snapshot (safe to hold across detach).
+  struct Entry {
+    std::string name;
+    std::shared_ptr<const Database> db;
+    DbFingerprint fingerprint;
+    bool is_default = false;
+    /// `shared_ptr::use_count()` at snapshot time: 1 means only the
+    /// registry holds it; more means solves (or a snapshot holder) do.
+    /// Observability only — inherently racy, never used for decisions.
+    long use_count = 0;
+  };
+
+  /// Instance names are operator-facing identifiers, not free text:
+  /// 1–64 characters from [A-Za-z0-9_.-]. (Empty is reserved for "the
+  /// default" in lookups and therefore not attachable.)
+  static bool ValidName(const std::string& name);
+
+  /// Attaches `db` under `name`, precomputing its block index and content
+  /// fingerprint. Fails with `kUnsupported` on an invalid or duplicate
+  /// name. The first successful attach (or the first after the default was
+  /// detached) becomes the default instance.
+  Result<std::shared_ptr<const Database>> Attach(
+      const std::string& name, std::shared_ptr<const Database> db);
+  Result<std::shared_ptr<const Database>> Attach(const std::string& name,
+                                                 Database db);
+
+  /// Releases the registry's reference to `name`. Fails with
+  /// `kUnsupported` when the name is unknown. Returns the detached
+  /// instance so the caller can keep it alive through its own drain.
+  Result<std::shared_ptr<const Database>> Detach(const std::string& name);
+
+  /// Looks up an instance; the empty name resolves to the default. Fails
+  /// with `kDetached` for unknown names (the instance is not attached —
+  /// whether it never was or was detached is indistinguishable here) and
+  /// for an empty name when no default exists.
+  Result<Entry> Get(const std::string& name) const;
+
+  /// All attached instances, sorted by name.
+  std::vector<Entry> List() const;
+
+  /// The current default instance's name; empty when none.
+  std::string DefaultName() const;
+
+  size_t Size() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<const Database> db;
+    DbFingerprint fingerprint;
+  };
+
+  Entry EntryFor(const std::string& name, const Slot& slot) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Slot> slots_;
+  std::string default_name_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_REGISTRY_DATABASE_REGISTRY_H_

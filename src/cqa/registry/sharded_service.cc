@@ -1,0 +1,249 @@
+#include "cqa/registry/sharded_service.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace cqa {
+
+ShardedSolveService::ShardedSolveService(ShardedServiceOptions options)
+    : options_(std::move(options)) {}
+
+ShardedSolveService::~ShardedSolveService() {
+  Shutdown(std::chrono::milliseconds(0));
+}
+
+Result<DatabaseRegistry::Entry> ShardedSolveService::Attach(
+    const std::string& name, std::shared_ptr<const Database> db) {
+  using R = Result<DatabaseRegistry::Entry>;
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return R::Error(ErrorCode::kOverloaded,
+                    "registry is shutting down; attach refused");
+  }
+  // The registry is the arbiter of names: a duplicate or invalid name
+  // fails here before any worker thread is spawned. It also pays for the
+  // block index + fingerprint precomputation.
+  Result<std::shared_ptr<const Database>> attached = registry_.Attach(name, db);
+  if (!attached.ok()) return R::Error(attached);
+  auto shard = std::make_shared<Shard>();
+  shard->name = name;
+  shard->db = *attached;
+  shard->service = std::make_unique<SolveService>(options_.shard);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The registry rejected duplicates, so this insert cannot collide.
+    shards_.emplace(name, std::move(shard));
+  }
+  return registry_.Get(name);
+}
+
+Result<DatabaseRegistry::Entry> ShardedSolveService::Attach(
+    const std::string& name, Database db) {
+  return Attach(name, std::make_shared<const Database>(std::move(db)));
+}
+
+Result<DetachOutcome> ShardedSolveService::Detach(const std::string& name) {
+  using R = Result<DetachOutcome>;
+  ShardPtr shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shards_.find(name);
+    if (it == shards_.end()) {
+      return R::Error(ErrorCode::kUnsupported,
+                      "database '" + name + "' is not attached");
+    }
+    shard = it->second;
+  }
+  if (shard->detaching.exchange(true, std::memory_order_acq_rel)) {
+    return R::Error(ErrorCode::kUnsupported,
+                    "detach of '" + name + "' is already in progress");
+  }
+  // From here on new submissions fail-fast with kDetached. Order matters:
+  // shed the queued backlog first (typed kDetached, not a silent drop),
+  // then let the in-flight solves finish inside the drain window. The
+  // shard stays in the map throughout so Cancel keeps working on the
+  // survivors; the registry keeps its reference until the drain is over,
+  // so no running solve ever observes the database disappearing.
+  DetachOutcome out;
+  out.shed = shard->service->ShedQueued(
+      ErrorCode::kDetached,
+      "database '" + name + "' detached while the request was queued");
+  out.drained = shard->service->Shutdown(options_.detach_drain);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.erase(name);
+  }
+  registry_.Detach(name);
+  return out;
+}
+
+Result<ShardedSolveService::ShardPtr> ShardedSolveService::ResolveShard(
+    const std::string& db_name) const {
+  using R = Result<ShardPtr>;
+  std::string name = db_name;
+  if (name.empty()) {
+    name = registry_.DefaultName();
+    if (name.empty()) {
+      return R::Error(ErrorCode::kDetached, "no default database attached");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shards_.find(name);
+  if (it == shards_.end()) {
+    return R::Error(ErrorCode::kDetached,
+                    "database '" + name + "' is not attached");
+  }
+  if (it->second->detaching.load(std::memory_order_acquire)) {
+    return R::Error(ErrorCode::kDetached,
+                    "database '" + name + "' is detaching");
+  }
+  return it->second;
+}
+
+Result<uint64_t> ShardedSolveService::Submit(const std::string& db_name,
+                                             ServeJob job, Callback callback,
+                                             std::string* resolved_name) {
+  Result<ShardPtr> shard = ResolveShard(db_name);
+  if (!shard.ok()) return Result<uint64_t>::Error(shard);
+  job.db = (*shard)->db;
+  if (resolved_name != nullptr) *resolved_name = (*shard)->name;
+  Result<uint64_t> id =
+      (*shard)->service->Submit(std::move(job), std::move(callback));
+  if (!id.ok() && id.code() == ErrorCode::kOverloaded &&
+      (*shard)->detaching.load(std::memory_order_acquire)) {
+    // Raced with Detach: the shard refused admission because its service
+    // began shutting down. Surface the cause, not the mechanism.
+    return Result<uint64_t>::Error(
+        ErrorCode::kDetached,
+        "database '" + (*shard)->name + "' is detaching");
+  }
+  return id;
+}
+
+bool ShardedSolveService::Cancel(const std::string& db_name, uint64_t id) {
+  ShardPtr shard;
+  {
+    std::string name = db_name;
+    if (name.empty()) name = registry_.DefaultName();
+    if (name.empty()) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shards_.find(name);
+    if (it == shards_.end()) return false;
+    // Deliberately no detaching check: cancelling a survivor of a
+    // detaching shard shortens the drain.
+    shard = it->second;
+  }
+  return shard->service->Cancel(id);
+}
+
+void ShardedSolveService::CancelAll() {
+  std::vector<ShardPtr> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards.reserve(shards_.size());
+    for (auto& [name, shard] : shards_) shards.push_back(shard);
+  }
+  for (ShardPtr& shard : shards) shard->service->CancelAll();
+}
+
+bool ShardedSolveService::Shutdown(std::chrono::milliseconds drain_deadline) {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shutdown_done_) return drained_result_;
+  accepting_.store(false, std::memory_order_release);
+  std::vector<ShardPtr> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards.reserve(shards_.size());
+    for (auto& [name, shard] : shards_) shards.push_back(shard);
+  }
+  // Drain shards concurrently: the slowest shard bounds the wall clock.
+  // Shards stay in the map (their services answer Stats after shutdown);
+  // a concurrent Detach simply finds an already-shut service and drains
+  // nothing.
+  std::atomic<bool> all_drained{true};
+  std::vector<std::thread> drains;
+  drains.reserve(shards.size());
+  for (ShardPtr& shard : shards) {
+    drains.emplace_back([&all_drained, shard, drain_deadline] {
+      if (!shard->service->Shutdown(drain_deadline)) {
+        all_drained.store(false, std::memory_order_release);
+      }
+    });
+  }
+  for (std::thread& t : drains) t.join();
+  shutdown_done_ = true;
+  drained_result_ = all_drained.load(std::memory_order_acquire);
+  return drained_result_;
+}
+
+ServiceStats ShardedSolveService::Stats() const {
+  ServiceStats total;
+  for (const auto& [name, stats] : StatsPerDb()) {
+    total.submitted += stats.submitted;
+    total.accepted += stats.accepted;
+    total.shed += stats.shed;
+    total.completed += stats.completed;
+    total.failed += stats.failed;
+    total.cancelled += stats.cancelled;
+    total.retries += stats.retries;
+    total.degraded += stats.degraded;
+    total.inflight += stats.inflight;
+    total.cache_hits += stats.cache_hits;
+    total.cache_misses += stats.cache_misses;
+    total.cache_coalesced += stats.cache_coalesced;
+    total.cache_bypass += stats.cache_bypass;
+    total.cache_entries += stats.cache_entries;
+    total.cache_evictions += stats.cache_evictions;
+    total.latency_count += stats.latency_count;
+    // Percentiles of a union of samples cannot be reconstructed from the
+    // shards' percentiles; report the elementwise worst shard — exact with
+    // one shard, a conservative (pessimistic) bound otherwise.
+    total.latency_p50_us = std::max(total.latency_p50_us, stats.latency_p50_us);
+    total.latency_p90_us = std::max(total.latency_p90_us, stats.latency_p90_us);
+    total.latency_p99_us = std::max(total.latency_p99_us, stats.latency_p99_us);
+    total.latency_max_us = std::max(total.latency_max_us, stats.latency_max_us);
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, ServiceStats>>
+ShardedSolveService::StatsPerDb() const {
+  std::vector<std::pair<std::string, ShardPtr>> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards.reserve(shards_.size());
+    for (const auto& [name, shard] : shards_) shards.emplace_back(name, shard);
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::string, ServiceStats>> out;
+  out.reserve(shards.size());
+  for (auto& [name, shard] : shards) {
+    out.emplace_back(name, shard->service->Stats());
+  }
+  return out;
+}
+
+Result<ServiceStats> ShardedSolveService::StatsFor(
+    const std::string& db_name) const {
+  std::string name = db_name;
+  if (name.empty()) {
+    name = registry_.DefaultName();
+    if (name.empty()) {
+      return Result<ServiceStats>::Error(ErrorCode::kDetached,
+                                         "no default database attached");
+    }
+  }
+  ShardPtr shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shards_.find(name);
+    if (it == shards_.end()) {
+      return Result<ServiceStats>::Error(
+          ErrorCode::kDetached, "database '" + name + "' is not attached");
+    }
+    shard = it->second;
+  }
+  return shard->service->Stats();
+}
+
+}  // namespace cqa

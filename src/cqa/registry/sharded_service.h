@@ -1,0 +1,150 @@
+#ifndef CQA_REGISTRY_SHARDED_SERVICE_H_
+#define CQA_REGISTRY_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cqa/base/result.h"
+#include "cqa/db/database.h"
+#include "cqa/registry/database_registry.h"
+#include "cqa/serve/service.h"
+#include "cqa/serve/stats.h"
+
+namespace cqa {
+
+struct ShardedServiceOptions {
+  /// Options applied to every shard's `SolveService` — in particular
+  /// `shard.workers` is the per-database worker count (`--shard-workers`)
+  /// and `shard.cache_entries` sizes each shard's own result cache.
+  /// Queue, EDF discipline, retries, backoff, and coalescing are all
+  /// per-shard: a saturated shard sheds and backlogs alone.
+  ServiceOptions shard;
+  /// How long `Detach` lets the shard's in-flight solves finish before
+  /// force-cancelling them (queued requests are always shed immediately
+  /// with `kDetached`, never drained).
+  std::chrono::milliseconds detach_drain{5000};
+};
+
+/// What `Detach` did: how many queued requests were shed with `kDetached`,
+/// and whether every in-flight solve finished inside the drain window
+/// (false means the stragglers were force-cancelled).
+struct DetachOutcome {
+  size_t shed = 0;
+  bool drained = true;
+};
+
+/// A `DatabaseRegistry` with one `SolveService` worker shard per attached
+/// database: the registry names the instances, the shards isolate them.
+/// Each attach spins up a dedicated bounded queue + worker set, so a
+/// pathological (NL-hard) workload against one database saturates only its
+/// own shard — admission control, EDF ordering, retry/backoff,
+/// cancellation, and single-flight coalescing are all per-shard, and FO
+/// traffic on a sibling shard keeps its latency.
+///
+/// Request ids are **per shard** (each `SolveService` numbers its own);
+/// callers address work as (database name, id). An empty database name
+/// resolves to the registry default, preserving the single-database
+/// protocol.
+///
+/// Lifecycle: `Detach` fail-fasts new submissions with `kDetached`, sheds
+/// the shard's queued backlog with the same code, drains in-flight solves
+/// for up to `detach_drain` (then force-cancels), and only then releases
+/// the registry's reference — in-flight work never observes the database
+/// disappearing. `Shutdown` drains every shard concurrently, so the slow
+/// shard bounds the wall clock instead of summing.
+class ShardedSolveService {
+ public:
+  using Callback = SolveService::Callback;
+
+  explicit ShardedSolveService(ShardedServiceOptions options);
+  ~ShardedSolveService();  // shuts down with a zero drain deadline
+
+  ShardedSolveService(const ShardedSolveService&) = delete;
+  ShardedSolveService& operator=(const ShardedSolveService&) = delete;
+
+  /// Attaches a database under `name` (see `DatabaseRegistry::Attach` for
+  /// name rules) and starts its worker shard. Fails with `kUnsupported` on
+  /// invalid/duplicate names, `kOverloaded` after shutdown began.
+  Result<DatabaseRegistry::Entry> Attach(const std::string& name,
+                                         std::shared_ptr<const Database> db);
+  Result<DatabaseRegistry::Entry> Attach(const std::string& name, Database db);
+
+  /// Detaches `name`: shed queued, drain in-flight, release the instance.
+  /// Fails with `kUnsupported` when the name is unknown or a detach of it
+  /// is already in progress. Blocks for up to `detach_drain`.
+  Result<DetachOutcome> Detach(const std::string& name);
+
+  /// Routes `job` to the shard of `db_name` (empty ⇒ default instance) and
+  /// submits it there; `job.db` is overwritten with the attached instance.
+  /// On success `*resolved_name` (when non-null) receives the shard's
+  /// registry name — callers must cancel against that name, not the alias
+  /// they submitted with. Fails with `kDetached` for unknown/detaching
+  /// names, `kOverloaded` when the shard's queue sheds.
+  Result<uint64_t> Submit(const std::string& db_name, ServeJob job,
+                          Callback callback,
+                          std::string* resolved_name = nullptr);
+
+  /// Cancels request `id` on the shard of `db_name` (empty ⇒ default).
+  /// False when the shard or the id is unknown or already terminal.
+  bool Cancel(const std::string& db_name, uint64_t id);
+
+  /// Cancels every request on every shard.
+  void CancelAll();
+
+  /// Stops admissions on every shard, then drains them all concurrently
+  /// within `drain_deadline`. True when every shard drained cleanly.
+  /// Idempotent.
+  bool Shutdown(std::chrono::milliseconds drain_deadline);
+
+  /// Aggregate accounting across shards: counters are summed; latency
+  /// percentiles are the elementwise worst (max) across shards — exact
+  /// when one shard exists, a conservative upper bound otherwise.
+  ServiceStats Stats() const;
+
+  /// Per-database accounting, keyed by registry name, sorted by name.
+  /// This is where operators see which instance is cold: each shard owns
+  /// its cache, so hits/misses/coalesced are inherently per-database.
+  std::vector<std::pair<std::string, ServiceStats>> StatsPerDb() const;
+
+  /// One shard's accounting; fails with `kDetached` for unknown names.
+  Result<ServiceStats> StatsFor(const std::string& db_name) const;
+
+  const DatabaseRegistry& registry() const { return registry_; }
+  const ShardedServiceOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::string name;
+    std::shared_ptr<const Database> db;
+    std::unique_ptr<SolveService> service;
+    /// Set at the start of `Detach`; submissions fail-fast from then on.
+    std::atomic<bool> detaching{false};
+  };
+  using ShardPtr = std::shared_ptr<Shard>;
+
+  /// Resolves a request's database name to its shard (empty ⇒ default).
+  Result<ShardPtr> ResolveShard(const std::string& db_name) const;
+
+  ShardedServiceOptions options_;
+  DatabaseRegistry registry_;
+
+  std::atomic<bool> accepting_{true};
+
+  mutable std::mutex mu_;  // guards shards_
+  std::unordered_map<std::string, ShardPtr> shards_;
+
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;
+  bool drained_result_ = true;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_REGISTRY_SHARDED_SERVICE_H_

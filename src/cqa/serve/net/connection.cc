@@ -32,12 +32,10 @@ void DaemonStatsCollector::OnConnectionClosed(CloseReason reason) {
   }
 }
 
-Connection::Connection(Socket socket, SolveService* service,
-                       std::shared_ptr<const Database> db,
+Connection::Connection(Socket socket, ShardedSolveService* service,
                        ConnectionOptions options, DaemonStatsCollector* stats)
     : socket_(std::move(socket)),
       service_(service),
-      db_(std::move(db)),
       options_(options),
       stats_(stats),
       decoder_(options.max_frame_bytes) {}
@@ -103,15 +101,15 @@ void Connection::Abort(CloseReason reason) {
 }
 
 void Connection::CancelOutstanding() {
-  std::vector<uint64_t> ids;
+  std::vector<InflightSolve> solves;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
-    ids.reserve(inflight_.size());
-    for (const auto& [client_id, service_id] : inflight_) {
-      ids.push_back(service_id);
-    }
+    solves.reserve(inflight_.size());
+    for (const auto& [client_id, solve] : inflight_) solves.push_back(solve);
   }
-  for (uint64_t id : ids) service_->Cancel(id);
+  for (const InflightSolve& solve : solves) {
+    service_->Cancel(solve.db, solve.service_id);
+  }
 }
 
 void Connection::ReaderLoop() {
@@ -203,21 +201,22 @@ void Connection::HandleFrame(const std::string& frame) {
       EnqueueFromReader(EncodeHealthFrame(decoded->id, draining_.load()));
       return;
     case WireRequestType::kStats:
-      EnqueueFromReader(
-          EncodeStatsFrame(decoded->id, service_->Stats(), stats_->Snapshot()));
+      EnqueueFromReader(EncodeStatsFrame(decoded->id, service_->Stats(),
+                                         stats_->Snapshot(),
+                                         service_->StatsPerDb()));
       return;
     case WireRequestType::kCancel: {
-      uint64_t service_id = 0;
+      InflightSolve solve;
       bool found = false;
       {
         std::lock_guard<std::mutex> lock(inflight_mu_);
         auto it = inflight_.find(decoded->target);
         if (it != inflight_.end()) {
           found = true;
-          service_id = it->second;
+          solve = it->second;
         }
       }
-      if (found) found = service_->Cancel(service_id);
+      if (found) found = service_->Cancel(solve.db, solve.service_id);
       EnqueueFromReader(
           EncodeCancelAckFrame(decoded->id, decoded->target, found));
       return;
@@ -225,7 +224,84 @@ void Connection::HandleFrame(const std::string& frame) {
     case WireRequestType::kSolve:
       HandleSolve(std::move(*decoded));
       return;
+    case WireRequestType::kAttach:
+      HandleAttach(*decoded);
+      return;
+    case WireRequestType::kDetach:
+      HandleDetach(*decoded);
+      return;
+    case WireRequestType::kList:
+      HandleList(*decoded);
+      return;
   }
+}
+
+namespace {
+
+WireDbEntry ToWireEntry(const DatabaseRegistry::Entry& entry) {
+  WireDbEntry e;
+  e.name = entry.name;
+  e.fingerprint = entry.fingerprint.ToHex();
+  e.facts = entry.db->NumFacts();
+  e.blocks = entry.db->NumBlocks();
+  e.is_default = entry.is_default;
+  return e;
+}
+
+}  // namespace
+
+void Connection::HandleAttach(const WireRequest& request) {
+  if (draining_.load()) {
+    EnqueueFromReader(EncodeErrorFrame(
+        request.id, ErrorCode::kOverloaded,
+        "daemon is draining; not accepting admin frames"));
+    return;
+  }
+  Result<Database> db = Database::FromText(request.facts);
+  if (!db.ok()) {
+    // Like an unparsable query: a request-level failure of a well-formed
+    // frame, answered with a typed error, no garbage strike.
+    EnqueueFromReader(EncodeErrorFrame(request.id, db.code(),
+                                       "facts: " + db.error()));
+    return;
+  }
+  Result<DatabaseRegistry::Entry> attached =
+      service_->Attach(request.name, std::move(*db));
+  if (!attached.ok()) {
+    EnqueueFromReader(
+        EncodeErrorFrame(request.id, attached.code(), attached.error()));
+    return;
+  }
+  stats_->OnDatabaseAttached();
+  EnqueueFromReader(EncodeAttachAckFrame(request.id, ToWireEntry(*attached)));
+}
+
+void Connection::HandleDetach(const WireRequest& request) {
+  if (draining_.load()) {
+    EnqueueFromReader(EncodeErrorFrame(
+        request.id, ErrorCode::kOverloaded,
+        "daemon is draining; not accepting admin frames"));
+    return;
+  }
+  // Blocks this reader through the shard's drain; the ack reports what the
+  // drain did. Solve terminals never wait on a reader, so this cannot
+  // deadlock — and other connections keep serving meanwhile.
+  Result<DetachOutcome> out = service_->Detach(request.name);
+  if (!out.ok()) {
+    EnqueueFromReader(EncodeErrorFrame(request.id, out.code(), out.error()));
+    return;
+  }
+  stats_->OnDatabaseDetached();
+  EnqueueFromReader(EncodeDetachAckFrame(request.id, request.name, out->shed,
+                                         out->drained));
+}
+
+void Connection::HandleList(const WireRequest& request) {
+  std::vector<WireDbEntry> entries;
+  for (const DatabaseRegistry::Entry& entry : service_->registry().List()) {
+    entries.push_back(ToWireEntry(entry));
+  }
+  EnqueueFromReader(EncodeDbListFrame(request.id, entries));
 }
 
 void Connection::HandleSolve(WireRequest request) {
@@ -248,9 +324,9 @@ void Connection::HandleSolve(WireRequest request) {
       reject = Reject::kNone;
       // Pre-insert before Submit so the terminal callback — which can fire
       // on a worker thread before Submit even returns — always finds the
-      // entry to erase. The placeholder service id is fixed up below; only
-      // this reader thread reads the map until then.
-      inflight_.emplace(id, 0);
+      // entry to erase. The placeholder shard/service id is fixed up
+      // below; only this reader thread reads the map until then.
+      inflight_.emplace(id, InflightSolve{});
     }
   }
   if (reject == Reject::kDuplicate) {
@@ -284,7 +360,9 @@ void Connection::HandleSolve(WireRequest request) {
     return;
   }
 
-  ServeJob job(std::move(*query), db_);
+  // The shard's database is filled in by the sharded service when the
+  // frame's "db" name (empty ⇒ default instance) resolves.
+  ServeJob job(std::move(*query), nullptr);
   if (request.timeout_ms) {
     job.timeout = std::chrono::milliseconds(*request.timeout_ms);
   }
@@ -299,16 +377,23 @@ void Connection::HandleSolve(WireRequest request) {
   job.cache = request.cache_bypass ? CachePolicy::kBypass : CachePolicy::kDefault;
 
   auto self = shared_from_this();
+  std::string resolved_db;
   Result<uint64_t> submitted = service_->Submit(
-      std::move(job), [self, id](const ServeResponse& response) {
+      request.db, std::move(job),
+      [self, id](const ServeResponse& response) {
         self->SolveCallback(id, response);
-      });
+      },
+      &resolved_db);
   if (!submitted.ok()) {
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
       inflight_.erase(id);
     }
-    stats_->OnSolveRejectedOverloaded();
+    if (submitted.code() == ErrorCode::kDetached) {
+      stats_->OnSolveRejectedDetached();
+    } else {
+      stats_->OnSolveRejectedOverloaded();
+    }
     EnqueueFromReader(EncodeErrorFrame(id, submitted.code(), submitted.error()));
     return;
   }
@@ -318,7 +403,10 @@ void Connection::HandleSolve(WireRequest request) {
     auto it = inflight_.find(id);
     // Absent means the terminal callback already fired and erased the
     // pre-inserted entry; do not resurrect it.
-    if (it != inflight_.end()) it->second = *submitted;
+    if (it != inflight_.end()) {
+      it->second.db = resolved_db;
+      it->second.service_id = *submitted;
+    }
   }
 }
 

@@ -13,7 +13,7 @@
 #include <unordered_map>
 
 #include "cqa/base/net.h"
-#include "cqa/db/database.h"
+#include "cqa/registry/sharded_service.h"
 #include "cqa/serve/net/framing.h"
 #include "cqa/serve/net/protocol.h"
 #include "cqa/serve/service.h"
@@ -64,18 +64,25 @@ enum class CloseReason {
 class DaemonStatsCollector;
 
 /// One accepted client connection: a reader thread that decodes frames and
-/// bridges solve requests into the `SolveService`, and a writer thread
-/// that owns all socket writes. Worker callbacks only enqueue response
-/// frames (never block, never touch the socket), so a slow or dead client
-/// cannot stall the solve workers. The connection guarantees exactly one
-/// terminal frame (result / typed error / cancellation notice) per decoded
-/// solve frame for as long as the socket lives, and cancels every
-/// outstanding request the moment the client disconnects.
+/// bridges solve requests into the sharded solve service (routing by the
+/// frame's `"db"` field), and a writer thread that owns all socket writes.
+/// Worker callbacks only enqueue response frames (never block, never touch
+/// the socket), so a slow or dead client cannot stall the solve workers.
+/// The connection guarantees exactly one terminal frame (result / typed
+/// error / cancellation notice) per decoded solve frame for as long as the
+/// socket lives, and cancels every outstanding request the moment the
+/// client disconnects.
+///
+/// Admin frames (`attach`, `detach`, `list`) execute synchronously on the
+/// reader thread: an attach pays the block-index + fingerprint precompute
+/// and a detach blocks through its shard's drain before the ack is
+/// enqueued — backpressure by design (one admin client cannot flood the
+/// registry), and deadlock-free because solve terminals only enqueue to
+/// writer queues, never wait on a reader.
 class Connection : public std::enable_shared_from_this<Connection> {
  public:
-  Connection(Socket socket, SolveService* service,
-             std::shared_ptr<const Database> db, ConnectionOptions options,
-             DaemonStatsCollector* stats);
+  Connection(Socket socket, ShardedSolveService* service,
+             ConnectionOptions options, DaemonStatsCollector* stats);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -109,6 +116,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void WriterLoop();
   void HandleFrame(const std::string& frame);
   void HandleSolve(WireRequest request);
+  void HandleAttach(const WireRequest& request);
+  void HandleDetach(const WireRequest& request);
+  void HandleList(const WireRequest& request);
   void SolveCallback(uint64_t client_id, const ServeResponse& response);
 
   /// Worker-side enqueue of a response payload (framed here): never
@@ -133,8 +143,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void CancelOutstanding();
 
   Socket socket_;
-  SolveService* const service_;
-  const std::shared_ptr<const Database> db_;
+  ShardedSolveService* const service_;
   const ConnectionOptions options_;
   DaemonStatsCollector* const stats_;
 
@@ -150,9 +159,16 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool out_closed_ = false;     // socket dead: drop further frames
   bool out_finishing_ = false;  // flush what is queued, then exit
 
-  // client id -> service request id for every admitted, unterminated solve.
+  // Where an admitted, unterminated solve lives: request ids are per
+  // shard, so a solve is addressed by (resolved registry name, service
+  // id) — both fixed up after Submit returns (the placeholder {., 0} can
+  // never cancel anything: shard ids start at 1).
+  struct InflightSolve {
+    std::string db;
+    uint64_t service_id = 0;
+  };
   std::mutex inflight_mu_;
-  std::unordered_map<uint64_t, uint64_t> inflight_;
+  std::unordered_map<uint64_t, InflightSolve> inflight_;
 
   // Reader-only state.
   FrameDecoder decoder_;

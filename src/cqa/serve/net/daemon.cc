@@ -1,6 +1,7 @@
 #include "cqa/serve/net/daemon.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 #include "cqa/serve/net/framing.h"
@@ -8,11 +9,37 @@
 
 namespace cqa {
 
+namespace {
+
+ShardedServiceOptions ShardedOptionsFor(const DaemonOptions& options) {
+  ShardedServiceOptions sharded;
+  sharded.shard = options.service;
+  sharded.detach_drain = options.detach_drain;
+  return sharded;
+}
+
+}  // namespace
+
+SolveDaemon::SolveDaemon(DaemonOptions options)
+    : options_(std::move(options)),
+      service_(
+          std::make_unique<ShardedSolveService>(ShardedOptionsFor(options_))) {}
+
 SolveDaemon::SolveDaemon(std::shared_ptr<const Database> db,
                          DaemonOptions options)
-    : db_(std::move(db)),
-      options_(std::move(options)),
-      service_(std::make_unique<SolveService>(options_.service)) {}
+    : SolveDaemon(std::move(options)) {
+  // First attach: this database becomes the registry default, so solve
+  // frames without a "db" field keep their single-database semantics.
+  Result<DatabaseRegistry::Entry> attached =
+      service_->Attach(kDefaultDbName, std::move(db));
+  assert(attached.ok());
+  (void)attached;
+}
+
+Result<DatabaseRegistry::Entry> SolveDaemon::Attach(
+    const std::string& name, std::shared_ptr<const Database> db) {
+  return service_->Attach(name, std::move(db));
+}
 
 SolveDaemon::~SolveDaemon() { Shutdown(std::chrono::milliseconds(0)); }
 
@@ -62,7 +89,7 @@ void SolveDaemon::AcceptLoop() {
       continue;  // Socket closes via RAII.
     }
     auto conn = std::make_shared<Connection>(std::move(accepted.value()),
-                                             service_.get(), db_,
+                                             service_.get(),
                                              options_.connection, &stats_);
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
@@ -112,9 +139,9 @@ bool SolveDaemon::Shutdown(std::chrono::milliseconds drain_deadline) {
   // of draining() never race a solve into the closing service.
   draining_.store(true);
 
-  // 3. Drain the service. On return every accepted request has delivered
-  // its terminal callback, i.e. every response frame is queued on its
-  // connection's writer.
+  // 3. Drain every shard, concurrently. On return every accepted request
+  // has delivered its terminal callback, i.e. every response frame is
+  // queued on its connection's writer.
   bool drained = service_ ? service_->Shutdown(drain_deadline) : true;
 
   // 4. Let writers flush, bounded by the flush deadline, then force-close.

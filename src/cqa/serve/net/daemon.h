@@ -8,11 +8,13 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cqa/base/net.h"
 #include "cqa/base/result.h"
 #include "cqa/db/database.h"
+#include "cqa/registry/sharded_service.h"
 #include "cqa/serve/net/connection.h"
 #include "cqa/serve/net/daemon_stats.h"
 #include "cqa/serve/service.h"
@@ -27,26 +29,42 @@ struct DaemonOptions {
   /// Hard cap on simultaneously open connections; excess clients get a
   /// fatal `overloaded` error frame and an immediate close.
   size_t max_connections = 256;
-  /// Worker pool, queue discipline, timeouts, retries (see service.h).
+  /// Per-shard worker pool, queue discipline, timeouts, retries (see
+  /// service.h): every attached database gets its own `SolveService`
+  /// built from these options.
   ServiceOptions service;
   /// Per-connection fault handling (see connection.h).
   ConnectionOptions connection;
   /// During `Shutdown`, the budget for writers to flush already-queued
   /// response frames after the service itself has drained.
   std::chrono::milliseconds flush_deadline{2'000};
+  /// In-flight drain budget of a `detach` admin frame (see
+  /// ShardedServiceOptions::detach_drain).
+  std::chrono::milliseconds detach_drain{5'000};
 };
 
-/// TCP front-end for `SolveService`: accepts connections, speaks the
-/// newline-delimited JSON protocol (protocol.h), and mirrors the service's
-/// lifecycle guarantees on the wire — exactly one terminal frame per
-/// accepted solve frame, typed error frames for overload and malformed
+/// TCP front-end for the sharded solve service: accepts connections,
+/// speaks the newline-delimited JSON protocol (protocol.h), routes solve
+/// frames to per-database worker shards by their `"db"` field, serves the
+/// registry admin frames (`attach`/`detach`/`list`), and mirrors the
+/// service's lifecycle guarantees on the wire — exactly one terminal frame
+/// per accepted solve frame, typed error frames for overload and malformed
 /// input, cancellation of everything a disconnected client left behind,
-/// and graceful drain on shutdown.
+/// and graceful drain of every shard on shutdown.
 class SolveDaemon {
  public:
-  /// `db` is the database served to every connection; it must stay
-  /// immutable for the daemon's lifetime.
+  /// The registry name the single-database constructor attaches its
+  /// database under (solve frames without `"db"` reach it as the default).
+  static constexpr const char* kDefaultDbName = "default";
+
+  /// Starts with one attached database (named `kDefaultDbName`, the
+  /// registry default) — the single-database protocol unchanged. The
+  /// database must stay immutable for the daemon's lifetime.
   SolveDaemon(std::shared_ptr<const Database> db, DaemonOptions options);
+  /// Starts with an empty registry; call `Attach` (or let clients send
+  /// attach frames) to add instances. Solve frames without `"db"` fail
+  /// with `kDetached` until a first database is attached.
+  explicit SolveDaemon(DaemonOptions options);
   ~SolveDaemon();  // Shutdown with a zero drain deadline if still running
 
   SolveDaemon(const SolveDaemon&) = delete;
@@ -71,18 +89,29 @@ class SolveDaemon {
 
   bool draining() const { return draining_.load(); }
 
+  /// Attaches a database from the daemon side (CLI startup flags); the
+  /// first attach becomes the registry default.
+  Result<DatabaseRegistry::Entry> Attach(const std::string& name,
+                                         std::shared_ptr<const Database> db);
+
+  /// Cross-shard aggregate (counters summed; latency percentiles are the
+  /// worst shard's — exact when one database is attached).
   ServiceStats service_stats() const { return service_->Stats(); }
+  /// Per-database accounting, keyed by registry name.
+  std::vector<std::pair<std::string, ServiceStats>> stats_per_db() const {
+    return service_->StatsPerDb();
+  }
   DaemonStats daemon_stats() const { return stats_.Snapshot(); }
+  const DatabaseRegistry& registry() const { return service_->registry(); }
 
  private:
   void AcceptLoop();
   /// Joins and drops connections whose threads have exited.
   void ReapFinished();
 
-  const std::shared_ptr<const Database> db_;
   const DaemonOptions options_;
   DaemonStatsCollector stats_;
-  std::unique_ptr<SolveService> service_;
+  std::unique_ptr<ShardedSolveService> service_;
 
   Socket listener_;
   uint16_t port_ = 0;

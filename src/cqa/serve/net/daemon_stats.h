@@ -43,6 +43,21 @@ class DaemonStatsCollector {
     ++stats_.solves_rejected_overloaded;
   }
 
+  void OnSolveRejectedDetached() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.solves_rejected_detached;
+  }
+
+  void OnDatabaseAttached() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.databases_attached;
+  }
+
+  void OnDatabaseDetached() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.databases_detached;
+  }
+
   DaemonStats Snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;

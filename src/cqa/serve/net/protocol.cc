@@ -85,6 +85,35 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
       return ParseError("cancel requires a non-negative integer 'target'");
     }
     request.target = static_cast<uint64_t>(target->AsInt());
+    const Json* db = object.Find("db");
+    if (db != nullptr) {
+      if (!db->is_string()) return ParseError("field 'db' must be a string");
+      request.db = db->AsString();
+    }
+    return request;
+  }
+  if (type_name == "list") {
+    request.type = WireRequestType::kList;
+    return request;
+  }
+  if (type_name == "attach" || type_name == "detach") {
+    request.type = type_name == "attach" ? WireRequestType::kAttach
+                                         : WireRequestType::kDetach;
+    if (object.Find("id") == nullptr) {
+      return ParseError(type_name + " requires an 'id'");
+    }
+    const Json* name = object.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return ParseError(type_name + " requires a string 'name'");
+    }
+    request.name = name->AsString();
+    if (request.type == WireRequestType::kAttach) {
+      const Json* facts = object.Find("facts");
+      if (facts == nullptr || !facts->is_string()) {
+        return ParseError("attach requires a string 'facts'");
+      }
+      request.facts = facts->AsString();
+    }
     return request;
   }
   if (type_name != "solve") {
@@ -101,6 +130,12 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
     return ParseError("solve requires a string 'query'");
   }
   request.query = query->AsString();
+
+  const Json* db = object.Find("db");
+  if (db != nullptr) {
+    if (!db->is_string()) return ParseError("field 'db' must be a string");
+    request.db = db->AsString();
+  }
 
   uint64_t timeout_ms = 0;
   if (object.Find("timeout_ms") != nullptr) {
@@ -194,30 +229,48 @@ std::string EncodeHealthFrame(uint64_t id, bool draining) {
       .Serialize();
 }
 
-std::string EncodeStatsFrame(uint64_t id, const ServiceStats& service,
-                             const DaemonStats& daemon) {
-  Json service_json = JsonObjectBuilder()
-                          .Set("submitted", service.submitted)
-                          .Set("accepted", service.accepted)
-                          .Set("shed", service.shed)
-                          .Set("completed", service.completed)
-                          .Set("failed", service.failed)
-                          .Set("cancelled", service.cancelled)
-                          .Set("retries", service.retries)
-                          .Set("degraded", service.degraded)
-                          .Set("inflight", service.inflight)
-                          .Set("cache_hits", service.cache_hits)
-                          .Set("cache_misses", service.cache_misses)
-                          .Set("cache_coalesced", service.cache_coalesced)
-                          .Set("cache_bypass", service.cache_bypass)
-                          .Set("cache_entries", service.cache_entries)
-                          .Set("cache_evictions", service.cache_evictions)
-                          .Set("latency_count", service.latency_count)
-                          .Set("latency_p50_us", service.latency_p50_us)
-                          .Set("latency_p90_us", service.latency_p90_us)
-                          .Set("latency_p99_us", service.latency_p99_us)
-                          .Set("latency_max_us", service.latency_max_us)
-                          .Build();
+namespace {
+
+Json ServiceStatsJson(const ServiceStats& service) {
+  return JsonObjectBuilder()
+      .Set("submitted", service.submitted)
+      .Set("accepted", service.accepted)
+      .Set("shed", service.shed)
+      .Set("completed", service.completed)
+      .Set("failed", service.failed)
+      .Set("cancelled", service.cancelled)
+      .Set("retries", service.retries)
+      .Set("degraded", service.degraded)
+      .Set("inflight", service.inflight)
+      .Set("cache_hits", service.cache_hits)
+      .Set("cache_misses", service.cache_misses)
+      .Set("cache_coalesced", service.cache_coalesced)
+      .Set("cache_bypass", service.cache_bypass)
+      .Set("cache_entries", service.cache_entries)
+      .Set("cache_evictions", service.cache_evictions)
+      .Set("latency_count", service.latency_count)
+      .Set("latency_p50_us", service.latency_p50_us)
+      .Set("latency_p90_us", service.latency_p90_us)
+      .Set("latency_p99_us", service.latency_p99_us)
+      .Set("latency_max_us", service.latency_max_us)
+      .Build();
+}
+
+Json DbEntryJson(const WireDbEntry& entry) {
+  return JsonObjectBuilder()
+      .Set("name", entry.name)
+      .Set("fingerprint", entry.fingerprint)
+      .Set("facts", entry.facts)
+      .Set("blocks", entry.blocks)
+      .Set("default", entry.is_default)
+      .Build();
+}
+
+}  // namespace
+
+std::string EncodeStatsFrame(
+    uint64_t id, const ServiceStats& service, const DaemonStats& daemon,
+    const std::vector<std::pair<std::string, ServiceStats>>& per_db) {
   Json daemon_json =
       JsonObjectBuilder()
           .Set("connections_opened", daemon.connections_opened)
@@ -234,12 +287,66 @@ std::string EncodeStatsFrame(uint64_t id, const ServiceStats& service,
                daemon.solves_rejected_inflight_cap)
           .Set("solves_rejected_overloaded",
                daemon.solves_rejected_overloaded)
+          .Set("databases_attached", daemon.databases_attached)
+          .Set("databases_detached", daemon.databases_detached)
+          .Set("solves_rejected_detached", daemon.solves_rejected_detached)
           .Build();
-  return JsonObjectBuilder()
-      .Set("type", "stats")
+  JsonObjectBuilder frame;
+  frame.Set("type", "stats")
       .Set("id", id)
-      .Set("service", std::move(service_json))
-      .Set("daemon", std::move(daemon_json))
+      .Set("service", ServiceStatsJson(service))
+      .Set("daemon", std::move(daemon_json));
+  if (!per_db.empty()) {
+    // Per-instance breakdown, keyed by registry name: each shard owns its
+    // cache, so an operator reads cold instances straight off this map.
+    JsonObjectBuilder databases;
+    for (const auto& [name, stats] : per_db) {
+      databases.Set(name, ServiceStatsJson(stats));
+    }
+    frame.Set("databases", databases.Build());
+  }
+  return frame.Build().Serialize();
+}
+
+std::string EncodeAttachAckFrame(uint64_t id, const WireDbEntry& entry) {
+  return JsonObjectBuilder()
+      .Set("type", "attach_ack")
+      .Set("id", id)
+      .Set("name", entry.name)
+      .Set("fingerprint", entry.fingerprint)
+      .Set("facts", entry.facts)
+      .Set("blocks", entry.blocks)
+      .Set("default", entry.is_default)
+      .Build()
+      .Serialize();
+}
+
+std::string EncodeDetachAckFrame(uint64_t id, const std::string& name,
+                                 uint64_t shed, bool drained) {
+  return JsonObjectBuilder()
+      .Set("type", "detach_ack")
+      .Set("id", id)
+      .Set("name", name)
+      .Set("shed", shed)
+      .Set("drained", drained)
+      .Build()
+      .Serialize();
+}
+
+std::string EncodeDbListFrame(uint64_t id,
+                              const std::vector<WireDbEntry>& entries) {
+  Json::Array list;
+  list.reserve(entries.size());
+  std::string default_name;
+  for (const WireDbEntry& entry : entries) {
+    if (entry.is_default) default_name = entry.name;
+    list.push_back(DbEntryJson(entry));
+  }
+  return JsonObjectBuilder()
+      .Set("type", "db_list")
+      .Set("id", id)
+      .Set("default", default_name)
+      .Set("databases", Json::MakeArray(std::move(list)))
       .Build()
       .Serialize();
 }

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cqa/base/budget.h"
 #include "cqa/base/result.h"
@@ -19,19 +21,32 @@ namespace cqa {
 /// One JSON object per newline-delimited frame, in both directions.
 ///
 /// Requests: {"type":"solve","id":N,"query":"...",...}, plus "health",
-/// "stats" and "cancel". Responses echo the client-chosen id; every
-/// accepted solve receives exactly one terminal frame ("result", "error"
-/// or "cancelled").
+/// "stats" and "cancel", and the registry admin frames "attach", "detach"
+/// and "list". Responses echo the client-chosen id; every accepted solve
+/// receives exactly one terminal frame ("result", "error" or "cancelled").
 
-enum class WireRequestType { kSolve, kHealth, kStats, kCancel };
+enum class WireRequestType {
+  kSolve,
+  kHealth,
+  kStats,
+  kCancel,
+  kAttach,
+  kDetach,
+  kList,
+};
 
 struct WireRequest {
   WireRequestType type = WireRequestType::kHealth;
-  /// Client-chosen correlation id; required for solve and cancel.
+  /// Client-chosen correlation id; required for solve, cancel, attach and
+  /// detach.
   uint64_t id = 0;
 
   // --- solve fields ---
   std::string query;
+  /// Registry name of the database to solve against; empty (the field
+  /// absent) routes to the daemon's default instance — the pre-registry
+  /// protocol unchanged.
+  std::string db;
   /// Per-request wall-clock budget; absent inherits the daemon default.
   std::optional<uint64_t> timeout_ms;
   uint64_t max_steps = UINT64_MAX;
@@ -52,6 +67,13 @@ struct WireRequest {
   // --- cancel fields ---
   /// The id of the in-flight solve to cancel.
   uint64_t target = 0;
+
+  // --- attach / detach fields ---
+  /// Registry name to attach or detach (see DatabaseRegistry::ValidName).
+  std::string name;
+  /// Inline fact text in the `ParseFacts` grammar; the attached database
+  /// is built from it (the daemon never reads files on behalf of clients).
+  std::string facts;
 };
 
 /// Parses `--method=`-style names shared by the CLI and the wire protocol.
@@ -78,6 +100,19 @@ struct DaemonStats {
   uint64_t solves_admitted = 0;
   uint64_t solves_rejected_inflight_cap = 0;
   uint64_t solves_rejected_overloaded = 0;  // service queue shed or draining
+  // Registry admin accounting.
+  uint64_t databases_attached = 0;
+  uint64_t databases_detached = 0;
+  uint64_t solves_rejected_detached = 0;  // unknown or detaching "db"
+};
+
+/// One attached instance as reported by db_list frames and attach acks.
+struct WireDbEntry {
+  std::string name;
+  std::string fingerprint;  // 32 hex chars (DbFingerprint::ToHex)
+  uint64_t facts = 0;
+  uint64_t blocks = 0;
+  bool is_default = false;
 };
 
 // --- response encoders (daemon side) ---
@@ -88,9 +123,18 @@ std::string EncodeErrorFrame(std::optional<uint64_t> id, ErrorCode code,
                              const std::string& message, bool fatal = false);
 std::string EncodeCancelledFrame(uint64_t id, const std::string& message);
 std::string EncodeHealthFrame(uint64_t id, bool draining);
-std::string EncodeStatsFrame(uint64_t id, const ServiceStats& service,
-                             const DaemonStats& daemon);
+/// `per_db` breaks the service counters out per attached database (keyed
+/// by registry name) under a "databases" object, so operators can see
+/// which instance is cold; `service` stays the cross-shard aggregate.
+std::string EncodeStatsFrame(
+    uint64_t id, const ServiceStats& service, const DaemonStats& daemon,
+    const std::vector<std::pair<std::string, ServiceStats>>& per_db = {});
 std::string EncodeCancelAckFrame(uint64_t id, uint64_t target, bool found);
+std::string EncodeAttachAckFrame(uint64_t id, const WireDbEntry& entry);
+std::string EncodeDetachAckFrame(uint64_t id, const std::string& name,
+                                 uint64_t shed, bool drained);
+std::string EncodeDbListFrame(uint64_t id,
+                              const std::vector<WireDbEntry>& entries);
 
 // --- response decoding (client side) ---
 

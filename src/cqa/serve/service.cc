@@ -63,7 +63,9 @@ Result<uint64_t> SolveService::Submit(ServeJob job, Callback callback) {
     use_cache = false;
   }
   if (use_cache) {
-    req->cache_key = MakeCacheKey(FingerprintFor(req->job.db),
+    // `FingerprintDatabase` rides the database's own memoized digest, so
+    // this is a hash-map hit after the first lookup per instance.
+    req->cache_key = MakeCacheKey(FingerprintDatabase(*req->job.db),
                                   req->job.method, req->job.query);
   }
   {
@@ -140,19 +142,6 @@ void SolveService::AbandonLeadership(const RequestPtr& req) {
   }
 }
 
-DbFingerprint SolveService::FingerprintFor(
-    const std::shared_ptr<const Database>& db) {
-  std::lock_guard<std::mutex> lock(fp_mu_);
-  for (auto it = fp_memo_.begin(); it != fp_memo_.end();) {
-    it = it->first.expired() ? fp_memo_.erase(it) : std::next(it);
-  }
-  auto it = fp_memo_.find(db);
-  if (it != fp_memo_.end()) return it->second;
-  DbFingerprint fp = FingerprintDatabase(*db);
-  fp_memo_.emplace(std::weak_ptr<const Database>(db), fp);
-  return fp;
-}
-
 bool SolveService::Cancel(uint64_t id) {
   std::shared_ptr<std::atomic<bool>> token;
   {
@@ -211,6 +200,24 @@ bool SolveService::Shutdown(std::chrono::milliseconds drain_deadline) {
   shutdown_done_ = true;
   drained_result_ = drained;
   return drained;
+}
+
+size_t SolveService::ShedQueued(ErrorCode code, const std::string& message) {
+  size_t shed = 0;
+  for (RequestPtr& req : queue_.DrainNow()) {
+    // Shedding a flight leader promotes a follower (Finish returns it);
+    // shed the promotion chain too instead of re-enqueueing into a queue
+    // we are emptying on purpose.
+    RequestPtr next = Finish(req, /*started=*/false, RequestState::kCompleted,
+                             Result<SolveReport>::Error(code, message));
+    ++shed;
+    while (next != nullptr) {
+      next = Finish(next, /*started=*/false, RequestState::kCompleted,
+                    Result<SolveReport>::Error(code, message));
+      ++shed;
+    }
+  }
+  return shed;
 }
 
 void SolveService::WorkerLoop(int worker_index) {
@@ -282,7 +289,7 @@ SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
     sopts.degrade_to_sampling = req->job.degrade_to_sampling;
     sopts.max_samples = req->job.max_samples;
     if (warm != nullptr) {
-      warm->BindDatabase(FingerprintFor(req->job.db));
+      warm->BindDatabase(FingerprintDatabase(*req->job.db));
       sopts.warm = warm;
     }
     Result<SolveReport> result =

@@ -7,7 +7,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -223,6 +222,15 @@ class SolveService {
   /// serialize.
   bool Shutdown(std::chrono::milliseconds drain_deadline);
 
+  /// Sheds every request still *queued* (not yet popped by a worker),
+  /// delivering each a terminal `kCompleted` response carrying the given
+  /// typed error; coalesced followers promoted by a shed flight leader are
+  /// shed too (never stranded, never enqueued). In-flight requests are
+  /// untouched. Returns the number of requests shed. Used by the registry
+  /// layer's detach drain: queued work for a detaching database terminates
+  /// with `kDetached` instead of occupying the drain window.
+  size_t ShedQueued(ErrorCode code, const std::string& message);
+
   /// Aggregate accounting (cache counters folded in when a cache is
   /// configured); callable at any time, including after shutdown.
   ServiceStats Stats() const;
@@ -280,9 +288,6 @@ class SolveService {
   /// a follower that joined in the window (re-enqueueing it) or dissolves
   /// the flight.
   void AbandonLeadership(const RequestPtr& req);
-  /// The database fingerprint, memoized per instance (computed once at
-  /// load for the daemon's single database).
-  DbFingerprint FingerprintFor(const std::shared_ptr<const Database>& db);
   /// Sleeps for `delay`, interruptible by shutdown or the request's cancel
   /// token; true when the full delay elapsed (retry may proceed).
   bool WaitBackoff(std::chrono::milliseconds delay,
@@ -293,12 +298,6 @@ class SolveService {
   StatsCollector stats_;
   std::unique_ptr<ResultCache> cache_;
   SingleFlight<RequestPtr, Budget::Clock::time_point> flights_;
-
-  /// Fingerprint memo keyed by owner identity (control block), so a
-  /// recycled allocation address can never alias a different database.
-  std::mutex fp_mu_;
-  std::map<std::weak_ptr<const Database>, DbFingerprint, std::owner_less<>>
-      fp_memo_;
 
   std::atomic<uint64_t> next_id_{1};
   std::atomic<bool> accepting_{true};

@@ -457,6 +457,195 @@ TEST(DaemonTest, DrainingDaemonRejectsNewSolvesButAnswersHealth) {
   EXPECT_FALSE(r.ok()) << "daemon closed the connection on shutdown";
 }
 
+// ---------------------------------------------------------------------------
+// Multi-database registry over the wire
+
+// Two databases that disagree on the same query: with
+//   q = R(x | y), not S(y | x)
+// database A (the fixture default) answers not-certain — the repair that
+// keeps R(a | b) must avoid S(b | a), but S(b | a) is A's only S-block, so
+// it survives every repair. Database B's lone S-fact S(z | z) never blocks
+// an R-match, so B answers certain.
+constexpr char kDbBFacts[] = "R(a | b), R(a | c)\nS(z | z)";
+constexpr char kDifferentialQuery[] = "R(x | y), not S(y | x)";
+
+std::string SolveFrameFor(uint64_t id, const std::string& query,
+                          const std::string& db) {
+  JsonObjectBuilder b;
+  b.Set("type", "solve").Set("id", id).Set("query", query);
+  if (!db.empty()) b.Set("db", db);
+  return b.Build().Serialize();
+}
+
+TEST(DaemonMultiDbTest, SolvesRouteByDbField) {
+  DaemonFixture f;
+  ASSERT_TRUE(f.daemon->Attach("b", Db(kDbBFacts)).ok());
+
+  // No "db" field: exactly the single-database behavior.
+  ASSERT_TRUE(f.Send(SolveFrameFor(1, kDifferentialQuery, "")).ok());
+  // Explicitly the default instance's name.
+  ASSERT_TRUE(
+      f.Send(SolveFrameFor(2, kDifferentialQuery,
+                           SolveDaemon::kDefaultDbName)).ok());
+  // The second instance, which disagrees.
+  ASSERT_TRUE(f.Send(SolveFrameFor(3, kDifferentialQuery, "b")).ok());
+  // An instance that was never attached.
+  ASSERT_TRUE(f.Send(SolveFrameFor(4, kDifferentialQuery, "ghost")).ok());
+
+  Result<WireResponse> none = f.client.WaitTerminal(1, kIo);
+  ASSERT_TRUE(none.ok()) << none.error();
+  EXPECT_EQ(none->verdict, "not-certain");
+  Result<WireResponse> def = f.client.WaitTerminal(2, kIo);
+  ASSERT_TRUE(def.ok()) << def.error();
+  EXPECT_EQ(def->verdict, "not-certain");
+  Result<WireResponse> other = f.client.WaitTerminal(3, kIo);
+  ASSERT_TRUE(other.ok()) << other.error();
+  EXPECT_EQ(other->verdict, "certain")
+      << "solve must run against the named instance, not the default";
+  Result<WireResponse> ghost = f.client.WaitTerminal(4, kIo);
+  ASSERT_TRUE(ghost.ok()) << ghost.error();
+  EXPECT_EQ(ghost->type, "error");
+  EXPECT_EQ(ghost->code, "detached");
+}
+
+TEST(DaemonMultiDbTest, AttachListDetachOverTheWire) {
+  DaemonFixture f;
+
+  // The fixture database is attached under "default" and is the default.
+  ASSERT_TRUE(f.Send(R"({"type":"list","id":1})").ok());
+  Result<WireResponse> before = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(before.ok()) << before.error();
+  EXPECT_EQ(before->type, "db_list");
+  EXPECT_EQ(before->raw.Find("default")->AsString(), "default");
+  ASSERT_EQ(before->raw.Find("databases")->AsArray().size(), 1u);
+
+  // Attach ships the facts inline; the ack reports the precomputed shape.
+  JsonObjectBuilder attach;
+  attach.Set("type", "attach").Set("id", uint64_t{2}).Set("name", "b");
+  attach.Set("facts", kDbBFacts);
+  ASSERT_TRUE(f.Send(attach.Build().Serialize()).ok());
+  Result<WireResponse> ack = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(ack.ok()) << ack.error();
+  ASSERT_EQ(ack->type, "attach_ack") << ack->raw.Serialize();
+  EXPECT_EQ(ack->raw.Find("name")->AsString(), "b");
+  EXPECT_EQ(ack->raw.Find("facts")->AsInt(), 3);
+  EXPECT_EQ(ack->raw.Find("blocks")->AsInt(), 2);
+  EXPECT_FALSE(ack->raw.Find("default")->AsBool());
+  EXPECT_EQ(ack->raw.Find("fingerprint")->AsString().size(), 32u);
+
+  ASSERT_TRUE(f.Send(R"({"type":"list","id":3})").ok());
+  Result<WireResponse> after = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(after.ok()) << after.error();
+  ASSERT_EQ(after->raw.Find("databases")->AsArray().size(), 2u);
+
+  // The attached instance serves immediately.
+  ASSERT_TRUE(f.Send(SolveFrameFor(4, kDifferentialQuery, "b")).ok());
+  Result<WireResponse> solved = f.client.WaitTerminal(4, kIo);
+  ASSERT_TRUE(solved.ok()) << solved.error();
+  EXPECT_EQ(solved->verdict, "certain");
+
+  // Detach acks only after its shard drained; nothing was queued.
+  ASSERT_TRUE(f.Send(R"({"type":"detach","id":5,"name":"b"})").ok());
+  Result<WireResponse> detached = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(detached.ok()) << detached.error();
+  ASSERT_EQ(detached->type, "detach_ack") << detached->raw.Serialize();
+  EXPECT_EQ(detached->raw.Find("name")->AsString(), "b");
+  EXPECT_EQ(detached->raw.Find("shed")->AsInt(), 0);
+  EXPECT_TRUE(detached->raw.Find("drained")->AsBool());
+
+  // Solves against it now fail typed; the default keeps serving.
+  ASSERT_TRUE(f.Send(SolveFrameFor(6, kDifferentialQuery, "b")).ok());
+  Result<WireResponse> gone = f.client.WaitTerminal(6, kIo);
+  ASSERT_TRUE(gone.ok()) << gone.error();
+  EXPECT_EQ(gone->type, "error");
+  EXPECT_EQ(gone->code, "detached");
+  ASSERT_TRUE(f.Send(SolveFrameFor(7, "R(x | y)", "")).ok());
+  Result<WireResponse> still = f.client.WaitTerminal(7, kIo);
+  ASSERT_TRUE(still.ok()) << still.error();
+  EXPECT_EQ(still->verdict, "certain");
+}
+
+TEST(DaemonMultiDbTest, AdminFramesFailTyped) {
+  DaemonFixture f;
+  struct Case {
+    const char* frame;
+    const char* code;
+  } cases[] = {
+      // Unknown instance.
+      {R"({"type":"detach","id":1,"name":"ghost"})", "unsupported"},
+      // Duplicate name.
+      {R"js({"type":"attach","id":2,"name":"default","facts":"R(a | b)"})js",
+       "unsupported"},
+      // Invalid name (slash is outside the operator-facing alphabet).
+      {R"js({"type":"attach","id":3,"name":"no/slash","facts":"R(a | b)"})js",
+       "unsupported"},
+      // Facts that do not parse reject the attach, not the connection.
+      {R"js({"type":"attach","id":4,"name":"bad","facts":"R(a |"})js",
+       "parse"},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(f.Send(c.frame).ok());
+    Result<WireResponse> err = f.client.ReadResponse(kIo);
+    ASSERT_TRUE(err.ok()) << c.frame << ": " << err.error();
+    EXPECT_EQ(err->type, "error") << c.frame;
+    EXPECT_EQ(err->code, c.code) << c.frame;
+    EXPECT_FALSE(err->fatal) << c.frame;
+  }
+  // A failed attach leaves no trace; the registry still has one instance.
+  ASSERT_TRUE(f.Send(R"({"type":"list","id":9})").ok());
+  Result<WireResponse> list = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(list.ok()) << list.error();
+  EXPECT_EQ(list->raw.Find("databases")->AsArray().size(), 1u);
+  EXPECT_EQ(f.daemon->daemon_stats().frames_garbage, 0u)
+      << "typed admin failures of well-formed frames are not wire garbage";
+  // Admin frames missing their required fields fail wire decode, though —
+  // same rules as any other malformed frame.
+  ASSERT_TRUE(f.Send(R"({"type":"attach","id":5})").ok());
+  Result<WireResponse> malformed = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(malformed.ok()) << malformed.error();
+  EXPECT_EQ(malformed->type, "error");
+  EXPECT_EQ(malformed->code, "parse");
+  EXPECT_EQ(f.daemon->daemon_stats().frames_garbage, 1u);
+}
+
+TEST(DaemonMultiDbTest, StatsBreakOutPerDatabase) {
+  DaemonOptions options;
+  options.service.cache_entries = 128;  // library default is cache-off
+  DaemonFixture f(options);
+  ASSERT_TRUE(f.daemon->Attach("b", Db(kDbBFacts)).ok());
+  // Same query twice on the default shard (second is a cache hit), once on
+  // the other shard (its own cache, so a miss there).
+  ASSERT_TRUE(f.Send(SolveFrameFor(1, "R(x | y)", "")).ok());
+  ASSERT_TRUE(f.client.WaitTerminal(1, kIo).ok());
+  ASSERT_TRUE(f.Send(SolveFrameFor(2, "R(x | y)", "")).ok());
+  ASSERT_TRUE(f.client.WaitTerminal(2, kIo).ok());
+  ASSERT_TRUE(f.Send(SolveFrameFor(3, "R(x | y)", "b")).ok());
+  ASSERT_TRUE(f.client.WaitTerminal(3, kIo).ok());
+
+  ASSERT_TRUE(f.Send(R"({"type":"stats","id":4})").ok());
+  Result<WireResponse> stats = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  const Json* dbs = stats->raw.Find("databases");
+  ASSERT_NE(dbs, nullptr) << stats->raw.Serialize();
+  const Json* def = dbs->Find(SolveDaemon::kDefaultDbName);
+  const Json* other = dbs->Find("b");
+  ASSERT_NE(def, nullptr);
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(def->Find("completed")->AsInt(), 2);
+  EXPECT_EQ(def->Find("cache_hits")->AsInt(), 1);
+  EXPECT_EQ(def->Find("cache_misses")->AsInt(), 1);
+  EXPECT_EQ(other->Find("completed")->AsInt(), 1);
+  EXPECT_EQ(other->Find("cache_hits")->AsInt(), 0)
+      << "shards must not share cache entries";
+  EXPECT_EQ(other->Find("cache_misses")->AsInt(), 1);
+  // The aggregate view still carries the summed counters.
+  const Json* service = stats->raw.Find("service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->Find("completed")->AsInt(), 3);
+  EXPECT_EQ(service->Find("cache_hits")->AsInt(), 1)
+      << stats->raw.Serialize();
+}
+
 TEST(DaemonTest, StartFailsCleanlyOnAddressInUse) {
   DaemonOptions options;
   DaemonFixture f(options);

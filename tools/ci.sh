@@ -4,19 +4,24 @@
 # `concurrency` — the serve, daemon and governor threading tests), then a
 # live end-to-end smoke of the network daemon: start it, run solves through
 # the CLI client, SIGTERM it, and assert a clean drain and exit code. A
-# final cache smoke runs the same job twice against a fresh daemon and
-# asserts the repeat was answered from the result cache (stats frame).
+# cache smoke runs the same job twice against a fresh daemon and asserts
+# the repeat was answered from the result cache (stats frame). The multidb
+# smoke serves two databases from one daemon, routes solves by the frame's
+# "db" field (contradictory verdicts prove isolation), exercises the
+# attach/detach/list admin surface over the wire, and drains both shards
+# on SIGTERM.
 #
-#   tools/ci.sh            # all five stages
+#   tools/ci.sh            # all six stages
 #   tools/ci.sh tier1      # just the tier-1 stage
 #   tools/ci.sh asan tsan  # just the sanitizer stages
 #   tools/ci.sh daemon     # just the daemon smoke (needs a tier-1 build)
 #   tools/ci.sh cache      # just the cache smoke (needs a tier-1 build)
+#   tools/ci.sh multidb    # just the multidb smoke (needs a tier-1 build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb)
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -121,6 +126,78 @@ cache_smoke() {
   echo "==== [cache] OK (repeat served from cache: 1 hit, 1 miss)"
 }
 
+# Multi-database smoke against the tier-1 build: one daemon, two attached
+# databases with contradictory verdicts on the same query text, routed by
+# the solve frame's "db" field. Also round-trips the attach/detach/list
+# admin surface over the wire and asserts SIGTERM drains every shard.
+multidb_smoke() {
+  local cli=build/tools/cqa_cli
+  [ -x "$cli" ] || { echo "multidb smoke needs a tier-1 build ($cli)"; exit 2; }
+  local work; work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  # The differential pair: identical query text, opposite verdicts.
+  printf 'R(a | b), R(a | c)\nS(b | a)\n' > "$work/facts_a"
+  printf 'R(a | b), R(a | c)\nS(z | z)\n' > "$work/facts_b"
+  printf 'R(x | y), not S(y | x)\n' > "$work/job"
+
+  echo "==== [multidb] start daemon with two databases"
+  "$cli" serve --listen=127.0.0.1:0 --shard-workers=2 \
+      --db=a="$work/facts_a" --db=b="$work/facts_b" \
+      > "$work/daemon.log" 2>&1 &
+  local daemon_pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$work/daemon.log")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon never reported its address"; cat "$work/daemon.log"; exit 1
+  fi
+
+  echo "==== [multidb] contradictory verdicts route by db via $addr"
+  "$cli" client "$addr" --db=a --jobs="$work/job" > "$work/a.out"
+  grep -q '^\[1\] not-certain' "$work/a.out"
+  "$cli" client "$addr" --db=b --jobs="$work/job" > "$work/b.out"
+  grep -q '^\[1\] certain' "$work/b.out"
+  # No "db" field falls back to the default instance (first attached).
+  "$cli" client "$addr" --jobs="$work/job" > "$work/default.out"
+  grep -q '^\[1\] not-certain' "$work/default.out"
+
+  echo "==== [multidb] attach/detach/list round trip"
+  "$cli" admin "$addr" list > "$work/list1.out"
+  grep -q '"name":"a"' "$work/list1.out"
+  grep -q '"name":"b"' "$work/list1.out"
+  "$cli" admin "$addr" attach c "$work/facts_b" > "$work/attach.out"
+  grep -q '"type":"attach_ack"' "$work/attach.out"
+  "$cli" client "$addr" --db=c --jobs="$work/job" > "$work/c.out"
+  grep -q '^\[1\] certain' "$work/c.out"
+  "$cli" admin "$addr" detach c > "$work/detach.out"
+  grep -q '"type":"detach_ack"' "$work/detach.out"
+  grep -q '"drained":true' "$work/detach.out"
+  # Solves for a detached instance fail typed, and the siblings still serve.
+  if "$cli" client "$addr" --db=c --jobs="$work/job" > "$work/gone.out"; then
+    echo "solve against a detached database should fail"; exit 1
+  fi
+  grep -q 'detached' "$work/gone.out"
+  "$cli" client "$addr" --db=b --jobs="$work/job" | grep -q '^\[1\] certain'
+  "$cli" client "$addr" --stats > "$work/stats.out"
+  grep -q '"databases_attached":1' "$work/stats.out"
+  grep -q '"databases_detached":1' "$work/stats.out"
+
+  echo "==== [multidb] SIGTERM drains every shard"
+  kill -TERM "$daemon_pid"
+  local rc=0
+  wait "$daemon_pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "daemon exited $rc (expected 0: clean drain)"
+    cat "$work/daemon.log"; exit 1
+  fi
+  grep -q 'draining' "$work/daemon.log"
+  echo "==== [multidb] OK (per-db routing, admin round trip, clean drain)"
+}
+
 for stage in "${stages[@]}"; do
   case "$stage" in
     tier1) run_stage tier1 default default default ;;
@@ -128,7 +205,9 @@ for stage in "${stages[@]}"; do
     tsan)  run_stage tsan tsan tsan tsan ;;
     daemon) daemon_smoke ;;
     cache) cache_smoke ;;
-    *) echo "unknown stage '$stage' (want: tier1 asan tsan daemon cache)" >&2
+    multidb) multidb_smoke ;;
+    *) echo "unknown stage '$stage'" \
+            "(want: tier1 asan tsan daemon cache multidb)" >&2
        exit 2 ;;
   esac
 done

@@ -18,13 +18,18 @@
 //                    [--timeout-ms=T] [--retries=R] [--deadline-ms=S]
 //                    [--drain-ms=D] [--max-nodes=K] [--method=...]
 //                    [--cache-entries=E] [--no-cache]
-//   cqa_cli serve    db.facts --listen=HOST:PORT [--workers=N]
-//                    [--queue-cap=M] [--timeout-ms=T] [--retries=R]
-//                    [--drain-ms=D] [--max-connections=C] [--max-inflight=I]
+//   cqa_cli serve    [db.facts] --listen=HOST:PORT [--db=NAME=PATH ...]
+//                    [--shard-workers=N | --workers=N] [--queue-cap=M]
+//                    [--timeout-ms=T] [--retries=R]
+//                    [--drain-ms=D] [--detach-drain-ms=D]
+//                    [--max-connections=C] [--max-inflight=I]
 //                    [--cache-entries=E] [--no-cache]
-//   cqa_cli client   HOST:PORT [--jobs=FILE] [--timeout-ms=T]
+//   cqa_cli client   HOST:PORT [--jobs=FILE] [--db=NAME] [--timeout-ms=T]
 //                    [--max-nodes=K] [--method=...] [--cache=default|bypass]
 //                    [--health] [--stats]
+//   cqa_cli admin    HOST:PORT attach NAME FACTS_PATH
+//   cqa_cli admin    HOST:PORT detach NAME
+//   cqa_cli admin    HOST:PORT list
 //
 // Exit codes: 0 certain / probably certain / success; 1 parse or input
 // error; 2 usage; 3 resource budget exhausted; 4 cancelled; 5 not certain
@@ -77,6 +82,8 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "cqa/attack/attack_graph.h"
 #include "cqa/attack/classification.h"
@@ -126,7 +133,7 @@ int Fail(const Result<T>& r) {
 int Usage() {
   std::fprintf(stderr,
                "usage: cqa_cli <classify|rewrite|sql|dot|solve|answers|"
-               "repairs|stats|asp|evalfo|serve> ...\n"
+               "repairs|stats|asp|evalfo|serve|client|admin> ...\n"
                "(see the header of tools/cqa_cli.cc)\n");
   return 2;
 }
@@ -423,15 +430,38 @@ bool ParseHostPort(const std::string& addr, std::string* host,
 }
 
 // serve --listen: run the network daemon until SIGINT/SIGTERM, then drain.
+// Databases come from the positional path (attached under the registry
+// name "default") and/or repeatable --db=NAME=PATH flags; the first
+// attached database is the registry default for solve frames without a
+// "db" field.
 int CmdServeDaemon(int argc, char** argv, const char* db_path) {
   std::string listen = FlagValue(argc, argv, "--listen");
   DaemonOptions dopts;
   if (!ParseHostPort(listen, &dopts.host, &dopts.port)) {
     return Fail("malformed --listen address '" + listen + "'");
   }
-  Result<Database> db = LoadDatabase(db_path);
-  if (!db.ok()) return Fail(db);
-  auto shared_db = std::make_shared<const Database>(std::move(db.value()));
+
+  // The positional database path is optional once --db flags name the
+  // instances (main passes the first non-command argv either way).
+  const bool have_positional =
+      db_path != nullptr && std::strncmp(db_path, "--", 2) != 0;
+  std::vector<std::pair<std::string, std::string>> db_specs;  // name, path
+  if (have_positional) {
+    db_specs.emplace_back(SolveDaemon::kDefaultDbName, db_path);
+  }
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--db=", 5) != 0) continue;
+    std::string spec = argv[i] + 5;
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      return Fail("malformed --db spec '" + spec + "' (want --db=NAME=PATH)");
+    }
+    db_specs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+  }
+  if (db_specs.empty()) {
+    return Fail(
+        "serve --listen needs a database: a positional path or --db=NAME=PATH");
+  }
 
   struct {
     const char* name;
@@ -441,7 +471,8 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
       {"--timeout-ms", 0},       {"--retries", 0},
       {"--drain-ms", 5'000},     {"--max-connections", 256},
       {"--max-inflight", 16},    {"--idle-timeout-ms", 300'000},
-      {"--cache-entries", 4'096},
+      {"--cache-entries", 4'096}, {"--shard-workers", 4},
+      {"--detach-drain-ms", 5'000},
   };
   for (auto& flag : flags) {
     if (FlagGiven(argc, argv, flag.name) &&
@@ -450,12 +481,19 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
     }
   }
   dopts.service.workers = static_cast<int>(flags[0].value);
+  // --shard-workers is the multi-database spelling of the same knob (every
+  // attached database gets its own worker pool of this size); when both
+  // are given the shard spelling wins.
+  if (FlagGiven(argc, argv, "--shard-workers")) {
+    dopts.service.workers = static_cast<int>(flags[9].value);
+  }
   dopts.service.queue_capacity = flags[1].value;
   dopts.service.default_timeout = std::chrono::milliseconds(flags[2].value);
   dopts.service.max_retries = static_cast<int>(flags[3].value);
   dopts.max_connections = flags[5].value;
   dopts.connection.max_inflight = flags[6].value;
   dopts.connection.idle_timeout = std::chrono::milliseconds(flags[7].value);
+  dopts.detach_drain = std::chrono::milliseconds(flags[10].value);
   // Caching is on by default for the daemon (the library default is off);
   // --no-cache disables both the result cache and worker warm state.
   const bool no_cache = HasFlag(argc, argv, "--no-cache");
@@ -465,7 +503,18 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
   // Install the latch before accepting work so a signal arriving during
   // startup still drains instead of killing the process.
   SignalDrainLatch latch;
-  SolveDaemon daemon(shared_db, dopts);
+  SolveDaemon daemon(dopts);
+  for (const auto& [name, path] : db_specs) {
+    Result<Database> db = LoadDatabase(path.c_str());
+    if (!db.ok()) return Fail(db);
+    Result<DatabaseRegistry::Entry> attached = daemon.Attach(
+        name, std::make_shared<const Database>(std::move(db.value())));
+    if (!attached.ok()) return Fail(attached);
+    std::fprintf(stderr, "-- attached '%s'%s: %zu facts, %zu blocks\n",
+                 attached->name.c_str(),
+                 attached->is_default ? " (default)" : "",
+                 attached->db->NumFacts(), attached->db->NumBlocks());
+  }
   Result<bool> started = daemon.Start();
   if (!started.ok()) return Fail(started);
   std::printf("listening on %s:%u\n", dopts.host.c_str(),
@@ -548,6 +597,9 @@ int CmdClient(int argc, char** argv, const char* addr) {
   if (!cache.empty() && cache != "default" && cache != "bypass") {
     return Fail("--cache must be 'default' or 'bypass'");
   }
+  // Route every solve frame of this run to a named attached database;
+  // without it the daemon's registry default answers.
+  std::string db_name = FlagValue(argc, argv, "--db");
 
   // Pipeline all jobs, then collect a terminal frame for each; the daemon
   // answers in completion order, ids tie responses back to input lines.
@@ -572,6 +624,7 @@ int CmdClient(int argc, char** argv, const char* addr) {
     if (max_nodes != Budget::kNoStepLimit) req.Set("max_steps", max_nodes);
     if (!method.empty()) req.Set("method", method);
     if (!cache.empty()) req.Set("cache", cache);
+    if (!db_name.empty()) req.Set("db", db_name);
     Result<bool> sent = client.SendFrame(req.Build().Serialize(), io_timeout);
     if (!sent.ok()) return Fail(sent);
     ++outstanding;
@@ -597,6 +650,66 @@ int CmdClient(int argc, char** argv, const char* addr) {
     record_outcome(ClientExitCodeFor(*resp));
   }
   return worst;
+}
+
+// admin: registry management against a running daemon. The attach verb
+// reads the facts file client-side and ships its text inline — the daemon
+// never opens files on a client's behalf. Prints the daemon's ack (or
+// error) frame verbatim.
+int CmdAdmin(int argc, char** argv) {
+  if (argc < 4) {
+    return Fail("admin needs HOST:PORT and a verb (attach|detach|list)");
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(argv[2], &host, &port)) {
+    return Fail(std::string("malformed address '") + argv[2] + "'");
+  }
+  const std::string verb = argv[3];
+  JsonObjectBuilder req;
+  req.Set("id", uint64_t{1});
+  if (verb == "attach") {
+    if (argc < 6) return Fail("admin attach needs NAME and FACTS_PATH");
+    std::string text;
+    if (std::strcmp(argv[5], "-") == 0) {
+      std::stringstream buffer;
+      buffer << std::cin.rdbuf();
+      text = buffer.str();
+    } else {
+      std::ifstream in(argv[5]);
+      if (!in) {
+        return Fail(std::string("cannot open '") + argv[5] +
+                    "': " + std::strerror(errno));
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      if (in.bad()) {
+        return Fail(std::string("I/O error reading '") + argv[5] + "'");
+      }
+      text = buffer.str();
+    }
+    req.Set("type", "attach").Set("name", argv[4]).Set("facts", text);
+  } else if (verb == "detach") {
+    if (argc < 5) return Fail("admin detach needs NAME");
+    req.Set("type", "detach").Set("name", argv[4]);
+  } else if (verb == "list") {
+    req.Set("type", "list");
+  } else {
+    return Fail("unknown admin verb '" + verb + "' (want attach|detach|list)");
+  }
+
+  // A detach ack only arrives after its shard drained, so the read budget
+  // must cover the daemon's detach drain, not one round trip.
+  const auto io_timeout = std::chrono::milliseconds(30'000);
+  NetClient client;
+  Result<bool> connected = client.Connect(host, port, io_timeout);
+  if (!connected.ok()) return Fail(connected);
+  Result<bool> sent = client.SendFrame(req.Build().Serialize(), io_timeout);
+  if (!sent.ok()) return Fail(sent);
+  Result<WireResponse> resp = client.ReadResponse(io_timeout);
+  if (!resp.ok()) return Fail(resp);
+  std::printf("%s\n", resp->raw.Serialize().c_str());
+  return resp->type == "error" ? 1 : 0;
 }
 
 // Exit-severity ranks for serve mode, worst wins: ok < exhausted(3) <
@@ -785,6 +898,9 @@ int main(int argc, char** argv) {
   if (cmd == "client") {
     if (argc < 3) return Usage();
     return CmdClient(argc, argv, argv[2]);
+  }
+  if (cmd == "admin") {
+    return CmdAdmin(argc, argv);
   }
 
   if (cmd == "repairs" || cmd == "stats") {

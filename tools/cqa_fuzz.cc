@@ -153,11 +153,30 @@ std::vector<std::string> WireCorpus() {
       R"js({"type":"health","id":3})js",
       R"js({"type":"stats","id":4})js",
       R"js({"type":"cancel","id":5,"target":1})js",
+      R"js({"type":"solve","id":12,"query":"R(x | y)","db":"replica"})js",
+      R"js({"type":"cancel","id":13,"target":2,"db":"replica"})js",
+      R"js({"type":"attach","id":14,"name":"replica",)js"
+      R"js("facts":"R(a | b)\nS(b | a)"})js",
+      R"js({"type":"detach","id":15,"name":"replica"})js",
+      R"js({"type":"list","id":16})js",
   };
   corpus.push_back(EncodeErrorFrame(7, ErrorCode::kOverloaded, "busy", true));
   corpus.push_back(EncodeCancelledFrame(8, "cancelled"));
   corpus.push_back(EncodeHealthFrame(9, /*draining=*/false));
   corpus.push_back(EncodeCancelAckFrame(10, 1, true));
+  {
+    Result<Database> db = Database::FromText("R(a | b), R(a | c)\nS(b | a)");
+    WireDbEntry entry;
+    entry.name = "replica";
+    entry.fingerprint = FingerprintDatabase(db.value()).ToHex();
+    entry.facts = db->NumFacts();
+    entry.blocks = db->NumBlocks();
+    entry.is_default = false;
+    corpus.push_back(EncodeAttachAckFrame(17, entry));
+    corpus.push_back(EncodeDetachAckFrame(18, "replica", /*shed=*/3,
+                                          /*drained=*/true));
+    corpus.push_back(EncodeDbListFrame(19, {entry}));
+  }
   return corpus;
 }
 
