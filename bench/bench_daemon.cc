@@ -20,6 +20,12 @@
 //       shard (sharded, this codebase) or on the adversary's (shared, the
 //       single-pool architecture the registry replaces). Reports the
 //       victim's latency percentiles against a solo baseline.
+//   D5. Fork-isolation cost and reclaim: the same solve on the same wire
+//       path with `"isolation":"inproc"` vs `"fork"` (the fork/pipe/reap
+//       overhead a sandboxed solve pays), then the time to get a worker
+//       back from a stuck coNP solve — a cooperative budget deadline vs
+//       the supervisor's SIGKILL on a wedged child that never reaches its
+//       next probe.
 //
 // The micro-benchmark times a single socket round trip through the daemon.
 
@@ -193,9 +199,11 @@ std::string SolveFrameOn(uint64_t id, const std::string& query,
   return b.Build().Serialize();
 }
 
-// D4 modes. The database content and the victim workload are identical in
-// all three; the only variable is where the adversary's hard solves land.
-enum class IsolationMode { kSolo, kSharded, kShared };
+// D4 placement modes. The database content and the victim workload are
+// identical in all three; the only variable is where the adversary's hard
+// solves land. (Not cqa::IsolationMode — that is the sandbox's in-process
+// vs forked execution axis, measured separately in D5.)
+enum class PlacementMode { kSolo, kSharded, kShared };
 
 void TableShardIsolation() {
   std::printf(
@@ -217,18 +225,18 @@ void TableShardIsolation() {
   };
   constexpr int kRounds = 300;
   double solo_p99 = 0;
-  for (IsolationMode mode : {IsolationMode::kSolo, IsolationMode::kSharded,
-                             IsolationMode::kShared}) {
+  for (PlacementMode mode : {PlacementMode::kSolo, PlacementMode::kSharded,
+                             PlacementMode::kShared}) {
     DaemonOptions options;
     options.service.workers = 1;
     SolveDaemon daemon(options);
     if (!daemon.Attach("a", mk_db()).ok()) return;
-    if (mode == IsolationMode::kSharded && !daemon.Attach("b", mk_db()).ok()) {
+    if (mode == PlacementMode::kSharded && !daemon.Attach("b", mk_db()).ok()) {
       return;
     }
     if (!daemon.Start().ok()) return;
     const char* adversary_db =
-        mode == IsolationMode::kSharded ? "b" : "a";
+        mode == PlacementMode::kSharded ? "b" : "a";
 
     // The adversary keeps 4 hard solves pipelined on its own connection
     // for the whole measurement window, so its target shard's queue and
@@ -237,7 +245,7 @@ void TableShardIsolation() {
     // thread keeps the numbers meaningful on a single-core host too.)
     std::atomic<bool> stop{false};
     std::thread adversary;
-    if (mode != IsolationMode::kSolo) {
+    if (mode != PlacementMode::kSolo) {
       adversary = std::thread([&, adversary_db] {
         NetClient attacker;
         if (!attacker.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
@@ -274,10 +282,10 @@ void TableShardIsolation() {
 
     uint64_t hard_done = 0;
     for (const auto& [name, stats] : daemon.stats_per_db()) {
-      if (name == adversary_db && mode != IsolationMode::kSolo) {
+      if (name == adversary_db && mode != PlacementMode::kSolo) {
         // Shared mode counts victim solves too; subtract them out.
         hard_done = stats.completed -
-                    (mode == IsolationMode::kShared ? rtt_us.size() : 0);
+                    (mode == PlacementMode::kShared ? rtt_us.size() : 0);
       }
     }
     stop.store(true);
@@ -287,13 +295,95 @@ void TableShardIsolation() {
     double p50 = static_cast<double>(Percentile(&rtt_us, 0.50));
     double p90 = static_cast<double>(Percentile(&rtt_us, 0.90));
     double p99 = static_cast<double>(Percentile(&rtt_us, 0.99));
-    if (mode == IsolationMode::kSolo) solo_p99 = p99;
-    const char* label = mode == IsolationMode::kSolo      ? "solo"
-                        : mode == IsolationMode::kSharded ? "sharded"
+    if (mode == PlacementMode::kSolo) solo_p99 = p99;
+    const char* label = mode == PlacementMode::kSolo      ? "solo"
+                        : mode == PlacementMode::kSharded ? "sharded"
                                                           : "shared";
     std::printf("%-9s %-10.0f %-10.0f %-10.0f %-10.2f %llu\n", label, p50,
                 p90, p99, solo_p99 > 0 ? p99 / solo_p99 : 1.0,
                 static_cast<unsigned long long>(hard_done));
+  }
+  std::printf("\n");
+}
+
+std::string SolveFrameSandbox(uint64_t id, const std::string& query,
+                              const char* isolation, const char* method,
+                              uint64_t timeout_ms, uint64_t wedge_after) {
+  JsonObjectBuilder b;
+  b.Set("type", "solve")
+      .Set("id", id)
+      .Set("query", query)
+      .Set("cache", "bypass")
+      .Set("isolation", isolation);
+  if (method != nullptr) b.Set("method", method);
+  if (timeout_ms > 0) b.Set("timeout_ms", timeout_ms);
+  if (wedge_after > 0) b.Set("wedge_after_probes", wedge_after);
+  return b.Build().Serialize();
+}
+
+void TableSandboxOverhead() {
+  std::printf(
+      "D5. fork isolation: sandbox cost on the identical wire path (cache "
+      "bypassed,\n    same query, same single worker) — what a solve pays "
+      "for crash containment\n    — then time to reclaim a stuck coNP "
+      "solve. A cooperative deadline needs\n    the child to reach its "
+      "next budget probe; a wedged child never does, and\n    only the "
+      "supervisor's SIGKILL at deadline + grace gets the worker back:\n");
+  std::printf("%-8s %-10s %-10s %-10s\n", "mode", "p50_us", "p99_us",
+              "overhead_us(p50)");
+  double inproc_p50 = 0;
+  for (const char* mode : {"inproc", "fork"}) {
+    DaemonOptions options;
+    options.service.workers = 1;
+    SolveDaemon daemon(PollDb(40, 31), options);
+    if (!daemon.Start().ok()) return;
+    NetClient client;
+    if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+    std::string query = "Mayor(t | p), not Lives(p | t)";  // PollQ1
+    std::vector<double> rtt_us;
+    constexpr int kRounds = 200;
+    for (uint64_t id = 1; id <= kRounds; ++id) {
+      double us = benchutil::TimeUs([&] {
+        (void)client.SendFrame(SolveFrameSandbox(id, query, mode, nullptr,
+                                                 0, 0),
+                               kIo);
+        (void)client.WaitTerminal(id, kIo);
+      });
+      rtt_us.push_back(us);
+    }
+    (void)daemon.Shutdown(milliseconds(5'000));
+    double p50 = static_cast<double>(Percentile(&rtt_us, 0.50));
+    double p99 = static_cast<double>(Percentile(&rtt_us, 0.99));
+    bool is_inproc = std::string(mode) == "inproc";
+    if (is_inproc) inproc_p50 = p50;
+    std::printf("%-8s %-10.0f %-10.0f %.0f\n", mode, p50, p99,
+                is_inproc ? 0.0 : p50 - inproc_p50);
+  }
+  std::printf("%-13s %-12s %-10s %-10s\n", "stuck_mode", "timeout_ms",
+              "grace_ms", "reclaim_ms");
+  for (bool wedged : {false, true}) {
+    DaemonOptions options;
+    options.service.workers = 1;
+    options.service.sandbox.kill_grace = milliseconds(300);
+    SolveDaemon daemon(
+        std::make_shared<const Database>(PigeonholeDatabase(12)), options);
+    if (!daemon.Start().ok()) return;
+    NetClient client;
+    if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+    // PigeonholeCyclicQuery, wire spelling: exponential backtracking that
+    // blows through the 100ms deadline either cooperatively (trips its
+    // budget at the next probe) or wedged (blocks between probes forever).
+    std::string query = "R(x | y), not S(y | x), not T(x | y)";
+    double us = benchutil::TimeUs([&] {
+      (void)client.SendFrame(
+          SolveFrameSandbox(1, query, "fork", "backtracking", 100,
+                            wedged ? 1 : 0),
+          kIo);
+      (void)client.WaitTerminal(1, kIo);
+    });
+    (void)daemon.Shutdown(milliseconds(30'000));
+    std::printf("%-13s %-12d %-10d %.1f\n",
+                wedged ? "wedged" : "cooperative", 100, 300, us / 1000.0);
   }
   std::printf("\n");
 }
@@ -303,6 +393,7 @@ void Tables() {
   TableOverloadShedRate();
   TableCacheHotCold();
   TableShardIsolation();
+  TableSandboxOverhead();
 }
 
 void BM_DaemonRoundTrip(benchmark::State& state) {

@@ -1,8 +1,39 @@
 #include "cqa/base/budget.h"
 
+#include <csignal>
+#include <cstring>
 #include <string>
+#include <thread>
 
 namespace cqa {
+
+void Budget::CrashNow() {
+  // A genuine asynchronous crash, as a buggy solver would produce it. The
+  // process (or, under fork isolation, the sandbox child) dies by signal;
+  // nothing unwinds.
+  std::raise(SIGSEGV);
+  // raise of an unblocked SIGSEGV with the default disposition never
+  // returns; abort as a backstop if a test harness blocked it.
+  std::abort();
+}
+
+void Budget::WedgeNow() {
+  // Block forever *without* probing the budget again: from the governor's
+  // point of view this thread has left the cooperative protocol entirely.
+  // Sleeping (rather than spinning) keeps chaos tests with many wedged
+  // children cheap; only SIGKILL reclaims the wedge either way.
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+void Budget::HogNow() {
+  // Allocate and *touch* the chunk so it contributes real RSS, and retain
+  // it so the footprint ratchets with every probe.
+  hogged_.emplace_back();
+  hogged_.back().resize(static_cast<size_t>(hog_mb_per_probe) << 20);
+  std::memset(hogged_.back().data(), 0xAB, hogged_.back().size());
+}
 
 Budget Budget::WithTimeout(std::chrono::milliseconds timeout) {
   Budget b;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cqa/base/error.h"
 
@@ -46,6 +47,21 @@ struct Budget {
   /// fuzzer force exhaustion at every probe site in turn and prove each
   /// solver unwinds cleanly.
   uint64_t fail_after_probes = 0;
+  /// Test-only crash injection: the probe numbered `crash_after_probes`
+  /// raises SIGSEGV, simulating a solver bug mid-search. Only meaningful
+  /// under fork isolation (inproc it takes the whole process down — which
+  /// is exactly the failure mode the sandbox contains).
+  uint64_t crash_after_probes = 0;
+  /// Test-only leak injection: every probe allocates (and retains, touched)
+  /// this many MiB, simulating runaway solver memory. Under a sandbox RSS
+  /// cap the allocation eventually fails and the child exits with
+  /// `kResourceExhausted`; inproc the memory is released with the budget.
+  uint64_t hog_mb_per_probe = 0;
+  /// Test-only wedge injection: the probe numbered `wedge_after_probes`
+  /// blocks forever, simulating a solver stuck in a pathological region
+  /// *between* cooperative probes — the case only hard preemption (the
+  /// sandbox's SIGKILL after the grace window) can reclaim.
+  uint64_t wedge_after_probes = 0;
 
   Budget() = default;
 
@@ -64,6 +80,9 @@ struct Budget {
     if (fail_after_probes != 0 && steps_ >= fail_after_probes) {
       return Trip(ErrorCode::kBudgetExhausted);
     }
+    if (crash_after_probes != 0 && steps_ >= crash_after_probes) CrashNow();
+    if (wedge_after_probes != 0 && steps_ >= wedge_after_probes) WedgeNow();
+    if (hog_mb_per_probe != 0) HogNow();
     if (steps_ > max_steps) return Trip(ErrorCode::kBudgetExhausted);
     if (stride == 0 || steps_ % stride == 1 || stride == 1) return CheckNow();
     return std::nullopt;
@@ -98,8 +117,15 @@ struct Budget {
     return tripped_;
   }
 
+  // Out-of-line fault injectors (budget.cc) so the hot probe stays small.
+  [[noreturn]] static void CrashNow();
+  [[noreturn]] static void WedgeNow();
+  void HogNow();
+
   uint64_t steps_ = 0;
   std::optional<ErrorCode> tripped_;
+  /// Retained allocations of `hog_mb_per_probe` (freed with the budget).
+  std::vector<std::vector<char>> hogged_;
 };
 
 }  // namespace cqa

@@ -29,6 +29,15 @@ enum class ErrorCode {
   /// shard are shed with this code; resubmitting against a still-attached
   /// instance (or after a re-attach) can succeed.
   kDetached,
+  /// A sandboxed solve breached a hard resource cap (RSS limit): the child
+  /// process could not allocate and was terminated. Unlike
+  /// `kBudgetExhausted` this is *not* resource exhaustion in the retryable
+  /// sense — the same instance would deterministically breach again.
+  kResourceExhausted,
+  /// A sandboxed solver worker died without producing a verdict: signal
+  /// death (segfault), an unexpected exit code, or a truncated result
+  /// pipe. Deterministic re-failure is assumed; never retried.
+  kWorkerCrashed,
   /// Anything else: internal invariant failures, I/O, legacy untyped errors.
   kInternal,
 };
@@ -49,6 +58,10 @@ inline const char* ToString(ErrorCode code) {
       return "overloaded";
     case ErrorCode::kDetached:
       return "detached";
+    case ErrorCode::kResourceExhausted:
+      return "resource-exhausted";
+    case ErrorCode::kWorkerCrashed:
+      return "worker-crashed";
     case ErrorCode::kInternal:
       return "internal";
   }
@@ -58,6 +71,9 @@ inline const char* ToString(ErrorCode code) {
 /// True for the codes that mean "ran out of resources, a retry with a larger
 /// budget (or a cheaper method) could still succeed". Cancellation is *not*
 /// resource exhaustion: the caller asked to stop, degrading would be wrong.
+/// `kResourceExhausted` (a sandbox RSS-cap breach) is deliberately excluded:
+/// the cap is a property of the deployment, not the attempt, so the same
+/// solve re-fails deterministically.
 inline bool IsResourceExhaustion(ErrorCode code) {
   return code == ErrorCode::kDeadlineExceeded ||
          code == ErrorCode::kBudgetExhausted;
@@ -66,7 +82,9 @@ inline bool IsResourceExhaustion(ErrorCode code) {
 /// True for the codes a client may transparently retry: the work itself was
 /// not rejected as malformed or impossible, only the attempt was unlucky
 /// (out of budget, or shed at admission). Cancellation is deliberate and
-/// never retried.
+/// never retried; `kWorkerCrashed` and `kResourceExhausted` are
+/// deterministic re-failures (a crashing solve crashes again, a capped
+/// solve breaches again), so retrying them only multiplies the damage.
 inline bool IsRetryable(ErrorCode code) {
   return IsResourceExhaustion(code) || code == ErrorCode::kOverloaded;
 }

@@ -47,6 +47,10 @@ size_t Interner::size() const {
   return names_.size();
 }
 
+void Interner::LockForFork() { mu_.lock(); }
+
+void Interner::UnlockAfterFork() { mu_.unlock(); }
+
 Symbol InternSymbol(std::string_view s) { return Interner::Global().Intern(s); }
 
 const std::string& SymbolName(Symbol id) {

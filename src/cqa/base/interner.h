@@ -43,6 +43,15 @@ class Interner {
   /// Number of interned strings (for diagnostics).
   size_t size() const;
 
+  /// Fork safety (the sandbox supervisor's prepare/parent/child protocol):
+  /// the interner is the one process-global lock a forked solver child must
+  /// take (solvers intern fresh symbols), so the forking thread acquires it
+  /// across `fork()` — no other thread can then hold it at the fork moment —
+  /// and both sides release their copy immediately after. Unlocking in the
+  /// child is legal: the child's sole thread is the (copied) owner.
+  void LockForFork();
+  void UnlockAfterFork();
+
  private:
   Interner() = default;
 

@@ -193,6 +193,13 @@ ServiceStats ShardedSolveService::Stats() const {
     total.cache_bypass += stats.cache_bypass;
     total.cache_entries += stats.cache_entries;
     total.cache_evictions += stats.cache_evictions;
+    total.sandbox_forks += stats.sandbox_forks;
+    total.sandbox_kills += stats.sandbox_kills;
+    total.sandbox_crashes += stats.sandbox_crashes;
+    total.sandbox_rss_breaches += stats.sandbox_rss_breaches;
+    // High-water gauge, not a count: the fleet peak is the worst shard.
+    total.sandbox_peak_rss_kb =
+        std::max(total.sandbox_peak_rss_kb, stats.sandbox_peak_rss_kb);
     total.latency_count += stats.latency_count;
     // Percentiles of a union of samples cannot be reconstructed from the
     // shards' percentiles; report the elementwise worst shard — exact with

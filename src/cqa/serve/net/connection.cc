@@ -200,11 +200,15 @@ void Connection::HandleFrame(const std::string& frame) {
     case WireRequestType::kHealth:
       EnqueueFromReader(EncodeHealthFrame(decoded->id, draining_.load()));
       return;
-    case WireRequestType::kStats:
-      EnqueueFromReader(EncodeStatsFrame(decoded->id, service_->Stats(),
-                                         stats_->Snapshot(),
+    case WireRequestType::kStats: {
+      ServiceStats service_stats = service_->Stats();
+      DaemonStats daemon_stats = stats_->Snapshot();
+      FoldSandboxCounters(&daemon_stats, service_stats);
+      EnqueueFromReader(EncodeStatsFrame(decoded->id, service_stats,
+                                         daemon_stats,
                                          service_->StatsPerDb()));
       return;
+    }
     case WireRequestType::kCancel: {
       InflightSolve solve;
       bool found = false;
@@ -371,9 +375,13 @@ void Connection::HandleSolve(WireRequest request) {
   job.method = request.method;
   job.degrade_to_sampling = request.degrade_to_sampling;
   job.max_samples = request.max_samples;
+  job.isolation = request.isolation;
   job.chaos_sleep = std::chrono::milliseconds(request.chaos_sleep_ms);
   job.fail_after_probes = request.fail_after_probes;
   job.fault_attempts = request.fault_attempts;
+  job.crash_after_probes = request.crash_after_probes;
+  job.hog_mb_per_probe = request.hog_mb_per_probe;
+  job.wedge_after_probes = request.wedge_after_probes;
   job.cache = request.cache_bypass ? CachePolicy::kBypass : CachePolicy::kDefault;
 
   auto self = shared_from_this();

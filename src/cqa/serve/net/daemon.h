@@ -101,7 +101,11 @@ class SolveDaemon {
   std::vector<std::pair<std::string, ServiceStats>> stats_per_db() const {
     return service_->StatsPerDb();
   }
-  DaemonStats daemon_stats() const { return stats_.Snapshot(); }
+  DaemonStats daemon_stats() const {
+    DaemonStats s = stats_.Snapshot();
+    FoldSandboxCounters(&s, service_->Stats());
+    return s;
+  }
   const DatabaseRegistry& registry() const { return service_->registry(); }
 
  private:

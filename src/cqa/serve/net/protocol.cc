@@ -149,6 +149,12 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
       !ReadU64(object, "chaos_sleep_ms", &request.chaos_sleep_ms, &error) ||
       !ReadU64(object, "fail_after_probes", &request.fail_after_probes,
                &error) ||
+      !ReadU64(object, "crash_after_probes", &request.crash_after_probes,
+               &error) ||
+      !ReadU64(object, "hog_mb_per_probe", &request.hog_mb_per_probe,
+               &error) ||
+      !ReadU64(object, "wedge_after_probes", &request.wedge_after_probes,
+               &error) ||
       !ReadBool(object, "degrade_to_sampling", &request.degrade_to_sampling,
                 &error) ||
       !ReadBool(object, "deadline_from_submit", &request.deadline_from_submit,
@@ -172,6 +178,21 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
     request.method = m.value();
   }
 
+  const Json* isolation = object.Find("isolation");
+  if (isolation != nullptr) {
+    if (!isolation->is_string()) {
+      return ParseError("field 'isolation' must be a string");
+    }
+    std::optional<IsolationMode> mode =
+        ParseIsolationMode(isolation->AsString());
+    if (!mode.has_value()) {
+      return Result<WireRequest>::Error(
+          ErrorCode::kUnsupported,
+          "field 'isolation' must be 'auto', 'inproc' or 'fork'");
+    }
+    request.isolation = *mode;
+  }
+
   const Json* cache = object.Find("cache");
   if (cache != nullptr) {
     if (!cache->is_string()) {
@@ -185,6 +206,14 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
     }
   }
   return request;
+}
+
+void FoldSandboxCounters(DaemonStats* daemon, const ServiceStats& service) {
+  daemon->sandbox_forks = service.sandbox_forks;
+  daemon->sandbox_kills = service.sandbox_kills;
+  daemon->sandbox_crashes = service.sandbox_crashes;
+  daemon->sandbox_rss_breaches = service.sandbox_rss_breaches;
+  daemon->sandbox_peak_rss_kb = service.sandbox_peak_rss_kb;
 }
 
 std::string EncodeResultFrame(uint64_t id, const SolveReport& report,
@@ -248,6 +277,11 @@ Json ServiceStatsJson(const ServiceStats& service) {
       .Set("cache_bypass", service.cache_bypass)
       .Set("cache_entries", service.cache_entries)
       .Set("cache_evictions", service.cache_evictions)
+      .Set("sandbox_forks", service.sandbox_forks)
+      .Set("sandbox_kills", service.sandbox_kills)
+      .Set("sandbox_crashes", service.sandbox_crashes)
+      .Set("sandbox_rss_breaches", service.sandbox_rss_breaches)
+      .Set("sandbox_peak_rss_kb", service.sandbox_peak_rss_kb)
       .Set("latency_count", service.latency_count)
       .Set("latency_p50_us", service.latency_p50_us)
       .Set("latency_p90_us", service.latency_p90_us)
@@ -290,6 +324,11 @@ std::string EncodeStatsFrame(
           .Set("databases_attached", daemon.databases_attached)
           .Set("databases_detached", daemon.databases_detached)
           .Set("solves_rejected_detached", daemon.solves_rejected_detached)
+          .Set("sandbox_forks", daemon.sandbox_forks)
+          .Set("sandbox_kills", daemon.sandbox_kills)
+          .Set("sandbox_crashes", daemon.sandbox_crashes)
+          .Set("sandbox_rss_breaches", daemon.sandbox_rss_breaches)
+          .Set("sandbox_peak_rss_kb", daemon.sandbox_peak_rss_kb)
           .Build();
   JsonObjectBuilder frame;
   frame.Set("type", "stats")

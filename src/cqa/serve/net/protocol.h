@@ -13,6 +13,7 @@
 #include "cqa/base/result.h"
 #include "cqa/certainty/solver.h"
 #include "cqa/serve/net/json.h"
+#include "cqa/serve/sandbox/sandbox.h"
 #include "cqa/serve/stats.h"
 
 namespace cqa {
@@ -59,10 +60,17 @@ struct WireRequest {
   /// "cache":"bypass" skips both the result-cache lookup and the store for
   /// this solve; "default" (or absent) uses the daemon's cache policy.
   bool cache_bypass = false;
+  /// "isolation":"inproc"|"fork" pins where this solve runs; "auto" (or
+  /// the field absent) defers to the daemon's isolation policy, which may
+  /// escalate coNP-risk queries to a fork sandbox. See docs/SERVING.md.
+  IsolationMode isolation = IsolationMode::kAuto;
   // Chaos knobs (tests): see ServeJob.
   uint64_t chaos_sleep_ms = 0;
   uint64_t fail_after_probes = 0;
   int fault_attempts = INT_MAX;
+  uint64_t crash_after_probes = 0;
+  uint64_t hog_mb_per_probe = 0;
+  uint64_t wedge_after_probes = 0;
 
   // --- cancel fields ---
   /// The id of the in-flight solve to cancel.
@@ -104,7 +112,19 @@ struct DaemonStats {
   uint64_t databases_attached = 0;
   uint64_t databases_detached = 0;
   uint64_t solves_rejected_detached = 0;  // unknown or detaching "db"
+  // Sandbox accounting, folded from the service layer at snapshot time
+  // (see FoldSandboxCounters and the ServiceStats field docs).
+  uint64_t sandbox_forks = 0;
+  uint64_t sandbox_kills = 0;
+  uint64_t sandbox_crashes = 0;
+  uint64_t sandbox_rss_breaches = 0;
+  uint64_t sandbox_peak_rss_kb = 0;
 };
+
+/// Copies the sandbox counters of a service snapshot into the daemon
+/// counters (they are owned by the service layer but read as daemon-level
+/// operational signals, so stats frames surface them in both places).
+void FoldSandboxCounters(DaemonStats* daemon, const ServiceStats& service);
 
 /// One attached instance as reported by db_list frames and attach acks.
 struct WireDbEntry {

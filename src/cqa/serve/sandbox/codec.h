@@ -1,0 +1,39 @@
+#ifndef CQA_SERVE_SANDBOX_CODEC_H_
+#define CQA_SERVE_SANDBOX_CODEC_H_
+
+#include <string>
+
+#include "cqa/base/result.h"
+#include "cqa/certainty/solver.h"
+
+namespace cqa {
+
+/// Binary codec for the sandbox result pipe: the forked solver child
+/// serializes its terminal `Result<SolveReport>` into one length-prefixed
+/// frame (4-byte little-endian payload length, then the payload) and writes
+/// it to the pipe before `_exit(0)`; the supervising parent decodes it.
+///
+/// The layout is deliberately trivial — fixed-width little-endian integers
+/// and length-prefixed strings, no JSON — because the child encodes after
+/// `fork()` from a multithreaded parent, where the less machinery runs the
+/// better, and because a *truncated* frame is a meaningful signal (the
+/// child died mid-write) that the parent must detect reliably, which the
+/// length prefix makes a single comparison.
+
+/// Encodes a terminal solve outcome (ok report or typed error) as one
+/// complete frame, length prefix included.
+std::string EncodeOutcome(const Result<SolveReport>& outcome);
+
+/// True when `data` holds at least the length prefix and the full payload
+/// it announces, i.e. the child finished its write. `frame_size` receives
+/// the total frame size (prefix + payload) when complete.
+bool OutcomeFrameComplete(const std::string& data, size_t* frame_size);
+
+/// Decodes one complete frame back into the outcome. Returns false on a
+/// truncated or corrupt frame (the caller maps that to `kWorkerCrashed`);
+/// `*out` is only written on success.
+bool DecodeOutcome(const std::string& data, Result<SolveReport>* out);
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_SANDBOX_CODEC_H_

@@ -243,6 +243,19 @@ void SolveService::WorkerLoop(int worker_index) {
 SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
                                                WarmState* warm) {
   stats_.RecordStarted();
+  // Isolation is a property of the request, decided once: the job's
+  // explicit choice wins; `kAuto` defers to the service policy, whose own
+  // `kAuto` escalates to a sandbox for coNP-risk queries (classification
+  // is polynomial and dwarfed by any solve it gates).
+  bool use_fork = false;
+  IsolationMode mode = req->job.isolation != IsolationMode::kAuto
+                           ? req->job.isolation
+                           : options_.isolation;
+  if (mode == IsolationMode::kFork) {
+    use_fork = true;
+  } else if (mode == IsolationMode::kAuto) {
+    use_fork = ShouldIsolate(req->job.query);
+  }
   for (;;) {
     if (req->cancel->load(std::memory_order_acquire)) {
       return Finish(
@@ -272,6 +285,9 @@ SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
     budget.max_steps = req->job.max_steps;
     if (req->attempts <= req->job.fault_attempts) {
       budget.fail_after_probes = req->job.fail_after_probes;
+      budget.crash_after_probes = req->job.crash_after_probes;
+      budget.hog_mb_per_probe = req->job.hog_mb_per_probe;
+      budget.wedge_after_probes = req->job.wedge_after_probes;
     }
     std::chrono::milliseconds timeout =
         req->job.timeout.value_or(options_.default_timeout);
@@ -283,17 +299,43 @@ SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
       budget.deadline = std::min(budget.deadline, anchor + timeout);
     }
 
-    SolveOptions sopts;
-    sopts.method = req->job.method;
-    sopts.budget = &budget;
-    sopts.degrade_to_sampling = req->job.degrade_to_sampling;
-    sopts.max_samples = req->job.max_samples;
     if (warm != nullptr) {
       warm->BindDatabase(FingerprintDatabase(*req->job.db));
-      sopts.warm = warm;
     }
     Result<SolveReport> result =
-        SolveCertainty(req->job.query, *req->job.db, sopts);
+        Result<SolveReport>::Error(ErrorCode::kInternal, "attempt never ran");
+    if (use_fork) {
+      // Sandbox path: the attempt runs in a forked child under hard
+      // limits; the budget fields cross the process boundary by value
+      // (deadline, step limit, fault knobs), and the cancel token stays
+      // parent-side — cancellation SIGKILLs the child instead of waiting
+      // for a cooperative probe.
+      SandboxJob sj;
+      sj.method = req->job.method;
+      sj.degrade_to_sampling = req->job.degrade_to_sampling;
+      sj.max_samples = req->job.max_samples;
+      sj.max_steps = budget.max_steps;
+      sj.deadline = budget.deadline;
+      sj.fail_after_probes = budget.fail_after_probes;
+      sj.crash_after_probes = budget.crash_after_probes;
+      sj.hog_mb_per_probe = budget.hog_mb_per_probe;
+      sj.wedge_after_probes = budget.wedge_after_probes;
+      sj.warm = warm;
+      SandboxOutcome outcome = RunSandboxedSolve(
+          req->job.query, *req->job.db, sj, options_.sandbox,
+          req->cancel.get());
+      stats_.RecordSandbox(outcome.killed, outcome.crashed,
+                           outcome.rss_breach, outcome.peak_rss_kb);
+      result = std::move(outcome.result);
+    } else {
+      SolveOptions sopts;
+      sopts.method = req->job.method;
+      sopts.budget = &budget;
+      sopts.degrade_to_sampling = req->job.degrade_to_sampling;
+      sopts.max_samples = req->job.max_samples;
+      sopts.warm = warm;
+      result = SolveCertainty(req->job.query, *req->job.db, sopts);
+    }
 
     if (result.ok()) {
       return Finish(req, /*started=*/true, RequestState::kCompleted,

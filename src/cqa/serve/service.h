@@ -26,6 +26,7 @@
 #include "cqa/db/database.h"
 #include "cqa/query/query.h"
 #include "cqa/serve/bounded_queue.h"
+#include "cqa/serve/sandbox/sandbox.h"
 #include "cqa/serve/stats.h"
 
 namespace cqa {
@@ -70,11 +71,27 @@ struct ServeJob {
   bool degrade_to_sampling = true;
   uint64_t max_samples = 10'000;
 
+  /// Where this solve runs. `kAuto` (the default) defers to the service:
+  /// its own `ServiceOptions::isolation` policy decides, which for a
+  /// service in `kAuto` means fork isolation exactly when the query
+  /// classifies outside the tractable islands (coNP-risk traffic). An
+  /// explicit `kInproc`/`kFork` here overrides the service policy.
+  IsolationMode isolation = IsolationMode::kAuto;
+
   /// Chaos knobs: inject `fail_after_probes` into the attempt's `Budget`
   /// (see base/budget.h) for the first `fault_attempts` attempts, so tests
   /// can force deterministic exhaustion and then a clean retry.
   uint64_t fail_after_probes = 0;
   int fault_attempts = INT_MAX;
+  /// Crash/leak/wedge injection (base/budget.h), gated by `fault_attempts`
+  /// like `fail_after_probes`. Under fork isolation these exercise the
+  /// sandbox's containment paths (`kWorkerCrashed`, `kResourceExhausted`,
+  /// SIGKILL reclaim); inproc they do exactly what they say — crash or
+  /// wedge the worker — which is the unprotected failure mode the sandbox
+  /// exists to contain.
+  uint64_t crash_after_probes = 0;
+  uint64_t hog_mb_per_probe = 0;
+  uint64_t wedge_after_probes = 0;
   /// Chaos knob: an interruptible sleep before each attempt's solve,
   /// giving tests a deterministic-duration "slow request". Cancellation
   /// and shutdown drain cut the sleep short (the request then terminates
@@ -156,6 +173,14 @@ struct ServiceOptions {
   size_t cache_entries = 0;
   /// Shards of the cache's LRU map (clamped to [1, cache_entries]).
   size_t cache_shards = 8;
+  /// Isolation policy for jobs that leave `ServeJob::isolation` at
+  /// `kAuto`: `kInproc` (the default) runs every solve on the worker
+  /// thread; `kFork` sandboxes every solve; `kAuto` escalates to a
+  /// sandbox exactly when `ShouldIsolate(q)` says the query is coNP-risk
+  /// (not FO, not q1-shaped) — the traffic whose exact solvers can wedge.
+  IsolationMode isolation = IsolationMode::kInproc;
+  /// Hard limits for sandboxed solves (kill grace, RSS cap).
+  SandboxLimits sandbox;
   /// Per-worker warm state: memoized classification, rewritings, and
   /// Algorithm-1 arenas reused across requests on the same database
   /// fingerprint. Off by default — warm memo hits change *work done*, not

@@ -66,6 +66,17 @@ void StatsCollector::RecordTerminal(bool started, bool cancelled, bool ok,
   counters_.latency_max_us = std::max(counters_.latency_max_us, us);
 }
 
+void StatsCollector::RecordSandbox(bool killed, bool crashed, bool rss_breach,
+                                   uint64_t peak_rss_kb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.sandbox_forks;
+  if (killed) ++counters_.sandbox_kills;
+  if (crashed) ++counters_.sandbox_crashes;
+  if (rss_breach) ++counters_.sandbox_rss_breaches;
+  counters_.sandbox_peak_rss_kb =
+      std::max(counters_.sandbox_peak_rss_kb, peak_rss_kb);
+}
+
 ServiceStats StatsCollector::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats out = counters_;
@@ -98,6 +109,11 @@ std::string ServiceStats::ToString() const {
   s += " bypass " + std::to_string(cache_bypass);
   s += " entries " + std::to_string(cache_entries);
   s += " evictions " + std::to_string(cache_evictions);
+  s += "; sandbox forks " + std::to_string(sandbox_forks);
+  s += " kills " + std::to_string(sandbox_kills);
+  s += " crashes " + std::to_string(sandbox_crashes);
+  s += " rss-breaches " + std::to_string(sandbox_rss_breaches);
+  s += " peak-rss-kb " + std::to_string(sandbox_peak_rss_kb);
   s += "; latency us p50 " + std::to_string(latency_p50_us);
   s += " p90 " + std::to_string(latency_p90_us);
   s += " p99 " + std::to_string(latency_p99_us);

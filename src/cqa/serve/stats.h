@@ -40,6 +40,19 @@ struct ServiceStats {
   uint64_t cache_entries = 0;    // current size (gauge)
   uint64_t cache_evictions = 0;
 
+  /// Sandbox counters (all zero when no solve ever ran under fork
+  /// isolation). `sandbox_forks` counts supervised children spawned;
+  /// `sandbox_kills` children the supervisor SIGKILLed (grace breach or
+  /// cancellation); `sandbox_crashes` children that died without a verdict
+  /// (mapped to `kWorkerCrashed`); `sandbox_rss_breaches` children that hit
+  /// the RSS cap (mapped to `kResourceExhausted`). `sandbox_peak_rss_kb` is
+  /// a high-water gauge of child peak RSS across all forks.
+  uint64_t sandbox_forks = 0;
+  uint64_t sandbox_kills = 0;
+  uint64_t sandbox_crashes = 0;
+  uint64_t sandbox_rss_breaches = 0;
+  uint64_t sandbox_peak_rss_kb = 0;
+
   /// Submit-to-terminal latency percentiles over every terminal request.
   uint64_t latency_count = 0;
   uint64_t latency_p50_us = 0;
@@ -67,6 +80,9 @@ class StatsCollector {
   /// the request was ever popped by a worker (balances the inflight gauge).
   void RecordTerminal(bool started, bool cancelled, bool ok, bool degraded,
                       std::chrono::microseconds latency);
+  /// Sandbox accounting for one forked solve (see the ServiceStats fields).
+  void RecordSandbox(bool killed, bool crashed, bool rss_breach,
+                     uint64_t peak_rss_kb);
 
   ServiceStats Snapshot() const;
 

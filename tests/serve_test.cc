@@ -418,6 +418,46 @@ TEST(SolveServiceTest, RetrySucceedsAfterATransientFault) {
   EXPECT_EQ(service.Stats().retries, 1u);
 }
 
+TEST(SolveServiceTest, WorkerCrashIsNeverRetried) {
+  // Retry-policy boundary: the sandbox's terminal codes mean deterministic
+  // re-failure (a crashing solve crashes again, a capped solve breaches
+  // again), so they are excluded from the retry condition — unlike the
+  // genuinely transient kOverloaded and the budget codes.
+  EXPECT_FALSE(IsRetryable(ErrorCode::kWorkerCrashed));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kResourceExhausted));
+  EXPECT_FALSE(IsResourceExhaustion(ErrorCode::kWorkerCrashed));
+  EXPECT_FALSE(IsResourceExhaustion(ErrorCode::kResourceExhausted));
+  EXPECT_TRUE(IsRetryable(ErrorCode::kOverloaded)) << "backoff unchanged";
+  EXPECT_TRUE(IsRetryable(ErrorCode::kDeadlineExceeded));
+
+  // End to end: a generous retry allowance must not resurrect a solve that
+  // segfaults its sandbox child — exactly one attempt, one typed terminal.
+  auto db = Db("R(a | b), R(a | c)\nS(b | a)");
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_retries = 3;
+  options.backoff.initial = milliseconds(1);
+  SolveService service(options);
+  ResponseSink sink;
+  ServeJob job(Q("R(x | y), not S(y | x)"), db);
+  job.method = SolverMethod::kBacktracking;  // a governed, probing solver
+  job.degrade_to_sampling = false;
+  job.isolation = IsolationMode::kFork;  // contain the injected crash
+  job.crash_after_probes = 1;
+  ASSERT_TRUE(service.Submit(std::move(job), sink.Callback()).ok());
+  ASSERT_TRUE(sink.WaitForCount(1)) << "request never completed";
+  EXPECT_TRUE(service.Shutdown(milliseconds(10'000)));
+  ASSERT_EQ(sink.Count(), 1u);
+  const ServeResponse& r = sink.responses[0];
+  EXPECT_EQ(r.state, RequestState::kCompleted);
+  ASSERT_FALSE(r.result.ok());
+  EXPECT_EQ(r.result.code(), ErrorCode::kWorkerCrashed);
+  EXPECT_EQ(r.attempts, 1) << "crashes are deterministic; never retried";
+  EXPECT_EQ(service.Stats().retries, 0u);
+  EXPECT_EQ(service.Stats().failed, 1u);
+  EXPECT_EQ(service.Stats().sandbox_crashes, 1u);
+}
+
 TEST(SolveServiceTest, DegradedVerdictIsSurfacedNotRetried) {
   // With degradation on, an exhausted exact stage yields a qualified
   // sampling verdict — a completion, so the retry machinery must not run.

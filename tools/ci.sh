@@ -9,19 +9,23 @@
 # smoke serves two databases from one daemon, routes solves by the frame's
 # "db" field (contradictory verdicts prove isolation), exercises the
 # attach/detach/list admin surface over the wire, and drains both shards
-# on SIGTERM.
+# on SIGTERM. The sandbox smoke drives the fork-isolation layer end to
+# end: a wedged solve hard-killed within the kill grace while a sibling
+# keeps answering, an injected crash contained to a typed error, and a
+# clean SIGTERM drain afterwards.
 #
-#   tools/ci.sh            # all six stages
+#   tools/ci.sh            # all seven stages
 #   tools/ci.sh tier1      # just the tier-1 stage
 #   tools/ci.sh asan tsan  # just the sanitizer stages
 #   tools/ci.sh daemon     # just the daemon smoke (needs a tier-1 build)
 #   tools/ci.sh cache      # just the cache smoke (needs a tier-1 build)
 #   tools/ci.sh multidb    # just the multidb smoke (needs a tier-1 build)
+#   tools/ci.sh sandbox    # just the sandbox smoke (needs a tier-1 build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb sandbox)
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -198,6 +202,89 @@ multidb_smoke() {
   echo "==== [multidb] OK (per-db routing, admin round trip, clean drain)"
 }
 
+# Sandbox smoke against the tier-1 build: a live daemon running solves in
+# forked, supervised children. A wedged solve (blocks between budget
+# probes, immune to cooperative cancellation) must be hard-killed within
+# the kill grace while a sibling in-process solve completes on the other
+# worker; an injected SIGSEGV must surface as a typed worker-crashed error
+# with the daemon still answering; SIGTERM must drain cleanly with every
+# child reaped.
+sandbox_smoke() {
+  local cli=build/tools/cqa_cli
+  [ -x "$cli" ] || { echo "sandbox smoke needs a tier-1 build ($cli)"; exit 2; }
+  local work; work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  printf 'R(a | b), R(a | c)\nS(b | a)\n' > "$work/facts"
+  printf 'R(x | y), not S(y | x)\n' > "$work/hard_job"
+  printf 'R(x | y)\n' > "$work/fo_job"
+
+  echo "==== [sandbox] start daemon (auto isolation, 300ms kill grace)"
+  "$cli" serve "$work/facts" --listen=127.0.0.1:0 --workers=2 \
+      --isolation=auto --kill-grace-ms=300 \
+      > "$work/daemon.log" 2>&1 &
+  local daemon_pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$work/daemon.log")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon never reported its address"; cat "$work/daemon.log"; exit 1
+  fi
+
+  echo "==== [sandbox] wedged fork is hard-killed while a sibling answers"
+  local t0; t0=$(date +%s%N)
+  "$cli" client "$addr" --jobs="$work/hard_job" --isolation=fork \
+      --method=backtracking --timeout-ms=200 --wedge-after=1 \
+      --cache=bypass > "$work/wedge.out" 2>&1 &
+  local wedge_pid=$!
+  # While the wedge hangs one worker, the other must keep serving inproc.
+  "$cli" client "$addr" --jobs="$work/fo_job" --isolation=inproc \
+      > "$work/sibling.out"
+  grep -q '^\[1\] certain' "$work/sibling.out"
+  local wedge_rc=0
+  wait "$wedge_pid" || wedge_rc=$?
+  local t1; t1=$(date +%s%N)
+  if [ "$wedge_rc" -eq 0 ]; then
+    echo "wedged solve should not succeed"; cat "$work/wedge.out"; exit 1
+  fi
+  grep -q 'deadline' "$work/wedge.out"
+  # 200ms timeout + 300ms grace; generous slack for a loaded CI host, but
+  # far below the "wedged forever" failure mode this guards against.
+  local elapsed_ms=$(( (t1 - t0) / 1000000 ))
+  if [ "$elapsed_ms" -ge 5000 ]; then
+    echo "wedged solve held its worker for ${elapsed_ms}ms"; exit 1
+  fi
+
+  echo "==== [sandbox] injected SIGSEGV is contained"
+  local crash_rc=0
+  "$cli" client "$addr" --jobs="$work/hard_job" --isolation=fork \
+      --method=backtracking --crash-after=1 --cache=bypass \
+      > "$work/crash.out" 2>&1 || crash_rc=$?
+  if [ "$crash_rc" -eq 0 ]; then
+    echo "crashing solve should not succeed"; cat "$work/crash.out"; exit 1
+  fi
+  grep -q 'worker-crashed' "$work/crash.out"
+  "$cli" client "$addr" --health | grep -q '"status":"serving"'
+  "$cli" client "$addr" --jobs="$work/fo_job" | grep -q '^\[1\] certain'
+  "$cli" client "$addr" --stats > "$work/stats.out"
+  grep -q '"sandbox_crashes":1' "$work/stats.out"
+  grep -q '"sandbox_kills":1' "$work/stats.out"
+
+  echo "==== [sandbox] SIGTERM drain reaps every child"
+  kill -TERM "$daemon_pid"
+  local rc=0
+  wait "$daemon_pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "daemon exited $rc (expected 0: clean drain)"
+    cat "$work/daemon.log"; exit 1
+  fi
+  grep -q 'draining' "$work/daemon.log"
+  echo "==== [sandbox] OK (hard preemption, crash containment, clean drain)"
+}
+
 for stage in "${stages[@]}"; do
   case "$stage" in
     tier1) run_stage tier1 default default default ;;
@@ -206,8 +293,9 @@ for stage in "${stages[@]}"; do
     daemon) daemon_smoke ;;
     cache) cache_smoke ;;
     multidb) multidb_smoke ;;
+    sandbox) sandbox_smoke ;;
     *) echo "unknown stage '$stage'" \
-            "(want: tier1 asan tsan daemon cache multidb)" >&2
+            "(want: tier1 asan tsan daemon cache multidb sandbox)" >&2
        exit 2 ;;
   esac
 done

@@ -24,9 +24,12 @@
 //                    [--drain-ms=D] [--detach-drain-ms=D]
 //                    [--max-connections=C] [--max-inflight=I]
 //                    [--cache-entries=E] [--no-cache]
+//                    [--isolation=auto|inproc|fork] [--max-rss-mb=M]
+//                    [--kill-grace-ms=G]
 //   cqa_cli client   HOST:PORT [--jobs=FILE] [--db=NAME] [--timeout-ms=T]
 //                    [--max-nodes=K] [--method=...] [--cache=default|bypass]
-//                    [--health] [--stats]
+//                    [--isolation=auto|inproc|fork] [--wedge-after=N]
+//                    [--crash-after=N] [--health] [--stats]
 //   cqa_cli admin    HOST:PORT attach NAME FACTS_PATH
 //   cqa_cli admin    HOST:PORT detach NAME
 //   cqa_cli admin    HOST:PORT list
@@ -46,6 +49,15 @@
 // drain deadline forced cancellations). `client` submits jobs to a running
 // daemon — one query per line, as in batch serve mode — and exits with the
 // same severity ranking; `--health` / `--stats` print one status frame.
+//
+// `--isolation` picks where the daemon runs solves that leave the choice to
+// it: `inproc` (default) on the worker thread, `fork` in a supervised child
+// process with hard preemption, `auto` forking exactly the coNP-risk
+// queries. `--max-rss-mb` caps a sandboxed child's memory growth and
+// `--kill-grace-ms` bounds how long past its deadline a child may live
+// before SIGKILL. The client-side `--isolation` pins the mode per request;
+// `--wedge-after=N` / `--crash-after=N` inject a wedge or crash into the
+// solve after N budget probes (containment drills against a live daemon).
 //
 // `serve` runs the concurrent solve service (src/cqa/serve/) over a batch
 // of newline-delimited solve jobs — one query per line, read from stdin or
@@ -79,6 +91,7 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -472,7 +485,8 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
       {"--drain-ms", 5'000},     {"--max-connections", 256},
       {"--max-inflight", 16},    {"--idle-timeout-ms", 300'000},
       {"--cache-entries", 4'096}, {"--shard-workers", 4},
-      {"--detach-drain-ms", 5'000},
+      {"--detach-drain-ms", 5'000}, {"--max-rss-mb", 0},
+      {"--kill-grace-ms", 500},
   };
   for (auto& flag : flags) {
     if (FlagGiven(argc, argv, flag.name) &&
@@ -494,6 +508,20 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
   dopts.connection.max_inflight = flags[6].value;
   dopts.connection.idle_timeout = std::chrono::milliseconds(flags[7].value);
   dopts.detach_drain = std::chrono::milliseconds(flags[10].value);
+  // Sandbox policy: --isolation=inproc|fork|auto picks where solves run
+  // when the request leaves it to the daemon ("auto" escalates coNP-risk
+  // queries to a fork); --max-rss-mb and --kill-grace-ms are the hard
+  // limits every sandboxed solve runs under.
+  if (FlagGiven(argc, argv, "--isolation")) {
+    std::optional<IsolationMode> mode =
+        ParseIsolationMode(FlagValue(argc, argv, "--isolation"));
+    if (!mode.has_value()) {
+      return Fail("malformed --isolation value (want auto|inproc|fork)");
+    }
+    dopts.service.isolation = *mode;
+  }
+  dopts.service.sandbox.max_rss_mb = flags[11].value;
+  dopts.service.sandbox.kill_grace = std::chrono::milliseconds(flags[12].value);
   // Caching is on by default for the daemon (the library default is off);
   // --no-cache disables both the result cache and worker warm state.
   const bool no_cache = HasFlag(argc, argv, "--no-cache");
@@ -597,6 +625,23 @@ int CmdClient(int argc, char** argv, const char* addr) {
   if (!cache.empty() && cache != "default" && cache != "bypass") {
     return Fail("--cache must be 'default' or 'bypass'");
   }
+  std::string isolation = FlagValue(argc, argv, "--isolation");
+  if (!isolation.empty() && !ParseIsolationMode(isolation).has_value()) {
+    return Fail("--isolation must be 'auto', 'inproc' or 'fork'");
+  }
+  // Chaos injection over the wire (CI sandbox smoke, manual containment
+  // drills): forwarded verbatim as the solve frame's budget knobs. A
+  // wedged or crashing solve under --isolation=fork demonstrates the
+  // daemon's containment; inproc it takes the worker down with it.
+  uint64_t wedge_after = 0, crash_after = 0;
+  if (FlagGiven(argc, argv, "--wedge-after") &&
+      !ParseU64(FlagValue(argc, argv, "--wedge-after"), &wedge_after)) {
+    return Fail("malformed --wedge-after value");
+  }
+  if (FlagGiven(argc, argv, "--crash-after") &&
+      !ParseU64(FlagValue(argc, argv, "--crash-after"), &crash_after)) {
+    return Fail("malformed --crash-after value");
+  }
   // Route every solve frame of this run to a named attached database;
   // without it the daemon's registry default answers.
   std::string db_name = FlagValue(argc, argv, "--db");
@@ -624,6 +669,9 @@ int CmdClient(int argc, char** argv, const char* addr) {
     if (max_nodes != Budget::kNoStepLimit) req.Set("max_steps", max_nodes);
     if (!method.empty()) req.Set("method", method);
     if (!cache.empty()) req.Set("cache", cache);
+    if (!isolation.empty()) req.Set("isolation", isolation);
+    if (wedge_after > 0) req.Set("wedge_after_probes", wedge_after);
+    if (crash_after > 0) req.Set("crash_after_probes", crash_after);
     if (!db_name.empty()) req.Set("db", db_name);
     Result<bool> sent = client.SendFrame(req.Build().Serialize(), io_timeout);
     if (!sent.ok()) return Fail(sent);

@@ -150,6 +150,12 @@ std::vector<std::string> WireCorpus() {
       R"js("degrade_to_sampling":false,"deadline_from_submit":true,)js"
       R"js("cache":"default"})js",
       R"js({"type":"solve","id":11,"query":"R(x | y)","cache":"bypass"})js",
+      R"js({"type":"solve","id":20,"query":"R(x | y), not S(y | x)",)js"
+      R"js("isolation":"fork","timeout_ms":100})js",
+      R"js({"type":"solve","id":21,"query":"R(x | y)","isolation":"inproc",)js"
+      R"js("crash_after_probes":5,"hog_mb_per_probe":1,)js"
+      R"js("wedge_after_probes":7})js",
+      R"js({"type":"solve","id":22,"query":"R(x | y)","isolation":"auto"})js",
       R"js({"type":"health","id":3})js",
       R"js({"type":"stats","id":4})js",
       R"js({"type":"cancel","id":5,"target":1})js",
