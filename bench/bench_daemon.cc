@@ -20,6 +20,11 @@
 //       shard (sharded, this codebase) or on the adversary's (shared, the
 //       single-pool architecture the registry replaces). Reports the
 //       victim's latency percentiles against a solo baseline.
+//   D6. Live updates: apply_delta wire latency as the batch size grows
+//       (copy-on-write epochs + O(delta) index maintenance, so cost tracks
+//       the delta, not the database), footprint-scoped cache invalidation
+//       (warm hits on untouched queries survive a delta to a disjoint
+//       relation), and crash-recovery time as the replayed journal grows.
 //   D5. Fork-isolation cost and reclaim: the same solve on the same wire
 //       path with `"isolation":"inproc"` vs `"fork"` (the fork/pipe/reap
 //       overhead a sandboxed solve pays), then the time to get a worker
@@ -38,9 +43,13 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+
 #include "bench_util.h"
+#include "cqa/delta/delta.h"
 #include "cqa/gen/families.h"
 #include "cqa/gen/poll.h"
+#include "cqa/registry/sharded_service.h"
 #include "cqa/serve/net/client.h"
 #include "cqa/serve/net/daemon.h"
 #include "cqa/serve/net/json.h"
@@ -388,12 +397,177 @@ void TableSandboxOverhead() {
   std::printf("\n");
 }
 
+std::string ApplyDeltaFrame(uint64_t id, const std::string& delta_id,
+                            const std::vector<DeltaOp>& ops) {
+  return JsonObjectBuilder()
+      .Set("type", "apply_delta")
+      .Set("id", id)
+      .Set("delta_id", delta_id)
+      .Set("ops", EncodeDeltaOps(ops))
+      .Build()
+      .Serialize();
+}
+
+void TableLiveUpdate() {
+  // (a) apply latency vs delta size: fresh Lives facts, each a new key, so
+  // every op extends the block index. Cost should track the batch size.
+  std::printf("D6. live updates over the wire:\n");
+  std::printf("(a) apply_delta latency vs batch size, 20 applies each:\n");
+  std::printf("%-8s %-10s %-10s %-10s\n", "ops", "p50_us", "p99_us",
+              "us_per_op(p50)");
+  for (int batch : {1, 16, 256, 4096}) {
+    DaemonOptions options;
+    options.service.workers = 2;
+    SolveDaemon daemon(PollDb(40, 17), options);
+    if (!daemon.Start().ok()) return;
+    NetClient client;
+    if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+    std::vector<double> us;
+    uint64_t id = 0;
+    int seq = 0;
+    for (int round = 0; round < 20; ++round) {
+      std::vector<DeltaOp> ops;
+      ops.reserve(static_cast<size_t>(batch));
+      for (int k = 0; k < batch; ++k) {
+        DeltaOp op;
+        op.insert = true;
+        op.relation = "Lives";
+        op.values = {"bench_p" + std::to_string(++seq),
+                     "bench_t" + std::to_string(seq % 7)};
+        ops.push_back(std::move(op));
+      }
+      std::string frame =
+          ApplyDeltaFrame(++id, "bench-" + std::to_string(round), ops);
+      us.push_back(benchutil::TimeUs([&] {
+        (void)client.SendFrame(frame, kIo);
+        (void)client.ReadResponse(kIo);
+      }));
+    }
+    uint64_t p50 = Percentile(&us, 0.50);
+    std::printf("%-8d %-10llu %-10llu %.2f\n", batch,
+                static_cast<unsigned long long>(p50),
+                static_cast<unsigned long long>(Percentile(&us, 0.99)),
+                static_cast<double>(p50) / batch);
+    (void)daemon.Shutdown(milliseconds(5'000));
+  }
+  std::printf("\n");
+
+  // (b) invalidation precision: two cached queries with disjoint
+  // footprints; a delta to S must drop only the R/S entry. The untouched
+  // query's warm hits keep serving at the pre-delta price because its
+  // entry is rekeyed to the new epoch, not recomputed.
+  {
+    std::printf("(b) footprint-scoped invalidation, warm hits on an "
+                "untouched query:\n");
+    std::printf("%-22s %-14s %-14s %-12s %-10s\n", "phase", "p50_us(hit)",
+                "invalidated", "rekeyed", "hits");
+    Result<Database> base = Database::FromText(
+        "R(a | b), R(a | c)\nS(b | a)\nT(k1 | v1), T(k2 | v2)");
+    if (!base.ok()) return;
+    DaemonOptions options;
+    options.service.workers = 2;
+    options.service.cache_entries = 128;
+    SolveDaemon daemon(
+        std::make_shared<const Database>(std::move(base.value())), options);
+    if (!daemon.Start().ok()) return;
+    NetClient client;
+    if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+    uint64_t id = 0;
+    auto solve = [&](const std::string& q) {
+      (void)client.SendFrame(SolveFrame(++id, q), kIo);
+      (void)client.WaitTerminal(id, kIo);
+    };
+    auto warm_p50 = [&](const std::string& q, int rounds) {
+      std::vector<double> us;
+      for (int i = 0; i < rounds; ++i) {
+        us.push_back(benchutil::TimeUs([&] { solve(q); }));
+      }
+      return Percentile(&us, 0.50);
+    };
+    const std::string touched_q = "R(x | y), not S(y | x)";
+    const std::string untouched_q = "T(x | y)";
+    solve(touched_q);  // both now cached
+    solve(untouched_q);
+    uint64_t pre = warm_p50(untouched_q, 200);
+    std::vector<DeltaOp> ops(1);
+    ops[0].insert = false;
+    ops[0].relation = "S";
+    ops[0].values = {"b", "a"};
+    (void)client.SendFrame(ApplyDeltaFrame(++id, "bench-inv", ops), kIo);
+    (void)client.ReadResponse(kIo);
+    uint64_t post = warm_p50(untouched_q, 200);
+    ServiceStats stats = daemon.service_stats();
+    std::printf("%-22s %-14llu %-14s %-12s %llu\n", "pre-delta",
+                static_cast<unsigned long long>(pre), "-", "-",
+                static_cast<unsigned long long>(stats.cache_hits));
+    std::printf("%-22s %-14llu %-14llu %-12llu %s\n", "post-delta(S only)",
+                static_cast<unsigned long long>(post),
+                static_cast<unsigned long long>(stats.cache_invalidated),
+                static_cast<unsigned long long>(stats.cache_rekeyed),
+                post <= pre + pre / 5 ? "(within 1.2x)" : "(SLOWER)");
+    (void)daemon.Shutdown(milliseconds(5'000));
+  }
+  std::printf("\n");
+
+  // (c) recovery time vs journal length: a service journals N single-op
+  // deltas, crashes (destructor without detach), and a fresh service
+  // re-attaches the base snapshot — replaying and verifying the whole
+  // journal before serving.
+  {
+    std::printf("(c) attach-with-replay time vs journal length:\n");
+    std::printf("%-10s %-14s %-14s\n", "records", "replay_ms", "records/s");
+    for (int records : {16, 256, 2048}) {
+      char tmpl[] = "/tmp/cqa_bench_journal_XXXXXX";
+      char* dir = ::mkdtemp(tmpl);
+      if (dir == nullptr) return;
+      Result<Database> base =
+          Database::FromText("R(a | b), R(a | c)\nS(b | a)\nT(k0 | v0)");
+      if (!base.ok()) return;
+      auto shared =
+          std::make_shared<const Database>(std::move(base.value()));
+      ShardedServiceOptions opts;
+      opts.shard.workers = 1;
+      opts.journal_dir = dir;
+      opts.journal.fsync = FsyncPolicy::kNever;  // time replay, not fsync
+      {
+        ShardedSolveService writer(opts);
+        if (!writer.Attach("bench", shared).ok()) return;
+        for (int i = 0; i < records; ++i) {
+          FactDelta delta;
+          delta.id = "rec-" + std::to_string(i);
+          DeltaOp op;
+          op.insert = true;
+          op.relation = "T";
+          op.values = {"k" + std::to_string(i + 1),
+                       "v" + std::to_string(i + 1)};
+          delta.ops.push_back(std::move(op));
+          if (!writer.ApplyDelta("bench", delta).ok()) return;
+        }
+      }  // dropped without detach: the journal is the only survivor
+      double ms = 0;
+      {
+        ShardedSolveService reader(opts);
+        ms = benchutil::TimeUs([&] {
+               (void)reader.Attach("bench", shared);
+             }) /
+             1000.0;
+      }
+      std::printf("%-10d %-14.2f %-14.0f\n", records, ms,
+                  ms > 0 ? records / (ms / 1000.0) : 0.0);
+      std::string cleanup = std::string("rm -rf ") + dir;
+      (void)std::system(cleanup.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
 void Tables() {
   TableRoundTrip();
   TableOverloadShedRate();
   TableCacheHotCold();
   TableShardIsolation();
   TableSandboxOverhead();
+  TableLiveUpdate();
 }
 
 void BM_DaemonRoundTrip(benchmark::State& state) {

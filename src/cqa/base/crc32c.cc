@@ -1,0 +1,35 @@
+#include "cqa/base/crc32c.h"
+
+#include <array>
+
+namespace cqa {
+namespace {
+
+// Reflected-input/reflected-output table for poly 0x82F63B78, built once at
+// first use (constant-initialised would also work but constexpr loops keep
+// the translation unit trivially portable to older standards modes).
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace cqa

@@ -1,0 +1,22 @@
+#ifndef CQA_BASE_CRC32C_H_
+#define CQA_BASE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cqa {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) over a byte range.
+/// Software table implementation — no hardware intrinsics, no dependencies.
+/// Used to checksum delta-journal records: Castagnoli detects all burst
+/// errors up to 32 bits and has better Hamming distance than CRC-32/ISO at
+/// the record sizes the journal writes, which is why storage formats
+/// (ext4, iSCSI, leveldb) standardised on it.
+uint32_t Crc32c(const void* data, size_t len);
+
+inline uint32_t Crc32c(std::string_view s) { return Crc32c(s.data(), s.size()); }
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_CRC32C_H_

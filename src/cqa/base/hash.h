@@ -76,7 +76,6 @@ class Hash128 {
     return d;
   }
 
- private:
   // splitmix64 finalizer: full-avalanche bijection on 64 bits.
   static uint64_t Avalanche(uint64_t x) {
     x ^= x >> 30;
@@ -87,9 +86,69 @@ class Hash128 {
     return x;
   }
 
+ private:
   uint64_t a_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
   uint64_t b_ = 0x6a09e667f3bcc909ull;  // sqrt(2) fraction
   uint64_t length_ = 0;
+};
+
+/// Order-independent 128-bit multiset combiner over element digests: the hi
+/// lane folds with XOR (self-inverse) and the lo lane with wrapping
+/// addition, so `Remove` is the exact inverse of `Add` and any permutation
+/// of the same Add/Remove sequence reaches the same state. This is what
+/// makes O(delta) fingerprint maintenance possible — removing a fact
+/// un-mixes exactly its own contribution, no rescan.
+///
+/// The accumulator state (`xor_word`/`add_word`/`count`) is the canonical
+/// incremental form; `Finish` avalanches it into a `Hash128::Digest` so
+/// structurally close multisets (one fact apart) still get unrelated
+/// digests. Both lanes are seeded with fixed constants so the empty
+/// multiset finishes nonzero (fingerprints use {0,0} as "invalid").
+///
+/// Like `Hash128` this is non-cryptographic: XOR/add lanes are trivially
+/// forgeable by an adversary choosing elements, which fingerprinting of
+/// operator-owned databases does not defend against.
+class SetHash128 {
+ public:
+  void Add(const Hash128::Digest& d) {
+    xor_ ^= d.hi;
+    add_ += d.lo;
+    ++count_;
+  }
+
+  /// Inverse of `Add` for an element currently in the multiset. Removing
+  /// an element that was never added silently corrupts the accumulator
+  /// (there is no membership check here) — callers guard with their own
+  /// membership structure, e.g. the database's fact index.
+  void Remove(const Hash128::Digest& d) {
+    xor_ ^= d.hi;
+    add_ -= d.lo;
+    --count_;
+  }
+
+  Hash128::Digest Finish() const {
+    Hash128::Digest d;
+    d.hi = Hash128::Avalanche(xor_ ^ (0x9e3779b97f4a7c15ull * count_) ^
+                              0xcbf29ce484222325ull);
+    d.lo = Hash128::Avalanche(add_ + 0x632be59bd9b4e019ull * count_ + d.hi);
+    return d;
+  }
+
+  uint64_t xor_word() const { return xor_; }
+  uint64_t add_word() const { return add_; }
+  uint64_t count() const { return count_; }
+
+  /// Restores a previously observed accumulator state (journal recovery).
+  void Restore(uint64_t xor_word, uint64_t add_word, uint64_t count) {
+    xor_ = xor_word;
+    add_ = add_word;
+    count_ = count;
+  }
+
+ private:
+  uint64_t xor_ = 0;
+  uint64_t add_ = 0;
+  uint64_t count_ = 0;
 };
 
 }  // namespace cqa

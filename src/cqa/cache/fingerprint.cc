@@ -3,9 +3,9 @@
 namespace cqa {
 
 DbFingerprint FingerprintDatabase(const Database& db) {
-  // The canonical hashing (relations in name order, facts rendered
-  // length-prefixed and sorted) lives in `Database::ContentDigest`, which
-  // memoizes it per instance — repeated lookups against an unchanged
+  // The canonical hashing (per-fact digests folded through the
+  // order-independent multiset combine) lives in `Database::ContentDigest`,
+  // which memoizes it per instance — repeated lookups against an unchanged
   // database never rehash the facts.
   auto [hi, lo] = db.ContentDigest();
   DbFingerprint fp;

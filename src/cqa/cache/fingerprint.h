@@ -36,12 +36,13 @@ struct DbFingerprint {
   }
 };
 
-/// Fingerprints `db` over its canonical form: relations sorted by name,
-/// and within each relation the facts sorted lexicographically by value
-/// spelling. Since the primary key is a tuple prefix, the sorted fact list
-/// is automatically block-ordered (key-equal facts are adjacent), matching
-/// the repair semantics the cached verdicts depend on. O(n log n) in the
-/// number of facts; call it once per load and keep the result.
+/// Fingerprints `db` over its fact multiset: each fact hashes independently
+/// (salted with its relation's name/arity/key length) and the digests fold
+/// through the order-independent `SetHash128` combine. Insertion order,
+/// interner state, and process never matter — and a delta updates the
+/// digest in O(delta) (see `Database::AddFactIncremental`), which is what
+/// keeps live-updated epochs cheap to re-fingerprint. O(n) on first call
+/// per instance; memoized after that.
 DbFingerprint FingerprintDatabase(const Database& db);
 
 struct DbFingerprintHash {

@@ -18,13 +18,25 @@ size_t ClampShards(size_t max_entries, size_t shards) {
 
 }  // namespace
 
+std::string CacheKeyPrefix(const DbFingerprint& fp) {
+  return fp.ToHex() + "|";
+}
+
 CacheKey MakeCacheKey(const DbFingerprint& fp, SolverMethod method,
                       const Query& q) {
   CacheKey key;
-  key.text = fp.ToHex() + "|" + ToString(method) + "|" + CanonicalQueryKey(q);
+  key.text =
+      CacheKeyPrefix(fp) + ToString(method) + "|" + CanonicalQueryKey(q);
   Hash128 h;
   h.Update(key.text);
   key.hash = h.Finish().lo;
+  for (const Literal& l : q.literals()) {
+    key.footprint.push_back(SymbolName(l.atom.relation()));
+  }
+  std::sort(key.footprint.begin(), key.footprint.end());
+  key.footprint.erase(
+      std::unique(key.footprint.begin(), key.footprint.end()),
+      key.footprint.end());
   return key;
 }
 
@@ -89,7 +101,7 @@ bool ResultCache::Insert(const CacheKey& key, const SolveReport& report) {
         shard.lru.pop_back();
         ++evicted;
       }
-      shard.lru.push_front(Entry{key.text, report});
+      shard.lru.push_front(Entry{key.text, report, key.footprint});
       shard.index.emplace(key.text, shard.lru.begin());
       grew = true;
     }
@@ -100,6 +112,96 @@ bool ResultCache::Insert(const CacheKey& key, const SolveReport& report) {
   if (grew) stats_.entries += 1;
   stats_.entries -= std::min(stats_.entries, evicted);
   return true;
+}
+
+namespace {
+
+/// Both inputs sorted; true iff they share an element.
+bool SortedIntersects(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::pair<uint64_t, uint64_t> ResultCache::OnDatabaseDelta(
+    const DbFingerprint& old_fp, const DbFingerprint& new_fp,
+    const std::vector<std::string>& touched) {
+  const std::string old_prefix = CacheKeyPrefix(old_fp);
+  const std::string new_prefix = CacheKeyPrefix(new_fp);
+  uint64_t invalidated = 0;
+  uint64_t rekeyed = 0;
+  uint64_t evicted = 0;
+
+  // Phase 1: under each shard's lock in turn, extract every entry of the
+  // old epoch. Survivors are reinserted in phase 2 — possibly into a
+  // different shard (the key hash changes), so they cannot be moved while
+  // holding the source shard's lock without risking lock-order cycles.
+  std::vector<Entry> survivors;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.compare(0, old_prefix.size(), old_prefix) != 0) {
+        ++it;
+        continue;
+      }
+      // Unindex before moving the entry out: the move empties `it->key`,
+      // and erasing by the moved-from string would leave a dangling
+      // iterator in the index.
+      shard.index.erase(it->key);
+      if (SortedIntersects(it->footprint, touched)) {
+        ++invalidated;
+      } else {
+        survivors.push_back(std::move(*it));
+        ++rekeyed;
+      }
+      it = shard.lru.erase(it);
+    }
+  }
+
+  // Phase 2: reinsert survivors under the new epoch's prefix. Between the
+  // phases a concurrent lookup of a survivor misses — harmless (it would
+  // also miss once the fingerprint changes) and rare (the service applies
+  // deltas under the shard's delta lock).
+  for (Entry& e : survivors) {
+    CacheKey key;
+    key.text = new_prefix + e.key.substr(old_prefix.size());
+    Hash128 h;
+    h.Update(key.text);
+    key.hash = h.Finish().lo;
+    e.key = key.text;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key.text);
+    if (it != shard.index.end()) {
+      it->second->report = std::move(e.report);
+      continue;
+    }
+    while (shard.lru.size() >= shard.capacity) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+    shard.lru.push_front(std::move(e));
+    shard.index.emplace(key.text, shard.lru.begin());
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.invalidated += invalidated;
+  stats_.rekeyed += rekeyed;
+  stats_.evictions += evicted;
+  stats_.entries -= std::min(stats_.entries, invalidated + evicted);
+  return {invalidated, rekeyed};
 }
 
 void ResultCache::RecordCoalesced() {

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cqa/cache/fingerprint.h"
@@ -23,10 +24,19 @@ namespace cqa {
 struct CacheKey {
   std::string text;
   uint64_t hash = 0;
+  /// Sorted unique relation names the query mentions (positive or negated)
+  /// — its *footprint*. Stored with the entry so a database delta can
+  /// decide per entry whether the verdict could have changed: a delta
+  /// touching only relations outside the footprint cannot affect it.
+  std::vector<std::string> footprint;
 };
 
 CacheKey MakeCacheKey(const DbFingerprint& fp, SolverMethod method,
                       const Query& q);
+
+/// The fingerprint-hex prefix of `MakeCacheKey(fp, ...)` keys, exposed so
+/// the delta path can rewrite keys across epochs.
+std::string CacheKeyPrefix(const DbFingerprint& fp);
 
 /// Counters of one `ResultCache`, all monotone except `entries`.
 /// `coalesced` is a sub-classification of `misses`: a coalesced submission
@@ -42,6 +52,11 @@ struct CacheStats {
   uint64_t rejected = 0;  // insert attempts with non-cacheable reports
   uint64_t evictions = 0;
   uint64_t entries = 0;  // current size (gauge)
+  // Delta bookkeeping (see OnDatabaseDelta): `invalidated` counts entries
+  // dropped because their footprint intersected a delta, `rekeyed` counts
+  // entries carried across to the new epoch because it did not.
+  uint64_t invalidated = 0;
+  uint64_t rekeyed = 0;
 };
 
 /// True iff `report` may be stored: exact verdicts only. Degraded verdicts
@@ -83,6 +98,22 @@ class ResultCache {
   void RecordCoalesced();
   void RecordBypass();
 
+  /// Migrates the cache across a database delta: every entry keyed under
+  /// the old fingerprint either dies (its query's footprint intersects
+  /// `touched` — the delta may have changed the verdict) or is *rekeyed*
+  /// under the new fingerprint (disjoint footprint — the verdict provably
+  /// survives, so the entry keeps serving hits on the new epoch without a
+  /// re-solve). `touched` must be sorted; returns {invalidated, rekeyed}.
+  ///
+  /// Rekeying can move an entry between shards (the hash changes); moved
+  /// entries land most-recent in their new shard and may evict its LRU
+  /// tail as usual. Concurrent lookups during the migration see either the
+  /// old or the new key — both are correct, because the service publishes
+  /// the new epoch only after this returns.
+  std::pair<uint64_t, uint64_t> OnDatabaseDelta(
+      const DbFingerprint& old_fp, const DbFingerprint& new_fp,
+      const std::vector<std::string>& touched);
+
   CacheStats Stats() const;
 
   size_t max_entries() const { return max_entries_; }
@@ -91,6 +122,7 @@ class ResultCache {
   struct Entry {
     std::string key;
     SolveReport report;
+    std::vector<std::string> footprint;  // see CacheKey::footprint
   };
   struct Shard {
     std::mutex mu;

@@ -21,6 +21,18 @@ Result<Database> Database::FromText(std::string_view text) {
   return db;
 }
 
+Database::RelationData& Database::MutableRelation(Symbol relation) {
+  std::shared_ptr<RelationData>& rd = relations_[relation];
+  if (rd == nullptr) {
+    rd = std::make_shared<RelationData>();
+  } else if (rd.use_count() > 1) {
+    // Shared with a sibling copy (another epoch): deep-copy this relation
+    // before mutating so the sibling keeps its snapshot untouched.
+    rd = std::make_shared<RelationData>(*rd);
+  }
+  return *rd;
+}
+
 Result<bool> Database::AddFact(Symbol relation, Tuple values) {
   if (!schema_.Has(relation)) {
     return Result<bool>::Error("unknown relation '" + SymbolName(relation) +
@@ -33,10 +45,14 @@ Result<bool> Database::AddFact(Symbol relation, Tuple values) {
         std::to_string(values.size()) + ", expected " +
         std::to_string(rs.arity));
   }
-  RelationData& rd = relations_[relation];
-  auto [it, inserted] =
-      rd.fact_index.emplace(values, static_cast<int>(rd.facts.size()));
-  if (!inserted) return false;
+  // Membership check before MutableRelation: a duplicate insert must not
+  // trigger a copy-on-write clone.
+  auto it = relations_.find(relation);
+  if (it != relations_.end() && it->second->fact_index.count(values) > 0) {
+    return false;
+  }
+  RelationData& rd = MutableRelation(relation);
+  rd.fact_index.emplace(values, static_cast<int>(rd.facts.size()));
   rd.facts.push_back(std::move(values));
   InvalidateBlocks();
   return true;
@@ -67,7 +83,7 @@ Result<bool> Database::AddAll(const Database& other) {
     if (!r.ok()) return Result<bool>::Error(r.error());
   }
   for (const auto& [rel, rd] : other.relations_) {
-    for (const Tuple& t : rd.facts) {
+    for (const Tuple& t : rd->facts) {
       Result<bool> r = AddFact(rel, t);
       if (!r.ok()) return r;
     }
@@ -77,10 +93,11 @@ Result<bool> Database::AddAll(const Database& other) {
 
 bool Database::RemoveFact(Symbol relation, const Tuple& values) {
   auto it = relations_.find(relation);
-  if (it == relations_.end()) return false;
-  RelationData& rd = it->second;
+  if (it == relations_.end() || it->second->fact_index.count(values) == 0) {
+    return false;
+  }
+  RelationData& rd = MutableRelation(relation);
   auto fit = rd.fact_index.find(values);
-  if (fit == rd.fact_index.end()) return false;
   int idx = fit->second;
   int last = static_cast<int>(rd.facts.size()) - 1;
   if (idx != last) {
@@ -114,7 +131,7 @@ void Database::ForEachFact(Symbol relation,
                            const std::function<bool(const Tuple&)>& fn) const {
   auto it = relations_.find(relation);
   if (it == relations_.end()) return;
-  for (const Tuple& t : it->second.facts) {
+  for (const Tuple& t : it->second->facts) {
     if (!fn(t)) return;
   }
 }
@@ -122,13 +139,13 @@ void Database::ForEachFact(Symbol relation,
 bool Database::Contains(Symbol relation, const Tuple& values) const {
   auto it = relations_.find(relation);
   if (it == relations_.end()) return false;
-  return it->second.fact_index.count(values) > 0;
+  return it->second->fact_index.count(values) > 0;
 }
 
 std::vector<Value> Database::ActiveDomain() const {
   std::set<Value> seen;
   for (const auto& [rel, rd] : relations_) {
-    for (const Tuple& t : rd.facts) {
+    for (const Tuple& t : rd->facts) {
       for (Value v : t) seen.insert(v);
     }
   }
@@ -138,12 +155,12 @@ std::vector<Value> Database::ActiveDomain() const {
 const std::vector<Tuple>& Database::FactsOf(Symbol relation) const {
   static const std::vector<Tuple>& empty = *new std::vector<Tuple>();
   auto it = relations_.find(relation);
-  return it == relations_.end() ? empty : it->second.facts;
+  return it == relations_.end() ? empty : it->second->facts;
 }
 
 size_t Database::NumFacts() const {
   size_t n = 0;
-  for (const auto& [rel, rd] : relations_) n += rd.facts.size();
+  for (const auto& [rel, rd] : relations_) n += rd->facts.size();
   return n;
 }
 
@@ -155,7 +172,7 @@ void Database::RebuildBlocks() const {
   for (const RelationSchema& rs : schema_.relations()) {
     auto it = relations_.find(rs.name);
     if (it == relations_.end()) continue;
-    const RelationData& rd = it->second;
+    const RelationData& rd = *it->second;
     std::unordered_map<Tuple, int, TupleHash>& key_to_block =
         block_by_key_[rs.name];
     std::vector<int>& f2b = fact_to_block_[rs.name];
@@ -215,8 +232,8 @@ std::optional<int> Database::BlockOf(Symbol relation,
   EnsureBlocks();
   auto it = relations_.find(relation);
   if (it == relations_.end()) return std::nullopt;
-  auto fit = it->second.fact_index.find(values);
-  if (fit == it->second.fact_index.end()) return std::nullopt;
+  auto fit = it->second->fact_index.find(values);
+  if (fit == it->second->fact_index.end()) return std::nullopt;
   auto bit = fact_to_block_.find(relation);
   assert(bit != fact_to_block_.end());
   return bit->second[static_cast<size_t>(fit->second)];
@@ -250,46 +267,166 @@ std::string RenderFact(const Tuple& fact) {
 
 }  // namespace
 
+Hash128::Digest Database::FactContentDigest(const RelationSchema& rs,
+                                            const Tuple& fact) {
+  // Each fact hashes independently, salted with its relation's full
+  // signature: the same value tuple under R[2,1] and S[2,1] (or under the
+  // same name with a different key) must contribute differently.
+  Hash128 h;
+  h.UpdateSized(SymbolName(rs.name));
+  h.UpdateU64(static_cast<uint64_t>(rs.arity));
+  h.UpdateU64(static_cast<uint64_t>(rs.key_len));
+  h.UpdateSized(RenderFact(fact));
+  return h.Finish();
+}
+
 std::pair<uint64_t, uint64_t> Database::ContentDigest() const {
   if (!digest_valid_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(digest_mu_);
     if (!digest_valid_.load(std::memory_order_relaxed)) {
-      // Relations in name order, not registration order: two loads that
-      // discovered relations in different orders must agree.
-      std::vector<const RelationSchema*> rels;
-      rels.reserve(schema_.relations().size());
-      for (const RelationSchema& r : schema_.relations()) rels.push_back(&r);
-      std::sort(rels.begin(), rels.end(),
-                [](const RelationSchema* a, const RelationSchema* b) {
-                  return SymbolName(a->name) < SymbolName(b->name);
-                });
-
-      Hash128 h;
-      h.UpdateU64(rels.size());
-      for (const RelationSchema* r : rels) {
-        h.UpdateSized(SymbolName(r->name));
-        h.UpdateU64(static_cast<uint64_t>(r->arity));
-        h.UpdateU64(static_cast<uint64_t>(r->key_len));
-
-        std::vector<std::string> rendered;
-        rendered.reserve(NumFacts(r->name));
-        for (const Tuple& fact : FactsOf(r->name)) {
-          rendered.push_back(RenderFact(fact));
+      // Per-fact digests fold through the order-independent multiset
+      // combine: no sorting, no canonical relation order needed — any
+      // enumeration of the same facts reaches the same accumulator, which
+      // is also what lets a delta update it without this rescan.
+      SetHash128 acc;
+      for (const RelationSchema& rs : schema_.relations()) {
+        auto it = relations_.find(rs.name);
+        if (it == relations_.end()) continue;
+        for (const Tuple& fact : it->second->facts) {
+          acc.Add(FactContentDigest(rs, fact));
         }
-        std::sort(rendered.begin(), rendered.end());
-        h.UpdateU64(rendered.size());
-        for (const std::string& f : rendered) h.UpdateSized(f);
       }
-
-      Hash128::Digest d = h.Finish();
-      digest_hi_ = d.hi;
-      digest_lo_ = d.lo;
+      digest_acc_ = acc;
       digest_valid_.store(true, std::memory_order_release);
     }
   }
   // The release store above (or the one a concurrent computer made before
-  // our acquire load succeeded) publishes the digest words.
-  return {digest_hi_, digest_lo_};
+  // our acquire load succeeded) publishes the accumulator words.
+  Hash128::Digest d = digest_acc_.Finish();
+  return {d.hi, d.lo};
+}
+
+std::shared_ptr<Database> Database::CloneWithIndexes() const {
+  // Force both memos on the source so the clone starts from valid state.
+  blocks();
+  ContentDigest();
+  // Built in place on the heap: a by-value return would be moved by the
+  // caller, and Database's move constructor drops the memos on purpose.
+  auto out = std::make_shared<Database>(schema_);
+  out->relations_ = relations_;  // shared copy-on-write, O(relations)
+  {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    out->blocks_ = blocks_;
+    out->fact_to_block_ = fact_to_block_;
+    out->block_by_key_ = block_by_key_;
+  }
+  out->blocks_valid_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(digest_mu_);
+    out->digest_acc_ = digest_acc_;
+  }
+  out->digest_valid_.store(true, std::memory_order_release);
+  return out;
+}
+
+Result<bool> Database::AddFactIncremental(Symbol relation, Tuple values) {
+  if (!schema_.Has(relation)) {
+    return Result<bool>::Error("unknown relation '" + SymbolName(relation) +
+                               "'");
+  }
+  const RelationSchema& rs = schema_.Get(relation);
+  if (static_cast<int>(values.size()) != rs.arity) {
+    return Result<bool>::Error(
+        "arity mismatch for '" + SymbolName(relation) + "': got " +
+        std::to_string(values.size()) + ", expected " +
+        std::to_string(rs.arity));
+  }
+  assert(blocks_valid_.load(std::memory_order_acquire) &&
+         digest_valid_.load(std::memory_order_acquire));
+  auto it = relations_.find(relation);
+  if (it != relations_.end() && it->second->fact_index.count(values) > 0) {
+    return false;
+  }
+  RelationData& rd = MutableRelation(relation);
+  const int idx = static_cast<int>(rd.facts.size());
+  digest_acc_.Add(FactContentDigest(rs, values));
+
+  Tuple key(values.begin(), values.begin() + rs.key_len);
+  std::unordered_map<Tuple, int, TupleHash>& key_to_block =
+      block_by_key_[relation];
+  int block_id;
+  auto kit = key_to_block.find(key);
+  if (kit == key_to_block.end()) {
+    block_id = static_cast<int>(blocks_.size());
+    blocks_.push_back(Block{relation, key, {}});
+    key_to_block.emplace(std::move(key), block_id);
+  } else {
+    block_id = kit->second;
+  }
+  blocks_[static_cast<size_t>(block_id)].fact_indices.push_back(idx);
+  fact_to_block_[relation].push_back(block_id);
+
+  rd.fact_index.emplace(values, idx);
+  rd.facts.push_back(std::move(values));
+  return true;
+}
+
+bool Database::RemoveFactIncremental(Symbol relation, const Tuple& values) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end() || it->second->fact_index.count(values) == 0) {
+    return false;
+  }
+  assert(blocks_valid_.load(std::memory_order_acquire) &&
+         digest_valid_.load(std::memory_order_acquire));
+  const RelationSchema& rs = schema_.Get(relation);
+  RelationData& rd = MutableRelation(relation);
+  auto fit = rd.fact_index.find(values);
+  const int idx = fit->second;
+  const int last = static_cast<int>(rd.facts.size()) - 1;
+  digest_acc_.Remove(
+      FactContentDigest(rs, rd.facts[static_cast<size_t>(idx)]));
+
+  std::vector<int>& f2b = fact_to_block_[relation];
+  const int removed_block = f2b[static_cast<size_t>(idx)];
+  {
+    std::vector<int>& members =
+        blocks_[static_cast<size_t>(removed_block)].fact_indices;
+    members.erase(std::find(members.begin(), members.end(), idx));
+  }
+  if (idx != last) {
+    // Swap-with-last compaction: the last fact moves into the hole, so its
+    // index entry and its block membership entry both retarget to `idx`.
+    rd.facts[static_cast<size_t>(idx)] = rd.facts[static_cast<size_t>(last)];
+    rd.fact_index[rd.facts[static_cast<size_t>(idx)]] = idx;
+    const int moved_block = f2b[static_cast<size_t>(last)];
+    std::vector<int>& members =
+        blocks_[static_cast<size_t>(moved_block)].fact_indices;
+    *std::find(members.begin(), members.end(), last) = idx;
+    f2b[static_cast<size_t>(idx)] = moved_block;
+  }
+  rd.facts.pop_back();
+  rd.fact_index.erase(fit);
+  f2b.pop_back();
+
+  if (blocks_[static_cast<size_t>(removed_block)].fact_indices.empty()) {
+    // The block emptied: swap-with-last on the block list, retargeting the
+    // moved block's key entry and its members' fact_to_block entries.
+    const int end_block = static_cast<int>(blocks_.size()) - 1;
+    block_by_key_[relation].erase(
+        blocks_[static_cast<size_t>(removed_block)].key);
+    if (removed_block != end_block) {
+      blocks_[static_cast<size_t>(removed_block)] =
+          std::move(blocks_[static_cast<size_t>(end_block)]);
+      const Block& moved = blocks_[static_cast<size_t>(removed_block)];
+      block_by_key_[moved.relation][moved.key] = removed_block;
+      std::vector<int>& moved_f2b = fact_to_block_[moved.relation];
+      for (int member : moved.fact_indices) {
+        moved_f2b[static_cast<size_t>(member)] = removed_block;
+      }
+    }
+    blocks_.pop_back();
+  }
+  return true;
 }
 
 uint64_t Database::CountRepairs(uint64_t cap) const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -11,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "cqa/base/hash.h"
 #include "cqa/base/result.h"
 #include "cqa/base/value.h"
 #include "cqa/db/fact.h"
@@ -64,10 +66,12 @@ class Database : public FactView {
   explicit Database(Schema schema) : schema_(std::move(schema)) {}
 
   // Copy/move transfer the facts but not the lazily-built block index (the
-  // cache guard is not copyable; the index rebuilds on first use). Const
-  // access is thread-safe — many threads may share one const Database (the
-  // serve layer does) — but mutating concurrently with any other access is
-  // a data race, as usual.
+  // cache guard is not copyable; the index rebuilds on first use). A copy
+  // *shares* the per-relation fact storage until one side mutates it
+  // (copy-on-write at relation granularity), so copying a large database
+  // costs O(relations), not O(facts). Const access is thread-safe — many
+  // threads may share one const Database (the serve layer does) — but
+  // mutating concurrently with any other access is a data race, as usual.
   Database(const Database& other)
       : schema_(other.schema_), relations_(other.relations_) {}
   Database(Database&& other) noexcept
@@ -150,12 +154,44 @@ class Database : public FactView {
   /// True iff every block is a singleton.
   bool IsConsistent() const;
 
-  /// 128-bit content digest over the canonical fact form (relations in name
-  /// order, facts sorted; the value `FingerprintDatabase` wraps). Memoized
-  /// under the same double-checked pattern as the block index — computed at
-  /// most once per instance between mutations — so per-request cache paths
-  /// never rehash an unchanged database. Thread-safe for const access.
+  /// 128-bit content digest over the fact *multiset*: every fact hashes
+  /// independently (salted with its relation's name/arity/key length) and
+  /// the per-fact digests fold through the order-independent `SetHash128`
+  /// combine — so two loads that discovered the same facts in any order
+  /// digest equally, and an insert or delete updates the digest in O(1)
+  /// from the delta alone (see AddFactIncremental / RemoveFactIncremental).
+  /// The value `FingerprintDatabase` wraps. Memoized under the same
+  /// double-checked pattern as the block index — computed at most once per
+  /// instance between bulk mutations. Thread-safe for const access.
   std::pair<uint64_t, uint64_t> ContentDigest() const;
+
+  /// The digest of one fact as it enters the multiset combine. Exposed so
+  /// the delta journal can reason about fingerprints without a database.
+  static Hash128::Digest FactContentDigest(const RelationSchema& rs,
+                                           const Tuple& fact);
+
+  /// A copy that *keeps* the memoized block index and content digest of
+  /// this instance (both forced if absent), unlike the plain copy
+  /// constructor which drops them. This is how a delta derives the next
+  /// epoch: clone in O(blocks), then apply O(delta) incremental mutations
+  /// — never a full index rebuild or fact rescan. The relations' fact
+  /// storage is shared copy-on-write, so only relations the delta touches
+  /// are ever deep-copied. Returns a heap instance because moving a
+  /// Database (see the copy/move doc above) intentionally drops the memos
+  /// this clone exists to carry.
+  std::shared_ptr<Database> CloneWithIndexes() const;
+
+  /// Inserts a fact while *maintaining* the block index and content digest
+  /// incrementally (requires both valid — call `blocks()` and
+  /// `ContentDigest()` first, or start from `CloneWithIndexes`). O(1)
+  /// amortized. Same validation and set semantics as `AddFact`.
+  Result<bool> AddFactIncremental(Symbol relation, Tuple values);
+
+  /// Removes a fact with incremental index + digest maintenance; the
+  /// counterpart of `AddFactIncremental`. O(block) — removal compacts the
+  /// fact array (swap-with-last) and, when a block empties, the block list
+  /// (swap-with-last again), fixing up the affected index entries only.
+  bool RemoveFactIncremental(Symbol relation, const Tuple& values);
 
   /// Number of repairs = product of block sizes, capped at `cap`.
   uint64_t CountRepairs(uint64_t cap = UINT64_MAX) const;
@@ -181,8 +217,16 @@ class Database : public FactView {
   void EnsureBlocks() const;
   void RebuildBlocks() const;
 
+  /// The relation's data, cloned first if it is shared with another
+  /// Database copy (copy-on-write) — a mutation must never be visible
+  /// through a sibling epoch. Creates the relation when absent.
+  RelationData& MutableRelation(Symbol relation);
+
   Schema schema_;
-  std::unordered_map<Symbol, RelationData> relations_;
+  // Values are shared across copies until mutated (see MutableRelation):
+  // an epoch derived by a small delta deep-copies only the relations the
+  // delta touches.
+  std::unordered_map<Symbol, std::shared_ptr<RelationData>> relations_;
 
   // Lazily rebuilt block index. `blocks_valid_` is the publication flag:
   // set with release after a rebuild completes (under `blocks_mu_`), read
@@ -198,13 +242,14 @@ class Database : public FactView {
       block_by_key_;
 
   // Lazily computed content digest, published like the block index: the
-  // digest words are written under `digest_mu_` before the release store of
-  // `digest_valid_`. A separate mutex so an O(n log n) digest computation
-  // never blocks block-index readers.
+  // accumulator words are written under `digest_mu_` before the release
+  // store of `digest_valid_`. A separate mutex so an O(n) digest
+  // computation never blocks block-index readers. The raw `SetHash128`
+  // accumulator (not the finished digest) is what is memoized, so the
+  // incremental mutators can fold a delta straight into it.
   mutable std::mutex digest_mu_;
   mutable std::atomic<bool> digest_valid_{false};
-  mutable uint64_t digest_hi_ = 0;
-  mutable uint64_t digest_lo_ = 0;
+  mutable SetHash128 digest_acc_;
 };
 
 }  // namespace cqa

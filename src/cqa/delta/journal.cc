@@ -1,0 +1,229 @@
+#include "cqa/delta/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "cqa/base/crc32c.h"
+#include "cqa/serve/net/json.h"
+
+namespace cqa {
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+std::string BuildPayload(const FactDelta& delta, const DbFingerprint& fp) {
+  return JsonObjectBuilder()
+      .Set("delta_id", delta.id)
+      .Set("fp", fp.ToHex())
+      .Set("ops", EncodeDeltaOps(delta.ops))
+      .Build()
+      .Serialize();
+}
+
+bool ParseFpHex(const std::string& hex, DbFingerprint* out) {
+  if (hex.size() != 32) return false;
+  uint64_t words[2] = {0, 0};
+  for (int p = 0; p < 2; ++p) {
+    for (int i = 0; i < 16; ++i) {
+      char c = hex[static_cast<size_t>(p * 16 + i)];
+      uint64_t nibble;
+      if (c >= '0' && c <= '9') {
+        nibble = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = static_cast<uint64_t>(c - 'a' + 10);
+      } else {
+        return false;
+      }
+      words[p] = (words[p] << 4) | nibble;
+    }
+  }
+  out->hi = words[0];
+  out->lo = words[1];
+  return true;
+}
+
+/// Decodes one payload; false on any structural problem (treated by the
+/// caller exactly like a CRC mismatch — the record and everything after it
+/// is a torn tail).
+bool DecodePayload(const std::string& payload, JournalRecord* out) {
+  Result<Json> parsed = Json::Parse(payload);
+  if (!parsed.ok() || !parsed->is_object()) return false;
+  const Json* id = parsed->Find("delta_id");
+  if (id == nullptr || !id->is_string() || id->AsString().empty() ||
+      id->AsString().size() > kMaxDeltaIdBytes) {
+    return false;
+  }
+  const Json* fp = parsed->Find("fp");
+  if (fp == nullptr || !fp->is_string() ||
+      !ParseFpHex(fp->AsString(), &out->fp_after)) {
+    return false;
+  }
+  const Json* ops = parsed->Find("ops");
+  if (ops == nullptr) return false;
+  Result<std::vector<DeltaOp>> decoded = DecodeDeltaOps(*ops);
+  if (!decoded.ok()) return false;
+  out->delta.id = id->AsString();
+  out->delta.ops = std::move(decoded.value());
+  return true;
+}
+
+Result<bool> WriteFully(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Result<bool>::Error(
+          ErrorCode::kInternal,
+          std::string("journal write failed: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DeltaJournal>> DeltaJournal::Open(
+    std::string path, JournalOptions options) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Result<std::unique_ptr<DeltaJournal>>::Error(
+        ErrorCode::kInternal, "cannot open journal '" + path +
+                                  "': " + std::strerror(errno));
+  }
+  struct stat st;
+  uint64_t existing = 0;
+  if (::fstat(fd, &st) == 0) existing = static_cast<uint64_t>(st.st_size);
+  return std::unique_ptr<DeltaJournal>(
+      new DeltaJournal(std::move(path), fd, existing, options));
+}
+
+DeltaJournal::~DeltaJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<bool> DeltaJournal::Append(const FactDelta& delta,
+                                  const DbFingerprint& fp_after) {
+  if (options_.fail_after_appends != 0 &&
+      appends_ >= options_.fail_after_appends) {
+    return Result<bool>::Error(ErrorCode::kInternal,
+                               "journal fault injection: append failed");
+  }
+  std::string payload = BuildPayload(delta, fp_after);
+  if (payload.size() > kMaxJournalRecordBytes) {
+    return Result<bool>::Error(
+        ErrorCode::kUnsupported,
+        "journal record too large: " + std::to_string(payload.size()) +
+            " bytes");
+  }
+  std::string record;
+  record.reserve(8 + payload.size());
+  PutU32(record, static_cast<uint32_t>(payload.size()));
+  PutU32(record, Crc32c(payload));
+  record += payload;
+
+  if (options_.tear_after_appends != 0 &&
+      appends_ >= options_.tear_after_appends) {
+    // Simulated kill -9 mid-write: part of the record reaches disk, then
+    // the "process" dies. The caller must treat this as append failure.
+    size_t keep = options_.tear_keep_bytes < record.size()
+                      ? static_cast<size_t>(options_.tear_keep_bytes)
+                      : record.size() - 1;
+    Result<bool> w = WriteFully(fd_, record.data(), keep);
+    if (w.ok()) bytes_written_ += keep;
+    return Result<bool>::Error(ErrorCode::kInternal,
+                               "journal fault injection: torn append");
+  }
+
+  Result<bool> w = WriteFully(fd_, record.data(), record.size());
+  if (!w.ok()) return w;
+  bytes_written_ += record.size();
+  if (options_.fsync == FsyncPolicy::kAlways) {
+    if (::fsync(fd_) != 0) {
+      return Result<bool>::Error(
+          ErrorCode::kInternal,
+          std::string("journal fsync failed: ") + std::strerror(errno));
+    }
+    ++fsyncs_;
+  }
+  ++appends_;
+  return true;
+}
+
+JournalReplay ParseJournalBytes(std::string_view bytes) {
+  JournalReplay out;
+  const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
+  size_t off = 0;
+  while (true) {
+    if (bytes.size() - off < 8) break;  // no full header left
+    uint32_t len = GetU32(base + off);
+    uint32_t crc = GetU32(base + off + 4);
+    if (len > kMaxJournalRecordBytes) break;
+    if (bytes.size() - off - 8 < len) break;  // payload torn
+    std::string payload(bytes.substr(off + 8, len));
+    if (Crc32c(payload) != crc) break;
+    JournalRecord rec;
+    if (!DecodePayload(payload, &rec)) break;
+    out.records.push_back(std::move(rec));
+    off += 8 + len;
+  }
+  out.valid_bytes = off;
+  out.truncated_tail = off < bytes.size();
+  return out;
+}
+
+Result<JournalReplay> ReplayJournalFile(const std::string& path,
+                                        bool truncate_torn_tail) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return JournalReplay{};  // no journal yet
+    return Result<JournalReplay>::Error(
+        ErrorCode::kInternal,
+        "cannot read journal '" + path + "': " + std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Result<JournalReplay>::Error(
+          ErrorCode::kInternal,
+          "cannot read journal '" + path + "': " + std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  JournalReplay replay = ParseJournalBytes(bytes);
+  if (replay.truncated_tail && truncate_torn_tail) {
+    if (::truncate(path.c_str(), static_cast<off_t>(replay.valid_bytes)) !=
+        0) {
+      return Result<JournalReplay>::Error(
+          ErrorCode::kInternal, "cannot truncate torn journal tail of '" +
+                                    path + "': " + std::strerror(errno));
+    }
+  }
+  return replay;
+}
+
+}  // namespace cqa

@@ -1,0 +1,118 @@
+#ifndef CQA_DELTA_JOURNAL_H_
+#define CQA_DELTA_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cqa/base/result.h"
+#include "cqa/cache/fingerprint.h"
+#include "cqa/delta/delta.h"
+
+namespace cqa {
+
+/// On-disk format: a journal is a sequence of records, each
+///
+///   [u32 len][u32 crc32c(payload)][payload bytes]
+///
+/// with both integers little-endian and the payload a compact JSON object
+/// `{"delta_id":"...","fp":"<32 hex>","ops":[...]}` (`ops` as in
+/// `EncodeDeltaOps`; `fp` is the fingerprint the database must have *after*
+/// this record applies — the running digest recovery verifies against).
+/// A record is valid iff its length is sane, the payload is fully present,
+/// the CRC matches, and the payload decodes. Replay stops at the first
+/// invalid record: everything before it is the acknowledged prefix,
+/// everything from it on is a torn tail from a crash mid-append and is
+/// truncated, never applied.
+
+/// Upper bound on one record's payload; larger lengths are treated as
+/// corruption (prevents a flipped length byte from demanding a 4 GiB read).
+inline constexpr uint32_t kMaxJournalRecordBytes = 16u << 20;
+
+enum class FsyncPolicy {
+  kAlways,  // fsync after every append, before the delta is acknowledged
+  kNever,   // leave flushing to the OS (test / throwaway journals)
+};
+
+struct JournalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+
+  // Fault-injection knobs (0 = disabled), for crash drills: counting
+  // *successful* prior appends, the next append either fails cleanly
+  // without writing (`fail_after_appends`) or writes only the first
+  // `tear_keep_bytes` bytes of the record and then fails
+  // (`tear_after_appends`) — the on-disk image a kill -9 mid-write leaves.
+  uint64_t fail_after_appends = 0;
+  uint64_t tear_after_appends = 0;
+  uint64_t tear_keep_bytes = 0;
+};
+
+/// Append handle for one database's journal. Not thread-safe; the owning
+/// shard serialises appends under its delta lock.
+class DeltaJournal {
+ public:
+  /// Opens (creating if absent) the journal for appending. Existing bytes
+  /// are preserved — replay them first via `ReplayJournalFile`, which also
+  /// truncates any torn tail so appends continue from a record boundary.
+  static Result<std::unique_ptr<DeltaJournal>> Open(std::string path,
+                                                   JournalOptions options);
+
+  ~DeltaJournal();
+  DeltaJournal(const DeltaJournal&) = delete;
+  DeltaJournal& operator=(const DeltaJournal&) = delete;
+
+  /// Appends one record and (policy permitting) fsyncs it. On any error the
+  /// delta MUST NOT be acknowledged or applied — the write-ahead contract
+  /// is append-then-publish.
+  Result<bool> Append(const FactDelta& delta, const DbFingerprint& fp_after);
+
+  uint64_t bytes_written() const { return bytes_written_; }  // file size
+  uint64_t fsyncs() const { return fsyncs_; }
+  uint64_t appends() const { return appends_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  DeltaJournal(std::string path, int fd, uint64_t existing_bytes,
+               JournalOptions options)
+      : path_(std::move(path)),
+        fd_(fd),
+        bytes_written_(existing_bytes),
+        options_(options) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t bytes_written_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t appends_ = 0;
+  JournalOptions options_;
+};
+
+/// One replayed record.
+struct JournalRecord {
+  FactDelta delta;
+  DbFingerprint fp_after;
+};
+
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  uint64_t valid_bytes = 0;    // offset of the first invalid byte, if any
+  bool truncated_tail = false; // input had bytes past the valid prefix
+};
+
+/// Pure, total decoder: any byte string yields the longest valid record
+/// prefix — never crashes, never throws, the journal-bytes fuzz target
+/// calls this directly on raw fuzz input.
+JournalReplay ParseJournalBytes(std::string_view bytes);
+
+/// Reads and decodes `path`. A missing file is an empty journal, not an
+/// error. With `truncate_torn_tail`, a detected torn/corrupt tail is also
+/// cut from the file on disk so subsequent appends restart cleanly at the
+/// last record boundary.
+Result<JournalReplay> ReplayJournalFile(const std::string& path,
+                                        bool truncate_torn_tail);
+
+}  // namespace cqa
+
+#endif  // CQA_DELTA_JOURNAL_H_

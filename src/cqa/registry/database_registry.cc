@@ -65,6 +65,25 @@ Result<std::shared_ptr<const Database>> DatabaseRegistry::Detach(
   return db;
 }
 
+Result<std::shared_ptr<const Database>> DatabaseRegistry::Replace(
+    const std::string& name, std::shared_ptr<const Database> db,
+    const DbFingerprint& fingerprint) {
+  using R = Result<std::shared_ptr<const Database>>;
+  if (db == nullptr) {
+    return R::Error(ErrorCode::kInternal, "replace with a null database");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    return R::Error(ErrorCode::kUnsupported,
+                    "database '" + name + "' is not attached");
+  }
+  std::shared_ptr<const Database> previous = std::move(it->second.db);
+  it->second.db = std::move(db);
+  it->second.fingerprint = fingerprint;
+  return previous;
+}
+
 DatabaseRegistry::Entry DatabaseRegistry::EntryFor(const std::string& name,
                                                    const Slot& slot) const {
   Entry e;

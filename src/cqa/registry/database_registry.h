@@ -64,6 +64,16 @@ class DatabaseRegistry {
   /// instance so the caller can keep it alive through its own drain.
   Result<std::shared_ptr<const Database>> Detach(const std::string& name);
 
+  /// Swaps `name`'s instance for a new epoch (a delta-derived database),
+  /// returning the previous instance. The slot keeps its default status;
+  /// `fingerprint` must be the new instance's (the caller already computed
+  /// it during delta application — no rehash here). Fails with
+  /// `kUnsupported` for unknown names. Readers holding the old epoch are
+  /// unaffected: the registry only swaps its own reference.
+  Result<std::shared_ptr<const Database>> Replace(
+      const std::string& name, std::shared_ptr<const Database> db,
+      const DbFingerprint& fingerprint);
+
   /// Looks up an instance; the empty name resolves to the default. Fails
   /// with `kDetached` for unknown names (the instance is not attached —
   /// whether it never was or was detached is indistinguishable here) and

@@ -19,6 +19,58 @@ Result<DatabaseRegistry::Entry> ShardedSolveService::Attach(
     return R::Error(ErrorCode::kOverloaded,
                     "registry is shutting down; attach refused");
   }
+
+  // Journal recovery runs before the registry attach, so a diverging or
+  // unreadable journal leaves nothing attached. Each replayed record's
+  // fingerprint must match the one journaled at append time: a mismatch
+  // means the base snapshot is not the one the journal was written
+  // against (or the journal lies), and serving from it would silently
+  // resurrect pre-crash state.
+  uint64_t replayed = 0;
+  std::unordered_map<std::string, uint64_t> replayed_ids;
+  std::unique_ptr<DeltaJournal> journal;
+  if (!options_.journal_dir.empty()) {
+    if (!DatabaseRegistry::ValidName(name)) {
+      return R::Error(ErrorCode::kUnsupported,
+                      "invalid database name '" + name +
+                          "' (1-64 chars from [A-Za-z0-9_.-])");
+    }
+    if (db == nullptr) {
+      return R::Error(ErrorCode::kInternal, "attach of a null database");
+    }
+    const std::string path = options_.journal_dir + "/" + name + ".journal";
+    Result<JournalReplay> replay =
+        ReplayJournalFile(path, /*truncate_torn_tail=*/true);
+    if (!replay.ok()) return R::Error(replay);
+    for (const JournalRecord& rec : replay->records) {
+      Result<DeltaApplyOutcome> applied =
+          ApplyDeltaToDatabase(*db, rec.delta);
+      if (!applied.ok()) {
+        return R::Error(ErrorCode::kInternal,
+                        "journal replay of '" + name + "' failed at record " +
+                            std::to_string(replayed + 1) + " (delta '" +
+                            rec.delta.id + "'): " + applied.error());
+      }
+      if (applied->fingerprint.hi != rec.fp_after.hi ||
+          applied->fingerprint.lo != rec.fp_after.lo) {
+        return R::Error(
+            ErrorCode::kInternal,
+            "journal replay of '" + name + "' diverged at record " +
+                std::to_string(replayed + 1) + " (delta '" + rec.delta.id +
+                "'): replayed fingerprint " + applied->fingerprint.ToHex() +
+                " != journaled " + rec.fp_after.ToHex() +
+                " — wrong base snapshot for this journal?");
+      }
+      db = applied->db;
+      ++replayed;
+      replayed_ids.emplace(rec.delta.id, replayed);
+    }
+    Result<std::unique_ptr<DeltaJournal>> opened =
+        DeltaJournal::Open(path, options_.journal);
+    if (!opened.ok()) return R::Error(opened);
+    journal = std::move(opened.value());
+  }
+
   // The registry is the arbiter of names: a duplicate or invalid name
   // fails here before any worker thread is spawned. It also pays for the
   // block index + fingerprint precomputation.
@@ -27,6 +79,10 @@ Result<DatabaseRegistry::Entry> ShardedSolveService::Attach(
   auto shard = std::make_shared<Shard>();
   shard->name = name;
   shard->db = *attached;
+  shard->fingerprint = FingerprintDatabase(**attached);  // memoized
+  shard->epoch = replayed;
+  shard->applied_delta_ids = std::move(replayed_ids);
+  shard->journal = std::move(journal);
   shard->service = std::make_unique<SolveService>(options_.shard);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -99,12 +155,84 @@ Result<ShardedSolveService::ShardPtr> ShardedSolveService::ResolveShard(
   return it->second;
 }
 
+Result<DeltaOutcome> ShardedSolveService::ApplyDelta(
+    const std::string& db_name, const FactDelta& delta) {
+  using R = Result<DeltaOutcome>;
+  if (delta.id.empty() || delta.id.size() > kMaxDeltaIdBytes) {
+    return R::Error(ErrorCode::kUnsupported,
+                    "delta id must be 1-" +
+                        std::to_string(kMaxDeltaIdBytes) + " bytes");
+  }
+  Result<ShardPtr> resolved = ResolveShard(db_name);
+  if (!resolved.ok()) return R::Error(resolved);
+  ShardPtr shard = *resolved;
+
+  // One delta at a time per shard: validation, journal append, cache
+  // migration, and the epoch swap are a single critical section, so a
+  // concurrent Submit pins either the epoch before this delta or the one
+  // after — never a half-applied state.
+  std::lock_guard<std::mutex> lock(shard->db_mu);
+  DeltaOutcome out;
+  out.name = shard->name;
+  out.delta_id = delta.id;
+  if (shard->applied_delta_ids.count(delta.id) > 0) {
+    // Idempotent replay of an acknowledged delta (client retry after a
+    // lost ack): acknowledge again with the current state, change nothing.
+    out.applied = false;
+    out.epoch = shard->epoch;
+    out.fingerprint = shard->fingerprint;
+    return out;
+  }
+
+  Result<DeltaApplyOutcome> applied = ApplyDeltaToDatabase(*shard->db, delta);
+  if (!applied.ok()) return R::Error(applied);
+
+  // Write-ahead: the record must be durable before anything observable
+  // changes. An append failure (ENOSPC, fault injection, torn write)
+  // rejects the delta outright — the database, cache, and epoch counter
+  // are untouched, and the client must not treat the delta as applied.
+  if (shard->journal != nullptr) {
+    Result<bool> appended =
+        shard->journal->Append(delta, applied->fingerprint);
+    if (!appended.ok()) return R::Error(appended);
+  }
+
+  // Cache migration happens before the new epoch is published: after the
+  // swap, every lookup uses the new fingerprint, and entries under the old
+  // prefix would never be found again (rekeying would be pointless and
+  // stale-serving impossible either way — the prefix *is* the epoch).
+  std::pair<uint64_t, uint64_t> counts = shard->service->OnDatabaseDelta(
+      shard->fingerprint, applied->fingerprint, applied->touched);
+
+  registry_.Replace(shard->name, applied->db, applied->fingerprint);
+  shard->db = applied->db;
+  shard->fingerprint = applied->fingerprint;
+  ++shard->epoch;
+  ++shard->deltas_applied;
+  shard->applied_delta_ids.emplace(delta.id, shard->epoch);
+
+  out.applied = true;
+  out.epoch = shard->epoch;
+  out.fingerprint = applied->fingerprint;
+  out.inserted = applied->inserted;
+  out.deleted = applied->deleted;
+  out.cache_invalidated = counts.first;
+  out.cache_rekeyed = counts.second;
+  return out;
+}
+
 Result<uint64_t> ShardedSolveService::Submit(const std::string& db_name,
                                              ServeJob job, Callback callback,
                                              std::string* resolved_name) {
   Result<ShardPtr> shard = ResolveShard(db_name);
   if (!shard.ok()) return Result<uint64_t>::Error(shard);
-  job.db = (*shard)->db;
+  {
+    // Epoch pin: the copy taken here keeps this request (and any sandbox
+    // child forked from it) on a consistent snapshot even if a delta swaps
+    // the shard's instance while the request is queued or running.
+    std::lock_guard<std::mutex> lock((*shard)->db_mu);
+    job.db = (*shard)->db;
+  }
   if (resolved_name != nullptr) *resolved_name = (*shard)->name;
   Result<uint64_t> id =
       (*shard)->service->Submit(std::move(job), std::move(callback));
@@ -193,6 +321,12 @@ ServiceStats ShardedSolveService::Stats() const {
     total.cache_bypass += stats.cache_bypass;
     total.cache_entries += stats.cache_entries;
     total.cache_evictions += stats.cache_evictions;
+    total.cache_invalidated += stats.cache_invalidated;
+    total.cache_rekeyed += stats.cache_rekeyed;
+    total.epoch += stats.epoch;
+    total.deltas_applied += stats.deltas_applied;
+    total.journal_bytes += stats.journal_bytes;
+    total.journal_fsyncs += stats.journal_fsyncs;
     total.sandbox_forks += stats.sandbox_forks;
     total.sandbox_kills += stats.sandbox_kills;
     total.sandbox_crashes += stats.sandbox_crashes;
@@ -212,6 +346,18 @@ ServiceStats ShardedSolveService::Stats() const {
   return total;
 }
 
+ServiceStats ShardedSolveService::ShardStats(const ShardPtr& shard) const {
+  ServiceStats s = shard->service->Stats();
+  std::lock_guard<std::mutex> lock(shard->db_mu);
+  s.epoch = shard->epoch;
+  s.deltas_applied = shard->deltas_applied;
+  if (shard->journal != nullptr) {
+    s.journal_bytes = shard->journal->bytes_written();
+    s.journal_fsyncs = shard->journal->fsyncs();
+  }
+  return s;
+}
+
 std::vector<std::pair<std::string, ServiceStats>>
 ShardedSolveService::StatsPerDb() const {
   std::vector<std::pair<std::string, ShardPtr>> shards;
@@ -225,7 +371,7 @@ ShardedSolveService::StatsPerDb() const {
   std::vector<std::pair<std::string, ServiceStats>> out;
   out.reserve(shards.size());
   for (auto& [name, shard] : shards) {
-    out.emplace_back(name, shard->service->Stats());
+    out.emplace_back(name, ShardStats(shard));
   }
   return out;
 }
@@ -250,7 +396,7 @@ Result<ServiceStats> ShardedSolveService::StatsFor(
     }
     shard = it->second;
   }
-  return shard->service->Stats();
+  return ShardStats(shard);
 }
 
 }  // namespace cqa

@@ -13,6 +13,8 @@
 
 #include "cqa/base/result.h"
 #include "cqa/db/database.h"
+#include "cqa/delta/delta.h"
+#include "cqa/delta/journal.h"
 #include "cqa/registry/database_registry.h"
 #include "cqa/serve/service.h"
 #include "cqa/serve/stats.h"
@@ -30,6 +32,15 @@ struct ShardedServiceOptions {
   /// force-cancelling them (queued requests are always shed immediately
   /// with `kDetached`, never drained).
   std::chrono::milliseconds detach_drain{5000};
+  /// When non-empty, every attached database gets a write-ahead delta
+  /// journal at `<journal_dir>/<name>.journal`: accepted deltas are
+  /// appended (and fsynced per `journal.fsync`) before they are
+  /// acknowledged, and `Attach` replays any existing journal over the
+  /// base snapshot — truncating a torn tail — so a restarted daemon
+  /// resumes at exactly the acknowledged prefix. Empty (the default)
+  /// disables durability: deltas still apply, but die with the process.
+  std::string journal_dir;
+  JournalOptions journal;
 };
 
 /// What `Detach` did: how many queued requests were shed with `kDetached`,
@@ -38,6 +49,21 @@ struct ShardedServiceOptions {
 struct DetachOutcome {
   size_t shed = 0;
   bool drained = true;
+};
+
+/// What `ApplyDelta` did. `applied == false` means the delta id was seen
+/// before (idempotent replay — the ack repeats the current epoch state,
+/// nothing changed). The counters describe this application only.
+struct DeltaOutcome {
+  std::string name;      // resolved registry name
+  std::string delta_id;
+  bool applied = true;
+  uint64_t epoch = 0;    // after this delta
+  DbFingerprint fingerprint;  // after this delta
+  uint64_t inserted = 0;
+  uint64_t deleted = 0;
+  uint64_t cache_invalidated = 0;
+  uint64_t cache_rekeyed = 0;
 };
 
 /// A `DatabaseRegistry` with one `SolveService` worker shard per attached
@@ -81,6 +107,20 @@ class ShardedSolveService {
   /// is already in progress. Blocks for up to `detach_drain`.
   Result<DetachOutcome> Detach(const std::string& name);
 
+  /// Applies `delta` to the shard of `db_name` (empty ⇒ default),
+  /// producing and publishing a new database epoch. Write-ahead contract
+  /// when a journal is configured: the record is on disk (fsynced per
+  /// policy) *before* the swap — a journal append failure rejects the
+  /// delta with the database unchanged. In-flight solves keep the epoch
+  /// they pinned at submit; new submissions see the new one. Cache entries
+  /// whose query footprint intersects the delta are dropped, the rest are
+  /// rekeyed and keep serving hits. Duplicate delta ids (per shard,
+  /// journal-replayed ids included) are acknowledged idempotently with
+  /// `applied == false`. Fails with `kDetached` (unknown/detaching),
+  /// `kUnsupported` (validation), `kInternal` (journal I/O).
+  Result<DeltaOutcome> ApplyDelta(const std::string& db_name,
+                                  const FactDelta& delta);
+
   /// Routes `job` to the shard of `db_name` (empty ⇒ default instance) and
   /// submits it there; `job.db` is overwritten with the attached instance.
   /// On success `*resolved_name` (when non-null) receives the shard's
@@ -122,15 +162,29 @@ class ShardedSolveService {
  private:
   struct Shard {
     std::string name;
+    /// Current epoch's instance; guarded by `db_mu`. `Submit` copies it
+    /// into the job under the lock — that copy is the request's epoch pin.
     std::shared_ptr<const Database> db;
     std::unique_ptr<SolveService> service;
     /// Set at the start of `Detach`; submissions fail-fast from then on.
     std::atomic<bool> detaching{false};
+
+    /// Guards `db` and all delta state below; also serialises delta
+    /// application (journal append + epoch swap are atomic under it).
+    std::mutex db_mu;
+    uint64_t epoch = 0;           // deltas ever applied, replay included
+    uint64_t deltas_applied = 0;  // applied by this process (not replay)
+    DbFingerprint fingerprint;    // of the current epoch
+    std::unordered_map<std::string, uint64_t> applied_delta_ids;  // id→epoch
+    std::unique_ptr<DeltaJournal> journal;  // null without journal_dir
   };
   using ShardPtr = std::shared_ptr<Shard>;
 
   /// Resolves a request's database name to its shard (empty ⇒ default).
   Result<ShardPtr> ResolveShard(const std::string& db_name) const;
+
+  /// One shard's service stats with the delta/journal counters overlaid.
+  ServiceStats ShardStats(const ShardPtr& shard) const;
 
   ShardedServiceOptions options_;
   DatabaseRegistry registry_;

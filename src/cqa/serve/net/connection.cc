@@ -62,7 +62,10 @@ void Connection::FinishAfterFlush() { CloseAfterFlush(CloseReason::kDrain); }
 void Connection::ForceClose() { Abort(CloseReason::kDrain); }
 
 void Connection::Join() {
+  // Reader first: `admin_` is only ever assigned on the reader thread, so
+  // joining the reader makes the handle safely visible here.
   if (reader_.joinable()) reader_.join();
+  if (admin_.joinable()) admin_.join();
   if (writer_.joinable()) writer_.join();
 }
 
@@ -83,6 +86,7 @@ void Connection::CloseAfterFlush(CloseReason reason) {
   }
   out_ready_cv_.notify_all();
   out_space_cv_.notify_all();
+  admin_cv_.notify_all();
 }
 
 void Connection::Abort(CloseReason reason) {
@@ -96,6 +100,7 @@ void Connection::Abort(CloseReason reason) {
   }
   out_ready_cv_.notify_all();
   out_space_cv_.notify_all();
+  admin_cv_.notify_all();
   // Wakes a reader blocked in poll/read and a writer blocked in send.
   socket_.ShutdownBoth();
 }
@@ -229,14 +234,81 @@ void Connection::HandleFrame(const std::string& frame) {
       HandleSolve(std::move(*decoded));
       return;
     case WireRequestType::kAttach:
-      HandleAttach(*decoded);
-      return;
     case WireRequestType::kDetach:
-      HandleDetach(*decoded);
+    case WireRequestType::kApplyDelta:
+      // Heavy admin work (index builds, shard drains, journal fsyncs) runs
+      // on the admin thread so it cannot stall unrelated frames arriving
+      // on this connection; the reader just hands the request off.
+      EnqueueAdmin(std::move(*decoded));
       return;
     case WireRequestType::kList:
       HandleList(*decoded);
       return;
+  }
+}
+
+void Connection::EnqueueAdmin(WireRequest request) {
+  const uint64_t id = request.id;
+  bool start = false;
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lock(admin_mu_);
+    if (admin_queue_.size() >= options_.max_admin_queue) {
+      full = true;
+    } else {
+      admin_queue_.push_back(std::move(request));
+      if (!admin_started_) {
+        admin_started_ = true;
+        start = true;
+      }
+    }
+  }
+  if (full) {
+    EnqueueFromReader(EncodeErrorFrame(
+        id, ErrorCode::kOverloaded,
+        "admin queue full (" + std::to_string(options_.max_admin_queue) +
+            " frames pending on this connection)"));
+    return;
+  }
+  if (start) {
+    // Bump the expectation before the spawn: the reader is still alive
+    // here, so `finished()` cannot momentarily see exited == expected.
+    expected_threads_.fetch_add(1);
+    auto self = shared_from_this();
+    admin_ = std::thread([self] {
+      self->AdminLoop();
+      self->threads_exited_.fetch_add(1);
+    });
+  }
+  admin_cv_.notify_one();
+}
+
+void Connection::AdminLoop() {
+  for (;;) {
+    WireRequest request;
+    {
+      std::unique_lock<std::mutex> lock(admin_mu_);
+      admin_cv_.wait(lock,
+                     [&] { return closing_.load() || !admin_queue_.empty(); });
+      // Closing drops whatever is still queued: the socket is going away,
+      // so no ack could reach the client anyway.
+      if (closing_.load()) break;
+      request = std::move(admin_queue_.front());
+      admin_queue_.pop_front();
+    }
+    switch (request.type) {
+      case WireRequestType::kAttach:
+        HandleAttach(request);
+        break;
+      case WireRequestType::kDetach:
+        HandleDetach(request);
+        break;
+      case WireRequestType::kApplyDelta:
+        HandleApplyDelta(request);
+        break;
+      default:
+        break;  // unreachable: only admin frames are enqueued
+    }
   }
 }
 
@@ -287,9 +359,9 @@ void Connection::HandleDetach(const WireRequest& request) {
         "daemon is draining; not accepting admin frames"));
     return;
   }
-  // Blocks this reader through the shard's drain; the ack reports what the
-  // drain did. Solve terminals never wait on a reader, so this cannot
-  // deadlock — and other connections keep serving meanwhile.
+  // Blocks the admin thread through the shard's drain; the ack reports
+  // what the drain did. Solve terminals never wait on an admin thread, so
+  // this cannot deadlock — and this connection keeps reading meanwhile.
   Result<DetachOutcome> out = service_->Detach(request.name);
   if (!out.ok()) {
     EnqueueFromReader(EncodeErrorFrame(request.id, out.code(), out.error()));
@@ -298,6 +370,30 @@ void Connection::HandleDetach(const WireRequest& request) {
   stats_->OnDatabaseDetached();
   EnqueueFromReader(EncodeDetachAckFrame(request.id, request.name, out->shed,
                                          out->drained));
+}
+
+void Connection::HandleApplyDelta(const WireRequest& request) {
+  if (draining_.load()) {
+    EnqueueFromReader(EncodeErrorFrame(
+        request.id, ErrorCode::kOverloaded,
+        "daemon is draining; not accepting admin frames"));
+    return;
+  }
+  FactDelta delta;
+  delta.id = request.delta_id;
+  delta.ops = request.ops;
+  // Write-ahead contract lives in the service: by the time this ack is
+  // enqueued the delta is journaled (when durability is on) and the new
+  // epoch published — a client that sees the ack can rely on the mutation
+  // surviving a crash.
+  Result<DeltaOutcome> out = service_->ApplyDelta(request.db, delta);
+  if (!out.ok()) {
+    stats_->OnDeltaRejected();
+    EnqueueFromReader(EncodeErrorFrame(request.id, out.code(), out.error()));
+    return;
+  }
+  stats_->OnDeltaApplied();
+  EnqueueFromReader(EncodeDeltaAckFrame(request.id, *out));
 }
 
 void Connection::HandleList(const WireRequest& request) {

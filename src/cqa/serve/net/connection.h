@@ -46,6 +46,10 @@ struct ConnectionOptions {
   /// reader blocks — slow readers backpressure the connection's own
   /// reader, never the service workers.
   size_t outbound_soft_cap = 64;
+  /// Admin frames (attach / detach / apply_delta) queued for the admin
+  /// thread before new ones are rejected with a typed `overloaded` error.
+  /// Bounds the memory a client can park in inline fact payloads.
+  size_t max_admin_queue = 8;
   /// Poll slice for the reader loop; bounds shutdown latency.
   std::chrono::milliseconds poll_slice{50};
 };
@@ -73,12 +77,18 @@ class DaemonStatsCollector;
 /// socket lives, and cancels every outstanding request the moment the
 /// client disconnects.
 ///
-/// Admin frames (`attach`, `detach`, `list`) execute synchronously on the
-/// reader thread: an attach pays the block-index + fingerprint precompute
-/// and a detach blocks through its shard's drain before the ack is
-/// enqueued — backpressure by design (one admin client cannot flood the
-/// registry), and deadlock-free because solve terminals only enqueue to
-/// writer queues, never wait on a reader.
+/// Heavy admin frames (`attach`, `detach`, `apply_delta`) run on a
+/// lazily-started per-connection admin thread: an attach pays the
+/// block-index + fingerprint precompute and a detach blocks through its
+/// shard's drain before the ack is enqueued, but neither stalls unrelated
+/// frames (solves, health, cancel) arriving on the same connection — the
+/// reader only enqueues the admin request and keeps decoding. Ordering is
+/// therefore ack-based, not read-your-writes: a client that attaches and
+/// immediately solves against the new name must wait for the attach ack
+/// first. Admin frames on one connection still execute one at a time in
+/// arrival order, and the queue is bounded (`max_admin_queue`) so one
+/// client cannot flood the registry. `list` is cheap and stays inline on
+/// the reader.
 class Connection : public std::enable_shared_from_this<Connection> {
  public:
   Connection(Socket socket, ShardedSolveService* service,
@@ -104,30 +114,38 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// reader/writer) and abandons unflushed output.
   void ForceClose();
 
-  /// True once both threads have exited (the connection can be joined
-  /// without blocking).
-  bool finished() const { return threads_exited_.load() == 2; }
+  /// True once every spawned thread has exited (reader, writer, and the
+  /// admin thread if one was ever started) — the connection can be joined
+  /// without blocking.
+  bool finished() const {
+    return threads_exited_.load() == expected_threads_.load();
+  }
 
-  /// Joins both threads; call after `finished()` or after ForceClose.
+  /// Joins all threads; call after `finished()` or after ForceClose.
   void Join();
 
  private:
   void ReaderLoop();
   void WriterLoop();
+  void AdminLoop();
   void HandleFrame(const std::string& frame);
   void HandleSolve(WireRequest request);
   void HandleAttach(const WireRequest& request);
   void HandleDetach(const WireRequest& request);
+  void HandleApplyDelta(const WireRequest& request);
   void HandleList(const WireRequest& request);
   void SolveCallback(uint64_t client_id, const ServeResponse& response);
+  /// Reader-side handoff of an admin frame to the admin thread (started on
+  /// first use). Full queue ⇒ typed `overloaded` error frame instead.
+  void EnqueueAdmin(WireRequest request);
 
   /// Worker-side enqueue of a response payload (framed here): never
   /// blocks; drops the frame only if the connection is already closed
   /// (the client is gone).
   void EnqueueFromWorker(std::string payload);
-  /// Reader-side enqueue: blocks (bounded by the writer's own deadline)
-  /// when the outbound buffer is past the soft cap — this is the
-  /// backpressure path for slow readers.
+  /// Reader- or admin-side enqueue: blocks (bounded by the writer's own
+  /// deadline, and released by any close) when the outbound buffer is past
+  /// the soft cap — this is the backpressure path for slow readers.
   void EnqueueFromReader(std::string payload);
 
   /// Records the close reason once (first cause wins); true on the first
@@ -150,6 +168,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::atomic<bool> draining_{false};
   std::atomic<bool> closing_{false};
   std::atomic<int> threads_exited_{0};
+  /// 2 (reader + writer), bumped to 3 by the reader before it spawns the
+  /// admin thread; `finished()` compares against this.
+  std::atomic<int> expected_threads_{2};
 
   // Outbound frame buffer, owned by the writer.
   std::mutex out_mu_;
@@ -177,8 +198,19 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::mutex close_mu_;
   CloseReason close_reason_ = CloseReason::kOpen;
 
+  // Admin executor: attach / detach / apply_delta frames queue here and
+  // run on `admin_` in arrival order, off the reader thread. The thread is
+  // spawned by the reader on the first admin frame and exits when
+  // `closing_` is set (pending frames are dropped — the socket is going
+  // away, no ack could be delivered).
+  std::mutex admin_mu_;
+  std::condition_variable admin_cv_;
+  std::deque<WireRequest> admin_queue_;
+  bool admin_started_ = false;
+
   std::thread reader_;
   std::thread writer_;
+  std::thread admin_;
 };
 
 }  // namespace cqa

@@ -15,6 +15,8 @@ ShardedServiceOptions ShardedOptionsFor(const DaemonOptions& options) {
   ShardedServiceOptions sharded;
   sharded.shard = options.service;
   sharded.detach_drain = options.detach_drain;
+  sharded.journal_dir = options.journal_dir;
+  sharded.journal = options.journal;
   return sharded;
 }
 

@@ -41,12 +41,20 @@ struct DaemonOptions {
   /// In-flight drain budget of a `detach` admin frame (see
   /// ShardedServiceOptions::detach_drain).
   std::chrono::milliseconds detach_drain{5'000};
+  /// When non-empty, enables the per-database write-ahead delta journal at
+  /// `<journal_dir>/<name>.journal`: apply_delta frames are durable before
+  /// they are acked, and attaching a name replays its existing journal
+  /// over the base snapshot (see ShardedServiceOptions::journal_dir).
+  std::string journal_dir;
+  /// Journal durability knobs (fsync policy; chaos injection in tests).
+  JournalOptions journal;
 };
 
 /// TCP front-end for the sharded solve service: accepts connections,
 /// speaks the newline-delimited JSON protocol (protocol.h), routes solve
 /// frames to per-database worker shards by their `"db"` field, serves the
-/// registry admin frames (`attach`/`detach`/`list`), and mirrors the
+/// registry admin frames (`attach`/`detach`/`list`/`apply_delta`), and
+/// mirrors the
 /// service's lifecycle guarantees on the wire — exactly one terminal frame
 /// per accepted solve frame, typed error frames for overload and malformed
 /// input, cancellation of everything a disconnected client left behind,

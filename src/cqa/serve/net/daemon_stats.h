@@ -58,6 +58,16 @@ class DaemonStatsCollector {
     ++stats_.databases_detached;
   }
 
+  void OnDeltaApplied() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deltas_applied;
+  }
+
+  void OnDeltaRejected() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deltas_rejected;
+  }
+
   DaemonStats Snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;

@@ -96,6 +96,33 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
     request.type = WireRequestType::kList;
     return request;
   }
+  if (type_name == "apply_delta") {
+    request.type = WireRequestType::kApplyDelta;
+    if (object.Find("id") == nullptr) {
+      return ParseError("apply_delta requires an 'id'");
+    }
+    const Json* db = object.Find("db");
+    if (db != nullptr) {
+      if (!db->is_string()) return ParseError("field 'db' must be a string");
+      request.db = db->AsString();
+    }
+    const Json* delta_id = object.Find("delta_id");
+    if (delta_id == nullptr || !delta_id->is_string() ||
+        delta_id->AsString().empty() ||
+        delta_id->AsString().size() > kMaxDeltaIdBytes) {
+      return ParseError("apply_delta requires a string 'delta_id' of 1-" +
+                        std::to_string(kMaxDeltaIdBytes) + " bytes");
+    }
+    request.delta_id = delta_id->AsString();
+    const Json* ops = object.Find("ops");
+    if (ops == nullptr) {
+      return ParseError("apply_delta requires an 'ops' array");
+    }
+    Result<std::vector<DeltaOp>> decoded = DecodeDeltaOps(*ops);
+    if (!decoded.ok()) return Result<WireRequest>::Error(decoded);
+    request.ops = std::move(decoded.value());
+    return request;
+  }
   if (type_name == "attach" || type_name == "detach") {
     request.type = type_name == "attach" ? WireRequestType::kAttach
                                          : WireRequestType::kDetach;
@@ -277,6 +304,12 @@ Json ServiceStatsJson(const ServiceStats& service) {
       .Set("cache_bypass", service.cache_bypass)
       .Set("cache_entries", service.cache_entries)
       .Set("cache_evictions", service.cache_evictions)
+      .Set("cache_invalidated", service.cache_invalidated)
+      .Set("cache_rekeyed", service.cache_rekeyed)
+      .Set("epoch", service.epoch)
+      .Set("deltas_applied", service.deltas_applied)
+      .Set("journal_bytes", service.journal_bytes)
+      .Set("journal_fsyncs", service.journal_fsyncs)
       .Set("sandbox_forks", service.sandbox_forks)
       .Set("sandbox_kills", service.sandbox_kills)
       .Set("sandbox_crashes", service.sandbox_crashes)
@@ -324,6 +357,8 @@ std::string EncodeStatsFrame(
           .Set("databases_attached", daemon.databases_attached)
           .Set("databases_detached", daemon.databases_detached)
           .Set("solves_rejected_detached", daemon.solves_rejected_detached)
+          .Set("deltas_applied", daemon.deltas_applied)
+          .Set("deltas_rejected", daemon.deltas_rejected)
           .Set("sandbox_forks", daemon.sandbox_forks)
           .Set("sandbox_kills", daemon.sandbox_kills)
           .Set("sandbox_crashes", daemon.sandbox_crashes)
@@ -386,6 +421,23 @@ std::string EncodeDbListFrame(uint64_t id,
       .Set("id", id)
       .Set("default", default_name)
       .Set("databases", Json::MakeArray(std::move(list)))
+      .Build()
+      .Serialize();
+}
+
+std::string EncodeDeltaAckFrame(uint64_t id, const DeltaOutcome& outcome) {
+  return JsonObjectBuilder()
+      .Set("type", "delta_ack")
+      .Set("id", id)
+      .Set("db", outcome.name)
+      .Set("delta_id", outcome.delta_id)
+      .Set("applied", outcome.applied)
+      .Set("epoch", outcome.epoch)
+      .Set("fingerprint", outcome.fingerprint.ToHex())
+      .Set("inserted", outcome.inserted)
+      .Set("deleted", outcome.deleted)
+      .Set("cache_invalidated", outcome.cache_invalidated)
+      .Set("cache_rekeyed", outcome.cache_rekeyed)
       .Build()
       .Serialize();
 }

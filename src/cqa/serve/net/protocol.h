@@ -12,6 +12,8 @@
 #include "cqa/base/budget.h"
 #include "cqa/base/result.h"
 #include "cqa/certainty/solver.h"
+#include "cqa/delta/delta.h"
+#include "cqa/registry/sharded_service.h"
 #include "cqa/serve/net/json.h"
 #include "cqa/serve/sandbox/sandbox.h"
 #include "cqa/serve/stats.h"
@@ -22,9 +24,10 @@ namespace cqa {
 /// One JSON object per newline-delimited frame, in both directions.
 ///
 /// Requests: {"type":"solve","id":N,"query":"...",...}, plus "health",
-/// "stats" and "cancel", and the registry admin frames "attach", "detach"
-/// and "list". Responses echo the client-chosen id; every accepted solve
-/// receives exactly one terminal frame ("result", "error" or "cancelled").
+/// "stats" and "cancel", and the registry admin frames "attach", "detach",
+/// "list" and "apply_delta". Responses echo the client-chosen id; every
+/// accepted solve receives exactly one terminal frame ("result", "error"
+/// or "cancelled").
 
 enum class WireRequestType {
   kSolve,
@@ -34,6 +37,7 @@ enum class WireRequestType {
   kAttach,
   kDetach,
   kList,
+  kApplyDelta,
 };
 
 struct WireRequest {
@@ -82,6 +86,13 @@ struct WireRequest {
   /// Inline fact text in the `ParseFacts` grammar; the attached database
   /// is built from it (the daemon never reads files on behalf of clients).
   std::string facts;
+
+  // --- apply_delta fields ---
+  /// Client-chosen idempotency token (1-128 bytes): retrying the same
+  /// delta after a lost ack is safe — the daemon acknowledges without
+  /// re-applying. Routed by `db` like solve frames (empty ⇒ default).
+  std::string delta_id;
+  std::vector<DeltaOp> ops;
 };
 
 /// Parses `--method=`-style names shared by the CLI and the wire protocol.
@@ -112,6 +123,11 @@ struct DaemonStats {
   uint64_t databases_attached = 0;
   uint64_t databases_detached = 0;
   uint64_t solves_rejected_detached = 0;  // unknown or detaching "db"
+  // Live-update accounting: applied counts acked mutations (idempotent
+  // replays of an already-applied delta id included — the ack is the
+  // contract), rejected counts validation/journal failures.
+  uint64_t deltas_applied = 0;
+  uint64_t deltas_rejected = 0;
   // Sandbox accounting, folded from the service layer at snapshot time
   // (see FoldSandboxCounters and the ServiceStats field docs).
   uint64_t sandbox_forks = 0;
@@ -155,6 +171,10 @@ std::string EncodeDetachAckFrame(uint64_t id, const std::string& name,
                                  uint64_t shed, bool drained);
 std::string EncodeDbListFrame(uint64_t id,
                               const std::vector<WireDbEntry>& entries);
+/// Ack for an accepted apply_delta (rejections use error frames). Carries
+/// the post-delta epoch and fingerprint so clients can chain optimistic
+/// checks; `applied:false` flags an idempotent replay.
+std::string EncodeDeltaAckFrame(uint64_t id, const DeltaOutcome& outcome);
 
 // --- response decoding (client side) ---
 

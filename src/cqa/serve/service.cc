@@ -466,6 +466,13 @@ void SolveService::SettleFollower(const RequestPtr& follower,
          Result<SolveReport>(report));
 }
 
+std::pair<uint64_t, uint64_t> SolveService::OnDatabaseDelta(
+    const DbFingerprint& old_fp, const DbFingerprint& new_fp,
+    const std::vector<std::string>& touched) {
+  if (cache_ == nullptr) return {0, 0};
+  return cache_->OnDatabaseDelta(old_fp, new_fp, touched);
+}
+
 ServiceStats SolveService::Stats() const {
   ServiceStats s = stats_.Snapshot();
   if (cache_ != nullptr) {
@@ -476,6 +483,8 @@ ServiceStats SolveService::Stats() const {
     s.cache_bypass = c.bypassed;
     s.cache_entries = c.entries;
     s.cache_evictions = c.evictions;
+    s.cache_invalidated = c.invalidated;
+    s.cache_rekeyed = c.rekeyed;
   }
   return s;
 }

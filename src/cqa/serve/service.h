@@ -256,6 +256,16 @@ class SolveService {
   /// with `kDetached` instead of occupying the drain window.
   size_t ShedQueued(ErrorCode code, const std::string& message);
 
+  /// Migrates the result cache across a database delta (no-op without a
+  /// cache): entries whose query footprint intersects `touched` are
+  /// dropped, the rest are rekeyed to `new_fp` and keep serving hits.
+  /// Returns {invalidated, rekeyed}. The caller (the registry layer)
+  /// swaps in the new epoch only after this returns, so a lookup under
+  /// the new fingerprint never races a stale entry.
+  std::pair<uint64_t, uint64_t> OnDatabaseDelta(
+      const DbFingerprint& old_fp, const DbFingerprint& new_fp,
+      const std::vector<std::string>& touched);
+
   /// Aggregate accounting (cache counters folded in when a cache is
   /// configured); callable at any time, including after shutdown.
   ServiceStats Stats() const;

@@ -39,6 +39,23 @@ struct ServiceStats {
   uint64_t cache_bypass = 0;
   uint64_t cache_entries = 0;    // current size (gauge)
   uint64_t cache_evictions = 0;
+  /// Delta-invalidation counters: entries dropped because a delta touched
+  /// a relation their query mentions, vs. entries carried (rekeyed) to the
+  /// new epoch because it did not. Their ratio is the cache's invalidation
+  /// precision under live updates.
+  uint64_t cache_invalidated = 0;
+  uint64_t cache_rekeyed = 0;
+
+  /// Live-update counters, overlaid per database by the sharded registry
+  /// layer (zero for a standalone `SolveService`, which never sees
+  /// deltas). `epoch` is a gauge: the number of deltas ever applied to the
+  /// database, including those replayed from the journal at attach;
+  /// `journal_bytes` is the journal's on-disk size (gauge), the other two
+  /// are monotone counters for this process's lifetime.
+  uint64_t epoch = 0;
+  uint64_t deltas_applied = 0;
+  uint64_t journal_bytes = 0;
+  uint64_t journal_fsyncs = 0;
 
   /// Sandbox counters (all zero when no solve ever ran under fork
   /// isolation). `sandbox_forks` counts supervised children spawned;

@@ -20,11 +20,14 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cqa/base/interner.h"
 #include "cqa/cache/fingerprint.h"
+#include "cqa/delta/delta.h"
 #include "cqa/cache/query_key.h"
 #include "cqa/cache/result_cache.h"
 #include "cqa/cache/warm_state.h"
@@ -514,6 +517,140 @@ TEST(CachePropertyTest, SamplingRefutationIsCacheable) {
   probably.used = SolverMethod::kSampling;
   probably.confidence = 0.99;
   EXPECT_FALSE(IsCacheableReport(probably));
+}
+
+// ---------------------------------------------------------------------------
+// Delta fingerprint maintenance (the property the epoch-aware cache key
+// stands on: the incremental digest IS the content digest)
+
+DeltaOp RandomOp(std::mt19937_64& rng) {
+  static const char* kRelations[] = {"R", "S", "T"};
+  static const char* kValues[] = {"a", "b", "c", "d", "e", "f"};
+  DeltaOp op;
+  op.insert = (rng() & 1) != 0;
+  op.relation = kRelations[rng() % 3];
+  op.values = {kValues[rng() % 6], kValues[rng() % 6]};
+  return op;
+}
+
+TEST(FingerprintDeltaPropertyTest, IncrementalMatchesFromScratchOn1000Deltas) {
+  auto current = Db("R(a | b)\nS(b | a)\nT(x | y)");
+  std::mt19937_64 rng(0xd1fffe7a5ull);
+  for (int round = 0; round < 1000; ++round) {
+    FactDelta delta;
+    delta.id = "round-" + std::to_string(round);
+    size_t ops = 1 + rng() % 8;
+    for (size_t i = 0; i < ops; ++i) delta.ops.push_back(RandomOp(rng));
+    Result<DeltaApplyOutcome> out = ApplyDeltaToDatabase(*current, delta);
+    ASSERT_TRUE(out.ok()) << out.error();
+    // From-scratch oracle: serialise the new epoch, load it cold, digest.
+    Result<Database> rebuilt = Database::FromText(out->db->ToText());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.error();
+    ASSERT_EQ(out->fingerprint, FingerprintDatabase(rebuilt.value()))
+        << "incremental digest diverged at round " << round;
+    current = out->db;
+  }
+}
+
+TEST(FingerprintDeltaPropertyTest, InsertThenDeleteRestoresTheExactDigest) {
+  auto base = Db("R(a | b)\nS(b | a)\nT(x | y)");
+  const DbFingerprint base_fp = FingerprintDatabase(*base);
+  std::mt19937_64 rng(0xabcdef12ull);
+  std::shared_ptr<const Database> current = base;
+  for (int round = 0; round < 200; ++round) {
+    // A batch of random inserts of facts not currently present...
+    std::vector<DeltaOp> inserts;
+    const size_t target = 1 + rng() % 5;
+    while (inserts.size() < target) {
+      DeltaOp op = RandomOp(rng);
+      op.insert = true;
+      Tuple t = {Value::Of(op.values[0]), Value::Of(op.values[1])};
+      if (current->Contains(InternSymbol(op.relation), t)) continue;
+      bool dup = false;
+      for (const DeltaOp& seen : inserts) {
+        dup |= seen.relation == op.relation && seen.values == op.values;
+      }
+      if (!dup) inserts.push_back(std::move(op));
+    }
+    FactDelta forward;
+    forward.id = "fwd-" + std::to_string(round);
+    forward.ops = inserts;
+    Result<DeltaApplyOutcome> grown = ApplyDeltaToDatabase(*current, forward);
+    ASSERT_TRUE(grown.ok()) << grown.error();
+    ASSERT_EQ(grown->inserted, inserts.size());
+    ASSERT_NE(grown->fingerprint, base_fp);
+
+    // ...then the inverse deletes: the digest must return EXACTLY (the
+    // XOR lane is self-inverse, the additive lane subtracts — any drift
+    // here would poison every future cache key).
+    FactDelta inverse;
+    inverse.id = "inv-" + std::to_string(round);
+    for (const DeltaOp& op : inserts) {
+      DeltaOp del = op;
+      del.insert = false;
+      inverse.ops.push_back(std::move(del));
+    }
+    Result<DeltaApplyOutcome> restored =
+        ApplyDeltaToDatabase(*grown->db, inverse);
+    ASSERT_TRUE(restored.ok()) << restored.error();
+    EXPECT_EQ(restored->fingerprint, base_fp)
+        << "digest not restored at round " << round;
+    current = base;  // keep rounds independent and the database small
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache::OnDatabaseDelta
+
+TEST(ResultCacheDeltaTest, RekeysDisjointAndDropsIntersectingEntries) {
+  ResultCache cache(16, 2);
+  auto old_db = Db("R(a | b)\nS(b | a)\nU(u | v)");
+  auto new_db = Db("R(a | b)\nU(u | v)");
+  const DbFingerprint old_fp = FingerprintDatabase(*old_db);
+  const DbFingerprint new_fp = FingerprintDatabase(*new_db);
+
+  Query touches_s = Q("R(x | y), not S(y | x)");
+  Query avoids_s = Q("U(x | y)");
+  CacheKey k_touch = MakeCacheKey(old_fp, SolverMethod::kAuto, touches_s);
+  CacheKey k_avoid = MakeCacheKey(old_fp, SolverMethod::kAuto, avoids_s);
+  ASSERT_TRUE(cache.Insert(k_touch, ExactReport(Verdict::kNotCertain)));
+  ASSERT_TRUE(cache.Insert(k_avoid, ExactReport(Verdict::kCertain)));
+
+  auto [invalidated, rekeyed] =
+      cache.OnDatabaseDelta(old_fp, new_fp, {"S"});
+  EXPECT_EQ(invalidated, 1u);
+  EXPECT_EQ(rekeyed, 1u);
+
+  // The S-free entry serves hits under the NEW fingerprint without ever
+  // being re-inserted; nothing answers under the old one.
+  EXPECT_TRUE(cache.Lookup(MakeCacheKey(new_fp, SolverMethod::kAuto, avoids_s))
+                  .has_value());
+  EXPECT_FALSE(
+      cache.Lookup(MakeCacheKey(new_fp, SolverMethod::kAuto, touches_s))
+          .has_value());
+  EXPECT_FALSE(cache.Lookup(k_avoid).has_value());
+  EXPECT_FALSE(cache.Lookup(k_touch).has_value());
+
+  CacheStats s = cache.Stats();
+  EXPECT_EQ(s.invalidated, 1u);
+  EXPECT_EQ(s.rekeyed, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ResultCacheDeltaTest, ForeignFingerprintsAreLeftAlone) {
+  ResultCache cache(16, 2);
+  auto db_a = Db("R(a | b)");
+  auto db_b = Db("S(b | a)");
+  const DbFingerprint fp_a = FingerprintDatabase(*db_a);
+  const DbFingerprint fp_b = FingerprintDatabase(*db_b);
+  CacheKey other = MakeCacheKey(fp_b, SolverMethod::kAuto, Q("S(x | y)"));
+  ASSERT_TRUE(cache.Insert(other, ExactReport(Verdict::kCertain)));
+
+  // A delta on database A must not disturb entries of database B, even
+  // though they share one cache (sibling shards in one service).
+  auto new_db_a = Db("R(a | b), R(a | c)");
+  cache.OnDatabaseDelta(fp_a, FingerprintDatabase(*new_db_a), {"R"});
+  EXPECT_TRUE(cache.Lookup(other).has_value());
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cqa/base/signals.h"
+#include "cqa/delta/delta.h"
 #include "cqa/serve/net/client.h"
 #include "cqa/serve/net/daemon.h"
 #include "cqa/serve/net/framing.h"
@@ -644,6 +645,125 @@ TEST(DaemonMultiDbTest, StatsBreakOutPerDatabase) {
   EXPECT_EQ(service->Find("completed")->AsInt(), 3);
   EXPECT_EQ(service->Find("cache_hits")->AsInt(), 1)
       << stats->raw.Serialize();
+}
+
+// ---------------------------------------------------------------------------
+// Live updates over the wire
+
+std::string DeltaFrame(uint64_t id, const std::string& delta_id,
+                       const std::vector<DeltaOp>& ops,
+                       const std::string& db = "") {
+  JsonObjectBuilder b;
+  b.Set("type", "apply_delta").Set("id", id).Set("delta_id", delta_id);
+  if (!db.empty()) b.Set("db", db);
+  b.Set("ops", EncodeDeltaOps(ops));
+  return b.Build().Serialize();
+}
+
+TEST(DaemonDeltaTest, ApplyDeltaRoundTripOverTcp) {
+  DaemonFixture f;  // fixture facts: R(a | b), R(a | c)  S(b | a)
+  ASSERT_TRUE(f.Send(SolveFrame(1, kDifferentialQuery)).ok());
+  Result<WireResponse> before = f.client.WaitTerminal(1, kIo);
+  ASSERT_TRUE(before.ok()) << before.error();
+  EXPECT_EQ(before->verdict, "not-certain");
+
+  // Deleting the negated atom's only witness flips the verdict.
+  DeltaOp del;
+  del.insert = false;
+  del.relation = "S";
+  del.values = {"b", "a"};
+  ASSERT_TRUE(f.Send(DeltaFrame(2, "wire-d1", {del})).ok());
+  Result<WireResponse> ack = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(ack.ok()) << ack.error();
+  ASSERT_EQ(ack->type, "delta_ack") << ack->raw.Serialize();
+  EXPECT_TRUE(ack->raw.Find("applied")->AsBool());
+  EXPECT_EQ(ack->raw.Find("epoch")->AsInt(), 1);  // attach is epoch 0
+  EXPECT_EQ(ack->raw.Find("deleted")->AsInt(), 1);
+  EXPECT_EQ(ack->raw.Find("fingerprint")->AsString().size(), 32u);
+
+  // The ack is the publication point: the next solve sees the new epoch.
+  ASSERT_TRUE(f.Send(SolveFrame(3, kDifferentialQuery)).ok());
+  Result<WireResponse> after = f.client.WaitTerminal(3, kIo);
+  ASSERT_TRUE(after.ok()) << after.error();
+  EXPECT_EQ(after->verdict, "certain");
+
+  // Re-sending the same delta id acks idempotently without reapplying.
+  ASSERT_TRUE(f.Send(DeltaFrame(4, "wire-d1", {del})).ok());
+  Result<WireResponse> dup = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(dup.ok()) << dup.error();
+  ASSERT_EQ(dup->type, "delta_ack") << dup->raw.Serialize();
+  EXPECT_FALSE(dup->raw.Find("applied")->AsBool());
+  EXPECT_EQ(dup->raw.Find("epoch")->AsInt(), 1);
+  EXPECT_EQ(dup->raw.Find("fingerprint")->AsString(),
+            ack->raw.Find("fingerprint")->AsString());
+
+  // Validation failures are typed rejections, not wire garbage.
+  DeltaOp ghost;
+  ghost.insert = true;
+  ghost.relation = "Ghost";
+  ghost.values = {"x", "y"};
+  ASSERT_TRUE(f.Send(DeltaFrame(5, "wire-d2", {ghost})).ok());
+  Result<WireResponse> rejected = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(rejected.ok()) << rejected.error();
+  EXPECT_EQ(rejected->type, "error");
+  EXPECT_EQ(rejected->code, "unsupported");
+  EXPECT_FALSE(rejected->fatal);
+
+  ASSERT_TRUE(f.Send(R"({"type":"stats","id":6})").ok());
+  Result<WireResponse> stats = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  const Json* daemon = stats->raw.Find("daemon");
+  ASSERT_NE(daemon, nullptr);
+  // Idempotent re-acks count as applied at the daemon layer; the service
+  // epoch shows only one mutation actually landed.
+  EXPECT_EQ(daemon->Find("deltas_applied")->AsInt(), 2);
+  EXPECT_EQ(daemon->Find("deltas_rejected")->AsInt(), 1);
+  const Json* service = stats->raw.Find("service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->Find("deltas_applied")->AsInt(), 1);
+  EXPECT_EQ(service->Find("epoch")->AsInt(), 1);
+  EXPECT_EQ(f.daemon->daemon_stats().frames_garbage, 0u);
+}
+
+TEST(DaemonDeltaTest, AdminFramesDoNotStallTheReader) {
+  DaemonFixture f;
+  // A deliberately large attach: tens of thousands of facts to parse and
+  // index. When the build ran inline on the reader thread, the health frame
+  // queued behind it waited out the whole build.
+  std::string facts;
+  facts.reserve(1u << 20);
+  for (int i = 0; i < 20000; ++i) {
+    facts += "Big(k" + std::to_string(i / 2) + " | v" + std::to_string(i) +
+             ")\n";
+  }
+  JsonObjectBuilder attach;
+  attach.Set("type", "attach").Set("id", uint64_t{1}).Set("name", "big");
+  attach.Set("facts", facts);
+  ASSERT_TRUE(f.Send(attach.Build().Serialize()).ok());
+  ASSERT_TRUE(f.Send(R"({"type":"health","id":2})").ok());
+
+  // The health ack overtakes the attach ack: admin work happens off the
+  // reader thread and acks when ready.
+  Result<WireResponse> first = f.client.ReadResponse(kIo);
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first->type, "health")
+      << "a parked attach must not block unrelated frames; got "
+      << first->raw.Serialize();
+  // The ordering above is the property; the ack itself just needs to land
+  // eventually. Sanitizer builds slow the 20k-fact parse well past the
+  // usual IO window, so give it a generous one.
+  Result<WireResponse> second = f.client.ReadResponse(milliseconds(120'000));
+  ASSERT_TRUE(second.ok()) << second.error();
+  ASSERT_EQ(second->type, "attach_ack") << second->raw.Serialize();
+  EXPECT_EQ(second->raw.Find("name")->AsString(), "big");
+  EXPECT_EQ(second->raw.Find("facts")->AsInt(), 20000);
+
+  // The attach ack is still read-your-writes: the instance serves once
+  // acked.
+  ASSERT_TRUE(f.Send(SolveFrameFor(3, "Big(x | y)", "big")).ok());
+  Result<WireResponse> solved = f.client.WaitTerminal(3, kIo);
+  ASSERT_TRUE(solved.ok()) << solved.error();
+  EXPECT_EQ(solved->verdict, "certain");
 }
 
 TEST(DaemonTest, StartFailsCleanlyOnAddressInUse) {

@@ -21,11 +21,20 @@
 #   tools/ci.sh cache      # just the cache smoke (needs a tier-1 build)
 #   tools/ci.sh multidb    # just the multidb smoke (needs a tier-1 build)
 #   tools/ci.sh sandbox    # just the sandbox smoke (needs a tier-1 build)
+#   tools/ci.sh recovery   # just the recovery smoke (needs a tier-1 build)
+#
+# The recovery smoke drives the live-update durability contract: a daemon
+# with a write-ahead delta journal takes a stream of apply_delta frames,
+# is SIGKILLed mid-stream, has a torn tail appended to its journal, and is
+# restarted over the same base snapshot. Every delta acked before the kill
+# must re-ack idempotently after recovery, and the recovered state must be
+# fingerprint- and verdict-identical to a clean application of the same
+# deltas to a fresh daemon.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb sandbox)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb sandbox recovery)
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -285,6 +294,125 @@ sandbox_smoke() {
   echo "==== [sandbox] OK (hard preemption, crash containment, clean drain)"
 }
 
+# Recovery smoke against the tier-1 build: crash-safe live updates. The
+# journal is written with fsync-per-append, so every acked delta must
+# survive a SIGKILL at an arbitrary point in an apply stream plus trailing
+# journal garbage, and recovery must converge to the clean-application
+# state (same fingerprint, same verdict).
+recovery_smoke() {
+  local cli=build/tools/cqa_cli
+  [ -x "$cli" ] || { echo "recovery smoke needs a tier-1 build ($cli)"; exit 2; }
+  local work; work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  printf 'R(a | b), R(a | c)\nS(b | a)\nT(t0 | u0)\n' > "$work/facts"
+  printf 'R(x | y), not S(y | x)\n' > "$work/job"
+  # delta 1 flips the job's verdict; the rest grow T so every delta moves
+  # the fingerprint.
+  printf -- '-S(b, a)\n+R(d | e)\n' > "$work/delta1"
+  local i
+  for i in $(seq 2 8); do
+    printf -- '+T(t%d | u%d)\n' "$i" "$i" > "$work/delta$i"
+  done
+
+  # Starts a daemon ($1 = log file, rest = args) in this shell — not a
+  # command substitution, so the pid stays `wait`-able — and leaves its
+  # address in $log.addr and its pid in $log.pid.
+  start_daemon() {
+    local log="$1"; shift
+    "$cli" serve "$@" > "$log" 2>&1 &
+    echo $! > "$log.pid"
+    local addr=""
+    for _ in $(seq 1 100); do
+      addr=$(sed -n 's/^listening on //p' "$log")
+      [ -n "$addr" ] && break
+      kill -0 "$(cat "$log.pid")" 2>/dev/null || break
+      sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+      echo "daemon never reported its address" >&2; cat "$log" >&2; exit 1
+    fi
+    echo "$addr" > "$log.addr"
+  }
+
+  echo "==== [recovery] start daemon with a write-ahead journal"
+  start_daemon "$work/daemon.log" "$work/facts" --listen=127.0.0.1:0 \
+      --workers=2 --journal-dir="$work/journal" --journal-fsync=always
+  local addr; addr=$(cat "$work/daemon.log.addr")
+  local daemon_pid; daemon_pid=$(cat "$work/daemon.log.pid")
+  "$cli" client "$addr" --jobs="$work/job" | grep -q '^\[1\] not-certain'
+
+  echo "==== [recovery] SIGKILL mid-stream of acked deltas"
+  ( for i in $(seq 1 8); do
+      "$cli" admin "$addr" apply default "$work/delta$i" --delta-id="d$i" \
+        >> "$work/acks.out" 2>/dev/null || break
+      sleep 0.05
+    done ) &
+  local stream_pid=$!
+  sleep 0.2
+  kill -9 "$daemon_pid"
+  wait "$stream_pid" 2>/dev/null || true
+  wait "$daemon_pid" 2>/dev/null || true
+  local acked
+  acked=$(grep -c '"type":"delta_ack"' "$work/acks.out" || true)
+  echo "==== [recovery] $acked deltas acked before the kill"
+
+  # A torn tail: raw garbage past the last fsynced record, as a crash mid-
+  # append would leave. Recovery must truncate it, not reject the journal.
+  printf 'GARBAGE-TORN-TAIL' >> "$work/journal/default.journal"
+
+  echo "==== [recovery] restart over the same base snapshot"
+  start_daemon "$work/daemon2.log" "$work/facts" --listen=127.0.0.1:0 \
+      --workers=2 --journal-dir="$work/journal" --journal-fsync=always
+  addr=$(cat "$work/daemon2.log.addr")
+  local recovered_pid; recovered_pid=$(cat "$work/daemon2.log.pid")
+
+  echo "==== [recovery] every acked delta re-acks idempotently"
+  for i in $(seq 1 "$acked"); do
+    "$cli" admin "$addr" apply default "$work/delta$i" --delta-id="d$i" \
+        > "$work/reack$i.out"
+    grep -q '"applied":false' "$work/reack$i.out" || {
+      echo "acked delta d$i was lost by recovery"; cat "$work/reack$i.out"
+      exit 1
+    }
+  done
+
+  echo "==== [recovery] converge both daemons on the full delta set"
+  start_daemon "$work/daemon3.log" "$work/facts" \
+      --listen=127.0.0.1:0 --workers=2
+  local clean_addr; clean_addr=$(cat "$work/daemon3.log.addr")
+  local clean_pid; clean_pid=$(cat "$work/daemon3.log.pid")
+  for i in $(seq 1 8); do
+    "$cli" admin "$addr" apply default "$work/delta$i" --delta-id="d$i" \
+        > /dev/null
+    "$cli" admin "$clean_addr" apply default "$work/delta$i" \
+        --delta-id="d$i" > /dev/null
+  done
+  local fp_recovered fp_clean
+  fp_recovered=$("$cli" admin "$addr" list \
+      | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')
+  fp_clean=$("$cli" admin "$clean_addr" list \
+      | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')
+  if [ -z "$fp_recovered" ] || [ "$fp_recovered" != "$fp_clean" ]; then
+    echo "recovered fingerprint '$fp_recovered' != clean '$fp_clean'"
+    exit 1
+  fi
+  "$cli" client "$addr" --jobs="$work/job" > "$work/recovered.out"
+  "$cli" client "$clean_addr" --jobs="$work/job" > "$work/clean.out"
+  grep -q '^\[1\] certain' "$work/recovered.out"
+  grep -q '^\[1\] certain' "$work/clean.out"
+
+  echo "==== [recovery] SIGTERM drains both daemons"
+  kill -TERM "$recovered_pid" "$clean_pid"
+  local rc=0
+  wait "$recovered_pid" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "recovered daemon exited $rc"; exit 1; }
+  rc=0
+  wait "$clean_pid" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "clean daemon exited $rc"; exit 1; }
+  echo "==== [recovery] OK ($acked acked deltas survived SIGKILL +" \
+       "torn tail; fingerprint $fp_recovered matches clean application)"
+}
+
 for stage in "${stages[@]}"; do
   case "$stage" in
     tier1) run_stage tier1 default default default ;;
@@ -294,8 +422,9 @@ for stage in "${stages[@]}"; do
     cache) cache_smoke ;;
     multidb) multidb_smoke ;;
     sandbox) sandbox_smoke ;;
+    recovery) recovery_smoke ;;
     *) echo "unknown stage '$stage'" \
-            "(want: tier1 asan tsan daemon cache multidb sandbox)" >&2
+            "(want: tier1 asan tsan daemon cache multidb sandbox recovery)" >&2
        exit 2 ;;
   esac
 done

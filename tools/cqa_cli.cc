@@ -26,6 +26,7 @@
 //                    [--cache-entries=E] [--no-cache]
 //                    [--isolation=auto|inproc|fork] [--max-rss-mb=M]
 //                    [--kill-grace-ms=G]
+//                    [--journal-dir=PATH] [--journal-fsync=always|never]
 //   cqa_cli client   HOST:PORT [--jobs=FILE] [--db=NAME] [--timeout-ms=T]
 //                    [--max-nodes=K] [--method=...] [--cache=default|bypass]
 //                    [--isolation=auto|inproc|fork] [--wedge-after=N]
@@ -33,6 +34,7 @@
 //   cqa_cli admin    HOST:PORT attach NAME FACTS_PATH
 //   cqa_cli admin    HOST:PORT detach NAME
 //   cqa_cli admin    HOST:PORT list
+//   cqa_cli admin    HOST:PORT apply NAME DELTA_PATH [--delta-id=ID]
 //
 // Exit codes: 0 certain / probably certain / success; 1 parse or input
 // error; 2 usage; 3 resource budget exhausted; 4 cancelled; 5 not certain
@@ -59,6 +61,16 @@
 // `--wedge-after=N` / `--crash-after=N` inject a wedge or crash into the
 // solve after N budget probes (containment drills against a live daemon).
 //
+// `serve --listen` with `--journal-dir=PATH` makes every attached database
+// live-updatable with durability: `admin apply` deltas are journaled (and
+// fsynced, unless `--journal-fsync=never`) before they are acknowledged,
+// and a restarted daemon replays `<journal-dir>/<name>.journal` over the
+// base facts file — recovering exactly the acknowledged deltas, truncating
+// any torn tail a crash left behind. The delta file of `admin apply` holds
+// one op per line: `+R(a, b)` inserts, `-R(a, b)` deletes (`|` also
+// separates values; `--` comments and blank lines are skipped). Retrying
+// the same delta id is safe — the daemon acks idempotently.
+//
 // `serve` runs the concurrent solve service (src/cqa/serve/) over a batch
 // of newline-delimited solve jobs — one query per line, read from stdin or
 // `--jobs=FILE` — against one database. `--timeout-ms` becomes the
@@ -81,6 +93,8 @@
 // A database path of `-` reads from stdin (requires --jobs=FILE in serve
 // mode, so the two streams do not collide).
 
+#include <sys/stat.h>
+
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -88,6 +102,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -106,6 +121,7 @@
 #include "cqa/certainty/certain_answers.h"
 #include "cqa/certainty/solver.h"
 #include "cqa/db/repairs.h"
+#include "cqa/delta/delta.h"
 #include "cqa/db/stats.h"
 #include "cqa/export/asp.h"
 #include "cqa/fo/eval.h"
@@ -527,6 +543,26 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
   const bool no_cache = HasFlag(argc, argv, "--no-cache");
   dopts.service.cache_entries = no_cache ? 0 : flags[8].value;
   dopts.service.warm_state = !no_cache;
+  // Durability: --journal-dir enables the per-database write-ahead delta
+  // journal (replayed on attach); --journal-fsync trades crash safety for
+  // apply latency.
+  dopts.journal_dir = FlagValue(argc, argv, "--journal-dir");
+  if (!dopts.journal_dir.empty()) {
+    if (::mkdir(dopts.journal_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Fail("cannot create --journal-dir '" + dopts.journal_dir +
+                  "': " + std::strerror(errno));
+    }
+  }
+  std::string journal_fsync = FlagValue(argc, argv, "--journal-fsync");
+  if (!journal_fsync.empty()) {
+    if (journal_fsync == "always") {
+      dopts.journal.fsync = FsyncPolicy::kAlways;
+    } else if (journal_fsync == "never") {
+      dopts.journal.fsync = FsyncPolicy::kNever;
+    } else {
+      return Fail("--journal-fsync must be 'always' or 'never'");
+    }
+  }
 
   // Install the latch before accepting work so a signal arriving during
   // startup still drains instead of killing the process.
@@ -704,9 +740,76 @@ int CmdClient(int argc, char** argv, const char* addr) {
 // reads the facts file client-side and ships its text inline — the daemon
 // never opens files on a client's behalf. Prints the daemon's ack (or
 // error) frame verbatim.
+std::string TrimCopy(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses the delta grammar: one op per line, `+R(a, b)` inserts and
+// `-R(a | b)` deletes (`,` and `|` both separate values — a delta names
+// whole facts, so the key bar carries no meaning here). `--` comments and
+// blank lines are skipped; values may be wrapped in single quotes.
+Result<std::vector<DeltaOp>> ParseDeltaLines(const std::string& text) {
+  using Out = Result<std::vector<DeltaOp>>;
+  std::vector<DeltaOp> ops;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    size_t comment = line.find("--");
+    if (comment != std::string::npos) line.erase(comment);
+    line = TrimCopy(line);
+    if (line.empty()) continue;
+    const std::string where = "delta line " + std::to_string(line_no);
+    if (line[0] != '+' && line[0] != '-') {
+      return Out::Error(ErrorCode::kParse,
+                        where + ": ops start with '+' (insert) or '-' "
+                                "(delete), got '" + line + "'");
+    }
+    DeltaOp op;
+    op.insert = line[0] == '+';
+    size_t open = line.find('(');
+    if (open == std::string::npos || line.back() != ')') {
+      return Out::Error(ErrorCode::kParse,
+                        where + ": expected +Relation(v1, v2) or "
+                                "-Relation(v1, v2)");
+    }
+    op.relation = TrimCopy(line.substr(1, open - 1));
+    if (op.relation.empty()) {
+      return Out::Error(ErrorCode::kParse, where + ": missing relation name");
+    }
+    std::string body = line.substr(open + 1, line.size() - open - 2);
+    std::string value;
+    for (char c : body + ",") {
+      if (c != ',' && c != '|') {
+        value += c;
+        continue;
+      }
+      std::string v = TrimCopy(value);
+      value.clear();
+      if (v.size() >= 2 && v.front() == '\'' && v.back() == '\'') {
+        v = v.substr(1, v.size() - 2);
+      }
+      if (v.empty()) {
+        return Out::Error(ErrorCode::kParse, where + ": empty value");
+      }
+      op.values.push_back(std::move(v));
+    }
+    ops.push_back(std::move(op));
+  }
+  if (ops.empty()) {
+    return Out::Error(ErrorCode::kParse, "delta has no ops");
+  }
+  return ops;
+}
+
 int CmdAdmin(int argc, char** argv) {
   if (argc < 4) {
-    return Fail("admin needs HOST:PORT and a verb (attach|detach|list)");
+    return Fail("admin needs HOST:PORT and a verb (attach|detach|apply|list)");
   }
   std::string host;
   uint16_t port = 0;
@@ -740,10 +843,45 @@ int CmdAdmin(int argc, char** argv) {
   } else if (verb == "detach") {
     if (argc < 5) return Fail("admin detach needs NAME");
     req.Set("type", "detach").Set("name", argv[4]);
+  } else if (verb == "apply") {
+    if (argc < 6) return Fail("admin apply needs NAME and DELTA_PATH");
+    std::string text;
+    if (std::strcmp(argv[5], "-") == 0) {
+      std::stringstream buffer;
+      buffer << std::cin.rdbuf();
+      text = buffer.str();
+    } else {
+      std::ifstream in(argv[5]);
+      if (!in) {
+        return Fail(std::string("cannot open '") + argv[5] +
+                    "': " + std::strerror(errno));
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      if (in.bad()) {
+        return Fail(std::string("I/O error reading '") + argv[5] + "'");
+      }
+      text = buffer.str();
+    }
+    Result<std::vector<DeltaOp>> ops = ParseDeltaLines(text);
+    if (!ops.ok()) return Fail(ops);
+    std::string delta_id = FlagValue(argc, argv, "--delta-id");
+    if (delta_id.empty()) {
+      // Content-derived default: re-running the same file is an idempotent
+      // re-ack at the daemon, not a double application.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "cli-%016llx",
+                    static_cast<unsigned long long>(
+                        std::hash<std::string>{}(text)));
+      delta_id = buf;
+    }
+    req.Set("type", "apply_delta").Set("db", argv[4]);
+    req.Set("delta_id", delta_id).Set("ops", EncodeDeltaOps(ops.value()));
   } else if (verb == "list") {
     req.Set("type", "list");
   } else {
-    return Fail("unknown admin verb '" + verb + "' (want attach|detach|list)");
+    return Fail("unknown admin verb '" + verb +
+                "' (want attach|detach|apply|list)");
   }
 
   // A detach ack only arrives after its shard drained, so the read budget

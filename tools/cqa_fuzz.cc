@@ -14,11 +14,14 @@
 // tiny ResultCache: alpha-renamed random queries must collide on one cache
 // slot, constant-perturbed ones must not, and under constant eviction
 // pressure a lookup may only ever return a report previously inserted
-// under exactly that key. Exits non-zero and prints a reproducer on the
-// first violation.
+// under exactly that key. A fifth phase (--journal-rounds) feeds random
+// concatenations of intact, CRC-corrupted, bit-flipped, truncated and
+// garbage delta-journal records to ParseJournalBytes, asserting the
+// decoder always yields a clean valid prefix and never crashes. Exits
+// non-zero and prints a reproducer on the first violation.
 //
 //   cqa_fuzz [--seed=N] [--rounds=N] [--dbs-per-query=N] [--parse-rounds=N]
-//            [--wire-rounds=N] [--cache-rounds=N]
+//            [--wire-rounds=N] [--cache-rounds=N] [--journal-rounds=N]
 
 #include <cstdio>
 #include <cstring>
@@ -27,7 +30,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cqa/base/crc32c.h"
 #include "cqa/cqa.h"
+#include "cqa/delta/journal.h"
 #include "cqa/serve/net/framing.h"
 #include "cqa/serve/net/json.h"
 #include "cqa/serve/net/protocol.h"
@@ -165,6 +170,21 @@ std::vector<std::string> WireCorpus() {
       R"js("facts":"R(a | b)\nS(b | a)"})js",
       R"js({"type":"detach","id":15,"name":"replica"})js",
       R"js({"type":"list","id":16})js",
+      // apply_delta: a valid frame, a duplicate-id retry of it, an unknown
+      // relation, an arity mismatch, and malformed ops shapes. All must
+      // decode (validation against a schema is the service's job, not the
+      // codec's) or fail with typed kParse — mutation explores the rest.
+      R"js({"type":"apply_delta","id":23,"db":"replica","delta_id":"d1",)js"
+      R"js("ops":[{"op":"insert","relation":"R","values":["a","b"]},)js"
+      R"js({"op":"delete","relation":"S","values":["b","a"]}]})js",
+      R"js({"type":"apply_delta","id":24,"db":"replica","delta_id":"d1",)js"
+      R"js("ops":[{"op":"insert","relation":"R","values":["a","b"]}]})js",
+      R"js({"type":"apply_delta","id":25,"delta_id":"d2",)js"
+      R"js("ops":[{"op":"insert","relation":"Ghost","values":["x","y"]}]})js",
+      R"js({"type":"apply_delta","id":26,"delta_id":"d3",)js"
+      R"js("ops":[{"op":"delete","relation":"R","values":["only-one"]}]})js",
+      R"js({"type":"apply_delta","id":27,"delta_id":"d4","ops":[{}]})js",
+      R"js({"type":"apply_delta","id":28,"delta_id":"","ops":[]})js",
   };
   corpus.push_back(EncodeErrorFrame(7, ErrorCode::kOverloaded, "busy", true));
   corpus.push_back(EncodeCancelledFrame(8, "cancelled"));
@@ -182,8 +202,75 @@ std::vector<std::string> WireCorpus() {
     corpus.push_back(EncodeDetachAckFrame(18, "replica", /*shed=*/3,
                                           /*drained=*/true));
     corpus.push_back(EncodeDbListFrame(19, {entry}));
+    DeltaOutcome outcome;
+    outcome.name = "replica";
+    outcome.delta_id = "d1";
+    outcome.applied = true;
+    outcome.epoch = 1;
+    outcome.fingerprint = FingerprintDatabase(db.value());
+    outcome.inserted = 1;
+    outcome.deleted = 1;
+    corpus.push_back(EncodeDeltaAckFrame(29, outcome));
   }
   return corpus;
+}
+
+// ---------------------------------------------------------------------------
+// Journal-bytes fuzz
+
+// Serializes one well-formed journal record ([len][crc32c][payload]) so the
+// fuzz stream's mutations explore the near-valid neighborhood: bit flips in
+// the length, the CRC, and the payload all land one edit away from records
+// the decoder accepts.
+std::string JournalRecordBytes(const std::string& delta_id,
+                               const std::string& fp_hex, bool valid_crc) {
+  Json ops = Json::Parse(
+                 R"js([{"op":"insert","relation":"R","values":["a","b"]}])js")
+                 .value();
+  std::string payload = JsonObjectBuilder()
+                            .Set("delta_id", delta_id)
+                            .Set("fp", fp_hex)
+                            .Set("ops", std::move(ops))
+                            .Build()
+                            .Serialize();
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32c(payload);
+  if (!valid_crc) crc ^= 0xdeadbeefu;  // the corrupt-CRC corpus entry
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  out += payload;
+  return out;
+}
+
+// Any byte string must yield a valid-prefix decode: no crash, valid_bytes
+// at a record boundary within the input, records consistent with the
+// boundary, and decoding the valid prefix alone must reproduce exactly the
+// same records with no torn tail.
+int CheckJournalBytes(const std::string& bytes) {
+  JournalReplay replay = ParseJournalBytes(bytes);
+  if (replay.valid_bytes > bytes.size()) {
+    return BadInput(bytes, "journal valid_bytes beyond the input");
+  }
+  if (replay.truncated_tail != (replay.valid_bytes < bytes.size())) {
+    return BadInput(bytes, "journal truncated_tail flag inconsistent");
+  }
+  JournalReplay again =
+      ParseJournalBytes(std::string_view(bytes).substr(0, replay.valid_bytes));
+  if (again.records.size() != replay.records.size() || again.truncated_tail ||
+      again.valid_bytes != replay.valid_bytes) {
+    return BadInput(bytes, "journal valid prefix did not re-decode cleanly");
+  }
+  for (size_t i = 0; i < replay.records.size(); ++i) {
+    if (replay.records[i].delta.id != again.records[i].delta.id) {
+      return BadInput(bytes, "journal re-decode changed a record");
+    }
+  }
+  return 0;
 }
 
 // Alpha-renames every variable of `q` (salted so different rounds use
@@ -266,6 +353,7 @@ int main(int argc, char** argv) {
   uint64_t parse_rounds = FlagOr(argc, argv, "--parse-rounds", 300);
   uint64_t wire_rounds = FlagOr(argc, argv, "--wire-rounds", 300);
   uint64_t cache_rounds = FlagOr(argc, argv, "--cache-rounds", 200);
+  uint64_t journal_rounds = FlagOr(argc, argv, "--journal-rounds", 300);
 
   // Phase 1: parser robustness under mutation and garbage.
   {
@@ -322,6 +410,45 @@ int main(int argc, char** argv) {
         stream.resize(wrng.Below(stream.size()));  // truncated delivery
       }
       int rc = CheckWireStack(stream, cap, &wrng);
+      if (rc != 0) return rc;
+    }
+  }
+
+  // Phase 2b: journal robustness — random record soup (valid, corrupt-CRC,
+  // mutated, truncated, garbage) through the pure journal decoder.
+  {
+    Rng jrng(seed ^ 0x70a17u);
+    const std::string fp_hex = "0123456789abcdef0123456789abcdef";
+    for (uint64_t round = 0; round < journal_rounds; ++round) {
+      std::string bytes;
+      int pieces = static_cast<int>(jrng.Below(5)) + 1;
+      for (int p = 0; p < pieces; ++p) {
+        switch (jrng.Below(5)) {
+          case 0:  // intact record
+            bytes += JournalRecordBytes("d" + std::to_string(p), fp_hex,
+                                        /*valid_crc=*/true);
+            break;
+          case 1:  // record whose CRC does not match its payload
+            bytes += JournalRecordBytes("d" + std::to_string(p), fp_hex,
+                                        /*valid_crc=*/false);
+            break;
+          case 2:  // intact record with one mutated byte
+            bytes += Mutate(JournalRecordBytes("d", fp_hex, true), &jrng);
+            break;
+          case 3:  // raw garbage, including hostile length prefixes
+            bytes += Garbage(&jrng);
+            break;
+          default: {  // a torn record: an intact one cut mid-payload
+            std::string whole = JournalRecordBytes("torn", fp_hex, true);
+            bytes += whole.substr(0, jrng.Below(whole.size()) + 1);
+            break;
+          }
+        }
+      }
+      if (jrng.Chance(0.3) && !bytes.empty()) {
+        bytes.resize(jrng.Below(bytes.size()));
+      }
+      int rc = CheckJournalBytes(bytes);
       if (rc != 0) return rc;
     }
   }
@@ -445,10 +572,12 @@ int main(int argc, char** argv) {
     }
   }
   std::printf(
-      "fuzz clean: %llu parse rounds, %llu wire rounds, %llu cache rounds, "
+      "fuzz clean: %llu parse rounds, %llu wire rounds, %llu journal "
+      "rounds, %llu cache rounds, "
       "%llu rounds (%llu FO, %llu hard), %llu database checks\n",
       static_cast<unsigned long long>(parse_rounds),
       static_cast<unsigned long long>(wire_rounds),
+      static_cast<unsigned long long>(journal_rounds),
       static_cast<unsigned long long>(cache_rounds),
       static_cast<unsigned long long>(rounds),
       static_cast<unsigned long long>(fo_count),
