@@ -25,6 +25,11 @@
 //       the delta, not the database), footprint-scoped cache invalidation
 //       (warm hits on untouched queries survive a delta to a disjoint
 //       relation), and crash-recovery time as the replayed journal grows.
+//   D7. Durability and replication: recovery time with and without epoch
+//       snapshots (bounded tail replay vs full-history replay), acked-delta
+//       throughput under each journal fsync policy (per-ack fsync vs the
+//       group-commit batcher vs none), and primary-ack-to-follower-epoch
+//       replication lag over a real loopback stream.
 //   D5. Fork-isolation cost and reclaim: the same solve on the same wire
 //       path with `"isolation":"inproc"` vs `"fork"` (the fork/pipe/reap
 //       overhead a sandboxed solve pays), then the time to get a worker
@@ -561,6 +566,181 @@ void TableLiveUpdate() {
   std::printf("\n");
 }
 
+void TableDurability() {
+  // (a) bounded recovery: the same attach-with-replay experiment as D6(c),
+  // with and without epoch snapshots. With a snapshot every 64 deltas the
+  // replay is snapshot-load + a bounded tail, so recovery stops scaling
+  // with history length.
+  std::printf("D7. durability and replication:\n");
+  std::printf("(a) recovery time vs journal length, with/without "
+              "snapshots (every 64 deltas):\n");
+  std::printf("%-10s %-16s %-16s %-10s\n", "records", "replay_ms",
+              "snapshot_ms", "speedup");
+  for (int records : {16, 256, 2048}) {
+    double ms[2] = {0, 0};
+    for (int snap = 0; snap < 2; ++snap) {
+      char tmpl[] = "/tmp/cqa_bench_snap_XXXXXX";
+      char* dir = ::mkdtemp(tmpl);
+      if (dir == nullptr) return;
+      Result<Database> base =
+          Database::FromText("R(a | b), R(a | c)\nS(b | a)\nT(k0 | v0)");
+      if (!base.ok()) return;
+      auto shared = std::make_shared<const Database>(std::move(base.value()));
+      ShardedServiceOptions opts;
+      opts.shard.workers = 1;
+      opts.journal_dir = dir;
+      opts.journal.fsync = FsyncPolicy::kNever;  // time replay, not fsync
+      if (snap == 1) opts.snapshot.every_deltas = 64;
+      {
+        ShardedSolveService writer(opts);
+        if (!writer.Attach("bench", shared).ok()) return;
+        for (int i = 0; i < records; ++i) {
+          FactDelta delta;
+          delta.id = "rec-" + std::to_string(i);
+          DeltaOp op;
+          op.insert = true;
+          op.relation = "T";
+          op.values = {"k" + std::to_string(i + 1),
+                       "v" + std::to_string(i + 1)};
+          delta.ops.push_back(std::move(op));
+          if (!writer.ApplyDelta("bench", delta).ok()) return;
+        }
+      }  // dropped without detach: snapshot + journal are the survivors
+      {
+        ShardedSolveService reader(opts);
+        ms[snap] = benchutil::TimeUs([&] {
+                     (void)reader.Attach("bench", shared);
+                   }) /
+                   1000.0;
+      }
+      std::string cleanup = std::string("rm -rf ") + dir;
+      (void)std::system(cleanup.c_str());
+    }
+    std::printf("%-10d %-16.2f %-16.2f %.1fx\n", records, ms[0], ms[1],
+                ms[1] > 0 ? ms[0] / ms[1] : 0.0);
+  }
+  std::printf("\n");
+
+  // (b) group fsync: acked-delta throughput under concurrent writers for
+  // each fsync policy. kAlways pays one fsync per ack; kGroup amortises
+  // one fsync over every delta that arrived during the flush window;
+  // kNever is the no-durability ceiling.
+  {
+    std::printf("(b) acked deltas/s vs fsync policy, 16 writers x 64 "
+                "single-op deltas:\n");
+    std::printf("%-10s %-12s %-12s %-10s\n", "policy", "acks/s", "wall_ms",
+                "fsyncs");
+    struct Row {
+      const char* name;
+      FsyncPolicy policy;
+    };
+    const Row rows[] = {{"always", FsyncPolicy::kAlways},
+                        {"group", FsyncPolicy::kGroup},
+                        {"never", FsyncPolicy::kNever}};
+    for (const Row& row : rows) {
+      char tmpl[] = "/tmp/cqa_bench_fsync_XXXXXX";
+      char* dir = ::mkdtemp(tmpl);
+      if (dir == nullptr) return;
+      Result<Database> base = Database::FromText("T(k0 | v0)");
+      if (!base.ok()) return;
+      ShardedServiceOptions opts;
+      opts.shard.workers = 1;
+      opts.journal_dir = dir;
+      opts.journal.fsync = row.policy;
+      ShardedSolveService service(opts);
+      if (!service.Attach("bench", std::move(base.value())).ok()) return;
+      constexpr int kWriters = 16;
+      constexpr int kPerWriter = 64;
+      std::atomic<uint64_t> acked{0};
+      double wall_us = benchutil::TimeUs([&] {
+        std::vector<std::thread> writers;
+        for (int w = 0; w < kWriters; ++w) {
+          writers.emplace_back([&, w] {
+            for (int i = 0; i < kPerWriter; ++i) {
+              FactDelta delta;
+              delta.id = "w" + std::to_string(w) + "-" + std::to_string(i);
+              DeltaOp op;
+              op.insert = true;
+              op.relation = "T";
+              op.values = {delta.id, "v"};
+              delta.ops.push_back(std::move(op));
+              if (service.ApplyDelta("bench", delta).ok()) {
+                acked.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          });
+        }
+        for (auto& t : writers) t.join();
+      });
+      ServiceStats stats = service.Stats();
+      std::printf("%-10s %-12.0f %-12.2f %llu\n", row.name,
+                  acked.load() / (wall_us / 1e6), wall_us / 1000.0,
+                  static_cast<unsigned long long>(stats.journal_fsyncs));
+      std::string cleanup = std::string("rm -rf ") + dir;
+      (void)std::system(cleanup.c_str());
+    }
+  }
+  std::printf("\n");
+
+  // (c) replication lag: a follower daemon tails a primary over loopback
+  // TCP; after each primary ack, the time until the follower's epoch
+  // catches up is the write-to-replica visibility lag.
+  {
+    std::printf("(c) replication lag, primary ack -> follower epoch, 50 "
+                "deltas:\n");
+    std::printf("%-14s %-14s %-14s\n", "p50_us", "p99_us", "max_us");
+    DaemonOptions popts;
+    popts.service.workers = 2;
+    SolveDaemon primary(PollDb(40, 17), popts);
+    if (!primary.Start().ok()) return;
+    DaemonOptions fopts;
+    fopts.service.workers = 2;
+    fopts.follow_host = "127.0.0.1";
+    fopts.follow_port = primary.port();
+    SolveDaemon follower(fopts);
+    if (!follower.Start().ok()) return;
+    auto follower_epoch = [&]() -> uint64_t {
+      for (const auto& [name, stats] : follower.stats_per_db()) {
+        if (name == SolveDaemon::kDefaultDbName) return stats.epoch;
+      }
+      return 0;
+    };
+    auto bootstrap_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (follower.stats_per_db().empty() &&
+           std::chrono::steady_clock::now() < bootstrap_deadline) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    NetClient client;
+    if (!client.Connect("127.0.0.1", primary.port(), kIo).ok()) return;
+    std::vector<double> lag_us;
+    uint64_t id = 0;
+    for (int i = 0; i < 50; ++i) {
+      std::vector<DeltaOp> ops(1);
+      ops[0].insert = true;
+      ops[0].relation = "Lives";
+      ops[0].values = {"repl_p" + std::to_string(i), "repl_t"};
+      (void)client.SendFrame(ApplyDeltaFrame(++id, "lag-" + std::to_string(i),
+                                             ops),
+                             kIo);
+      (void)client.ReadResponse(kIo);
+      const uint64_t target = static_cast<uint64_t>(i) + 1;
+      lag_us.push_back(benchutil::TimeUs([&] {
+        while (follower_epoch() < target) {
+          std::this_thread::yield();
+        }
+      }));
+    }
+    std::printf("%-14llu %-14llu %-14.0f\n",
+                static_cast<unsigned long long>(Percentile(&lag_us, 0.50)),
+                static_cast<unsigned long long>(Percentile(&lag_us, 0.99)),
+                *std::max_element(lag_us.begin(), lag_us.end()));
+    (void)follower.Shutdown(milliseconds(5'000));
+    (void)primary.Shutdown(milliseconds(5'000));
+  }
+  std::printf("\n");
+}
+
 void Tables() {
   TableRoundTrip();
   TableOverloadShedRate();
@@ -568,6 +748,7 @@ void Tables() {
   TableShardIsolation();
   TableSandboxOverhead();
   TableLiveUpdate();
+  TableDurability();
 }
 
 void BM_DaemonRoundTrip(benchmark::State& state) {

@@ -1,6 +1,25 @@
 #include "cqa/base/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+// Hardware paths. Each is compiled only when the toolchain can target the
+// instruction set from a per-function attribute (no global -msse4.2 /
+// -march=armv8-a+crc needed), and taken only when the running CPU reports
+// the feature — so one binary serves both old and new machines.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CQA_CRC32C_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) && defined(__linux__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CQA_CRC32C_ARM 1
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
 
 namespace cqa {
 namespace {
@@ -20,9 +39,70 @@ std::array<uint32_t, 256> BuildTable() {
   return table;
 }
 
+#if defined(CQA_CRC32C_X86)
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
+                                                          size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t crc = 0xFFFFFFFFu;
+  while (len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = _mm_crc32_u64(crc, word);
+    p += 8;
+    len -= 8;
+  }
+  uint32_t crc32 = static_cast<uint32_t>(crc);
+  while (len > 0) {
+    crc32 = _mm_crc32_u8(crc32, *p);
+    ++p;
+    --len;
+  }
+  return crc32 ^ 0xFFFFFFFFu;
+}
+
+bool DetectHardwareCrc32c() { return __builtin_cpu_supports("sse4.2") != 0; }
+
+#elif defined(CQA_CRC32C_ARM)
+
+__attribute__((target("+crc"))) uint32_t Crc32cHardware(const void* data,
+                                                        size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  while (len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = __crc32cd(crc, word);
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = __crc32cb(crc, *p);
+    ++p;
+    --len;
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool DetectHardwareCrc32c() {
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+}
+
+#else
+
+uint32_t Crc32cHardware(const void* data, size_t len) {
+  return crc32c_internal::Crc32cSoftware(data, len);
+}
+
+bool DetectHardwareCrc32c() { return false; }
+
+#endif
+
 }  // namespace
 
-uint32_t Crc32c(const void* data, size_t len) {
+namespace crc32c_internal {
+
+uint32_t Crc32cSoftware(const void* data, size_t len) {
   static const std::array<uint32_t, 256> kTable = BuildTable();
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t crc = 0xFFFFFFFFu;
@@ -30,6 +110,19 @@ uint32_t Crc32c(const void* data, size_t len) {
     crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+bool HaveHardwareCrc32c() {
+  static const bool kHave = DetectHardwareCrc32c();
+  return kHave;
+}
+
+}  // namespace crc32c_internal
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return crc32c_internal::HaveHardwareCrc32c()
+             ? Crc32cHardware(data, len)
+             : crc32c_internal::Crc32cSoftware(data, len);
 }
 
 }  // namespace cqa

@@ -8,14 +8,30 @@
 namespace cqa {
 
 /// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) over a byte range.
-/// Software table implementation — no hardware intrinsics, no dependencies.
-/// Used to checksum delta-journal records: Castagnoli detects all burst
-/// errors up to 32 bits and has better Hamming distance than CRC-32/ISO at
-/// the record sizes the journal writes, which is why storage formats
-/// (ext4, iSCSI, leveldb) standardised on it.
+/// Used to checksum delta-journal records and epoch snapshots: Castagnoli
+/// detects all burst errors up to 32 bits and has better Hamming distance
+/// than CRC-32/ISO at the record sizes the journal writes, which is why
+/// storage formats (ext4, iSCSI, leveldb) standardised on it.
+///
+/// Dispatches at runtime to the CPU's CRC32 instructions when available
+/// (SSE4.2 `crc32q` on x86-64, the ARMv8 CRC32 extension on aarch64) and
+/// falls back to a portable table implementation otherwise. Both paths are
+/// bit-identical; `crc32c_test` cross-checks them on random buffers.
 uint32_t Crc32c(const void* data, size_t len);
 
 inline uint32_t Crc32c(std::string_view s) { return Crc32c(s.data(), s.size()); }
+
+namespace crc32c_internal {
+
+/// The portable table path, always compiled. Exposed so the cross-check
+/// test can diff it against the dispatched (possibly hardware) path.
+uint32_t Crc32cSoftware(const void* data, size_t len);
+
+/// True when `Crc32c` dispatches to a hardware path on this machine (the
+/// instruction set exists at build time AND the CPU reports it at run time).
+bool HaveHardwareCrc32c();
+
+}  // namespace crc32c_internal
 
 }  // namespace cqa
 

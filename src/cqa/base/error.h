@@ -38,6 +38,12 @@ enum class ErrorCode {
   /// death (segfault), an unexpected exit code, or a truncated result
   /// pipe. Deterministic re-failure is assumed; never retried.
   kWorkerCrashed,
+  /// The instance is serving in read-only mode (a warm-standby follower
+  /// replicating a primary). Solves succeed; mutations (deltas, attach,
+  /// detach) are refused with this code until the follower is promoted.
+  /// Not transparently retryable: the same replica refuses again — the
+  /// client must redirect the write to the primary (or promote).
+  kReadOnly,
   /// Anything else: internal invariant failures, I/O, legacy untyped errors.
   kInternal,
 };
@@ -62,6 +68,8 @@ inline const char* ToString(ErrorCode code) {
       return "resource-exhausted";
     case ErrorCode::kWorkerCrashed:
       return "worker-crashed";
+    case ErrorCode::kReadOnly:
+      return "read-only";
     case ErrorCode::kInternal:
       return "internal";
   }
@@ -85,6 +93,8 @@ inline bool IsResourceExhaustion(ErrorCode code) {
 /// never retried; `kWorkerCrashed` and `kResourceExhausted` are
 /// deterministic re-failures (a crashing solve crashes again, a capped
 /// solve breaches again), so retrying them only multiplies the damage.
+/// `kReadOnly` is excluded too: a follower keeps refusing writes until it
+/// is promoted, so the retry has to go somewhere else, not merely later.
 inline bool IsRetryable(ErrorCode code) {
   return IsResourceExhaustion(code) || code == ErrorCode::kOverloaded;
 }

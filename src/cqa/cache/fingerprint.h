@@ -28,6 +28,32 @@ struct DbFingerprint {
     return d.ToHex();
   }
 
+  /// Parses the 32-lowercase-hex form `ToHex` emits. Returns false (and
+  /// leaves `out` untouched) on any other input. Shared by the journal,
+  /// snapshot, and replication decoders, which all carry fingerprints as
+  /// hex strings on the wire / on disk.
+  static bool FromHex(const std::string& hex, DbFingerprint* out) {
+    if (hex.size() != 32) return false;
+    uint64_t words[2] = {0, 0};
+    for (int p = 0; p < 2; ++p) {
+      for (int i = 0; i < 16; ++i) {
+        char c = hex[static_cast<size_t>(p * 16 + i)];
+        uint64_t nibble;
+        if (c >= '0' && c <= '9') {
+          nibble = static_cast<uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          nibble = static_cast<uint64_t>(c - 'a' + 10);
+        } else {
+          return false;
+        }
+        words[p] = (words[p] << 4) | nibble;
+      }
+    }
+    out->hi = words[0];
+    out->lo = words[1];
+    return true;
+  }
+
   friend bool operator==(const DbFingerprint& a, const DbFingerprint& b) {
     return a.hi == b.hi && a.lo == b.lo;
   }

@@ -26,9 +26,11 @@ uint32_t GetU32(const unsigned char* p) {
          (static_cast<uint32_t>(p[3]) << 24);
 }
 
-std::string BuildPayload(const FactDelta& delta, const DbFingerprint& fp) {
+std::string BuildPayload(const FactDelta& delta, const DbFingerprint& fp,
+                         uint64_t epoch) {
   return JsonObjectBuilder()
       .Set("delta_id", delta.id)
+      .Set("epoch", epoch)
       .Set("fp", fp.ToHex())
       .Set("ops", EncodeDeltaOps(delta.ops))
       .Build()
@@ -73,6 +75,13 @@ bool DecodePayload(const std::string& payload, JournalRecord* out) {
       !ParseFpHex(fp->AsString(), &out->fp_after)) {
     return false;
   }
+  // Pre-epoch journals omit the field; they decode with epoch 0 and replay
+  // positionally, exactly as before epochs existed.
+  const Json* epoch = parsed->Find("epoch");
+  if (epoch != nullptr) {
+    if (!epoch->is_number() || epoch->AsInt() < 0) return false;
+    out->epoch = static_cast<uint64_t>(epoch->AsInt());
+  }
   const Json* ops = parsed->Find("ops");
   if (ops == nullptr) return false;
   Result<std::vector<DeltaOp>> decoded = DecodeDeltaOps(*ops);
@@ -99,6 +108,21 @@ Result<bool> WriteFully(int fd, const char* data, size_t len) {
 
 }  // namespace
 
+DeltaJournal::DeltaJournal(std::string path, int fd, uint64_t existing_bytes,
+                           JournalOptions options)
+    : path_(std::move(path)),
+      fd_(fd),
+      bytes_written_(existing_bytes),
+      options_(options) {
+  if (options_.fsync == FsyncPolicy::kGroup) {
+    // Bytes that survived to be read back at open are on disk by
+    // definition; the batcher only owes fsyncs for what *this* process
+    // appends.
+    durable_file_bytes_.store(existing_bytes);
+    batcher_ = std::thread([this] { BatcherLoop(); });
+  }
+}
+
 Result<std::unique_ptr<DeltaJournal>> DeltaJournal::Open(
     std::string path, JournalOptions options) {
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
@@ -115,17 +139,49 @@ Result<std::unique_ptr<DeltaJournal>> DeltaJournal::Open(
 }
 
 DeltaJournal::~DeltaJournal() {
+  if (batcher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(sync_mu_);
+      stop_ = true;
+    }
+    batch_cv_.notify_all();
+    batcher_.join();
+  }
   if (fd_ >= 0) ::close(fd_);
 }
 
+Result<bool> DeltaJournal::DoFsync() {
+  if (options_.fail_after_fsyncs != 0 &&
+      fsyncs_.load() >= options_.fail_after_fsyncs) {
+    return Result<bool>::Error(ErrorCode::kInternal,
+                               "journal fault injection: fsync failed");
+  }
+  if (::fsync(fd_) != 0) {
+    return Result<bool>::Error(
+        ErrorCode::kInternal,
+        std::string("journal fsync failed: ") + std::strerror(errno));
+  }
+  ++fsyncs_;
+  return true;
+}
+
 Result<bool> DeltaJournal::Append(const FactDelta& delta,
-                                  const DbFingerprint& fp_after) {
+                                  const DbFingerprint& fp_after,
+                                  uint64_t epoch) {
   if (options_.fail_after_appends != 0 &&
-      appends_ >= options_.fail_after_appends) {
+      appends_.load() >= options_.fail_after_appends) {
     return Result<bool>::Error(ErrorCode::kInternal,
                                "journal fault injection: append failed");
   }
-  std::string payload = BuildPayload(delta, fp_after);
+  if (options_.fsync == FsyncPolicy::kGroup) {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    if (sync_failed_) {
+      return Result<bool>::Error(
+          ErrorCode::kInternal,
+          "journal poisoned: a group fsync failed; no further appends");
+    }
+  }
+  std::string payload = BuildPayload(delta, fp_after, epoch);
   if (payload.size() > kMaxJournalRecordBytes) {
     return Result<bool>::Error(
         ErrorCode::kUnsupported,
@@ -139,7 +195,7 @@ Result<bool> DeltaJournal::Append(const FactDelta& delta,
   record += payload;
 
   if (options_.tear_after_appends != 0 &&
-      appends_ >= options_.tear_after_appends) {
+      appends_.load() >= options_.tear_after_appends) {
     // Simulated kill -9 mid-write: part of the record reaches disk, then
     // the "process" dies. The caller must treat this as append failure.
     size_t keep = options_.tear_keep_bytes < record.size()
@@ -155,15 +211,131 @@ Result<bool> DeltaJournal::Append(const FactDelta& delta,
   if (!w.ok()) return w;
   bytes_written_ += record.size();
   if (options_.fsync == FsyncPolicy::kAlways) {
-    if (::fsync(fd_) != 0) {
-      return Result<bool>::Error(
-          ErrorCode::kInternal,
-          std::string("journal fsync failed: ") + std::strerror(errno));
+    Result<bool> synced = DoFsync();
+    if (!synced.ok()) return synced;
+    ++appends_;
+  } else if (options_.fsync == FsyncPolicy::kGroup) {
+    {
+      // The sequence bump and the pending count move together under the
+      // lock so the batcher's target (`appends_` read under the same lock)
+      // always covers every pending record.
+      std::lock_guard<std::mutex> lock(sync_mu_);
+      ++appends_;
+      ++pending_appends_;
     }
-    ++fsyncs_;
+    batch_cv_.notify_one();
+  } else {
+    ++appends_;
   }
-  ++appends_;
   return true;
+}
+
+Result<bool> DeltaJournal::WaitDurable(uint64_t append_seq) {
+  if (options_.fsync == FsyncPolicy::kAlways ||
+      options_.fsync == FsyncPolicy::kNever) {
+    // kAlways: the append that produced `append_seq` already synced.
+    // kNever: durability is explicitly not promised, waiting is theatre.
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  if (!sync_failed_ && durable_seq_.load() < append_seq) {
+    // Register as a waiter and poke the batcher: a registered waiter lets
+    // it flush at the next arrival lull instead of sitting out the full
+    // batch window (see BatcherLoop).
+    ++durable_waiters_;
+    batch_cv_.notify_one();
+    sync_cv_.wait(lock, [&] {
+      return sync_failed_ || durable_seq_.load() >= append_seq;
+    });
+    --durable_waiters_;
+  }
+  if (durable_seq_.load() >= append_seq) return true;
+  return Result<bool>::Error(ErrorCode::kInternal,
+                             "journal group fsync failed; record not durable");
+}
+
+Result<bool> DeltaJournal::Reset() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Result<bool>::Error(
+        ErrorCode::kInternal,
+        "cannot reset journal '" + path_ + "': " + std::strerror(errno));
+  }
+  // Make the truncate itself durable: a crash right after must not
+  // resurrect pre-snapshot records *partially* (epoch stamps would still
+  // save correctness, but a clean cut keeps recovery trivial).
+  if (options_.fsync != FsyncPolicy::kNever) {
+    Result<bool> synced = DoFsync();
+    if (!synced.ok()) return synced;
+  }
+  bytes_written_.store(0);
+  if (options_.fsync == FsyncPolicy::kGroup) {
+    // Byte gauges rewind with the file; `appends_`/`durable_seq_` do NOT —
+    // any ack still waiting on a pre-compaction sequence already had its
+    // record fsynced (FlushDurable ran), so the monotonic marks stand.
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    pending_appends_ = 0;
+    durable_file_bytes_.store(0);
+  }
+  return true;
+}
+
+uint64_t DeltaJournal::durable_bytes() const {
+  switch (options_.fsync) {
+    case FsyncPolicy::kAlways:
+      return bytes_written_.load();
+    case FsyncPolicy::kNever:
+      return 0;
+    case FsyncPolicy::kGroup:
+      return durable_file_bytes_.load();
+  }
+  return 0;
+}
+
+void DeltaJournal::BatcherLoop() {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  while (true) {
+    batch_cv_.wait(lock, [&] { return stop_ || pending_appends_ > 0; });
+    if (pending_appends_ == 0) {
+      if (stop_) return;
+      continue;
+    }
+    if (!stop_) {
+      // Batch window: let more appends pile up until the batch is full or
+      // the oldest has waited long enough — but once a durability waiter
+      // is registered and a wakeup brings no new appends (an arrival
+      // lull), flush immediately: waiting longer only delays the ack, it
+      // cannot grow the batch. Under a saturated stream appends keep
+      // arriving, so batches still fill toward `group_max_batch`; an
+      // isolated ack pays one prompt fsync instead of the full window.
+      // On shutdown, flush immediately.
+      auto deadline =
+          std::chrono::steady_clock::now() + options_.group_max_delay;
+      uint64_t seen = pending_appends_;
+      while (!stop_ && pending_appends_ < options_.group_max_batch) {
+        if (batch_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+        if (durable_waiters_ > 0 && pending_appends_ == seen) break;
+        seen = pending_appends_;
+      }
+    }
+    const uint64_t target_seq = appends_.load();
+    const uint64_t target_bytes = bytes_written_.load();
+    pending_appends_ = 0;
+    lock.unlock();
+    Result<bool> synced = DoFsync();  // ONE fsync covers the whole batch
+    lock.lock();
+    if (synced.ok()) {
+      if (target_seq > durable_seq_.load()) durable_seq_.store(target_seq);
+      if (target_bytes > durable_file_bytes_.load()) {
+        durable_file_bytes_.store(target_bytes);
+      }
+    } else {
+      sync_failed_ = true;  // sticky: see WaitDurable
+    }
+    sync_cv_.notify_all();
+  }
 }
 
 JournalReplay ParseJournalBytes(std::string_view bytes) {

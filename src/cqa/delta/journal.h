@@ -1,10 +1,15 @@
 #ifndef CQA_DELTA_JOURNAL_H_
 #define CQA_DELTA_JOURNAL_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "cqa/base/result.h"
@@ -18,9 +23,13 @@ namespace cqa {
 ///   [u32 len][u32 crc32c(payload)][payload bytes]
 ///
 /// with both integers little-endian and the payload a compact JSON object
-/// `{"delta_id":"...","fp":"<32 hex>","ops":[...]}` (`ops` as in
+/// `{"delta_id":"...","epoch":N,"fp":"<32 hex>","ops":[...]}` (`ops` as in
 /// `EncodeDeltaOps`; `fp` is the fingerprint the database must have *after*
-/// this record applies — the running digest recovery verifies against).
+/// this record applies — the running digest recovery verifies against;
+/// `epoch` is the database epoch the record produces, so replay over a
+/// snapshot can skip records the snapshot already covers — a journal whose
+/// compacting truncate was lost to a crash replays without double-applying).
+/// Records written before epochs existed decode with `epoch` 0.
 /// A record is valid iff its length is sane, the payload is fully present,
 /// the CRC matches, and the payload decodes. Replay stops at the first
 /// invalid record: everything before it is the acknowledged prefix,
@@ -34,23 +43,39 @@ inline constexpr uint32_t kMaxJournalRecordBytes = 16u << 20;
 enum class FsyncPolicy {
   kAlways,  // fsync after every append, before the delta is acknowledged
   kNever,   // leave flushing to the OS (test / throwaway journals)
+  kGroup,   // append immediately, ack after a shared batched fsync covers
+            // the record — one fsync amortised over up to `group_max_batch`
+            // concurrent acks (see `WaitDurable`)
 };
 
 struct JournalOptions {
   FsyncPolicy fsync = FsyncPolicy::kAlways;
+
+  // kGroup batching window: the batcher fsyncs once it has either
+  // `group_max_batch` unsynced appends or the oldest unsynced append has
+  // waited `group_max_delay`. Both bound ack latency; neither affects
+  // durability semantics (no ack before a covering fsync, ever).
+  std::chrono::milliseconds group_max_delay{5};
+  uint64_t group_max_batch = 64;
 
   // Fault-injection knobs (0 = disabled), for crash drills: counting
   // *successful* prior appends, the next append either fails cleanly
   // without writing (`fail_after_appends`) or writes only the first
   // `tear_keep_bytes` bytes of the record and then fails
   // (`tear_after_appends`) — the on-disk image a kill -9 mid-write leaves.
+  // `fail_after_fsyncs` makes every fsync after the Nth successful one
+  // fail, for drills of the group batcher's sticky-error path.
   uint64_t fail_after_appends = 0;
   uint64_t tear_after_appends = 0;
   uint64_t tear_keep_bytes = 0;
+  uint64_t fail_after_fsyncs = 0;
 };
 
-/// Append handle for one database's journal. Not thread-safe; the owning
-/// shard serialises appends under its delta lock.
+/// Append handle for one database's journal. `Append`/`Reset` are not
+/// thread-safe — the owning shard serialises them under its delta lock —
+/// but under `FsyncPolicy::kGroup`, `WaitDurable` may be called from many
+/// threads concurrently (and concurrently with further appends): that is
+/// the whole point of the batcher.
 class DeltaJournal {
  public:
   /// Opens (creating if absent) the journal for appending. Existing bytes
@@ -65,34 +90,82 @@ class DeltaJournal {
 
   /// Appends one record and (policy permitting) fsyncs it. On any error the
   /// delta MUST NOT be acknowledged or applied — the write-ahead contract
-  /// is append-then-publish.
-  Result<bool> Append(const FactDelta& delta, const DbFingerprint& fp_after);
+  /// is append-then-publish. Under `kGroup` a successful return means the
+  /// bytes were *written*, not yet durable: the caller must not ack until
+  /// `WaitDurable(appends())` also succeeds (it may release its delta
+  /// lock in between — that is what lets acks batch).
+  Result<bool> Append(const FactDelta& delta, const DbFingerprint& fp_after,
+                      uint64_t epoch = 0);
+
+  /// Blocks until the `append_seq`-th successful append (an `appends()`
+  /// value captured right after the Append, under the same delta lock) is
+  /// covered by an fsync, then returns success. Sequence numbers — not byte
+  /// offsets — survive compaction: `Reset` truncates the file but never
+  /// rewinds the sequence, so a waiter can never be stranded by a
+  /// concurrent snapshot. Immediate success under `kAlways` (the append
+  /// already synced) and `kNever` (durability is explicitly not promised).
+  /// If a batched fsync fails the error is sticky: every waiter past the
+  /// last durable sequence gets `kInternal` and the journal accepts no
+  /// more appends.
+  Result<bool> WaitDurable(uint64_t append_seq);
+
+  /// Barrier: waits until everything appended so far is durable (no-op
+  /// outside `kGroup`). The snapshotter calls this before truncating —
+  /// compaction must never outrun an ack in flight.
+  Result<bool> FlushDurable() { return WaitDurable(appends_.load()); }
+
+  /// Truncates the journal to zero length after a snapshot made its
+  /// records redundant (compaction). Caller must hold the delta lock and
+  /// must have called `FlushDurable` first.
+  Result<bool> Reset();
 
   uint64_t bytes_written() const { return bytes_written_; }  // file size
   uint64_t fsyncs() const { return fsyncs_; }
   uint64_t appends() const { return appends_; }
+  /// Bytes guaranteed on stable storage: everything under `kAlways`, the
+  /// batcher's high-water mark under `kGroup`, nothing under `kNever`.
+  /// Crash drills truncate the file to this offset to simulate the on-disk
+  /// image of power loss (kill -9 alone never drops page-cache writes).
+  uint64_t durable_bytes() const;
   const std::string& path() const { return path_; }
 
  private:
   DeltaJournal(std::string path, int fd, uint64_t existing_bytes,
-               JournalOptions options)
-      : path_(std::move(path)),
-        fd_(fd),
-        bytes_written_(existing_bytes),
-        options_(options) {}
+               JournalOptions options);
+
+  void BatcherLoop();
+  Result<bool> DoFsync();  // shared by kAlways appends and the batcher
 
   std::string path_;
   int fd_ = -1;
-  uint64_t bytes_written_ = 0;
-  uint64_t fsyncs_ = 0;
-  uint64_t appends_ = 0;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> appends_{0};
   JournalOptions options_;
+
+  // kGroup state. `sync_mu_` guards the fields below; `batch_cv_` wakes the
+  // batcher (new work / shutdown), `sync_cv_` wakes waiters (fsync done /
+  // failed). The durable marks are atomic so the accessors need no lock.
+  // `durable_seq_` / `appends_` are monotonic across `Reset` (see
+  // WaitDurable); `durable_file_bytes_` is a file-offset gauge that resets
+  // with the file.
+  std::mutex sync_mu_;
+  std::condition_variable batch_cv_;
+  std::condition_variable sync_cv_;
+  std::atomic<uint64_t> durable_seq_{0};
+  std::atomic<uint64_t> durable_file_bytes_{0};
+  uint64_t pending_appends_ = 0;  // appended since the last fsync
+  uint64_t durable_waiters_ = 0;  // threads blocked in WaitDurable
+  bool sync_failed_ = false;      // sticky: one failed batch poisons all
+  bool stop_ = false;
+  std::thread batcher_;
 };
 
 /// One replayed record.
 struct JournalRecord {
   FactDelta delta;
   DbFingerprint fp_after;
+  uint64_t epoch = 0;  // 0 for records written before epochs were stamped
 };
 
 struct JournalReplay {

@@ -1,0 +1,269 @@
+#include "cqa/delta/snapshot.h"
+
+#include <fcntl.h>
+#include <stdio.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "cqa/base/crc32c.h"
+#include "cqa/delta/delta.h"
+#include "cqa/serve/net/json.h"
+
+namespace cqa {
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+Result<bool> WriteFully(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Result<bool>::Error(
+          ErrorCode::kInternal,
+          std::string("snapshot write failed: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Best-effort directory fsync so the rename itself is durable. Failure is
+// not fatal: on filesystems where it matters it works, elsewhere (or under
+// exotic mounts) the journal's epoch stamps still keep recovery correct.
+void FsyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+std::string BuildPayload(const SnapshotData& data) {
+  return JsonObjectBuilder()
+      .Set("version", static_cast<uint64_t>(kSnapshotVersion))
+      .Set("epoch", data.epoch)
+      .Set("fp", data.fingerprint.ToHex())
+      .Set("facts", data.facts)
+      .Set("delta_ids", EncodeDeltaIdPairs(data.delta_ids))
+      .Build()
+      .Serialize();
+}
+
+Result<SnapshotData> DecodePayload(const std::string& payload) {
+  using R = Result<SnapshotData>;
+  Result<Json> parsed = Json::Parse(payload);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return R::Error(ErrorCode::kInternal,
+                    "snapshot payload is not a JSON object");
+  }
+  const Json* version = parsed->Find("version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsInt() != static_cast<int64_t>(kSnapshotVersion)) {
+    return R::Error(ErrorCode::kInternal,
+                    "snapshot version missing or unsupported");
+  }
+  SnapshotData out;
+  const Json* epoch = parsed->Find("epoch");
+  if (epoch == nullptr || !epoch->is_number() || epoch->AsInt() < 0) {
+    return R::Error(ErrorCode::kInternal, "snapshot epoch missing");
+  }
+  out.epoch = static_cast<uint64_t>(epoch->AsInt());
+  const Json* fp = parsed->Find("fp");
+  if (fp == nullptr || !fp->is_string() ||
+      !DbFingerprint::FromHex(fp->AsString(), &out.fingerprint)) {
+    return R::Error(ErrorCode::kInternal, "snapshot fingerprint missing");
+  }
+  const Json* facts = parsed->Find("facts");
+  if (facts == nullptr || !facts->is_string()) {
+    return R::Error(ErrorCode::kInternal, "snapshot facts missing");
+  }
+  out.facts = facts->AsString();
+  const Json* ids = parsed->Find("delta_ids");
+  if (ids != nullptr) {
+    Result<std::vector<std::pair<std::string, uint64_t>>> decoded =
+        DecodeDeltaIdPairs(*ids);
+    if (!decoded.ok()) return R::Error(decoded);
+    out.delta_ids = std::move(decoded.value());
+  }
+  return out;
+}
+
+}  // namespace
+
+Json EncodeDeltaIdPairs(
+    const std::vector<std::pair<std::string, uint64_t>>& ids) {
+  Json::Array array;
+  array.reserve(ids.size());
+  for (const auto& [id, epoch] : ids) {
+    Json::Array pair;
+    pair.push_back(Json::MakeString(id));
+    pair.push_back(Json::MakeInt(static_cast<int64_t>(epoch)));
+    array.push_back(Json::MakeArray(std::move(pair)));
+  }
+  return Json::MakeArray(std::move(array));
+}
+
+Result<std::vector<std::pair<std::string, uint64_t>>> DecodeDeltaIdPairs(
+    const Json& json) {
+  using R = Result<std::vector<std::pair<std::string, uint64_t>>>;
+  if (!json.is_array()) {
+    return R::Error(ErrorCode::kInternal, "delta_ids is not an array");
+  }
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(json.AsArray().size());
+  for (const Json& entry : json.AsArray()) {
+    if (!entry.is_array() || entry.AsArray().size() != 2 ||
+        !entry.AsArray()[0].is_string() || !entry.AsArray()[1].is_number() ||
+        entry.AsArray()[1].AsInt() < 0) {
+      return R::Error(ErrorCode::kInternal, "malformed delta_ids entry");
+    }
+    const std::string& id = entry.AsArray()[0].AsString();
+    if (id.empty() || id.size() > kMaxDeltaIdBytes) {
+      return R::Error(ErrorCode::kInternal, "delta_ids id out of bounds");
+    }
+    out.emplace_back(id,
+                     static_cast<uint64_t>(entry.AsArray()[1].AsInt()));
+  }
+  return out;
+}
+
+Result<uint64_t> WriteSnapshotFile(const std::string& path,
+                                   const SnapshotData& data,
+                                   const SnapshotPolicy& faults) {
+  using R = Result<uint64_t>;
+  std::string payload = BuildPayload(data);
+  std::string file;
+  file.reserve(sizeof(kSnapshotMagic) + 8 + payload.size());
+  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(file, static_cast<uint32_t>(payload.size()));
+  PutU32(file, Crc32c(payload));
+  file += payload;
+  if (file.size() > kMaxSnapshotBytes) {
+    return R::Error(ErrorCode::kUnsupported,
+                    "snapshot too large: " + std::to_string(file.size()));
+  }
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return R::Error(ErrorCode::kInternal,
+                    "cannot open snapshot temp '" + tmp +
+                        "': " + std::strerror(errno));
+  }
+  if (faults.tear_temp_write) {
+    // Crash drill: the process dies part-way through the temp write. The
+    // half-written .tmp must never be mistaken for a snapshot.
+    size_t keep = faults.tear_temp_keep_bytes < file.size()
+                      ? static_cast<size_t>(faults.tear_temp_keep_bytes)
+                      : file.size() - 1;
+    Result<bool> w = WriteFully(fd, file.data(), keep);
+    ::close(fd);
+    (void)w;
+    return R::Error(ErrorCode::kInternal,
+                    "snapshot fault injection: torn temp write");
+  }
+  Result<bool> w = WriteFully(fd, file.data(), file.size());
+  if (!w.ok()) {
+    ::close(fd);
+    return R::Error(w);
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    return R::Error(ErrorCode::kInternal,
+                    std::string("snapshot fsync failed: ") +
+                        std::strerror(err));
+  }
+  ::close(fd);
+  if (faults.fail_before_rename) {
+    // Crash drill: temp complete and durable, rename never happened. The
+    // previous snapshot (or none) stays authoritative.
+    return R::Error(ErrorCode::kInternal,
+                    "snapshot fault injection: died before rename");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return R::Error(ErrorCode::kInternal,
+                    "cannot rename snapshot '" + tmp + "' -> '" + path +
+                        "': " + std::strerror(errno));
+  }
+  FsyncParentDir(path);
+  return static_cast<uint64_t>(file.size());
+}
+
+Result<SnapshotReadResult> ReadSnapshotFile(const std::string& path) {
+  using R = Result<SnapshotReadResult>;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return SnapshotReadResult{};  // no snapshot yet
+    return R::Error(ErrorCode::kInternal,
+                    "cannot read snapshot '" + path +
+                        "': " + std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return R::Error(ErrorCode::kInternal,
+                      "cannot read snapshot '" + path +
+                          "': " + std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t header = sizeof(kSnapshotMagic) + 8;
+  if (bytes.size() < header ||
+      std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+          0) {
+    return R::Error(ErrorCode::kInternal,
+                    "snapshot '" + path + "' is truncated or not a snapshot");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data()) +
+                  sizeof(kSnapshotMagic);
+  uint32_t len = GetU32(p);
+  uint32_t crc = GetU32(p + 4);
+  if (bytes.size() != header + len) {
+    return R::Error(ErrorCode::kInternal,
+                    "snapshot '" + path + "' length mismatch");
+  }
+  std::string payload = bytes.substr(header);
+  if (Crc32c(payload) != crc) {
+    return R::Error(ErrorCode::kInternal,
+                    "snapshot '" + path + "' failed its checksum");
+  }
+  Result<SnapshotData> data = DecodePayload(payload);
+  if (!data.ok()) {
+    return R::Error(data.code(), "snapshot '" + path + "': " + data.error());
+  }
+  SnapshotReadResult out;
+  out.found = true;
+  out.file_bytes = static_cast<uint64_t>(bytes.size());
+  out.data = std::move(data.value());
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,167 @@
+#ifndef CQA_DELTA_SNAPSHOT_H_
+#define CQA_DELTA_SNAPSHOT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cqa/base/result.h"
+#include "cqa/cache/fingerprint.h"
+
+namespace cqa {
+
+/// Epoch snapshots bound crash recovery: instead of replaying the whole
+/// delta journal over the base facts (O(records × touched-relation size) —
+/// superlinear in history length), attach loads the last snapshot, verifies
+/// its fingerprint, and replays only the journal tail written after it.
+///
+/// On-disk format (one file per database, `<journal_dir>/<name>.snapshot`):
+///
+///   [8-byte magic "CQASNAP1"][u32 len][u32 crc32c(payload)][payload]
+///
+/// integers little-endian, payload a JSON object
+///
+///   {"version":1,"epoch":N,"fp":"<32 hex>","facts":"<Database::ToText>",
+///    "delta_ids":[["id",epoch],...]}
+///
+/// `fp` is the fingerprint the facts must reproduce (recovery re-derives
+/// and verifies it — a snapshot that does not hash to its own stamp is
+/// corruption, refused loudly, never served). `delta_ids` persists the
+/// idempotency window in insertion order so a restart still re-acks
+/// recently applied delta ids with `applied:false` even when the journal
+/// records carrying them were compacted away.
+///
+/// Write protocol: serialise to `<path>.tmp`, fsync, rename over `<path>`,
+/// fsync the directory. A crash at ANY point leaves either the old
+/// snapshot (plus maybe a stale `.tmp`, overwritten next time) or the new
+/// one — never a half-written file that parses. The journal is truncated
+/// only AFTER the rename commits; if the truncate is lost to a crash,
+/// replay skips records whose epoch the snapshot already covers (records
+/// are epoch-stamped for exactly this).
+inline constexpr char kSnapshotMagic[8] = {'C', 'Q', 'A', 'S',
+                                           'N', 'A', 'P', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+/// Same sanity bound as the journal, scaled up: a snapshot holds a whole
+/// facts dump, not one delta.
+inline constexpr uint64_t kMaxSnapshotBytes = 1ull << 32;
+
+/// When to take a snapshot automatically, plus crash-drill fault knobs.
+struct SnapshotPolicy {
+  /// Snapshot after this many applied deltas since the last snapshot
+  /// (0 = never by count).
+  uint64_t every_deltas = 0;
+  /// Snapshot once the journal exceeds this many bytes (0 = never by size).
+  uint64_t every_journal_bytes = 0;
+
+  // Fault injection for the write/truncate pipeline's stage boundaries
+  // (crash-drill matrix; all default off). `tear_temp_write` dies mid-way
+  // through the temp file (keeping `tear_temp_keep_bytes` bytes);
+  // `fail_before_rename` dies after a complete temp write;
+  // `fail_before_truncate` commits the rename but dies before the journal
+  // is truncated (the double-apply hazard epoch stamps exist for).
+  bool tear_temp_write = false;
+  uint64_t tear_temp_keep_bytes = 0;
+  bool fail_before_rename = false;
+  bool fail_before_truncate = false;
+};
+
+/// The logical content of a snapshot file.
+struct SnapshotData {
+  uint64_t epoch = 0;
+  DbFingerprint fingerprint;
+  std::string facts;  // Database::ToText() of the epoch's instance
+  /// Idempotency window, oldest first: (delta id, epoch it produced).
+  std::vector<std::pair<std::string, uint64_t>> delta_ids;
+};
+
+/// `found == false` means no snapshot file exists (a fresh database or a
+/// pre-snapshot journal directory) — recovery falls back to full replay.
+struct SnapshotReadResult {
+  bool found = false;
+  uint64_t file_bytes = 0;  // encoded size on disk (0 when not found)
+  SnapshotData data;
+};
+
+/// Atomically (temp + fsync + rename) writes `data` to `path`. On error the
+/// previous snapshot at `path`, if any, is untouched. Returns the encoded
+/// file size.
+Result<uint64_t> WriteSnapshotFile(const std::string& path,
+                                   const SnapshotData& data,
+                                   const SnapshotPolicy& faults);
+
+/// Reads and verifies `path`. Missing file → `found == false`; a present
+/// but corrupt/truncated/mis-versioned file is an error (`kInternal`) — the
+/// caller must refuse to serve, not silently fall back over it.
+Result<SnapshotReadResult> ReadSnapshotFile(const std::string& path);
+
+// The `[["id",epoch],...]` JSON shape shared by the snapshot payload and
+// the replication bootstrap frame (a late-joining follower receives the
+// primary's idempotency window so duplicate suppression survives failover).
+class Json;
+Json EncodeDeltaIdPairs(
+    const std::vector<std::pair<std::string, uint64_t>>& ids);
+Result<std::vector<std::pair<std::string, uint64_t>>> DecodeDeltaIdPairs(
+    const Json& json);
+
+/// Sliding idempotency window over applied delta ids. PR 7 kept every id
+/// ever applied (unbounded in a long-running daemon); the window keeps the
+/// most recent `capacity` ids in insertion order, evicting the oldest —
+/// duplicate detection stays exact for any delta replayed within the last
+/// `capacity` applications, which is the retry horizon that matters.
+/// Persisted across snapshots (see SnapshotData::delta_ids) and re-seeded
+/// from journal replay. Not thread-safe; guarded by the shard's delta lock.
+class DeltaIdWindow {
+ public:
+  static constexpr uint64_t kDefaultCapacity = 4096;
+
+  explicit DeltaIdWindow(uint64_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Epoch the id produced, or nullptr if unknown (never seen or evicted).
+  const uint64_t* Find(const std::string& id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &it->second;
+  }
+
+  /// Records `id -> epoch`, evicting the oldest entries past capacity.
+  /// Re-inserting a present id refreshes its epoch but not its age.
+  void Insert(const std::string& id, uint64_t epoch) {
+    auto it = index_.find(id);
+    if (it != index_.end()) {
+      it->second = epoch;
+      return;
+    }
+    index_.emplace(id, epoch);
+    order_.push_back(id);
+    while (order_.size() > capacity_) {
+      index_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+  /// Oldest-first (id, epoch) pairs, the persistence format.
+  std::vector<std::pair<std::string, uint64_t>> Items() const {
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(order_.size());
+    for (const std::string& id : order_) {
+      auto it = index_.find(id);
+      if (it != index_.end()) out.emplace_back(id, it->second);
+    }
+    return out;
+  }
+
+  size_t size() const { return order_.size(); }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  uint64_t capacity_;
+  std::deque<std::string> order_;  // insertion order, oldest at front
+  std::unordered_map<std::string, uint64_t> index_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DELTA_SNAPSHOT_H_

@@ -20,15 +20,22 @@ Result<DatabaseRegistry::Entry> ShardedSolveService::Attach(
                     "registry is shutting down; attach refused");
   }
 
-  // Journal recovery runs before the registry attach, so a diverging or
-  // unreadable journal leaves nothing attached. Each replayed record's
-  // fingerprint must match the one journaled at append time: a mismatch
-  // means the base snapshot is not the one the journal was written
-  // against (or the journal lies), and serving from it would silently
-  // resurrect pre-crash state.
-  uint64_t replayed = 0;
-  std::unordered_map<std::string, uint64_t> replayed_ids;
+  // Crash recovery runs before the registry attach, so a diverging or
+  // unreadable journal/snapshot leaves nothing attached. Recovery is
+  // snapshot-first: load `<name>.snapshot` (verifying that its facts hash
+  // to the fingerprint it was stamped with), then replay only the journal
+  // records newer than its epoch — records at or below it are leftovers of
+  // a compaction whose truncate was lost to a crash, skipped by their
+  // epoch stamp. Without a snapshot the whole journal replays over the
+  // caller's base, as in PR 7. Each replayed record's fingerprint must
+  // match the one journaled at append time: a mismatch means the base is
+  // not what the journal was written against (or the journal lies), and
+  // serving from it would silently resurrect pre-crash state.
+  uint64_t recovered_epoch = 0;
+  DeltaIdWindow window(options_.delta_id_window);
   std::unique_ptr<DeltaJournal> journal;
+  uint64_t recovered_snapshot_bytes = 0;
+  uint64_t recovered_snapshot_epoch = 0;
   if (!options_.journal_dir.empty()) {
     if (!DatabaseRegistry::ValidName(name)) {
       return R::Error(ErrorCode::kUnsupported,
@@ -38,32 +45,77 @@ Result<DatabaseRegistry::Entry> ShardedSolveService::Attach(
     if (db == nullptr) {
       return R::Error(ErrorCode::kInternal, "attach of a null database");
     }
-    const std::string path = options_.journal_dir + "/" + name + ".journal";
+    Result<SnapshotReadResult> snap =
+        ReadSnapshotFile(SnapshotFilePath(name));
+    if (!snap.ok()) return R::Error(snap);
+    if (snap->found) {
+      Result<Database> restored = Database::FromText(snap->data.facts);
+      if (!restored.ok()) {
+        return R::Error(ErrorCode::kInternal,
+                        "snapshot of '" + name +
+                            "' holds unparseable facts: " + restored.error());
+      }
+      auto snapshot_db =
+          std::make_shared<const Database>(std::move(restored.value()));
+      DbFingerprint actual = FingerprintDatabase(*snapshot_db);
+      if (actual != snap->data.fingerprint) {
+        return R::Error(ErrorCode::kInternal,
+                        "snapshot of '" + name +
+                            "' does not reproduce its own fingerprint (" +
+                            actual.ToHex() + " != stamped " +
+                            snap->data.fingerprint.ToHex() +
+                            ") — refusing to serve from it");
+      }
+      db = snapshot_db;  // the snapshot supersedes the caller's base facts
+      recovered_epoch = snap->data.epoch;
+      recovered_snapshot_epoch = snap->data.epoch;
+      recovered_snapshot_bytes = snap->file_bytes;
+      for (const auto& [id, ep] : snap->data.delta_ids) {
+        window.Insert(id, ep);
+      }
+    }
+
+    const std::string path = JournalPath(name);
     Result<JournalReplay> replay =
         ReplayJournalFile(path, /*truncate_torn_tail=*/true);
     if (!replay.ok()) return R::Error(replay);
+    uint64_t ordinal = 0;
     for (const JournalRecord& rec : replay->records) {
+      ++ordinal;
+      // Pre-epoch records (epoch 0) replay positionally, exactly as
+      // before epochs existed; stamped records can be skipped when the
+      // snapshot already covers them.
+      uint64_t rec_epoch =
+          rec.epoch != 0 ? rec.epoch : recovered_epoch + 1;
+      if (rec_epoch <= recovered_epoch) continue;
+      if (rec_epoch != recovered_epoch + 1) {
+        return R::Error(ErrorCode::kInternal,
+                        "journal replay of '" + name +
+                            "' has an epoch gap at record " +
+                            std::to_string(ordinal) + ": have epoch " +
+                            std::to_string(recovered_epoch) +
+                            ", record claims " + std::to_string(rec_epoch));
+      }
       Result<DeltaApplyOutcome> applied =
           ApplyDeltaToDatabase(*db, rec.delta);
       if (!applied.ok()) {
         return R::Error(ErrorCode::kInternal,
                         "journal replay of '" + name + "' failed at record " +
-                            std::to_string(replayed + 1) + " (delta '" +
+                            std::to_string(ordinal) + " (delta '" +
                             rec.delta.id + "'): " + applied.error());
       }
-      if (applied->fingerprint.hi != rec.fp_after.hi ||
-          applied->fingerprint.lo != rec.fp_after.lo) {
+      if (applied->fingerprint != rec.fp_after) {
         return R::Error(
             ErrorCode::kInternal,
             "journal replay of '" + name + "' diverged at record " +
-                std::to_string(replayed + 1) + " (delta '" + rec.delta.id +
+                std::to_string(ordinal) + " (delta '" + rec.delta.id +
                 "'): replayed fingerprint " + applied->fingerprint.ToHex() +
                 " != journaled " + rec.fp_after.ToHex() +
                 " — wrong base snapshot for this journal?");
       }
       db = applied->db;
-      ++replayed;
-      replayed_ids.emplace(rec.delta.id, replayed);
+      recovered_epoch = rec_epoch;
+      window.Insert(rec.delta.id, rec_epoch);
     }
     Result<std::unique_ptr<DeltaJournal>> opened =
         DeltaJournal::Open(path, options_.journal);
@@ -80,15 +132,18 @@ Result<DatabaseRegistry::Entry> ShardedSolveService::Attach(
   shard->name = name;
   shard->db = *attached;
   shard->fingerprint = FingerprintDatabase(**attached);  // memoized
-  shard->epoch = replayed;
-  shard->applied_delta_ids = std::move(replayed_ids);
+  shard->epoch = recovered_epoch;
+  shard->applied_delta_ids = std::move(window);
   shard->journal = std::move(journal);
+  shard->last_snapshot_bytes = recovered_snapshot_bytes;
+  shard->last_snapshot_epoch = recovered_snapshot_epoch;
   shard->service = std::make_unique<SolveService>(options_.shard);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // The registry rejected duplicates, so this insert cannot collide.
-    shards_.emplace(name, std::move(shard));
+    shards_.emplace(name, shard);
   }
+  BootstrapListenersOnAttach(shard);
   return registry_.Get(name);
 }
 
@@ -125,6 +180,18 @@ Result<DetachOutcome> ShardedSolveService::Detach(const std::string& name) {
       "database '" + name + "' detached while the request was queued");
   out.drained = shard->service->Shutdown(options_.detach_drain);
   {
+    std::lock_guard<std::mutex> lock(shard->db_mu);
+    if (!shard->repl_listeners.empty()) {
+      ReplicationEvent ev;
+      ev.kind = ReplicationEvent::Kind::kDetach;
+      ev.db = name;
+      ev.epoch = shard->epoch;
+      ev.fingerprint = shard->fingerprint;
+      EmitLocked(shard, ev);
+      shard->repl_listeners.clear();
+    }
+  }
+  {
     std::lock_guard<std::mutex> lock(mu_);
     shards_.erase(name);
   }
@@ -158,6 +225,11 @@ Result<ShardedSolveService::ShardPtr> ShardedSolveService::ResolveShard(
 Result<DeltaOutcome> ShardedSolveService::ApplyDelta(
     const std::string& db_name, const FactDelta& delta) {
   using R = Result<DeltaOutcome>;
+  if (read_only()) {
+    return R::Error(ErrorCode::kReadOnly,
+                    "this instance is a read-only warm standby; deltas must "
+                    "go to the primary (or promote this follower)");
+  }
   if (delta.id.empty() || delta.id.size() > kMaxDeltaIdBytes) {
     return R::Error(ErrorCode::kUnsupported,
                     "delta id must be 1-" +
@@ -165,60 +237,398 @@ Result<DeltaOutcome> ShardedSolveService::ApplyDelta(
   }
   Result<ShardPtr> resolved = ResolveShard(db_name);
   if (!resolved.ok()) return R::Error(resolved);
-  ShardPtr shard = *resolved;
+  return ApplyToShard(*resolved, delta, /*replicated=*/false, 0, nullptr);
+}
 
-  // One delta at a time per shard: validation, journal append, cache
-  // migration, and the epoch swap are a single critical section, so a
-  // concurrent Submit pins either the epoch before this delta or the one
-  // after — never a half-applied state.
-  std::lock_guard<std::mutex> lock(shard->db_mu);
+Result<DeltaOutcome> ShardedSolveService::ApplyReplicatedDelta(
+    const std::string& name, const FactDelta& delta, uint64_t epoch,
+    const DbFingerprint& fingerprint) {
+  using R = Result<DeltaOutcome>;
+  if (delta.id.empty() || delta.id.size() > kMaxDeltaIdBytes) {
+    return R::Error(ErrorCode::kUnsupported,
+                    "delta id must be 1-" +
+                        std::to_string(kMaxDeltaIdBytes) + " bytes");
+  }
+  Result<ShardPtr> resolved = ResolveShard(name);
+  if (!resolved.ok()) return R::Error(resolved);
+  return ApplyToShard(*resolved, delta, /*replicated=*/true, epoch,
+                      &fingerprint);
+}
+
+Result<DeltaOutcome> ShardedSolveService::ApplyToShard(
+    const ShardPtr& shard, const FactDelta& delta, bool replicated,
+    uint64_t repl_epoch, const DbFingerprint* repl_fp) {
+  using R = Result<DeltaOutcome>;
   DeltaOutcome out;
   out.name = shard->name;
   out.delta_id = delta.id;
-  if (shard->applied_delta_ids.count(delta.id) > 0) {
-    // Idempotent replay of an acknowledged delta (client retry after a
-    // lost ack): acknowledge again with the current state, change nothing.
-    out.applied = false;
-    out.epoch = shard->epoch;
-    out.fingerprint = shard->fingerprint;
-    return out;
+  uint64_t ack_seq = 0;
+  {
+    // One delta at a time per shard: validation, journal append, cache
+    // migration, the epoch swap, and replication fan-out are a single
+    // critical section, so a concurrent Submit pins either the epoch
+    // before this delta or the one after — never a half-applied state.
+    std::lock_guard<std::mutex> lock(shard->db_mu);
+    if (replicated) {
+      // Stream idempotence is by epoch, not id: a reconnect replays from
+      // the bootstrap, and everything at or below the local epoch is
+      // already applied.
+      if (repl_epoch <= shard->epoch) {
+        out.applied = false;
+        out.epoch = shard->epoch;
+        out.fingerprint = shard->fingerprint;
+        return out;
+      }
+      if (repl_epoch != shard->epoch + 1) {
+        return R::Error(ErrorCode::kInternal,
+                        "replication gap on '" + shard->name +
+                            "': local epoch " + std::to_string(shard->epoch) +
+                            ", stream sent " + std::to_string(repl_epoch) +
+                            " — bootstrap resync required");
+      }
+    } else if (shard->applied_delta_ids.Find(delta.id) != nullptr) {
+      // Idempotent replay of an acknowledged delta (client retry after a
+      // lost ack): acknowledge again with the current state, change
+      // nothing.
+      out.applied = false;
+      out.epoch = shard->epoch;
+      out.fingerprint = shard->fingerprint;
+      return out;
+    }
+
+    Result<DeltaApplyOutcome> applied =
+        ApplyDeltaToDatabase(*shard->db, delta);
+    if (!applied.ok()) return R::Error(applied);
+    if (replicated && applied->fingerprint != *repl_fp) {
+      return R::Error(ErrorCode::kInternal,
+                      "replicated delta '" + delta.id + "' diverged on '" +
+                          shard->name + "': local fingerprint " +
+                          applied->fingerprint.ToHex() + " != primary's " +
+                          repl_fp->ToHex() + " — bootstrap resync required");
+    }
+    const uint64_t next_epoch = shard->epoch + 1;
+
+    // Write-ahead: the record must be written before anything observable
+    // changes. An append failure (ENOSPC, fault injection, torn write)
+    // rejects the delta outright — the database, cache, and epoch counter
+    // are untouched, and the client must not treat the delta as applied.
+    // Under group fsync the DURABILITY wait happens after the lock is
+    // released (see below), which is what lets acks share one fsync.
+    if (shard->journal != nullptr) {
+      Result<bool> appended =
+          shard->journal->Append(delta, applied->fingerprint, next_epoch);
+      if (!appended.ok()) return R::Error(appended);
+      ack_seq = shard->journal->appends();
+    }
+
+    // Cache migration happens before the new epoch is published: after
+    // the swap, every lookup uses the new fingerprint, and entries under
+    // the old prefix would never be found again (rekeying would be
+    // pointless and stale-serving impossible either way — the prefix *is*
+    // the epoch).
+    std::pair<uint64_t, uint64_t> counts = shard->service->OnDatabaseDelta(
+        shard->fingerprint, applied->fingerprint, applied->touched);
+
+    registry_.Replace(shard->name, applied->db, applied->fingerprint);
+    shard->db = applied->db;
+    shard->fingerprint = applied->fingerprint;
+    shard->epoch = next_epoch;
+    ++shard->deltas_applied;
+    ++shard->deltas_since_snapshot;
+    shard->applied_delta_ids.Insert(delta.id, next_epoch);
+
+    out.applied = true;
+    out.epoch = next_epoch;
+    out.fingerprint = applied->fingerprint;
+    out.inserted = applied->inserted;
+    out.deleted = applied->deleted;
+    out.cache_invalidated = counts.first;
+    out.cache_rekeyed = counts.second;
+
+    if (!shard->repl_listeners.empty()) {
+      ReplicationEvent ev;
+      ev.kind = ReplicationEvent::Kind::kDelta;
+      ev.db = shard->name;
+      ev.epoch = next_epoch;
+      ev.fingerprint = applied->fingerprint;
+      ev.delta = delta;
+      EmitLocked(shard, ev);
+    }
+    MaybeSnapshotLocked(shard);
   }
 
-  Result<DeltaApplyOutcome> applied = ApplyDeltaToDatabase(*shard->db, delta);
-  if (!applied.ok()) return R::Error(applied);
-
-  // Write-ahead: the record must be durable before anything observable
-  // changes. An append failure (ENOSPC, fault injection, torn write)
-  // rejects the delta outright — the database, cache, and epoch counter
-  // are untouched, and the client must not treat the delta as applied.
-  if (shard->journal != nullptr) {
-    Result<bool> appended =
-        shard->journal->Append(delta, applied->fingerprint);
-    if (!appended.ok()) return R::Error(appended);
+  // Group-fsync ack gate, outside the delta lock: the epoch is published,
+  // but the caller's ack is owed only after a covering fsync. A failed
+  // batch fsync means this delta was applied in memory yet is NOT durable
+  // and NOT acknowledged — the journal is poisoned (no further appends),
+  // and a restart recovers to the durable prefix.
+  if (ack_seq != 0 && shard->journal != nullptr) {
+    Result<bool> durable = shard->journal->WaitDurable(ack_seq);
+    if (!durable.ok()) {
+      return R::Error(ErrorCode::kInternal,
+                      "delta '" + delta.id +
+                          "' was applied in memory but its group fsync "
+                          "failed; it is NOT acknowledged and will not "
+                          "survive a restart");
+    }
   }
-
-  // Cache migration happens before the new epoch is published: after the
-  // swap, every lookup uses the new fingerprint, and entries under the old
-  // prefix would never be found again (rekeying would be pointless and
-  // stale-serving impossible either way — the prefix *is* the epoch).
-  std::pair<uint64_t, uint64_t> counts = shard->service->OnDatabaseDelta(
-      shard->fingerprint, applied->fingerprint, applied->touched);
-
-  registry_.Replace(shard->name, applied->db, applied->fingerprint);
-  shard->db = applied->db;
-  shard->fingerprint = applied->fingerprint;
-  ++shard->epoch;
-  ++shard->deltas_applied;
-  shard->applied_delta_ids.emplace(delta.id, shard->epoch);
-
-  out.applied = true;
-  out.epoch = shard->epoch;
-  out.fingerprint = applied->fingerprint;
-  out.inserted = applied->inserted;
-  out.deleted = applied->deleted;
-  out.cache_invalidated = counts.first;
-  out.cache_rekeyed = counts.second;
   return out;
+}
+
+Result<SnapshotOutcome> ShardedSolveService::Snapshot(
+    const std::string& db_name) {
+  using R = Result<SnapshotOutcome>;
+  Result<ShardPtr> resolved = ResolveShard(db_name);
+  if (!resolved.ok()) return R::Error(resolved);
+  std::lock_guard<std::mutex> lock((*resolved)->db_mu);
+  return TakeSnapshotLocked(*resolved);
+}
+
+Result<SnapshotOutcome> ShardedSolveService::TakeSnapshotLocked(
+    const ShardPtr& shard) {
+  using R = Result<SnapshotOutcome>;
+  if (shard->journal == nullptr) {
+    return R::Error(ErrorCode::kUnsupported,
+                    "snapshotting requires a journal_dir (database '" +
+                        shard->name + "' is not journaled)");
+  }
+  SnapshotOutcome out;
+  out.name = shard->name;
+  out.epoch = shard->epoch;
+  out.fingerprint = shard->fingerprint;
+  out.journal_bytes_before = shard->journal->bytes_written();
+
+  // Ack barrier: every record the truncate will discard must have cleared
+  // its group fsync first — compaction must never outrun an ack in flight.
+  Result<bool> flushed = shard->journal->FlushDurable();
+  if (!flushed.ok()) {
+    ++shard->snapshots_failed;
+    return R::Error(flushed);
+  }
+
+  SnapshotData data;
+  data.epoch = shard->epoch;
+  data.fingerprint = shard->fingerprint;
+  data.facts = shard->db->ToText();
+  data.delta_ids = shard->applied_delta_ids.Items();
+  Result<uint64_t> written = WriteSnapshotFile(
+      SnapshotFilePath(shard->name), data, options_.snapshot);
+  if (!written.ok()) {
+    // Non-fatal to serving: the previous snapshot (or full replay) still
+    // recovers everything; the journal keeps growing until a write lands.
+    ++shard->snapshots_failed;
+    return R::Error(written);
+  }
+  out.snapshot_bytes = *written;
+  shard->last_snapshot_bytes = *written;
+  shard->last_snapshot_epoch = shard->epoch;
+
+  if (options_.snapshot.fail_before_truncate) {
+    // Crash drill: the snapshot committed but the process dies before the
+    // compacting truncate. Recovery must skip the journal records the
+    // snapshot covers (their epoch stamps are ≤ the snapshot's).
+    ++shard->snapshots_failed;
+    return R::Error(ErrorCode::kInternal,
+                    "snapshot fault injection: died before journal truncate");
+  }
+
+  Result<bool> reset = shard->journal->Reset();
+  if (!reset.ok()) {
+    // The snapshot itself is committed; recovery stays correct (epoch
+    // stamps skip the stale records) — only the compaction was lost.
+    ++shard->snapshots_failed;
+    return R::Error(reset);
+  }
+  ++shard->snapshots_taken;
+  shard->deltas_since_snapshot = 0;
+  out.journal_bytes_after = shard->journal->bytes_written();
+  return out;
+}
+
+void ShardedSolveService::MaybeSnapshotLocked(const ShardPtr& shard) {
+  if (shard->journal == nullptr) return;
+  const SnapshotPolicy& policy = options_.snapshot;
+  bool due = (policy.every_deltas != 0 &&
+              shard->deltas_since_snapshot >= policy.every_deltas) ||
+             (policy.every_journal_bytes != 0 &&
+              shard->journal->bytes_written() >= policy.every_journal_bytes);
+  if (!due) return;
+  // A failed automatic snapshot is counted and retried on a later delta;
+  // the delta that triggered it is already journaled and unaffected.
+  (void)TakeSnapshotLocked(shard);
+}
+
+Result<bool> ShardedSolveService::ApplyReplicaSnapshot(
+    const std::string& name, const std::string& facts, uint64_t epoch,
+    const DbFingerprint& fingerprint,
+    const std::vector<std::pair<std::string, uint64_t>>& delta_ids) {
+  using R = Result<bool>;
+  Result<Database> parsed = Database::FromText(facts);
+  if (!parsed.ok()) {
+    return R::Error(ErrorCode::kInternal,
+                    "replica snapshot for '" + name +
+                        "' holds unparseable facts: " + parsed.error());
+  }
+  auto db = std::make_shared<const Database>(std::move(parsed.value()));
+  DbFingerprint actual = FingerprintDatabase(*db);
+  if (actual != fingerprint) {
+    return R::Error(ErrorCode::kInternal,
+                    "replica snapshot for '" + name +
+                        "' does not reproduce the primary's fingerprint (" +
+                        actual.ToHex() + " != " + fingerprint.ToHex() + ")");
+  }
+
+  ShardPtr shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shards_.find(name);
+    if (it != shards_.end()) shard = it->second;
+  }
+  if (shard == nullptr) {
+    // New database on the stream: attach it directly from the bootstrap —
+    // the stream, not any local journal, is the source of truth here.
+    if (!accepting_.load(std::memory_order_acquire)) {
+      return R::Error(ErrorCode::kOverloaded,
+                      "registry is shutting down; attach refused");
+    }
+    if (!DatabaseRegistry::ValidName(name)) {
+      return R::Error(ErrorCode::kUnsupported,
+                      "invalid replicated database name '" + name + "'");
+    }
+    std::unique_ptr<DeltaJournal> journal;
+    if (!options_.journal_dir.empty()) {
+      Result<std::unique_ptr<DeltaJournal>> opened =
+          DeltaJournal::Open(JournalPath(name), options_.journal);
+      if (!opened.ok()) return R::Error(opened);
+      journal = std::move(opened.value());
+    }
+    Result<std::shared_ptr<const Database>> attached =
+        registry_.Attach(name, db);
+    if (!attached.ok()) return R::Error(attached);
+    shard = std::make_shared<Shard>();
+    shard->name = name;
+    shard->db = *attached;
+    shard->fingerprint = fingerprint;
+    shard->epoch = epoch;
+    shard->journal = std::move(journal);
+    DeltaIdWindow window(options_.delta_id_window);
+    for (const auto& [id, ep] : delta_ids) window.Insert(id, ep);
+    shard->applied_delta_ids = std::move(window);
+    shard->service = std::make_unique<SolveService>(options_.shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shards_.emplace(name, shard);
+    }
+    if (shard->journal != nullptr) {
+      // Persist the bootstrap locally (snapshot + empty journal) so this
+      // follower's own crash recovery — and its post-promote durability —
+      // start from the replicated state, not from stale pre-follow files.
+      std::lock_guard<std::mutex> lock(shard->db_mu);
+      (void)TakeSnapshotLocked(shard);
+    }
+    BootstrapListenersOnAttach(shard);  // chained replication
+    return true;
+  }
+
+  // Existing shard: the stream restarted (reconnect) — wholesale-replace
+  // unless we are already at or past the bootstrap epoch.
+  std::lock_guard<std::mutex> lock(shard->db_mu);
+  if (epoch <= shard->epoch) return true;  // idempotent
+  registry_.Replace(name, db, fingerprint);
+  shard->db = db;
+  shard->fingerprint = fingerprint;
+  shard->epoch = epoch;
+  DeltaIdWindow window(options_.delta_id_window);
+  for (const auto& [id, ep] : delta_ids) window.Insert(id, ep);
+  shard->applied_delta_ids = std::move(window);
+  // Result-cache entries keyed under older fingerprints simply become
+  // unreachable (keys embed the fingerprint) and age out by LRU.
+  if (shard->journal != nullptr) (void)TakeSnapshotLocked(shard);
+  if (!shard->repl_listeners.empty()) {
+    EmitLocked(shard, BootstrapEventLocked(shard));
+  }
+  return true;
+}
+
+uint64_t ShardedSolveService::AddReplicationListener(
+    ReplicationListener listener) {
+  uint64_t token;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    token = repl_next_token_++;
+    repl_listeners_.emplace(token, listener);
+  }
+  // Bootstrap onto every existing shard. Per shard, the bootstrap emit and
+  // the activation happen under one db_mu hold, so the listener can never
+  // see a delta before its bootstrap — and every delta after activation
+  // has an epoch the bootstrap's state already counts from.
+  std::vector<ShardPtr> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards.reserve(shards_.size());
+    for (auto& [name, shard] : shards_) shards.push_back(shard);
+  }
+  for (ShardPtr& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->db_mu);
+    {
+      // A concurrent Remove may have raced us: never resurrect a token.
+      std::lock_guard<std::mutex> rlock(repl_mu_);
+      if (repl_listeners_.count(token) == 0) return token;
+    }
+    if (shard->repl_listeners.count(token) != 0) continue;
+    listener(BootstrapEventLocked(shard));
+    shard->repl_listeners.emplace(token, listener);
+  }
+  return token;
+}
+
+void ShardedSolveService::RemoveReplicationListener(uint64_t token) {
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_listeners_.erase(token);
+  }
+  std::vector<ShardPtr> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards.reserve(shards_.size());
+    for (auto& [name, shard] : shards_) shards.push_back(shard);
+  }
+  for (ShardPtr& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->db_mu);
+    shard->repl_listeners.erase(token);
+  }
+}
+
+void ShardedSolveService::BootstrapListenersOnAttach(const ShardPtr& shard) {
+  std::lock_guard<std::mutex> lock(shard->db_mu);
+  std::vector<std::pair<uint64_t, ReplicationListener>> listeners;
+  {
+    std::lock_guard<std::mutex> rlock(repl_mu_);
+    listeners.reserve(repl_listeners_.size());
+    for (const auto& kv : repl_listeners_) listeners.push_back(kv);
+  }
+  for (auto& [token, fn] : listeners) {
+    if (shard->repl_listeners.count(token) != 0) continue;
+    fn(BootstrapEventLocked(shard));
+    shard->repl_listeners.emplace(token, fn);
+  }
+}
+
+ReplicationEvent ShardedSolveService::BootstrapEventLocked(
+    const ShardPtr& shard) const {
+  ReplicationEvent ev;
+  ev.kind = ReplicationEvent::Kind::kAttach;
+  ev.db = shard->name;
+  ev.epoch = shard->epoch;
+  ev.fingerprint = shard->fingerprint;
+  ev.facts = shard->db->ToText();
+  ev.delta_ids = shard->applied_delta_ids.Items();
+  return ev;
+}
+
+void ShardedSolveService::EmitLocked(const ShardPtr& shard,
+                                     const ReplicationEvent& event) {
+  for (auto& [token, fn] : shard->repl_listeners) fn(event);
 }
 
 Result<uint64_t> ShardedSolveService::Submit(const std::string& db_name,
@@ -327,6 +737,11 @@ ServiceStats ShardedSolveService::Stats() const {
     total.deltas_applied += stats.deltas_applied;
     total.journal_bytes += stats.journal_bytes;
     total.journal_fsyncs += stats.journal_fsyncs;
+    total.snapshots_taken += stats.snapshots_taken;
+    total.snapshots_failed += stats.snapshots_failed;
+    total.snapshot_bytes += stats.snapshot_bytes;
+    total.snapshot_epoch =
+        std::max(total.snapshot_epoch, stats.snapshot_epoch);
     total.sandbox_forks += stats.sandbox_forks;
     total.sandbox_kills += stats.sandbox_kills;
     total.sandbox_crashes += stats.sandbox_crashes;
@@ -351,6 +766,10 @@ ServiceStats ShardedSolveService::ShardStats(const ShardPtr& shard) const {
   std::lock_guard<std::mutex> lock(shard->db_mu);
   s.epoch = shard->epoch;
   s.deltas_applied = shard->deltas_applied;
+  s.snapshots_taken = shard->snapshots_taken;
+  s.snapshots_failed = shard->snapshots_failed;
+  s.snapshot_bytes = shard->last_snapshot_bytes;
+  s.snapshot_epoch = shard->last_snapshot_epoch;
   if (shard->journal != nullptr) {
     s.journal_bytes = shard->journal->bytes_written();
     s.journal_fsyncs = shard->journal->fsyncs();

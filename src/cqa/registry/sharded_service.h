@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -15,6 +16,7 @@
 #include "cqa/db/database.h"
 #include "cqa/delta/delta.h"
 #include "cqa/delta/journal.h"
+#include "cqa/delta/snapshot.h"
 #include "cqa/registry/database_registry.h"
 #include "cqa/serve/service.h"
 #include "cqa/serve/stats.h"
@@ -35,12 +37,23 @@ struct ShardedServiceOptions {
   /// When non-empty, every attached database gets a write-ahead delta
   /// journal at `<journal_dir>/<name>.journal`: accepted deltas are
   /// appended (and fsynced per `journal.fsync`) before they are
-  /// acknowledged, and `Attach` replays any existing journal over the
-  /// base snapshot — truncating a torn tail — so a restarted daemon
-  /// resumes at exactly the acknowledged prefix. Empty (the default)
-  /// disables durability: deltas still apply, but die with the process.
+  /// acknowledged, and `Attach` recovers from `<journal_dir>/
+  /// <name>.snapshot` + the journal tail (or a full replay over the base
+  /// snapshot when no snapshot file exists), truncating a torn tail — so a
+  /// restarted daemon resumes at exactly the acknowledged prefix in time
+  /// bounded by snapshot size + tail length. Empty (the default) disables
+  /// durability: deltas still apply, but die with the process.
   std::string journal_dir;
   JournalOptions journal;
+  /// Automatic snapshot/compaction policy plus the snapshotter's
+  /// crash-drill fault knobs. Disabled by default; `Snapshot()` (the
+  /// `admin snapshot` frame) works regardless.
+  SnapshotPolicy snapshot;
+  /// Capacity of the per-shard sliding idempotency window over applied
+  /// delta ids (persisted across snapshots). Duplicate detection is exact
+  /// within the last `delta_id_window` applications — PR 7 kept every id
+  /// forever, which is unbounded in a long-running daemon.
+  uint64_t delta_id_window = DeltaIdWindow::kDefaultCapacity;
 };
 
 /// What `Detach` did: how many queued requests were shed with `kDetached`,
@@ -65,6 +78,42 @@ struct DeltaOutcome {
   uint64_t cache_invalidated = 0;
   uint64_t cache_rekeyed = 0;
 };
+
+/// What `Snapshot` did: the epoch it captured and how much journal the
+/// compaction reclaimed.
+struct SnapshotOutcome {
+  std::string name;
+  uint64_t epoch = 0;
+  DbFingerprint fingerprint;
+  uint64_t snapshot_bytes = 0;
+  uint64_t journal_bytes_before = 0;
+  uint64_t journal_bytes_after = 0;
+};
+
+/// One event on the replication stream. Listeners receive, per database, a
+/// `kAttach` bootstrap (the full current state: facts, epoch, fingerprint,
+/// idempotency window) followed by every `kDelta` in epoch order, and
+/// `kDetach` when the database goes away. Events for one database are
+/// totally ordered (emitted under its delta lock); a listener may see a
+/// delta whose epoch its bootstrap already covered — appliers must treat
+/// `epoch <= local` as an idempotent skip.
+struct ReplicationEvent {
+  enum class Kind { kAttach, kDelta, kDetach };
+  Kind kind = Kind::kDelta;
+  std::string db;
+  uint64_t epoch = 0;          // after this event applies
+  DbFingerprint fingerprint;   // after this event applies
+  // kAttach only:
+  std::string facts;           // Database::ToText()
+  std::vector<std::pair<std::string, uint64_t>> delta_ids;
+  // kDelta only:
+  FactDelta delta;
+};
+
+/// MUST NOT block: called under the emitting shard's delta lock, on the
+/// applier's thread. Wire fan-out enqueues to a non-blocking outbound
+/// queue and drops the stream (never the daemon) when the peer stalls.
+using ReplicationListener = std::function<void(const ReplicationEvent&)>;
 
 /// A `DatabaseRegistry` with one `SolveService` worker shard per attached
 /// database: the registry names the instances, the shards isolate them.
@@ -109,17 +158,70 @@ class ShardedSolveService {
 
   /// Applies `delta` to the shard of `db_name` (empty ⇒ default),
   /// producing and publishing a new database epoch. Write-ahead contract
-  /// when a journal is configured: the record is on disk (fsynced per
-  /// policy) *before* the swap — a journal append failure rejects the
-  /// delta with the database unchanged. In-flight solves keep the epoch
-  /// they pinned at submit; new submissions see the new one. Cache entries
-  /// whose query footprint intersects the delta are dropped, the rest are
-  /// rekeyed and keep serving hits. Duplicate delta ids (per shard,
-  /// journal-replayed ids included) are acknowledged idempotently with
-  /// `applied == false`. Fails with `kDetached` (unknown/detaching),
-  /// `kUnsupported` (validation), `kInternal` (journal I/O).
+  /// when a journal is configured: the record is on disk *before* the swap
+  /// — a journal append failure rejects the delta with the database
+  /// unchanged — and the ack returns only after the record is covered by
+  /// an fsync per policy (`kGroup` batches the wait across concurrent
+  /// appliers: the epoch publishes immediately, the ack rides the next
+  /// shared fsync). In-flight solves keep the epoch they pinned at submit;
+  /// new submissions see the new one. Cache entries whose query footprint
+  /// intersects the delta are dropped, the rest are rekeyed and keep
+  /// serving hits. Duplicate delta ids within the idempotency window
+  /// (journal/snapshot-recovered ids included) are acknowledged
+  /// idempotently with `applied == false`. May take an automatic snapshot
+  /// afterwards per `options().snapshot`. Fails with `kDetached`
+  /// (unknown/detaching), `kUnsupported` (validation), `kReadOnly`
+  /// (follower), `kInternal` (journal I/O — including a failed group
+  /// fsync, in which case the delta MUST be treated as not acknowledged).
   Result<DeltaOutcome> ApplyDelta(const std::string& db_name,
                                   const FactDelta& delta);
+
+  /// Takes an epoch snapshot of `db_name` now and truncates its journal
+  /// (bounded-time recovery for the next attach). Requires a configured
+  /// `journal_dir` (`kUnsupported` otherwise). A failed snapshot write
+  /// leaves the previous snapshot and the journal intact.
+  Result<SnapshotOutcome> Snapshot(const std::string& db_name);
+
+  /// Read-only mode (warm-standby follower): `ApplyDelta` refuses with
+  /// `kReadOnly`; solves, stats, and the replication-apply entry points
+  /// below are unaffected. Flipped off by failover promotion.
+  void SetReadOnly(bool read_only) {
+    read_only_.store(read_only, std::memory_order_release);
+  }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// Follower entry point: installs a replicated bootstrap snapshot for
+  /// `name` — attaching the database if it is new, wholesale-replacing its
+  /// state if the stream restarted. Verifies `facts` reproduce
+  /// `fingerprint` (refusing divergence loudly), seeds the idempotency
+  /// window from `delta_ids`, and (when journaling) persists a local
+  /// snapshot so the follower's own crash recovery starts from here.
+  /// Bypasses read-only mode. `epoch <= ` the local epoch is an idempotent
+  /// no-op.
+  Result<bool> ApplyReplicaSnapshot(
+      const std::string& name, const std::string& facts, uint64_t epoch,
+      const DbFingerprint& fingerprint,
+      const std::vector<std::pair<std::string, uint64_t>>& delta_ids);
+
+  /// Follower entry point: applies one replicated delta that must produce
+  /// exactly `epoch` with `fingerprint`. `epoch <=` local is an idempotent
+  /// skip (`applied == false`); an epoch gap or a fingerprint mismatch is
+  /// `kInternal` — the stream is torn or diverged and the caller must
+  /// resync from a bootstrap. Bypasses read-only mode; journals locally
+  /// like a primary apply.
+  Result<DeltaOutcome> ApplyReplicatedDelta(const std::string& name,
+                                            const FactDelta& delta,
+                                            uint64_t epoch,
+                                            const DbFingerprint& fingerprint);
+
+  /// Subscribes `listener` to the replication stream: it is synchronously
+  /// fed a `kAttach` bootstrap for every currently attached database, then
+  /// every subsequent delta/attach/detach, until removed. Returns the
+  /// token for `RemoveReplicationListener`.
+  uint64_t AddReplicationListener(ReplicationListener listener);
+  void RemoveReplicationListener(uint64_t token);
 
   /// Routes `job` to the shard of `db_name` (empty ⇒ default instance) and
   /// submits it there; `job.db` is overwritten with the attached instance.
@@ -175,24 +277,77 @@ class ShardedSolveService {
     uint64_t epoch = 0;           // deltas ever applied, replay included
     uint64_t deltas_applied = 0;  // applied by this process (not replay)
     DbFingerprint fingerprint;    // of the current epoch
-    std::unordered_map<std::string, uint64_t> applied_delta_ids;  // id→epoch
+    DeltaIdWindow applied_delta_ids{DeltaIdWindow::kDefaultCapacity};
     std::unique_ptr<DeltaJournal> journal;  // null without journal_dir
+
+    // Snapshot accounting (guarded by db_mu, overlaid into ShardStats).
+    uint64_t deltas_since_snapshot = 0;
+    uint64_t snapshots_taken = 0;
+    uint64_t snapshots_failed = 0;
+    uint64_t last_snapshot_bytes = 0;
+    uint64_t last_snapshot_epoch = 0;
+
+    /// Replication fan-out for THIS shard, guarded by db_mu. A listener
+    /// appears here only after its bootstrap `kAttach` was emitted under
+    /// the same lock hold — so per shard it can never see a delta before
+    /// its bootstrap.
+    std::unordered_map<uint64_t, ReplicationListener> repl_listeners;
   };
   using ShardPtr = std::shared_ptr<Shard>;
 
   /// Resolves a request's database name to its shard (empty ⇒ default).
   Result<ShardPtr> ResolveShard(const std::string& db_name) const;
 
+  /// The shared apply path behind `ApplyDelta` and `ApplyReplicatedDelta`:
+  /// the whole locked critical section (idempotency check, apply, journal
+  /// append, cache migration, epoch swap, replication emit, auto-snapshot)
+  /// plus the post-lock group-fsync ack gate. When `replicated`, the
+  /// delta must land exactly on `repl_epoch` and reproduce `*repl_fp`.
+  Result<DeltaOutcome> ApplyToShard(const ShardPtr& shard,
+                                    const FactDelta& delta, bool replicated,
+                                    uint64_t repl_epoch,
+                                    const DbFingerprint* repl_fp);
+
   /// One shard's service stats with the delta/journal counters overlaid.
   ServiceStats ShardStats(const ShardPtr& shard) const;
+
+  std::string JournalPath(const std::string& name) const {
+    return options_.journal_dir + "/" + name + ".journal";
+  }
+  std::string SnapshotFilePath(const std::string& name) const {
+    return options_.journal_dir + "/" + name + ".snapshot";
+  }
+
+  /// The snapshot pipeline (requires `shard->db_mu` held): flush pending
+  /// group acks, write the snapshot file atomically, then truncate the
+  /// journal. Updates the shard's snapshot accounting either way.
+  Result<SnapshotOutcome> TakeSnapshotLocked(const ShardPtr& shard);
+  /// Policy check after an applied delta (requires `shard->db_mu` held).
+  void MaybeSnapshotLocked(const ShardPtr& shard);
+
+  /// Emits `event` to the shard's listeners (requires `shard->db_mu`).
+  void EmitLocked(const ShardPtr& shard, const ReplicationEvent& event);
+  /// Builds the bootstrap event from current state (requires db_mu).
+  ReplicationEvent BootstrapEventLocked(const ShardPtr& shard) const;
+  /// Bootstraps every globally registered listener onto a shard that is
+  /// not yet receiving deltas (a fresh attach).
+  void BootstrapListenersOnAttach(const ShardPtr& shard);
 
   ShardedServiceOptions options_;
   DatabaseRegistry registry_;
 
   std::atomic<bool> accepting_{true};
+  std::atomic<bool> read_only_{false};
 
   mutable std::mutex mu_;  // guards shards_
   std::unordered_map<std::string, ShardPtr> shards_;
+
+  /// Global listener registry (for shards attached after subscription).
+  /// Lock order: a shard's db_mu may be held when taking repl_mu_, never
+  /// the reverse.
+  mutable std::mutex repl_mu_;
+  std::unordered_map<uint64_t, ReplicationListener> repl_listeners_;
+  uint64_t repl_next_token_ = 1;
 
   std::mutex shutdown_mu_;
   bool shutdown_done_ = false;

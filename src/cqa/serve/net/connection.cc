@@ -184,6 +184,18 @@ void Connection::ReaderLoop() {
   // so every solve still in flight is cancelled. Their terminal "cancelled"
   // frames are flushed if the write side is still alive.
   CancelOutstanding();
+  // Unsubscribe the replication stream, if one was opened: after this no
+  // event can enqueue, so the connection is safe to reap.
+  uint64_t repl_token = 0;
+  {
+    std::lock_guard<std::mutex> lock(repl_state_mu_);
+    repl_token = repl_token_;
+    repl_token_ = 0;
+  }
+  if (repl_token != 0) {
+    service_->RemoveReplicationListener(repl_token);
+    stats_->OnReplStreamClosed();
+  }
 }
 
 void Connection::HandleFrame(const std::string& frame) {
@@ -203,7 +215,8 @@ void Connection::HandleFrame(const std::string& frame) {
 
   switch (decoded->type) {
     case WireRequestType::kHealth:
-      EnqueueFromReader(EncodeHealthFrame(decoded->id, draining_.load()));
+      EnqueueFromReader(EncodeHealthFrame(decoded->id, draining_.load(),
+                                          service_->read_only()));
       return;
     case WireRequestType::kStats: {
       ServiceStats service_stats = service_->Stats();
@@ -236,13 +249,34 @@ void Connection::HandleFrame(const std::string& frame) {
     case WireRequestType::kAttach:
     case WireRequestType::kDetach:
     case WireRequestType::kApplyDelta:
+    case WireRequestType::kSnapshot:
+      // Mutating admin frames are refused on a warm standby: the
+      // replication stream is the only writer until promotion.
+      if (service_->read_only()) {
+        EnqueueFromReader(EncodeErrorFrame(
+            decoded->id, ErrorCode::kReadOnly,
+            "this daemon is a read-only follower; send writes to the "
+            "primary or promote it first"));
+        return;
+      }
       // Heavy admin work (index builds, shard drains, journal fsyncs) runs
       // on the admin thread so it cannot stall unrelated frames arriving
       // on this connection; the reader just hands the request off.
       EnqueueAdmin(std::move(*decoded));
       return;
+    case WireRequestType::kPromote:
+      // Promote must work precisely when the daemon is read-only; it joins
+      // the replication client, so it runs off the reader too.
+      EnqueueAdmin(std::move(*decoded));
+      return;
     case WireRequestType::kList:
       HandleList(*decoded);
+      return;
+    case WireRequestType::kReplicate:
+      HandleReplicate(*decoded);
+      return;
+    case WireRequestType::kReplicaAck:
+      HandleReplicaAck(*decoded);
       return;
   }
 }
@@ -305,6 +339,12 @@ void Connection::AdminLoop() {
         break;
       case WireRequestType::kApplyDelta:
         HandleApplyDelta(request);
+        break;
+      case WireRequestType::kSnapshot:
+        HandleSnapshot(request);
+        break;
+      case WireRequestType::kPromote:
+        HandlePromote(request);
         break;
       default:
         break;  // unreachable: only admin frames are enqueued
@@ -394,6 +434,94 @@ void Connection::HandleApplyDelta(const WireRequest& request) {
   }
   stats_->OnDeltaApplied();
   EnqueueFromReader(EncodeDeltaAckFrame(request.id, *out));
+}
+
+void Connection::HandleSnapshot(const WireRequest& request) {
+  if (draining_.load()) {
+    EnqueueFromReader(EncodeErrorFrame(
+        request.id, ErrorCode::kOverloaded,
+        "daemon is draining; not accepting admin frames"));
+    return;
+  }
+  // Flushes pending group acks, dumps the epoch's facts atomically, then
+  // truncates the journal — bounded-time recovery for the next attach.
+  Result<SnapshotOutcome> out = service_->Snapshot(request.db);
+  if (!out.ok()) {
+    EnqueueFromReader(EncodeErrorFrame(request.id, out.code(), out.error()));
+    return;
+  }
+  EnqueueFromReader(EncodeSnapshotAckFrame(request.id, *out));
+}
+
+void Connection::HandlePromote(const WireRequest& request) {
+  if (!options_.promote_hook) {
+    EnqueueFromReader(EncodeErrorFrame(
+        request.id, ErrorCode::kUnsupported,
+        "this daemon has no failover hook; promote is only meaningful on "
+        "a daemon started with --follow"));
+    return;
+  }
+  Result<bool> was_follower = options_.promote_hook();
+  if (!was_follower.ok()) {
+    EnqueueFromReader(EncodeErrorFrame(request.id, was_follower.code(),
+                                       was_follower.error()));
+    return;
+  }
+  EnqueueFromReader(EncodePromoteAckFrame(request.id, *was_follower));
+}
+
+void Connection::HandleReplicate(const WireRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(repl_state_mu_);
+    if (repl_token_ != 0) {
+      EnqueueFromReader(EncodeErrorFrame(
+          request.id, ErrorCode::kUnsupported,
+          "a replication stream is already open on this connection"));
+      return;
+    }
+  }
+  stats_->OnReplStreamOpened();
+  // AddReplicationListener synchronously feeds the bootstrap snapshot of
+  // every attached database through OnReplicationEvent before returning,
+  // so by the time the token is published the follower's resync is already
+  // queued — and every later delta frame follows its bootstrap.
+  auto self = shared_from_this();
+  uint64_t token = service_->AddReplicationListener(
+      [self](const ReplicationEvent& event) {
+        self->OnReplicationEvent(event);
+      });
+  std::lock_guard<std::mutex> lock(repl_state_mu_);
+  repl_token_ = token;
+}
+
+void Connection::HandleReplicaAck(const WireRequest& request) {
+  uint64_t outstanding = 0;
+  bool active;
+  {
+    std::lock_guard<std::mutex> lock(repl_state_mu_);
+    active = repl_token_ != 0;
+    if (request.seq > repl_acked_seq_) {
+      // Cumulative, and never past what was actually sent.
+      repl_acked_seq_ = std::min(request.seq, repl_next_seq_);
+    }
+    outstanding = repl_next_seq_ - repl_acked_seq_;
+  }
+  if (active) stats_->OnReplAckReceived(outstanding);
+}
+
+void Connection::OnReplicationEvent(const ReplicationEvent& event) {
+  uint64_t seq;
+  uint64_t outstanding;
+  {
+    std::lock_guard<std::mutex> lock(repl_state_mu_);
+    seq = ++repl_next_seq_;
+    outstanding = repl_next_seq_ - repl_acked_seq_;
+  }
+  stats_->OnReplEventSent(outstanding);
+  // Worker-path enqueue: never blocks the applier holding the delta lock.
+  // A follower that stops reading is bounded by the write deadline, which
+  // aborts this connection and thereby unsubscribes the stream.
+  EnqueueFromWorker(EncodeReplicationEventFrame(seq, event));
 }
 
 void Connection::HandleList(const WireRequest& request) {

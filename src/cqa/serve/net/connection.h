@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,6 +53,11 @@ struct ConnectionOptions {
   size_t max_admin_queue = 8;
   /// Poll slice for the reader loop; bounds shutdown latency.
   std::chrono::milliseconds poll_slice{50};
+  /// Failover hook behind the `promote` admin frame: flips the daemon from
+  /// read-only follower to writable primary (stopping its replication
+  /// client) and returns whether it actually was a follower. Unset (the
+  /// default) answers promote frames with `kUnsupported`.
+  std::function<Result<bool>()> promote_hook;
 };
 
 /// Why a connection ended (recorded in `DaemonStats`).
@@ -133,7 +139,18 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void HandleAttach(const WireRequest& request);
   void HandleDetach(const WireRequest& request);
   void HandleApplyDelta(const WireRequest& request);
+  void HandleSnapshot(const WireRequest& request);
+  void HandlePromote(const WireRequest& request);
   void HandleList(const WireRequest& request);
+  /// Subscribes this connection to the replication stream: every event is
+  /// pushed as one frame through the non-blocking worker enqueue path (a
+  /// stalled follower is bounded by the write deadline, which drops the
+  /// stream — never the daemon).
+  void HandleReplicate(const WireRequest& request);
+  void HandleReplicaAck(const WireRequest& request);
+  /// Replication listener body: assigns the stream seq and enqueues the
+  /// frame. Called under the emitting shard's delta lock; must not block.
+  void OnReplicationEvent(const ReplicationEvent& event);
   void SolveCallback(uint64_t client_id, const ServeResponse& response);
   /// Reader-side handoff of an admin frame to the admin thread (started on
   /// first use). Full queue ⇒ typed `overloaded` error frame instead.
@@ -197,6 +214,14 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   std::mutex close_mu_;
   CloseReason close_reason_ = CloseReason::kOpen;
+
+  // Replication stream state (at most one stream per connection). The
+  // token is cleared and the listener removed by the reader on its way
+  // out, so no event can be enqueued after the connection is reaped.
+  std::mutex repl_state_mu_;
+  uint64_t repl_token_ = 0;     // 0 = no stream subscribed
+  uint64_t repl_next_seq_ = 0;  // last seq assigned to an event
+  uint64_t repl_acked_seq_ = 0; // highest cumulative ack received
 
   // Admin executor: attach / detach / apply_delta frames queue here and
   // run on `admin_` in arrival order, off the reader thread. The thread is

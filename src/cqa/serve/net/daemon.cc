@@ -17,6 +17,8 @@ ShardedServiceOptions ShardedOptionsFor(const DaemonOptions& options) {
   sharded.detach_drain = options.detach_drain;
   sharded.journal_dir = options.journal_dir;
   sharded.journal = options.journal;
+  sharded.snapshot = options.snapshot;
+  sharded.delta_id_window = options.delta_id_window;
   return sharded;
 }
 
@@ -25,7 +27,10 @@ ShardedServiceOptions ShardedOptionsFor(const DaemonOptions& options) {
 SolveDaemon::SolveDaemon(DaemonOptions options)
     : options_(std::move(options)),
       service_(
-          std::make_unique<ShardedSolveService>(ShardedOptionsFor(options_))) {}
+          std::make_unique<ShardedSolveService>(ShardedOptionsFor(options_))),
+      conn_options_(options_.connection) {
+  conn_options_.promote_hook = [this] { return Promote(); };
+}
 
 SolveDaemon::SolveDaemon(std::shared_ptr<const Database> db,
                          DaemonOptions options)
@@ -51,9 +56,35 @@ Result<bool> SolveDaemon::Start() {
     return Result<bool>::Error(listener.code(), listener.error());
   }
   listener_ = std::move(listener.value());
+  if (!options_.follow_host.empty()) {
+    // Warm standby: read-only until promoted, with the replication client
+    // pulling the primary's stream in the background. Ordered before the
+    // accept loop so no client ever sees a writable follower.
+    service_->SetReadOnly(true);
+    ReplicationClientOptions repl = options_.replication;
+    repl.host = options_.follow_host;
+    repl.port = options_.follow_port;
+    std::lock_guard<std::mutex> lock(promote_mu_);
+    repl_client_ = std::make_unique<ReplicationClient>(service_.get(), &stats_,
+                                                       std::move(repl));
+    repl_client_->Start();
+  }
   accepting_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
+}
+
+Result<bool> SolveDaemon::Promote() {
+  std::lock_guard<std::mutex> lock(promote_mu_);
+  bool was_follower = repl_client_ != nullptr || service_->read_only();
+  if (repl_client_) {
+    // After Stop returns the follower thread has joined: no replicated
+    // state can land after the flip to writable below.
+    repl_client_->Stop();
+    repl_client_.reset();
+  }
+  service_->SetReadOnly(false);
+  return was_follower;
 }
 
 void SolveDaemon::AcceptLoop() {
@@ -91,8 +122,8 @@ void SolveDaemon::AcceptLoop() {
       continue;  // Socket closes via RAII.
     }
     auto conn = std::make_shared<Connection>(std::move(accepted.value()),
-                                             service_.get(),
-                                             options_.connection, &stats_);
+                                             service_.get(), conn_options_,
+                                             &stats_);
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
@@ -120,6 +151,17 @@ bool SolveDaemon::Shutdown(std::chrono::milliseconds drain_deadline) {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   if (shutdown_done_) return drained_result_;
   shutdown_done_ = true;
+
+  // 0. Stop following: the replication client holds a long-lived client
+  // connection and would otherwise race replicated applies into the
+  // draining service.
+  {
+    std::lock_guard<std::mutex> lock(promote_mu_);
+    if (repl_client_) {
+      repl_client_->Stop();
+      repl_client_.reset();
+    }
+  }
 
   // 1. Stop accepting new connections. Shutting the listener down wakes
   // the accept loop's poll immediately.

@@ -17,6 +17,7 @@
 #include "cqa/registry/sharded_service.h"
 #include "cqa/serve/net/connection.h"
 #include "cqa/serve/net/daemon_stats.h"
+#include "cqa/serve/net/replication.h"
 #include "cqa/serve/service.h"
 
 namespace cqa {
@@ -48,6 +49,23 @@ struct DaemonOptions {
   std::string journal_dir;
   /// Journal durability knobs (fsync policy; chaos injection in tests).
   JournalOptions journal;
+  /// Automatic snapshot/compaction policy (see SnapshotPolicy). The
+  /// `admin snapshot` frame works regardless; these knobs only control
+  /// when the daemon compacts on its own.
+  SnapshotPolicy snapshot;
+  /// Per-database sliding idempotency window capacity (see
+  /// ShardedServiceOptions::delta_id_window).
+  uint64_t delta_id_window = DeltaIdWindow::kDefaultCapacity;
+  /// When non-empty, this daemon starts as a warm-standby follower of the
+  /// primary at `follow_host:follow_port`: the service is read-only
+  /// (writes answered with `kReadOnly`), a replication client streams the
+  /// primary's state in, and an `admin promote` frame (or `Promote()`)
+  /// flips it into a writable primary.
+  std::string follow_host;
+  uint16_t follow_port = 0;
+  /// Tuning for the follower's replication client; `host`/`port` are
+  /// overwritten from `follow_host`/`follow_port`.
+  ReplicationClientOptions replication;
 };
 
 /// TCP front-end for the sharded solve service: accepts connections,
@@ -102,6 +120,15 @@ class SolveDaemon {
   Result<DatabaseRegistry::Entry> Attach(const std::string& name,
                                          std::shared_ptr<const Database> db);
 
+  /// Failover: stops the replication client (after this returns, no
+  /// further replicated state can arrive) and makes the service writable.
+  /// Returns whether the daemon actually was a follower — promoting a
+  /// primary is an idempotent no-op. Also behind the `promote` frame.
+  Result<bool> Promote();
+
+  /// True while this daemon is a read-only warm standby.
+  bool follower() const { return service_->read_only(); }
+
   /// Cross-shard aggregate (counters summed; latency percentiles are the
   /// worst shard's — exact when one database is attached).
   ServiceStats service_stats() const { return service_->Stats(); }
@@ -124,6 +151,13 @@ class SolveDaemon {
   const DaemonOptions options_;
   DaemonStatsCollector stats_;
   std::unique_ptr<ShardedSolveService> service_;
+  /// `options_.connection` plus the daemon-bound hooks (promote).
+  ConnectionOptions conn_options_;
+
+  /// Live only while following; guarded by `promote_mu_` (Promote and
+  /// Shutdown race on it).
+  std::mutex promote_mu_;
+  std::unique_ptr<ReplicationClient> repl_client_;
 
   Socket listener_;
   uint16_t port_ = 0;

@@ -68,6 +68,60 @@ class DaemonStatsCollector {
     ++stats_.deltas_rejected;
   }
 
+  // Replication accounting (primary side). `outstanding` is the calling
+  // stream's sent-minus-acked count, published as the `repl_lag` gauge —
+  // last writer wins, which is exact for the common single-follower case.
+  void OnReplStreamOpened() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.repl_streams_opened;
+  }
+
+  void OnReplStreamClosed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.repl_streams_closed;
+    if (stats_.repl_streams_closed >= stats_.repl_streams_opened) {
+      stats_.repl_lag = 0;  // no live stream left to lag
+    }
+  }
+
+  void OnReplEventSent(uint64_t outstanding) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.repl_events_sent;
+    stats_.repl_lag = outstanding;
+  }
+
+  void OnReplAckReceived(uint64_t outstanding) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.repl_acks_received;
+    stats_.repl_lag = outstanding;
+  }
+
+  // Replication accounting (follower side).
+  void OnFollowerConnect() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.follower_connects;
+  }
+
+  void OnFollowerDisconnect() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.follower_disconnects;
+  }
+
+  void OnFollowerSnapshotApplied() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.follower_snapshots_applied;
+  }
+
+  void OnFollowerDeltaApplied() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.follower_deltas_applied;
+  }
+
+  void OnFollowerApplyError() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.follower_apply_errors;
+  }
+
   DaemonStats Snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;

@@ -96,6 +96,41 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
     request.type = WireRequestType::kList;
     return request;
   }
+  if (type_name == "snapshot") {
+    request.type = WireRequestType::kSnapshot;
+    if (object.Find("id") == nullptr) {
+      return ParseError("snapshot requires an 'id'");
+    }
+    const Json* db = object.Find("db");
+    if (db != nullptr) {
+      if (!db->is_string()) return ParseError("field 'db' must be a string");
+      request.db = db->AsString();
+    }
+    return request;
+  }
+  if (type_name == "promote") {
+    request.type = WireRequestType::kPromote;
+    if (object.Find("id") == nullptr) {
+      return ParseError("promote requires an 'id'");
+    }
+    return request;
+  }
+  if (type_name == "replicate") {
+    request.type = WireRequestType::kReplicate;
+    if (object.Find("id") == nullptr) {
+      return ParseError("replicate requires an 'id'");
+    }
+    return request;
+  }
+  if (type_name == "replica_ack") {
+    request.type = WireRequestType::kReplicaAck;
+    const Json* seq = object.Find("seq");
+    if (seq == nullptr || !seq->is_int() || seq->AsInt() < 0) {
+      return ParseError("replica_ack requires a non-negative integer 'seq'");
+    }
+    request.seq = static_cast<uint64_t>(seq->AsInt());
+    return request;
+  }
   if (type_name == "apply_delta") {
     request.type = WireRequestType::kApplyDelta;
     if (object.Find("id") == nullptr) {
@@ -276,11 +311,12 @@ std::string EncodeCancelledFrame(uint64_t id, const std::string& message) {
       .Serialize();
 }
 
-std::string EncodeHealthFrame(uint64_t id, bool draining) {
+std::string EncodeHealthFrame(uint64_t id, bool draining, bool follower) {
   return JsonObjectBuilder()
       .Set("type", "health")
       .Set("id", id)
       .Set("status", draining ? "draining" : "serving")
+      .Set("role", follower ? "follower" : "primary")
       .Build()
       .Serialize();
 }
@@ -310,6 +346,10 @@ Json ServiceStatsJson(const ServiceStats& service) {
       .Set("deltas_applied", service.deltas_applied)
       .Set("journal_bytes", service.journal_bytes)
       .Set("journal_fsyncs", service.journal_fsyncs)
+      .Set("snapshots_taken", service.snapshots_taken)
+      .Set("snapshots_failed", service.snapshots_failed)
+      .Set("snapshot_bytes", service.snapshot_bytes)
+      .Set("snapshot_epoch", service.snapshot_epoch)
       .Set("sandbox_forks", service.sandbox_forks)
       .Set("sandbox_kills", service.sandbox_kills)
       .Set("sandbox_crashes", service.sandbox_crashes)
@@ -359,6 +399,17 @@ std::string EncodeStatsFrame(
           .Set("solves_rejected_detached", daemon.solves_rejected_detached)
           .Set("deltas_applied", daemon.deltas_applied)
           .Set("deltas_rejected", daemon.deltas_rejected)
+          .Set("repl_streams_opened", daemon.repl_streams_opened)
+          .Set("repl_streams_closed", daemon.repl_streams_closed)
+          .Set("repl_events_sent", daemon.repl_events_sent)
+          .Set("repl_acks_received", daemon.repl_acks_received)
+          .Set("repl_lag", daemon.repl_lag)
+          .Set("follower_connects", daemon.follower_connects)
+          .Set("follower_disconnects", daemon.follower_disconnects)
+          .Set("follower_snapshots_applied",
+               daemon.follower_snapshots_applied)
+          .Set("follower_deltas_applied", daemon.follower_deltas_applied)
+          .Set("follower_apply_errors", daemon.follower_apply_errors)
           .Set("sandbox_forks", daemon.sandbox_forks)
           .Set("sandbox_kills", daemon.sandbox_kills)
           .Set("sandbox_crashes", daemon.sandbox_crashes)
@@ -440,6 +491,146 @@ std::string EncodeDeltaAckFrame(uint64_t id, const DeltaOutcome& outcome) {
       .Set("cache_rekeyed", outcome.cache_rekeyed)
       .Build()
       .Serialize();
+}
+
+std::string EncodeSnapshotAckFrame(uint64_t id,
+                                   const SnapshotOutcome& outcome) {
+  return JsonObjectBuilder()
+      .Set("type", "snapshot_ack")
+      .Set("id", id)
+      .Set("db", outcome.name)
+      .Set("epoch", outcome.epoch)
+      .Set("fingerprint", outcome.fingerprint.ToHex())
+      .Set("snapshot_bytes", outcome.snapshot_bytes)
+      .Set("journal_bytes_before", outcome.journal_bytes_before)
+      .Set("journal_bytes_after", outcome.journal_bytes_after)
+      .Build()
+      .Serialize();
+}
+
+std::string EncodePromoteAckFrame(uint64_t id, bool was_follower) {
+  return JsonObjectBuilder()
+      .Set("type", "promote_ack")
+      .Set("id", id)
+      .Set("was_follower", was_follower)
+      .Set("role", "primary")
+      .Build()
+      .Serialize();
+}
+
+std::string EncodeReplicationEventFrame(uint64_t seq,
+                                        const ReplicationEvent& event) {
+  JsonObjectBuilder b;
+  switch (event.kind) {
+    case ReplicationEvent::Kind::kAttach:
+      b.Set("type", "repl_snapshot")
+          .Set("seq", seq)
+          .Set("db", event.db)
+          .Set("epoch", event.epoch)
+          .Set("fingerprint", event.fingerprint.ToHex())
+          .Set("facts", event.facts)
+          .Set("delta_ids", EncodeDeltaIdPairs(event.delta_ids));
+      break;
+    case ReplicationEvent::Kind::kDelta:
+      b.Set("type", "repl_delta")
+          .Set("seq", seq)
+          .Set("db", event.db)
+          .Set("epoch", event.epoch)
+          .Set("fingerprint", event.fingerprint.ToHex())
+          .Set("delta_id", event.delta.id)
+          .Set("ops", EncodeDeltaOps(event.delta.ops));
+      break;
+    case ReplicationEvent::Kind::kDetach:
+      b.Set("type", "repl_detach").Set("seq", seq).Set("db", event.db);
+      break;
+  }
+  return b.Build().Serialize();
+}
+
+Result<ReplFrame> DecodeReplicationFrame(const std::string& frame) {
+  using R = Result<ReplFrame>;
+  Result<Json> parsed = Json::Parse(frame);
+  if (!parsed.ok()) return R::Error(parsed);
+  const Json& object = parsed.value();
+  if (!object.is_object()) {
+    return R::Error(ErrorCode::kParse,
+                    "replication frame must be a JSON object");
+  }
+  const Json* type = object.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return R::Error(ErrorCode::kParse,
+                    "replication frame missing string 'type'");
+  }
+  const std::string& type_name = type->AsString();
+  ReplFrame out;
+  if (type_name == "repl_snapshot") {
+    out.event.kind = ReplicationEvent::Kind::kAttach;
+  } else if (type_name == "repl_delta") {
+    out.event.kind = ReplicationEvent::Kind::kDelta;
+  } else if (type_name == "repl_detach") {
+    out.event.kind = ReplicationEvent::Kind::kDetach;
+  } else {
+    return R::Error(ErrorCode::kUnsupported,
+                    "not a replication frame: '" + type_name + "'");
+  }
+  const Json* seq = object.Find("seq");
+  if (seq == nullptr || !seq->is_int() || seq->AsInt() < 0) {
+    return R::Error(ErrorCode::kParse,
+                    "replication frame missing integer 'seq'");
+  }
+  out.seq = static_cast<uint64_t>(seq->AsInt());
+  const Json* db = object.Find("db");
+  if (db == nullptr || !db->is_string() || db->AsString().empty()) {
+    return R::Error(ErrorCode::kParse,
+                    "replication frame missing string 'db'");
+  }
+  out.event.db = db->AsString();
+  if (out.event.kind == ReplicationEvent::Kind::kDetach) return out;
+
+  const Json* epoch = object.Find("epoch");
+  if (epoch == nullptr || !epoch->is_int() || epoch->AsInt() < 0) {
+    return R::Error(ErrorCode::kParse,
+                    "replication frame missing integer 'epoch'");
+  }
+  out.event.epoch = static_cast<uint64_t>(epoch->AsInt());
+  const Json* fp = object.Find("fingerprint");
+  if (fp == nullptr || !fp->is_string() ||
+      !DbFingerprint::FromHex(fp->AsString(), &out.event.fingerprint)) {
+    return R::Error(ErrorCode::kParse,
+                    "replication frame missing 32-hex 'fingerprint'");
+  }
+  if (out.event.kind == ReplicationEvent::Kind::kAttach) {
+    const Json* facts = object.Find("facts");
+    if (facts == nullptr || !facts->is_string()) {
+      return R::Error(ErrorCode::kParse,
+                      "repl_snapshot missing string 'facts'");
+    }
+    out.event.facts = facts->AsString();
+    const Json* ids = object.Find("delta_ids");
+    if (ids != nullptr) {
+      Result<std::vector<std::pair<std::string, uint64_t>>> decoded =
+          DecodeDeltaIdPairs(*ids);
+      if (!decoded.ok()) return R::Error(decoded);
+      out.event.delta_ids = std::move(decoded.value());
+    }
+    return out;
+  }
+  const Json* delta_id = object.Find("delta_id");
+  if (delta_id == nullptr || !delta_id->is_string() ||
+      delta_id->AsString().empty() ||
+      delta_id->AsString().size() > kMaxDeltaIdBytes) {
+    return R::Error(ErrorCode::kParse,
+                    "repl_delta missing a valid 'delta_id'");
+  }
+  out.event.delta.id = delta_id->AsString();
+  const Json* ops = object.Find("ops");
+  if (ops == nullptr) {
+    return R::Error(ErrorCode::kParse, "repl_delta missing 'ops'");
+  }
+  Result<std::vector<DeltaOp>> decoded = DecodeDeltaOps(*ops);
+  if (!decoded.ok()) return R::Error(decoded);
+  out.event.delta.ops = std::move(decoded.value());
+  return out;
 }
 
 std::string EncodeCancelAckFrame(uint64_t id, uint64_t target, bool found) {

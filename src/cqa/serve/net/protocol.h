@@ -38,6 +38,10 @@ enum class WireRequestType {
   kDetach,
   kList,
   kApplyDelta,
+  kSnapshot,
+  kPromote,
+  kReplicate,
+  kReplicaAck,
 };
 
 struct WireRequest {
@@ -93,6 +97,11 @@ struct WireRequest {
   /// re-applying. Routed by `db` like solve frames (empty ⇒ default).
   std::string delta_id;
   std::vector<DeltaOp> ops;
+
+  // --- replica_ack fields ---
+  /// Stream sequence number of the replication event being acknowledged
+  /// (cumulative: acking N acks everything up to N).
+  uint64_t seq = 0;
 };
 
 /// Parses `--method=`-style names shared by the CLI and the wire protocol.
@@ -128,6 +137,21 @@ struct DaemonStats {
   // contract), rejected counts validation/journal failures.
   uint64_t deltas_applied = 0;
   uint64_t deltas_rejected = 0;
+  // Replication accounting, primary side: one "stream" per `replicate`
+  // frame accepted. `repl_lag` is a gauge — events sent minus cumulative
+  // acks received across live streams, refreshed on every ack (approximate
+  // across stream restarts; exact for a single steady follower).
+  uint64_t repl_streams_opened = 0;
+  uint64_t repl_streams_closed = 0;
+  uint64_t repl_events_sent = 0;
+  uint64_t repl_acks_received = 0;
+  uint64_t repl_lag = 0;
+  // Replication accounting, follower side (all zero on a primary).
+  uint64_t follower_connects = 0;
+  uint64_t follower_disconnects = 0;
+  uint64_t follower_snapshots_applied = 0;
+  uint64_t follower_deltas_applied = 0;
+  uint64_t follower_apply_errors = 0;
   // Sandbox accounting, folded from the service layer at snapshot time
   // (see FoldSandboxCounters and the ServiceStats field docs).
   uint64_t sandbox_forks = 0;
@@ -158,7 +182,10 @@ std::string EncodeResultFrame(uint64_t id, const SolveReport& report,
 std::string EncodeErrorFrame(std::optional<uint64_t> id, ErrorCode code,
                              const std::string& message, bool fatal = false);
 std::string EncodeCancelledFrame(uint64_t id, const std::string& message);
-std::string EncodeHealthFrame(uint64_t id, bool draining);
+/// `follower` reports the daemon's role ("role":"follower" vs "primary") so
+/// health probes can tell a warm standby from a writable primary.
+std::string EncodeHealthFrame(uint64_t id, bool draining,
+                              bool follower = false);
 /// `per_db` breaks the service counters out per attached database (keyed
 /// by registry name) under a "databases" object, so operators can see
 /// which instance is cold; `service` stays the cross-shard aggregate.
@@ -175,6 +202,38 @@ std::string EncodeDbListFrame(uint64_t id,
 /// the post-delta epoch and fingerprint so clients can chain optimistic
 /// checks; `applied:false` flags an idempotent replay.
 std::string EncodeDeltaAckFrame(uint64_t id, const DeltaOutcome& outcome);
+/// Ack for `admin snapshot`: the epoch captured and the journal bytes the
+/// compaction reclaimed.
+std::string EncodeSnapshotAckFrame(uint64_t id,
+                                   const SnapshotOutcome& outcome);
+/// Ack for `admin promote`; `was_follower` is false when the daemon was
+/// already writable (promote is idempotent).
+std::string EncodePromoteAckFrame(uint64_t id, bool was_follower);
+
+// --- replication stream frames (primary -> follower) ---
+//
+// A follower opens a normal client connection and sends
+// {"type":"replicate","id":N}; from then on the primary pushes one frame
+// per replication event, each carrying a connection-scoped monotonically
+// increasing "seq" the follower acknowledges with
+// {"type":"replica_ack","seq":N} (cumulative). Frame types: "repl_snapshot"
+// (the kAttach bootstrap: full facts + epoch + fingerprint + idempotency
+// window), "repl_delta" (one delta with its post-apply epoch/fingerprint)
+// and "repl_detach".
+
+/// Encodes `event` as its stream frame. `seq` is the stream sequence.
+std::string EncodeReplicationEventFrame(uint64_t seq,
+                                        const ReplicationEvent& event);
+
+/// A decoded replication stream frame (follower side).
+struct ReplFrame {
+  uint64_t seq = 0;
+  ReplicationEvent event;
+};
+
+/// Decodes one "repl_*" frame; `kParse` on anything malformed and
+/// `kUnsupported` for a non-replication frame type.
+Result<ReplFrame> DecodeReplicationFrame(const std::string& frame);
 
 // --- response decoding (client side) ---
 

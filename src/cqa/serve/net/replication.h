@@ -1,0 +1,94 @@
+#ifndef CQA_SERVE_NET_REPLICATION_H_
+#define CQA_SERVE_NET_REPLICATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "cqa/base/net.h"
+#include "cqa/base/result.h"
+#include "cqa/registry/sharded_service.h"
+#include "cqa/serve/net/daemon_stats.h"
+
+namespace cqa {
+
+struct ReplicationClientOptions {
+  /// The primary to follow.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Budget for one TCP connect attempt.
+  std::chrono::milliseconds connect_timeout{2'000};
+  /// Pause between reconnect attempts (the primary being down is the
+  /// normal case a standby exists for — it retries forever until stopped
+  /// or promoted).
+  std::chrono::milliseconds retry_backoff{500};
+  /// Read poll slice; bounds stop latency.
+  std::chrono::milliseconds poll_slice{50};
+  /// Budget for writing one frame (the replicate request or an ack).
+  std::chrono::milliseconds write_timeout{5'000};
+  /// Frame cap for the inbound stream. Far larger than the daemon's
+  /// request cap: a bootstrap `repl_snapshot` frame carries a whole facts
+  /// dump.
+  size_t max_frame_bytes = 64u << 20;
+};
+
+/// The follower half of warm-standby replication: a background thread that
+/// connects to the primary, sends `{"type":"replicate"}`, and applies the
+/// pushed stream — `repl_snapshot` bootstraps through
+/// `ShardedSolveService::ApplyReplicaSnapshot`, `repl_delta` through
+/// `ApplyReplicatedDelta`, `repl_detach` through `Detach` — acking each
+/// event with its stream seq. Apply errors (an epoch gap from a dropped
+/// frame, a fingerprint divergence) tear the session down and reconnect,
+/// which resyncs from a fresh bootstrap; the local `epoch <= ours` skip
+/// makes the overlap idempotent. The owning daemon keeps the service
+/// read-only while this client runs and stops it on promotion.
+class ReplicationClient {
+ public:
+  ReplicationClient(ShardedSolveService* service, DaemonStatsCollector* stats,
+                    ReplicationClientOptions options);
+  ~ReplicationClient();  // Stop()
+
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  /// Spawns the follower thread. Call once.
+  void Start();
+
+  /// Signals the thread, wakes any blocked read, joins. Idempotent; after
+  /// it returns no further replicated state can be applied — the promote
+  /// path relies on exactly that.
+  void Stop();
+
+  /// True while the follower believes it has a live session to the
+  /// primary (connected and streaming).
+  bool connected() const { return connected_.load(std::memory_order_acquire); }
+
+ private:
+  void Loop();
+  /// One connect → stream → disconnect cycle. Returns when the session
+  /// dies or a stop is requested.
+  void RunSession();
+  Result<bool> SendPayload(const Socket& socket, const std::string& payload);
+  /// Applies one decoded stream event; false tears the session down.
+  bool ApplyEvent(const ReplicationEvent& event);
+  /// Interruptible backoff sleep.
+  void SleepBackoff();
+
+  ShardedSolveService* const service_;
+  DaemonStatsCollector* const stats_;
+  const ReplicationClientOptions options_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> connected_{false};
+  /// The live session's socket fd, for Stop to shutdown(2) from outside
+  /// (guarded by the atomicity of the store; the socket object itself is
+  /// owned by the session on the follower thread).
+  std::atomic<int> session_fd_{-1};
+  std::thread thread_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_NET_REPLICATION_H_

@@ -109,6 +109,11 @@ std::string ServiceStats::ToString() const {
   s += " bypass " + std::to_string(cache_bypass);
   s += " entries " + std::to_string(cache_entries);
   s += " evictions " + std::to_string(cache_evictions);
+  s += "; epoch " + std::to_string(epoch);
+  s += " deltas " + std::to_string(deltas_applied);
+  s += " journal-bytes " + std::to_string(journal_bytes);
+  s += " snapshots " + std::to_string(snapshots_taken);
+  s += " snapshot-failures " + std::to_string(snapshots_failed);
   s += "; sandbox forks " + std::to_string(sandbox_forks);
   s += " kills " + std::to_string(sandbox_kills);
   s += " crashes " + std::to_string(sandbox_crashes);

@@ -56,6 +56,14 @@ struct ServiceStats {
   uint64_t deltas_applied = 0;
   uint64_t journal_bytes = 0;
   uint64_t journal_fsyncs = 0;
+  /// Snapshot/compaction counters, overlaid like the journal counters.
+  /// `snapshots_taken`/`snapshots_failed` count this process's attempts;
+  /// `snapshot_bytes` is the last committed snapshot's file size (gauge,
+  /// 0 before the first) and `snapshot_epoch` the epoch it captured.
+  uint64_t snapshots_taken = 0;
+  uint64_t snapshots_failed = 0;
+  uint64_t snapshot_bytes = 0;
+  uint64_t snapshot_epoch = 0;
 
   /// Sandbox counters (all zero when no solve ever ran under fork
   /// isolation). `sandbox_forks` counts supervised children spawned;

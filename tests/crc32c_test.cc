@@ -1,0 +1,94 @@
+// CRC-32C (Castagnoli) tests: known-answer vectors from RFC 3720 appendix
+// B.4, and a hardware/software cross-check — `Crc32c` dispatches to the
+// CPU's CRC32 instructions when present, and the two paths must be
+// bit-identical on arbitrary buffers, lengths, and alignments (the journal
+// and snapshot formats depend on the checksum being stable across
+// machines).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cqa/base/crc32c.h"
+
+namespace cqa {
+namespace {
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // The classic check value for "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+
+  // RFC 3720 B.4 test patterns (iSCSI CRC32C).
+  unsigned char zeros[32];
+  std::memset(zeros, 0x00, sizeof(zeros));
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+
+  unsigned char ones[32];
+  std::memset(ones, 0xFF, sizeof(ones));
+  EXPECT_EQ(Crc32c(ones, sizeof(ones)), 0x62A8AB43u);
+
+  unsigned char ascending[32];
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<unsigned char>(i);
+  EXPECT_EQ(Crc32c(ascending, sizeof(ascending)), 0x46DD794Eu);
+
+  unsigned char descending[32];
+  for (int i = 0; i < 32; ++i) {
+    descending[i] = static_cast<unsigned char>(31 - i);
+  }
+  EXPECT_EQ(Crc32c(descending, sizeof(descending)), 0x113FDB5Cu);
+
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32c(std::string_view{}), 0u);
+}
+
+TEST(Crc32cTest, SoftwarePathMatchesKnownVectors) {
+  using crc32c_internal::Crc32cSoftware;
+  EXPECT_EQ(Crc32cSoftware("123456789", 9), 0xE3069283u);
+  unsigned char zeros[32];
+  std::memset(zeros, 0x00, sizeof(zeros));
+  EXPECT_EQ(Crc32cSoftware(zeros, sizeof(zeros)), 0x8A9136AAu);
+}
+
+// The dispatched path (hardware when the CPU has it) must agree with the
+// portable table path on random buffers of every small length and at every
+// alignment within a word — hardware implementations handle the unaligned
+// head/tail bytes with byte-width instructions, and that is exactly where
+// an off-by-one would hide.
+TEST(Crc32cTest, HardwareAndSoftwareAgreeOnRandomBuffers) {
+  using crc32c_internal::Crc32cSoftware;
+  std::mt19937_64 rng(0xc5c5c5c5ull);
+  std::vector<unsigned char> buf(4096 + 64);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng());
+
+  // Every length 0..256 at every alignment 0..15.
+  for (size_t align = 0; align < 16; ++align) {
+    for (size_t len = 0; len <= 256; ++len) {
+      const void* p = buf.data() + align;
+      ASSERT_EQ(Crc32c(p, len), Crc32cSoftware(p, len))
+          << "align " << align << " len " << len;
+    }
+  }
+
+  // Larger random (offset, length) slices.
+  for (int trial = 0; trial < 1000; ++trial) {
+    size_t off = rng() % 64;
+    size_t len = rng() % 4096;
+    const void* p = buf.data() + off;
+    ASSERT_EQ(Crc32c(p, len), Crc32cSoftware(p, len))
+        << "off " << off << " len " << len;
+  }
+}
+
+TEST(Crc32cTest, ReportsDispatchPath) {
+  // Purely informational (the cross-check above is the real assertion),
+  // but exercising the probe ensures it does not crash on any machine.
+  const bool hw = crc32c_internal::HaveHardwareCrc32c();
+  SUCCEED() << "hardware crc32c: " << (hw ? "yes" : "no");
+}
+
+}  // namespace
+}  // namespace cqa

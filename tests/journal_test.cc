@@ -16,12 +16,16 @@
 
 #include <stdlib.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -355,6 +359,203 @@ TEST(JournalChaosTest, TornAppendLeavesARecoverablePrefix) {
   JournalReplay after = ParseJournalBytes(ReadFileBytes(path));
   ASSERT_EQ(after.records.size(), 2u);
   EXPECT_EQ(after.records[1].delta.id, "b");
+}
+
+// ---------------------------------------------------------------------------
+// Group fsync
+
+// Concurrent appliers under kGroup share fsyncs: with enough overlap the
+// number of fsyncs is strictly smaller than the number of acked deltas,
+// and every ack still implies a covering fsync ran first.
+TEST(JournalGroupFsyncTest, ConcurrentAcksShareFsyncs) {
+  TempDir dir;
+  const std::string path = dir.path + "/group.journal";
+  JournalOptions group;
+  group.fsync = FsyncPolicy::kGroup;
+  group.group_max_delay = std::chrono::milliseconds(20);
+  group.group_max_batch = 64;
+  Result<std::unique_ptr<DeltaJournal>> journal =
+      DeltaJournal::Open(path, group);
+  ASSERT_TRUE(journal.ok()) << journal.error();
+  Database base = DbVal(kBase);
+  DbFingerprint fp = FingerprintDatabase(base);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::mutex append_mu;  // stands in for the shard's delta lock
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t seq = 0;
+        {
+          std::lock_guard<std::mutex> lock(append_mu);
+          std::string id = "t" + std::to_string(t) + "-" + std::to_string(i);
+          Result<bool> appended = (*journal)->Append(
+              Delta(id, {Ins("T", {id, "v"})}), fp, /*epoch=*/1);
+          if (!appended.ok()) {
+            ++failures;
+            return;
+          }
+          seq = (*journal)->appends();
+        }
+        // Ack gate, outside the lock: this is where batching happens.
+        if (!(*journal)->WaitDurable(seq).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_EQ((*journal)->appends(), uint64_t{kThreads * kPerThread});
+  EXPECT_GE((*journal)->fsyncs(), 1u);
+  // A fully serialized schedule (one CPU, unlucky scheduler) can pay one
+  // fsync per ack, so the hard bound is <=; BurstThenFlushSharesOneFsync
+  // below asserts the amortization deterministically.
+  EXPECT_LE((*journal)->fsyncs(), uint64_t{kThreads * kPerThread});
+  // Everything acked is durable.
+  EXPECT_EQ((*journal)->durable_bytes(), (*journal)->bytes_written());
+  JournalReplay replay = ParseJournalBytes(ReadFileBytes(path));
+  EXPECT_EQ(replay.records.size(), size_t{kThreads * kPerThread});
+  EXPECT_FALSE(replay.truncated_tail);
+}
+
+// Deterministic fsync amortization: a burst of appends with no durability
+// waiter stays in the batch window, and the single flush barrier at the
+// end covers the whole burst with (essentially) one fsync. The batcher
+// flushes early only when a waiter is registered AND no new append
+// arrived since the last wakeup, so an ack-less burst coalesces fully.
+TEST(JournalGroupFsyncTest, BurstThenFlushSharesOneFsync) {
+  TempDir dir;
+  const std::string path = dir.path + "/burst.journal";
+  JournalOptions group;
+  group.fsync = FsyncPolicy::kGroup;
+  group.group_max_delay = std::chrono::milliseconds(200);
+  group.group_max_batch = 64;
+  Result<std::unique_ptr<DeltaJournal>> journal =
+      DeltaJournal::Open(path, group);
+  ASSERT_TRUE(journal.ok()) << journal.error();
+  Database base = DbVal(kBase);
+  DbFingerprint fp = FingerprintDatabase(base);
+  constexpr int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) {
+    std::string id = "b" + std::to_string(i);
+    ASSERT_TRUE(
+        (*journal)->Append(Delta(id, {Ins("T", {id, "v"})}), fp, 1).ok());
+  }
+  ASSERT_TRUE((*journal)->FlushDurable().ok());
+  EXPECT_EQ((*journal)->appends(), uint64_t{kBurst});
+  EXPECT_EQ((*journal)->durable_bytes(), (*journal)->bytes_written());
+  // One covering fsync in the common case; a scheduler stall longer than
+  // the 200ms window could split the burst, so allow a little slack.
+  EXPECT_LE((*journal)->fsyncs(), 4u)
+      << "an ack-less burst should coalesce into ~one fsync";
+}
+
+// The power-loss differential for group mode: truncate the file to
+// `durable_bytes()` (what stable storage is guaranteed to hold) and check
+// every *acked* record survives. Unacked appends past the durable mark may
+// die — that is the documented trade — but they were never acknowledged.
+TEST(JournalGroupFsyncTest, AckedRecordsSurviveTruncationToDurableBytes) {
+  TempDir dir;
+  const std::string path = dir.path + "/powerloss.journal";
+  Database base = DbVal(kBase);
+  DbFingerprint fp = FingerprintDatabase(base);
+  std::vector<std::string> acked_ids;
+  uint64_t durable_mark = 0;
+  {
+    JournalOptions group;
+    group.fsync = FsyncPolicy::kGroup;
+    group.group_max_delay = std::chrono::milliseconds(1);
+    Result<std::unique_ptr<DeltaJournal>> journal =
+        DeltaJournal::Open(path, group);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 10; ++i) {
+      std::string id = "g" + std::to_string(i);
+      ASSERT_TRUE(
+          (*journal)->Append(Delta(id, {Ins("T", {id, "v"})}), fp, 1).ok());
+      ASSERT_TRUE((*journal)->WaitDurable((*journal)->appends()).ok());
+      acked_ids.push_back(id);
+    }
+    durable_mark = (*journal)->durable_bytes();
+    // One more append, NOT waited on: possibly lost, never acked.
+    ASSERT_TRUE(
+        (*journal)->Append(Delta("unacked", {Ins("T", {"u", "v"})}), fp, 1)
+            .ok());
+  }
+  // Simulate power loss: only the durable prefix reaches the platter.
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GE(bytes.size(), durable_mark);
+  WriteFileBytes(path, bytes.substr(0, durable_mark));
+
+  Result<JournalReplay> replay = ReplayJournalFile(path, true);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_GE(replay->records.size(), acked_ids.size());
+  for (size_t i = 0; i < acked_ids.size(); ++i) {
+    EXPECT_EQ(replay->records[i].delta.id, acked_ids[i]);
+  }
+}
+
+// A failed batched fsync is sticky: the waiter gets kInternal (the delta
+// must not be acked) and the journal poisons further appends — better a
+// loud failure than an unbounded unsynced tail silently growing.
+TEST(JournalGroupFsyncTest, FailedGroupFsyncIsStickyAndRefusesAcks) {
+  TempDir dir;
+  JournalOptions chaos;
+  chaos.fsync = FsyncPolicy::kGroup;
+  chaos.group_max_delay = std::chrono::milliseconds(1);
+  chaos.fail_after_fsyncs = 1;
+  Result<std::unique_ptr<DeltaJournal>> journal =
+      DeltaJournal::Open(dir.path + "/sticky.journal", chaos);
+  ASSERT_TRUE(journal.ok());
+  Database base = DbVal(kBase);
+  DbFingerprint fp = FingerprintDatabase(base);
+
+  ASSERT_TRUE(
+      (*journal)->Append(Delta("ok", {Ins("T", {"a", "b"})}), fp, 1).ok());
+  ASSERT_TRUE((*journal)->WaitDurable((*journal)->appends()).ok());
+
+  ASSERT_TRUE(
+      (*journal)->Append(Delta("doomed", {Ins("T", {"c", "d"})}), fp, 2).ok());
+  Result<bool> wait = (*journal)->WaitDurable((*journal)->appends());
+  ASSERT_FALSE(wait.ok()) << "acked a record whose fsync failed";
+  EXPECT_EQ(wait.code(), ErrorCode::kInternal);
+
+  // Sticky: later appends are refused outright.
+  Result<bool> later =
+      (*journal)->Append(Delta("later", {Ins("T", {"e", "f"})}), fp, 3);
+  EXPECT_FALSE(later.ok());
+}
+
+// Reset (compaction) truncates bytes but never the sequence domain: a
+// WaitDurable captured before a concurrent Reset still completes.
+TEST(JournalGroupFsyncTest, ResetDoesNotStrandDurabilityWaiters) {
+  TempDir dir;
+  JournalOptions group;
+  group.fsync = FsyncPolicy::kGroup;
+  group.group_max_delay = std::chrono::milliseconds(1);
+  Result<std::unique_ptr<DeltaJournal>> journal =
+      DeltaJournal::Open(dir.path + "/reset.journal", group);
+  ASSERT_TRUE(journal.ok());
+  Database base = DbVal(kBase);
+  DbFingerprint fp = FingerprintDatabase(base);
+
+  ASSERT_TRUE(
+      (*journal)->Append(Delta("a", {Ins("T", {"1", "2"})}), fp, 1).ok());
+  const uint64_t seq = (*journal)->appends();
+  ASSERT_TRUE((*journal)->FlushDurable().ok());
+  ASSERT_TRUE((*journal)->Reset().ok());
+  EXPECT_EQ((*journal)->bytes_written(), 0u);
+  // The pre-compaction sequence is still (vacuously) durable.
+  EXPECT_TRUE((*journal)->WaitDurable(seq).ok());
+  // And the journal keeps accepting appends from a record boundary.
+  ASSERT_TRUE(
+      (*journal)->Append(Delta("b", {Ins("T", {"3", "4"})}), fp, 2).ok());
+  EXPECT_TRUE((*journal)->WaitDurable((*journal)->appends()).ok());
+  JournalReplay replay =
+      ParseJournalBytes(ReadFileBytes(dir.path + "/reset.journal"));
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].delta.id, "b");
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@
 #   tools/ci.sh multidb    # just the multidb smoke (needs a tier-1 build)
 #   tools/ci.sh sandbox    # just the sandbox smoke (needs a tier-1 build)
 #   tools/ci.sh recovery   # just the recovery smoke (needs a tier-1 build)
+#   tools/ci.sh failover   # just the failover smoke (needs a tier-1 build)
 #
 # The recovery smoke drives the live-update durability contract: a daemon
 # with a write-ahead delta journal takes a stream of apply_delta frames,
@@ -29,12 +30,17 @@
 # restarted over the same base snapshot. Every delta acked before the kill
 # must re-ack idempotently after recovery, and the recovered state must be
 # fingerprint- and verdict-identical to a clean application of the same
-# deltas to a fresh daemon.
+# deltas to a fresh daemon. The failover smoke extends that to the
+# replication layer: a warm-standby follower (`--follow`) bootstraps from
+# a group-fsync primary, the primary is SIGKILLed mid-stream, the follower
+# is promoted, and every delta the dead primary acked must be accepted (or
+# re-acked) by the promoted daemon, converging to fingerprint and verdict
+# parity with a clean application.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb sandbox recovery)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb sandbox recovery failover)
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -413,6 +419,145 @@ recovery_smoke() {
        "torn tail; fingerprint $fp_recovered matches clean application)"
 }
 
+# Failover smoke against the tier-1 build: warm-standby replication. A
+# primary with a group-fsync journal feeds a follower over the replication
+# stream; the primary is SIGKILLed mid-stream of acked deltas; the follower
+# is promoted and must (a) re-ack or freshly apply every delta the dead
+# primary acked — never refuse one — and (b) converge to fingerprint and
+# verdict parity with a clean application of the full delta set.
+failover_smoke() {
+  local cli=build/tools/cqa_cli
+  [ -x "$cli" ] || { echo "failover smoke needs a tier-1 build ($cli)"; exit 2; }
+  local work; work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+  printf 'R(a | b), R(a | c)\nS(b | a)\nT(t0 | u0)\n' > "$work/facts"
+  printf 'R(x | y), not S(y | x)\n' > "$work/job"
+  printf -- '-S(b, a)\n+R(d | e)\n' > "$work/delta1"
+  local i
+  for i in $(seq 2 8); do
+    printf -- '+T(t%d | u%d)\n' "$i" "$i" > "$work/delta$i"
+  done
+
+  start_daemon() {
+    local log="$1"; shift
+    "$cli" serve "$@" > "$log" 2>&1 &
+    echo $! > "$log.pid"
+    local addr=""
+    for _ in $(seq 1 100); do
+      addr=$(sed -n 's/^listening on //p' "$log")
+      [ -n "$addr" ] && break
+      kill -0 "$(cat "$log.pid")" 2>/dev/null || break
+      sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+      echo "daemon never reported its address" >&2; cat "$log" >&2; exit 1
+    fi
+    echo "$addr" > "$log.addr"
+  }
+
+  echo "==== [failover] start primary (group fsync) and follower"
+  start_daemon "$work/primary.log" "$work/facts" --listen=127.0.0.1:0 \
+      --workers=2 --journal-dir="$work/pjournal" --journal-fsync=group
+  local paddr; paddr=$(cat "$work/primary.log.addr")
+  local primary_pid; primary_pid=$(cat "$work/primary.log.pid")
+  start_daemon "$work/follower.log" --listen=127.0.0.1:0 --workers=2 \
+      --journal-dir="$work/fjournal" --journal-fsync=group --follow="$paddr"
+  local faddr; faddr=$(cat "$work/follower.log.addr")
+  local follower_pid; follower_pid=$(cat "$work/follower.log.pid")
+
+  echo "==== [failover] wait for the replication bootstrap"
+  local bootstrapped=""
+  for _ in $(seq 1 100); do
+    if "$cli" admin "$faddr" list 2>/dev/null | grep -q '"default"'; then
+      bootstrapped=yes; break
+    fi
+    sleep 0.1
+  done
+  [ -n "$bootstrapped" ] || {
+    echo "follower never bootstrapped"; cat "$work/follower.log"; exit 1
+  }
+  "$cli" client "$faddr" --jobs="$work/job" | grep -q '^\[1\] not-certain'
+
+  echo "==== [failover] follower refuses writes while following"
+  if "$cli" admin "$faddr" apply default "$work/delta1" --delta-id=refused \
+      > "$work/refused.out" 2>&1; then
+    echo "follower accepted a write before promotion"; exit 1
+  fi
+  grep -q 'read-only' "$work/refused.out" || {
+    echo "expected a typed read-only refusal"; cat "$work/refused.out"; exit 1
+  }
+
+  echo "==== [failover] SIGKILL primary mid-stream of acked deltas"
+  ( for i in $(seq 1 8); do
+      "$cli" admin "$paddr" apply default "$work/delta$i" --delta-id="d$i" \
+        >> "$work/acks.out" 2>/dev/null || break
+      sleep 0.05
+    done ) &
+  local stream_pid=$!
+  sleep 0.2
+  kill -9 "$primary_pid"
+  wait "$stream_pid" 2>/dev/null || true
+  wait "$primary_pid" 2>/dev/null || true
+  local acked
+  acked=$(grep -c '"type":"delta_ack"' "$work/acks.out" || true)
+  echo "==== [failover] $acked deltas acked before the kill"
+
+  echo "==== [failover] promote the follower"
+  "$cli" admin "$faddr" promote > "$work/promote.out"
+  grep -q '"type":"promote_ack"' "$work/promote.out" || {
+    echo "promote failed"; cat "$work/promote.out"; exit 1
+  }
+  grep -q '"was_follower":true' "$work/promote.out" || {
+    echo "daemon claims it was never a follower"; cat "$work/promote.out"
+    exit 1
+  }
+
+  echo "==== [failover] no acked delta is refused by the promoted daemon"
+  for i in $(seq 1 "$acked"); do
+    "$cli" admin "$faddr" apply default "$work/delta$i" --delta-id="d$i" \
+        > "$work/reack$i.out" || {
+      echo "acked delta d$i was refused after failover"; cat "$work/reack$i.out"
+      exit 1
+    }
+    grep -q '"type":"delta_ack"' "$work/reack$i.out" || {
+      echo "acked delta d$i did not re-ack"; cat "$work/reack$i.out"; exit 1
+    }
+  done
+
+  echo "==== [failover] converge on the full set and check parity"
+  start_daemon "$work/clean.log" "$work/facts" --listen=127.0.0.1:0 --workers=2
+  local clean_addr; clean_addr=$(cat "$work/clean.log.addr")
+  local clean_pid; clean_pid=$(cat "$work/clean.log.pid")
+  for i in $(seq 1 8); do
+    "$cli" admin "$faddr" apply default "$work/delta$i" --delta-id="d$i" \
+        > /dev/null
+    "$cli" admin "$clean_addr" apply default "$work/delta$i" \
+        --delta-id="d$i" > /dev/null
+  done
+  local fp_failover fp_clean
+  fp_failover=$("$cli" admin "$faddr" list \
+      | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')
+  fp_clean=$("$cli" admin "$clean_addr" list \
+      | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')
+  if [ -z "$fp_failover" ] || [ "$fp_failover" != "$fp_clean" ]; then
+    echo "failover fingerprint '$fp_failover' != clean '$fp_clean'"
+    exit 1
+  fi
+  "$cli" client "$faddr" --jobs="$work/job" | grep -q '^\[1\] certain'
+  "$cli" client "$clean_addr" --jobs="$work/job" | grep -q '^\[1\] certain'
+
+  echo "==== [failover] SIGTERM drains the promoted daemon"
+  kill -TERM "$follower_pid" "$clean_pid"
+  local rc=0
+  wait "$follower_pid" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "promoted daemon exited $rc"; exit 1; }
+  rc=0
+  wait "$clean_pid" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "clean daemon exited $rc"; exit 1; }
+  echo "==== [failover] OK ($acked acked deltas survived the primary's" \
+       "death; fingerprint $fp_failover matches clean application)"
+}
+
 for stage in "${stages[@]}"; do
   case "$stage" in
     tier1) run_stage tier1 default default default ;;
@@ -423,8 +568,10 @@ for stage in "${stages[@]}"; do
     multidb) multidb_smoke ;;
     sandbox) sandbox_smoke ;;
     recovery) recovery_smoke ;;
+    failover) failover_smoke ;;
     *) echo "unknown stage '$stage'" \
-            "(want: tier1 asan tsan daemon cache multidb sandbox recovery)" >&2
+            "(want: tier1 asan tsan daemon cache multidb sandbox recovery" \
+            "failover)" >&2
        exit 2 ;;
   esac
 done

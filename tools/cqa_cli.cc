@@ -26,7 +26,11 @@
 //                    [--cache-entries=E] [--no-cache]
 //                    [--isolation=auto|inproc|fork] [--max-rss-mb=M]
 //                    [--kill-grace-ms=G]
-//                    [--journal-dir=PATH] [--journal-fsync=always|never]
+//                    [--journal-dir=PATH]
+//                    [--journal-fsync=always|group|never]
+//                    [--group-fsync-delay-ms=D] [--group-fsync-batch=B]
+//                    [--snapshot-every-deltas=K] [--snapshot-every-bytes=J]
+//                    [--delta-id-window=W] [--follow=HOST:PORT]
 //   cqa_cli client   HOST:PORT [--jobs=FILE] [--db=NAME] [--timeout-ms=T]
 //                    [--max-nodes=K] [--method=...] [--cache=default|bypass]
 //                    [--isolation=auto|inproc|fork] [--wedge-after=N]
@@ -35,6 +39,8 @@
 //   cqa_cli admin    HOST:PORT detach NAME
 //   cqa_cli admin    HOST:PORT list
 //   cqa_cli admin    HOST:PORT apply NAME DELTA_PATH [--delta-id=ID]
+//   cqa_cli admin    HOST:PORT snapshot [NAME]
+//   cqa_cli admin    HOST:PORT promote
 //
 // Exit codes: 0 certain / probably certain / success; 1 parse or input
 // error; 2 usage; 3 resource budget exhausted; 4 cancelled; 5 not certain
@@ -63,10 +69,18 @@
 //
 // `serve --listen` with `--journal-dir=PATH` makes every attached database
 // live-updatable with durability: `admin apply` deltas are journaled (and
-// fsynced, unless `--journal-fsync=never`) before they are acknowledged,
-// and a restarted daemon replays `<journal-dir>/<name>.journal` over the
-// base facts file — recovering exactly the acknowledged deltas, truncating
-// any torn tail a crash left behind. The delta file of `admin apply` holds
+// fsynced, unless `--journal-fsync=never`; `group` batches concurrent
+// appends into one fsync, bounded by `--group-fsync-delay-ms` /
+// `--group-fsync-batch`) before they are acknowledged, and a restarted
+// daemon replays `<journal-dir>/<name>.journal` over the base facts file —
+// recovering exactly the acknowledged deltas, truncating any torn tail a
+// crash left behind. `--snapshot-every-deltas` / `--snapshot-every-bytes`
+// compact automatically (`admin snapshot [NAME]` does it on demand):
+// recovery then loads `<journal-dir>/<name>.snapshot` and replays only the
+// journal tail, making restart time proportional to the tail, not history.
+// `--follow=HOST:PORT` runs the daemon as a read-only warm standby of the
+// primary at that address (writes get a typed `read-only` error); `admin
+// promote` stops the replication stream and makes it writable. The delta file of `admin apply` holds
 // one op per line: `+R(a, b)` inserts, `-R(a, b)` deletes (`|` also
 // separates values; `--` comments and blank lines are skipped). Retrying
 // the same delta id is safe — the daemon acks idempotently.
@@ -487,7 +501,9 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
     }
     db_specs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
   }
-  if (db_specs.empty()) {
+  // A follower may start empty: its databases arrive from the primary's
+  // replication stream.
+  if (db_specs.empty() && !FlagGiven(argc, argv, "--follow")) {
     return Fail(
         "serve --listen needs a database: a positional path or --db=NAME=PATH");
   }
@@ -502,7 +518,9 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
       {"--max-inflight", 16},    {"--idle-timeout-ms", 300'000},
       {"--cache-entries", 4'096}, {"--shard-workers", 4},
       {"--detach-drain-ms", 5'000}, {"--max-rss-mb", 0},
-      {"--kill-grace-ms", 500},
+      {"--kill-grace-ms", 500},     {"--snapshot-every-deltas", 0},
+      {"--snapshot-every-bytes", 0}, {"--delta-id-window", 4'096},
+      {"--group-fsync-delay-ms", 5}, {"--group-fsync-batch", 64},
   };
   for (auto& flag : flags) {
     if (FlagGiven(argc, argv, flag.name) &&
@@ -557,11 +575,27 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
   if (!journal_fsync.empty()) {
     if (journal_fsync == "always") {
       dopts.journal.fsync = FsyncPolicy::kAlways;
+    } else if (journal_fsync == "group") {
+      dopts.journal.fsync = FsyncPolicy::kGroup;
     } else if (journal_fsync == "never") {
       dopts.journal.fsync = FsyncPolicy::kNever;
     } else {
-      return Fail("--journal-fsync must be 'always' or 'never'");
+      return Fail("--journal-fsync must be 'always', 'group' or 'never'");
     }
+  }
+  dopts.journal.group_max_delay = std::chrono::milliseconds(flags[16].value);
+  dopts.journal.group_max_batch = flags[17].value;
+  // Compaction: snapshot every N acked deltas / J journal bytes (0 = only
+  // on `admin snapshot`); the idempotency window rides along in snapshots.
+  dopts.snapshot.every_deltas = flags[13].value;
+  dopts.snapshot.every_journal_bytes = flags[14].value;
+  dopts.delta_id_window = flags[15].value;
+  // Warm standby: --follow=HOST:PORT starts this daemon read-only,
+  // streaming the primary's databases; `admin promote` flips it writable.
+  std::string follow = FlagValue(argc, argv, "--follow");
+  if (!follow.empty() &&
+      !ParseHostPort(follow, &dopts.follow_host, &dopts.follow_port)) {
+    return Fail("malformed --follow address '" + follow + "'");
   }
 
   // Install the latch before accepting work so a signal arriving during
@@ -809,7 +843,9 @@ Result<std::vector<DeltaOp>> ParseDeltaLines(const std::string& text) {
 
 int CmdAdmin(int argc, char** argv) {
   if (argc < 4) {
-    return Fail("admin needs HOST:PORT and a verb (attach|detach|apply|list)");
+    return Fail(
+        "admin needs HOST:PORT and a verb "
+        "(attach|detach|apply|list|snapshot|promote)");
   }
   std::string host;
   uint16_t port = 0;
@@ -879,9 +915,18 @@ int CmdAdmin(int argc, char** argv) {
     req.Set("delta_id", delta_id).Set("ops", EncodeDeltaOps(ops.value()));
   } else if (verb == "list") {
     req.Set("type", "list");
+  } else if (verb == "snapshot") {
+    // Snapshot + compact one database (NAME given) or the default one.
+    req.Set("type", "snapshot");
+    if (argc >= 5 && std::strncmp(argv[4], "--", 2) != 0) {
+      req.Set("db", argv[4]);
+    }
+  } else if (verb == "promote") {
+    // Failover: flip a --follow standby into a writable primary.
+    req.Set("type", "promote");
   } else {
     return Fail("unknown admin verb '" + verb +
-                "' (want attach|detach|apply|list)");
+                "' (want attach|detach|apply|list|snapshot|promote)");
   }
 
   // A detach ack only arrives after its shard drained, so the read budget
