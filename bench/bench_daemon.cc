@@ -36,6 +36,15 @@
 //       back from a stuck coNP solve — a cooperative budget deadline vs
 //       the supervisor's SIGKILL on a wedged child that never reaches its
 //       next probe.
+//   D8. Component-parallel speedup vs component count: one adversarial
+//       database made of C value-disjoint components — C-1 "chaff"
+//       components whose every repair falsifies the query (each multiplies
+//       the sequential backtracking search) plus one certain pigeonhole
+//       core — solved over the wire at `"parallelism":1` vs `8`. The
+//       decomposed solve runs components concurrently and the certain
+//       core's TRUE short-circuits the disjunction, so the parallel side
+//       pays ~one core proof while the sequential side pays the full
+//       product search. Verdicts are parity-checked on every row.
 //
 // The micro-benchmark times a single socket round trip through the daemon.
 
@@ -741,6 +750,120 @@ void TableDurability() {
   std::printf("\n");
 }
 
+// The D8 instance: C value-disjoint components under PigeonholeCyclicQuery
+// "R(x | y), not S(y | x), not T(x | y)". Components c = 0..C-2 are chaff —
+// an R-block {R(ca|cb1), R(ca|cb2)} whose S mirrors are present, so *every*
+// repair of the component falsifies the query, two ways; each chaff
+// component multiplies the falsifying combinations a sequential
+// backtracking proof must exhaust. The last component is a certain
+// pigeonhole core: the whole database is CERTAINTY-true via that one
+// component, which a decomposed solve discovers after ~one core proof.
+// Values get a per-C prefix and the chaff is added (interned) before the
+// core: the backtracking engine's key-major block order follows interner
+// ids, so this pins the chaff blocks ahead of the core in the sequential
+// search — the adversarial ordering — independent of what earlier tables
+// happened to intern.
+Database AdversarialComponents(int copies, int core_k) {
+  std::string p = "d8c" + std::to_string(copies) + "_";
+  Schema schema;
+  schema.AddRelationOrDie("R", 2, 1);
+  schema.AddRelationOrDie("S", 2, 1);
+  schema.AddRelationOrDie("T", 2, 1);
+  Database db(std::move(schema));
+  for (int c = 0; c + 1 < copies; ++c) {
+    Value a = Value::Of(p + "ca" + std::to_string(c));
+    for (int j = 1; j <= 2; ++j) {
+      Value b =
+          Value::Of(p + "cb" + std::to_string(j) + "x" + std::to_string(c));
+      db.AddFactOrDie("R", {a, b});
+      db.AddFactOrDie("S", {b, a});
+    }
+  }
+  for (int i = 1; i <= core_k; ++i) {
+    Value a = Value::Of(p + "a" + std::to_string(i));
+    for (int j = 1; j < core_k; ++j) {
+      Value b = Value::Of(p + "b" + std::to_string(j));
+      db.AddFactOrDie("R", {a, b});
+      db.AddFactOrDie("S", {b, a});
+    }
+  }
+  return db;
+}
+
+void TableComponentParallel() {
+  std::printf(
+      "D8. component-parallel speedup vs component count: C-1 chaff "
+      "components + one\n    certain pigeonhole core (k=6), "
+      "backtracking over the wire, parallelism 1 vs 8.\n    Verdicts "
+      "parity-checked per row; sequential cost grows with the chaff\n"
+      "    product, parallel cost stays ~one core proof:\n");
+  std::printf("%-6s %-12s %-12s %-9s %-12s %-8s %-8s\n", "C", "seq_ms",
+              "par8_ms(p50)", "speedup", "verdicts", "comps", "steals");
+  const std::string query = "R(x | y), not S(y | x), not T(x | y)";
+  const milliseconds kSlowIo{180'000};  // the C=8 sequential proof is slow
+  DaemonOptions options;
+  options.service.workers = 2;
+  SolveDaemon daemon(options);
+  if (!daemon.Start().ok()) return;
+  for (int copies : {1, 2, 4, 8}) {
+    std::string name = "c" + std::to_string(copies);
+    if (!daemon
+             .Attach(name, std::make_shared<const Database>(
+                               AdversarialComponents(copies, 6)))
+             .ok()) {
+      break;
+    }
+  }
+  NetClient client;
+  if (!client.Connect("127.0.0.1", daemon.port(), kIo).ok()) return;
+  uint64_t id = 0;
+  auto solve_ms = [&](const char* db, int parallelism, std::string* verdict,
+                      uint64_t* comps, uint64_t* steals) -> double {
+    JsonObjectBuilder b;
+    b.Set("type", "solve").Set("id", ++id).Set("query", query).Set("db", db)
+        .Set("method", "backtracking")
+        .Set("parallelism", static_cast<int64_t>(parallelism));
+    Result<WireResponse> r = Result<WireResponse>::Error(ErrorCode::kInternal, "");
+    double ms = benchutil::TimeUs([&] {
+                  if (!client.SendFrame(b.Build().Serialize(), kIo).ok()) return;
+                  r = client.WaitTerminal(id, kSlowIo);
+                }) /
+                1e3;
+    if (!r.ok() || r->type != "result") return -1;
+    *verdict = r->verdict;
+    if (const Json* v = r->raw.Find("components")) {
+      *comps = static_cast<uint64_t>(v->AsDouble());
+    }
+    if (const Json* v = r->raw.Find("steals")) {
+      *steals = static_cast<uint64_t>(v->AsDouble());
+    }
+    return ms;
+  };
+  for (int copies : {1, 2, 4, 8}) {
+    std::string name = "c" + std::to_string(copies);
+    std::string seq_verdict, par_verdict;
+    uint64_t comps = 0, steals = 0, ignored = 0;
+    double seq_ms =
+        solve_ms(name.c_str(), 1, &seq_verdict, &ignored, &ignored);
+    std::vector<double> par_runs;
+    for (int rep = 0; rep < 3; ++rep) {
+      par_runs.push_back(
+          solve_ms(name.c_str(), 8, &par_verdict, &comps, &steals));
+    }
+    std::sort(par_runs.begin(), par_runs.end());
+    double par_ms = par_runs[par_runs.size() / 2];
+    if (seq_ms < 0 || par_ms < 0) break;
+    bool parity = seq_verdict == par_verdict;
+    std::printf("%-6d %-12.1f %-12.1f %-9.1f %-12s %-8llu %-8llu\n", copies,
+                seq_ms, par_ms, par_ms > 0 ? seq_ms / par_ms : 0.0,
+                parity ? seq_verdict.c_str() : "MISMATCH",
+                static_cast<unsigned long long>(comps),
+                static_cast<unsigned long long>(steals));
+  }
+  (void)daemon.Shutdown(milliseconds(5'000));
+  std::printf("\n");
+}
+
 void Tables() {
   TableRoundTrip();
   TableOverloadShedRate();
@@ -749,6 +872,7 @@ void Tables() {
   TableSandboxOverhead();
   TableLiveUpdate();
   TableDurability();
+  TableComponentParallel();
 }
 
 void BM_DaemonRoundTrip(benchmark::State& state) {

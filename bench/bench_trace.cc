@@ -1,0 +1,414 @@
+// Open-loop trace-replay load generator for the solve daemon.
+//
+// Two modes:
+//
+//   bench_trace --record=FILE [--seed=N] [--requests=N] [--tenants=N]
+//               [--queries=N] [--rate=RPS] [--pigeonhole-every=N]
+//               [--pigeonhole-k=N]
+//     Generates a deterministic trace (trace_gen.h) and writes it to FILE.
+//     The same seed always produces the byte-identical file — tools/ci.sh
+//     records twice and `cmp`s.
+//
+//   bench_trace --replay=FILE [--parallelism=N] [--transcript=FILE]
+//               [--workers=N] [--queue-cap=N] [--max-inflight=N]
+//               [--timeout-ms=N] [--drain-ms=N] [--speed=X]
+//               [--connect=HOST:PORT]
+//     Replays the trace open-loop: requests are fired at their recorded
+//     arrival timestamps (scaled by --speed) regardless of completions, so
+//     overload sheds are reachable and measured rather than masked by
+//     closed-loop self-throttling. By default an in-process SolveDaemon is
+//     started and the databases are attached over the wire (the full
+//     protocol path); --connect replays against an already-running daemon
+//     instead. Reports client-observed p50/p99/p999 latency, shed rate and
+//     a CRC32C fingerprint of the sorted verdict transcript — two replays
+//     of the same trace that print the same fingerprint answered every
+//     request identically, which is how the CI parity smoke compares
+//     --parallelism=1 against --parallelism=8.
+//
+// Exit code: 0 on success, 1 on usage/IO/protocol errors, 2 when a replay
+// lost requests (no terminal frame within the drain window).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cqa/base/crc32c.h"
+#include "cqa/serve/net/client.h"
+#include "cqa/serve/net/daemon.h"
+#include "cqa/serve/net/json.h"
+#include "cqa/serve/net/protocol.h"
+#include "trace_gen.h"
+
+namespace cqa {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using tracegen::Trace;
+
+constexpr milliseconds kIo{10'000};
+
+struct Args {
+  std::string record;
+  std::string replay;
+  std::string transcript;
+  std::string connect;
+  uint64_t seed = 42;
+  int requests = 200;
+  int tenants = 3;
+  int queries = 4;
+  double rate = 2'000.0;
+  int pigeonhole_every = 16;
+  int pigeonhole_k = 4;
+  int parallelism = 0;  // 0 = daemon default
+  int workers = 4;
+  int queue_cap = 1024;
+  int max_inflight = 4096;
+  int timeout_ms = 0;  // 0 = none
+  int drain_ms = 120'000;
+  double speed = 1.0;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto eat = [&](const char* flag, std::string* dst) {
+      std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *dst = arg.substr(prefix.size());
+      return true;
+    };
+    std::string v;
+    if (eat("--record", &out->record) || eat("--replay", &out->replay) ||
+        eat("--transcript", &out->transcript) ||
+        eat("--connect", &out->connect)) {
+      continue;
+    }
+    if (eat("--seed", &v)) {
+      out->seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (eat("--requests", &v)) {
+      out->requests = std::atoi(v.c_str());
+    } else if (eat("--tenants", &v)) {
+      out->tenants = std::atoi(v.c_str());
+    } else if (eat("--queries", &v)) {
+      out->queries = std::atoi(v.c_str());
+    } else if (eat("--rate", &v)) {
+      out->rate = std::atof(v.c_str());
+    } else if (eat("--pigeonhole-every", &v)) {
+      out->pigeonhole_every = std::atoi(v.c_str());
+    } else if (eat("--pigeonhole-k", &v)) {
+      out->pigeonhole_k = std::atoi(v.c_str());
+    } else if (eat("--parallelism", &v)) {
+      out->parallelism = std::atoi(v.c_str());
+    } else if (eat("--workers", &v)) {
+      out->workers = std::atoi(v.c_str());
+    } else if (eat("--queue-cap", &v)) {
+      out->queue_cap = std::atoi(v.c_str());
+    } else if (eat("--max-inflight", &v)) {
+      out->max_inflight = std::atoi(v.c_str());
+    } else if (eat("--timeout-ms", &v)) {
+      out->timeout_ms = std::atoi(v.c_str());
+    } else if (eat("--drain-ms", &v)) {
+      out->drain_ms = std::atoi(v.c_str());
+    } else if (eat("--speed", &v)) {
+      out->speed = std::atof(v.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (out->record.empty() == out->replay.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_trace --record=FILE [gen flags] |"
+                 " --replay=FILE [replay flags]\n");
+    return false;
+  }
+  return true;
+}
+
+int Record(const Args& args) {
+  tracegen::TraceGenOptions gen;
+  gen.seed = args.seed;
+  gen.tenants = args.tenants;
+  gen.queries_per_tenant = args.queries;
+  gen.requests = args.requests;
+  gen.rate_rps = args.rate;
+  gen.pigeonhole_every = args.pigeonhole_every;
+  gen.pigeonhole_k = args.pigeonhole_k;
+  Trace trace = tracegen::GenerateTrace(gen);
+  std::string text = tracegen::SerializeTrace(trace);
+  std::ofstream f(args.record, std::ios::binary | std::ios::trunc);
+  if (!f || !(f << text)) {
+    std::fprintf(stderr, "cannot write %s\n", args.record.c_str());
+    return 1;
+  }
+  std::printf("recorded %zu requests over %zu databases to %s (seed %llu, "
+              "crc32c=%08x)\n",
+              trace.requests.size(), trace.dbs.size(), args.record.c_str(),
+              static_cast<unsigned long long>(trace.seed),
+              Crc32c(text));
+  return 0;
+}
+
+uint64_t Pct(std::vector<uint64_t>* us, double p) {
+  if (us->empty()) return 0;
+  std::sort(us->begin(), us->end());
+  size_t rank = static_cast<size_t>(p * static_cast<double>(us->size() - 1));
+  return (*us)[std::min(rank, us->size() - 1)];
+}
+
+int Replay(const Args& args) {
+  std::ifstream f(args.replay, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot read %s\n", args.replay.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  Result<Trace> parsed = tracegen::ParseTrace(ss.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.replay.c_str(),
+                 parsed.error().c_str());
+    return 1;
+  }
+  const Trace& trace = *parsed;
+  const size_t n = trace.requests.size();
+  if (n == 0) {
+    std::fprintf(stderr, "%s: no requests\n", args.replay.c_str());
+    return 1;
+  }
+
+  // The replay target: an in-process daemon by default, --connect=HOST:PORT
+  // for a live one. Either way the databases are attached over the wire, so
+  // the replay exercises the full protocol path.
+  std::unique_ptr<SolveDaemon> daemon;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  if (args.connect.empty()) {
+    DaemonOptions dopts;
+    dopts.service.workers = std::max(1, args.workers);
+    dopts.service.queue_capacity =
+        static_cast<size_t>(std::max(1, args.queue_cap));
+    dopts.connection.max_inflight =
+        static_cast<size_t>(std::max(1, args.max_inflight));
+    daemon = std::make_unique<SolveDaemon>(dopts);
+    Result<bool> started = daemon->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "daemon start: %s\n", started.error().c_str());
+      return 1;
+    }
+    port = daemon->port();
+  } else {
+    size_t colon = args.connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect wants HOST:PORT\n");
+      return 1;
+    }
+    host = args.connect.substr(0, colon);
+    port = static_cast<uint16_t>(
+        std::atoi(args.connect.c_str() + colon + 1));
+  }
+
+  NetClient client;
+  if (!client.Connect(host, port, milliseconds(5'000)).ok()) {
+    std::fprintf(stderr, "connect %s:%u failed\n", host.c_str(), port);
+    return 1;
+  }
+
+  // Attach every database (sequentially, before any solve traffic).
+  uint64_t next_id = 1;
+  for (const auto& [name, facts] : trace.dbs) {
+    JsonObjectBuilder b;
+    b.Set("type", "attach").Set("id", next_id++).Set("name", name)
+        .Set("facts", facts);
+    if (!client.SendFrame(b.Build().Serialize(), kIo).ok()) {
+      std::fprintf(stderr, "attach %s: send failed\n", name.c_str());
+      return 1;
+    }
+    Result<WireResponse> ack = client.ReadResponse(kIo);
+    if (!ack.ok() || ack->type != "attach_ack") {
+      std::fprintf(stderr, "attach %s: %s\n", name.c_str(),
+                   ack.ok() ? ack->message.c_str() : ack.error().c_str());
+      return 1;
+    }
+  }
+
+  // Request idx <-> wire id: id = kIdBase + idx (clear of the attach ids).
+  const uint64_t kIdBase = 1'000;
+  std::vector<std::string> verdicts(n, "lost");
+  std::vector<int64_t> send_ns(n, 0), recv_ns(n, 0);
+  std::atomic<size_t> received{0};
+  std::atomic<bool> reader_stop{false};
+
+  // Reader: drains terminal frames as they arrive (any order — workers
+  // race). Same socket as the sender, opposite direction.
+  std::thread reader([&] {
+    while (!reader_stop.load(std::memory_order_relaxed) &&
+           received.load(std::memory_order_relaxed) < n) {
+      Result<WireResponse> r = client.ReadResponse(milliseconds(50));
+      if (!r.ok()) {
+        if (r.code() == ErrorCode::kDeadlineExceeded) continue;
+        break;  // connection gone
+      }
+      if (!IsTerminalResponseType(r->type)) continue;
+      if (r->id < kIdBase || r->id >= kIdBase + n) continue;
+      size_t idx = static_cast<size_t>(r->id - kIdBase);
+      recv_ns[idx] = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+      if (r->type == "result") {
+        verdicts[idx] = r->verdict;
+      } else if (r->type == "cancelled") {
+        verdicts[idx] = "cancelled";
+      } else if (r->code == "overloaded") {
+        verdicts[idx] = "shed";
+      } else {
+        verdicts[idx] = "error:" + r->code;
+      }
+      received.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Open-loop sender: each request fires at its recorded arrival time
+  // (scaled); a backlog never delays the schedule, only the socket can.
+  const double speed = args.speed > 0 ? args.speed : 1.0;
+  const auto base = std::chrono::steady_clock::now();
+  int64_t max_late_us = 0;
+  bool send_failed = false;
+  for (size_t i = 0; i < n; ++i) {
+    const tracegen::TraceRequest& req = trace.requests[i];
+    auto due = base + microseconds(static_cast<int64_t>(
+                          static_cast<double>(req.arrival_us) / speed));
+    std::this_thread::sleep_until(due);
+    auto now = std::chrono::steady_clock::now();
+    max_late_us = std::max(
+        max_late_us,
+        std::chrono::duration_cast<microseconds>(now - due).count());
+    send_ns[i] = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     now.time_since_epoch())
+                     .count();
+    JsonObjectBuilder b;
+    b.Set("type", "solve").Set("id", kIdBase + i).Set("query", req.query)
+        .Set("db", req.db);
+    if (args.parallelism > 0) {
+      b.Set("parallelism", static_cast<int64_t>(args.parallelism));
+    }
+    if (args.timeout_ms > 0) {
+      b.Set("timeout_ms", static_cast<int64_t>(args.timeout_ms));
+    }
+    if (!client.SendFrame(b.Build().Serialize(), kIo).ok()) {
+      std::fprintf(stderr, "send failed at request %zu\n", i);
+      send_failed = true;
+      break;
+    }
+  }
+  const auto send_done = std::chrono::steady_clock::now();
+
+  // Drain: give stragglers up to --drain-ms to produce their terminals.
+  const auto drain_deadline = send_done + milliseconds(args.drain_ms);
+  while (received.load() < n &&
+         std::chrono::steady_clock::now() < drain_deadline && !send_failed) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  reader_stop.store(true);
+  reader.join();
+
+  // Parallel counters, from a stats frame on the same connection (sent
+  // after the reader exits — the response would otherwise race it).
+  uint64_t parallel_solves = 0, components_found = 0, parallel_steals = 0;
+  {
+    JsonObjectBuilder b;
+    b.Set("type", "stats").Set("id", next_id++);
+    if (client.SendFrame(b.Build().Serialize(), kIo).ok()) {
+      Result<WireResponse> r = client.ReadResponse(kIo);
+      if (r.ok() && r->type == "stats") {
+        if (const Json* svc = r->raw.Find("service")) {
+          if (const Json* v = svc->Find("parallel_solves")) {
+            parallel_solves = static_cast<uint64_t>(v->AsDouble());
+          }
+          if (const Json* v = svc->Find("components_found")) {
+            components_found = static_cast<uint64_t>(v->AsDouble());
+          }
+          if (const Json* v = svc->Find("parallel_steals")) {
+            parallel_steals = static_cast<uint64_t>(v->AsDouble());
+          }
+        }
+      }
+    }
+  }
+  client.Close();
+  if (daemon != nullptr) (void)daemon->Shutdown(milliseconds(10'000));
+
+  // Transcript: "<idx> <verdict>" sorted by idx; the CRC32C of this text
+  // is the replay's parity fingerprint.
+  std::string transcript;
+  size_t ok_count = 0, shed = 0, errors = 0, lost = 0;
+  std::vector<uint64_t> lat_us;
+  lat_us.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    transcript += std::to_string(i) + " " + verdicts[i] + "\n";
+    if (verdicts[i] == "lost") {
+      ++lost;
+    } else if (verdicts[i] == "shed") {
+      ++shed;
+    } else if (verdicts[i].rfind("error:", 0) == 0 ||
+               verdicts[i] == "cancelled") {
+      ++errors;
+    } else {
+      ++ok_count;
+      lat_us.push_back(
+          static_cast<uint64_t>((recv_ns[i] - send_ns[i]) / 1'000));
+    }
+  }
+  if (!args.transcript.empty()) {
+    std::ofstream tf(args.transcript, std::ios::binary | std::ios::trunc);
+    if (!tf || !(tf << transcript)) {
+      std::fprintf(stderr, "cannot write %s\n", args.transcript.c_str());
+      return 1;
+    }
+  }
+
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          send_done - base)
+          .count();
+  std::printf("replayed %zu requests in %.2fs (%.0f rps offered)\n", n,
+              wall_s, wall_s > 0 ? static_cast<double>(n) / wall_s : 0.0);
+  std::printf("results: %zu ok, %zu shed (%.1f%%), %zu errors, %zu lost\n",
+              ok_count, shed, 100.0 * static_cast<double>(shed) /
+                                  static_cast<double>(n),
+              errors, lost);
+  std::printf("latency_us (client-observed, ok): p50=%llu p99=%llu "
+              "p999=%llu max=%llu\n",
+              static_cast<unsigned long long>(Pct(&lat_us, 0.50)),
+              static_cast<unsigned long long>(Pct(&lat_us, 0.99)),
+              static_cast<unsigned long long>(Pct(&lat_us, 0.999)),
+              static_cast<unsigned long long>(Pct(&lat_us, 1.0)));
+  std::printf("max send lateness: %lld us\n",
+              static_cast<long long>(max_late_us));
+  std::printf("parallel: solves=%llu components=%llu steals=%llu\n",
+              static_cast<unsigned long long>(parallel_solves),
+              static_cast<unsigned long long>(components_found),
+              static_cast<unsigned long long>(parallel_steals));
+  std::printf("transcript crc32c=%08x\n", Crc32c(transcript));
+  if (send_failed) return 1;
+  return lost > 0 ? 2 : 0;
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  cqa::Args args;
+  if (!cqa::ParseArgs(argc, argv, &args)) return 1;
+  if (!args.record.empty()) return cqa::Record(args);
+  return cqa::Replay(args);
+}

@@ -92,6 +92,18 @@ struct Budget {
   /// (does not charge a step).
   std::optional<ErrorCode> CheckNow();
 
+  /// Folds `n` steps performed elsewhere (the summed work of parallel
+  /// component tasks, after their join) into this budget's counter,
+  /// saturating instead of wrapping. Trips `kBudgetExhausted` when the
+  /// folded total exceeds the step limit — later probes then fail sticky,
+  /// but an answer already in hand stays valid: the work *was* done.
+  std::optional<ErrorCode> ChargeSteps(uint64_t n) {
+    if (tripped_.has_value()) return tripped_;
+    steps_ = n > UINT64_MAX - steps_ ? UINT64_MAX : steps_ + n;
+    if (steps_ > max_steps) return Trip(ErrorCode::kBudgetExhausted);
+    return std::nullopt;
+  }
+
   /// Steps charged so far.
   uint64_t steps() const { return steps_; }
 

@@ -8,6 +8,7 @@
 #include "cqa/certainty/naive.h"
 #include "cqa/certainty/rewriting_solver.h"
 #include "cqa/certainty/sampling.h"
+#include "cqa/parallel/parallel_solver.h"
 #include "cqa/rewriting/algorithm1.h"
 
 namespace cqa {
@@ -72,12 +73,34 @@ Result<bool> RunStage(SolveReport* report, SolverMethod method, Budget* budget,
   return r;
 }
 
+// Dispatches a backtracking/naive solve to the component-decomposed
+// parallel engine, folding its accounting into the report.
+Result<bool> RunParallel(SolverMethod method, const Query& q,
+                         const Database& db, Budget* budget, int parallelism,
+                         uint64_t* native_steps, SolveReport* report) {
+  ParallelOptions popts;
+  popts.parallelism = parallelism;
+  popts.method = method;
+  popts.budget = budget;
+  Result<ParallelReport> r = SolveCertainParallel(q, db, popts);
+  if (!r.ok()) return Result<bool>::Error(r);
+  *native_steps = r->steps;
+  report->parallelism = parallelism;
+  report->components = r->components;
+  report->steals = r->steals;
+  return r->certain;
+}
+
 // Runs one exact (or matching) solver with the budget threaded through.
 // A non-null `warm` supplies memoized rewritings and a cross-request
 // Algorithm-1 arena; `warm_key` is the query's alpha-canonical key.
+// `parallelism > 1` reroutes the exponential engines (backtracking, naive)
+// through the component-decomposed parallel solver; `report` receives its
+// accounting (components, steals).
 Result<bool> RunExact(SolverMethod method, const Query& q, const Database& db,
                       Budget* budget, WarmState* warm,
-                      const std::string& warm_key, uint64_t* native_steps) {
+                      const std::string& warm_key, int parallelism,
+                      uint64_t* native_steps, SolveReport* report) {
   switch (method) {
     case SolverMethod::kRewriting: {
       if (warm == nullptr) return IsCertainByRewriting(q, db, budget);
@@ -99,6 +122,10 @@ Result<bool> RunExact(SolverMethod method, const Query& q, const Database& db,
       return r;
     }
     case SolverMethod::kBacktracking: {
+      if (parallelism > 1) {
+        return RunParallel(method, q, db, budget, parallelism, native_steps,
+                           report);
+      }
       BacktrackingOptions opts;
       opts.budget = budget;
       Result<BacktrackingReport> r = SolveCertainBacktracking(q, db, opts);
@@ -107,6 +134,10 @@ Result<bool> RunExact(SolverMethod method, const Query& q, const Database& db,
       return r->certain;
     }
     case SolverMethod::kNaive: {
+      if (parallelism > 1) {
+        return RunParallel(method, q, db, budget, parallelism, native_steps,
+                           report);
+      }
       NaiveOptions opts;
       opts.budget = budget;
       return IsCertainNaive(q, db, opts);
@@ -227,7 +258,7 @@ Result<SolveReport> SolveCertainty(const Query& q, const Database& db,
   Result<bool> r =
       RunStage(&report, chosen, exact_budget, &native_steps, [&] {
         return RunExact(chosen, q, db, exact_budget, options.warm, warm_key,
-                        &native_steps);
+                        options.parallelism, &native_steps, &report);
       });
   if (r.ok()) {
     report.certain = r.value();

@@ -72,6 +72,14 @@ struct SolveOptions {
   uint64_t max_samples = 10'000;
   /// Seed for the sampling stage (deterministic by default).
   uint64_t sampling_seed = 0x5eedu;
+  /// Worker count for component-decomposed solving (cqa/parallel/). At 1
+  /// (the default) the plain sequential engines run — this is the parity
+  /// baseline. Above 1, the backtracking and naive engines (explicit or
+  /// via `kAuto` fallthrough) decompose the instance into independent
+  /// sub-problems solved on a work-stealing pool of this width; the
+  /// verdict is always identical to the sequential one. Polynomial
+  /// engines (FO, matching) ignore this knob.
+  int parallelism = 1;
 };
 
 /// Timing and work accounting for one stage of a solve.
@@ -105,6 +113,13 @@ struct SolveReport {
   Classification classification;
   /// Every stage attempted, in order (e.g. backtracking then sampling).
   std::vector<SolveStage> stages;
+  /// Pool width the solve actually used (1 = sequential path).
+  int parallelism = 1;
+  /// Component tasks the decomposer produced (0 when the sequential path
+  /// or a polynomial engine ran).
+  int components = 0;
+  /// Work-stealing pool steals across the solve (0 on the sequential path).
+  uint64_t steals = 0;
 };
 
 /// Unified entry point: decides whether `q` is true in every repair of `db`.

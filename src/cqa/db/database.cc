@@ -5,9 +5,19 @@
 #include <set>
 
 #include "cqa/base/hash.h"
+#include "cqa/base/union_find.h"
 #include "cqa/query/parser.h"
 
 namespace cqa {
+
+namespace {
+// Process-wide count of full block-index rebuilds (see IndexBuildCount).
+std::atomic<uint64_t> g_index_builds{0};
+}  // namespace
+
+uint64_t Database::IndexBuildCount() {
+  return g_index_builds.load(std::memory_order_relaxed);
+}
 
 Result<Database> Database::FromText(std::string_view text) {
   Result<std::vector<ParsedFact>> facts = ParseFacts(text);
@@ -165,6 +175,7 @@ size_t Database::NumFacts() const {
 }
 
 void Database::RebuildBlocks() const {
+  g_index_builds.fetch_add(1, std::memory_order_relaxed);
   blocks_.clear();
   fact_to_block_.clear();
   block_by_key_.clear();
@@ -237,6 +248,45 @@ std::optional<int> Database::BlockOf(Symbol relation,
   auto bit = fact_to_block_.find(relation);
   assert(bit != fact_to_block_.end());
   return bit->second[static_cast<size_t>(fit->second)];
+}
+
+const Database::ComponentIndex& Database::BlockComponents() const {
+  if (!components_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(components_mu_);
+    if (!components_valid_.load(std::memory_order_relaxed)) {
+      const std::vector<Block>& bs = blocks();
+      UnionFind uf(bs.size());
+      // A block links to every value any of its facts carries: two blocks
+      // that could ever join (share a constant in any position, key or
+      // non-key) end up merged. One pass, per value the first block seen
+      // anchors the union.
+      std::unordered_map<Symbol, int> value_anchor;
+      for (size_t b = 0; b < bs.size(); ++b) {
+        const std::vector<Tuple>& facts = FactsOf(bs[b].relation);
+        for (int fi : bs[b].fact_indices) {
+          for (Value v : facts[static_cast<size_t>(fi)]) {
+            auto [it, inserted] =
+                value_anchor.emplace(v.id(), static_cast<int>(b));
+            if (!inserted) uf.Union(it->second, static_cast<int>(b));
+          }
+        }
+      }
+      ComponentIndex idx;
+      idx.component_of_block.assign(bs.size(), -1);
+      // Dense 0-based ids in order of first appearance over the block
+      // list, so the numbering is deterministic for a given block order.
+      std::unordered_map<int, int> root_to_id;
+      for (size_t b = 0; b < bs.size(); ++b) {
+        int root = uf.Find(static_cast<int>(b));
+        auto [it, inserted] = root_to_id.emplace(root, idx.num_components);
+        if (inserted) ++idx.num_components;
+        idx.component_of_block[b] = it->second;
+      }
+      components_ = std::move(idx);
+      components_valid_.store(true, std::memory_order_release);
+    }
+  }
+  return components_;
 }
 
 bool Database::IsConsistent() const {
@@ -321,6 +371,13 @@ std::shared_ptr<Database> Database::CloneWithIndexes() const {
     out->block_by_key_ = block_by_key_;
   }
   out->blocks_valid_.store(true, std::memory_order_release);
+  if (components_valid_.load(std::memory_order_acquire)) {
+    // Carry the component partition when it happens to be built (never
+    // forced: most epochs go on to mutate, which would drop it anyway).
+    std::lock_guard<std::mutex> lock(components_mu_);
+    out->components_ = components_;
+    out->components_valid_.store(true, std::memory_order_release);
+  }
   {
     std::lock_guard<std::mutex> lock(digest_mu_);
     out->digest_acc_ = digest_acc_;
@@ -350,6 +407,9 @@ Result<bool> Database::AddFactIncremental(Symbol relation, Tuple values) {
   RelationData& rd = MutableRelation(relation);
   const int idx = static_cast<int>(rd.facts.size());
   digest_acc_.Add(FactContentDigest(rs, values));
+  // The new fact may bridge two components; drop the memo (rebuilt lazily)
+  // rather than patch it — see BlockComponents.
+  components_valid_.store(false, std::memory_order_release);
 
   Tuple key(values.begin(), values.begin() + rs.key_len);
   std::unordered_map<Tuple, int, TupleHash>& key_to_block =
@@ -383,6 +443,9 @@ bool Database::RemoveFactIncremental(Symbol relation, const Tuple& values) {
   auto fit = rd.fact_index.find(values);
   const int idx = fit->second;
   const int last = static_cast<int>(rd.facts.size()) - 1;
+  // Removal can split a component, and the swap-with-last compaction below
+  // renumbers block ids, so the block→component map cannot be patched.
+  components_valid_.store(false, std::memory_order_release);
   digest_acc_.Remove(
       FactContentDigest(rs, rd.facts[static_cast<size_t>(idx)]));
 

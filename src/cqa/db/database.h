@@ -151,6 +151,36 @@ class Database : public FactView {
 
   size_t NumBlocks() const { return blocks().size(); }
 
+  /// Query-independent partition of `blocks()` into value-connected
+  /// components: two blocks land in one component iff some facts of theirs
+  /// share a constant, transitively closed. Any query whose positive atoms
+  /// are variable-connected can only join facts along shared constants, so
+  /// blocks in different components never interact through such a query —
+  /// the soundness basis of the parallel component solver (see
+  /// cqa/parallel/decompose.h and docs/THEORY.md). This partition is
+  /// deliberately coarser than any per-query conflict graph: coarsening
+  /// only merges components, which is always sound.
+  struct ComponentIndex {
+    /// For each index into `blocks()`, its component id. Component ids are
+    /// dense, 0-based, and numbered in order of first appearance over the
+    /// block list — deterministic for a given block order.
+    std::vector<int> component_of_block;
+    int num_components = 0;
+  };
+
+  /// The memoized component index (built on first use, like the block
+  /// index; thread-safe for const access). Invalidated by any mutation,
+  /// including the incremental mutators: `RemoveFactIncremental` compacts
+  /// block ids swap-with-last, so a block→component map cannot be patched
+  /// in place and is rebuilt instead — a delta epoch therefore never
+  /// carries stale component metadata.
+  const ComponentIndex& BlockComponents() const;
+
+  /// Total `RebuildBlocks` executions across all Database instances in
+  /// this process (a monotone test hook: the parallel path must not
+  /// silently rebuild the block index once per component task).
+  static uint64_t IndexBuildCount();
+
   /// True iff every block is a singleton.
   bool IsConsistent() const;
 
@@ -211,6 +241,7 @@ class Database : public FactView {
   void InvalidateBlocks() {
     blocks_valid_.store(false, std::memory_order_release);
     digest_valid_.store(false, std::memory_order_release);
+    components_valid_.store(false, std::memory_order_release);
   }
   /// Double-checked rebuild of the lazy block index; safe to call from
   /// concurrent const readers.
@@ -240,6 +271,13 @@ class Database : public FactView {
   mutable std::unordered_map<Symbol,
                              std::unordered_map<Tuple, int, TupleHash>>
       block_by_key_;
+
+  // Lazily built value-connected component partition of the blocks,
+  // published like the block index. Kept behind its own mutex so an O(n)
+  // component build never holds up block-index readers.
+  mutable std::mutex components_mu_;
+  mutable std::atomic<bool> components_valid_{false};
+  mutable ComponentIndex components_;
 
   // Lazily computed content digest, published like the block index: the
   // accumulator words are written under `digest_mu_` before the release

@@ -1,0 +1,97 @@
+#include "cqa/parallel/pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cqa {
+
+WorkStealingPool::WorkStealingPool(int threads)
+    : requested_threads_(std::max(1, threads)) {}
+
+WorkStealingPool::~WorkStealingPool() {
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkStealingPool::Submit(std::function<void()> task) {
+  assert(!started_);
+  if (deques_.empty()) {
+    const size_t n = static_cast<size_t>(requested_threads_);
+    deques_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      deques_.push_back(std::make_unique<WorkerDeque>());
+    }
+  }
+  deques_[next_submit_ % deques_.size()]->tasks.push_back(std::move(task));
+  ++next_submit_;
+  ++submitted_;
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WorkStealingPool::Start() {
+  assert(!started_);
+  started_ = true;
+  if (submitted_ == 0) return;
+  const size_t n =
+      std::min(deques_.size(), std::max<size_t>(1, submitted_));
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+bool WorkStealingPool::PopOwn(size_t self, std::function<void()>* task) {
+  WorkerDeque& d = *deques_[self];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.tasks.empty()) return false;
+  *task = std::move(d.tasks.front());
+  d.tasks.pop_front();
+  return true;
+}
+
+bool WorkStealingPool::StealFrom(size_t self, std::function<void()>* task) {
+  // Scan the siblings starting after ourselves; steal from the *back* of a
+  // victim's deque (the classic discipline: the owner keeps the front,
+  // thieves take the coldest work).
+  for (size_t off = 1; off < deques_.size(); ++off) {
+    WorkerDeque& d = *deques_[(self + off) % deques_.size()];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.tasks.empty()) continue;
+    *task = std::move(d.tasks.back());
+    d.tasks.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::WorkerLoop(size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (!PopOwn(self, &task) && !StealFrom(self, &task)) {
+      // Every deque empty: the task set is static, so there is nothing
+      // left to wait for.
+      return;
+    }
+    task();
+    task = nullptr;
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkStealingPool::WaitAll(std::chrono::milliseconds poll_every,
+                               const std::function<void()>& on_poll) {
+  std::unique_lock<std::mutex> lock(done_mu_);
+  for (;;) {
+    if (done_cv_.wait_for(lock, poll_every, [this] {
+          return outstanding_.load(std::memory_order_acquire) == 0;
+        })) {
+      return;
+    }
+    if (on_poll) on_poll();
+  }
+}
+
+}  // namespace cqa

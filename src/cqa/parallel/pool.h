@@ -1,0 +1,77 @@
+#ifndef CQA_PARALLEL_POOL_H_
+#define CQA_PARALLEL_POOL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cqa {
+
+/// A bounded work-stealing pool for one parallel solve: a fixed task set is
+/// distributed round-robin over per-worker deques up front, workers drain
+/// their own deque front-first and steal from siblings' backs when empty.
+///
+/// The task set is static — `Submit` is only legal before `Start` — which
+/// keeps the lifecycle trivial to reason about: every submitted task runs
+/// exactly once (tasks cancelled by the solver's short-circuit logic still
+/// run; they observe their stop token and return immediately), workers exit
+/// when every deque is empty, and the destructor joins. There is no detach
+/// path, so no task can outlive the pool ("no leaked pool tasks" in the
+/// chaos suite pins this down).
+class WorkStealingPool {
+ public:
+  /// `threads` is clamped to [1, number of submitted tasks] at `Start`.
+  explicit WorkStealingPool(int threads);
+  ~WorkStealingPool();  // joins all workers (waits for running tasks)
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Queues a task; only valid before `Start`.
+  void Submit(std::function<void()> task);
+
+  /// Spawns the workers. No-op when nothing was submitted.
+  void Start();
+
+  /// Blocks until every task has run, waking every `poll_every` to invoke
+  /// `on_poll` (the parallel solver's parent-budget probe: it flips the
+  /// component stop tokens on deadline/cancel, which makes the remaining
+  /// tasks return quickly — the pool itself never kills a task).
+  void WaitAll(std::chrono::milliseconds poll_every,
+               const std::function<void()>& on_poll);
+
+  /// Tasks a worker took from a sibling's deque rather than its own.
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  bool PopOwn(size_t self, std::function<void()>* task);
+  bool StealFrom(size_t self, std::function<void()>* task);
+
+  int requested_threads_;
+  size_t next_submit_ = 0;
+  size_t submitted_ = 0;
+  bool started_ = false;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<size_t> outstanding_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_PARALLEL_POOL_H_

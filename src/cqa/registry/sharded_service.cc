@@ -749,6 +749,9 @@ ServiceStats ShardedSolveService::Stats() const {
     // High-water gauge, not a count: the fleet peak is the worst shard.
     total.sandbox_peak_rss_kb =
         std::max(total.sandbox_peak_rss_kb, stats.sandbox_peak_rss_kb);
+    total.parallel_solves += stats.parallel_solves;
+    total.components_found += stats.components_found;
+    total.parallel_steals += stats.parallel_steals;
     total.latency_count += stats.latency_count;
     // Percentiles of a union of samples cannot be reconstructed from the
     // shards' percentiles; report the elementwise worst shard — exact with

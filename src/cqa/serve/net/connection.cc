@@ -600,6 +600,8 @@ void Connection::HandleSolve(WireRequest request) {
   job.degrade_to_sampling = request.degrade_to_sampling;
   job.max_samples = request.max_samples;
   job.isolation = request.isolation;
+  job.parallelism = static_cast<int>(
+      std::min<uint64_t>(request.parallelism, 64));
   job.chaos_sleep = std::chrono::milliseconds(request.chaos_sleep_ms);
   job.fail_after_probes = request.fail_after_probes;
   job.fault_attempts = request.fault_attempts;

@@ -217,6 +217,7 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
                &error) ||
       !ReadU64(object, "wedge_after_probes", &request.wedge_after_probes,
                &error) ||
+      !ReadU64(object, "parallelism", &request.parallelism, &error) ||
       !ReadBool(object, "degrade_to_sampling", &request.degrade_to_sampling,
                 &error) ||
       !ReadBool(object, "deadline_from_submit", &request.deadline_from_submit,
@@ -290,6 +291,13 @@ std::string EncodeResultFrame(uint64_t id, const SolveReport& report,
   if (report.verdict == Verdict::kProbablyCertain) {
     b.Set("confidence", report.confidence).Set("samples", report.samples);
   }
+  if (report.components > 0) {
+    // Component-parallel accounting, present only when the decomposer ran
+    // (keeps sequential result frames byte-identical to the old wire).
+    b.Set("parallelism", static_cast<int64_t>(report.parallelism))
+        .Set("components", static_cast<int64_t>(report.components))
+        .Set("steals", report.steals);
+  }
   return b.Build().Serialize();
 }
 
@@ -355,6 +363,9 @@ Json ServiceStatsJson(const ServiceStats& service) {
       .Set("sandbox_crashes", service.sandbox_crashes)
       .Set("sandbox_rss_breaches", service.sandbox_rss_breaches)
       .Set("sandbox_peak_rss_kb", service.sandbox_peak_rss_kb)
+      .Set("parallel_solves", service.parallel_solves)
+      .Set("components_found", service.components_found)
+      .Set("parallel_steals", service.parallel_steals)
       .Set("latency_count", service.latency_count)
       .Set("latency_p50_us", service.latency_p50_us)
       .Set("latency_p90_us", service.latency_p90_us)

@@ -72,6 +72,10 @@ struct WireRequest {
   /// the field absent) defers to the daemon's isolation policy, which may
   /// escalate coNP-risk queries to a fork sandbox. See docs/SERVING.md.
   IsolationMode isolation = IsolationMode::kAuto;
+  /// "parallelism": pool width for component-decomposed solving of this
+  /// request; 0 (or absent) inherits the daemon's `--parallelism`, 1
+  /// forces the sequential path. The service clamps the effective value.
+  uint64_t parallelism = 0;
   // Chaos knobs (tests): see ServeJob.
   uint64_t chaos_sleep_ms = 0;
   uint64_t fail_after_probes = 0;

@@ -8,7 +8,7 @@ namespace {
 
 // Payload format version; bumped on any layout change so a parent never
 // misreads a frame from a stale child binary.
-constexpr uint8_t kCodecVersion = 1;
+constexpr uint8_t kCodecVersion = 2;  // v2: parallel accounting fields
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
@@ -128,6 +128,9 @@ std::string EncodeOutcome(const Result<SolveReport>& outcome) {
     PutU64(&payload, conf_bits);
     PutU64(&payload, rep.samples);
     PutU8(&payload, static_cast<uint8_t>(rep.used));
+    PutU32(&payload, static_cast<uint32_t>(rep.parallelism));
+    PutU32(&payload, static_cast<uint32_t>(rep.components));
+    PutU64(&payload, rep.steals);
     EncodeClassification(&payload, rep.classification);
     PutU32(&payload, static_cast<uint32_t>(rep.stages.size()));
     for (const SolveStage& st : rep.stages) {
@@ -187,6 +190,16 @@ bool DecodeOutcome(const std::string& data, Result<SolveReport>* out) {
   rep.certain = certain != 0;
   std::memcpy(&rep.confidence, &conf_bits, sizeof(rep.confidence));
   rep.used = static_cast<SolverMethod>(used);
+  uint32_t parallelism = 0, components = 0;
+  if (!r.GetU32(&parallelism) || !r.GetU32(&components) ||
+      !r.GetU64(&rep.steals)) {
+    return false;
+  }
+  // Pool width is bounded by the wire/CLI clamp (and a fresh report says
+  // 1); a value outside sanity means a corrupt frame, not a huge pool.
+  if (parallelism > 4096 || components > (1u << 24)) return false;
+  rep.parallelism = static_cast<int>(parallelism);
+  rep.components = static_cast<int>(components);
   if (!DecodeClassification(&r, &rep.classification)) return false;
   uint32_t n_stages = 0;
   if (!r.GetU32(&n_stages)) return false;

@@ -79,6 +79,7 @@ void ApplyRssCap(uint64_t max_rss_mb, uint64_t parent_as_bytes) {
     opts.degrade_to_sampling = job.degrade_to_sampling;
     opts.max_samples = job.max_samples;
     opts.sampling_seed = job.sampling_seed;
+    opts.parallelism = job.parallelism;
     Result<SolveReport> outcome = SolveCertainty(q, db, opts);
     frame = EncodeOutcome(outcome);
   } catch (const std::bad_alloc&) {

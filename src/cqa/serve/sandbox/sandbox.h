@@ -88,6 +88,10 @@ struct SandboxJob {
   bool degrade_to_sampling = true;
   uint64_t max_samples = 10'000;
   uint64_t sampling_seed = 0x5eedu;
+  /// Pool width for component-decomposed solving inside the child (1 =
+  /// sequential). The child may spawn pool threads freely: it forked
+  /// single-threaded and owns its whole address space.
+  int parallelism = 1;
   /// Step limit for the child's budget; `Budget::kNoStepLimit` for none.
   uint64_t max_steps = Budget::kNoStepLimit;
   /// Absolute deadline (steady clock is process-independent on one

@@ -302,6 +302,12 @@ SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
     if (warm != nullptr) {
       warm->BindDatabase(FingerprintDatabase(*req->job.db));
     }
+    // Pool width: the job's explicit choice wins, 0 inherits the service
+    // default; clamp to a sane band so a hostile wire value cannot spawn
+    // thousands of threads.
+    int parallelism =
+        req->job.parallelism > 0 ? req->job.parallelism : options_.parallelism;
+    parallelism = std::max(1, std::min(parallelism, 64));
     Result<SolveReport> result =
         Result<SolveReport>::Error(ErrorCode::kInternal, "attempt never ran");
     if (use_fork) {
@@ -320,6 +326,7 @@ SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
       sj.crash_after_probes = budget.crash_after_probes;
       sj.hog_mb_per_probe = budget.hog_mb_per_probe;
       sj.wedge_after_probes = budget.wedge_after_probes;
+      sj.parallelism = parallelism;
       sj.warm = warm;
       SandboxOutcome outcome = RunSandboxedSolve(
           req->job.query, *req->job.db, sj, options_.sandbox,
@@ -333,8 +340,13 @@ SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
       sopts.budget = &budget;
       sopts.degrade_to_sampling = req->job.degrade_to_sampling;
       sopts.max_samples = req->job.max_samples;
+      sopts.parallelism = parallelism;
       sopts.warm = warm;
       result = SolveCertainty(req->job.query, *req->job.db, sopts);
+    }
+    if (result.ok() && result->components > 0) {
+      stats_.RecordParallel(static_cast<uint64_t>(result->components),
+                            result->steals);
     }
 
     if (result.ok()) {

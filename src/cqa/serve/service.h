@@ -70,6 +70,10 @@ struct ServeJob {
   /// verdicts are surfaced, never retried).
   bool degrade_to_sampling = true;
   uint64_t max_samples = 10'000;
+  /// Pool width for component-decomposed solving of this request; 0 (the
+  /// default) inherits `ServiceOptions::parallelism`, 1 forces the plain
+  /// sequential path, >1 decomposes. Clamped to [1, 64] effective.
+  int parallelism = 0;
 
   /// Where this solve runs. `kAuto` (the default) defers to the service:
   /// its own `ServiceOptions::isolation` policy decides, which for a
@@ -181,6 +185,10 @@ struct ServiceOptions {
   IsolationMode isolation = IsolationMode::kInproc;
   /// Hard limits for sandboxed solves (kill grace, RSS cap).
   SandboxLimits sandbox;
+  /// Default pool width for component-decomposed solving, used by jobs
+  /// that leave `ServeJob::parallelism` at 0. 1 (the default) keeps every
+  /// solve on the plain sequential path.
+  int parallelism = 1;
   /// Per-worker warm state: memoized classification, rewritings, and
   /// Algorithm-1 arenas reused across requests on the same database
   /// fingerprint. Off by default — warm memo hits change *work done*, not

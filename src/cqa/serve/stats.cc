@@ -77,6 +77,13 @@ void StatsCollector::RecordSandbox(bool killed, bool crashed, bool rss_breach,
       std::max(counters_.sandbox_peak_rss_kb, peak_rss_kb);
 }
 
+void StatsCollector::RecordParallel(uint64_t components, uint64_t steals) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.parallel_solves;
+  counters_.components_found += components;
+  counters_.parallel_steals += steals;
+}
+
 ServiceStats StatsCollector::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats out = counters_;
@@ -119,6 +126,9 @@ std::string ServiceStats::ToString() const {
   s += " crashes " + std::to_string(sandbox_crashes);
   s += " rss-breaches " + std::to_string(sandbox_rss_breaches);
   s += " peak-rss-kb " + std::to_string(sandbox_peak_rss_kb);
+  s += "; parallel solves " + std::to_string(parallel_solves);
+  s += " components " + std::to_string(components_found);
+  s += " steals " + std::to_string(parallel_steals);
   s += "; latency us p50 " + std::to_string(latency_p50_us);
   s += " p90 " + std::to_string(latency_p90_us);
   s += " p99 " + std::to_string(latency_p99_us);

@@ -78,6 +78,17 @@ struct ServiceStats {
   uint64_t sandbox_rss_breaches = 0;
   uint64_t sandbox_peak_rss_kb = 0;
 
+  /// Component-parallel counters (all zero when every solve ran the
+  /// sequential path). `parallel_solves` counts in-process solves that went
+  /// through the component decomposer (parallelism > 1, exponential
+  /// engine); `components_found` sums the component tasks they produced;
+  /// `parallel_steals` sums work-stealing pool steals. Sandboxed solves
+  /// contribute too — their reports carry the counts back over the result
+  /// pipe.
+  uint64_t parallel_solves = 0;
+  uint64_t components_found = 0;
+  uint64_t parallel_steals = 0;
+
   /// Submit-to-terminal latency percentiles over every terminal request.
   uint64_t latency_count = 0;
   uint64_t latency_p50_us = 0;
@@ -108,6 +119,8 @@ class StatsCollector {
   /// Sandbox accounting for one forked solve (see the ServiceStats fields).
   void RecordSandbox(bool killed, bool crashed, bool rss_breach,
                      uint64_t peak_rss_kb);
+  /// Accounting for one solve that went through the component decomposer.
+  void RecordParallel(uint64_t components, uint64_t steals);
 
   ServiceStats Snapshot() const;
 

@@ -1,0 +1,253 @@
+// Chaos harness for component-decomposed parallel solving. The scenarios
+// here are the ones the differential suite cannot reach: external
+// cancellation landing mid-component-fanout, a deadline expiring while
+// straggler components are still searching, and service shutdown racing
+// in-flight parallel solves. The invariants:
+//
+//   1. A tripped parent budget (cancel token or deadline) surfaces as the
+//      matching typed error — kCancelled / kDeadlineExceeded — never a
+//      wrong verdict, and the solve returns promptly (stride-granular).
+//   2. A definitive answer beats a straggler: one cheap certain component
+//      resolves the OR and cancels its unbounded siblings.
+//   3. SolveCertainParallel never leaks pool tasks: every component task
+//      joins before the call returns, so stack-local budgets and databases
+//      can be destroyed immediately after — repeated here in a tight loop
+//      so a leaked task tripping on freed state would surface.
+//   4. Under the service, every accepted parallel request reaches exactly
+//      one terminal state even when Shutdown races the fan-out.
+//
+// Run under the `tsan` preset (ctest -L concurrency) to check the same
+// scenarios for data races.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cqa/base/budget.h"
+#include "cqa/gen/families.h"
+#include "cqa/parallel/decompose.h"
+#include "cqa/parallel/parallel_solver.h"
+#include "cqa/query/parser.h"
+#include "cqa/serve/service.h"
+
+namespace cqa {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// `copies` value-disjoint pigeonhole cores (each one a component of its
+// own, prefixed so the interner cannot merge them). Every core is certain;
+// k >= 12 makes a single core's search effectively unbounded, so a solve
+// over only hard cores finishes via budget trip or cancellation, never on
+// its own. With `easy_cores` > 0, that many k=2 cores (certain, decided in
+// microseconds) are appended — the short-circuit targets.
+Database MultiPigeonhole(int copies, int k, int easy_cores = 0) {
+  Schema schema;
+  schema.AddRelationOrDie("R", 2, 1);
+  schema.AddRelationOrDie("S", 2, 1);
+  schema.AddRelationOrDie("T", 2, 1);
+  Database db(std::move(schema));
+  auto add_core = [&db](const std::string& prefix, int kk) {
+    for (int i = 1; i <= kk; ++i) {
+      Value a = Value::Of(prefix + "a" + std::to_string(i));
+      for (int j = 1; j < kk; ++j) {
+        Value b = Value::Of(prefix + "b" + std::to_string(j));
+        db.AddFactOrDie("R", {a, b});
+        db.AddFactOrDie("S", {b, a});
+      }
+    }
+  };
+  for (int c = 0; c < copies; ++c) {
+    add_core("hard" + std::to_string(c) + "_", k);
+  }
+  for (int e = 0; e < easy_cores; ++e) {
+    add_core("easy" + std::to_string(e) + "_", 2);
+  }
+  return db;
+}
+
+TEST(ParallelChaosTest, CancellationMidFanoutReturnsTypedErrorPromptly) {
+  // Four unbounded components saturate the width-4 pool; the cancel token
+  // flips from another thread while every worker is mid-search. The loop
+  // re-runs the scenario so a component task leaked past the join — one
+  // still holding the stack-local budget or database — would fault or race
+  // on the next iteration's state.
+  Query q = PigeonholeCyclicQuery();
+  for (int round = 0; round < 4; ++round) {
+    Database db = MultiPigeonhole(4, 12 + round);
+    ASSERT_GE(DecomposeData(q, db).size(), 4u);
+    std::atomic<bool> cancel{false};
+    Budget budget;
+    budget.cancel = &cancel;
+    ParallelOptions popts;
+    popts.parallelism = 4;
+    popts.budget = &budget;
+    std::thread trigger([&cancel] {
+      std::this_thread::sleep_for(milliseconds(30));
+      cancel.store(true);
+    });
+    auto start = steady_clock::now();
+    Result<ParallelReport> r = SolveCertainParallel(q, db, popts);
+    auto elapsed = std::chrono::duration_cast<milliseconds>(
+        steady_clock::now() - start);
+    trigger.join();
+    ASSERT_FALSE(r.ok()) << "round " << round
+                         << ": unbounded search cannot finish";
+    EXPECT_EQ(r.code(), ErrorCode::kCancelled) << "round " << round;
+    // Cancellation latency is poll + stride granular; the bound is loose
+    // but rules out any component running to exhaustion.
+    EXPECT_LT(elapsed.count(), 30'000) << "round " << round;
+  }
+}
+
+TEST(ParallelChaosTest, DeadlineExpiryWithStragglersSurfacesAsTypedError) {
+  // All components are unbounded and the parent deadline is short: the
+  // waiting thread's poll must trip the component stop tokens and the
+  // overall result must be the deadline's typed error, not a hang until
+  // some component finishes (none ever would).
+  Query q = PigeonholeCyclicQuery();
+  Database db = MultiPigeonhole(6, 12);
+  Budget budget = Budget::WithTimeout(milliseconds(60));
+  ParallelOptions popts;
+  popts.parallelism = 3;  // fewer workers than components: some still queued
+  popts.budget = &budget;
+  auto start = steady_clock::now();
+  Result<ParallelReport> r = SolveCertainParallel(q, db, popts);
+  auto elapsed =
+      std::chrono::duration_cast<milliseconds>(steady_clock::now() - start);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed.count(), 30'000);
+}
+
+TEST(ParallelChaosTest, CertainComponentShortCircuitsUnboundedSiblings) {
+  // One k=2 core decides the OR in microseconds while five unbounded
+  // siblings are still fanned out; the verdict must arrive long before the
+  // generous deadline by cancelling the stragglers, and it must be the
+  // exact sequential answer (certain).
+  Query q = PigeonholeCyclicQuery();
+  Database db = MultiPigeonhole(5, 12, /*easy_cores=*/1);
+  Budget budget = Budget::WithTimeout(milliseconds(120'000));
+  ParallelOptions popts;
+  popts.parallelism = 8;
+  popts.budget = &budget;
+  auto start = steady_clock::now();
+  Result<ParallelReport> r = SolveCertainParallel(q, db, popts);
+  auto elapsed =
+      std::chrono::duration_cast<milliseconds>(steady_clock::now() - start);
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r->certain);
+  EXPECT_EQ(r->components, 6);
+  EXPECT_LT(elapsed.count(), 60'000)
+      << "short-circuit must not wait for the unbounded siblings";
+}
+
+// ---------------------------------------------------------------------------
+// Service-level: shutdown racing parallel solves
+
+// Thread-safe terminal-state ledger keyed by request id (the serve_chaos
+// idiom).
+class Ledger {
+ public:
+  void Record(const ServeResponse& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++callbacks_[r.id];
+    responses_[r.id] = r;
+  }
+
+  size_t CheckExactlyOnce() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, n] : callbacks_) {
+      EXPECT_EQ(n, 1) << "request " << id << " completed " << n << " times";
+    }
+    return callbacks_.size();
+  }
+
+  std::map<uint64_t, ServeResponse> Responses() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return responses_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<uint64_t, int> callbacks_;
+  std::map<uint64_t, ServeResponse> responses_;
+};
+
+Query Q(const char* text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error());
+  return q.value();
+}
+
+TEST(ParallelChaosTest, ShutdownRacingParallelSolvesTerminatesExactlyOnce) {
+  // Workers run width-8 parallel fan-outs over unbounded components when
+  // Shutdown lands with a drain deadline far too short to finish anything.
+  // Shutdown must cancel through the parallel layer (worker budget ->
+  // component stop tokens), every accepted request must reach exactly one
+  // terminal state, and no component task may outlive the service.
+  auto hard_db =
+      std::make_shared<const Database>(MultiPigeonhole(6, 12));
+  auto easy_db =
+      std::make_shared<const Database>(MultiPigeonhole(0, 0, /*easy=*/3));
+  Query hard_q = PigeonholeCyclicQuery();
+
+  ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 64;
+  options.parallelism = 8;
+  SolveService service(options);
+
+  Ledger ledger;
+  auto cb = [&ledger](const ServeResponse& r) { ledger.Record(r); };
+
+  uint64_t accepted = 0;
+  for (int i = 0; i < 24; ++i) {
+    ServeJob job = [&]() -> ServeJob {
+      if (i % 3 == 0) {
+        ServeJob j(Q("R(x | y), not S(y | x)"), easy_db);
+        j.method = SolverMethod::kBacktracking;
+        return j;  // decomposes, finishes instantly
+      }
+      ServeJob j(hard_q, hard_db);  // unbounded parallel fan-out
+      j.method = SolverMethod::kBacktracking;
+      j.degrade_to_sampling = false;
+      return j;
+    }();
+    Result<uint64_t> id = service.Submit(std::move(job), cb);
+    if (id.ok()) ++accepted;
+  }
+
+  auto start = steady_clock::now();
+  bool drained = service.Shutdown(milliseconds(50));
+  auto elapsed =
+      std::chrono::duration_cast<milliseconds>(steady_clock::now() - start);
+  EXPECT_FALSE(drained) << "unbounded parallel solves cannot drain in 50ms";
+  EXPECT_LT(elapsed.count(), 30'000) << "shutdown took implausibly long";
+
+  EXPECT_EQ(ledger.CheckExactlyOnce(), accepted);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed + stats.failed + stats.cancelled, accepted);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_GT(stats.cancelled, 0u) << "the unbounded fan-outs must be cancelled";
+  // Any easy request that did complete must carry the exact verdict.
+  for (const auto& [id, r] : ledger.Responses()) {
+    if (r.state == RequestState::kCompleted && r.result.ok() &&
+        r.result->components > 0) {
+      EXPECT_TRUE(r.result->verdict == Verdict::kCertain ||
+                  r.result->verdict == Verdict::kNotCertain)
+          << "parallel path must never emit an approximate verdict";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqa

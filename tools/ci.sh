@@ -14,7 +14,7 @@
 # keeps answering, an injected crash contained to a typed error, and a
 # clean SIGTERM drain afterwards.
 #
-#   tools/ci.sh            # all seven stages
+#   tools/ci.sh            # all ten stages
 #   tools/ci.sh tier1      # just the tier-1 stage
 #   tools/ci.sh asan tsan  # just the sanitizer stages
 #   tools/ci.sh daemon     # just the daemon smoke (needs a tier-1 build)
@@ -23,6 +23,7 @@
 #   tools/ci.sh sandbox    # just the sandbox smoke (needs a tier-1 build)
 #   tools/ci.sh recovery   # just the recovery smoke (needs a tier-1 build)
 #   tools/ci.sh failover   # just the failover smoke (needs a tier-1 build)
+#   tools/ci.sh parallel   # just the parallel parity smoke (needs tier-1)
 #
 # The recovery smoke drives the live-update durability contract: a daemon
 # with a write-ahead delta journal takes a stream of apply_delta frames,
@@ -35,12 +36,17 @@
 # a group-fsync primary, the primary is SIGKILLed mid-stream, the follower
 # is promoted, and every delta the dead primary acked must be accepted (or
 # re-acked) by the promoted daemon, converging to fingerprint and verdict
-# parity with a clean application.
+# parity with a clean application. The parallel smoke checks the
+# component-parallel path's wire-level contract: the trace generator is
+# byte-deterministic from its seed, and the same recorded trace replayed
+# against a live daemon at --parallelism=1 and --parallelism=8 yields
+# byte-identical transcripts (the differential parity guarantee), with
+# the parallel counters visible in the stats frame.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb sandbox recovery failover)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb sandbox recovery failover parallel)
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -558,6 +564,80 @@ failover_smoke() {
        "death; fingerprint $fp_failover matches clean application)"
 }
 
+# Parallel parity smoke against the tier-1 build: record a mixed-tenant
+# trace (deterministically — the same seed must produce the same bytes),
+# then replay it open-loop against two fresh daemons, one forcing every
+# request to --parallelism=1 (the sequential baseline) and one to
+# --parallelism=8 (component-decomposed fan-out). The verdict transcripts
+# must be byte-for-byte identical, and the width-8 daemon's stats must
+# show the parallel counters moving. Caching is off so every replayed
+# request genuinely runs its solve path.
+parallel_smoke() {
+  local cli=build/tools/cqa_cli
+  local bt=build/bench/bench_trace
+  [ -x "$cli" ] || { echo "parallel smoke needs a tier-1 build ($cli)"; exit 2; }
+  [ -x "$bt" ] || { echo "parallel smoke needs a tier-1 build ($bt)"; exit 2; }
+  local work; work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+
+  echo "==== [parallel] trace generator is byte-deterministic from its seed"
+  "$bt" --record="$work/a.trace" --seed=11 --requests=160 > "$work/rec1.out"
+  "$bt" --record="$work/b.trace" --seed=11 --requests=160 > "$work/rec2.out"
+  cmp "$work/a.trace" "$work/b.trace"
+  grep -q 'crc32c=' "$work/rec1.out"
+
+  start_daemon() {
+    local log="$1"; shift
+    "$cli" serve "$@" > "$log" 2>&1 &
+    echo $! > "$log.pid"
+    local addr=""
+    for _ in $(seq 1 100); do
+      addr=$(sed -n 's/^listening on //p' "$log")
+      [ -n "$addr" ] && break
+      kill -0 "$(cat "$log.pid")" 2>/dev/null || break
+      sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+      echo "daemon never reported its address" >&2; cat "$log" >&2; exit 1
+    fi
+    echo "$addr" > "$log.addr"
+  }
+
+  printf 'R(a | b), R(a | c)\nS(b | a)\n' > "$work/facts"
+
+  echo "==== [parallel] replay at parallelism 1 (sequential baseline)"
+  start_daemon "$work/d1.log" "$work/facts" --listen=127.0.0.1:0 \
+      --workers=4 --queue-cap=4096 --no-cache
+  local addr1; addr1=$(cat "$work/d1.log.addr")
+  local pid1; pid1=$(cat "$work/d1.log.pid")
+  "$bt" --replay="$work/a.trace" --connect="$addr1" --parallelism=1 \
+      --transcript="$work/p1.transcript" > "$work/p1.out"
+  kill -TERM "$pid1"
+  local rc=0
+  wait "$pid1" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "p1 daemon exited $rc"; cat "$work/d1.log"; exit 1; }
+
+  echo "==== [parallel] replay at parallelism 8 (component fan-out)"
+  start_daemon "$work/d8.log" "$work/facts" --listen=127.0.0.1:0 \
+      --workers=4 --queue-cap=4096 --no-cache
+  local addr8; addr8=$(cat "$work/d8.log.addr")
+  local pid8; pid8=$(cat "$work/d8.log.pid")
+  "$bt" --replay="$work/a.trace" --connect="$addr8" --parallelism=8 \
+      --transcript="$work/p8.transcript" > "$work/p8.out"
+  "$cli" client "$addr8" --stats > "$work/stats.out"
+  grep -q '"parallel_solves":[1-9]' "$work/stats.out"
+  grep -q '"components_found":[1-9]' "$work/stats.out"
+  kill -TERM "$pid8"
+  rc=0
+  wait "$pid8" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "p8 daemon exited $rc"; cat "$work/d8.log"; exit 1; }
+
+  echo "==== [parallel] transcripts must be byte-for-byte identical"
+  cmp "$work/p1.transcript" "$work/p8.transcript"
+  [ -s "$work/p1.transcript" ] || { echo "empty transcript"; exit 1; }
+  echo "==== [parallel] OK (deterministic trace; parity across widths 1/8)"
+}
+
 for stage in "${stages[@]}"; do
   case "$stage" in
     tier1) run_stage tier1 default default default ;;
@@ -569,9 +649,10 @@ for stage in "${stages[@]}"; do
     sandbox) sandbox_smoke ;;
     recovery) recovery_smoke ;;
     failover) failover_smoke ;;
+    parallel) parallel_smoke ;;
     *) echo "unknown stage '$stage'" \
             "(want: tier1 asan tsan daemon cache multidb sandbox recovery" \
-            "failover)" >&2
+            "failover parallel)" >&2
        exit 2 ;;
   esac
 done

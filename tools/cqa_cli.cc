@@ -7,7 +7,7 @@
 //   cqa_cli solve    "<query>" db.facts [--witness]
 //                    [--method=auto|rewriting|algorithm1|backtracking|
 //                     naive|matching-q1|sampling]
-//                    [--timeout-ms=N] [--max-nodes=N]
+//                    [--timeout-ms=N] [--max-nodes=N] [--parallelism=N]
 //   cqa_cli answers  "<query>" db.facts --free=x,y
 //                    [--timeout-ms=N] [--max-nodes=N]
 //   cqa_cli repairs  db.facts [--limit=N]
@@ -17,7 +17,7 @@
 //   cqa_cli serve    db.facts [--jobs=FILE] [--workers=N] [--queue-cap=M]
 //                    [--timeout-ms=T] [--retries=R] [--deadline-ms=S]
 //                    [--drain-ms=D] [--max-nodes=K] [--method=...]
-//                    [--cache-entries=E] [--no-cache]
+//                    [--cache-entries=E] [--no-cache] [--parallelism=N]
 //   cqa_cli serve    [db.facts] --listen=HOST:PORT [--db=NAME=PATH ...]
 //                    [--shard-workers=N | --workers=N] [--queue-cap=M]
 //                    [--timeout-ms=T] [--retries=R]
@@ -25,7 +25,7 @@
 //                    [--max-connections=C] [--max-inflight=I]
 //                    [--cache-entries=E] [--no-cache]
 //                    [--isolation=auto|inproc|fork] [--max-rss-mb=M]
-//                    [--kill-grace-ms=G]
+//                    [--kill-grace-ms=G] [--parallelism=N]
 //                    [--journal-dir=PATH]
 //                    [--journal-fsync=always|group|never]
 //                    [--group-fsync-delay-ms=D] [--group-fsync-batch=B]
@@ -34,7 +34,8 @@
 //   cqa_cli client   HOST:PORT [--jobs=FILE] [--db=NAME] [--timeout-ms=T]
 //                    [--max-nodes=K] [--method=...] [--cache=default|bypass]
 //                    [--isolation=auto|inproc|fork] [--wedge-after=N]
-//                    [--crash-after=N] [--health] [--stats]
+//                    [--crash-after=N] [--parallelism=N]
+//                    [--health] [--stats]
 //   cqa_cli admin    HOST:PORT attach NAME FACTS_PATH
 //   cqa_cli admin    HOST:PORT detach NAME
 //   cqa_cli admin    HOST:PORT list
@@ -49,6 +50,13 @@
 // `--timeout-ms` and `--max-nodes` attach an execution governor: on `solve
 // --method=auto` an exhausted exact solver degrades to Monte-Carlo sampling
 // and reports a qualified verdict instead of failing.
+//
+// `--parallelism=N` (solve, both serve modes, client) runs exponential
+// solves component-decomposed on a work-stealing pool of N threads (see
+// docs/THEORY.md for the decomposition and its soundness conditions); the
+// verdict is always identical to the sequential one, N=1 (the default) is
+// the plain sequential path. On the daemon it sets the default; a client
+// request overrides per frame.
 //
 // `serve --listen=HOST:PORT` runs the network daemon (src/cqa/serve/net/)
 // instead of the batch driver: it prints `listening on HOST:PORT`, serves
@@ -327,7 +335,7 @@ bool ParseMethod(const std::string& method, SolverMethod* out) {
 }
 
 int CmdSolve(const Query& q, const Database& db, const std::string& method,
-             bool want_witness, Budget* budget) {
+             bool want_witness, Budget* budget, int parallelism) {
   SolverMethod m = SolverMethod::kAuto;
   if (!ParseMethod(method, &m)) {
     return Fail("unknown method '" + method + "'");
@@ -335,6 +343,7 @@ int CmdSolve(const Query& q, const Database& db, const std::string& method,
   SolveOptions options;
   options.method = m;
   options.budget = budget;
+  options.parallelism = parallelism;
   Result<SolveReport> report = SolveCertainty(q, db, options);
   if (!report.ok()) return Fail(report);
   switch (report->verdict) {
@@ -362,6 +371,12 @@ int CmdSolve(const Query& q, const Database& db, const std::string& method,
   std::fprintf(stderr, "-- solved with %s; classification: %s\n",
                ToString(report->used).c_str(),
                ToString(report->classification.cls).c_str());
+  if (report->components > 0) {
+    std::fprintf(stderr,
+                 "-- parallel: %d components on %d workers, %llu steals\n",
+                 report->components, report->parallelism,
+                 static_cast<unsigned long long>(report->steals));
+  }
   for (const SolveStage& stage : report->stages) {
     std::fprintf(stderr, "-- stage %s: %s, %llu steps, %lld us%s%s\n",
                  ToString(stage.method).c_str(), stage.ok ? "ok" : "failed",
@@ -521,6 +536,7 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
       {"--kill-grace-ms", 500},     {"--snapshot-every-deltas", 0},
       {"--snapshot-every-bytes", 0}, {"--delta-id-window", 4'096},
       {"--group-fsync-delay-ms", 5}, {"--group-fsync-batch", 64},
+      {"--parallelism", 1},
   };
   for (auto& flag : flags) {
     if (FlagGiven(argc, argv, flag.name) &&
@@ -556,6 +572,12 @@ int CmdServeDaemon(int argc, char** argv, const char* db_path) {
   }
   dopts.service.sandbox.max_rss_mb = flags[11].value;
   dopts.service.sandbox.kill_grace = std::chrono::milliseconds(flags[12].value);
+  // Default pool width for component-decomposed solving; requests override
+  // per frame with "parallelism": N.
+  dopts.service.parallelism =
+      static_cast<int>(std::min<uint64_t>(std::max<uint64_t>(flags[18].value,
+                                                             1),
+                                          64));
   // Caching is on by default for the daemon (the library default is off);
   // --no-cache disables both the result cache and worker warm state.
   const bool no_cache = HasFlag(argc, argv, "--no-cache");
@@ -712,6 +734,14 @@ int CmdClient(int argc, char** argv, const char* addr) {
       !ParseU64(FlagValue(argc, argv, "--crash-after"), &crash_after)) {
     return Fail("malformed --crash-after value");
   }
+  // Per-request pool width for component-decomposed solving (0 = daemon
+  // default), forwarded as the frame's "parallelism" field.
+  uint64_t parallelism = 0;
+  if (FlagGiven(argc, argv, "--parallelism") &&
+      (!ParseU64(FlagValue(argc, argv, "--parallelism"), &parallelism) ||
+       parallelism > 64)) {
+    return Fail("malformed --parallelism value (want 1..64)");
+  }
   // Route every solve frame of this run to a named attached database;
   // without it the daemon's registry default answers.
   std::string db_name = FlagValue(argc, argv, "--db");
@@ -742,6 +772,7 @@ int CmdClient(int argc, char** argv, const char* addr) {
     if (!isolation.empty()) req.Set("isolation", isolation);
     if (wedge_after > 0) req.Set("wedge_after_probes", wedge_after);
     if (crash_after > 0) req.Set("crash_after_probes", crash_after);
+    if (parallelism > 0) req.Set("parallelism", parallelism);
     if (!db_name.empty()) req.Set("db", db_name);
     Result<bool> sent = client.SendFrame(req.Build().Serialize(), io_timeout);
     if (!sent.ok()) return Fail(sent);
@@ -978,7 +1009,7 @@ int CmdServe(int argc, char** argv, const char* db_path) {
       {"--workers", 4},         {"--queue-cap", 64}, {"--timeout-ms", 0},
       {"--retries", 0},         {"--deadline-ms", 0}, {"--drain-ms", 3'600'000},
       {"--max-nodes", Budget::kNoStepLimit},
-      {"--cache-entries", 4'096},
+      {"--cache-entries", 4'096}, {"--parallelism", 1},
   };
   for (auto& flag : flags) {
     if (FlagGiven(argc, argv, flag.name) &&
@@ -1005,6 +1036,8 @@ int CmdServe(int argc, char** argv, const char* db_path) {
   const bool no_cache = HasFlag(argc, argv, "--no-cache");
   options.cache_entries = no_cache ? 0 : flags[7].value;
   options.warm_state = !no_cache;
+  options.parallelism = static_cast<int>(
+      std::min<uint64_t>(std::max<uint64_t>(flags[8].value, 1), 64));
 
   std::ifstream jobs_file;
   std::istream* jobs = &std::cin;
@@ -1167,8 +1200,15 @@ int main(int argc, char** argv) {
   if (!db.ok()) return Fail(db.error());
 
   if (cmd == "solve") {
+    uint64_t parallelism = 1;
+    if (FlagGiven(argc, argv, "--parallelism") &&
+        (!ParseU64(FlagValue(argc, argv, "--parallelism"), &parallelism) ||
+         parallelism == 0 || parallelism > 64)) {
+      return Fail("malformed --parallelism value (want 1..64)");
+    }
     return CmdSolve(q.value(), db.value(), FlagValue(argc, argv, "--method"),
-                    HasFlag(argc, argv, "--witness"), budget);
+                    HasFlag(argc, argv, "--witness"), budget,
+                    static_cast<int>(parallelism));
   }
   if (cmd == "answers") {
     return CmdAnswers(q.value(), db.value(), FlagValue(argc, argv, "--free"),

@@ -17,12 +17,21 @@
 // under exactly that key. A fifth phase (--journal-rounds) feeds random
 // concatenations of intact, CRC-corrupted, bit-flipped, truncated and
 // garbage delta-journal records to ParseJournalBytes, asserting the
-// decoder always yields a clean valid prefix and never crashes. Exits
-// non-zero and prints a reproducer on the first violation.
+// decoder always yields a clean valid prefix and never crashes. A sixth
+// phase (--parallel-rounds) chains random fact deltas into fresh epochs
+// (ApplyDeltaToDatabase) and, on every epoch, (a) cross-checks the
+// decompose-then-solve parallel path against the direct sequential solve
+// — verdicts must be identical — and (b) asserts the epoch's memoized
+// value-connected component partition equals that of a from-scratch
+// reparse of the same facts, so an incremental mutation can never leave
+// stale component metadata behind. Exits non-zero and prints a reproducer
+// on the first violation.
 //
 //   cqa_fuzz [--seed=N] [--rounds=N] [--dbs-per-query=N] [--parse-rounds=N]
 //            [--wire-rounds=N] [--cache-rounds=N] [--journal-rounds=N]
+//            [--parallel-rounds=N]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -32,7 +41,10 @@
 
 #include "cqa/base/crc32c.h"
 #include "cqa/cqa.h"
+#include "cqa/delta/delta.h"
 #include "cqa/delta/journal.h"
+#include "cqa/parallel/decompose.h"
+#include "cqa/parallel/parallel_solver.h"
 #include "cqa/serve/net/framing.h"
 #include "cqa/serve/net/json.h"
 #include "cqa/serve/net/protocol.h"
@@ -298,6 +310,32 @@ Query RenameVariables(const Query& q, uint64_t salt) {
   return Query::MakeOrDie(std::move(literals), std::move(diseqs));
 }
 
+// Canonical signature of a database's value-connected component partition:
+// every block rendered "Rel(key)", blocks grouped by component id, each
+// group sorted, groups sorted. Independent of block enumeration order, so
+// an epoch produced by incremental mutation must match a from-scratch
+// reparse of the same facts byte-for-byte.
+std::string ComponentSignature(const Database& db) {
+  const std::vector<Database::Block>& blocks = db.blocks();
+  const Database::ComponentIndex& ci = db.BlockComponents();
+  std::vector<std::vector<std::string>> groups(ci.num_components);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    groups[ci.component_of_block[b]].push_back(
+        SymbolName(blocks[b].relation) + TupleToString(blocks[b].key));
+  }
+  for (std::vector<std::string>& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end());
+  std::string sig;
+  for (const std::vector<std::string>& g : groups) {
+    for (const std::string& s : g) {
+      sig += s;
+      sig += ' ';
+    }
+    sig += '|';
+  }
+  return sig;
+}
+
 int CacheViolation(const Query& q, const char* what) {
   std::printf("CACHE VIOLATION (%s)\nquery: %s\n", what,
               q.ToString().c_str());
@@ -354,6 +392,7 @@ int main(int argc, char** argv) {
   uint64_t wire_rounds = FlagOr(argc, argv, "--wire-rounds", 300);
   uint64_t cache_rounds = FlagOr(argc, argv, "--cache-rounds", 200);
   uint64_t journal_rounds = FlagOr(argc, argv, "--journal-rounds", 300);
+  uint64_t parallel_rounds = FlagOr(argc, argv, "--parallel-rounds", 120);
 
   // Phase 1: parser robustness under mutation and garbage.
   {
@@ -513,6 +552,97 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Phase 4: parallel decomposition parity on delta-mutated epochs. Each
+  // round chains random inserts and deletes through ApplyDeltaToDatabase;
+  // every epoch's component metadata must match a from-scratch reparse,
+  // and the decompose-then-solve verdict must equal the direct one.
+  {
+    Rng prng(seed ^ 0xdec0u);
+    RandomQueryOptions pqopts;
+    RandomDbOptions pdopts;
+    pdopts.blocks_per_relation = 3;
+    pdopts.max_block_size = 2;
+    pdopts.domain_size = 6;
+    for (uint64_t round = 0; round < parallel_rounds; ++round) {
+      Query q = GenerateRandomQuery(pqopts, &prng);
+      Database base = GenerateRandomDatabaseFor(q, pdopts, &prng);
+
+      // Per-relation arities of q (delta ops must be schema-valid), and a
+      // value pool mixing the base database's own spellings (inserts that
+      // merge components) with fresh ones (inserts that mint components).
+      std::vector<std::pair<std::string, size_t>> relations;
+      for (const Literal& l : q.literals()) {
+        relations.emplace_back(SymbolName(l.atom.relation()),
+                               l.atom.terms().size());
+      }
+      std::vector<std::string> pool;
+      for (const Database::Block& b : base.blocks()) {
+        for (Value v : b.key) pool.push_back(v.name());
+      }
+      for (int f = 0; f < 4; ++f) {
+        pool.push_back("fz" + std::to_string(round) + "_" + std::to_string(f));
+      }
+
+      auto random_op = [&](bool insert) {
+        const auto& [rel, arity] = relations[prng.Below(relations.size())];
+        DeltaOp op;
+        op.insert = insert;
+        op.relation = rel;
+        for (size_t a = 0; a < arity; ++a) {
+          op.values.push_back(pool[prng.Below(pool.size())]);
+        }
+        return op;
+      };
+
+      std::shared_ptr<const Database> epoch =
+          std::make_shared<const Database>(std::move(base));
+      std::vector<DeltaOp> inserted;
+      for (int step = 0; step < 3; ++step) {
+        FactDelta delta;
+        delta.id = "fz" + std::to_string(round) + "." + std::to_string(step);
+        int ops = static_cast<int>(prng.Below(5)) + 1;
+        for (int o = 0; o < ops; ++o) {
+          // Deletes target previously-inserted facts when possible so they
+          // actually remove something; a miss is a legal no-op either way.
+          if (!inserted.empty() && prng.Chance(0.4)) {
+            DeltaOp del = inserted[prng.Below(inserted.size())];
+            del.insert = false;
+            delta.ops.push_back(std::move(del));
+          } else {
+            DeltaOp op = random_op(/*insert=*/true);
+            inserted.push_back(op);
+            delta.ops.push_back(std::move(op));
+          }
+        }
+        Result<DeltaApplyOutcome> out = ApplyDeltaToDatabase(*epoch, delta);
+        if (!out.ok()) {
+          return Reproducer(q, *epoch, "schema-valid delta was rejected");
+        }
+        epoch = out->db;
+
+        // (b) Epoch component metadata vs a from-scratch reparse.
+        Result<Database> reparsed = Database::FromText(epoch->ToText());
+        if (!reparsed.ok()) {
+          return Reproducer(q, *epoch, "epoch failed to round-trip as text");
+        }
+        if (ComponentSignature(*epoch) != ComponentSignature(*reparsed)) {
+          return Reproducer(q, *epoch,
+                            "epoch carries stale component metadata");
+        }
+
+        // (a) Decompose-then-solve vs the direct sequential engine.
+        Result<bool> direct = IsCertainBacktracking(q, *epoch);
+        if (!direct.ok()) continue;
+        ParallelOptions popts;
+        popts.parallelism = 2 + static_cast<int>(prng.Below(3)) * 3;
+        Result<ParallelReport> par = SolveCertainParallel(q, *epoch, popts);
+        if (!par.ok() || par->certain != direct.value()) {
+          return Reproducer(q, *epoch, "parallel vs direct on delta epoch");
+        }
+      }
+    }
+  }
+
   Rng rng(seed);
   RandomQueryOptions qopts;
   RandomDbOptions dopts;
@@ -573,12 +703,13 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "fuzz clean: %llu parse rounds, %llu wire rounds, %llu journal "
-      "rounds, %llu cache rounds, "
+      "rounds, %llu cache rounds, %llu parallel rounds, "
       "%llu rounds (%llu FO, %llu hard), %llu database checks\n",
       static_cast<unsigned long long>(parse_rounds),
       static_cast<unsigned long long>(wire_rounds),
       static_cast<unsigned long long>(journal_rounds),
       static_cast<unsigned long long>(cache_rounds),
+      static_cast<unsigned long long>(parallel_rounds),
       static_cast<unsigned long long>(rounds),
       static_cast<unsigned long long>(fo_count),
       static_cast<unsigned long long>(hard_count),
