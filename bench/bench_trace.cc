@@ -4,7 +4,7 @@
 //
 //   bench_trace --record=FILE [--seed=N] [--requests=N] [--tenants=N]
 //               [--queries=N] [--rate=RPS] [--pigeonhole-every=N]
-//               [--pigeonhole-k=N]
+//               [--pigeonhole-k=N] [--answers-every=N]
 //     Generates a deterministic trace (trace_gen.h) and writes it to FILE.
 //     The same seed always produces the byte-identical file — tools/ci.sh
 //     records twice and `cmp`s.
@@ -68,6 +68,7 @@ struct Args {
   double rate = 2'000.0;
   int pigeonhole_every = 16;
   int pigeonhole_k = 4;
+  int answers_every = 0;
   int parallelism = 0;  // 0 = daemon default
   int workers = 4;
   int queue_cap = 1024;
@@ -106,6 +107,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->pigeonhole_every = std::atoi(v.c_str());
     } else if (eat("--pigeonhole-k", &v)) {
       out->pigeonhole_k = std::atoi(v.c_str());
+    } else if (eat("--answers-every", &v)) {
+      out->answers_every = std::atoi(v.c_str());
     } else if (eat("--parallelism", &v)) {
       out->parallelism = std::atoi(v.c_str());
     } else if (eat("--workers", &v)) {
@@ -143,6 +146,7 @@ int Record(const Args& args) {
   gen.rate_rps = args.rate;
   gen.pigeonhole_every = args.pigeonhole_every;
   gen.pigeonhole_k = args.pigeonhole_k;
+  gen.answers_every = args.answers_every;
   Trace trace = tracegen::GenerateTrace(gen);
   std::string text = tracegen::SerializeTrace(trace);
   std::ofstream f(args.record, std::ios::binary | std::ios::trunc);
@@ -266,6 +270,10 @@ int Replay(const Args& args) {
                          .count();
       if (r->type == "result") {
         verdicts[idx] = r->verdict;
+      } else if (r->type == "answer_done") {
+        // Parity-friendly spelling: the answer count is a property of
+        // (query, db), independent of chunking or worker interleaving.
+        verdicts[idx] = "answers=" + std::to_string(r->answers);
       } else if (r->type == "cancelled") {
         verdicts[idx] = "cancelled";
       } else if (r->code == "overloaded") {
@@ -296,8 +304,25 @@ int Replay(const Args& args) {
                      now.time_since_epoch())
                      .count();
     JsonObjectBuilder b;
-    b.Set("type", "solve").Set("id", kIdBase + i).Set("query", req.query)
-        .Set("db", req.db);
+    if (req.answers) {
+      b.Set("type", "answers").Set("id", kIdBase + i).Set("query", req.query)
+          .Set("db", req.db).Set("max_chunk", req.max_chunk);
+      Json::Array frees;
+      size_t from = 0;
+      while (from <= req.free_csv.size()) {
+        size_t comma = req.free_csv.find(',', from);
+        if (comma == std::string::npos) comma = req.free_csv.size();
+        if (comma > from) {
+          frees.push_back(
+              Json::MakeString(req.free_csv.substr(from, comma - from)));
+        }
+        from = comma + 1;
+      }
+      b.Set("free", Json::MakeArray(std::move(frees)));
+    } else {
+      b.Set("type", "solve").Set("id", kIdBase + i).Set("query", req.query)
+          .Set("db", req.db);
+    }
     if (args.parallelism > 0) {
       b.Set("parallelism", static_cast<int64_t>(args.parallelism));
     }

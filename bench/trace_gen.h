@@ -27,11 +27,18 @@
 // Format (version tag first line; `--` comments are not allowed — the file
 // is machine-written):
 //
-//   # cqa-trace v1 seed=<seed>
+//   # cqa-trace v2 seed=<seed>
 //   db <name>
 //   <fact lines...>
 //   enddb
 //   req <arrival_us> <db> <query text>
+//   ans <arrival_us> <db> <max_chunk> <free-csv> <query text>
+//
+// `ans` lines (v2 only; the parser accepts v1 and v2 headers, and `req`
+// semantics are unchanged) open a chunked answer stream: `free-csv` is the
+// comma-joined free-variable list and `max_chunk` the answers-per-chunk
+// knob. The replayer drives each stream to its `answer_done` terminal, so
+// answer traffic shares admission, cache, and backpressure with solves.
 //
 #ifndef CQA_BENCH_TRACE_GEN_H_
 #define CQA_BENCH_TRACE_GEN_H_
@@ -43,8 +50,10 @@
 #include <utility>
 #include <vector>
 
+#include "cqa/base/interner.h"
 #include "cqa/base/result.h"
 #include "cqa/base/rng.h"
+#include "cqa/base/symbol_set.h"
 #include "cqa/db/database.h"
 #include "cqa/gen/families.h"
 #include "cqa/gen/random_db.h"
@@ -59,6 +68,12 @@ struct TraceRequest {
   uint64_t arrival_us = 0;
   std::string db;
   std::string query;
+  /// Chunked answer-enumeration request (an `ans` line) instead of a
+  /// boolean certainty solve. `free_csv` holds the comma-joined free
+  /// variables; `max_chunk` the answers-per-chunk knob.
+  bool answers = false;
+  std::string free_csv;
+  uint64_t max_chunk = 0;
 };
 
 struct Trace {
@@ -83,6 +98,9 @@ struct TraceGenOptions {
   /// Every Nth request is the adversarial pigeonhole solve (0 = never).
   int pigeonhole_every = 16;
   int pigeonhole_k = 4;
+  /// Every Nth request becomes a chunked answer stream over its query's
+  /// positive variables (0 = never; pigeonhole slots keep priority).
+  int answers_every = 0;
 };
 
 /// Wire spelling of a query: comma-joined literals/diseqs, no braces (the
@@ -107,6 +125,7 @@ inline Trace GenerateTrace(const TraceGenOptions& options) {
   struct PoolEntry {
     std::string db;
     std::string query;
+    std::string free_csv;  // up to two positive vars; empty when none
   };
   std::vector<PoolEntry> pool;
 
@@ -141,7 +160,14 @@ inline Trace GenerateTrace(const TraceGenOptions& options) {
     std::string name = "tenant" + std::to_string(t);
     trace.dbs.emplace_back(name, db.ToText());
     for (const Query& q : queries) {
-      pool.push_back(PoolEntry{name, WireQueryText(q)});
+      const SymbolSet positive_vars = q.PositiveVars();
+      const std::vector<Symbol> vars = positive_vars.items();
+      std::string free_csv;
+      for (size_t v = 0; v < vars.size() && v < 2; ++v) {
+        if (v > 0) free_csv += ',';
+        free_csv += SymbolName(vars[v]);
+      }
+      pool.push_back(PoolEntry{name, WireQueryText(q), std::move(free_csv)});
     }
   }
   if (options.pigeonhole_every > 0) {
@@ -196,6 +222,14 @@ inline Trace GenerateTrace(const TraceGenOptions& options) {
       idx = std::min(idx, pool.size() - 1);
       req.db = pool[idx].db;
       req.query = pool[idx].query;
+      if (options.answers_every > 0 &&
+          (i + 1) % options.answers_every == 0 &&
+          !pool[idx].free_csv.empty()) {
+        req.answers = true;
+        req.free_csv = pool[idx].free_csv;
+        static constexpr uint64_t kChunks[] = {1, 4, 16, 64};
+        req.max_chunk = kChunks[rng.Below(4)];
+      }
     }
     trace.requests.push_back(std::move(req));
   }
@@ -203,7 +237,7 @@ inline Trace GenerateTrace(const TraceGenOptions& options) {
 }
 
 inline std::string SerializeTrace(const Trace& trace) {
-  std::string out = "# cqa-trace v1 seed=" + std::to_string(trace.seed) + "\n";
+  std::string out = "# cqa-trace v2 seed=" + std::to_string(trace.seed) + "\n";
   for (const auto& [name, facts] : trace.dbs) {
     out += "db " + name + "\n";
     out += facts;
@@ -211,8 +245,14 @@ inline std::string SerializeTrace(const Trace& trace) {
     out += "enddb\n";
   }
   for (const TraceRequest& req : trace.requests) {
-    out += "req " + std::to_string(req.arrival_us) + " " + req.db + " " +
-           req.query + "\n";
+    if (req.answers) {
+      out += "ans " + std::to_string(req.arrival_us) + " " + req.db + " " +
+             std::to_string(req.max_chunk) + " " + req.free_csv + " " +
+             req.query + "\n";
+    } else {
+      out += "req " + std::to_string(req.arrival_us) + " " + req.db + " " +
+             req.query + "\n";
+    }
   }
   return out;
 }
@@ -225,6 +265,7 @@ inline Result<Trace> ParseTrace(const std::string& text) {
   std::string pending_db;     // name of the db block being read
   std::string pending_facts;  // its accumulated fact lines
   bool saw_header = false;
+  int version = 0;
   while (pos <= text.size()) {
     size_t eol = text.find('\n', pos);
     if (eol == std::string::npos) eol = text.size();
@@ -234,9 +275,13 @@ inline Result<Trace> ParseTrace(const std::string& text) {
     if (line.empty() && pos > text.size()) break;
     const std::string where = "trace line " + std::to_string(line_no);
     if (!saw_header) {
-      if (line.rfind("# cqa-trace v1 seed=", 0) != 0) {
+      if (line.rfind("# cqa-trace v1 seed=", 0) == 0) {
+        version = 1;
+      } else if (line.rfind("# cqa-trace v2 seed=", 0) == 0) {
+        version = 2;
+      } else {
         return Out::Error(ErrorCode::kParse,
-                          where + ": expected '# cqa-trace v1 seed=<n>'");
+                          where + ": expected '# cqa-trace v1|v2 seed=<n>'");
       }
       trace.seed = std::strtoull(line.c_str() + 20, nullptr, 10);
       saw_header = true;
@@ -279,6 +324,35 @@ inline Result<Trace> ParseTrace(const std::string& text) {
       req.query = line.substr(b + 1);
       if (req.db.empty() || req.query.empty()) {
         return Out::Error(ErrorCode::kParse, where + ": malformed req");
+      }
+      trace.requests.push_back(std::move(req));
+      continue;
+    }
+    if (line.rfind("ans ", 0) == 0) {
+      // ans <arrival_us> <db> <max_chunk> <free-csv> <query...>
+      if (version < 2) {
+        return Out::Error(ErrorCode::kParse,
+                          where + ": 'ans' requires a v2 trace");
+      }
+      size_t a = line.find(' ', 4);
+      size_t b = a == std::string::npos ? a : line.find(' ', a + 1);
+      size_t c = b == std::string::npos ? b : line.find(' ', b + 1);
+      size_t d = c == std::string::npos ? c : line.find(' ', c + 1);
+      if (d == std::string::npos) {
+        return Out::Error(ErrorCode::kParse, where + ": malformed ans");
+      }
+      TraceRequest req;
+      req.answers = true;
+      req.arrival_us =
+          std::strtoull(line.substr(4, a - 4).c_str(), nullptr, 10);
+      req.db = line.substr(a + 1, b - a - 1);
+      req.max_chunk =
+          std::strtoull(line.substr(b + 1, c - b - 1).c_str(), nullptr, 10);
+      req.free_csv = line.substr(c + 1, d - c - 1);
+      req.query = line.substr(d + 1);
+      if (req.db.empty() || req.free_csv.empty() || req.query.empty() ||
+          req.max_chunk == 0) {
+        return Out::Error(ErrorCode::kParse, where + ": malformed ans");
       }
       trace.requests.push_back(std::move(req));
       continue;

@@ -1,0 +1,169 @@
+#include "cqa/answers/enumerator.h"
+
+#include <algorithm>
+
+#include "cqa/certainty/certain_answers.h"
+#include "cqa/fo/eval.h"
+
+namespace cqa {
+
+namespace {
+
+// Hard bound on the flattened candidate space. Positions are u64; keep a
+// wide safety margin below overflow so `start + scanned` arithmetic can
+// never wrap.
+constexpr uint64_t kMaxCandidateSpace = 1ull << 62;
+
+}  // namespace
+
+Result<AnswerChunk> EnumerateAnswerChunk(const Query& q,
+                                         const std::vector<Symbol>& free_vars,
+                                         const Database& db,
+                                         const EnumerateOptions& options,
+                                         Budget* budget) {
+  using Out = Result<AnswerChunk>;
+  if (options.method == SolverMethod::kSampling) {
+    return Out::Error(ErrorCode::kUnsupported,
+                      "answer enumeration needs exact verdicts; sampling "
+                      "cannot soundly include or exclude a candidate");
+  }
+  Result<std::vector<std::vector<Value>>> lists =
+      CertainAnswerCandidates(q, free_vars, db);
+  if (!lists.ok()) return Out::Error(lists);
+
+  // Canonical order: each list sorted by value spelling, so the flat
+  // mixed-radix position (first variable most significant) enumerates
+  // tuples in exactly the lexicographic order `ComputeCertainAnswers`
+  // sorts into — and positions are stable across processes and restarts
+  // of the same database epoch.
+  std::vector<std::vector<Value>> candidates = std::move(lists.value());
+  for (std::vector<Value>& list : candidates) {
+    std::sort(list.begin(), list.end(), [](Value a, Value b) {
+      return a.name() < b.name();
+    });
+  }
+  uint64_t total = 1;
+  for (const std::vector<Value>& list : candidates) {
+    if (list.empty()) {
+      total = 0;
+      break;
+    }
+    if (total > kMaxCandidateSpace / list.size()) {
+      return Out::Error(ErrorCode::kUnsupported,
+                        "candidate space exceeds 2^62 positions");
+    }
+    total *= list.size();
+  }
+
+  AnswerChunk chunk;
+  for (Symbol v : free_vars) chunk.free_vars.push_back(SymbolName(v));
+  chunk.total = total;
+  chunk.start = options.start;
+  chunk.next = options.start;
+  if (options.start > total) {
+    return Out::Error(ErrorCode::kParse,
+                      "cursor position " + std::to_string(options.start) +
+                          " beyond the candidate space (" +
+                          std::to_string(total) + ")");
+  }
+  if (options.start == total) {
+    chunk.done = true;
+    return chunk;
+  }
+
+  // Odometer over the sorted lists, seeded by decoding `start` as a
+  // mixed-radix numeral (first variable most significant).
+  std::vector<size_t> digit(candidates.size(), 0);
+  {
+    uint64_t rem = options.start;
+    for (size_t i = candidates.size(); i-- > 0;) {
+      digit[i] = static_cast<size_t>(rem % candidates[i].size());
+      rem /= candidates[i].size();
+    }
+  }
+
+  // The rewriting path builds the Lemma 6.1 formula once per chunk and
+  // evaluates it per candidate; every other method grounds the query and
+  // dispatches the solver. Both are exact (degradation is off).
+  Result<FoPtr> formula = Result<FoPtr>::Error(ErrorCode::kInternal, "");
+  std::optional<FoEvaluator> eval;
+  SolveOptions solve_options;
+  if (options.method == SolverMethod::kRewriting) {
+    formula = RewriteCertainWithFree(q, free_vars);
+    if (!formula.ok()) return Out::Error(formula);
+    eval.emplace(db);
+  } else {
+    solve_options.method = options.method;
+    solve_options.budget = budget;
+    solve_options.degrade_to_sampling = false;
+  }
+
+  const uint64_t max_answers = std::max<uint64_t>(1, options.max_chunk);
+  Tuple tuple(candidates.size());
+  while (chunk.next < total) {
+    if (budget != nullptr) {
+      if (std::optional<ErrorCode> code = budget->CheckEvery(1)) {
+        if (chunk.scanned == 0) {
+          return Out::Error(*code,
+                            "answer chunk aborted before the first "
+                            "candidate: " +
+                                Budget::Describe(*code));
+        }
+        chunk.exhausted = true;
+        break;
+      }
+    }
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      tuple[i] = candidates[i][digit[i]];
+    }
+    bool certain = false;
+    if (eval.has_value()) {
+      Valuation env;
+      for (size_t i = 0; i < free_vars.size(); ++i) {
+        env.emplace(free_vars[i], tuple[i]);
+      }
+      Result<bool> holds = eval->EvalGoverned(formula.value(), env, budget);
+      if (!holds.ok()) {
+        if (IsResourceExhaustion(holds.code()) && chunk.scanned > 0) {
+          chunk.exhausted = true;
+          break;
+        }
+        return Out::Error(holds);
+      }
+      certain = holds.value();
+    } else {
+      Query ground = q;
+      for (size_t i = 0; i < free_vars.size(); ++i) {
+        ground = ground.Substituted(free_vars[i], tuple[i]);
+      }
+      Result<SolveReport> report = SolveCertainty(ground, db, solve_options);
+      if (!report.ok()) {
+        if (IsResourceExhaustion(report.code()) && chunk.scanned > 0) {
+          chunk.exhausted = true;
+          break;
+        }
+        return Out::Error(report);
+      }
+      if (report->verdict != Verdict::kCertain &&
+          report->verdict != Verdict::kNotCertain) {
+        return Out::Error(ErrorCode::kUnsupported,
+                          "candidate verdict was not exact (" +
+                              ToString(report->verdict) + ")");
+      }
+      certain = report->certain;
+    }
+    ++chunk.scanned;
+    ++chunk.next;
+    if (certain) chunk.answers.push_back(tuple);
+    // Advance the odometer (least-significant digit last).
+    for (size_t i = candidates.size(); i-- > 0;) {
+      if (++digit[i] < candidates[i].size()) break;
+      digit[i] = 0;
+    }
+    if (chunk.answers.size() >= max_answers) break;
+  }
+  chunk.done = chunk.next == total;
+  return chunk;
+}
+
+}  // namespace cqa

@@ -44,6 +44,13 @@ enum class ErrorCode {
   /// Not transparently retryable: the same replica refuses again — the
   /// client must redirect the write to the primary (or promote).
   kReadOnly,
+  /// A resumable answer-stream cursor named a database fingerprint other
+  /// than the one the target instance is serving: the epoch flipped under
+  /// the stream (an `apply_delta`), so candidate positions are no longer
+  /// meaningful and resuming would silently skip or repeat tuples. Not
+  /// transparently retryable — the client must restart the stream from
+  /// position zero against the new epoch.
+  kStaleCursor,
   /// Anything else: internal invariant failures, I/O, legacy untyped errors.
   kInternal,
 };
@@ -70,6 +77,8 @@ inline const char* ToString(ErrorCode code) {
       return "worker-crashed";
     case ErrorCode::kReadOnly:
       return "read-only";
+    case ErrorCode::kStaleCursor:
+      return "stale-cursor";
     case ErrorCode::kInternal:
       return "internal";
   }

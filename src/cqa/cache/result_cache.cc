@@ -40,6 +40,23 @@ CacheKey MakeCacheKey(const DbFingerprint& fp, SolverMethod method,
   return key;
 }
 
+CacheKey MakeAnswersCacheKey(const DbFingerprint& fp, SolverMethod method,
+                             const Query& q,
+                             const std::vector<std::string>& free_vars,
+                             uint64_t start, uint64_t max_chunk) {
+  CacheKey key = MakeCacheKey(fp, method, q);
+  key.text += "|answers|";
+  for (const std::string& v : free_vars) {
+    key.text += v;
+    key.text += ',';
+  }
+  key.text += "|" + std::to_string(start) + "|" + std::to_string(max_chunk);
+  Hash128 h;
+  h.Update(key.text);
+  key.hash = h.Finish().lo;
+  return key;
+}
+
 bool IsCacheableReport(const SolveReport& report) {
   return report.verdict == Verdict::kCertain ||
          report.verdict == Verdict::kNotCertain;

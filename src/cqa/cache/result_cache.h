@@ -34,6 +34,18 @@ struct CacheKey {
 CacheKey MakeCacheKey(const DbFingerprint& fp, SolverMethod method,
                       const Query& q);
 
+/// Cache key for one answer-stream chunk: the solve key extended with the
+/// free-variable tuple order and the chunk's span parameters, so every
+/// (query, fingerprint, cursor position, chunk size) combination caches
+/// independently and a partially consumed stream stays warm chunk by
+/// chunk. The text keeps `CacheKeyPrefix(fp)` as its prefix and the
+/// query's relation footprint, so delta-scoped invalidation and rekeying
+/// treat chunk entries exactly like verdict entries.
+CacheKey MakeAnswersCacheKey(const DbFingerprint& fp, SolverMethod method,
+                             const Query& q,
+                             const std::vector<std::string>& free_vars,
+                             uint64_t start, uint64_t max_chunk);
+
 /// The fingerprint-hex prefix of `MakeCacheKey(fp, ...)` keys, exposed so
 /// the delta path can rewrite keys across epochs.
 std::string CacheKeyPrefix(const DbFingerprint& fp);

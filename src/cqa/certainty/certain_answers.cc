@@ -63,7 +63,9 @@ bool ForEachCandidate(const std::vector<std::vector<Value>>& candidates,
   return rec(0);
 }
 
-Result<std::vector<std::vector<Value>>> AllCandidates(
+}  // namespace
+
+Result<std::vector<std::vector<Value>>> CertainAnswerCandidates(
     const Query& q, const std::vector<Symbol>& free_vars,
     const Database& db) {
   std::vector<std::vector<Value>> candidates;
@@ -75,13 +77,11 @@ Result<std::vector<std::vector<Value>>> AllCandidates(
   return candidates;
 }
 
-}  // namespace
-
 Result<CertainAnswers> ComputeCertainAnswers(
     const Query& q, const std::vector<Symbol>& free_vars, const Database& db,
     Budget* budget) {
   Result<std::vector<std::vector<Value>>> candidates =
-      AllCandidates(q, free_vars, db);
+      CertainAnswerCandidates(q, free_vars, db);
   if (!candidates.ok()) return Result<CertainAnswers>::Error(candidates);
 
   CertainAnswers out;
@@ -138,7 +138,7 @@ Result<CertainAnswers> CertainAnswersByRewriting(
   Result<FoPtr> formula = RewriteCertainWithFree(q, free_vars);
   if (!formula.ok()) return Result<CertainAnswers>::Error(formula);
   Result<std::vector<std::vector<Value>>> candidates =
-      AllCandidates(q, free_vars, db);
+      CertainAnswerCandidates(q, free_vars, db);
   if (!candidates.ok()) return Result<CertainAnswers>::Error(candidates);
 
   CertainAnswers out;

@@ -27,6 +27,15 @@ struct CertainAnswers {
   size_t candidates = 0;
 };
 
+/// The per-free-variable candidate value lists: for each variable, the
+/// values of the first positive column it occurs in (every certain answer
+/// must embed a positive atom into every repair, hence into db). Lists are
+/// deduplicated, in the database's fact-iteration order — callers needing
+/// a canonical order (the streaming enumerator) sort them by spelling.
+/// Fails `kUnsupported` if a free variable has no positive occurrence.
+Result<std::vector<std::vector<Value>>> CertainAnswerCandidates(
+    const Query& q, const std::vector<Symbol>& free_vars, const Database& db);
+
 /// Computes the certain answers of `q` with free variables `free_vars` on
 /// `db`, deciding each candidate with the auto-dispatched solver. Fails if
 /// a free variable does not occur in a positive atom (`kUnsupported`), or

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -51,6 +52,7 @@ enum class Verdict {
 std::string ToString(Verdict v);
 
 class WarmState;
+struct AnswerChunk;
 
 /// Execution knobs for `SolveCertainty`.
 struct SolveOptions {
@@ -120,6 +122,13 @@ struct SolveReport {
   int components = 0;
   /// Work-stealing pool steals across the solve (0 on the sequential path).
   uint64_t steals = 0;
+  /// Set only by answer-enumeration jobs (`ServeJob::kind == kAnswers`):
+  /// the chunk of certain answers this job produced. Shared, immutable —
+  /// cached reports and coalesced followers alias the same chunk. For
+  /// such jobs `verdict` encodes cacheability, not an answer: `kCertain`
+  /// for a clean chunk, `kExhausted` for a budget-truncated partial one
+  /// (which `IsCacheableReport` rejects, exactly as intended).
+  std::shared_ptr<const AnswerChunk> answer_chunk;
 };
 
 /// Unified entry point: decides whether `q` is true in every repair of `db`.

@@ -115,6 +115,29 @@ void Connection::CancelOutstanding() {
   for (const InflightSolve& solve : solves) {
     service_->Cancel(solve.db, solve.service_id);
   }
+  // Answer streams: a chunk in flight is cancelled at the service (its
+  // terminal flushes if the writer survives); an idle stream is simply
+  // dropped — the socket is gone, no terminal could be delivered, and
+  // nothing of it is queued or running anywhere.
+  std::vector<InflightSolve> chunk_jobs;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    for (auto it = streams_.begin(); it != streams_.end();) {
+      it->second.cancelled = true;
+      if (it->second.service_id != 0 || it->second.in_submit) {
+        if (it->second.service_id != 0) {
+          chunk_jobs.push_back({it->second.db, it->second.service_id});
+        }
+        ++it;
+      } else {
+        if (it->second.parked) parked_streams_.fetch_sub(1);
+        it = streams_.erase(it);
+      }
+    }
+  }
+  for (const InflightSolve& job : chunk_jobs) {
+    service_->Cancel(job.db, job.service_id);
+  }
 }
 
 void Connection::ReaderLoop() {
@@ -239,12 +262,46 @@ void Connection::HandleFrame(const std::string& frame) {
         }
       }
       if (found) found = service_->Cancel(solve.db, solve.service_id);
+      if (!found) {
+        // Not a plain solve: maybe an answer stream. Mark it cancelled; a
+        // chunk in flight is cancelled at the service (its terminal
+        // arrives as cancelled), an idle stream (parked, or between
+        // chunks with no submit loop running) terminates right here —
+        // no callback is ever coming for it.
+        std::string db;
+        uint64_t service_id = 0;
+        bool terminate_now = false;
+        {
+          std::lock_guard<std::mutex> lock(streams_mu_);
+          auto it = streams_.find(decoded->target);
+          if (it != streams_.end()) {
+            found = true;
+            it->second.cancelled = true;
+            if (it->second.service_id != 0) {
+              db = it->second.db;
+              service_id = it->second.service_id;
+            } else if (!it->second.in_submit) {
+              if (it->second.parked) parked_streams_.fetch_sub(1);
+              streams_.erase(it);
+              terminate_now = true;
+            }
+          }
+        }
+        if (service_id != 0) service_->Cancel(db, service_id);
+        if (terminate_now) {
+          EnqueueFromReader(EncodeCancelledFrame(
+              decoded->target, "cancelled between answer chunks"));
+        }
+      }
       EnqueueFromReader(
           EncodeCancelAckFrame(decoded->id, decoded->target, found));
       return;
     }
     case WireRequestType::kSolve:
       HandleSolve(std::move(*decoded));
+      return;
+    case WireRequestType::kAnswers:
+      HandleAnswers(std::move(*decoded));
       return;
     case WireRequestType::kAttach:
     case WireRequestType::kDetach:
@@ -665,6 +722,295 @@ void Connection::SolveCallback(uint64_t client_id,
   EnqueueFromWorker(std::move(frame));
 }
 
+void Connection::HandleAnswers(WireRequest request) {
+  const uint64_t id = request.id;
+  if (draining_.load()) {
+    stats_->OnSolveRejectedOverloaded();
+    EnqueueFromReader(EncodeErrorFrame(
+        id, ErrorCode::kOverloaded, "daemon is draining; not accepting work"));
+    return;
+  }
+  Result<Query> query = ParseQuery(request.query);
+  if (!query.ok()) {
+    EnqueueFromReader(EncodeErrorFrame(id, query.code(), query.error()));
+    return;
+  }
+  // Admission: one client id addresses one request — solve or stream —
+  // and streams share the per-connection in-flight cap with solves (a
+  // stream occupies a slot for its whole life, chunk in flight or not).
+  // Only this reader thread inserts into either map, so the two-map check
+  // cannot race another admission.
+  enum class Reject { kNone, kDuplicate, kInflightCap };
+  Reject reject = Reject::kNone;
+  const bool resumed = !request.cursor.empty();
+  size_t solves_inflight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    solves_inflight = inflight_.size();
+    if (inflight_.count(id) > 0) reject = Reject::kDuplicate;
+  }
+  if (reject == Reject::kNone) {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    if (streams_.count(id) > 0) {
+      reject = Reject::kDuplicate;
+    } else if (solves_inflight + streams_.size() >= options_.max_inflight) {
+      reject = Reject::kInflightCap;
+    } else {
+      AnswerStream stream;
+      stream.db = request.db;
+      stream.query = std::move(*query);
+      stream.free_vars = std::move(request.free_vars);
+      stream.max_chunk = request.max_chunk == 0
+                             ? 64
+                             : std::min<uint64_t>(request.max_chunk, 8192);
+      stream.method = request.method;
+      if (request.timeout_ms) {
+        stream.timeout = std::chrono::milliseconds(*request.timeout_ms);
+      }
+      stream.max_steps = request.max_steps;
+      stream.deadline_from_submit = request.deadline_from_submit;
+      stream.cache_bypass = request.cache_bypass;
+      stream.chaos_sleep = std::chrono::milliseconds(request.chaos_sleep_ms);
+      stream.cursor = std::move(request.cursor);
+      stream.started = std::chrono::steady_clock::now();
+      streams_.emplace(id, std::move(stream));
+    }
+  }
+  if (reject == Reject::kDuplicate) {
+    EnqueueFromReader(EncodeErrorFrame(
+        id, ErrorCode::kParse,
+        "duplicate id: a request with this id is already in flight"));
+    return;
+  }
+  if (reject == Reject::kInflightCap) {
+    stats_->OnSolveRejectedInflightCap();
+    EnqueueFromReader(
+        EncodeErrorFrame(id, ErrorCode::kOverloaded,
+                         "per-connection in-flight cap (" +
+                             std::to_string(options_.max_inflight) +
+                             ") reached"));
+    return;
+  }
+  stats_->OnAnswersStream(resumed);
+  SubmitAnswerChunk(id);
+}
+
+void Connection::SubmitAnswerChunk(uint64_t client_id) {
+  auto self = shared_from_this();
+  for (;;) {
+    std::optional<ServeJob> job;
+    std::string db_name;
+    bool cancelled_idle = false;
+    bool drained = false;
+    {
+      std::lock_guard<std::mutex> lock(streams_mu_);
+      auto it = streams_.find(client_id);
+      if (it == streams_.end()) return;
+      AnswerStream& s = it->second;
+      if (s.in_submit) return;  // another thread owns the trampoline
+      if (s.cancelled || draining_.load()) {
+        cancelled_idle = s.cancelled;
+        drained = !s.cancelled;
+        if (s.parked) parked_streams_.fetch_sub(1);
+        streams_.erase(it);
+      } else {
+        s.in_submit = true;
+        s.has_pending = false;
+        db_name = s.db;
+        job.emplace(*s.query, nullptr);
+        job->kind = JobKind::kAnswers;
+        job->free_vars = s.free_vars;
+        job->answer_max_chunk = s.max_chunk;
+        job->cursor = s.cursor;
+        job->method = s.method;
+        job->timeout = s.timeout;
+        job->max_steps = s.max_steps;
+        job->deadline_from_submit = s.deadline_from_submit;
+        job->chaos_sleep = s.chaos_sleep;
+        job->isolation = IsolationMode::kInproc;
+        job->parallelism = 1;
+        job->cache =
+            s.cache_bypass ? CachePolicy::kBypass : CachePolicy::kDefault;
+      }
+    }
+    if (cancelled_idle) {
+      EnqueueFromWorker(
+          EncodeCancelledFrame(client_id, "cancelled between answer chunks"));
+      return;
+    }
+    if (drained) {
+      EnqueueFromWorker(EncodeErrorFrame(
+          client_id, ErrorCode::kOverloaded,
+          "daemon is draining; answer stream ended mid-way (resume with the "
+          "last cursor elsewhere)"));
+      return;
+    }
+    std::string resolved_db;
+    Result<uint64_t> submitted = service_->Submit(
+        db_name, std::move(*job),
+        [self, client_id](const ServeResponse& response) {
+          self->AnswersCallback(client_id, response);
+        },
+        &resolved_db);
+    if (!submitted.ok()) {
+      // Typed refusal at admission: stale cursor (the epoch flipped under
+      // the stream), overload, or a detached database. This is the
+      // stream's terminal.
+      if (submitted.code() == ErrorCode::kStaleCursor) {
+        stats_->OnAnswersStaleCursor();
+      }
+      {
+        std::lock_guard<std::mutex> lock(streams_mu_);
+        auto it = streams_.find(client_id);
+        if (it != streams_.end()) streams_.erase(it);
+      }
+      EnqueueFromWorker(
+          EncodeErrorFrame(client_id, submitted.code(), submitted.error()));
+      return;
+    }
+    bool cancel_race = false;
+    ServeResponse pending;
+    bool process_inline = false;
+    {
+      std::lock_guard<std::mutex> lock(streams_mu_);
+      auto it = streams_.find(client_id);
+      if (it == streams_.end()) return;  // unreachable: in_submit pins it
+      AnswerStream& s = it->second;
+      s.db = resolved_db;
+      s.in_submit = false;
+      if (s.has_pending) {
+        // The chunk completed synchronously (warm cache) inside Submit;
+        // process it here and keep looping instead of recursing.
+        pending = std::move(s.pending);
+        s.has_pending = false;
+        process_inline = true;
+      } else {
+        s.service_id = *submitted;
+        cancel_race = s.cancelled;
+      }
+    }
+    if (cancel_race) {
+      // A cancel slipped in while the job was being submitted; chase it.
+      service_->Cancel(resolved_db, *submitted);
+      return;
+    }
+    if (!process_inline) return;  // the worker callback drives from here
+    if (!ProcessAnswerResponse(client_id, pending)) return;
+  }
+}
+
+void Connection::AnswersCallback(uint64_t client_id,
+                                 const ServeResponse& response) {
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    auto it = streams_.find(client_id);
+    if (it == streams_.end()) return;
+    if (it->second.in_submit) {
+      // Synchronous delivery inside service_->Submit: stash for the
+      // SubmitAnswerChunk loop (recursing here would stack one frame per
+      // warm chunk).
+      it->second.pending = response;
+      it->second.has_pending = true;
+      return;
+    }
+  }
+  if (ProcessAnswerResponse(client_id, response)) {
+    SubmitAnswerChunk(client_id);
+  }
+}
+
+bool Connection::ProcessAnswerResponse(uint64_t client_id,
+                                       const ServeResponse& response) {
+  std::vector<std::string> frames;
+  bool submit_next = false;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    auto it = streams_.find(client_id);
+    if (it == streams_.end()) return false;
+    AnswerStream& s = it->second;
+    s.service_id = 0;
+    if (response.state == RequestState::kCancelled) {
+      frames.push_back(EncodeCancelledFrame(
+          client_id,
+          response.result.ok() ? "cancelled" : response.result.error()));
+      streams_.erase(it);
+    } else if (!response.result.ok()) {
+      if (response.result.code() == ErrorCode::kStaleCursor) {
+        stats_->OnAnswersStaleCursor();
+      }
+      frames.push_back(EncodeErrorFrame(client_id, response.result.code(),
+                                        response.result.error()));
+      streams_.erase(it);
+    } else if (s.cancelled) {
+      // The chunk won a race against a cancel; honor the cancel (the
+      // stream's terminal must be "cancelled", and the client asked to
+      // stop reading anyway).
+      frames.push_back(EncodeCancelledFrame(client_id, "cancelled"));
+      streams_.erase(it);
+    } else if (response.result->answer_chunk == nullptr) {
+      frames.push_back(EncodeErrorFrame(client_id, ErrorCode::kInternal,
+                                        "answers job returned no chunk"));
+      streams_.erase(it);
+    } else {
+      const AnswerChunk& chunk = *response.result->answer_chunk;
+      frames.push_back(
+          EncodeAnswerChunkFrame(client_id, chunk, response.answer_cursor));
+      stats_->OnAnswerChunkSent(chunk.answers.size());
+      s.answers += chunk.answers.size();
+      ++s.chunks;
+      if (chunk.done) {
+        auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - s.started);
+        frames.push_back(EncodeAnswerDoneFrame(client_id, s.answers,
+                                               chunk.total, s.chunks,
+                                               latency));
+        streams_.erase(it);
+      } else if (response.answer_cursor.empty()) {
+        frames.push_back(
+            EncodeErrorFrame(client_id, ErrorCode::kInternal,
+                             "unfinished chunk carried no resume cursor"));
+        streams_.erase(it);
+      } else {
+        s.cursor = response.answer_cursor;
+        // Write-deadline backpressure, stream-shaped: past the outbound
+        // soft cap the stream parks — nothing queued, nothing running,
+        // no worker pinned — until the writer drains below the cap. A
+        // consumer that never reads is bounded by the write deadline,
+        // which aborts the connection and drops the parked stream.
+        size_t queued;
+        {
+          std::lock_guard<std::mutex> out_lock(out_mu_);
+          queued = outbound_.size();
+        }
+        if (queued >= options_.outbound_soft_cap) {
+          s.parked = true;
+          parked_streams_.fetch_add(1);
+        } else {
+          submit_next = true;
+        }
+      }
+    }
+  }
+  for (std::string& frame : frames) EnqueueFromWorker(std::move(frame));
+  return submit_next;
+}
+
+void Connection::ResumeParkedStreams() {
+  if (parked_streams_.load() == 0) return;
+  std::vector<uint64_t> resume;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    for (auto& [id, s] : streams_) {
+      if (s.parked && !s.in_submit) {
+        s.parked = false;
+        parked_streams_.fetch_sub(1);
+        resume.push_back(id);
+      }
+    }
+  }
+  for (uint64_t id : resume) SubmitAnswerChunk(id);
+}
+
 void Connection::EnqueueFromWorker(std::string payload) {
   std::string frame = EncodeFrame(payload);
   {
@@ -705,6 +1051,14 @@ void Connection::WriterLoop() {
       outbound_.pop_front();
     }
     out_space_cv_.notify_all();
+    if (parked_streams_.load() > 0) {
+      bool room;
+      {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        room = outbound_.size() < options_.outbound_soft_cap;
+      }
+      if (room) ResumeParkedStreams();
+    }
     Result<size_t> w =
         WriteAll(socket_, frame.data(), frame.size(), options_.write_deadline);
     if (!w.ok()) {

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -136,6 +137,25 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void AdminLoop();
   void HandleFrame(const std::string& frame);
   void HandleSolve(WireRequest request);
+  /// Opens an answer stream: admission checks, query parse, stream-state
+  /// insert, then the first chunk submission.
+  void HandleAnswers(WireRequest request);
+  /// Submits the stream's next chunk job to the service, looping on
+  /// synchronous (warm-cache) completions instead of recursing: a chain of
+  /// cache-hit chunks is a while loop here, not a call stack.
+  void SubmitAnswerChunk(uint64_t client_id);
+  /// Terminal callback of one chunk job. Runs on a worker thread, or
+  /// synchronously inside Submit on a cache hit — in which case it only
+  /// stashes the response for the SubmitAnswerChunk loop to process.
+  void AnswersCallback(uint64_t client_id, const ServeResponse& response);
+  /// Applies one chunk terminal to the stream: emits the chunk frame and
+  /// either the stream terminal (done / error / cancelled) or parks the
+  /// stream behind the outbound buffer. True iff the caller should submit
+  /// the next chunk.
+  bool ProcessAnswerResponse(uint64_t client_id,
+                             const ServeResponse& response);
+  /// Writer-side resume of streams parked behind the outbound soft cap.
+  void ResumeParkedStreams();
   void HandleAttach(const WireRequest& request);
   void HandleDetach(const WireRequest& request);
   void HandleApplyDelta(const WireRequest& request);
@@ -207,6 +227,46 @@ class Connection : public std::enable_shared_from_this<Connection> {
   };
   std::mutex inflight_mu_;
   std::unordered_map<uint64_t, InflightSolve> inflight_;
+
+  // One live answer stream per client id. A stream is a chain of per-chunk
+  // service jobs: between chunks nothing is queued or running anywhere —
+  // a slow consumer parks the stream (parked=true) and pins only this
+  // struct, never a worker. Streams count against `max_inflight` together
+  // with plain solves.
+  struct AnswerStream {
+    std::string db;  // resolved registry name (fixed after first submit)
+    std::optional<Query> query;  // always set; optional for default-construction
+    std::vector<std::string> free_vars;
+    uint64_t max_chunk = 64;
+    SolverMethod method = SolverMethod::kAuto;
+    std::optional<std::chrono::milliseconds> timeout;
+    uint64_t max_steps = UINT64_MAX;
+    bool deadline_from_submit = false;
+    bool cache_bypass = false;
+    /// Chaos injection (tests): forwarded into every chunk job.
+    std::chrono::milliseconds chaos_sleep{0};
+    /// Cursor for the next chunk (empty = start of the stream).
+    std::string cursor;
+    /// Service id of the chunk job in flight (0 between chunks).
+    uint64_t service_id = 0;
+    uint64_t answers = 0;  // tuples delivered so far
+    uint64_t chunks = 0;   // chunk frames delivered so far
+    std::chrono::steady_clock::time_point started;
+    /// Trampoline state: `in_submit` marks a SubmitAnswerChunk loop in
+    /// progress on some thread; a synchronous callback stashes its
+    /// response in `pending` instead of recursing.
+    bool in_submit = false;
+    bool has_pending = false;
+    ServeResponse pending;
+    /// Parked behind the outbound soft cap; resumed by the writer.
+    bool parked = false;
+    /// Cancel observed; the stream terminates at the next safe point.
+    bool cancelled = false;
+  };
+  std::mutex streams_mu_;
+  std::unordered_map<uint64_t, AnswerStream> streams_;
+  /// Cheap writer-side check: > 0 iff some stream is parked.
+  std::atomic<size_t> parked_streams_{0};
 
   // Reader-only state.
   FrameDecoder decoder_;

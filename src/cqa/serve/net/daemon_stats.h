@@ -48,6 +48,23 @@ class DaemonStatsCollector {
     ++stats_.solves_rejected_detached;
   }
 
+  void OnAnswersStream(bool resumed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.answers_streams;
+    if (resumed) ++stats_.answers_resumed;
+  }
+
+  void OnAnswerChunkSent(uint64_t tuples) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.answer_chunks_sent;
+    stats_.answer_tuples_sent += tuples;
+  }
+
+  void OnAnswersStaleCursor() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.answers_stale_cursors;
+  }
+
   void OnDatabaseAttached() {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.databases_attached;

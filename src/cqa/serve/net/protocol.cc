@@ -178,20 +178,45 @@ Result<WireRequest> DecodeRequest(const std::string& frame) {
     }
     return request;
   }
-  if (type_name != "solve") {
+  if (type_name != "solve" && type_name != "answers") {
     return Result<WireRequest>::Error(
         ErrorCode::kUnsupported, "unknown request type '" + type_name + "'");
   }
 
-  request.type = WireRequestType::kSolve;
+  request.type = type_name == "answers" ? WireRequestType::kAnswers
+                                        : WireRequestType::kSolve;
   if (object.Find("id") == nullptr) {
-    return ParseError("solve requires an 'id'");
+    return ParseError(type_name + " requires an 'id'");
   }
   const Json* query = object.Find("query");
   if (query == nullptr || !query->is_string()) {
-    return ParseError("solve requires a string 'query'");
+    return ParseError(type_name + " requires a string 'query'");
   }
   request.query = query->AsString();
+
+  if (request.type == WireRequestType::kAnswers) {
+    const Json* free = object.Find("free");
+    if (free == nullptr || !free->is_array() || free->AsArray().empty()) {
+      return ParseError(
+          "answers requires a non-empty 'free' array of variable names");
+    }
+    for (const Json& name : free->AsArray()) {
+      if (!name.is_string() || name.AsString().empty()) {
+        return ParseError("'free' entries must be non-empty strings");
+      }
+      request.free_vars.push_back(name.AsString());
+    }
+    if (!ReadU64(object, "max_chunk", &request.max_chunk, &error)) {
+      return ParseError(error);
+    }
+    const Json* cursor = object.Find("cursor");
+    if (cursor != nullptr) {
+      if (!cursor->is_string()) {
+        return ParseError("field 'cursor' must be a string");
+      }
+      request.cursor = cursor->AsString();
+    }
+  }
 
   const Json* db = object.Find("db");
   if (db != nullptr) {
@@ -301,6 +326,50 @@ std::string EncodeResultFrame(uint64_t id, const SolveReport& report,
   return b.Build().Serialize();
 }
 
+std::string EncodeAnswerChunkFrame(uint64_t id, const AnswerChunk& chunk,
+                                   const std::string& cursor) {
+  Json::Array vars;
+  vars.reserve(chunk.free_vars.size());
+  for (const std::string& v : chunk.free_vars) {
+    vars.push_back(Json::MakeString(v));
+  }
+  Json::Array tuples;
+  tuples.reserve(chunk.answers.size());
+  for (const Tuple& tuple : chunk.answers) {
+    Json::Array row;
+    row.reserve(tuple.size());
+    for (const Value& value : tuple) {
+      row.push_back(Json::MakeString(value.name()));
+    }
+    tuples.push_back(Json::MakeArray(std::move(row)));
+  }
+  JsonObjectBuilder b;
+  b.Set("type", "answer_chunk")
+      .Set("id", id)
+      .Set("free", Json::MakeArray(std::move(vars)))
+      .Set("tuples", Json::MakeArray(std::move(tuples)))
+      .Set("start", chunk.start)
+      .Set("next", chunk.next)
+      .Set("total", chunk.total);
+  if (chunk.exhausted) b.Set("exhausted", true);
+  if (!cursor.empty()) b.Set("cursor", cursor);
+  return b.Build().Serialize();
+}
+
+std::string EncodeAnswerDoneFrame(uint64_t id, uint64_t answers,
+                                  uint64_t candidates, uint64_t chunks,
+                                  std::chrono::microseconds latency) {
+  return JsonObjectBuilder()
+      .Set("type", "answer_done")
+      .Set("id", id)
+      .Set("answers", answers)
+      .Set("candidates", candidates)
+      .Set("chunks", chunks)
+      .Set("latency_us", static_cast<uint64_t>(latency.count()))
+      .Build()
+      .Serialize();
+}
+
 std::string EncodeErrorFrame(std::optional<uint64_t> id, ErrorCode code,
                              const std::string& message, bool fatal) {
   JsonObjectBuilder b;
@@ -366,6 +435,9 @@ Json ServiceStatsJson(const ServiceStats& service) {
       .Set("parallel_solves", service.parallel_solves)
       .Set("components_found", service.components_found)
       .Set("parallel_steals", service.parallel_steals)
+      .Set("answer_chunks", service.answer_chunks)
+      .Set("answer_tuples", service.answer_tuples)
+      .Set("answers_stale_cursors", service.answers_stale_cursors)
       .Set("latency_count", service.latency_count)
       .Set("latency_p50_us", service.latency_p50_us)
       .Set("latency_p90_us", service.latency_p90_us)
@@ -405,6 +477,11 @@ std::string EncodeStatsFrame(
                daemon.solves_rejected_inflight_cap)
           .Set("solves_rejected_overloaded",
                daemon.solves_rejected_overloaded)
+          .Set("answers_streams", daemon.answers_streams)
+          .Set("answers_resumed", daemon.answers_resumed)
+          .Set("answer_chunks_sent", daemon.answer_chunks_sent)
+          .Set("answer_tuples_sent", daemon.answer_tuples_sent)
+          .Set("answers_stale_cursors", daemon.answers_stale_cursors)
           .Set("databases_attached", daemon.databases_attached)
           .Set("databases_detached", daemon.databases_detached)
           .Set("solves_rejected_detached", daemon.solves_rejected_detached)
@@ -690,6 +767,31 @@ Result<WireResponse> DecodeResponse(const std::string& frame) {
   r.attempts = static_cast<int64_t>(u64("attempts", 0));
   r.latency_us = u64("latency_us", 0);
   r.target = u64("target", 0);
+  r.cursor = str("cursor");
+  r.start = u64("start", 0);
+  r.next = u64("next", 0);
+  r.total = u64("total", 0);
+  r.answers = u64("answers", 0);
+  r.chunks = u64("chunks", 0);
+  const Json* tuples = object.Find("tuples");
+  if (tuples != nullptr && tuples->is_array()) {
+    for (const Json& row : tuples->AsArray()) {
+      if (!row.is_array()) {
+        return Result<WireResponse>::Error(
+            ErrorCode::kParse, "'tuples' entries must be arrays");
+      }
+      std::vector<std::string> out_row;
+      out_row.reserve(row.AsArray().size());
+      for (const Json& value : row.AsArray()) {
+        if (!value.is_string()) {
+          return Result<WireResponse>::Error(
+              ErrorCode::kParse, "tuple values must be strings");
+        }
+        out_row.push_back(value.AsString());
+      }
+      r.tuples.push_back(std::move(out_row));
+    }
+  }
   const Json* confidence = object.Find("confidence");
   if (confidence != nullptr && confidence->is_number()) {
     r.confidence = confidence->AsDouble();

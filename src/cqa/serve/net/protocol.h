@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "cqa/answers/answer_chunk.h"
 #include "cqa/base/budget.h"
 #include "cqa/base/result.h"
 #include "cqa/certainty/solver.h"
@@ -31,6 +32,7 @@ namespace cqa {
 
 enum class WireRequestType {
   kSolve,
+  kAnswers,
   kHealth,
   kStats,
   kCancel,
@@ -84,6 +86,17 @@ struct WireRequest {
   uint64_t hog_mb_per_probe = 0;
   uint64_t wedge_after_probes = 0;
 
+  // --- answers fields ---
+  /// Free variables of the answer query, in output-tuple order (required,
+  /// non-empty, for "answers" frames).
+  std::vector<std::string> free_vars;
+  /// "max_chunk": answers per answer_chunk frame; 0 (or absent) takes the
+  /// daemon default. The daemon clamps hostile values.
+  uint64_t max_chunk = 0;
+  /// "cursor": opaque resume cursor from a previous answer_chunk frame;
+  /// empty starts the stream at position zero.
+  std::string cursor;
+
   // --- cancel fields ---
   /// The id of the in-flight solve to cancel.
   uint64_t target = 0;
@@ -132,6 +145,16 @@ struct DaemonStats {
   uint64_t solves_admitted = 0;
   uint64_t solves_rejected_inflight_cap = 0;
   uint64_t solves_rejected_overloaded = 0;  // service queue shed or draining
+  // Answer-stream accounting. `answers_streams` counts streams opened
+  // (resumed ones included; `answers_resumed` is the sub-count that
+  // started from a client-supplied cursor); chunks/tuples count
+  // answer_chunk frames actually enqueued to clients; stale counts
+  // streams refused or ended with a stale-cursor error.
+  uint64_t answers_streams = 0;
+  uint64_t answers_resumed = 0;
+  uint64_t answer_chunks_sent = 0;
+  uint64_t answer_tuples_sent = 0;
+  uint64_t answers_stale_cursors = 0;
   // Registry admin accounting.
   uint64_t databases_attached = 0;
   uint64_t databases_detached = 0;
@@ -183,6 +206,17 @@ struct WireDbEntry {
 
 std::string EncodeResultFrame(uint64_t id, const SolveReport& report,
                               int attempts, std::chrono::microseconds latency);
+/// One chunk of an answer stream: the tuples (array of arrays of value
+/// names, in canonical order), the chunk's span ([start, next) of total
+/// flat positions) and, when the stream has more to read, the opaque
+/// resume `cursor`. Not a terminal frame.
+std::string EncodeAnswerChunkFrame(uint64_t id, const AnswerChunk& chunk,
+                                   const std::string& cursor);
+/// The stream's terminal: totals over every chunk delivered on this
+/// stream. Exactly one of answer_done / error / cancelled ends a stream.
+std::string EncodeAnswerDoneFrame(uint64_t id, uint64_t answers,
+                                  uint64_t candidates, uint64_t chunks,
+                                  std::chrono::microseconds latency);
 std::string EncodeErrorFrame(std::optional<uint64_t> id, ErrorCode code,
                              const std::string& message, bool fatal = false);
 std::string EncodeCancelledFrame(uint64_t id, const std::string& message);
@@ -260,15 +294,25 @@ struct WireResponse {
   // cancel_ack
   uint64_t target = 0;
   bool found = false;
+  // answer_chunk / answer_done
+  std::vector<std::vector<std::string>> tuples;
+  std::string cursor;    // empty on the stream's last chunk
+  uint64_t start = 0;    // first flat position of this chunk
+  uint64_t next = 0;     // resume position (== start of the next chunk)
+  uint64_t total = 0;    // flat candidate-space size
+  uint64_t answers = 0;  // answer_done: tuples across the whole stream
+  uint64_t chunks = 0;   // answer_done: chunk frames delivered
   /// The full parsed payload (stats frames are read through this).
   Json raw;
 };
 
 Result<WireResponse> DecodeResponse(const std::string& frame);
 
-/// True iff the response type is a terminal answer to a solve request.
+/// True iff the response type is a terminal answer to a solve or answers
+/// request ("answer_chunk" is deliberately absent: chunks are mid-stream).
 inline bool IsTerminalResponseType(const std::string& type) {
-  return type == "result" || type == "error" || type == "cancelled";
+  return type == "result" || type == "error" || type == "cancelled" ||
+         type == "answer_done";
 }
 
 }  // namespace cqa

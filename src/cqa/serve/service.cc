@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cqa/answers/answer_chunk.h"
+#include "cqa/answers/cursor.h"
+#include "cqa/answers/enumerator.h"
 #include "cqa/cache/warm_state.h"
 
 namespace cqa {
@@ -57,6 +60,39 @@ Result<uint64_t> SolveService::Submit(ServeJob job, Callback callback) {
   if (timeout.count() > 0) {
     req->deadline_key = std::min(req->deadline_key, req->submitted + timeout);
   }
+  if (req->job.kind == JobKind::kAnswers) {
+    // Answers jobs need the epoch fingerprint regardless of caching: the
+    // resume cursor is minted against it at delivery, and a supplied
+    // cursor is validated here — at admission, against the epoch this
+    // request will actually read — so a flipped epoch fails typed before
+    // any work is scheduled. (`FingerprintDatabase` rides the database's
+    // memoized digest; this is a hash-map hit after the first call.)
+    req->fp = FingerprintDatabase(*req->job.db);
+    req->query_hash = AnswerQueryHash(req->job.query, req->job.free_vars);
+    if (!req->job.cursor.empty()) {
+      Result<AnswerCursor> cursor = DecodeAnswerCursor(req->job.cursor);
+      if (!cursor.ok()) {
+        stats_.RecordShed();
+        return Result<uint64_t>::Error(cursor);
+      }
+      if (cursor->query_hash != req->query_hash) {
+        stats_.RecordShed();
+        return Result<uint64_t>::Error(
+            ErrorCode::kParse,
+            "cursor belongs to a different query or free-variable list");
+      }
+      if (!(cursor->fingerprint == req->fp)) {
+        stats_.RecordStaleCursor();
+        stats_.RecordShed();
+        return Result<uint64_t>::Error(
+            ErrorCode::kStaleCursor,
+            "cursor names database epoch " + cursor->fingerprint.ToHex() +
+                " but the instance is serving " + req->fp.ToHex() +
+                "; restart the stream from position zero");
+      }
+      req->job.answer_start = cursor->position;
+    }
+  }
   bool use_cache = cache_ != nullptr;
   if (use_cache && req->job.cache == CachePolicy::kBypass) {
     cache_->RecordBypass();
@@ -65,8 +101,13 @@ Result<uint64_t> SolveService::Submit(ServeJob job, Callback callback) {
   if (use_cache) {
     // `FingerprintDatabase` rides the database's own memoized digest, so
     // this is a hash-map hit after the first lookup per instance.
-    req->cache_key = MakeCacheKey(FingerprintDatabase(*req->job.db),
-                                  req->job.method, req->job.query);
+    req->cache_key =
+        req->job.kind == JobKind::kAnswers
+            ? MakeAnswersCacheKey(req->fp, req->job.method, req->job.query,
+                                  req->job.free_vars, req->job.answer_start,
+                                  req->job.answer_max_chunk)
+            : MakeCacheKey(FingerprintDatabase(*req->job.db), req->job.method,
+                           req->job.query);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -256,6 +297,10 @@ SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
   } else if (mode == IsolationMode::kAuto) {
     use_fork = ShouldIsolate(req->job.query);
   }
+  // Answer chunks never cross the sandbox result pipe (its codec carries
+  // verdicts, not tuple sets): answers jobs always run in-process. The
+  // per-chunk budget bounds the damage an expensive enumeration can do.
+  if (req->job.kind == JobKind::kAnswers) use_fork = false;
   for (;;) {
     if (req->cancel->load(std::memory_order_acquire)) {
       return Finish(
@@ -310,7 +355,38 @@ SolveService::RequestPtr SolveService::Process(const RequestPtr& req, Rng* rng,
     parallelism = std::max(1, std::min(parallelism, 64));
     Result<SolveReport> result =
         Result<SolveReport>::Error(ErrorCode::kInternal, "attempt never ran");
-    if (use_fork) {
+    if (req->job.kind == JobKind::kAnswers) {
+      // One chunk of certain answers, wrapped into a SolveReport whose
+      // verdict encodes cacheability: kCertain for a clean chunk (exact,
+      // position-complete, reusable), kExhausted for a budget-truncated
+      // partial one — which `IsCacheableReport` rejects, so a retry or a
+      // later identical submission re-runs instead of reusing a stub.
+      std::vector<Symbol> frees;
+      frees.reserve(req->job.free_vars.size());
+      for (const std::string& name : req->job.free_vars) {
+        frees.push_back(InternSymbol(name));
+      }
+      EnumerateOptions eopts;
+      eopts.start = req->job.answer_start;
+      eopts.max_chunk = req->job.answer_max_chunk;
+      eopts.method = req->job.method;
+      Result<AnswerChunk> enumerated = EnumerateAnswerChunk(
+          req->job.query, frees, *req->job.db, eopts, &budget);
+      if (enumerated.ok()) {
+        AnswerChunk chunk = std::move(enumerated.value());
+        stats_.RecordAnswerChunk(chunk.answers.size());
+        SolveReport report;
+        report.used = req->job.method;
+        report.verdict =
+            chunk.exhausted ? Verdict::kExhausted : Verdict::kCertain;
+        report.confidence = chunk.exhausted ? 0.0 : 1.0;
+        report.answer_chunk =
+            std::make_shared<const AnswerChunk>(std::move(chunk));
+        result = Result<SolveReport>(std::move(report));
+      } else {
+        result = Result<SolveReport>::Error(enumerated);
+      }
+    } else if (use_fork) {
       // Sandbox path: the attempt runs in a forked child under hard
       // limits; the budget fields cross the process boundary by value
       // (deadline, step limit, fault knobs), and the cancel token stays
@@ -405,6 +481,19 @@ SolveService::RequestPtr SolveService::Finish(const RequestPtr& req,
   response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
       Budget::Clock::now() - req->submitted);
   bool ok = response.result.ok();
+  if (ok && req->job.kind == JobKind::kAnswers &&
+      response.result->answer_chunk != nullptr &&
+      !response.result->answer_chunk->done) {
+    // Mint the resume cursor at delivery time against the epoch captured
+    // at admission. Deliberately not stored with the cached chunk: a
+    // footprint-disjoint delta rekeys cache entries to the new epoch, and
+    // a stored cursor would still name the old one.
+    AnswerCursor cursor;
+    cursor.position = response.result->answer_chunk->next;
+    cursor.query_hash = req->query_hash;
+    cursor.fingerprint = req->fp;
+    response.answer_cursor = EncodeAnswerCursor(cursor);
+  }
   bool degraded = ok && (response.result->verdict == Verdict::kProbablyCertain ||
                          response.result->verdict == Verdict::kExhausted);
   stats_.RecordTerminal(started, state == RequestState::kCancelled, ok,

@@ -42,6 +42,17 @@ enum class CachePolicy {
   kBypass,
 };
 
+/// What a `ServeJob` asks for.
+enum class JobKind {
+  /// Decide CERTAINTY(q): one boolean verdict (the default).
+  kCertainty,
+  /// Enumerate one chunk of the certain answers to q with free variables:
+  /// the report carries `SolveReport::answer_chunk` and the response a
+  /// resume cursor. Answer jobs always run in-process (chunks do not cross
+  /// the sandbox wire) and skip parallel decomposition.
+  kAnswers,
+};
+
 /// One unit of work for `SolveService`: decide CERTAINTY(q) on a database.
 /// The database is shared (many jobs typically target the same instance)
 /// and must stay immutable while the service holds a reference.
@@ -104,6 +115,21 @@ struct ServeJob {
 
   /// Result-cache participation; ignored when the service has no cache.
   CachePolicy cache = CachePolicy::kDefault;
+
+  /// Job kind; the fields below only apply to `kAnswers` jobs.
+  JobKind kind = JobKind::kCertainty;
+  /// Free variables of the answer query, in output-tuple order. Names must
+  /// occur in the query; the enumerator rejects unknown variables.
+  std::vector<std::string> free_vars;
+  /// First flat candidate position of the requested chunk. Overwritten by
+  /// the decoded `cursor` when one is supplied.
+  uint64_t answer_start = 0;
+  /// Maximum answers per chunk (clamped to at least 1).
+  uint64_t answer_max_chunk = 64;
+  /// Optional resume cursor (the `answer_cursor` of a previous response).
+  /// Validated at `Submit`: malformed or mismatching the query fails with
+  /// `kParse`; a fingerprint from another epoch fails with `kStaleCursor`.
+  std::string cursor;
 };
 
 /// How a request left the service. Shed requests never enter the system:
@@ -131,6 +157,13 @@ struct ServeResponse {
   int attempts = 0;
   /// Submit-to-terminal wall clock, queueing and backoff included.
   std::chrono::microseconds latency{0};
+  /// For successful `kAnswers` jobs whose chunk did not finish the space:
+  /// the opaque cursor that resumes the stream at the chunk's `next`
+  /// position. Stamped at delivery time against the epoch the request was
+  /// admitted under — cache hits and coalesced followers carry a cursor
+  /// for the *current* fingerprint, never a stale stored one. Empty when
+  /// the stream is done or the job was not an answers job.
+  std::string answer_cursor;
 };
 
 /// Consumption order of the bounded work queue.
@@ -311,6 +344,10 @@ class SolveService {
     /// than the leader's; false for settled followers (their leader
     /// already stored the shared result).
     bool cache_store = false;
+    /// Answers jobs only: the epoch fingerprint and query hash captured at
+    /// Submit, used by `Finish` to stamp `ServeResponse::answer_cursor`.
+    DbFingerprint fp;
+    uint64_t query_hash = 0;
   };
   using RequestPtr = std::shared_ptr<Request>;
 

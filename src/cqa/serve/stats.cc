@@ -84,6 +84,17 @@ void StatsCollector::RecordParallel(uint64_t components, uint64_t steals) {
   counters_.parallel_steals += steals;
 }
 
+void StatsCollector::RecordAnswerChunk(uint64_t tuples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.answer_chunks;
+  counters_.answer_tuples += tuples;
+}
+
+void StatsCollector::RecordStaleCursor() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.answers_stale_cursors;
+}
+
 ServiceStats StatsCollector::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats out = counters_;
@@ -129,6 +140,9 @@ std::string ServiceStats::ToString() const {
   s += "; parallel solves " + std::to_string(parallel_solves);
   s += " components " + std::to_string(components_found);
   s += " steals " + std::to_string(parallel_steals);
+  s += "; answers chunks " + std::to_string(answer_chunks);
+  s += " tuples " + std::to_string(answer_tuples);
+  s += " stale-cursors " + std::to_string(answers_stale_cursors);
   s += "; latency us p50 " + std::to_string(latency_p50_us);
   s += " p90 " + std::to_string(latency_p90_us);
   s += " p99 " + std::to_string(latency_p99_us);

@@ -89,6 +89,15 @@ struct ServiceStats {
   uint64_t components_found = 0;
   uint64_t parallel_steals = 0;
 
+  /// Answer-stream counters. `answer_chunks` counts chunks produced by
+  /// workers (cache hits excluded — those show up as `cache_hits`),
+  /// `answer_tuples` sums the certain answers those chunks carried, and
+  /// `answers_stale_cursors` counts resume attempts refused at admission
+  /// because their cursor named a fingerprint from a flipped epoch.
+  uint64_t answer_chunks = 0;
+  uint64_t answer_tuples = 0;
+  uint64_t answers_stale_cursors = 0;
+
   /// Submit-to-terminal latency percentiles over every terminal request.
   uint64_t latency_count = 0;
   uint64_t latency_p50_us = 0;
@@ -121,6 +130,10 @@ class StatsCollector {
                      uint64_t peak_rss_kb);
   /// Accounting for one solve that went through the component decomposer.
   void RecordParallel(uint64_t components, uint64_t steals);
+  /// Accounting for one answer chunk a worker produced.
+  void RecordAnswerChunk(uint64_t tuples);
+  /// A resume cursor refused at admission for naming a flipped epoch.
+  void RecordStaleCursor();
 
   ServiceStats Snapshot() const;
 

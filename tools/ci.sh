@@ -14,7 +14,7 @@
 # keeps answering, an injected crash contained to a typed error, and a
 # clean SIGTERM drain afterwards.
 #
-#   tools/ci.sh            # all ten stages
+#   tools/ci.sh            # all eleven stages
 #   tools/ci.sh tier1      # just the tier-1 stage
 #   tools/ci.sh asan tsan  # just the sanitizer stages
 #   tools/ci.sh daemon     # just the daemon smoke (needs a tier-1 build)
@@ -24,6 +24,7 @@
 #   tools/ci.sh recovery   # just the recovery smoke (needs a tier-1 build)
 #   tools/ci.sh failover   # just the failover smoke (needs a tier-1 build)
 #   tools/ci.sh parallel   # just the parallel parity smoke (needs tier-1)
+#   tools/ci.sh answers    # just the answer-stream smoke (needs tier-1)
 #
 # The recovery smoke drives the live-update durability contract: a daemon
 # with a write-ahead delta journal takes a stream of apply_delta frames,
@@ -41,12 +42,18 @@
 # byte-deterministic from its seed, and the same recorded trace replayed
 # against a live daemon at --parallelism=1 and --parallelism=8 yields
 # byte-identical transcripts (the differential parity guarantee), with
-# the parallel counters visible in the stats frame.
+# the parallel counters visible in the stats frame. The answers smoke
+# drives streaming certain-answer enumeration end to end: a chunked wire
+# stream whose concatenated chunks are byte-identical to the one-shot
+# answer list, a client killed mid-stream that resumes from its persisted
+# cursor with no holes and no duplicates, and an apply_delta epoch flip
+# after which the old cursor is refused with a typed stale-cursor error
+# while a fresh stream serves the post-delta answers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb sandbox recovery failover parallel)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan daemon cache multidb sandbox recovery failover parallel answers)
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -638,6 +645,110 @@ parallel_smoke() {
   echo "==== [parallel] OK (deterministic trace; parity across widths 1/8)"
 }
 
+# Answer-stream smoke against the tier-1 build: the chunked enumerator
+# must tile the one-shot certain-answer list exactly (locally and over
+# the wire), a client hung up mid-stream must resume from its persisted
+# cursor with no holes and no duplicates, and an apply_delta epoch flip
+# must refuse the stale cursor with a typed error while a fresh stream
+# serves the post-delta answers.
+answers_smoke() {
+  local cli=build/tools/cqa_cli
+  [ -x "$cli" ] || { echo "answers smoke needs a tier-1 build ($cli)"; exit 2; }
+  local work; work=$(mktemp -d)
+  trap 'rm -rf "$work"' RETURN
+
+  # 60 keys, every 4th blocked by a matching S fact: 45 certain answers.
+  local i k
+  : > "$work/facts"
+  for i in $(seq 0 59); do
+    k=$(printf 'k%02d' "$i")
+    printf 'R(%s | %s)\n' "$k" "$k" >> "$work/facts"
+    [ $((i % 4)) -eq 0 ] && printf 'S(%s | %s)\n' "$k" "$k" >> "$work/facts"
+  done
+  local query='R(x | y), not S(x | y)'
+
+  echo "==== [answers] chunked local enumeration tiles the one-shot list"
+  "$cli" answers "$query" "$work/facts" --free=x \
+      > "$work/oneshot.out" 2>/dev/null
+  [ "$(wc -l < "$work/oneshot.out")" -eq 45 ] \
+      || { echo "expected 45 certain answers"; exit 1; }
+  "$cli" answers "$query" "$work/facts" --free=x --max-chunk=7 \
+      > "$work/chunked.out" 2>/dev/null
+  cmp "$work/oneshot.out" "$work/chunked.out"
+
+  start_daemon() {
+    local log="$1"; shift
+    "$cli" serve "$@" > "$log" 2>&1 &
+    echo $! > "$log.pid"
+    local addr=""
+    for _ in $(seq 1 100); do
+      addr=$(sed -n 's/^listening on //p' "$log")
+      [ -n "$addr" ] && break
+      kill -0 "$(cat "$log.pid")" 2>/dev/null || break
+      sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+      echo "daemon never reported its address" >&2; cat "$log" >&2; exit 1
+    fi
+    echo "$addr" > "$log.addr"
+  }
+
+  start_daemon "$work/daemon.log" "$work/facts" --listen=127.0.0.1:0 \
+      --workers=2
+  local addr; addr=$(cat "$work/daemon.log.addr")
+  local daemon_pid; daemon_pid=$(cat "$work/daemon.log.pid")
+
+  echo "==== [answers] wire stream matches the one-shot list byte for byte"
+  "$cli" client "$addr" --answers="$query" --free=x --max-chunk=7 \
+      > "$work/full.out" 2> "$work/full.err"
+  cmp "$work/oneshot.out" "$work/full.out"
+  grep -q -- '-- 45 answers in 7 chunks' "$work/full.err"
+
+  echo "==== [answers] hang up after 3 chunks, resume from the cursor file"
+  "$cli" client "$addr" --answers="$query" --free=x --max-chunk=7 \
+      --chunks=3 --cursor-file="$work/cursor" \
+      > "$work/part1.out" 2>/dev/null
+  [ -s "$work/cursor" ] || { echo "no cursor persisted"; exit 1; }
+  grep -q '^cqa1' "$work/cursor"
+  "$cli" client "$addr" --answers="$query" --free=x --max-chunk=7 \
+      --resume --cursor-file="$work/cursor" \
+      > "$work/part2.out" 2>/dev/null
+  cat "$work/part1.out" "$work/part2.out" > "$work/stitched.out"
+  cmp "$work/oneshot.out" "$work/stitched.out"
+
+  echo "==== [answers] apply_delta flips the epoch; the old cursor is stale"
+  printf -- '+R(zz | zz)\n' > "$work/delta"
+  "$cli" admin "$addr" apply default "$work/delta" --delta-id=a1 > /dev/null
+  if "$cli" client "$addr" --answers="$query" --free=x \
+      --resume --cursor-file="$work/cursor" \
+      > "$work/stale.out" 2> "$work/stale.err"; then
+    echo "stale cursor was accepted after an epoch flip"; exit 1
+  fi
+  grep -q 'stale-cursor' "$work/stale.err"
+  [ -s "$work/stale.out" ] && { echo "stale stream emitted rows"; exit 1; }
+
+  echo "==== [answers] a fresh stream serves the post-delta answers"
+  "$cli" client "$addr" --answers="$query" --free=x --max-chunk=7 \
+      > "$work/fresh.out" 2>/dev/null
+  [ "$(wc -l < "$work/fresh.out")" -eq 46 ] \
+      || { echo "expected 46 post-delta answers"; exit 1; }
+  grep -q '^(zz)$' "$work/fresh.out"
+
+  echo "==== [answers] stream counters are visible in the stats frame"
+  "$cli" client "$addr" --stats > "$work/stats.out"
+  grep -q '"answers_streams":[1-9]' "$work/stats.out"
+  grep -q '"answers_resumed":[1-9]' "$work/stats.out"
+  grep -q '"answer_chunks_sent":[1-9]' "$work/stats.out"
+  grep -q '"answers_stale_cursors":1' "$work/stats.out"
+
+  echo "==== [answers] SIGTERM drains the daemon"
+  kill -TERM "$daemon_pid"
+  local rc=0
+  wait "$daemon_pid" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "daemon exited $rc"; cat "$work/daemon.log"; exit 1; }
+  echo "==== [answers] OK (chunk tiling, cursor resume, typed staleness)"
+}
+
 for stage in "${stages[@]}"; do
   case "$stage" in
     tier1) run_stage tier1 default default default ;;
@@ -650,9 +761,10 @@ for stage in "${stages[@]}"; do
     recovery) recovery_smoke ;;
     failover) failover_smoke ;;
     parallel) parallel_smoke ;;
+    answers) answers_smoke ;;
     *) echo "unknown stage '$stage'" \
             "(want: tier1 asan tsan daemon cache multidb sandbox recovery" \
-            "failover parallel)" >&2
+            "failover parallel answers)" >&2
        exit 2 ;;
   esac
 done

@@ -8,7 +8,7 @@
 //                    [--method=auto|rewriting|algorithm1|backtracking|
 //                     naive|matching-q1|sampling]
 //                    [--timeout-ms=N] [--max-nodes=N] [--parallelism=N]
-//   cqa_cli answers  "<query>" db.facts --free=x,y
+//   cqa_cli answers  "<query>" db.facts --free=x,y [--max-chunk=N]
 //                    [--timeout-ms=N] [--max-nodes=N]
 //   cqa_cli repairs  db.facts [--limit=N]
 //   cqa_cli stats    db.facts
@@ -36,6 +36,10 @@
 //                    [--isolation=auto|inproc|fork] [--wedge-after=N]
 //                    [--crash-after=N] [--parallelism=N]
 //                    [--health] [--stats]
+//   cqa_cli client   HOST:PORT --answers=QUERY --free=x,y [--max-chunk=N]
+//                    [--chunks=N] [--cursor-file=PATH] [--resume]
+//                    [--db=NAME] [--timeout-ms=T] [--max-nodes=K]
+//                    [--method=...] [--cache=default|bypass]
 //   cqa_cli admin    HOST:PORT attach NAME FACTS_PATH
 //   cqa_cli admin    HOST:PORT detach NAME
 //   cqa_cli admin    HOST:PORT list
@@ -65,6 +69,15 @@
 // drain deadline forced cancellations). `client` submits jobs to a running
 // daemon — one query per line, as in batch serve mode — and exits with the
 // same severity ranking; `--health` / `--stats` print one status frame.
+// `client --answers=QUERY --free=x,y` opens an answer stream instead: the
+// daemon replies with `answer_chunk` frames (at most `--max-chunk` tuples
+// each, daemon default 64) and one `answer_done` terminal, and the chunks
+// concatenate to exactly the one-shot `answers` output. `--cursor-file`
+// saves the latest resume cursor after every chunk; `--chunks=N` hangs up
+// after N chunks, and a later run with `--resume` continues from the saved
+// cursor — against the same database epoch only: after an `admin apply`
+// the stale cursor fails with a typed `stale-cursor` error and the stream
+// must restart from position zero.
 //
 // `--isolation` picks where the daemon runs solves that leave the choice to
 // it: `inproc` (default) on the worker thread, `fork` in a supervised child
@@ -135,6 +148,7 @@
 #include <utility>
 #include <vector>
 
+#include "cqa/answers/enumerator.h"
 #include "cqa/attack/attack_graph.h"
 #include "cqa/attack/classification.h"
 #include "cqa/attack/dot.h"
@@ -398,7 +412,7 @@ int CmdSolve(const Query& q, const Database& db, const std::string& method,
 }
 
 int CmdAnswers(const Query& q, const Database& db, const std::string& free,
-               Budget* budget) {
+               uint64_t max_chunk, Budget* budget) {
   std::vector<Symbol> vars;
   std::string current;
   for (char c : free + ",") {
@@ -410,13 +424,51 @@ int CmdAnswers(const Query& q, const Database& db, const std::string& free,
     }
   }
   if (vars.empty()) return Fail("--free= lists no variables");
-  Result<CertainAnswers> answers = ComputeCertainAnswers(q, vars, db, budget);
-  if (!answers.ok()) return Fail(answers);
-  for (const Tuple& t : answers->answers) {
-    std::printf("%s\n", TupleToString(t).c_str());
+  if (max_chunk == 0) {
+    Result<CertainAnswers> answers =
+        ComputeCertainAnswers(q, vars, db, budget);
+    if (!answers.ok()) return Fail(answers);
+    for (const Tuple& t : answers->answers) {
+      std::printf("%s\n", TupleToString(t).c_str());
+    }
+    std::fprintf(stderr, "-- %zu certain answers out of %zu candidates\n",
+                 answers->answers.size(), answers->candidates);
+    return 0;
   }
-  std::fprintf(stderr, "-- %zu certain answers out of %zu candidates\n",
-               answers->answers.size(), answers->candidates);
+  // Chunked path: drive the resumable enumerator max_chunk answers at a
+  // time, exactly as the daemon's answers streams do. The concatenation of
+  // the chunks is the one-shot output above, byte for byte.
+  EnumerateOptions opts;
+  opts.max_chunk = max_chunk;
+  uint64_t printed = 0, chunks = 0, candidates = 0;
+  for (;;) {
+    Result<AnswerChunk> chunk =
+        EnumerateAnswerChunk(q, vars, db, opts, budget);
+    if (!chunk.ok()) return Fail(chunk);
+    for (const Tuple& t : chunk->answers) {
+      std::printf("%s\n", TupleToString(t).c_str());
+    }
+    printed += chunk->answers.size();
+    ++chunks;
+    candidates = chunk->total;
+    if (chunk->exhausted) {
+      std::fprintf(stderr,
+                   "-- budget exhausted at candidate %llu of %llu after "
+                   "%llu answers\n",
+                   static_cast<unsigned long long>(chunk->next),
+                   static_cast<unsigned long long>(candidates),
+                   static_cast<unsigned long long>(printed));
+      return 3;
+    }
+    if (chunk->done) break;
+    opts.start = chunk->next;
+  }
+  std::fprintf(stderr,
+               "-- %llu certain answers out of %llu candidates in %llu "
+               "chunks\n",
+               static_cast<unsigned long long>(printed),
+               static_cast<unsigned long long>(candidates),
+               static_cast<unsigned long long>(chunks));
   return 0;
 }
 
@@ -467,6 +519,7 @@ int CmdRepairs(const Database& db, uint64_t limit) {
 }
 
 int ServeSeverityRank(int exit_code);
+std::string TrimCopy(const std::string& s);
 
 // Splits "HOST:PORT" (or a bare "PORT", defaulting the host) and parses
 // the port. False on malformed input.
@@ -745,6 +798,120 @@ int CmdClient(int argc, char** argv, const char* addr) {
   // Route every solve frame of this run to a named attached database;
   // without it the daemon's registry default answers.
   std::string db_name = FlagValue(argc, argv, "--db");
+
+  // Streaming answers mode: one answers frame out, then answer_chunk
+  // frames in until a terminal. `--cursor-file` persists the latest
+  // resume cursor after every chunk, so `--chunks=N` (stop reading and
+  // hang up after N chunks) plus a later `--resume` run continues the
+  // stream where this one left it.
+  if (FlagGiven(argc, argv, "--answers")) {
+    std::string query = FlagValue(argc, argv, "--answers");
+    std::string free = FlagValue(argc, argv, "--free");
+    if (query.empty()) return Fail("--answers= needs a query");
+    if (free.empty()) return Fail("--answers needs --free=x,y");
+    uint64_t max_chunk = 0, chunk_limit = 0;
+    if (FlagGiven(argc, argv, "--max-chunk") &&
+        !ParseU64(FlagValue(argc, argv, "--max-chunk"), &max_chunk)) {
+      return Fail("malformed --max-chunk value");
+    }
+    if (FlagGiven(argc, argv, "--chunks") &&
+        !ParseU64(FlagValue(argc, argv, "--chunks"), &chunk_limit)) {
+      return Fail("malformed --chunks value");
+    }
+    std::string cursor_file = FlagValue(argc, argv, "--cursor-file");
+    std::string cursor;
+    if (HasFlag(argc, argv, "--resume")) {
+      if (cursor_file.empty()) return Fail("--resume needs --cursor-file=PATH");
+      std::ifstream in(cursor_file);
+      if (!in) {
+        return Fail("cannot open cursor file '" + cursor_file + "': " +
+                    std::strerror(errno));
+      }
+      std::getline(in, cursor);
+      cursor = TrimCopy(cursor);
+      if (cursor.empty()) {
+        return Fail("cursor file '" + cursor_file + "' is empty");
+      }
+    }
+    Json::Array free_json;
+    std::string name;
+    for (char c : free + ",") {
+      if (c == ',') {
+        if (!name.empty()) free_json.push_back(Json::MakeString(name));
+        name.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        name += c;
+      }
+    }
+    if (free_json.empty()) return Fail("--free= lists no variables");
+    JsonObjectBuilder req;
+    req.Set("type", "answers").Set("id", uint64_t{1}).Set("query", query);
+    req.Set("free", Json::MakeArray(std::move(free_json)));
+    if (max_chunk > 0) req.Set("max_chunk", max_chunk);
+    if (!cursor.empty()) req.Set("cursor", cursor);
+    if (timeout_ms > 0) req.Set("timeout_ms", timeout_ms);
+    if (max_nodes != Budget::kNoStepLimit) req.Set("max_steps", max_nodes);
+    if (!method.empty()) req.Set("method", method);
+    if (!cache.empty()) req.Set("cache", cache);
+    if (!db_name.empty()) req.Set("db", db_name);
+    Result<bool> sent = client.SendFrame(req.Build().Serialize(), io_timeout);
+    if (!sent.ok()) return Fail(sent);
+    uint64_t chunks_read = 0, tuples_read = 0;
+    for (;;) {
+      Result<WireResponse> resp = client.ReadResponse(io_timeout);
+      if (!resp.ok()) return Fail(resp);
+      if (resp->type == "answer_chunk") {
+        for (const auto& tuple : resp->tuples) {
+          std::string row;
+          for (size_t i = 0; i < tuple.size(); ++i) {
+            if (i > 0) row += ", ";
+            row += tuple[i];
+          }
+          std::printf("(%s)\n", row.c_str());
+        }
+        tuples_read += resp->tuples.size();
+        ++chunks_read;
+        if (!cursor_file.empty() && !resp->cursor.empty()) {
+          std::ofstream out(cursor_file, std::ios::trunc);
+          out << resp->cursor << "\n";
+          if (!out) {
+            return Fail("cannot write cursor file '" + cursor_file + "'");
+          }
+        }
+        if (chunk_limit > 0 && chunks_read >= chunk_limit) {
+          // Hang up mid-stream: the daemon drops the stream with the
+          // connection, and the cursor file carries the resume point.
+          std::fprintf(
+              stderr,
+              "-- stopped after %llu chunks (%llu tuples); resume with "
+              "--resume --cursor-file=%s\n",
+              static_cast<unsigned long long>(chunks_read),
+              static_cast<unsigned long long>(tuples_read),
+              cursor_file.empty() ? "PATH" : cursor_file.c_str());
+          return 0;
+        }
+        continue;
+      }
+      if (resp->type == "answer_done") {
+        std::fprintf(stderr,
+                     "-- %llu answers in %llu chunks (%llu us)\n",
+                     static_cast<unsigned long long>(resp->answers),
+                     static_cast<unsigned long long>(resp->chunks),
+                     static_cast<unsigned long long>(resp->latency_us));
+        return 0;
+      }
+      if (resp->type == "cancelled") {
+        std::fprintf(stderr, "-- cancelled: %s\n", resp->message.c_str());
+        return 4;
+      }
+      if (resp->type == "error") {
+        std::fprintf(stderr, "-- error: %s (%s)\n", resp->message.c_str(),
+                     resp->code.c_str());
+        return ClientExitCodeFor(*resp);
+      }
+      return Fail("unexpected frame type '" + resp->type + "' mid-stream");
+    }
+  }
 
   // Pipeline all jobs, then collect a terminal frame for each; the daemon
   // answers in completion order, ids tie responses back to input lines.
@@ -1211,8 +1378,13 @@ int main(int argc, char** argv) {
                     static_cast<int>(parallelism));
   }
   if (cmd == "answers") {
+    uint64_t max_chunk = 0;
+    if (FlagGiven(argc, argv, "--max-chunk") &&
+        !ParseU64(FlagValue(argc, argv, "--max-chunk"), &max_chunk)) {
+      return Fail("malformed --max-chunk value");
+    }
     return CmdAnswers(q.value(), db.value(), FlagValue(argc, argv, "--free"),
-                      budget);
+                      max_chunk, budget);
   }
   if (cmd == "asp") return CmdAsp(q.value(), db.value());
   return Usage();

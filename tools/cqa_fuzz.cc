@@ -17,7 +17,13 @@
 // under exactly that key. A fifth phase (--journal-rounds) feeds random
 // concatenations of intact, CRC-corrupted, bit-flipped, truncated and
 // garbage delta-journal records to ParseJournalBytes, asserting the
-// decoder always yields a clean valid prefix and never crashes. A sixth
+// decoder always yields a clean valid prefix and never crashes. A cursor
+// phase (--cursor-rounds) attacks the opaque answer-stream resume cursor:
+// random round trips must be lossless, and mutated, truncated, case-
+// flipped or garbage cursor bytes must either fail with a typed kParse or
+// decode to exactly the bytes that re-encode to the same spelling — a
+// hostile cursor can be refused, never crash the decoder or silently
+// resume at a different position. A sixth
 // phase (--parallel-rounds) chains random fact deltas into fresh epochs
 // (ApplyDeltaToDatabase) and, on every epoch, (a) cross-checks the
 // decompose-then-solve parallel path against the direct sequential solve
@@ -29,9 +35,10 @@
 //
 //   cqa_fuzz [--seed=N] [--rounds=N] [--dbs-per-query=N] [--parse-rounds=N]
 //            [--wire-rounds=N] [--cache-rounds=N] [--journal-rounds=N]
-//            [--parallel-rounds=N]
+//            [--cursor-rounds=N] [--parallel-rounds=N]
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -39,6 +46,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cqa/answers/answer_chunk.h"
+#include "cqa/answers/cursor.h"
 #include "cqa/base/crc32c.h"
 #include "cqa/cqa.h"
 #include "cqa/delta/delta.h"
@@ -197,6 +206,19 @@ std::vector<std::string> WireCorpus() {
       R"js("ops":[{"op":"delete","relation":"R","values":["only-one"]}]})js",
       R"js({"type":"apply_delta","id":27,"delta_id":"d4","ops":[{}]})js",
       R"js({"type":"apply_delta","id":28,"delta_id":"","ops":[]})js",
+      // answers: a plain stream open, one with every knob, resumes with a
+      // well-formed and a hostile cursor, and shapes the codec must refuse
+      // (missing/empty/mistyped 'free'). Mutation explores the rest.
+      R"js({"type":"answers","id":30,"query":"R(x | y), not S(y | x)",)js"
+      R"js("free":["x"]})js",
+      R"js({"type":"answers","id":31,"query":"R(x | y)","free":["x","y"],)js"
+      R"js("max_chunk":7,"db":"replica","timeout_ms":50,"max_steps":100,)js"
+      R"js("method":"rewriting","cache":"bypass"})js",
+      R"js({"type":"answers","id":33,"query":"R(x | y)","free":["x"],)js"
+      R"js("cursor":"cqa1zzzz-not-a-cursor"})js",
+      R"js({"type":"answers","id":34,"query":"R(x | y)"})js",
+      R"js({"type":"answers","id":35,"query":"R(x | y)","free":[]})js",
+      R"js({"type":"answers","id":36,"query":"R(x | y)","free":[42]})js",
   };
   corpus.push_back(EncodeErrorFrame(7, ErrorCode::kOverloaded, "busy", true));
   corpus.push_back(EncodeCancelledFrame(8, "cancelled"));
@@ -223,8 +245,54 @@ std::vector<std::string> WireCorpus() {
     outcome.inserted = 1;
     outcome.deleted = 1;
     corpus.push_back(EncodeDeltaAckFrame(29, outcome));
+
+    // Answer-stream responses: a mid-stream chunk carrying a real cursor,
+    // the final chunk of a stream, and the done terminal.
+    AnswerChunk chunk;
+    chunk.free_vars = {"x"};
+    chunk.answers = {{Value::Of("a")}, {Value::Of("b")}};
+    chunk.start = 0;
+    chunk.next = 3;
+    chunk.total = 5;
+    chunk.scanned = 3;
+    AnswerCursor cursor;
+    cursor.position = chunk.next;
+    cursor.query_hash = 0x1234abcdu;
+    cursor.fingerprint = FingerprintDatabase(db.value());
+    corpus.push_back(
+        EncodeAnswerChunkFrame(37, chunk, EncodeAnswerCursor(cursor)));
+    chunk.start = 3;
+    chunk.next = 5;
+    chunk.scanned = 2;
+    chunk.done = true;
+    corpus.push_back(EncodeAnswerChunkFrame(37, chunk, ""));
+    corpus.push_back(EncodeAnswerDoneFrame(37, /*answers=*/4, /*candidates=*/5,
+                                           /*chunks=*/2,
+                                           std::chrono::microseconds(1'234)));
   }
   return corpus;
+}
+
+// ---------------------------------------------------------------------------
+// Cursor-bytes fuzz
+
+// Any byte string handed to DecodeAnswerCursor must either fail kParse or
+// decode to a cursor whose re-encoding is byte-identical to the input —
+// the "verifiable" half of opaque-but-verifiable: accepting hostile bytes
+// that spell a *different* stream position is the one unforgivable
+// outcome (a silent mis-resume).
+int CheckCursorBytes(const std::string& bytes) {
+  Result<AnswerCursor> decoded = DecodeAnswerCursor(bytes);
+  if (!decoded.ok()) {
+    if (decoded.code() != ErrorCode::kParse) {
+      return BadInput(bytes, "cursor decode returned a non-parse error");
+    }
+    return 0;
+  }
+  if (EncodeAnswerCursor(*decoded) != bytes) {
+    return BadInput(bytes, "accepted cursor does not re-encode to itself");
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -392,6 +460,7 @@ int main(int argc, char** argv) {
   uint64_t wire_rounds = FlagOr(argc, argv, "--wire-rounds", 300);
   uint64_t cache_rounds = FlagOr(argc, argv, "--cache-rounds", 200);
   uint64_t journal_rounds = FlagOr(argc, argv, "--journal-rounds", 300);
+  uint64_t cursor_rounds = FlagOr(argc, argv, "--cursor-rounds", 300);
   uint64_t parallel_rounds = FlagOr(argc, argv, "--parallel-rounds", 120);
 
   // Phase 1: parser robustness under mutation and garbage.
@@ -488,6 +557,53 @@ int main(int argc, char** argv) {
         bytes.resize(jrng.Below(bytes.size()));
       }
       int rc = CheckJournalBytes(bytes);
+      if (rc != 0) return rc;
+    }
+  }
+
+  // Phase 2c: cursor-bytes robustness — round trips, single-byte damage
+  // across every position, and structured hostility (truncation, padding,
+  // case flips, magic swaps, pure garbage).
+  {
+    Rng crng(seed ^ 0xc52503u);
+    for (uint64_t round = 0; round < cursor_rounds; ++round) {
+      AnswerCursor cursor;
+      cursor.position = crng.Next();
+      cursor.query_hash = crng.Next();
+      cursor.fingerprint = DbFingerprint{crng.Next(), crng.Next()};
+      std::string wire = EncodeAnswerCursor(cursor);
+      Result<AnswerCursor> back = DecodeAnswerCursor(wire);
+      if (!back.ok() || back->position != cursor.position ||
+          back->query_hash != cursor.query_hash ||
+          !(back->fingerprint == cursor.fingerprint)) {
+        return BadInput(wire, "cursor round trip lost a field");
+      }
+
+      std::string hostile = wire;
+      switch (crng.Below(6)) {
+        case 0:  // flip one payload character
+          hostile[crng.Below(hostile.size())] =
+              static_cast<char>(crng.Below(96) + 32);
+          break;
+        case 1:  // truncate
+          hostile.resize(crng.Below(hostile.size()));
+          break;
+        case 2:  // pad with trailing bytes
+          hostile += Garbage(&crng);
+          break;
+        case 3: {  // uppercase a hex digit (spelling is lowercase-only)
+          size_t pos = 4 + crng.Below(hostile.size() - 4);
+          hostile[pos] = static_cast<char>(std::toupper(hostile[pos]));
+          break;
+        }
+        case 4:  // wrong magic, right payload
+          hostile[crng.Below(4)] = 'x';
+          break;
+        default:  // pure garbage, sometimes magic-prefixed
+          hostile = (crng.Chance(0.5) ? "cqa1" : "") + Garbage(&crng);
+          break;
+      }
+      int rc = CheckCursorBytes(hostile);
       if (rc != 0) return rc;
     }
   }
@@ -703,11 +819,12 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "fuzz clean: %llu parse rounds, %llu wire rounds, %llu journal "
-      "rounds, %llu cache rounds, %llu parallel rounds, "
+      "rounds, %llu cursor rounds, %llu cache rounds, %llu parallel rounds, "
       "%llu rounds (%llu FO, %llu hard), %llu database checks\n",
       static_cast<unsigned long long>(parse_rounds),
       static_cast<unsigned long long>(wire_rounds),
       static_cast<unsigned long long>(journal_rounds),
+      static_cast<unsigned long long>(cursor_rounds),
       static_cast<unsigned long long>(cache_rounds),
       static_cast<unsigned long long>(parallel_rounds),
       static_cast<unsigned long long>(rounds),
